@@ -1,0 +1,474 @@
+//! The three-phase deadlock diagnosis (paper Sec. V-B, Fig. 5).
+//!
+//! Every collected trace is analyzed as **two concurrent instances** of the
+//! same API (and against every other trace), mirroring the paper's setup.
+//!
+//! * **Transaction-level phase** — keep only transaction pairs that write a
+//!   commonly accessed table (conflict-cycle filter);
+//! * **Coarse-grained phase** — enumerate SC-graph deadlock cycles: A holds
+//!   the lock of an earlier statement that conflicts with B's later
+//!   statement and vice versa (table-level C-edges);
+//! * **Fine-grained phase** — model locks (Alg. 2), require a potentially
+//!   conflicting lock pair per C-edge, generate conflict conditions
+//!   (Alg. 3), conjoin with both instances' path conditions up to the
+//!   waiting statements, and ask the SMT solver. SAT ⇒ deadlock reported
+//!   with a witness model.
+
+use crate::encode::{gen_conflict_cond, Importer, Side};
+use crate::indexes::IndexOracle;
+use crate::locks::{gen_exclusive_locks, gen_shared_locks, potential_conflict};
+use crate::report::{CycleId, DeadlockReport, ReportedStatement};
+use std::collections::HashSet;
+use weseer_concolic::{StmtRecord, Trace};
+use weseer_smt::{check, Ctx, SolveResult, SolverConfig, TermId};
+use weseer_sqlir::Catalog;
+
+/// A trace together with the term context of the engine that produced it.
+pub struct CollectedTrace {
+    /// The runtime trace.
+    pub trace: Trace,
+    /// Term context holding the trace's symbolic expressions.
+    pub ctx: Ctx,
+}
+
+impl CollectedTrace {
+    /// Wrap a trace and its context.
+    pub fn new(trace: Trace, ctx: Ctx) -> Self {
+        CollectedTrace { trace, ctx }
+    }
+
+    /// The traced API name.
+    pub fn api(&self) -> &str {
+        &self.trace.api
+    }
+}
+
+/// Analyzer configuration.
+#[derive(Debug, Clone)]
+pub struct AnalyzerConfig {
+    /// SMT solver limits.
+    pub solver: SolverConfig,
+    /// Run the fine-grained phase (false = the STEPDAD/REDACT-style coarse
+    /// baseline that reports every coarse cycle).
+    pub fine_grained: bool,
+    /// Model range locks in conflict conditions (Alg. 3 lines 10–13).
+    pub use_range_locks: bool,
+    /// Skip the first two (filtering) phases and send every coarse cycle
+    /// candidate straight to the SMT solver — the brute-force baseline of
+    /// Sec. V-B, used by the ablation bench.
+    pub skip_filter_phases: bool,
+    /// Stop after this many confirmed reports.
+    pub max_reports: usize,
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> Self {
+        AnalyzerConfig {
+            solver: SolverConfig::default(),
+            fine_grained: true,
+            use_range_locks: true,
+            skip_filter_phases: false,
+            max_reports: 10_000,
+        }
+    }
+}
+
+/// Diagnosis-wide counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiagnosisStats {
+    /// Transaction pairs examined.
+    pub txn_pairs: usize,
+    /// Pairs surviving the transaction-level phase.
+    pub pairs_after_phase1: usize,
+    /// Coarse-grained deadlock cycles found (phase 2).
+    pub coarse_cycles: usize,
+    /// Cycles whose C-edges had potentially conflicting locks (entering
+    /// SMT).
+    pub fine_candidates: usize,
+    /// SMT SAT / UNSAT / Unknown outcomes.
+    pub smt_sat: usize,
+    /// SMT UNSAT outcomes.
+    pub smt_unsat: usize,
+    /// SMT timeouts.
+    pub smt_unknown: usize,
+}
+
+/// The result of a diagnosis run.
+#[derive(Debug)]
+pub struct Diagnosis {
+    /// Confirmed deadlocks.
+    pub deadlocks: Vec<DeadlockReport>,
+    /// Counters.
+    pub stats: DiagnosisStats,
+}
+
+/// Run WeSEER's deadlock analysis over a set of collected traces.
+pub fn diagnose(
+    catalog: &Catalog,
+    traces: &[CollectedTrace],
+    config: &AnalyzerConfig,
+) -> Diagnosis {
+    diagnose_with_oracle(catalog, traces, config, None)
+}
+
+/// Like [`diagnose`], but consulting a concrete-plan oracle (`EXPLAIN`)
+/// so lock modeling only considers the index the database would actually
+/// use — the paper's Sec. V-D future work for cutting false positives.
+pub fn diagnose_with_oracle(
+    catalog: &Catalog,
+    traces: &[CollectedTrace],
+    config: &AnalyzerConfig,
+    oracle: Option<&dyn IndexOracle>,
+) -> Diagnosis {
+    let mut stats = DiagnosisStats::default();
+    let mut reports: Vec<DeadlockReport> = Vec::new();
+    let mut seen = HashSet::new();
+
+    for (i, a) in traces.iter().enumerate() {
+        for (j, b) in traces.iter().enumerate().skip(i) {
+            for a_txn in 0..a.trace.txns.len() {
+                let b_start = if i == j { a_txn } else { 0 };
+                for b_txn in b_start..b.trace.txns.len() {
+                    diagnose_txn_pair(
+                        catalog,
+                        (a, a_txn),
+                        (b, b_txn),
+                        i == j && a_txn == b_txn,
+                        config,
+                        oracle,
+                        &mut stats,
+                        &mut reports,
+                        &mut seen,
+                    );
+                    if reports.len() >= config.max_reports {
+                        return Diagnosis { deadlocks: reports, stats };
+                    }
+                }
+            }
+        }
+    }
+    Diagnosis { deadlocks: reports, stats }
+}
+
+/// Count coarse-grained deadlock cycles only (the STEPDAD/REDACT baseline
+/// of Sec. VII-B, which reports 18,384 hold-and-wait cycles on the paper's
+/// workload). No lock modeling, no SMT.
+pub fn coarse_cycle_count(traces: &[CollectedTrace]) -> usize {
+    let mut config = AnalyzerConfig { fine_grained: false, ..AnalyzerConfig::default() };
+    config.max_reports = usize::MAX;
+    let mut stats = DiagnosisStats::default();
+    let mut reports = Vec::new();
+    let mut seen = HashSet::new();
+    let catalog = Catalog::default();
+    for (i, a) in traces.iter().enumerate() {
+        for (j, b) in traces.iter().enumerate().skip(i) {
+            for a_txn in 0..a.trace.txns.len() {
+                let b_start = if i == j { a_txn } else { 0 };
+                for b_txn in b_start..b.trace.txns.len() {
+                    diagnose_txn_pair(
+                        &catalog,
+                        (a, a_txn),
+                        (b, b_txn),
+                        i == j && a_txn == b_txn,
+                        &config,
+                        None,
+                        &mut stats,
+                        &mut reports,
+                        &mut seen,
+                    );
+                }
+            }
+        }
+    }
+    stats.coarse_cycles
+}
+
+fn txn_tables(trace: &Trace, txn: usize) -> (Vec<String>, Vec<String>) {
+    let mut accessed = Vec::new();
+    let mut written = Vec::new();
+    for s in trace.statements_of(txn) {
+        for t in s.stmt.tables() {
+            if !accessed.contains(&t) {
+                accessed.push(t);
+            }
+        }
+        if let Some(w) = s.stmt.written_table() {
+            if !written.contains(&w.to_string()) {
+                written.push(w.to_string());
+            }
+        }
+    }
+    (accessed, written)
+}
+
+/// Coarse C-edge: tables both access where at least one writes.
+fn conflict_tables(a: &StmtRecord, b: &StmtRecord) -> Vec<String> {
+    let mut out = Vec::new();
+    for t in a.stmt.tables() {
+        if !b.stmt.tables().contains(&t) {
+            continue;
+        }
+        let a_writes = a.stmt.written_table() == Some(t.as_str());
+        let b_writes = b.stmt.written_table() == Some(t.as_str());
+        if (a_writes || b_writes) && !out.contains(&t) {
+            out.push(t);
+        }
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn diagnose_txn_pair(
+    catalog: &Catalog,
+    (a, a_txn): (&CollectedTrace, usize),
+    (b, b_txn): (&CollectedTrace, usize),
+    same_instance_pair: bool,
+    config: &AnalyzerConfig,
+    oracle: Option<&dyn IndexOracle>,
+    stats: &mut DiagnosisStats,
+    reports: &mut Vec<DeadlockReport>,
+    seen: &mut HashSet<String>,
+) {
+    stats.txn_pairs += 1;
+
+    // ---- Phase 1: transaction-level conflict filter --------------------
+    if !config.skip_filter_phases {
+        let (acc_a, wr_a) = txn_tables(&a.trace, a_txn);
+        let (acc_b, wr_b) = txn_tables(&b.trace, b_txn);
+        let conflict = acc_a
+            .iter()
+            .any(|t| acc_b.contains(t) && (wr_a.contains(t) || wr_b.contains(t)));
+        if !conflict {
+            return;
+        }
+    }
+    stats.pairs_after_phase1 += 1;
+
+    // ---- Phase 2: coarse SC-graph deadlock cycles -----------------------
+    let stmts_a = a.trace.statements_of(a_txn);
+    let stmts_b = b.trace.statements_of(b_txn);
+    for (ah, a_hold) in stmts_a.iter().enumerate() {
+        for a_wait in stmts_a.iter().skip(ah + 1) {
+            for (bh, b_hold) in stmts_b.iter().enumerate() {
+                for b_wait in stmts_b.iter().skip(bh + 1) {
+                    if same_instance_pair
+                        && (b_hold.index, b_wait.index) < (a_hold.index, a_wait.index)
+                    {
+                        continue; // symmetric duplicate
+                    }
+                    // C-edges at table granularity (unless brute force).
+                    let t1 = conflict_tables(a_hold, b_wait);
+                    let t2 = conflict_tables(b_hold, a_wait);
+                    if !config.skip_filter_phases && (t1.is_empty() || t2.is_empty()) {
+                        continue;
+                    }
+                    stats.coarse_cycles += 1;
+                    if !config.fine_grained {
+                        continue;
+                    }
+                    // Cycles with the same statement templates and conflict
+                    // tables are one deadlock pattern; check each pattern
+                    // once (the paper's authors group reports the same way).
+                    let signature = format!(
+                        "{}|{}|{}|{}|{}|{}|{t1:?}|{t2:?}",
+                        a.trace.api,
+                        b.trace.api,
+                        a_hold.stmt,
+                        a_wait.stmt,
+                        b_hold.stmt,
+                        b_wait.stmt,
+                    );
+                    if !seen.insert(signature) {
+                        continue;
+                    }
+                    fine_check(
+                        catalog,
+                        oracle,
+                        a,
+                        b,
+                        CycleId {
+                            a_api: a.trace.api.clone(),
+                            b_api: b.trace.api.clone(),
+                            a_txn,
+                            b_txn,
+                            a_hold: a_hold.index,
+                            a_wait: a_wait.index,
+                            b_hold: b_hold.index,
+                            b_wait: b_wait.index,
+                        },
+                        (a_hold, a_wait, b_hold, b_wait),
+                        (&t1, &t2),
+                        config,
+                        stats,
+                        reports,
+                    );
+                    if reports.len() >= config.max_reports {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A C-edge's conflict condition: the *holder*'s acquired locks block the
+/// *waiter*'s requested locks on some common table.
+fn edge_condition(
+    dst: &mut Ctx,
+    catalog: &Catalog,
+    holder: &StmtRecord,
+    holder_imp: &mut Importer<'_>,
+    waiter: &StmtRecord,
+    waiter_imp: &mut Importer<'_>,
+    tables: &[String],
+    edge: usize,
+    config: &AnalyzerConfig,
+    oracle: Option<&dyn IndexOracle>,
+) -> Option<TermId> {
+    let mut arms: Vec<TermId> = Vec::new();
+    for table in tables {
+        // Orientations: Alg. 3 takes (sqlw = writer, sqlr = the other).
+        let holder_writes = holder.stmt.written_table() == Some(table.as_str());
+        let waiter_writes = waiter.stmt.written_table() == Some(table.as_str());
+        let mut orientations: Vec<(bool, bool)> = Vec::new();
+        if waiter_writes {
+            orientations.push((false, true)); // w = waiter, r = holder
+        }
+        if holder_writes {
+            orientations.push((true, false)); // w = holder, r = waiter
+        }
+        for (w_is_holder, _) in orientations {
+            let (w_rec, r_rec) = if w_is_holder { (holder, waiter) } else { (waiter, holder) };
+            // Fine-grained lock filter: some lock pair must be able to
+            // conflict on this table.
+            let locks_w = gen_exclusive_locks(&w_rec.stmt, table, catalog);
+            let locks_r =
+                gen_shared_locks(&r_rec.stmt, table, r_rec.is_empty, catalog, oracle);
+            if !potential_conflict(&locks_w, &locks_r) {
+                continue;
+            }
+            let cond = if w_is_holder {
+                let mut w_side = Side { rec: w_rec, imp: holder_imp };
+                let mut r_side = Side { rec: r_rec, imp: waiter_imp };
+                gen_conflict_cond(
+                    dst,
+                    catalog,
+                    &mut w_side,
+                    &mut r_side,
+                    table,
+                    edge,
+                    config.use_range_locks,
+                    oracle,
+                )
+            } else {
+                let mut w_side = Side { rec: w_rec, imp: waiter_imp };
+                let mut r_side = Side { rec: r_rec, imp: holder_imp };
+                gen_conflict_cond(
+                    dst,
+                    catalog,
+                    &mut w_side,
+                    &mut r_side,
+                    table,
+                    edge,
+                    config.use_range_locks,
+                    oracle,
+                )
+            };
+            arms.push(cond);
+        }
+    }
+    if arms.is_empty() {
+        None
+    } else {
+        Some(dst.or(arms))
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fine_check(
+    catalog: &Catalog,
+    oracle: Option<&dyn IndexOracle>,
+    a: &CollectedTrace,
+    b: &CollectedTrace,
+    cycle: CycleId,
+    (a_hold, a_wait, b_hold, b_wait): (&StmtRecord, &StmtRecord, &StmtRecord, &StmtRecord),
+    (t1, t2): (&[String], &[String]),
+    config: &AnalyzerConfig,
+    stats: &mut DiagnosisStats,
+    reports: &mut Vec<DeadlockReport>,
+) {
+    let mut dst = Ctx::new();
+    let mut imp_a = Importer::new(&a.ctx, "A1.");
+    let mut imp_b = Importer::new(&b.ctx, "A2.");
+
+    // Edge 1: A's held lock (a_hold) blocks B's waiter (b_wait).
+    let e1 = edge_condition(
+        &mut dst, catalog, a_hold, &mut imp_a, b_wait, &mut imp_b, t1, 1, config, oracle,
+    );
+    // Edge 2: B's held lock blocks A's waiter.
+    let e2 = edge_condition(
+        &mut dst, catalog, b_hold, &mut imp_b, a_wait, &mut imp_a, t2, 2, config, oracle,
+    );
+    let (Some(e1), Some(e2)) = (e1, e2) else {
+        return; // no potentially conflicting lock pair on some edge
+    };
+    stats.fine_candidates += 1;
+
+    // Path conditions recorded before each instance's waiting statement.
+    let mut parts = vec![e1, e2];
+    // Generated identifiers from the same database sequence never collide:
+    // assert pairwise disequality within and across the two instances.
+    {
+        let mut all: Vec<(String, TermId)> = Vec::new();
+        for (g, t) in &a.trace.unique_ids {
+            all.push((g.clone(), imp_a.import(&mut dst, *t)));
+        }
+        for (g, t) in &b.trace.unique_ids {
+            all.push((g.clone(), imp_b.import(&mut dst, *t)));
+        }
+        for x in 0..all.len() {
+            for y in (x + 1)..all.len() {
+                if all[x].0 == all[y].0 && all[x].1 != all[y].1 {
+                    let (tx, ty) = (all[x].1, all[y].1);
+                    parts.push(dst.ne(tx, ty));
+                }
+            }
+        }
+    }
+    for pc in a.trace.path_conds_before(a_wait.seq) {
+        parts.push(imp_a.import(&mut dst, pc.term));
+    }
+    for pc in b.trace.path_conds_before(b_wait.seq) {
+        parts.push(imp_b.import(&mut dst, pc.term));
+    }
+    let formula = dst.and(parts);
+
+    match check(&mut dst, formula, &config.solver) {
+        SolveResult::Sat(model) => {
+            stats.smt_sat += 1;
+            let statements = vec![
+                reported(a_hold, "A1", t1),
+                reported(a_wait, "A1", t2),
+                reported(b_hold, "A2", t2),
+                reported(b_wait, "A2", t1),
+            ];
+            let model_excerpt: Vec<(String, String)> = model
+                .iter()
+                .filter(|(name, _)| !name.contains('!'))
+                .map(|(name, v)| (name.clone(), v.to_string()))
+                .collect();
+            reports.push(DeadlockReport { cycle, statements, model: model_excerpt });
+        }
+        SolveResult::Unsat => stats.smt_unsat += 1,
+        SolveResult::Unknown => stats.smt_unknown += 1,
+    }
+}
+
+fn reported(rec: &StmtRecord, instance: &str, tables: &[String]) -> ReportedStatement {
+    ReportedStatement {
+        label: format!("{instance}.{}", rec.label()),
+        sql: rec.stmt.to_string(),
+        table: tables.first().cloned().unwrap_or_default(),
+        trigger: rec.trigger.clone(),
+    }
+}

@@ -1,0 +1,147 @@
+//! Deadlock reports (the output of Fig. 2's deadlock analyzer).
+
+use weseer_concolic::StackTrace;
+use std::fmt;
+
+/// Identifies the four statements of a 2-transaction deadlock cycle
+/// (Fig. 4's `[ins1.Q4 → ins1.Q6 → ins2.Q4 → ins2.Q6]`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CycleId {
+    /// API of instance A.
+    pub a_api: String,
+    /// API of instance B.
+    pub b_api: String,
+    /// Transaction index within A's trace.
+    pub a_txn: usize,
+    /// Transaction index within B's trace.
+    pub b_txn: usize,
+    /// A's lock-holding statement (index into A's trace).
+    pub a_hold: usize,
+    /// A's waiting statement.
+    pub a_wait: usize,
+    /// B's lock-holding statement.
+    pub b_hold: usize,
+    /// B's waiting statement.
+    pub b_wait: usize,
+}
+
+/// One statement's role in the report.
+#[derive(Debug, Clone)]
+pub struct ReportedStatement {
+    /// `A1.Q4`-style label.
+    pub label: String,
+    /// Rendered SQL template.
+    pub sql: String,
+    /// The table on which this statement conflicts.
+    pub table: String,
+    /// The code that triggered the statement (Sec. VI).
+    pub trigger: StackTrace,
+}
+
+/// A confirmed potential deadlock with everything a developer needs to
+/// understand and reproduce it (Fig. 2's report contents: involved API,
+/// inputs, initial DB state, SQL statements, triggering code).
+#[derive(Debug, Clone)]
+pub struct DeadlockReport {
+    /// The cycle.
+    pub cycle: CycleId,
+    /// The four statements (A-hold, A-wait, B-hold, B-wait).
+    pub statements: Vec<ReportedStatement>,
+    /// Satisfying assignment excerpt: API inputs and database state that
+    /// trigger the deadlock, from the SMT model.
+    pub model: Vec<(String, String)>,
+}
+
+impl DeadlockReport {
+    /// Whether this deadlock involves the two given APIs (order
+    /// insensitive).
+    pub fn involves(&self, api1: &str, api2: &str) -> bool {
+        (self.cycle.a_api == api1 && self.cycle.b_api == api2)
+            || (self.cycle.a_api == api2 && self.cycle.b_api == api1)
+    }
+
+    /// The distinct conflict tables.
+    pub fn tables(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for s in &self.statements {
+            if !out.contains(&s.table) {
+                out.push(s.table.clone());
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "deadlock: {} (txn {}) <-> {} (txn {})",
+            self.cycle.a_api, self.cycle.a_txn, self.cycle.b_api, self.cycle.b_txn
+        )?;
+        for s in &self.statements {
+            writeln!(f, "  {} on {}: {}", s.label, s.table, s.sql)?;
+            if let Some(top) = s.trigger.top() {
+                writeln!(f, "    triggered at {top}")?;
+            }
+        }
+        if !self.model.is_empty() {
+            writeln!(f, "  witness assignment:")?;
+            for (k, v) in self.model.iter().take(12) {
+                writeln!(f, "    {k} = {v}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DeadlockReport {
+        DeadlockReport {
+            cycle: CycleId {
+                a_api: "Add2".into(),
+                b_api: "Ship".into(),
+                a_txn: 0,
+                b_txn: 0,
+                a_hold: 0,
+                a_wait: 1,
+                b_hold: 0,
+                b_wait: 1,
+            },
+            statements: vec![ReportedStatement {
+                label: "A1.Q4".into(),
+                sql: "SELECT …".into(),
+                table: "Product".into(),
+                trigger: StackTrace::new(),
+            }],
+            model: vec![("A1.order_id".into(), "1".into())],
+        }
+    }
+
+    #[test]
+    fn involves_is_order_insensitive() {
+        let r = sample();
+        assert!(r.involves("Add2", "Ship"));
+        assert!(r.involves("Ship", "Add2"));
+        assert!(!r.involves("Ship", "Checkout"));
+    }
+
+    #[test]
+    fn display_includes_essentials() {
+        let r = sample();
+        let s = r.to_string();
+        assert!(s.contains("Add2"));
+        assert!(s.contains("Product"));
+        assert!(s.contains("A1.order_id"));
+    }
+
+    #[test]
+    fn tables_dedup() {
+        let mut r = sample();
+        r.statements.push(r.statements[0].clone());
+        assert_eq!(r.tables(), vec!["Product".to_string()]);
+    }
+}

@@ -1,0 +1,812 @@
+//! Simulated **Broadleaf** e-commerce application (paper Sec. VII-B:
+//! Broadleaf 6.0.9, 190K LoC, 13 of the 18 reported deadlocks).
+//!
+//! The implementation reproduces the deadlock-prone transaction logic of
+//! Table II:
+//!
+//! | id | site | table(s) | fix |
+//! |----|------|----------|-----|
+//! | d1 | merge-style registration: check username then insert | `Customer` | f1 `persist` |
+//! | d2 | check-then-insert cart creation (app-lock protected in prod) | `Cart` | f2 UPSERT |
+//! | d3,d4 | create order item: check item then insert/update | `CartItem` | f3 separate SELECT |
+//! | d5,d6 | fulfillment items reordered by write-behind | `FulfillmentItem` | f4 early flush |
+//! | d7,d8,d9 | cart pricing reads then insert/update | `PriceDetail`,`Offer` | f5 separate SELECT |
+//! | d10 | scan addresses then insert | `Address` | f6 insert first |
+//! | d11 | Ship-side pricing (same tables as d7) | `PriceDetail`,`Offer` | f7 separate SELECT |
+//! | d12,d13 | tax check then insert | `TaxDetail` | f8 separate SELECT |
+//!
+//! APIs follow Table I: Register, Add (three code paths), Ship, Payment,
+//! Checkout.
+
+use crate::ctx::{sql, AppCtx};
+use crate::fixtures::Fix;
+use weseer_concolic::{builtins, loc, SymValue};
+use weseer_orm::{EntityRef, OrmError};
+use weseer_sqlir::{Catalog, ColType, TableBuilder, Value};
+
+/// The simulated Broadleaf application.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Broadleaf;
+
+impl Broadleaf {
+    /// The database schema.
+    pub fn catalog() -> Catalog {
+        Catalog::new(vec![
+            TableBuilder::new("Customer")
+                .col("ID", ColType::Int)
+                .col("USERNAME", ColType::Str)
+                .col("EMAIL", ColType::Str)
+                .col("PASSWORD", ColType::Str)
+                .primary_key(&["ID"])
+                .unique_index("uq_customer_username", &["USERNAME"])
+                .build()
+                .unwrap(),
+            TableBuilder::new("Cart")
+                .col("ID", ColType::Int)
+                .col("C_ID", ColType::Int)
+                .col("STATUS", ColType::Str)
+                .primary_key(&["ID"])
+                .unique_index("uq_cart_c_id", &["C_ID"])
+                .build()
+                .unwrap(),
+            TableBuilder::new("CartItem")
+                .col("ID", ColType::Int)
+                .col("CART_ID", ColType::Int)
+                .col("P_ID", ColType::Int)
+                .col("QTY", ColType::Int)
+                .col("PRICE", ColType::Float)
+                .primary_key(&["ID"])
+                .unique_index("uq_cartitem_cart_product", &["CART_ID", "P_ID"])
+                .foreign_key("P_ID", "Product", "ID")
+                .build()
+                .unwrap(),
+            TableBuilder::new("FulfillmentItem")
+                .col("ID", ColType::Int)
+                .col("CART_ID", ColType::Int)
+                .col("CI_ID", ColType::Int)
+                .col("QTY", ColType::Int)
+                .primary_key(&["ID"])
+                .foreign_key("CART_ID", "Cart", "ID")
+                .build()
+                .unwrap(),
+            TableBuilder::new("Address")
+                .col("ID", ColType::Int)
+                .col("C_ID", ColType::Int)
+                .col("CITY", ColType::Str)
+                .col("STREET", ColType::Str)
+                .primary_key(&["ID"])
+                .foreign_key("C_ID", "Customer", "ID")
+                .build()
+                .unwrap(),
+            TableBuilder::new("Payment")
+                .col("ID", ColType::Int)
+                .col("C_ID", ColType::Int)
+                .col("METHOD", ColType::Str)
+                .col("AMOUNT", ColType::Float)
+                .primary_key(&["ID"])
+                .unique_index("uq_payment_c_id", &["C_ID"])
+                .build()
+                .unwrap(),
+            TableBuilder::new("PriceDetail")
+                .col("ID", ColType::Int)
+                .col("CART_ID", ColType::Int)
+                .col("AMOUNT", ColType::Float)
+                .primary_key(&["ID"])
+                .foreign_key("CART_ID", "Cart", "ID")
+                .build()
+                .unwrap(),
+            TableBuilder::new("TaxDetail")
+                .col("ID", ColType::Int)
+                .col("CART_ID", ColType::Int)
+                .col("AMOUNT", ColType::Float)
+                .primary_key(&["ID"])
+                .foreign_key("CART_ID", "Cart", "ID")
+                .build()
+                .unwrap(),
+            TableBuilder::new("Offer")
+                .col("ID", ColType::Int)
+                .col("CODE", ColType::Str)
+                .col("USES", ColType::Int)
+                .primary_key(&["ID"])
+                .build()
+                .unwrap(),
+            TableBuilder::new("Product")
+                .col("ID", ColType::Int)
+                .col("NAME", ColType::Str)
+                .col("QTY", ColType::Int)
+                .col("PRICE", ColType::Float)
+                .primary_key(&["ID"])
+                .build()
+                .unwrap(),
+            TableBuilder::new("Orders")
+                .col("ID", ColType::Int)
+                .col("C_ID", ColType::Int)
+                .col("TOTAL", ColType::Float)
+                .primary_key(&["ID"])
+                .foreign_key("C_ID", "Customer", "ID")
+                .build()
+                .unwrap(),
+            TableBuilder::new("OrderItem")
+                .col("ID", ColType::Int)
+                .col("O_ID", ColType::Int)
+                .col("P_ID", ColType::Int)
+                .col("QTY", ColType::Int)
+                .primary_key(&["ID"])
+                .foreign_key("O_ID", "Orders", "ID")
+                .foreign_key("P_ID", "Product", "ID")
+                .build()
+                .unwrap(),
+        ])
+        .unwrap()
+    }
+
+    /// Seed the catalog data: products and site-wide offers.
+    pub fn seed(db: &weseer_db::Database) {
+        let products = (1..=20)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::str(format!("product-{i}")),
+                    Value::Int(100_000),
+                    Value::Float(25.0),
+                ]
+            })
+            .collect();
+        db.seed("Product", products);
+        db.bump_id("Product", 20);
+        let offers = (1..=5)
+            .map(|i| vec![Value::Int(i), Value::str(format!("OFFER{i}")), Value::Int(0)])
+            .collect();
+        db.seed("Offer", offers);
+        db.bump_id("Offer", 5);
+    }
+
+    // ------------------------------------------------------------------
+    // Register
+    // ------------------------------------------------------------------
+
+    /// The Register API: create a new user.
+    ///
+    /// Unfixed (d1): a merge-style check of the username (an empty SELECT
+    /// acquiring a range lock on `uq_customer_username`) followed by the
+    /// INSERT. Fix f1 uses `persist` semantics: INSERT only.
+    pub fn register(
+        &self,
+        ctx: &mut AppCtx<'_>,
+        username: SymValue,
+        email: SymValue,
+        password: SymValue,
+        confirm: SymValue,
+    ) -> Result<SymValue, OrmError> {
+        let _f = weseer_concolic::engine::frame(&ctx.engine, loc!("Register"));
+        // Validate the confirmation (symbolic string equality + branch).
+        let ok = {
+            let mut e = ctx.engine.borrow_mut();
+            let c = builtins::string_equals(&mut e, &password, &confirm);
+            e.branch(&c, loc!("Register"))
+        };
+        if !ok {
+            return Err(OrmError::AppAbort("password confirmation mismatch".into()));
+        }
+        ctx.session.begin();
+        if !ctx.fixes.on(Fix::F1) {
+            // d1: `merge` issues a SELECT before the INSERT.
+            let q = sql("SELECT * FROM Customer c WHERE c.USERNAME = ?");
+            let rs = ctx.session.raw(&q, &[username.clone()], loc!("Register::merge"))?;
+            if !rs.is_empty() {
+                ctx.session.rollback();
+                return Err(OrmError::AppAbort("username already registered".into()));
+            }
+        }
+        let id = ctx.gen_id("Customer");
+        ctx.session.persist(
+            "Customer",
+            vec![
+                ("ID".into(), id.clone()),
+                ("USERNAME".into(), username),
+                ("EMAIL".into(), email),
+                ("PASSWORD".into(), password),
+            ],
+            loc!("Register::save"),
+        );
+        ctx.session.commit(loc!("Register"))?;
+        Ok(id)
+    }
+
+    // ------------------------------------------------------------------
+    // Add to cart
+    // ------------------------------------------------------------------
+
+    /// The Add API: put `qty` of `product_id` into `user_id`'s cart.
+    ///
+    /// Three code paths (the workload's Add1/Add2/Add3): no cart yet, cart
+    /// without the product, cart already containing the product.
+    pub fn add_to_cart(
+        &self,
+        ctx: &mut AppCtx<'_>,
+        user_id: SymValue,
+        product_id: SymValue,
+        qty: SymValue,
+    ) -> Result<(), OrmError> {
+        let _f = weseer_concolic::engine::frame(&ctx.engine, loc!("Add"));
+
+        // Pre-phase: fixes f3/f5 run the guarded SELECTs in their own
+        // committed transaction so their range locks are released before
+        // the main transaction writes.
+        let mut pre_item: Option<Option<EntityRef>> = None;
+        let mut pre_price: Option<Option<EntityRef>> = None;
+        let mut pre_offer: Option<EntityRef> = None;
+        let mut pre_cart: Option<Option<EntityRef>> = None;
+        if ctx.fixes.on(Fix::F3) || ctx.fixes.on(Fix::F5) {
+            ctx.session.begin();
+            let cart = self.lookup_cart(ctx, &user_id)?;
+            if ctx.fixes.on(Fix::F5) {
+                pre_offer = Some(self.read_offer(ctx, &user_id)?);
+                match &cart {
+                    Some(cart) => pre_price = Some(self.read_price_detail(ctx, cart)?),
+                    // A cart created by this request cannot have details.
+                    None => pre_price = Some(None),
+                }
+            }
+            if ctx.fixes.on(Fix::F3) {
+                match &cart {
+                    Some(cart) => {
+                        let cart_id = cart.get("ID");
+                        pre_item = Some(self.lookup_item(ctx, &cart_id, &product_id)?);
+                    }
+                    // No cart yet: the item cannot exist either.
+                    None => pre_item = Some(None),
+                }
+            }
+            pre_cart = Some(cart);
+            ctx.session.commit(loc!("Add::prefetch"))?;
+        }
+
+        ctx.session.begin();
+        // Cart lookup / creation (d2, f2).
+        let cart = match (&pre_cart, ctx.fixes.on(Fix::F2)) {
+            (Some(Some(cart)), _) => cart.clone(),
+            _ => {
+                if ctx.fixes.on(Fix::F2) {
+                    // UPSERT the cart, then read it back (row exists now,
+                    // so the SELECT takes record locks, not gap locks).
+                    let id = ctx.gen_id("Cart");
+                    ctx.session.upsert(
+                        "Cart",
+                        vec![
+                            ("ID".into(), id),
+                            ("C_ID".into(), user_id.clone()),
+                            ("STATUS".into(), SymValue::concrete("ACTIVE")),
+                        ],
+                        &["STATUS"],
+                        loc!("Add::ensureCart"),
+                    )?;
+                    self.lookup_cart(ctx, &user_id)?
+                        .expect("cart exists after upsert")
+                } else {
+                    // d2: check-then-insert (protected by app-level locks
+                    // in the real application, invisible to the database).
+                    match self.lookup_cart(ctx, &user_id)? {
+                        Some(cart) => cart,
+                        None => {
+                            let id = ctx.gen_id("Cart");
+                            ctx.session.persist(
+                                "Cart",
+                                vec![
+                                    ("ID".into(), id),
+                                    ("C_ID".into(), user_id.clone()),
+                                    ("STATUS".into(), SymValue::concrete("ACTIVE")),
+                                ],
+                                loc!("Add::createCart"),
+                            )
+                        }
+                    }
+                }
+            }
+        };
+        let cart_id = cart.get("ID");
+        let fresh_cart = matches!(cart.status(), weseer_orm::EntityStatus::New);
+
+        // Order-item section (d3/d4, f3): check the item, then insert or
+        // bump the quantity.
+        let item = if fresh_cart {
+            None // a cart created in this request cannot contain the item
+        } else {
+            match pre_item {
+                Some(i) => i,
+                None => self.lookup_item(ctx, &cart_id, &product_id)?,
+            }
+        };
+        let item_entity = match item {
+            Some(item) => {
+                // Existing item: bump the quantity (buffered UPDATE).
+                let old = item.get("QTY");
+                let new = ctx.engine.borrow_mut().add(&old, &qty);
+                item.set(&ctx.engine, "QTY", new, loc!("Add::bumpItemQty"));
+                item
+            }
+            None => {
+                let id = ctx.gen_id("CartItem");
+                ctx.session.persist(
+                    "CartItem",
+                    vec![
+                        ("ID".into(), id),
+                        ("CART_ID".into(), cart_id.clone()),
+                        ("P_ID".into(), product_id.clone()),
+                        ("QTY".into(), qty.clone()),
+                        ("PRICE".into(), SymValue::concrete(Value::Float(25.0))),
+                    ],
+                    loc!("Add::createItem"),
+                )
+            }
+        };
+
+        // Fulfillment section (d5/d6, f4): the fulfillment item is
+        // persisted *before* the coverage scan, but the write-behind cache
+        // defers its INSERT past the SELECT unless the fix flushes early.
+        let fid = ctx.gen_id("FulfillmentItem");
+        ctx.session.persist(
+            "FulfillmentItem",
+            vec![
+                ("ID".into(), fid),
+                ("CART_ID".into(), cart_id.clone()),
+                ("CI_ID".into(), item_entity.get("ID")),
+                ("QTY".into(), qty.clone()),
+            ],
+            loc!("Add::createFulfillment"),
+        );
+        if ctx.fixes.on(Fix::F4) {
+            ctx.session.flush(loc!("Add::earlyFlush"))?;
+        }
+        let q = sql("SELECT * FROM FulfillmentItem fi WHERE fi.CART_ID = ?");
+        let _coverage = ctx.session.raw(&q, &[cart_id.clone()], loc!("Add::checkFulfillment"))?;
+
+        // Pricing section (d7/d8/d9, f5).
+        let (price_detail, offer) = match (pre_price, pre_offer) {
+            (Some(pd), Some(offer)) => (pd, offer),
+            _ => self.read_pricing(ctx, &user_id, &cart)?,
+        };
+        self.apply_pricing(ctx, &cart_id, price_detail, offer)?;
+
+        ctx.session.commit(loc!("Add"))?;
+        Ok(())
+    }
+
+    fn lookup_cart(
+        &self,
+        ctx: &mut AppCtx<'_>,
+        user_id: &SymValue,
+    ) -> Result<Option<EntityRef>, OrmError> {
+        let q = sql("SELECT * FROM Cart c WHERE c.C_ID = ?");
+        let rows = ctx.session.query(&q, &[user_id.clone()], loc!("Add::lookupCart"))?;
+        Ok(rows.first().map(|r| r["c"].clone()))
+    }
+
+    fn lookup_item(
+        &self,
+        ctx: &mut AppCtx<'_>,
+        cart_id: &SymValue,
+        product_id: &SymValue,
+    ) -> Result<Option<EntityRef>, OrmError> {
+        let q = sql("SELECT * FROM CartItem ci WHERE ci.CART_ID = ? AND ci.P_ID = ?");
+        let rows = ctx.session.query(
+            &q,
+            &[cart_id.clone(), product_id.clone()],
+            loc!("Add::checkItem"),
+        )?;
+        Ok(rows.first().map(|r| r["ci"].clone()))
+    }
+
+    /// The pricing reads: the cart's price details plus the site-wide
+    /// offer row (shared across customers — hot at runtime).
+    fn read_pricing(
+        &self,
+        ctx: &mut AppCtx<'_>,
+        user_id: &SymValue,
+        cart: &EntityRef,
+    ) -> Result<(Option<EntityRef>, EntityRef), OrmError> {
+        let detail = self.read_price_detail(ctx, cart)?;
+        let offer = self.read_offer(ctx, user_id)?;
+        Ok((detail, offer))
+    }
+
+    fn read_price_detail(
+        &self,
+        ctx: &mut AppCtx<'_>,
+        cart: &EntityRef,
+    ) -> Result<Option<EntityRef>, OrmError> {
+        let cart_id = cart.get("ID");
+        let q = sql("SELECT * FROM PriceDetail pd WHERE pd.CART_ID = ?");
+        let rows = ctx.session.query(&q, &[cart_id], loc!("priceCart::readDetails"))?;
+        Ok(rows.first().map(|r| r["pd"].clone()))
+    }
+
+    fn read_offer(
+        &self,
+        ctx: &mut AppCtx<'_>,
+        user_id: &SymValue,
+    ) -> Result<EntityRef, OrmError> {
+        // Offer selection is data-independent enough to stay concrete.
+        let offer_id = user_id.as_int().unwrap_or(1).rem_euclid(5) + 1;
+        let offer = ctx
+            .session
+            .find("Offer", &SymValue::concrete(offer_id), loc!("priceCart::readOffer"))?
+            .expect("seeded offer exists");
+        Ok(offer)
+    }
+
+    /// The pricing writes: create or adjust the price detail and count the
+    /// offer use (read-modify-write of a shared row).
+    fn apply_pricing(
+        &self,
+        ctx: &mut AppCtx<'_>,
+        cart_id: &SymValue,
+        detail: Option<EntityRef>,
+        offer: EntityRef,
+    ) -> Result<(), OrmError> {
+        match detail {
+            None => {
+                let id = ctx.gen_id("PriceDetail");
+                ctx.session.persist(
+                    "PriceDetail",
+                    vec![
+                        ("ID".into(), id),
+                        ("CART_ID".into(), cart_id.clone()),
+                        ("AMOUNT".into(), SymValue::concrete(Value::Float(25.0))),
+                    ],
+                    loc!("priceCart::createDetail"),
+                );
+            }
+            Some(detail) => {
+                let amount = detail.get("AMOUNT");
+                let bump = SymValue::concrete(Value::Float(25.0));
+                let new = ctx.engine.borrow_mut().add(&amount, &bump);
+                detail.set(&ctx.engine, "AMOUNT", new, loc!("priceCart::adjustDetail"));
+            }
+        }
+        let uses = offer.get("USES");
+        let one = SymValue::concrete(1i64);
+        let new_uses = ctx.engine.borrow_mut().add(&uses, &one);
+        offer.set(&ctx.engine, "USES", new_uses, loc!("priceCart::countOfferUse"));
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Ship
+    // ------------------------------------------------------------------
+
+    /// The Ship API: record the shipment address, reprice the cart with
+    /// the shipping fee, and compute taxes.
+    pub fn ship(
+        &self,
+        ctx: &mut AppCtx<'_>,
+        user_id: SymValue,
+        city: SymValue,
+        street: SymValue,
+        fee: SymValue,
+    ) -> Result<(), OrmError> {
+        let _f = weseer_concolic::engine::frame(&ctx.engine, loc!("Ship"));
+
+        // Pre-phase for f7 (pricing reads) and f8 (tax check).
+        let mut pre_pricing: Option<(Option<EntityRef>, EntityRef)> = None;
+        let mut pre_tax_missing: Option<bool> = None;
+        if ctx.fixes.on(Fix::F7) || ctx.fixes.on(Fix::F8) {
+            ctx.session.begin();
+            let cart = self
+                .lookup_cart(ctx, &user_id)?
+                .ok_or_else(|| OrmError::AppAbort("no active cart".into()))?;
+            if ctx.fixes.on(Fix::F7) {
+                pre_pricing = Some(self.read_pricing(ctx, &user_id, &cart)?);
+            }
+            if ctx.fixes.on(Fix::F8) {
+                let cart_id = cart.get("ID");
+                let q = sql("SELECT * FROM TaxDetail td WHERE td.CART_ID = ?");
+                let rs = ctx.session.raw(&q, &[cart_id], loc!("Ship::checkTax"))?;
+                pre_tax_missing = Some(rs.is_empty());
+            }
+            ctx.session.commit(loc!("Ship::prefetch"))?;
+        }
+
+        ctx.session.begin();
+        let customer = ctx
+            .session
+            .find("Customer", &user_id, loc!("Ship::loadCustomer"))?
+            .ok_or_else(|| OrmError::AppAbort("unknown customer".into()))?;
+        let _ = customer;
+        let cart = self
+            .lookup_cart(ctx, &user_id)?
+            .ok_or_else(|| OrmError::AppAbort("no active cart".into()))?;
+        let cart_id = cart.get("ID");
+
+        // Address section (d10, f6): the shipped code scans the customer's
+        // addresses (empty → range lock) and then inserts; the fix inserts
+        // first (flushing eagerly) and scans afterwards.
+        let persist_address = |ctx: &mut AppCtx<'_>| {
+            let id = ctx.gen_id("Address");
+            ctx.session.persist(
+                "Address",
+                vec![
+                    ("ID".into(), id),
+                    ("C_ID".into(), user_id.clone()),
+                    ("CITY".into(), city.clone()),
+                    ("STREET".into(), street.clone()),
+                ],
+                loc!("Ship::saveAddress"),
+            );
+        };
+        let scan_addresses = |ctx: &mut AppCtx<'_>| -> Result<usize, OrmError> {
+            let q = sql("SELECT * FROM Address a WHERE a.C_ID = ?");
+            let rs = ctx.session.raw(&q, &[user_id.clone()], loc!("Ship::scanAddresses"))?;
+            Ok(rs.len())
+        };
+        if ctx.fixes.on(Fix::F6) {
+            persist_address(ctx);
+            ctx.session.flush(loc!("Ship::flushAddress"))?;
+            scan_addresses(ctx)?;
+        } else {
+            scan_addresses(ctx)?;
+            persist_address(ctx);
+        }
+
+        // Pricing section (d11 via f7 — same sites as Add's d7/d8).
+        let (detail, offer) = match pre_pricing {
+            Some(p) => p,
+            None => self.read_pricing(ctx, &user_id, &cart)?,
+        };
+        // Fold the shipping fee into the price detail.
+        if let Some(detail) = &detail {
+            let amount = detail.get("AMOUNT");
+            let new = ctx.engine.borrow_mut().add(&amount, &fee);
+            detail.set(&ctx.engine, "AMOUNT", new, loc!("Ship::addShippingFee"));
+        }
+        self.apply_pricing(ctx, &cart_id, detail, offer)?;
+
+        // Tax section (d12/d13, f8): check-then-insert.
+        let tax_missing = match pre_tax_missing {
+            Some(m) => m,
+            None => {
+                let q = sql("SELECT * FROM TaxDetail td WHERE td.CART_ID = ?");
+                let rs = ctx.session.raw(&q, &[cart_id.clone()], loc!("Ship::checkTax"))?;
+                rs.is_empty()
+            }
+        };
+        if tax_missing {
+            let id = ctx.gen_id("TaxDetail");
+            ctx.session.persist(
+                "TaxDetail",
+                vec![
+                    ("ID".into(), id),
+                    ("CART_ID".into(), cart_id.clone()),
+                    ("AMOUNT".into(), SymValue::concrete(Value::Float(2.5))),
+                ],
+                loc!("Ship::createTax"),
+            );
+        }
+        ctx.session.commit(loc!("Ship"))?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Payment
+    // ------------------------------------------------------------------
+
+    /// The Payment API: record the customer's payment method (UPSERT — no
+    /// deadlock-prone logic, matching Table II where Payment appears in no
+    /// deadlock).
+    pub fn payment(
+        &self,
+        ctx: &mut AppCtx<'_>,
+        user_id: SymValue,
+        method: SymValue,
+        amount: SymValue,
+    ) -> Result<(), OrmError> {
+        let _f = weseer_concolic::engine::frame(&ctx.engine, loc!("Payment"));
+        ctx.session.begin();
+        let id = ctx.gen_id("Payment");
+        ctx.session.upsert(
+            "Payment",
+            vec![
+                ("ID".into(), id),
+                ("C_ID".into(), user_id),
+                ("METHOD".into(), method),
+                ("AMOUNT".into(), amount),
+            ],
+            &["METHOD", "AMOUNT"],
+            loc!("Payment::save"),
+        )?;
+        ctx.session.commit(loc!("Payment"))?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Checkout
+    // ------------------------------------------------------------------
+
+    /// The Checkout API: turn the cart into an order.
+    pub fn checkout(&self, ctx: &mut AppCtx<'_>, user_id: SymValue) -> Result<(), OrmError> {
+        let _f = weseer_concolic::engine::frame(&ctx.engine, loc!("Checkout"));
+        ctx.session.begin();
+        let cart = self
+            .lookup_cart(ctx, &user_id)?
+            .ok_or_else(|| OrmError::AppAbort("no active cart".into()))?;
+        let cart_id = cart.get("ID");
+        let q = sql(
+            "SELECT * FROM CartItem ci JOIN Product p ON p.ID = ci.P_ID \
+             WHERE ci.CART_ID = ?",
+        );
+        let rows = ctx.session.query(&q, &[cart_id], loc!("Checkout::loadItems"))?;
+        if rows.is_empty() {
+            ctx.session.rollback();
+            return Err(OrmError::AppAbort("empty cart".into()));
+        }
+        let order_id = ctx.gen_id("Orders");
+        let mut total = SymValue::concrete(Value::Float(0.0));
+        for row in &rows {
+            let ci = &row["ci"];
+            let price = ci.get("PRICE");
+            total = ctx.engine.borrow_mut().add(&total, &price);
+        }
+        ctx.session.persist(
+            "Orders",
+            vec![
+                ("ID".into(), order_id.clone()),
+                ("C_ID".into(), user_id.clone()),
+                ("TOTAL".into(), total),
+            ],
+            loc!("Checkout::createOrder"),
+        );
+        for row in &rows {
+            let ci = &row["ci"];
+            let oi = ctx.gen_id("OrderItem");
+            ctx.session.persist(
+                "OrderItem",
+                vec![
+                    ("ID".into(), oi),
+                    ("O_ID".into(), order_id.clone()),
+                    ("P_ID".into(), ci.get("P_ID")),
+                    ("QTY".into(), ci.get("QTY")),
+                ],
+                loc!("Checkout::createOrderItem"),
+            );
+        }
+        ctx.session.commit(loc!("Checkout"))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::Fixes;
+    use crate::locks::AppLocks;
+    use weseer_concolic::{shared, ExecMode};
+    use weseer_db::Database;
+
+    fn setup() -> Database {
+        let db = Database::new(Broadleaf::catalog());
+        Broadleaf::seed(&db);
+        db
+    }
+
+    fn ctx<'a>(
+        db: &'a Database,
+        fixes: &'a Fixes,
+        locks: &'a AppLocks,
+    ) -> AppCtx<'a> {
+        let engine = shared(ExecMode::Native);
+        AppCtx::new(db, engine, fixes, locks)
+    }
+
+    #[test]
+    fn register_creates_customer() {
+        let db = setup();
+        let fixes = Fixes::none();
+        let locks = AppLocks::new();
+        let mut c = ctx(&db, &fixes, &locks);
+        let id = Broadleaf
+            .register(
+                &mut c,
+                "alice".into(),
+                "a@example.com".into(),
+                "pw".into(),
+                "pw".into(),
+            )
+            .unwrap();
+        assert_eq!(id.as_int(), Some(1));
+        assert_eq!(db.count("Customer"), 1);
+    }
+
+    #[test]
+    fn register_rejects_password_mismatch() {
+        let db = setup();
+        let fixes = Fixes::none();
+        let locks = AppLocks::new();
+        let mut c = ctx(&db, &fixes, &locks);
+        let r = Broadleaf.register(&mut c, "a".into(), "e".into(), "x".into(), "y".into());
+        assert!(matches!(r, Err(OrmError::AppAbort(_))));
+        assert_eq!(db.count("Customer"), 0);
+    }
+
+    #[test]
+    fn register_duplicate_detected_both_ways() {
+        let db = setup();
+        let locks = AppLocks::new();
+        for fixes in [Fixes::none(), Fixes::all()] {
+            let mut c = ctx(&db, &fixes, &locks);
+            let user = format!("bob-{fixes}");
+            Broadleaf
+                .register(&mut c, user.as_str().into(), "e".into(), "p".into(), "p".into())
+                .unwrap();
+            let mut c = ctx(&db, &fixes, &locks);
+            let r = Broadleaf.register(
+                &mut c,
+                user.as_str().into(),
+                "e".into(),
+                "p".into(),
+                "p".into(),
+            );
+            assert!(r.is_err(), "duplicate must be rejected with fixes={fixes}");
+        }
+    }
+
+    fn full_flow(fixes: &Fixes) {
+        let db = setup();
+        let locks = AppLocks::new();
+        let app = Broadleaf;
+        let mut c = ctx(&db, fixes, &locks);
+        let uid = app
+            .register(&mut c, "carol".into(), "c@x".into(), "p".into(), "p".into())
+            .unwrap();
+        for (pid, n) in [(1i64, 1i64), (2, 2), (1, 1)] {
+            let mut c = ctx(&db, fixes, &locks);
+            app.add_to_cart(&mut c, uid.clone(), pid.into(), n.into()).unwrap();
+        }
+        assert_eq!(db.count("Cart"), 1);
+        assert_eq!(db.count("CartItem"), 2);
+        assert_eq!(db.count("FulfillmentItem"), 3);
+        assert_eq!(db.count("PriceDetail"), 1);
+        // The item added twice accumulated quantity.
+        let items = db.dump("CartItem");
+        let p1 = items.iter().find(|r| r[2] == Value::Int(1)).unwrap();
+        assert_eq!(p1[3], Value::Int(2));
+
+        let mut c = ctx(&db, fixes, &locks);
+        app.ship(&mut c, uid.clone(), "NYC".into(), "5th Ave".into(), Value::Float(5.0).into())
+            .unwrap();
+        assert_eq!(db.count("Address"), 1);
+        assert_eq!(db.count("TaxDetail"), 1);
+
+        let mut c = ctx(&db, fixes, &locks);
+        app.payment(&mut c, uid.clone(), "VISA".into(), Value::Float(55.0).into())
+            .unwrap();
+        assert_eq!(db.count("Payment"), 1);
+
+        let mut c = ctx(&db, fixes, &locks);
+        app.checkout(&mut c, uid.clone()).unwrap();
+        assert_eq!(db.count("Orders"), 1);
+        assert_eq!(db.count("OrderItem"), 2);
+
+        // The shared offer rows tracked usage across the 4 pricing runs
+        // (3 adds + 1 ship).
+        let offers = db.dump("Offer");
+        let total_uses: i64 = offers.iter().map(|r| r[2].as_int().unwrap()).sum();
+        assert_eq!(total_uses, 4);
+    }
+
+    #[test]
+    fn full_flow_without_fixes() {
+        full_flow(&Fixes::none());
+    }
+
+    #[test]
+    fn full_flow_with_all_fixes() {
+        full_flow(&Fixes::all());
+    }
+
+    #[test]
+    fn full_flow_each_fix_disabled() {
+        for fix in Fix::BROADLEAF {
+            full_flow(&Fixes::all_but(fix));
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Mapping raw analyzer reports onto Table II's 18 deadlocks.
+//!
+//! The analyzer emits one report per confirmed SC-graph cycle; the paper's
+//! authors manually grouped those into 18 deadlocks. This module encodes
+//! that grouping for the simulated applications: each report is classified
+//! by its conflict tables, the APIs involved, and (for Shopizer's Product
+//! deadlocks) the triggering code sites and hold/wait statement kinds.
+
+use crate::fixtures::Fix;
+use std::fmt;
+use weseer_analyzer::DeadlockReport;
+
+/// A Table II row (or a known false-positive class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KnownDeadlock {
+    /// d1 — Register/Register on `Customer` (merge-style registration).
+    D1,
+    /// d2 — cart check-then-insert (app-lock protected in production).
+    D2,
+    /// d3, d4 — order-item check-then-insert/update.
+    D3_4,
+    /// d5, d6 — fulfillment items reordered by write-behind.
+    D5_6,
+    /// d7, d8 — Add-side cart pricing.
+    D7_8,
+    /// d9 — Add-vs-Ship cart pricing.
+    D9,
+    /// d10 — address scan-then-insert.
+    D10,
+    /// d11 — Ship-side cart pricing.
+    D11,
+    /// d12, d13 — tax check-then-insert.
+    D12_13,
+    /// d14 — pricing vs pricing read-modify-write on `Product`.
+    D14,
+    /// d15 — pricing vs commit on `Product`.
+    D15,
+    /// d16 — commit vs commit on `Product`.
+    D16,
+    /// d17 — product updates in inconsistent order.
+    D17,
+    /// d18 — commit updates vs product reads in another order.
+    D18,
+    /// Reported cycle on logic protected by application-level
+    /// synchronization (the paper's false-positive class, Sec. V-D).
+    FpAppLocked,
+    /// A cycle not anticipated by the Table II inventory.
+    Unexpected,
+}
+
+impl KnownDeadlock {
+    /// The Table II rows, in order.
+    pub const TABLE2: [KnownDeadlock; 14] = [
+        KnownDeadlock::D1,
+        KnownDeadlock::D2,
+        KnownDeadlock::D3_4,
+        KnownDeadlock::D5_6,
+        KnownDeadlock::D7_8,
+        KnownDeadlock::D9,
+        KnownDeadlock::D10,
+        KnownDeadlock::D11,
+        KnownDeadlock::D12_13,
+        KnownDeadlock::D14,
+        KnownDeadlock::D15,
+        KnownDeadlock::D16,
+        KnownDeadlock::D17,
+        KnownDeadlock::D18,
+    ];
+
+    /// Table II deadlock ids covered by this row ("d3, d4").
+    pub fn ids(&self) -> &'static str {
+        match self {
+            KnownDeadlock::D1 => "d1",
+            KnownDeadlock::D2 => "d2",
+            KnownDeadlock::D3_4 => "d3, d4",
+            KnownDeadlock::D5_6 => "d5, d6",
+            KnownDeadlock::D7_8 => "d7, d8",
+            KnownDeadlock::D9 => "d9",
+            KnownDeadlock::D10 => "d10",
+            KnownDeadlock::D11 => "d11",
+            KnownDeadlock::D12_13 => "d12, d13",
+            KnownDeadlock::D14 => "d14",
+            KnownDeadlock::D15 => "d15",
+            KnownDeadlock::D16 => "d16",
+            KnownDeadlock::D17 => "d17",
+            KnownDeadlock::D18 => "d18",
+            KnownDeadlock::FpAppLocked => "(fp)",
+            KnownDeadlock::Unexpected => "(?)",
+        }
+    }
+
+    /// Number of paper deadlock ids in this row.
+    pub fn id_count(&self) -> usize {
+        match self {
+            KnownDeadlock::D3_4
+            | KnownDeadlock::D5_6
+            | KnownDeadlock::D7_8
+            | KnownDeadlock::D12_13 => 2,
+            KnownDeadlock::FpAppLocked | KnownDeadlock::Unexpected => 0,
+            _ => 1,
+        }
+    }
+
+    /// The application owning the row.
+    pub fn app(&self) -> &'static str {
+        match self {
+            KnownDeadlock::D14
+            | KnownDeadlock::D15
+            | KnownDeadlock::D16
+            | KnownDeadlock::D17
+            | KnownDeadlock::D18 => "shopizer",
+            KnownDeadlock::FpAppLocked | KnownDeadlock::Unexpected => "-",
+            _ => "broadleaf",
+        }
+    }
+
+    /// The fixing approach (Table II).
+    pub fn fix(&self) -> Option<Fix> {
+        Some(match self {
+            KnownDeadlock::D1 => Fix::F1,
+            KnownDeadlock::D2 => Fix::F2,
+            KnownDeadlock::D3_4 => Fix::F3,
+            KnownDeadlock::D5_6 => Fix::F4,
+            KnownDeadlock::D7_8 | KnownDeadlock::D9 => Fix::F5,
+            KnownDeadlock::D10 => Fix::F6,
+            KnownDeadlock::D11 => Fix::F7,
+            KnownDeadlock::D12_13 => Fix::F8,
+            KnownDeadlock::D14 | KnownDeadlock::D15 | KnownDeadlock::D16 => Fix::F9,
+            KnownDeadlock::D17 => Fix::F10,
+            KnownDeadlock::D18 => Fix::F11,
+            _ => return None,
+        })
+    }
+
+    /// Table II's transaction description.
+    pub fn description(&self) -> &'static str {
+        match self {
+            KnownDeadlock::D1 => "Create a new user",
+            KnownDeadlock::D2 => "App-level locks protecting cart",
+            KnownDeadlock::D3_4 => "Create a new order item",
+            KnownDeadlock::D5_6 => "Create order and fulfillment items",
+            KnownDeadlock::D7_8 | KnownDeadlock::D9 | KnownDeadlock::D11 => {
+                "Calculate shopping cart's price"
+            }
+            KnownDeadlock::D10 => "Create address information",
+            KnownDeadlock::D12_13 => "Calculate shopping cart's price",
+            KnownDeadlock::D14 => "Price the order's products",
+            KnownDeadlock::D15 => "Price/Commit the order's products",
+            KnownDeadlock::D16 => "Commit the order's products",
+            KnownDeadlock::D17 => "Commit/Price the order's products",
+            KnownDeadlock::D18 => "Commit/Read the cart's products",
+            KnownDeadlock::FpAppLocked => "App-level synchronization prevents this at runtime",
+            KnownDeadlock::Unexpected => "Not in the Table II inventory",
+        }
+    }
+}
+
+impl fmt::Display for KnownDeadlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.ids())
+    }
+}
+
+fn is_add(api: &str) -> bool {
+    api.starts_with("Add")
+}
+
+/// Classify one report from the given application.
+pub fn classify(app: &str, report: &DeadlockReport) -> KnownDeadlock {
+    let tables = report.tables();
+    let has = |t: &str| tables.iter().any(|x| x == t);
+    let a = report.cycle.a_api.as_str();
+    let b = report.cycle.b_api.as_str();
+    match app {
+        "broadleaf" => {
+            if has("Customer") && a == "Register" && b == "Register" {
+                return KnownDeadlock::D1;
+            }
+            // Pricing cycles take precedence: mixed pricing/cart cycles are
+            // instances of the pricing pattern (f5/f7 remove them by
+            // separating the pricing reads).
+            if has("PriceDetail") || has("Offer") {
+                return match (is_add(a), is_add(b), a, b) {
+                    (true, true, _, _) => KnownDeadlock::D7_8,
+                    (true, _, _, "Ship") | (_, true, "Ship", _) => KnownDeadlock::D9,
+                    (_, _, "Ship", "Ship") => KnownDeadlock::D11,
+                    _ => KnownDeadlock::Unexpected,
+                };
+            }
+            if has("Cart") || has("CartItem") {
+                if a == "Checkout" || b == "Checkout" {
+                    return KnownDeadlock::FpAppLocked;
+                }
+                if has("Cart") && is_add(a) && is_add(b) {
+                    return KnownDeadlock::D2;
+                }
+                if has("CartItem") && is_add(a) && is_add(b) {
+                    return KnownDeadlock::D3_4;
+                }
+                return KnownDeadlock::Unexpected;
+            }
+            if has("FulfillmentItem") {
+                return KnownDeadlock::D5_6;
+            }
+            if has("Address") && a == "Ship" && b == "Ship" {
+                return KnownDeadlock::D10;
+            }
+            if has("TaxDetail") && a == "Ship" && b == "Ship" {
+                return KnownDeadlock::D12_13;
+            }
+            KnownDeadlock::Unexpected
+        }
+        "shopizer" => {
+            if !has("Product") {
+                // Cart/address/order logic: session-affine in production.
+                return KnownDeadlock::FpAppLocked;
+            }
+            // statements: [a_hold, a_wait, b_hold, b_wait]
+            let kind = |i: usize| -> char {
+                let sql = &report.statements[i].sql;
+                if sql.starts_with("UPDATE") || sql.starts_with("INSERT") || sql.starts_with("DELETE")
+                {
+                    'W'
+                } else {
+                    'R'
+                }
+            };
+            let trig = |i: usize| -> &str {
+                report.statements[i]
+                    .trigger
+                    .top()
+                    .map(|l| l.function)
+                    .unwrap_or("")
+            };
+            let (ah, aw, bh, bw) = (kind(0), kind(1), kind(2), kind(3));
+            // One side only reads: commit updates vs cart-product reads.
+            if (ah == 'R' && aw == 'R') || (bh == 'R' && bw == 'R') {
+                return KnownDeadlock::D18;
+            }
+            // Both sides hold an update: ordering deadlock.
+            if ah == 'W' && bh == 'W' {
+                return KnownDeadlock::D17;
+            }
+            // Read-modify-write cycles: split by the waiting statements'
+            // triggering sites.
+            let a_commit = trig(1).contains("commitOrder");
+            let b_commit = trig(3).contains("commitOrder");
+            match (a_commit, b_commit) {
+                (false, false) => KnownDeadlock::D14,
+                (true, true) => KnownDeadlock::D16,
+                _ => KnownDeadlock::D15,
+            }
+        }
+        _ => KnownDeadlock::Unexpected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_metadata_consistent() {
+        // 14 rows covering the 18 paper deadlocks.
+        let total: usize = KnownDeadlock::TABLE2.iter().map(|k| k.id_count()).sum();
+        assert_eq!(total, 18);
+        for k in KnownDeadlock::TABLE2 {
+            assert!(k.fix().is_some(), "{k} must map to a fix");
+            assert!(!k.description().is_empty());
+            assert_ne!(k.app(), "-");
+        }
+        assert!(KnownDeadlock::FpAppLocked.fix().is_none());
+    }
+
+    #[test]
+    fn broadleaf_rows_use_broadleaf_fixes() {
+        for k in KnownDeadlock::TABLE2 {
+            let fix = k.fix().unwrap();
+            if k.app() == "broadleaf" {
+                assert!(Fix::BROADLEAF.contains(&fix), "{k} → {fix}");
+            } else {
+                assert!(Fix::SHOPIZER.contains(&fix), "{k} → {fix}");
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Per-API execution context shared by the simulated applications.
+
+use crate::fixtures::Fixes;
+use crate::locks::AppLocks;
+use weseer_concolic::{EngineRef, SymValue};
+use weseer_db::Database;
+use weseer_orm::OrmSession;
+use weseer_sqlir::{parser, Statement, Value};
+
+/// Everything one API invocation needs: the concolic engine, an ORM
+/// session over a fresh database connection, the fix configuration, and
+/// the application-level lock registry.
+pub struct AppCtx<'a> {
+    /// Concolic engine handle (shared with session and driver).
+    pub engine: EngineRef,
+    /// ORM session for this request (session-per-request, like the apps).
+    pub session: OrmSession<weseer_db::Session>,
+    /// The database (identifier generation).
+    pub db: &'a Database,
+    /// Enabled fixes.
+    pub fixes: &'a Fixes,
+    /// Application-level locks.
+    pub locks: &'a AppLocks,
+}
+
+impl<'a> AppCtx<'a> {
+    /// Open a context with a fresh session.
+    pub fn new(
+        db: &'a Database,
+        engine: EngineRef,
+        fixes: &'a Fixes,
+        locks: &'a AppLocks,
+    ) -> Self {
+        let session = OrmSession::new(engine.clone(), db.session(), db.catalog().clone());
+        AppCtx { engine, session, db, fixes, locks }
+    }
+
+    /// Draw a fresh identifier from `table`'s sequence, tagged as unique
+    /// for the analyzer.
+    pub fn gen_id(&mut self, table: &str) -> SymValue {
+        let v = self.db.next_id(table);
+        self.engine.borrow_mut().make_unique_id(table, Value::Int(v))
+    }
+}
+
+/// Parse a statement in the supported SQL subset.
+///
+/// # Panics
+/// Panics on syntax errors — application SQL is compiled in.
+pub fn sql(text: &str) -> Statement {
+    parser::parse(text).unwrap_or_else(|e| panic!("bad app SQL {text:?}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_parses_subset() {
+        let s = sql("SELECT * FROM Cart c WHERE c.C_ID = ?");
+        assert_eq!(s.tables(), vec!["Cart"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad app SQL")]
+    fn sql_panics_on_garbage() {
+        let _ = sql("SELEKT");
+    }
+}

@@ -1,0 +1,196 @@
+//! Fix toggles f1–f11 (paper Table II).
+//!
+//! Each fix is an application-side change that removes one or more of the
+//! 18 deadlocks. The performance evaluation (Figs. 10/11) runs the apps
+//! with all fixes enabled, all disabled, and each fix disabled in turn.
+
+use std::fmt;
+
+/// The application-level fixes of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Fix {
+    /// Use the correct ORM operation (`persist`, not `merge`) — d1.
+    F1,
+    /// Use MySQL's UPSERT mechanism for check-then-write logic — d2.
+    F2,
+    /// Separate the item-attribute SELECT from the transaction — d3, d4.
+    F3,
+    /// Move the ORM flush forward (fulfillment items) — d5, d6.
+    F4,
+    /// Separate the cart-pricing SELECT from the transaction — d7, d8, d9.
+    F5,
+    /// Reorder SQL statements (insert address before scanning) — d10.
+    F6,
+    /// Separate the offer/pricing SELECT from the transaction — d11.
+    F7,
+    /// Separate the tax SELECT from the transaction — d12, d13.
+    F8,
+    /// Force serial execution of product pricing/commit with app-level
+    /// locks — d14, d15, d16.
+    F9,
+    /// Update products in a canonical (sorted) order — d17.
+    F10,
+    /// Read the cart's products in the same canonical order — d18.
+    F11,
+}
+
+impl Fix {
+    /// All fixes, in order.
+    pub const ALL: [Fix; 11] = [
+        Fix::F1,
+        Fix::F2,
+        Fix::F3,
+        Fix::F4,
+        Fix::F5,
+        Fix::F6,
+        Fix::F7,
+        Fix::F8,
+        Fix::F9,
+        Fix::F10,
+        Fix::F11,
+    ];
+
+    /// Fixes applying to Broadleaf (f1–f8).
+    pub const BROADLEAF: [Fix; 8] = [
+        Fix::F1,
+        Fix::F2,
+        Fix::F3,
+        Fix::F4,
+        Fix::F5,
+        Fix::F6,
+        Fix::F7,
+        Fix::F8,
+    ];
+
+    /// Fixes applying to Shopizer (f9–f11).
+    pub const SHOPIZER: [Fix; 3] = [Fix::F9, Fix::F10, Fix::F11];
+
+    /// Table II's description of the fixing approach.
+    pub fn description(&self) -> &'static str {
+        match self {
+            Fix::F1 => "Use correct ORM operation",
+            Fix::F2 => "Use MySQL UPSERT mechanism",
+            Fix::F3 => "Separate SELECT from original transaction",
+            Fix::F4 => "Move forward ORM flush",
+            Fix::F5 => "Separate SELECT from original transaction",
+            Fix::F6 => "Reorder SQL statements",
+            Fix::F7 => "Separate SELECT from original transaction",
+            Fix::F8 => "Separate SELECT from original transaction",
+            Fix::F9 => "Force serial execution with app-level locks",
+            Fix::F10 => "Ensure the same locking order",
+            Fix::F11 => "Ensure the same locking order",
+        }
+    }
+
+    /// Short label (`f1`, …).
+    pub fn label(&self) -> String {
+        format!("f{}", (*self as usize) + 1)
+    }
+}
+
+impl fmt::Display for Fix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// An enabled-fix set.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Fixes {
+    enabled: u16,
+}
+
+impl Fixes {
+    /// No fixes (the shipped, deadlock-prone applications).
+    pub fn none() -> Fixes {
+        Fixes::default()
+    }
+
+    /// Every fix.
+    pub fn all() -> Fixes {
+        let mut f = Fixes::default();
+        for fix in Fix::ALL {
+            f.enable(fix);
+        }
+        f
+    }
+
+    /// Every fix except one (the Fig. 10/11 "disable fk" configurations).
+    pub fn all_but(fix: Fix) -> Fixes {
+        let mut f = Fixes::all();
+        f.disable(fix);
+        f
+    }
+
+    /// Enable one fix.
+    pub fn enable(&mut self, fix: Fix) {
+        self.enabled |= 1 << (fix as u16);
+    }
+
+    /// Disable one fix.
+    pub fn disable(&mut self, fix: Fix) {
+        self.enabled &= !(1 << (fix as u16));
+    }
+
+    /// Whether a fix is on.
+    pub fn on(&self, fix: Fix) -> bool {
+        self.enabled & (1 << (fix as u16)) != 0
+    }
+
+    /// Enabled fixes in order.
+    pub fn list(&self) -> Vec<Fix> {
+        Fix::ALL.into_iter().filter(|f| self.on(*f)).collect()
+    }
+}
+
+impl fmt::Display for Fixes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let list = self.list();
+        if list.is_empty() {
+            return write!(f, "none");
+        }
+        if list.len() == Fix::ALL.len() {
+            return write!(f, "all");
+        }
+        let labels: Vec<String> = list.iter().map(|x| x.label()).collect();
+        write!(f, "{}", labels.join("+"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toggling() {
+        let mut f = Fixes::none();
+        assert!(!f.on(Fix::F2));
+        f.enable(Fix::F2);
+        assert!(f.on(Fix::F2));
+        f.disable(Fix::F2);
+        assert!(!f.on(Fix::F2));
+    }
+
+    #[test]
+    fn all_and_all_but() {
+        let f = Fixes::all();
+        assert!(Fix::ALL.iter().all(|x| f.on(*x)));
+        let f = Fixes::all_but(Fix::F5);
+        assert!(!f.on(Fix::F5));
+        assert!(f.on(Fix::F4));
+        assert_eq!(f.list().len(), 10);
+    }
+
+    #[test]
+    fn labels_match_table_ii() {
+        assert_eq!(Fix::F1.label(), "f1");
+        assert_eq!(Fix::F11.label(), "f11");
+        assert_eq!(Fix::F9.description(), "Force serial execution with app-level locks");
+        assert_eq!(Fixes::all().to_string(), "all");
+        assert_eq!(Fixes::none().to_string(), "none");
+        let mut f = Fixes::none();
+        f.enable(Fix::F1);
+        f.enable(Fix::F3);
+        assert_eq!(f.to_string(), "f1+f3");
+    }
+}

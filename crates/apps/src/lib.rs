@@ -1,0 +1,28 @@
+//! # weseer-apps
+//!
+//! Simulated versions of the two e-commerce applications the paper
+//! evaluates — **Broadleaf** (190K LoC) and **Shopizer** (92K LoC) —
+//! written against the `weseer-orm`/`weseer-concolic` runtime so their
+//! transaction logic can be traced concolically, analyzed for deadlocks,
+//! and driven by the multi-threaded performance harness.
+//!
+//! The applications carry exactly the deadlock-prone patterns of paper
+//! Table II (d1–d18) behind fix toggles f1–f11, plus the Table I API set
+//! (Register, Add×3, Ship, Payment, Checkout).
+
+pub mod app;
+pub mod broadleaf;
+pub mod classify;
+pub mod ctx;
+pub mod fixtures;
+pub mod locks;
+pub mod shopizer;
+pub mod workload;
+
+pub use app::ECommerceApp;
+pub use broadleaf::Broadleaf;
+pub use classify::{classify, KnownDeadlock};
+pub use ctx::AppCtx;
+pub use fixtures::{Fix, Fixes};
+pub use locks::AppLocks;
+pub use shopizer::Shopizer;

@@ -1,0 +1,91 @@
+//! Application-level locks.
+//!
+//! Real web applications guard critical sections with ad-hoc, application-
+//! side synchronization (Tang et al., cited as [5] in the paper). WeSEER
+//! does not model these — they are its main source of false positives
+//! (Sec. V-D) — but the performance harness must honor them: fix f9 forces
+//! serial execution of Shopizer's product pricing/commit with exactly such
+//! a lock.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A registry of named application-level locks, shared across client
+/// threads.
+#[derive(Debug, Default, Clone)]
+pub struct AppLocks {
+    inner: Arc<Mutex<HashMap<String, Arc<Mutex<()>>>>>,
+}
+
+/// A held application-level lock.
+pub struct AppLockGuard {
+    _mutex: Arc<Mutex<()>>,
+}
+
+impl AppLocks {
+    /// New empty registry.
+    pub fn new() -> Self {
+        AppLocks::default()
+    }
+
+    /// Acquire the named lock, blocking until available.
+    pub fn lock(&self, name: &str) -> AppLockGuard {
+        let mutex = {
+            let mut map = self.inner.lock();
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Mutex::new(())))
+                .clone()
+        };
+        // Hold the mutex for the guard's lifetime by leaking the guard
+        // into the Arc: we forget the MutexGuard and unlock manually.
+        std::mem::forget(mutex.lock());
+        AppLockGuard { _mutex: mutex }
+    }
+}
+
+impl Drop for AppLockGuard {
+    fn drop(&mut self) {
+        // Safety: we forgot exactly one guard in `lock`, so the mutex is
+        // held by this logical owner.
+        unsafe { self._mutex.force_unlock() };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn serializes_critical_sections() {
+        let locks = AppLocks::new();
+        let l2 = locks.clone();
+        let g = locks.lock("pricing");
+        let start = Instant::now();
+        let h = thread::spawn(move || {
+            let _g = l2.lock("pricing");
+            Instant::now()
+        });
+        thread::sleep(Duration::from_millis(80));
+        drop(g);
+        let acquired_at = h.join().unwrap();
+        assert!(acquired_at.duration_since(start) >= Duration::from_millis(60));
+    }
+
+    #[test]
+    fn different_names_are_independent() {
+        let locks = AppLocks::new();
+        let _a = locks.lock("a");
+        let _b = locks.lock("b"); // must not block
+    }
+
+    #[test]
+    fn reacquire_after_drop() {
+        let locks = AppLocks::new();
+        drop(locks.lock("x"));
+        drop(locks.lock("x"));
+        let _g = locks.lock("x");
+    }
+}

@@ -1,0 +1,589 @@
+//! Simulated **Shopizer** e-commerce application (paper Sec. VII-B:
+//! Shopizer 2.12.0, 92K LoC, deadlocks d14–d18).
+//!
+//! All Shopizer deadlocks live on the `Product` table (paper Sec. VII-C2):
+//!
+//! | id | shape | fix |
+//! |----|-------|-----|
+//! | d14 | Ship–Ship read-modify-write while pricing | f9 app-level lock |
+//! | d15 | pricing vs. commit read-modify-write | f9 |
+//! | d16 | Checkout–Checkout commit read-modify-write | f9 |
+//! | d17 | multi-product updates in inconsistent order | f10 sorted updates |
+//! | d18 | commit updates vs. per-product reads in another order | f11 sorted reads |
+//!
+//! Product loading uses per-row point SELECTs (the ORM's lazy N+1
+//! pattern), so access *order* is visible in the trace — which is what
+//! makes d17/d18 orderings analyzable, and what lets the fine-grained
+//! phase prove the sorted (fixed) variants deadlock-free via the recorded
+//! comparison path conditions.
+
+use crate::ctx::{sql, AppCtx};
+use crate::fixtures::Fix;
+use crate::locks::AppLockGuard;
+use weseer_concolic::{loc, CodeLoc, EngineRef, SymValue};
+use weseer_orm::{EntityRef, OrmError};
+use weseer_sqlir::{Catalog, CmpOp, ColType, TableBuilder, Value};
+
+/// The simulated Shopizer application.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Shopizer;
+
+impl Shopizer {
+    /// The database schema.
+    pub fn catalog() -> Catalog {
+        Catalog::new(vec![
+            TableBuilder::new("Customer")
+                .col("ID", ColType::Int)
+                .col("USERNAME", ColType::Str)
+                .col("EMAIL", ColType::Str)
+                .col("PASSWORD", ColType::Str)
+                .primary_key(&["ID"])
+                .unique_index("uq_customer_username", &["USERNAME"])
+                .build()
+                .unwrap(),
+            TableBuilder::new("Cart")
+                .col("ID", ColType::Int)
+                .col("C_ID", ColType::Int)
+                .col("STATUS", ColType::Str)
+                .primary_key(&["ID"])
+                .unique_index("uq_cart_c_id", &["C_ID"])
+                .build()
+                .unwrap(),
+            TableBuilder::new("CartItem")
+                .col("ID", ColType::Int)
+                .col("CART_ID", ColType::Int)
+                .col("P_ID", ColType::Int)
+                .col("QTY", ColType::Int)
+                .primary_key(&["ID"])
+                .unique_index("uq_cartitem_cart_product", &["CART_ID", "P_ID"])
+                .foreign_key("P_ID", "Product", "ID")
+                .build()
+                .unwrap(),
+            TableBuilder::new("Address")
+                .col("ID", ColType::Int)
+                .col("C_ID", ColType::Int)
+                .col("CITY", ColType::Str)
+                .primary_key(&["ID"])
+                .unique_index("uq_address_c_id", &["C_ID"])
+                .build()
+                .unwrap(),
+            TableBuilder::new("Product")
+                .col("ID", ColType::Int)
+                .col("NAME", ColType::Str)
+                .col("QTY", ColType::Int)
+                .col("PRICE", ColType::Float)
+                .col("PRICED", ColType::Int)
+                .primary_key(&["ID"])
+                .build()
+                .unwrap(),
+            TableBuilder::new("Orders")
+                .col("ID", ColType::Int)
+                .col("C_ID", ColType::Int)
+                .col("TOTAL", ColType::Float)
+                .primary_key(&["ID"])
+                .foreign_key("C_ID", "Customer", "ID")
+                .build()
+                .unwrap(),
+            TableBuilder::new("OrderItem")
+                .col("ID", ColType::Int)
+                .col("O_ID", ColType::Int)
+                .col("P_ID", ColType::Int)
+                .col("QTY", ColType::Int)
+                .primary_key(&["ID"])
+                .foreign_key("O_ID", "Orders", "ID")
+                .build()
+                .unwrap(),
+        ])
+        .unwrap()
+    }
+
+    /// Seed products.
+    pub fn seed(db: &weseer_db::Database) {
+        let products = (1..=10)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::str(format!("sku-{i}")),
+                    Value::Int(100_000),
+                    Value::Float(19.0),
+                    Value::Int(0),
+                ]
+            })
+            .collect();
+        db.seed("Product", products);
+        db.bump_id("Product", 10);
+    }
+
+    // ------------------------------------------------------------------
+    // Register
+    // ------------------------------------------------------------------
+
+    /// Register a customer (INSERT-only — Shopizer has no Register
+    /// deadlock in Table II). A cart is created eagerly with the account.
+    pub fn register(
+        &self,
+        ctx: &mut AppCtx<'_>,
+        username: SymValue,
+        email: SymValue,
+        password: SymValue,
+        confirm: SymValue,
+    ) -> Result<SymValue, OrmError> {
+        let _f = weseer_concolic::engine::frame(&ctx.engine, loc!("Register"));
+        let ok = {
+            let mut e = ctx.engine.borrow_mut();
+            let c = weseer_concolic::builtins::string_equals(&mut e, &password, &confirm);
+            e.branch(&c, loc!("Register"))
+        };
+        if !ok {
+            return Err(OrmError::AppAbort("password confirmation mismatch".into()));
+        }
+        ctx.session.begin();
+        let id = ctx.gen_id("Customer");
+        ctx.session.persist(
+            "Customer",
+            vec![
+                ("ID".into(), id.clone()),
+                ("USERNAME".into(), username),
+                ("EMAIL".into(), email),
+                ("PASSWORD".into(), password),
+            ],
+            loc!("Register::save"),
+        );
+        let cart_id = ctx.gen_id("Cart");
+        ctx.session.persist(
+            "Cart",
+            vec![
+                ("ID".into(), cart_id),
+                ("C_ID".into(), id.clone()),
+                ("STATUS".into(), SymValue::concrete("ACTIVE")),
+            ],
+            loc!("Register::createCart"),
+        );
+        ctx.session.commit(loc!("Register"))?;
+        Ok(id)
+    }
+
+    // ------------------------------------------------------------------
+    // Add
+    // ------------------------------------------------------------------
+
+    /// Add a product to the cart. Product reads happen per row (N+1
+    /// lazy loading) — participating in d18 as the "read" side.
+    pub fn add_to_cart(
+        &self,
+        ctx: &mut AppCtx<'_>,
+        user_id: SymValue,
+        product_id: SymValue,
+        qty: SymValue,
+    ) -> Result<(), OrmError> {
+        let _f = weseer_concolic::engine::frame(&ctx.engine, loc!("Add"));
+        // Add reads shared product rows while holding cart-item locks, so
+        // f9's per-product serialization covers it alongside Ship and
+        // Checkout.
+        let _serial = self.f9_product_locks(ctx, &user_id, product_id.as_int())?;
+        ctx.session.begin();
+        let cart = self.lookup_cart(ctx, &user_id)?;
+        let cart_id = cart.get("ID");
+
+        // Validate the product (point read).
+        let product = ctx
+            .session
+            .find("Product", &product_id, loc!("Add::readProduct"))?
+            .ok_or_else(|| OrmError::AppAbort("unknown product".into()))?;
+        let _price = product.get("PRICE");
+
+        // Put the item in the cart (UPSERT — Shopizer has no d2-style
+        // check-then-insert deadlock in Table II).
+        let item_id = ctx.gen_id("CartItem");
+        ctx.session.upsert(
+            "CartItem",
+            vec![
+                ("ID".into(), item_id),
+                ("CART_ID".into(), cart_id.clone()),
+                ("P_ID".into(), product_id.clone()),
+                ("QTY".into(), qty.clone()),
+            ],
+            &["QTY"],
+            loc!("Add::saveItem"),
+        )?;
+
+        // Recompute the cart summary: read every product of the cart,
+        // one point SELECT per row (d18's read side; f11 sorts them).
+        let items = self.load_items(ctx, &cart_id, loc!("Add::loadItems"))?;
+        let items = self.maybe_sorted(ctx, items, ctx.fixes.on(Fix::F11), loc!("Add::sortReads"));
+        for item in &items {
+            let pid = item.get("P_ID");
+            let p = ctx
+                .session
+                .find("Product", &pid, loc!("Add::readCartProducts"))?
+                .ok_or_else(|| OrmError::AppAbort("dangling cart item".into()))?;
+            let _subtotal = p.get("PRICE");
+        }
+        ctx.session.commit(loc!("Add"))?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Ship
+    // ------------------------------------------------------------------
+
+    /// Record the shipping address and price the order's products
+    /// (d14's read-modify-write on shared product rows).
+    pub fn ship(
+        &self,
+        ctx: &mut AppCtx<'_>,
+        user_id: SymValue,
+        city: SymValue,
+    ) -> Result<(), OrmError> {
+        let _f = weseer_concolic::engine::frame(&ctx.engine, loc!("Ship"));
+        let _serial = self.f9_product_locks(ctx, &user_id, None)?;
+        ctx.session.begin();
+        let cart = self.lookup_cart(ctx, &user_id)?;
+        let cart_id = cart.get("ID");
+
+        let addr_id = ctx.gen_id("Address");
+        ctx.session.upsert(
+            "Address",
+            vec![
+                ("ID".into(), addr_id),
+                ("C_ID".into(), user_id.clone()),
+                ("CITY".into(), city),
+            ],
+            &["CITY"],
+            loc!("Ship::saveAddress"),
+        )?;
+
+        self.price_products(ctx, &cart_id)?;
+        ctx.session.commit(loc!("Ship"))?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Checkout
+    // ------------------------------------------------------------------
+
+    /// Checkout: price the products once more, then commit the order —
+    /// decrementing product stock (d15–d18's write side).
+    pub fn checkout(&self, ctx: &mut AppCtx<'_>, user_id: SymValue) -> Result<(), OrmError> {
+        let _f = weseer_concolic::engine::frame(&ctx.engine, loc!("Checkout"));
+        let _serial = self.f9_product_locks(ctx, &user_id, None)?;
+        ctx.session.begin();
+        let cart = self.lookup_cart(ctx, &user_id)?;
+        let cart_id = cart.get("ID");
+
+        // Price the order's products (same routine as Ship — d15 pairs a
+        // pricing side with a commit side).
+        let items = self.price_products(ctx, &cart_id)?;
+
+        // Commit the order: stock decrement per product, in cart order
+        // unless f10 sorts.
+        let items =
+            self.maybe_sorted(ctx, items, ctx.fixes.on(Fix::F10), loc!("Checkout::sortUpdates"));
+        let order_id = ctx.gen_id("Orders");
+        let mut total = SymValue::concrete(Value::Float(0.0));
+        for item in &items {
+            let pid = item.get("P_ID");
+            let wanted = item.get("QTY");
+            let p = ctx
+                .session
+                .find("Product", &pid, loc!("Checkout::commitOrder"))?
+                .ok_or_else(|| OrmError::AppAbort("dangling cart item".into()))?;
+            let stock = p.get("QTY");
+            let enough = {
+                let mut e = ctx.engine.borrow_mut();
+                let c = e.cmp(CmpOp::Ge, &stock, &wanted);
+                e.branch(&c, loc!("Checkout::commitOrder"))
+            };
+            if !enough {
+                ctx.session.rollback();
+                return Err(OrmError::AppAbort("no enough products".into()));
+            }
+            let rest = ctx.engine.borrow_mut().sub(&stock, &wanted);
+            p.set(&ctx.engine, "QTY", rest, loc!("Checkout::commitOrder"));
+            let price = p.get("PRICE");
+            total = ctx.engine.borrow_mut().add(&total, &price);
+            let oi = ctx.gen_id("OrderItem");
+            ctx.session.persist(
+                "OrderItem",
+                vec![
+                    ("ID".into(), oi),
+                    ("O_ID".into(), order_id.clone()),
+                    ("P_ID".into(), pid),
+                    ("QTY".into(), wanted),
+                ],
+                loc!("Checkout::createOrderItem"),
+            );
+        }
+        ctx.session.persist(
+            "Orders",
+            vec![
+                ("ID".into(), order_id.clone()),
+                ("C_ID".into(), user_id.clone()),
+                ("TOTAL".into(), total),
+            ],
+            loc!("Checkout::createOrder"),
+        );
+        ctx.session.commit(loc!("Checkout"))?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // shared pieces
+    // ------------------------------------------------------------------
+
+    /// Fix f9: acquire sorted per-product application locks *before* the
+    /// transaction starts (the product set is read in a short committed
+    /// pre-transaction; each client is one customer, so its own cart is
+    /// stable). Holding no database locks while blocking on application
+    /// locks — and acquiring them in sorted order — rules out hybrid
+    /// app/database deadlocks while serializing conflicting product
+    /// sections.
+    fn f9_product_locks(
+        &self,
+        ctx: &mut AppCtx<'_>,
+        user_id: &SymValue,
+        extra_product: Option<i64>,
+    ) -> Result<Vec<AppLockGuard>, OrmError> {
+        if !ctx.fixes.on(Fix::F9) {
+            return Ok(Vec::new());
+        }
+        ctx.session.begin();
+        let mut ids: Vec<i64> = Vec::new();
+        let q = sql("SELECT * FROM Cart c WHERE c.C_ID = ?");
+        let carts = ctx.session.raw(&q, &[user_id.clone()], loc!("f9::readCart"))?;
+        if let Some(cart) = carts.rows.first() {
+            let cart_id = cart.get("c.ID").cloned().unwrap_or(SymValue::concrete(0i64));
+            let q = sql("SELECT * FROM CartItem ci WHERE ci.CART_ID = ?");
+            let items = ctx.session.raw(&q, &[cart_id], loc!("f9::readItems"))?;
+            for row in &items.rows {
+                if let Some(pid) = row.get("ci.P_ID").and_then(|v| v.as_int()) {
+                    ids.push(pid);
+                }
+            }
+        }
+        ctx.session.commit(loc!("f9::prefetch"))?;
+        if let Some(extra) = extra_product {
+            ids.push(extra);
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        Ok(ids
+            .into_iter()
+            .map(|id| ctx.locks.lock(&format!("shopizer.product.{id}")))
+            .collect())
+    }
+
+    fn lookup_cart(
+        &self,
+        ctx: &mut AppCtx<'_>,
+        user_id: &SymValue,
+    ) -> Result<EntityRef, OrmError> {
+        let q = sql("SELECT * FROM Cart c WHERE c.C_ID = ?");
+        let rows = ctx.session.query(&q, &[user_id.clone()], loc!("lookupCart"))?;
+        rows.first()
+            .map(|r| r["c"].clone())
+            .ok_or_else(|| OrmError::AppAbort("no cart for customer".into()))
+    }
+
+    fn load_items(
+        &self,
+        ctx: &mut AppCtx<'_>,
+        cart_id: &SymValue,
+        loc: CodeLoc,
+    ) -> Result<Vec<EntityRef>, OrmError> {
+        let q = sql("SELECT * FROM CartItem ci WHERE ci.CART_ID = ?");
+        let rows = ctx.session.query(&q, &[cart_id.clone()], loc)?;
+        Ok(rows.iter().map(|r| r["ci"].clone()).collect())
+    }
+
+    /// Optionally sort items by product id with *recorded* comparisons —
+    /// the f10/f11 "same locking order" fixes. The comparison branches
+    /// land in the path conditions, which is precisely what lets the
+    /// fine-grained analyzer prove the sorted variant free of ordering
+    /// deadlocks.
+    fn maybe_sorted(
+        &self,
+        ctx: &mut AppCtx<'_>,
+        mut items: Vec<EntityRef>,
+        sorted: bool,
+        loc: CodeLoc,
+    ) -> Vec<EntityRef> {
+        if !sorted {
+            return items;
+        }
+        let engine: EngineRef = ctx.engine.clone();
+        for i in 1..items.len() {
+            let mut j = i;
+            while j > 0 {
+                let a = items[j - 1].get("P_ID");
+                let b = items[j].get("P_ID");
+                let out_of_order = {
+                    let mut e = engine.borrow_mut();
+                    let c = e.cmp(CmpOp::Gt, &a, &b);
+                    e.branch(&c, loc)
+                };
+                if out_of_order {
+                    items.swap(j - 1, j);
+                    j -= 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        items
+    }
+
+    /// The pricing routine shared by Ship and Checkout: read each product
+    /// of the cart and bump its `PRICED` counter (read-modify-write of
+    /// shared rows — d14/d15/d16).
+    fn price_products(
+        &self,
+        ctx: &mut AppCtx<'_>,
+        cart_id: &SymValue,
+    ) -> Result<Vec<EntityRef>, OrmError> {
+        let items = self.load_items(ctx, cart_id, loc!("priceProducts::loadItems"))?;
+        let ordered = self.maybe_sorted(
+            ctx,
+            items.clone(),
+            ctx.fixes.on(Fix::F10),
+            loc!("priceProducts::sortUpdates"),
+        );
+        for item in &ordered {
+            let pid = item.get("P_ID");
+            let p = ctx
+                .session
+                .find("Product", &pid, loc!("priceProducts"))?
+                .ok_or_else(|| OrmError::AppAbort("dangling cart item".into()))?;
+            let priced = p.get("PRICED");
+            let one = SymValue::concrete(1i64);
+            let bumped = ctx.engine.borrow_mut().add(&priced, &one);
+            p.set(&ctx.engine, "PRICED", bumped, loc!("priceProducts"));
+        }
+        Ok(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::Fixes;
+    use crate::locks::AppLocks;
+    use weseer_concolic::{shared, ExecMode};
+    use weseer_db::Database;
+
+    fn setup() -> Database {
+        let db = Database::new(Shopizer::catalog());
+        Shopizer::seed(&db);
+        db
+    }
+
+    fn ctx<'a>(db: &'a Database, fixes: &'a Fixes, locks: &'a AppLocks) -> AppCtx<'a> {
+        AppCtx::new(db, shared(ExecMode::Native), fixes, locks)
+    }
+
+    fn full_flow(fixes: &Fixes) {
+        let db = setup();
+        let locks = AppLocks::new();
+        let app = Shopizer;
+        let mut c = ctx(&db, fixes, &locks);
+        let uid = app
+            .register(&mut c, "dave".into(), "d@x".into(), "p".into(), "p".into())
+            .unwrap();
+        assert_eq!(db.count("Cart"), 1);
+        for (pid, n) in [(3i64, 1i64), (7, 2), (3, 5)] {
+            let mut c = ctx(&db, fixes, &locks);
+            app.add_to_cart(&mut c, uid.clone(), pid.into(), n.into()).unwrap();
+        }
+        assert_eq!(db.count("CartItem"), 2);
+        let mut c = ctx(&db, fixes, &locks);
+        app.ship(&mut c, uid.clone(), "Paris".into()).unwrap();
+        assert_eq!(db.count("Address"), 1);
+        // Pricing bumped both products once.
+        let priced: i64 = db
+            .dump("Product")
+            .iter()
+            .map(|r| r[4].as_int().unwrap())
+            .sum();
+        assert_eq!(priced, 2);
+
+        let mut c = ctx(&db, fixes, &locks);
+        app.checkout(&mut c, uid.clone()).unwrap();
+        assert_eq!(db.count("Orders"), 1);
+        assert_eq!(db.count("OrderItem"), 2);
+        // Stock decremented: p3 by 5 (upsert replaced qty), p7 by 2.
+        let products = db.dump("Product");
+        let p3 = products.iter().find(|r| r[0] == Value::Int(3)).unwrap();
+        assert_eq!(p3[2], Value::Int(100_000 - 5));
+        let p7 = products.iter().find(|r| r[0] == Value::Int(7)).unwrap();
+        assert_eq!(p7[2], Value::Int(100_000 - 2));
+    }
+
+    #[test]
+    fn full_flow_without_fixes() {
+        full_flow(&Fixes::none());
+    }
+
+    #[test]
+    fn full_flow_with_all_fixes() {
+        full_flow(&Fixes::all());
+    }
+
+    #[test]
+    fn full_flow_each_fix_disabled() {
+        for fix in Fix::SHOPIZER {
+            full_flow(&Fixes::all_but(fix));
+        }
+    }
+
+    #[test]
+    fn checkout_rejects_oversized_order() {
+        let db = setup();
+        // One unit in stock.
+        let fixes = Fixes::none();
+        let locks = AppLocks::new();
+        let app = Shopizer;
+        let mut c = ctx(&db, &fixes, &locks);
+        let uid = app
+            .register(&mut c, "eve".into(), "e@x".into(), "p".into(), "p".into())
+            .unwrap();
+        let mut c = ctx(&db, &fixes, &locks);
+        app.add_to_cart(&mut c, uid.clone(), 1i64.into(), 1_000_000i64.into())
+            .unwrap();
+        let mut c = ctx(&db, &fixes, &locks);
+        let r = app.checkout(&mut c, uid);
+        assert!(matches!(r, Err(OrmError::AppAbort(_))));
+        assert_eq!(db.count("Orders"), 0);
+        // Stock untouched (transaction rolled back).
+        assert_eq!(db.dump("Product")[0][2], Value::Int(100_000));
+    }
+
+    #[test]
+    fn sorting_orders_items_by_product_id() {
+        let db = setup();
+        let mut fixes = Fixes::none();
+        fixes.enable(Fix::F10);
+        let locks = AppLocks::new();
+        let app = Shopizer;
+        let mut c = ctx(&db, &fixes, &locks);
+        let uid = app
+            .register(&mut c, "f".into(), "f@x".into(), "p".into(), "p".into())
+            .unwrap();
+        for pid in [9i64, 2, 5] {
+            let mut c = ctx(&db, &fixes, &locks);
+            app.add_to_cart(&mut c, uid.clone(), pid.into(), 1i64.into()).unwrap();
+        }
+        let mut c = ctx(&db, &fixes, &locks);
+        c.session.begin();
+        let cart = app.lookup_cart(&mut c, &uid).unwrap();
+        c.session.rollback();
+        let mut c2 = ctx(&db, &fixes, &locks);
+        c2.session.begin();
+        let items = app
+            .load_items(&mut c2, &cart.get("ID"), loc!("test"))
+            .unwrap();
+        let sorted = app.maybe_sorted(&mut c2, items, true, loc!("test"));
+        let pids: Vec<i64> = sorted.iter().map(|e| e.get("P_ID").as_int().unwrap()).collect();
+        assert_eq!(pids, vec![2, 5, 9]);
+        c2.session.rollback();
+    }
+}

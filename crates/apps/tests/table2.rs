@@ -1,0 +1,96 @@
+//! The Table II reproduction: run WeSEER end-to-end on both simulated
+//! applications' unit-test traces and check that every Table II deadlock
+//! row is found (and nothing unexpected appears).
+
+use std::collections::BTreeMap;
+use weseer_analyzer::{diagnose, AnalyzerConfig, CollectedTrace, Diagnosis};
+use weseer_apps::app::collect_trace;
+use weseer_apps::{classify, AppLocks, Broadleaf, ECommerceApp, Fixes, KnownDeadlock, Shopizer};
+use weseer_concolic::{ExecMode, LibraryMode};
+use weseer_db::Database;
+
+fn analyze(app: &dyn ECommerceApp) -> (Diagnosis, BTreeMap<KnownDeadlock, usize>) {
+    let db = Database::new(app.catalog());
+    app.seed(&db);
+    let fixes = Fixes::none();
+    let locks = AppLocks::new();
+    let mut traces = Vec::new();
+    for test in app.unit_tests() {
+        let (trace, ctx, result) = collect_trace(
+            app,
+            test,
+            &db,
+            &fixes,
+            &locks,
+            ExecMode::Concolic,
+            LibraryMode::Modeled,
+        );
+        result.unwrap_or_else(|e| panic!("unit test {test} failed: {e}"));
+        traces.push(CollectedTrace::new(trace, ctx));
+    }
+    let diagnosis = diagnose(&app.catalog(), &traces, &AnalyzerConfig::default());
+    let mut groups: BTreeMap<KnownDeadlock, usize> = BTreeMap::new();
+    for r in &diagnosis.deadlocks {
+        *groups.entry(classify(app.name(), r)).or_insert(0) += 1;
+    }
+    (diagnosis, groups)
+}
+
+#[test]
+fn broadleaf_table2_rows_found() {
+    let (diagnosis, groups) = analyze(&Broadleaf);
+    eprintln!("broadleaf groups: {groups:?}");
+    eprintln!("stats: {:?}", diagnosis.stats);
+    for r in &diagnosis.deadlocks {
+        if classify("broadleaf", r) == KnownDeadlock::Unexpected {
+            eprintln!("UNEXPECTED:\n{r}");
+        }
+    }
+    let expected = [
+        KnownDeadlock::D1,
+        KnownDeadlock::D2,
+        KnownDeadlock::D3_4,
+        KnownDeadlock::D5_6,
+        KnownDeadlock::D7_8,
+        KnownDeadlock::D9,
+        KnownDeadlock::D10,
+        KnownDeadlock::D11,
+        KnownDeadlock::D12_13,
+    ];
+    for row in expected {
+        assert!(
+            groups.contains_key(&row),
+            "Table II row {row} ({}) not found; groups: {groups:?}",
+            row.description()
+        );
+    }
+    assert!(
+        !groups.contains_key(&KnownDeadlock::Unexpected),
+        "unexpected cycles: {groups:?}"
+    );
+}
+
+#[test]
+fn shopizer_table2_rows_found() {
+    let (diagnosis, groups) = analyze(&Shopizer);
+    eprintln!("shopizer groups: {groups:?}");
+    eprintln!("stats: {:?}", diagnosis.stats);
+    let expected = [
+        KnownDeadlock::D14,
+        KnownDeadlock::D15,
+        KnownDeadlock::D16,
+        KnownDeadlock::D17,
+        KnownDeadlock::D18,
+    ];
+    for row in expected {
+        assert!(
+            groups.contains_key(&row),
+            "Table II row {row} ({}) not found; groups: {groups:?}",
+            row.description()
+        );
+    }
+    assert!(
+        !groups.contains_key(&KnownDeadlock::Unexpected),
+        "unexpected cycles: {groups:?}"
+    );
+}

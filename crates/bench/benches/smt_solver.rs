@@ -1,0 +1,110 @@
+//! Micro-benchmarks of the SMT stand-in: the fine-grained phase calls it
+//! once per candidate cycle, so per-query latency bounds diagnosis time.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use weseer_smt::{check, Ctx, Rat, SolveResult, SolverConfig, Sort};
+
+/// x₀ < x₁ < … < xₙ ∧ x₀ = 0 ∧ xₙ ≤ n — SAT, forces a full integer model.
+fn chained_sat(n: usize) -> (Ctx, weseer_smt::TermId) {
+    let mut ctx = Ctx::new();
+    let xs: Vec<_> = (0..=n).map(|i| ctx.var(format!("x{i}"), Sort::Int)).collect();
+    let mut parts = Vec::new();
+    for w in xs.windows(2) {
+        parts.push(ctx.lt(w[0], w[1]));
+    }
+    let zero = ctx.int(0);
+    let nn = ctx.int(n as i64);
+    parts.push(ctx.eq(xs[0], zero));
+    parts.push(ctx.le(xs[n], nn));
+    let f = ctx.and(parts);
+    (ctx, f)
+}
+
+/// The same chain with the bound off by one — UNSAT.
+fn chained_unsat(n: usize) -> (Ctx, weseer_smt::TermId) {
+    let mut ctx = Ctx::new();
+    let xs: Vec<_> = (0..=n).map(|i| ctx.var(format!("x{i}"), Sort::Int)).collect();
+    let mut parts = Vec::new();
+    for w in xs.windows(2) {
+        parts.push(ctx.lt(w[0], w[1]));
+    }
+    let zero = ctx.int(0);
+    let nm1 = ctx.int(n as i64 - 1);
+    parts.push(ctx.eq(xs[0], zero));
+    parts.push(ctx.le(xs[n], nm1));
+    let f = ctx.and(parts);
+    (ctx, f)
+}
+
+/// A conflict-condition-shaped formula: two row variables, equalities to
+/// result symbols, disjunction of range arms — the Fig. 9 pattern.
+fn conflict_shaped() -> (Ctx, weseer_smt::TermId) {
+    let mut ctx = Ctx::new();
+    let r1 = ctx.var("r1.p.ID", Sort::Int);
+    let r2 = ctx.var("r2.p.ID", Sort::Int);
+    let a_pid = ctx.var("A1.res.p.ID", Sort::Int);
+    let b_pid = ctx.var("A2.res.p.ID", Sort::Int);
+    let qty = ctx.var("A1.res.p.QTY", Sort::Real);
+    let need = ctx.var("A1.oi.QTY", Sort::Real);
+    let e1 = ctx.eq(r1, a_pid);
+    let e2 = ctx.eq(r1, b_pid);
+    let e3 = ctx.eq(r2, b_pid);
+    let e4 = ctx.eq(r2, a_pid);
+    let ge = ctx.ge(qty, need);
+    let one = ctx.real(Rat::int(1));
+    let pos = ctx.ge(need, one);
+    let varl = ctx.var("varl", Sort::Int);
+    let range1 = ctx.ge(r1, varl);
+    let range2 = ctx.ge(a_pid, varl);
+    let base = ctx.and([e1, e2, e3, e4, ge, pos]);
+    let arm = ctx.and([range1, range2]);
+    let f = ctx.or([base, arm]);
+    (ctx, f)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("smt");
+    g.sample_size(20);
+    for n in [8usize, 24] {
+        g.bench_function(format!("chained_sat_{n}"), |b| {
+            b.iter_batched(
+                || chained_sat(n),
+                |(mut ctx, f)| {
+                    assert!(matches!(
+                        check(&mut ctx, f, &SolverConfig::default()),
+                        SolveResult::Sat(_)
+                    ));
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_function(format!("chained_unsat_{n}"), |b| {
+            b.iter_batched(
+                || chained_unsat(n),
+                |(mut ctx, f)| {
+                    assert!(matches!(
+                        check(&mut ctx, f, &SolverConfig::default()),
+                        SolveResult::Unsat
+                    ));
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.bench_function("conflict_shaped", |b| {
+        b.iter_batched(
+            conflict_shaped,
+            |(mut ctx, f)| {
+                assert!(matches!(
+                    check(&mut ctx, f, &SolverConfig::default()),
+                    SolveResult::Sat(_)
+                ));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Storage-engine micro-benchmarks: per-statement latency of the locking
+//! executor (the substrate under both trace collection and Figs. 10/11).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use weseer_db::Database;
+use weseer_sqlir::{parser::parse, Catalog, ColType, TableBuilder, Value};
+
+fn catalog() -> Catalog {
+    Catalog::new(vec![
+        TableBuilder::new("Product")
+            .col("ID", ColType::Int)
+            .col("QTY", ColType::Int)
+            .primary_key(&["ID"])
+            .build()
+            .unwrap(),
+        TableBuilder::new("OrderItem")
+            .col("ID", ColType::Int)
+            .col("O_ID", ColType::Int)
+            .col("P_ID", ColType::Int)
+            .primary_key(&["ID"])
+            .foreign_key("O_ID", "Product", "ID")
+            .foreign_key("P_ID", "Product", "ID")
+            .build()
+            .unwrap(),
+    ])
+    .unwrap()
+}
+
+fn seeded(rows: i64) -> Database {
+    let db = Database::new(catalog());
+    db.seed(
+        "Product",
+        (1..=rows).map(|i| vec![Value::Int(i), Value::Int(100)]).collect(),
+    );
+    db.seed(
+        "OrderItem",
+        (1..=rows)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 50 + 1), Value::Int(i % rows + 1)])
+            .collect(),
+    );
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    let db = seeded(1000);
+    let mut g = c.benchmark_group("db");
+
+    let sel = parse("SELECT * FROM Product p WHERE p.ID = ?").unwrap();
+    g.bench_function("point_select_txn", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            i = i % 1000 + 1;
+            let mut s = db.session();
+            s.begin();
+            let r = s.execute(&sel, &[Value::Int(i)]).unwrap();
+            assert_eq!(r.rows.len(), 1);
+            s.commit().unwrap();
+        })
+    });
+
+    let upd = parse("UPDATE Product SET QTY = ? WHERE ID = ?").unwrap();
+    g.bench_function("point_update_txn", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            i = i % 1000 + 1;
+            let mut s = db.session();
+            s.begin();
+            s.execute(&upd, &[Value::Int(7), Value::Int(i)]).unwrap();
+            s.commit().unwrap();
+        })
+    });
+
+    let scan = parse("SELECT * FROM OrderItem oi WHERE oi.O_ID = ?").unwrap();
+    g.bench_function("secondary_eq_scan_txn", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            i = i % 50 + 1;
+            let mut s = db.session();
+            s.begin();
+            let r = s.execute(&scan, &[Value::Int(i)]).unwrap();
+            assert!(!r.rows.is_empty());
+            s.commit().unwrap();
+        })
+    });
+
+    let join = parse(
+        "SELECT * FROM OrderItem oi JOIN Product p ON p.ID = oi.P_ID WHERE oi.O_ID = ?",
+    )
+    .unwrap();
+    g.bench_function("join_txn", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            i = i % 50 + 1;
+            let mut s = db.session();
+            s.begin();
+            let r = s.execute(&join, &[Value::Int(i)]).unwrap();
+            assert!(!r.rows.is_empty());
+            s.commit().unwrap();
+        })
+    });
+
+    let ins = parse("INSERT INTO OrderItem (ID, O_ID, P_ID) VALUES (?, ?, ?)").unwrap();
+    // Criterion re-enters the closure per sampling phase; the id source
+    // must survive across phases or inserts collide.
+    db.bump_id("OrderItem", 1_000_000);
+    g.bench_function("insert_txn", |b| {
+        b.iter(|| {
+            let next = db.next_id("OrderItem");
+            let mut s = db.session();
+            s.begin();
+            s.execute(&ins, &[Value::Int(next), Value::Int(1), Value::Int(1)])
+                .unwrap();
+            s.commit().unwrap();
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Table III as a Criterion bench: unit-test execution cost per engine
+//! mode, plus the naive-library ablation (the Sec. IV pruning cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use weseer_apps::app::collect_trace;
+use weseer_apps::{AppLocks, Broadleaf, ECommerceApp, Fixes};
+use weseer_concolic::{ExecMode, LibraryMode};
+use weseer_db::Database;
+
+fn run_suite(mode: ExecMode, lib: LibraryMode) {
+    let app = Broadleaf;
+    let db = Database::new(app.catalog());
+    app.seed(&db);
+    let fixes = Fixes::none();
+    let locks = AppLocks::new();
+    for test in app.unit_tests() {
+        let (_t, _c, r) = collect_trace(&app, test, &db, &fixes, &locks, mode, lib);
+        r.unwrap();
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_collection");
+    g.sample_size(10);
+    g.bench_function("suite_native", |b| {
+        b.iter(|| run_suite(ExecMode::Native, LibraryMode::Modeled))
+    });
+    g.bench_function("suite_interpretive", |b| {
+        b.iter(|| run_suite(ExecMode::Interpretive, LibraryMode::Modeled))
+    });
+    g.bench_function("suite_concolic", |b| {
+        b.iter(|| run_suite(ExecMode::Concolic, LibraryMode::Modeled))
+    });
+    g.bench_function("suite_concolic_naive_libs", |b| {
+        b.iter(|| run_suite(ExecMode::Concolic, LibraryMode::Naive))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

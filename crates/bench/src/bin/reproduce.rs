@@ -1,0 +1,48 @@
+//! Regenerate the paper's evaluation artifacts.
+//!
+//! ```text
+//! reproduce [--quick] [table1] [table2] [table3] [fig10] [fig11]
+//!           [pruning] [baseline] [aborts] [all]
+//! ```
+//!
+//! With no selector (or `all`), every experiment runs. `--quick` shrinks
+//! the performance sweeps for CI-scale runs.
+
+use weseer_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let all = selected.is_empty() || selected.contains(&"all");
+    let want = |name: &str| all || selected.contains(&name);
+
+    if want("table1") {
+        println!("{}", experiments::table1());
+    }
+    if want("table2") {
+        println!("{}", experiments::table2());
+    }
+    if want("baseline") {
+        println!("{}", experiments::baseline());
+    }
+    if want("table3") {
+        println!("{}", experiments::table3(if quick { 2 } else { 5 }));
+    }
+    if want("pruning") {
+        println!("{}", experiments::pruning());
+    }
+    if want("fig10") {
+        println!("{}", experiments::figure("broadleaf", quick));
+    }
+    if want("fig11") {
+        println!("{}", experiments::figure("shopizer", quick));
+    }
+    if want("aborts") {
+        println!("{}", experiments::aborts_claim(quick));
+    }
+}

@@ -1,0 +1,13 @@
+//! # weseer-bench
+//!
+//! The evaluation-reproduction harness: one driver per table/figure of the
+//! paper (Tables I–III, Figs. 10/11, the Sec. IV pruning measurement, and
+//! the Sec. VII-B coarse-baseline comparison), plus Criterion
+//! micro-benchmarks over the solver, the storage engine, and the
+//! diagnosis pipeline.
+//!
+//! Run `cargo run -p weseer-bench --bin reproduce --release -- all` to
+//! regenerate every artifact.
+
+pub mod experiments;
+pub mod render;

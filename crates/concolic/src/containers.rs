@@ -1,0 +1,318 @@
+//! Symbolic container modeling (paper Alg. 1).
+//!
+//! Containers with one-to-one key/value mappings (ORM identity caches,
+//! sets) are encoded as SMT arrays `Array<KeySort, Bool>` recording key
+//! *existence*; values ride along concretely. `get`/`put`/`remove` append
+//! the path conditions of Alg. 1 instead of executing hash/tree internals
+//! concolically.
+
+use crate::engine::{Engine, LibraryMode};
+use crate::sym::SymValue;
+use weseer_smt::{Sort, TermId};
+use weseer_sqlir::Value;
+
+/// A concolic map with symbolic keys and concrete values.
+///
+/// `V` is the value type (entity handles in the ORM). The paper's `keyOf`
+/// inverse mapping is implicit: each entry stores the symbolic key it was
+/// inserted under, which is exactly `keyOf[value]`.
+#[derive(Debug, Clone)]
+pub struct SymMap<V> {
+    /// Current symbolic array term (functional updates on put/remove).
+    arr: TermId,
+    entries: Vec<(SymValue, V)>,
+    name: String,
+}
+
+impl<V: Clone> SymMap<V> {
+    /// Create a map whose existence array has the given key sort.
+    pub fn new(engine: &mut Engine, name: impl Into<String>, key_sort: Sort) -> Self {
+        let name = name.into();
+        let arr = engine.ctx.array_var(format!("map!{name}"), key_sort);
+        SymMap { arr, entries: Vec::new(), name }
+    }
+
+    /// The map's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn position(&self, key: &Value) -> Option<usize> {
+        self.entries.iter().position(|(k, _)| &k.concrete == key)
+    }
+
+    /// Alg. 1 `get`: concrete lookup + path conditions.
+    ///
+    /// * hit: records `key = keyOf[retValue]` — the symbolic key equals the
+    ///   symbolic key the entry was inserted under;
+    /// * miss: records `read(arrId, key) = False`.
+    pub fn get(&self, engine: &mut Engine, key: &SymValue) -> Option<V> {
+        match self.position(&key.concrete) {
+            Some(i) => {
+                let (stored_key, value) = &self.entries[i];
+                self.record_hit(engine, key, stored_key);
+                Some(value.clone())
+            }
+            None => {
+                self.record_miss(engine, key);
+                None
+            }
+        }
+    }
+
+    fn record_hit(&self, engine: &mut Engine, key: &SymValue, stored: &SymValue) {
+        if !engine.tracking() {
+            return;
+        }
+        if engine.library_mode() == LibraryMode::Naive {
+            // Unmodeled containers would walk buckets/tree nodes, branching
+            // once per probed entry.
+            crate::builtins::naive_probe_branches(engine, self.entries.len().max(1));
+        }
+        if let (Some(k), Some(s)) = (key.sym, stored.sym) {
+            if k != s {
+                let eq = engine.ctx.eq(k, s);
+                let cond = crate::sym::SymBool::with_sym(true, eq);
+                engine.branch(&cond, crate::loc!("SymMap::get"));
+            }
+        }
+    }
+
+    fn record_miss(&self, engine: &mut Engine, key: &SymValue) {
+        if !engine.tracking() {
+            return;
+        }
+        if engine.library_mode() == LibraryMode::Naive {
+            crate::builtins::naive_probe_branches(engine, self.entries.len().max(1));
+        }
+        if let Some(k) = key.sym {
+            let read = engine.ctx.select(self.arr, k);
+            let not_read = engine.ctx.not(read);
+            let cond = crate::sym::SymBool::with_sym(true, not_read);
+            engine.branch(&cond, crate::loc!("SymMap::get"));
+        }
+    }
+
+    /// Alg. 1 `put`: reuses `get` for the existence condition, then updates
+    /// the existence array with `write(arrId, key, True)` and the concrete
+    /// entry list.
+    pub fn put(&mut self, engine: &mut Engine, key: SymValue, value: V) -> Option<V> {
+        match self.position(&key.concrete) {
+            Some(i) => {
+                let stored_key = self.entries[i].0.clone();
+                self.record_hit(engine, &key, &stored_key);
+                // keyOf.remove(retValue); keyOf[value] ← key
+                let old = std::mem::replace(&mut self.entries[i], (key, value));
+                Some(old.1)
+            }
+            None => {
+                self.record_miss(engine, &key);
+                if engine.tracking() {
+                    if let Some(k) = key.sym {
+                        let tt = engine.ctx.bool_const(true);
+                        self.arr = engine.ctx.store(self.arr, k, tt);
+                    }
+                }
+                self.entries.push((key, value));
+                None
+            }
+        }
+    }
+
+    /// Alg. 1 `remove`.
+    pub fn remove(&mut self, engine: &mut Engine, key: &SymValue) -> Option<V> {
+        match self.position(&key.concrete) {
+            Some(i) => {
+                let stored_key = self.entries[i].0.clone();
+                self.record_hit(engine, key, &stored_key);
+                if engine.tracking() {
+                    if let Some(k) = key.sym {
+                        let ff = engine.ctx.bool_const(false);
+                        self.arr = engine.ctx.store(self.arr, k, ff);
+                    }
+                }
+                Some(self.entries.remove(i).1)
+            }
+            None => {
+                self.record_miss(engine, key);
+                None
+            }
+        }
+    }
+
+    /// Iterate entries in insertion order (concrete traversal; lazy ORM
+    /// collections iterate this way after loading).
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+
+    /// Iterate `(key, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&SymValue, &V)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+/// A concolic set: a [`SymMap`] whose keys and values coincide (Alg. 1's
+/// observation that `set`'s key and value are equivalent).
+#[derive(Debug, Clone)]
+pub struct SymSet {
+    map: SymMap<()>,
+}
+
+impl SymSet {
+    /// Create a set over the given key sort.
+    pub fn new(engine: &mut Engine, name: impl Into<String>, key_sort: Sort) -> Self {
+        SymSet { map: SymMap::new(engine, name, key_sort) }
+    }
+
+    /// Membership test with Alg. 1 path conditions.
+    pub fn contains(&self, engine: &mut Engine, key: &SymValue) -> bool {
+        self.map.get(engine, key).is_some()
+    }
+
+    /// Insert; returns whether the key was new.
+    pub fn insert(&mut self, engine: &mut Engine, key: SymValue) -> bool {
+        self.map.put(engine, key, ()).is_none()
+    }
+
+    /// Remove; returns whether the key was present.
+    pub fn remove(&mut self, engine: &mut Engine, key: &SymValue) -> bool {
+        self.map.remove(engine, key).is_some()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ExecMode;
+
+    fn engine() -> Engine {
+        let mut e = Engine::new(ExecMode::Concolic);
+        e.start_concolic();
+        e
+    }
+
+    #[test]
+    fn miss_records_negative_existence() {
+        let mut e = engine();
+        let map: SymMap<i32> = SymMap::new(&mut e, "cache", Sort::Int);
+        let k = e.make_symbolic("k", Value::Int(7));
+        assert_eq!(map.get(&mut e, &k), None);
+        assert_eq!(e.path_conds().len(), 1);
+        let pc = &e.path_conds()[0];
+        assert!(e.ctx.display(pc.term).contains("read map!cache"));
+        assert!(e.ctx.display(pc.term).starts_with("(not"));
+    }
+
+    #[test]
+    fn hit_records_key_equality() {
+        let mut e = engine();
+        let mut map: SymMap<i32> = SymMap::new(&mut e, "cache", Sort::Int);
+        let k1 = e.make_symbolic("k1", Value::Int(7));
+        map.put(&mut e, k1, 10);
+        let k2 = e.make_symbolic("k2", Value::Int(7)); // same concrete key
+        assert_eq!(map.get(&mut e, &k2), Some(10));
+        let last = e.path_conds().last().unwrap();
+        assert_eq!(e.ctx.display(last.term), "(k1 = k2)");
+    }
+
+    #[test]
+    fn put_then_get_same_symbol_adds_no_trivial_condition() {
+        let mut e = engine();
+        let mut map: SymMap<i32> = SymMap::new(&mut e, "m", Sort::Int);
+        let k = e.make_symbolic("k", Value::Int(1));
+        map.put(&mut e, k.clone(), 5); // one miss PC
+        let before = e.path_conds().len();
+        assert_eq!(map.get(&mut e, &k), Some(5)); // same symbolic key: no PC
+        assert_eq!(e.path_conds().len(), before);
+    }
+
+    #[test]
+    fn remove_updates_concrete_state() {
+        let mut e = engine();
+        let mut map: SymMap<&'static str> = SymMap::new(&mut e, "m", Sort::Int);
+        let k = e.make_symbolic("k", Value::Int(1));
+        map.put(&mut e, k.clone(), "v");
+        assert_eq!(map.remove(&mut e, &k), Some("v"));
+        assert_eq!(map.get(&mut e, &k), None);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn put_replaces_value_and_returns_old() {
+        let mut e = engine();
+        let mut map: SymMap<i32> = SymMap::new(&mut e, "m", Sort::Int);
+        let k = e.make_symbolic("k", Value::Int(1));
+        assert_eq!(map.put(&mut e, k.clone(), 1), None);
+        assert_eq!(map.put(&mut e, k.clone(), 2), Some(1));
+        assert_eq!(map.get(&mut e, &k), Some(2));
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn string_keys_work() {
+        let mut e = engine();
+        let mut map: SymMap<i32> = SymMap::new(&mut e, "users", Sort::Str);
+        let k = e.make_symbolic("username", Value::str("alice"));
+        map.put(&mut e, k.clone(), 1);
+        assert_eq!(map.get(&mut e, &k), Some(1));
+        let other = e.make_symbolic("other", Value::str("bob"));
+        assert_eq!(map.get(&mut e, &other), None);
+    }
+
+    #[test]
+    fn set_semantics() {
+        let mut e = engine();
+        let mut s = SymSet::new(&mut e, "seen", Sort::Int);
+        let k = e.make_symbolic("k", Value::Int(3));
+        assert!(!s.contains(&mut e, &k));
+        assert!(s.insert(&mut e, k.clone()));
+        assert!(!s.insert(&mut e, k.clone()));
+        assert!(s.contains(&mut e, &k));
+        assert!(s.remove(&mut e, &k));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn concrete_keys_generate_no_conditions() {
+        let mut e = engine();
+        let mut map: SymMap<i32> = SymMap::new(&mut e, "m", Sort::Int);
+        map.put(&mut e, SymValue::concrete(1i64), 1);
+        assert_eq!(map.get(&mut e, &SymValue::concrete(1i64)), Some(1));
+        assert!(e.path_conds().is_empty());
+    }
+
+    #[test]
+    fn naive_mode_floods_probe_branches() {
+        let mut e = engine();
+        e.set_library_mode(LibraryMode::Naive);
+        let mut map: SymMap<i32> = SymMap::new(&mut e, "m", Sort::Int);
+        for i in 0..8 {
+            let k = e.make_symbolic(format!("k{i}"), Value::Int(i));
+            map.put(&mut e, k, i as i32);
+        }
+        let probe = e.make_symbolic("probe", Value::Int(3));
+        let _ = map.get(&mut e, &probe);
+        assert!(e.stats().lib_path_conds > 4, "naive probing should branch per entry");
+    }
+}

@@ -1,0 +1,38 @@
+//! # weseer-concolic
+//!
+//! The concolic-execution runtime and trace collector of WeSEER
+//! (paper Sec. III-A and IV).
+//!
+//! The paper implements concolic execution by instrumenting OpenJDK8's
+//! HotSpot VM so unmodified Java web applications run concolically. In this
+//! Rust reproduction, simulated application code is written against the
+//! runtime in this crate instead:
+//!
+//! * [`engine::Engine`] — symbolic store, path conditions, the
+//!   `start_concolic`/`end_concolic`/`make_symbolic` interface, execution
+//!   modes (Native / Interpretive / Concolic, Table III), and the
+//!   ignored-library mechanism with its Naive counterpart (the 656K→2.7K
+//!   path-condition pruning experiment);
+//! * [`containers::SymMap`]/[`containers::SymSet`] — Alg. 1 container
+//!   modeling over SMT `Array<K, Bool>`;
+//! * [`builtins`] — `String`/`BigDecimal` modeling (Sec. IV-B);
+//! * [`driver::TraceDriver`] — the JDBC-shim that records transaction life
+//!   cycles, SQL templates, symbolic parameters, and symbolicized results
+//!   (Sec. IV-A);
+//! * [`trace::Trace`] — the Fig. 3 artifact consumed by the analyzer.
+
+pub mod builtins;
+pub mod containers;
+pub mod driver;
+pub mod engine;
+pub mod location;
+pub mod sym;
+pub mod trace;
+
+pub use driver::{BackendError, ExecResult, SqlBackend, SymResultSet, TraceDriver};
+pub use engine::{
+    shared, take_ctx, Engine, EngineRef, EngineStats, ExecMode, LibraryMode, PathCond,
+};
+pub use location::{CodeLoc, StackTrace};
+pub use sym::{SymBool, SymValue};
+pub use trace::{ResultRow, StmtRecord, Trace, TxnTrace};

@@ -1,0 +1,114 @@
+//! Source locations and stack traces.
+//!
+//! WeSEER must report the *triggering code* of every deadlock-prone SQL
+//! statement (paper Sec. VI). The concolic runtime therefore maintains an
+//! explicit call stack of [`CodeLoc`]s; the ORM snapshots it when a
+//! statement is triggered (which, under write-behind caching, is not when
+//! it is sent).
+
+use std::fmt;
+
+/// A source code location in the simulated application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CodeLoc {
+    /// Source file.
+    pub file: &'static str,
+    /// 1-based line.
+    pub line: u32,
+    /// Enclosing function name.
+    pub function: &'static str,
+}
+
+impl CodeLoc {
+    /// Construct a location.
+    pub fn new(file: &'static str, line: u32, function: &'static str) -> Self {
+        CodeLoc { file, line, function }
+    }
+}
+
+impl fmt::Display for CodeLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{} in {}", self.file, self.line, self.function)
+    }
+}
+
+/// Capture the current source location.
+///
+/// `loc!("finishOrder")` expands to a [`CodeLoc`] with the real `file!()`
+/// and `line!()` of the call site, tagged with the given function name.
+#[macro_export]
+macro_rules! loc {
+    ($function:expr) => {
+        $crate::location::CodeLoc::new(file!(), line!(), $function)
+    };
+}
+
+/// A snapshot of the simulated call stack, innermost frame last.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct StackTrace {
+    /// Frames, outermost first.
+    pub frames: Vec<CodeLoc>,
+}
+
+impl StackTrace {
+    /// Empty stack.
+    pub fn new() -> Self {
+        StackTrace::default()
+    }
+
+    /// The innermost frame — the direct trigger site.
+    pub fn top(&self) -> Option<&CodeLoc> {
+        self.frames.last()
+    }
+
+    /// Whether any frame belongs to `function`.
+    pub fn mentions(&self, function: &str) -> bool {
+        self.frames.iter().any(|f| f.function == function)
+    }
+}
+
+impl fmt::Display for StackTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.frames.is_empty() {
+            return write!(f, "<no stack>");
+        }
+        for (i, frame) in self.frames.iter().rev().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "  at {frame}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loc_macro_captures_position() {
+        let l = loc!("test_fn");
+        assert!(l.file.ends_with("location.rs"));
+        assert_eq!(l.function, "test_fn");
+        assert!(l.line > 0);
+    }
+
+    #[test]
+    fn stack_top_and_mentions() {
+        let mut st = StackTrace::new();
+        st.frames.push(CodeLoc::new("a.rs", 1, "outer"));
+        st.frames.push(CodeLoc::new("b.rs", 2, "inner"));
+        assert_eq!(st.top().unwrap().function, "inner");
+        assert!(st.mentions("outer"));
+        assert!(!st.mentions("nope"));
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut st = StackTrace::new();
+        assert_eq!(st.to_string(), "<no stack>");
+        st.frames.push(CodeLoc::new("a.rs", 1, "f"));
+        assert!(st.to_string().contains("a.rs:1 in f"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Concolic values: concrete value + optional symbolic expression.
+//!
+//! A [`SymValue`] pairs the concrete runtime value (which drives execution)
+//! with a symbolic term (which models all values the variable could take on
+//! this path — paper Sec. III-A). Values without a symbolic part behave as
+//! plain constants.
+
+use weseer_smt::TermId;
+use weseer_sqlir::Value;
+
+/// A concolic scalar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymValue {
+    /// The concrete value driving this execution.
+    pub concrete: Value,
+    /// The symbolic expression, if the value depends on symbolic inputs.
+    pub sym: Option<TermId>,
+}
+
+impl SymValue {
+    /// A purely concrete value.
+    pub fn concrete(v: impl Into<Value>) -> Self {
+        SymValue { concrete: v.into(), sym: None }
+    }
+
+    /// A concolic value with both parts.
+    pub fn with_sym(v: impl Into<Value>, sym: TermId) -> Self {
+        SymValue { concrete: v.into(), sym: Some(sym) }
+    }
+
+    /// Whether the value carries a symbolic part.
+    pub fn is_symbolic(&self) -> bool {
+        self.sym.is_some()
+    }
+
+    /// Concrete integer payload.
+    pub fn as_int(&self) -> Option<i64> {
+        self.concrete.as_int()
+    }
+
+    /// Concrete float payload (integers widen).
+    pub fn as_float(&self) -> Option<f64> {
+        self.concrete.as_float()
+    }
+
+    /// Concrete string payload.
+    pub fn as_str(&self) -> Option<&str> {
+        self.concrete.as_str()
+    }
+}
+
+impl From<i64> for SymValue {
+    fn from(v: i64) -> Self {
+        SymValue::concrete(v)
+    }
+}
+
+impl From<&str> for SymValue {
+    fn from(v: &str) -> Self {
+        SymValue::concrete(v)
+    }
+}
+
+impl From<Value> for SymValue {
+    fn from(v: Value) -> Self {
+        SymValue::concrete(v)
+    }
+}
+
+/// A concolic boolean, produced by comparisons.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymBool {
+    /// The concrete truth value on this execution.
+    pub concrete: bool,
+    /// The symbolic condition, if input-dependent.
+    pub sym: Option<TermId>,
+}
+
+impl SymBool {
+    /// A purely concrete boolean.
+    pub fn concrete(b: bool) -> Self {
+        SymBool { concrete: b, sym: None }
+    }
+
+    /// A concolic boolean.
+    pub fn with_sym(b: bool, sym: TermId) -> Self {
+        SymBool { concrete: b, sym: Some(sym) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concrete_accessors() {
+        let v = SymValue::concrete(42i64);
+        assert_eq!(v.as_int(), Some(42));
+        assert_eq!(v.as_float(), Some(42.0));
+        assert!(!v.is_symbolic());
+        let s = SymValue::concrete("hi");
+        assert_eq!(s.as_str(), Some("hi"));
+    }
+
+    #[test]
+    fn conversions() {
+        let v: SymValue = 7i64.into();
+        assert_eq!(v.concrete, Value::Int(7));
+        let v: SymValue = "x".into();
+        assert_eq!(v.concrete, Value::str("x"));
+    }
+}

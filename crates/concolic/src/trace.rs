@@ -1,0 +1,215 @@
+//! Runtime traces (paper Fig. 3).
+//!
+//! A [`Trace`] is the artifact concolic execution hands to the deadlock
+//! analyzer: per-transaction SQL templates with symbolic parameters,
+//! symbolic database results, path conditions ordered against statement
+//! execution, and the triggering-code stack of every statement.
+
+use crate::engine::{EngineStats, PathCond};
+use crate::location::StackTrace;
+use crate::sym::SymValue;
+use std::fmt;
+use weseer_sqlir::Statement;
+
+/// One row of a statement's database result; column names are
+/// `alias.column` as projected by the SELECT.
+#[derive(Debug, Clone, Default)]
+pub struct ResultRow {
+    /// `(alias.column, concolic value)` pairs.
+    pub cols: Vec<(String, SymValue)>,
+}
+
+impl ResultRow {
+    /// Look up a column by its `alias.column` name.
+    pub fn get(&self, name: &str) -> Option<&SymValue> {
+        self.cols.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+}
+
+/// A recorded SQL statement execution.
+#[derive(Debug, Clone)]
+pub struct StmtRecord {
+    /// 1-based position within the trace (the paper's Q1, Q2, …).
+    pub index: usize,
+    /// Global event sequence at execution time; path conditions with a
+    /// smaller `seq` were recorded before this statement.
+    pub seq: u64,
+    /// Index of the owning transaction within the trace.
+    pub txn: usize,
+    /// The SQL template.
+    pub stmt: Statement,
+    /// Concolic parameter values, in `?` order.
+    pub params: Vec<SymValue>,
+    /// The (symbolicized) database result rows.
+    pub rows: Vec<ResultRow>,
+    /// Whether the statement fetched an empty result (drives range-lock
+    /// generation, Alg. 2).
+    pub is_empty: bool,
+    /// The code that *triggered* the statement (Sec. VI) — distinct from
+    /// `sent_at` under ORM write-behind.
+    pub trigger: StackTrace,
+    /// The code that actually sent the statement to the database.
+    pub sent_at: StackTrace,
+}
+
+impl StmtRecord {
+    /// Short label like `Q4`.
+    pub fn label(&self) -> String {
+        format!("Q{}", self.index)
+    }
+}
+
+/// A transaction's extent within a trace.
+#[derive(Debug, Clone)]
+pub struct TxnTrace {
+    /// 0-based transaction index within the trace.
+    pub id: usize,
+    /// Indexes (into [`Trace::statements`]) of this transaction's
+    /// statements, in execution order.
+    pub stmt_indexes: Vec<usize>,
+    /// Whether the transaction committed (vs. rolled back).
+    pub committed: bool,
+}
+
+/// A full runtime trace of one API unit test.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// The API the unit test exercised (e.g. `"Ship"`).
+    pub api: String,
+    /// All statements, in execution order across transactions.
+    pub statements: Vec<StmtRecord>,
+    /// Transaction boundaries.
+    pub txns: Vec<TxnTrace>,
+    /// Path conditions in recording order.
+    pub path_conds: Vec<PathCond>,
+    /// Database-generated identifiers: `(generator name, variable term)`.
+    /// The analyzer asserts pairwise disequality for same-generator ids
+    /// across concurrent instances (sequences never collide).
+    pub unique_ids: Vec<(String, weseer_smt::TermId)>,
+    /// Engine counters at collection time.
+    pub stats: EngineStats,
+}
+
+impl Trace {
+    /// Statements belonging to transaction `txn`.
+    pub fn statements_of(&self, txn: usize) -> Vec<&StmtRecord> {
+        self.txns
+            .get(txn)
+            .map(|t| t.stmt_indexes.iter().map(|&i| &self.statements[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Path conditions recorded strictly before sequence `seq`
+    /// (the fine-grained phase drops conditions recorded after the last
+    /// statement involved in a cycle — paper Sec. V-B).
+    pub fn path_conds_before(&self, seq: u64) -> impl Iterator<Item = &PathCond> {
+        self.path_conds.iter().filter(move |p| p.seq < seq)
+    }
+
+    /// The distinct tables accessed by a transaction.
+    pub fn tables_of(&self, txn: usize) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for s in self.statements_of(txn) {
+            for t in s.stmt.tables() {
+                if !out.contains(&t) {
+                    out.push(t);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "trace of API {} ({} txns)", self.api, self.txns.len())?;
+        for txn in &self.txns {
+            writeln!(
+                f,
+                "  txn {} ({}):",
+                txn.id,
+                if txn.committed { "committed" } else { "aborted" }
+            )?;
+            for &i in &txn.stmt_indexes {
+                let s = &self.statements[i];
+                writeln!(f, "    {}: {}", s.label(), s.stmt)?;
+            }
+        }
+        writeln!(f, "  {} path conditions", self.path_conds.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineStats;
+    use weseer_sqlir::parser::parse;
+
+    fn sample() -> Trace {
+        let q1 = parse("SELECT * FROM T t WHERE t.A = ?").unwrap();
+        let q2 = parse("UPDATE T SET A = ? WHERE B = ?").unwrap();
+        Trace {
+            api: "Demo".into(),
+            statements: vec![
+                StmtRecord {
+                    index: 1,
+                    seq: 10,
+                    txn: 0,
+                    stmt: q1,
+                    params: vec![],
+                    rows: vec![],
+                    is_empty: true,
+                    trigger: StackTrace::new(),
+                    sent_at: StackTrace::new(),
+                },
+                StmtRecord {
+                    index: 2,
+                    seq: 20,
+                    txn: 0,
+                    stmt: q2,
+                    params: vec![],
+                    rows: vec![],
+                    is_empty: false,
+                    trigger: StackTrace::new(),
+                    sent_at: StackTrace::new(),
+                },
+            ],
+            txns: vec![TxnTrace { id: 0, stmt_indexes: vec![0, 1], committed: true }],
+            path_conds: vec![],
+            unique_ids: vec![],
+            stats: EngineStats::default(),
+        }
+    }
+
+    #[test]
+    fn statements_of_txn() {
+        let t = sample();
+        let stmts = t.statements_of(0);
+        assert_eq!(stmts.len(), 2);
+        assert_eq!(stmts[0].label(), "Q1");
+        assert!(t.statements_of(5).is_empty());
+    }
+
+    #[test]
+    fn tables_of_txn_dedup() {
+        let t = sample();
+        assert_eq!(t.tables_of(0), vec!["T"]);
+    }
+
+    #[test]
+    fn display_mentions_api_and_labels() {
+        let t = sample();
+        let s = t.to_string();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("Q1"));
+        assert!(s.contains("Q2"));
+    }
+
+    #[test]
+    fn result_row_lookup() {
+        let mut row = ResultRow::default();
+        row.cols.push(("p.ID".into(), SymValue::concrete(3i64)));
+        assert_eq!(row.get("p.ID").unwrap().as_int(), Some(3));
+        assert!(row.get("p.QTY").is_none());
+    }
+}

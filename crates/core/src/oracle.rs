@@ -1,0 +1,73 @@
+//! EXPLAIN-based index oracle: the paper's Sec. V-D future work, wired to
+//! the storage engine.
+//!
+//! The analyzer's `InferPossibleIndexes` enumerates *every* index the
+//! database might use, which over-approximates when multiple join orders
+//! exist and causes false positives ("the database can choose the most
+//! effective one"). [`DbPlanOracle`] asks the engine for its concrete
+//! access plan — MySQL's `EXPLAIN` — and the analyzer then only models
+//! locks on those indexes.
+
+use weseer_analyzer::IndexOracle;
+use weseer_db::Database;
+use weseer_sqlir::Statement;
+
+/// An [`IndexOracle`] backed by the storage engine's planner.
+#[derive(Debug, Clone)]
+pub struct DbPlanOracle {
+    db: Database,
+}
+
+impl DbPlanOracle {
+    /// Wrap a database (typically the one the traces were collected on).
+    pub fn new(db: Database) -> Self {
+        DbPlanOracle { db }
+    }
+}
+
+impl IndexOracle for DbPlanOracle {
+    fn plan(&self, stmt: &Statement) -> Option<Vec<(String, Option<String>)>> {
+        // EXPLAIN with no parameter values: the planner's choice here
+        // depends on predicate structure, not parameter values.
+        let rows = self.db.explain(stmt, &[]);
+        if rows.is_empty() {
+            return None;
+        }
+        Some(rows.into_iter().map(|r| (r.alias, r.index)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weseer_sqlir::{parser::parse, Catalog, ColType, TableBuilder};
+
+    fn db() -> Database {
+        let catalog = Catalog::new(vec![TableBuilder::new("T")
+            .col("ID", ColType::Int)
+            .col("A", ColType::Int)
+            .primary_key(&["ID"])
+            .index("idx_a", &["A"])
+            .build()
+            .unwrap()])
+        .unwrap();
+        Database::new(catalog)
+    }
+
+    #[test]
+    fn oracle_prefers_unique_point_access() {
+        let oracle = DbPlanOracle::new(db());
+        // Both PRIMARY and idx_a are usable; the engine picks PRIMARY.
+        let stmt = parse("SELECT * FROM T t WHERE t.ID = ? AND t.A = ?").unwrap();
+        let plan = oracle.plan(&stmt).unwrap();
+        assert_eq!(plan, vec![("t".to_string(), Some("PRIMARY".to_string()))]);
+    }
+
+    #[test]
+    fn oracle_reports_scans() {
+        let oracle = DbPlanOracle::new(db());
+        let stmt = parse("SELECT * FROM T t WHERE t.ID != ?").unwrap();
+        let plan = oracle.plan(&stmt).unwrap();
+        assert_eq!(plan[0].1, None, "inequality cannot use an index: {plan:?}");
+    }
+}

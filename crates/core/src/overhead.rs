@@ -1,0 +1,178 @@
+//! The concolic-execution overhead experiment (paper Table III):
+//! per-API unit-test execution time under the original (native) engine,
+//! the interpretive engine, and the full concolic engine.
+
+use std::time::{Duration, Instant};
+use weseer_apps::app::collect_trace;
+use weseer_apps::{AppLocks, ECommerceApp, Fixes};
+use weseer_concolic::{ExecMode, LibraryMode};
+use weseer_db::Database;
+
+/// One Table III row.
+#[derive(Debug, Clone)]
+pub struct OverheadRow {
+    /// API / unit-test name.
+    pub api: String,
+    /// Native (JIT-equivalent) execution time.
+    pub original: Duration,
+    /// Interpretive execution (tracing bookkeeping, no symbolic state).
+    pub interpretive: Duration,
+    /// Full concolic execution.
+    pub concolic: Duration,
+}
+
+impl OverheadRow {
+    /// Interpretive / original slowdown.
+    pub fn interpretive_factor(&self) -> f64 {
+        ratio(self.interpretive, self.original)
+    }
+
+    /// Concolic / original slowdown.
+    pub fn concolic_factor(&self) -> f64 {
+        ratio(self.concolic, self.original)
+    }
+}
+
+fn ratio(a: Duration, b: Duration) -> f64 {
+    a.as_secs_f64() / b.as_secs_f64().max(1e-9)
+}
+
+/// Measure Table III for an application.
+///
+/// Each mode runs the full chained unit-test suite `repetitions` times on
+/// fresh databases; per-API times are the minimum over repetitions
+/// (steady-state, like the paper's single measured run on a warm JVM).
+pub fn measure_overhead(app: &dyn ECommerceApp, repetitions: usize) -> Vec<OverheadRow> {
+    let tests = app.unit_tests();
+    let mut best: Vec<[Duration; 3]> = vec![[Duration::MAX; 3]; tests.len()];
+    for (mode_idx, mode) in [ExecMode::Native, ExecMode::Interpretive, ExecMode::Concolic]
+        .into_iter()
+        .enumerate()
+    {
+        for _ in 0..repetitions.max(1) {
+            let db = Database::new(app.catalog());
+            app.seed(&db);
+            let fixes = Fixes::none();
+            let locks = AppLocks::new();
+            for (i, test) in tests.iter().enumerate() {
+                let start = Instant::now();
+                let (_trace, _ctx, result) = collect_trace(
+                    app,
+                    test,
+                    &db,
+                    &fixes,
+                    &locks,
+                    mode,
+                    LibraryMode::Modeled,
+                );
+                let elapsed = start.elapsed();
+                result.unwrap_or_else(|e| panic!("unit test {test} failed: {e}"));
+                if elapsed < best[i][mode_idx] {
+                    best[i][mode_idx] = elapsed;
+                }
+            }
+        }
+    }
+    tests
+        .iter()
+        .zip(best)
+        .map(|(api, [original, interpretive, concolic])| OverheadRow {
+            api: api.to_string(),
+            original,
+            interpretive,
+            concolic,
+        })
+        .collect()
+}
+
+/// The path-condition pruning experiment (paper Sec. IV: Broadleaf's Ship
+/// unit test drops from 656K to 2.7K conditions once driver, built-in,
+/// and container internals are modeled instead of executed concolically).
+#[derive(Debug, Clone)]
+pub struct PruningRow {
+    /// API name.
+    pub api: String,
+    /// Path conditions recorded with library internals executed
+    /// concolically (naive).
+    pub naive: usize,
+    /// Path conditions recorded with library modeling (pruned).
+    pub modeled: usize,
+}
+
+impl PruningRow {
+    /// naive / modeled reduction factor.
+    pub fn reduction(&self) -> f64 {
+        self.naive as f64 / (self.modeled.max(1)) as f64
+    }
+}
+
+/// Measure the pruning experiment over every unit test of an app.
+pub fn measure_pruning(app: &dyn ECommerceApp) -> Vec<PruningRow> {
+    let mut rows = Vec::new();
+    let mut counts = Vec::new();
+    for lib_mode in [LibraryMode::Naive, LibraryMode::Modeled] {
+        let db = Database::new(app.catalog());
+        app.seed(&db);
+        let fixes = Fixes::none();
+        let locks = AppLocks::new();
+        let mut per_api = Vec::new();
+        for test in app.unit_tests() {
+            let (trace, _ctx, result) = collect_trace(
+                app,
+                test,
+                &db,
+                &fixes,
+                &locks,
+                ExecMode::Concolic,
+                lib_mode,
+            );
+            result.unwrap_or_else(|e| panic!("unit test {test} failed: {e}"));
+            // Stats are cumulative per engine, but each test gets a fresh
+            // engine inside collect_trace, so counts are per test.
+            per_api.push((test.to_string(), trace.stats.total_path_conds()));
+        }
+        counts.push(per_api);
+    }
+    for ((api, naive), (_, modeled)) in counts[0].iter().zip(counts[1].iter()) {
+        rows.push(PruningRow { api: api.clone(), naive: *naive, modeled: *modeled });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weseer_apps::Broadleaf;
+
+    #[test]
+    fn overhead_modes_are_ordered() {
+        let rows = measure_overhead(&Broadleaf, 2);
+        assert_eq!(rows.len(), 7);
+        // The *total* across APIs must show the Table III ordering:
+        // concolic > interpretive ≥ native (individual APIs can be noisy).
+        let total = |f: fn(&OverheadRow) -> Duration| -> Duration {
+            rows.iter().map(f).sum()
+        };
+        let orig = total(|r| r.original);
+        let interp = total(|r| r.interpretive);
+        let conc = total(|r| r.concolic);
+        assert!(conc > orig, "concolic {conc:?} should exceed native {orig:?}");
+        assert!(conc > interp, "concolic {conc:?} should exceed interpretive {interp:?}");
+    }
+
+    #[test]
+    fn pruning_reduces_path_conditions() {
+        let rows = measure_pruning(&Broadleaf);
+        let ship = rows.iter().find(|r| r.api == "Ship").expect("Ship row");
+        assert!(
+            ship.naive > 10 * ship.modeled.max(1),
+            "expected an order-of-magnitude reduction, got {} → {}",
+            ship.naive,
+            ship.modeled
+        );
+        // Every API prunes at least somewhat.
+        for r in &rows {
+            assert!(r.naive >= r.modeled, "{r:?}");
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! The database facade: shared handle, sessions, transactions, statistics.
+//!
+//! [`Database`] is cheap to clone and thread-safe; each client thread opens
+//! its own [`Session`]. Sessions implement the concolic crate's
+//! [`SqlBackend`] so the same database serves both trace collection (under
+//! the ORM + tracing driver) and the multi-threaded performance harness
+//! (paper Figs. 10/11).
+
+use crate::exec::{self, ExecData};
+use crate::lock::{LockManager, LockStats};
+use crate::storage::{Row, Storage};
+use crate::types::{DbError, TxnId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use weseer_concolic::{BackendError, ExecResult, SqlBackend};
+use weseer_sqlir::{Catalog, Statement, Value};
+
+/// Aggregate counters (paper Sec. VII-D reports aborts/second).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DbStats {
+    /// Transactions committed.
+    pub commits: u64,
+    /// Transactions rolled back (any reason).
+    pub rollbacks: u64,
+    /// Rollbacks caused by deadlock victim selection.
+    pub deadlock_aborts: u64,
+    /// Rollbacks caused by lock-wait timeouts.
+    pub timeout_aborts: u64,
+    /// Statements executed.
+    pub statements: u64,
+    /// Lock manager counters.
+    pub locks: LockStats,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    commits: AtomicU64,
+    rollbacks: AtomicU64,
+    deadlock_aborts: AtomicU64,
+    timeout_aborts: AtomicU64,
+    statements: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    catalog: Catalog,
+    storage: Mutex<Storage>,
+    locks: LockManager,
+    counters: Counters,
+    next_txn: AtomicU64,
+    id_gens: Mutex<HashMap<String, i64>>,
+    /// Simulated per-statement latency in nanoseconds (client↔server
+    /// round trip). Aborted transactions waste this work — the mechanism
+    /// behind the paper's Fig. 10/11 degradation.
+    statement_delay_ns: AtomicU64,
+}
+
+/// A shared in-memory database.
+#[derive(Debug, Clone)]
+pub struct Database {
+    inner: Arc<Inner>,
+}
+
+impl Database {
+    /// Create an empty database for `catalog` with the default 5 s lock
+    /// wait timeout.
+    pub fn new(catalog: Catalog) -> Self {
+        Database::with_timeout(catalog, Duration::from_secs(5))
+    }
+
+    /// Create a database with a custom lock-wait timeout (MySQL's
+    /// `innodb_lock_wait_timeout`).
+    pub fn with_timeout(catalog: Catalog, wait_timeout: Duration) -> Self {
+        let storage = Storage::new(&catalog);
+        Database {
+            inner: Arc::new(Inner {
+                catalog,
+                storage: Mutex::new(storage),
+                locks: LockManager::new(wait_timeout),
+                counters: Counters::default(),
+                next_txn: AtomicU64::new(1),
+                id_gens: Mutex::new(HashMap::new()),
+                statement_delay_ns: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Simulate a per-statement client↔server round trip. Zero (the
+    /// default) disables the delay.
+    pub fn set_statement_delay(&self, d: Duration) {
+        self.inner
+            .statement_delay_ns
+            .store(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// The schema.
+    pub fn catalog(&self) -> &Catalog {
+        &self.inner.catalog
+    }
+
+    /// Open a session.
+    pub fn session(&self) -> Session {
+        Session { db: self.clone(), txn: None }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> DbStats {
+        let c = &self.inner.counters;
+        DbStats {
+            commits: c.commits.load(Ordering::Relaxed),
+            rollbacks: c.rollbacks.load(Ordering::Relaxed),
+            deadlock_aborts: c.deadlock_aborts.load(Ordering::Relaxed),
+            timeout_aborts: c.timeout_aborts.load(Ordering::Relaxed),
+            statements: c.statements.load(Ordering::Relaxed),
+            locks: self.inner.locks.stats(),
+        }
+    }
+
+    /// Draw the next value from a per-table id sequence (the ORM's
+    /// identifier generator).
+    pub fn next_id(&self, table: &str) -> i64 {
+        let mut gens = self.inner.id_gens.lock();
+        let e = gens.entry(table.to_string()).or_insert(0);
+        *e += 1;
+        *e
+    }
+
+    /// Advance a table's id sequence to at least `floor` (after seeding).
+    pub fn bump_id(&self, table: &str, floor: i64) {
+        let mut gens = self.inner.id_gens.lock();
+        let e = gens.entry(table.to_string()).or_insert(0);
+        *e = (*e).max(floor);
+    }
+
+    /// Seed rows directly, outside any transaction (test/bootstrap setup).
+    ///
+    /// # Panics
+    /// Panics on unknown table or arity mismatch.
+    pub fn seed(&self, table: &str, rows: Vec<Row>) {
+        let mut st = self.inner.storage.lock();
+        let t = st.table_mut(table);
+        let width = t.def.columns.len();
+        for row in rows {
+            assert_eq!(row.len(), width, "seed row arity mismatch for {table}");
+            t.insert(row);
+        }
+    }
+
+    /// Snapshot a table's rows in primary-key order (test introspection).
+    pub fn dump(&self, table: &str) -> Vec<Row> {
+        let st = self.inner.storage.lock();
+        let t = st.table(table);
+        t.btree(&t.def.primary_index().name)
+            .values()
+            .filter_map(|rid| t.heap.get(rid).cloned())
+            .collect()
+    }
+
+    /// Number of rows in a table.
+    pub fn count(&self, table: &str) -> usize {
+        self.inner.storage.lock().table(table).len()
+    }
+
+    /// The concrete access plan for a statement — MySQL's `EXPLAIN`
+    /// (paper Sec. V-D future work: the analyzer can consume this to
+    /// avoid assuming indexes the engine would never use).
+    pub fn explain(&self, stmt: &Statement, params: &[Value]) -> Vec<exec::ExplainRow> {
+        exec::explain(stmt, params, &self.inner.catalog)
+    }
+}
+
+/// A client session holding at most one open transaction.
+#[derive(Debug)]
+pub struct Session {
+    db: Database,
+    txn: Option<TxnId>,
+}
+
+impl Session {
+    /// The owning database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Whether a transaction is open.
+    pub fn in_txn(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// Begin a transaction.
+    pub fn begin(&mut self) {
+        assert!(self.txn.is_none(), "transaction already open");
+        let id = TxnId(self.db.inner.next_txn.fetch_add(1, Ordering::Relaxed));
+        self.txn = Some(id);
+    }
+
+    /// Execute one statement in the open transaction.
+    ///
+    /// On [`DbError::DeadlockVictim`] / [`DbError::LockWaitTimeout`] the
+    /// transaction is rolled back before returning (MySQL victim
+    /// recovery).
+    pub fn execute(
+        &mut self,
+        stmt: &Statement,
+        params: &[Value],
+    ) -> Result<ExecData, DbError> {
+        let txn = self.txn.ok_or(DbError::NoTransaction)?;
+        self.db.inner.counters.statements.fetch_add(1, Ordering::Relaxed);
+        let delay = self.db.inner.statement_delay_ns.load(Ordering::Relaxed);
+        if delay > 0 {
+            std::thread::sleep(Duration::from_nanos(delay));
+        }
+        match exec::execute(&self.db.inner.storage, &self.db.inner.locks, txn, stmt, params) {
+            Ok(data) => Ok(data),
+            Err(e) => {
+                if e.aborts_txn() {
+                    match e {
+                        DbError::DeadlockVictim => {
+                            self.db
+                                .inner
+                                .counters
+                                .deadlock_aborts
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        DbError::LockWaitTimeout => {
+                            self.db
+                                .inner
+                                .counters
+                                .timeout_aborts
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        _ => {}
+                    }
+                    self.rollback();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Commit the open transaction.
+    pub fn commit(&mut self) -> Result<(), DbError> {
+        let txn = self.txn.take().ok_or(DbError::NoTransaction)?;
+        {
+            let mut st = self.db.inner.storage.lock();
+            st.commit(txn);
+        }
+        self.db.inner.locks.release_all(txn);
+        self.db.inner.counters.commits.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Roll back the open transaction (no-op without one).
+    pub fn rollback(&mut self) {
+        if let Some(txn) = self.txn.take() {
+            {
+                let mut st = self.db.inner.storage.lock();
+                st.rollback(txn);
+            }
+            self.db.inner.locks.release_all(txn);
+            self.db.inner.counters.rollbacks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        self.rollback();
+    }
+}
+
+impl SqlBackend for Session {
+    fn begin(&mut self) {
+        Session::begin(self);
+    }
+
+    fn execute(
+        &mut self,
+        stmt: &Statement,
+        params: &[Value],
+    ) -> Result<ExecResult, BackendError> {
+        Session::execute(self, stmt, params)
+            .map(|d| ExecResult { rows: d.rows, affected: d.affected })
+            .map_err(|e| BackendError {
+                message: e.to_string(),
+                deadlock_victim: e.aborts_txn(),
+            })
+    }
+
+    fn commit(&mut self) -> Result<(), BackendError> {
+        Session::commit(self).map_err(|e| BackendError {
+            message: e.to_string(),
+            deadlock_victim: false,
+        })
+    }
+
+    fn rollback(&mut self) {
+        Session::rollback(self);
+    }
+}

@@ -1,0 +1,909 @@
+//! Statement execution with InnoDB-style locking.
+//!
+//! Locks are acquired "during index traversal" (paper Sec. V-C): the
+//! executor picks an access path per table, locks what it visits —
+//! row locks for unique point reads, next-key (row+gap) locks for scans,
+//! gap locks for empty reads, a table lock when no index is usable, and
+//! insert-intention + row locks for inserts — then evaluates residual
+//! conditions.
+//!
+//! Execution uses a plan/try-lock/apply loop: under the storage mutex the
+//! statement is planned and its lock targets computed; if every lock is
+//! grantable without waiting the plan is applied atomically, otherwise the
+//! storage mutex is dropped and the executor blocks on the first contended
+//! lock (where deadlock detection and victim abort happen), then replans.
+
+use crate::lock::{LockManager, LockMode, LockTarget};
+use crate::storage::{index_key, Row, Storage, TableStore, Undo};
+use crate::types::{DbError, KeyBound, KeyTuple, RowId, TxnId};
+use std::collections::HashMap;
+use std::sync::Arc;
+use weseer_sqlir::ast::{Assignment, Select, Statement};
+use weseer_sqlir::cond::{evaluate, Truth};
+use weseer_sqlir::{CmpOp, Operand, TableDef, Value};
+
+/// Concrete result of one statement.
+#[derive(Debug, Clone, Default)]
+pub struct ExecData {
+    /// Result rows (`alias.column` → value), empty for writes.
+    pub rows: Vec<Vec<(String, Value)>>,
+    /// Rows affected by a write.
+    pub affected: usize,
+}
+
+/// A mutation to apply once all locks are granted.
+#[derive(Debug)]
+enum Op {
+    Insert { table: String, row: Row },
+    Update { table: String, rid: RowId, new_row: Row },
+    Delete { table: String, rid: RowId },
+}
+
+/// The full plan of one attempt.
+#[derive(Debug, Default)]
+struct Plan {
+    locks: Vec<(LockTarget, LockMode)>,
+    ops: Vec<Op>,
+    data: ExecData,
+    /// A non-lock error discovered during planning (duplicate key); locks
+    /// collected so far are still acquired (InnoDB locks the conflicting
+    /// row on duplicate-key errors).
+    error: Option<DbError>,
+}
+
+impl Plan {
+    fn lock(&mut self, t: LockTarget, m: LockMode) {
+        // Dedup exact repeats to keep the try-lock pass short.
+        if !self.locks.iter().any(|(lt, lm)| lt == &t && lm == &m) {
+            self.locks.push((t, m));
+        }
+    }
+}
+
+/// A predicate usable for index selection once its right side is bound.
+#[derive(Debug, Clone)]
+struct BoundPred {
+    column: String,
+    op: CmpOp,
+    value: Value,
+}
+
+/// How a table will be accessed.
+#[derive(Debug, Clone)]
+enum Access {
+    PointUnique { index: String, key: KeyTuple },
+    EqScan { index: String, first: Value },
+    RangeScan { index: String, low: Option<(Value, bool)>, high: Option<(Value, bool)> },
+    FullScan,
+}
+
+/// Maximum plan/lock/replan iterations before giving up.
+const MAX_REPLANS: usize = 10_000;
+
+/// One row of an EXPLAIN result: how the engine would access one table
+/// of the statement (paper Sec. V-D future work: "query the database for
+/// its concrete execution plan").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplainRow {
+    /// Table alias.
+    pub alias: String,
+    /// Table name.
+    pub table: String,
+    /// Chosen index, `None` for a full table scan.
+    pub index: Option<String>,
+    /// Access kind: `const` (unique point), `ref` (equality scan),
+    /// `range`, or `ALL` (MySQL EXPLAIN vocabulary).
+    pub access: &'static str,
+}
+
+/// Produce the concrete access plan the executor would use, without
+/// taking locks or touching data.
+///
+/// Join levels are planned in FROM/JOIN order with earlier aliases
+/// considered bound (exactly how [`execute`] plans them).
+pub fn explain(stmt: &Statement, params: &[Value], catalog: &weseer_sqlir::Catalog) -> Vec<ExplainRow> {
+    let mut out = Vec::new();
+    let levels: Vec<(String, String, Vec<weseer_sqlir::Cond>)> = match stmt {
+        Statement::Select(s) => {
+            let where_conds: Vec<weseer_sqlir::Cond> =
+                s.where_clause.iter().cloned().collect();
+            let mut levels =
+                vec![(s.from.alias.clone(), s.from.table.clone(), where_conds.clone())];
+            for j in &s.joins {
+                let mut cs = vec![j.on.clone()];
+                cs.extend(where_conds.iter().cloned());
+                levels.push((j.table.alias.clone(), j.table.table.clone(), cs));
+            }
+            levels
+        }
+        Statement::Update(u) => vec![(
+            u.table.clone(),
+            u.table.clone(),
+            u.where_clause.iter().cloned().collect(),
+        )],
+        Statement::Delete(d) => vec![(
+            d.table.clone(),
+            d.table.clone(),
+            d.where_clause.iter().cloned().collect(),
+        )],
+        Statement::Insert(i) => {
+            // Inserts locate their position through the primary index.
+            return vec![ExplainRow {
+                alias: i.table.clone(),
+                table: i.table.clone(),
+                index: Some("PRIMARY".to_string()),
+                access: "const",
+            }];
+        }
+    };
+
+    let mut bound_aliases: Vec<String> = Vec::new();
+    for (alias, table, conds) in levels {
+        let Some(def) = catalog.table(&table) else { continue };
+        // Structural predicate binding: params/consts always resolve;
+        // columns of earlier levels resolve at execution time.
+        let mut preds: Vec<BoundPred> = Vec::new();
+        for cond in &conds {
+            for p in cond.top_predicates() {
+                let o = p.oriented_for(&alias);
+                if let Operand::Column { alias: a, column } = &o.lhs {
+                    if a != &alias {
+                        continue;
+                    }
+                    let resolvable = match &o.rhs {
+                        Operand::Param(i) => {
+                            params.get(*i).map(|v| !v.is_null()).unwrap_or(true)
+                        }
+                        Operand::Const(v) => !v.is_null(),
+                        Operand::Column { alias: a2, .. } => bound_aliases.contains(a2),
+                    };
+                    if resolvable {
+                        let value = match &o.rhs {
+                            Operand::Param(i) => {
+                                params.get(*i).cloned().unwrap_or(Value::Int(0))
+                            }
+                            Operand::Const(v) => v.clone(),
+                            Operand::Column { .. } => Value::Int(0), // structural only
+                        };
+                        preds.push(BoundPred { column: column.clone(), op: o.op, value });
+                    }
+                }
+            }
+        }
+        let access = choose_access(def, &preds);
+        let (index, kind) = match &access {
+            Access::PointUnique { index, .. } => (Some(index.clone()), "const"),
+            Access::EqScan { index, .. } => (Some(index.clone()), "ref"),
+            Access::RangeScan { index, .. } => (Some(index.clone()), "range"),
+            Access::FullScan => (None, "ALL"),
+        };
+        out.push(ExplainRow { alias: alias.clone(), table, index, access: kind });
+        bound_aliases.push(alias);
+    }
+    out
+}
+
+/// Execute `stmt` for `txn`, blocking on contended locks.
+pub fn execute(
+    storage: &parking_lot::Mutex<Storage>,
+    locks: &LockManager,
+    txn: TxnId,
+    stmt: &Statement,
+    params: &[Value],
+) -> Result<ExecData, DbError> {
+    for _ in 0..MAX_REPLANS {
+        let blocked = {
+            let mut st = storage.lock();
+            let plan = plan_statement(&st, txn, stmt, params)?;
+            let mut blocked = None;
+            for (t, m) in &plan.locks {
+                match locks.try_acquire(txn, t.clone(), *m) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        blocked = Some((t.clone(), *m));
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            match blocked {
+                None => {
+                    if let Some(e) = plan.error {
+                        return Err(e);
+                    }
+                    apply(&mut st, txn, plan.ops);
+                    return Ok(plan.data);
+                }
+                Some(b) => b,
+            }
+        };
+        // Block outside the storage mutex; deadlock detection happens here.
+        locks.acquire(txn, blocked.0, blocked.1)?;
+    }
+    Err(DbError::Unsupported("statement did not converge under contention".into()))
+}
+
+fn apply(st: &mut Storage, txn: TxnId, ops: Vec<Op>) {
+    for op in ops {
+        match op {
+            Op::Insert { table, row } => {
+                let rid = st.table_mut(&table).insert(row);
+                st.log(txn, Undo::Insert { table, rid });
+            }
+            Op::Update { table, rid, new_row } => {
+                if let Some(old) = st.table_mut(&table).update(rid, new_row) {
+                    st.log(txn, Undo::Update { table, rid, old });
+                }
+            }
+            Op::Delete { table, rid } => {
+                if let Some(old) = st.table_mut(&table).delete(rid) {
+                    st.log(txn, Undo::Delete { table, rid, old });
+                }
+            }
+        }
+    }
+}
+
+fn plan_statement(
+    st: &Storage,
+    _txn: TxnId,
+    stmt: &Statement,
+    params: &[Value],
+) -> Result<Plan, DbError> {
+    match stmt {
+        Statement::Select(s) => plan_select(st, s, params),
+        Statement::Update(_) | Statement::Delete(_) => plan_update_delete(st, stmt, params),
+        Statement::Insert(_) => plan_insert(st, stmt, params),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// shared scan machinery
+// ---------------------------------------------------------------------------
+
+type Bindings = HashMap<String, (String, Row)>; // alias → (table, row)
+
+fn resolve(
+    op: &Operand,
+    bindings: &Bindings,
+    tables: &HashMap<String, Arc<TableDef>>,
+    params: &[Value],
+) -> Option<Value> {
+    match op {
+        Operand::Param(i) => params.get(*i).cloned(),
+        Operand::Const(v) => Some(v.clone()),
+        Operand::Column { alias, column } => {
+            let (table, row) = bindings.get(alias)?;
+            let def = tables.get(table)?;
+            def.col_pos(column).map(|p| row[p].clone())
+        }
+    }
+}
+
+/// Predicates on `alias` whose other side is resolvable right now.
+fn bound_preds(
+    conds: &[&weseer_sqlir::Cond],
+    alias: &str,
+    bindings: &Bindings,
+    tables: &HashMap<String, Arc<TableDef>>,
+    params: &[Value],
+) -> Vec<BoundPred> {
+    let mut out = Vec::new();
+    for cond in conds {
+        for p in cond.top_predicates() {
+            let o = p.oriented_for(alias);
+            if let Operand::Column { alias: a, column } = &o.lhs {
+                if a == alias {
+                    if let Some(v) = resolve(&o.rhs, bindings, tables, params) {
+                        if !v.is_null() {
+                            out.push(BoundPred { column: column.clone(), op: o.op, value: v });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn choose_access(def: &TableDef, preds: &[BoundPred]) -> Access {
+    // 1. A unique index with equality on every key column → point lookup.
+    for idx in &def.indexes {
+        if !idx.unique {
+            continue;
+        }
+        let key: Option<KeyTuple> = idx
+            .columns
+            .iter()
+            .map(|c| {
+                preds
+                    .iter()
+                    .find(|p| p.op == CmpOp::Eq && &p.column == c)
+                    .map(|p| p.value.clone())
+            })
+            .collect();
+        if let Some(key) = key {
+            return Access::PointUnique { index: idx.name.clone(), key };
+        }
+    }
+    // 2. Any index with equality on its leading column → equality scan.
+    for idx in &def.indexes {
+        if let Some(lead) = idx.columns.first() {
+            if let Some(p) = preds.iter().find(|p| p.op == CmpOp::Eq && &p.column == lead) {
+                return Access::EqScan { index: idx.name.clone(), first: p.value.clone() };
+            }
+        }
+    }
+    // 3. Any index with a range predicate on its leading column.
+    for idx in &def.indexes {
+        if let Some(lead) = idx.columns.first() {
+            let mut low = None;
+            let mut high = None;
+            for p in preds.iter().filter(|p| &p.column == lead) {
+                match p.op {
+                    CmpOp::Gt => low = Some((p.value.clone(), true)),
+                    CmpOp::Ge => low = Some((p.value.clone(), false)),
+                    CmpOp::Lt => high = Some((p.value.clone(), true)),
+                    CmpOp::Le => high = Some((p.value.clone(), false)),
+                    _ => {}
+                }
+            }
+            if low.is_some() || high.is_some() {
+                return Access::RangeScan { index: idx.name.clone(), low, high };
+            }
+        }
+    }
+    Access::FullScan
+}
+
+/// Candidate rows for an access path, plus the key that bounds the scanned
+/// region (for the terminating gap lock).
+fn fetch(
+    ts: &TableStore,
+    access: &Access,
+) -> (Vec<(String, KeyTuple, RowId)>, Option<KeyBound>) {
+    match access {
+        Access::PointUnique { index, key } => {
+            let tree = ts.btree(index);
+            // Unique index keys may be stored with the PK suffix when
+            // secondary; compare on the prefix.
+            let mut matches = Vec::new();
+            let mut succ = None;
+            for (k, rid) in tree.range(key.clone()..) {
+                if k.len() >= key.len() && &k[..key.len()] == key.as_slice() {
+                    matches.push((index.clone(), k.clone(), *rid));
+                } else {
+                    succ = Some(KeyBound::Key(k.clone()));
+                    break;
+                }
+            }
+            let succ = succ.or(Some(KeyBound::Supremum));
+            (matches, succ)
+        }
+        Access::EqScan { index, first } => {
+            let tree = ts.btree(index);
+            let start: KeyTuple = vec![first.clone()];
+            let mut matches = Vec::new();
+            let mut succ = None;
+            for (k, rid) in tree.range(start..) {
+                if k.first() == Some(first) {
+                    matches.push((index.clone(), k.clone(), *rid));
+                } else {
+                    succ = Some(KeyBound::Key(k.clone()));
+                    break;
+                }
+            }
+            (matches, succ.or(Some(KeyBound::Supremum)))
+        }
+        Access::RangeScan { index, low, high } => {
+            let tree = ts.btree(index);
+            let mut matches = Vec::new();
+            let mut succ = None;
+            let start: KeyTuple = match low {
+                Some((v, _)) => vec![v.clone()],
+                None => Vec::new(),
+            };
+            for (k, rid) in tree.range(start..) {
+                let lead = k.first().cloned().unwrap_or(Value::Null);
+                if let Some((lo, strict)) = low {
+                    let ord = lead.total_cmp(lo);
+                    if ord == std::cmp::Ordering::Less
+                        || (*strict && ord == std::cmp::Ordering::Equal)
+                    {
+                        continue;
+                    }
+                }
+                if let Some((hi, strict)) = high {
+                    let ord = lead.total_cmp(hi);
+                    if ord == std::cmp::Ordering::Greater
+                        || (*strict && ord == std::cmp::Ordering::Equal)
+                    {
+                        succ = Some(KeyBound::Key(k.clone()));
+                        break;
+                    }
+                }
+                matches.push((index.clone(), k.clone(), *rid));
+            }
+            (matches, succ.or(Some(KeyBound::Supremum)))
+        }
+        Access::FullScan => {
+            let tree = ts.btree(&ts.def.primary_index().name);
+            let matches = tree
+                .iter()
+                .map(|(k, rid)| (ts.def.primary_index().name.clone(), k.clone(), *rid))
+                .collect();
+            (matches, None)
+        }
+    }
+}
+
+/// Emit the locks of one table access (Alg. 2's shared/exclusive lock
+/// generation, executed for real).
+fn lock_access(
+    plan: &mut Plan,
+    ts: &TableStore,
+    access: &Access,
+    matches: &[(String, KeyTuple, RowId)],
+    succ: Option<&KeyBound>,
+    exclusive: bool,
+) {
+    let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
+    let table = ts.def.name.clone();
+    if !matches!(access, Access::FullScan) {
+        // Row access announces itself at table level so full scans
+        // (table S/X) and row operations conflict properly.
+        let intent = if exclusive {
+            LockMode::IntentionExclusive
+        } else {
+            LockMode::IntentionShared
+        };
+        plan.lock(LockTarget::Table { table: table.clone() }, intent);
+    }
+    match access {
+        Access::FullScan => {
+            plan.lock(LockTarget::Table { table }, mode);
+        }
+        Access::PointUnique { index, .. } => {
+            let point = matches.len() == 1;
+            for (_, key, rid) in matches {
+                plan.lock(
+                    LockTarget::Row { table: table.clone(), index: index.clone(), key: key.clone() },
+                    mode,
+                );
+                if !point {
+                    plan.lock(
+                        LockTarget::Gap {
+                            table: table.clone(),
+                            index: index.clone(),
+                            upper: KeyBound::Key(key.clone()),
+                        },
+                        mode,
+                    );
+                }
+                lock_primary_for_secondary(plan, ts, index, *rid, mode);
+            }
+            if matches.is_empty() {
+                if let Some(succ) = succ {
+                    plan.lock(
+                        LockTarget::Gap {
+                            table: table.clone(),
+                            index: index.clone(),
+                            upper: succ.clone(),
+                        },
+                        mode,
+                    );
+                }
+            }
+        }
+        Access::EqScan { index, .. } | Access::RangeScan { index, .. } => {
+            for (_, key, rid) in matches {
+                // Next-key: the record and the gap before it.
+                plan.lock(
+                    LockTarget::Row { table: table.clone(), index: index.clone(), key: key.clone() },
+                    mode,
+                );
+                plan.lock(
+                    LockTarget::Gap {
+                        table: table.clone(),
+                        index: index.clone(),
+                        upper: KeyBound::Key(key.clone()),
+                    },
+                    mode,
+                );
+                lock_primary_for_secondary(plan, ts, index, *rid, mode);
+            }
+            // Terminating gap: protects the scanned range's tail (and the
+            // whole range when the result is empty) — this is what turns
+            // empty SELECTs into insert-blocking range locks (d3, d7, …).
+            if let Some(succ) = succ {
+                plan.lock(
+                    LockTarget::Gap {
+                        table: table.clone(),
+                        index: index.clone(),
+                        upper: succ.clone(),
+                    },
+                    mode,
+                );
+            }
+        }
+    }
+}
+
+fn lock_primary_for_secondary(
+    plan: &mut Plan,
+    ts: &TableStore,
+    index: &str,
+    rid: RowId,
+    mode: LockMode,
+) {
+    let pri = ts.def.primary_index();
+    if index == pri.name {
+        return;
+    }
+    if let Some(row) = ts.heap.get(&rid) {
+        let key = index_key(&ts.def, pri, row);
+        plan.lock(
+            LockTarget::Row { table: ts.def.name.clone(), index: pri.name.clone(), key },
+            mode,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SELECT
+// ---------------------------------------------------------------------------
+
+fn plan_select(st: &Storage, s: &Select, params: &[Value]) -> Result<Plan, DbError> {
+    let stmt = Statement::Select(s.clone());
+    let tables = table_map(st, &stmt)?;
+    let mut plan = Plan::default();
+    let exclusive = s.for_update;
+
+    // Conditions usable per level: the FROM level sees WHERE; each JOIN
+    // level sees its ON plus WHERE.
+    let full_cond = stmt.query_condition();
+    let mut levels: Vec<(String, String, Vec<&weseer_sqlir::Cond>)> = Vec::new();
+    let where_conds: Vec<&weseer_sqlir::Cond> = s.where_clause.iter().collect();
+    levels.push((s.from.alias.clone(), s.from.table.clone(), where_conds.clone()));
+    for j in &s.joins {
+        let mut cs: Vec<&weseer_sqlir::Cond> = vec![&j.on];
+        cs.extend(where_conds.iter().copied());
+        levels.push((j.table.alias.clone(), j.table.table.clone(), cs));
+    }
+
+    let mut bindings: Bindings = HashMap::new();
+    let mut out_rows: Vec<Vec<(String, Value)>> = Vec::new();
+    scan_levels(
+        st,
+        &tables,
+        &levels,
+        0,
+        params,
+        exclusive,
+        &mut bindings,
+        &mut plan,
+        &mut |bindings, tables| {
+            // Final filter: the complete query condition.
+            let resolver = |alias: &str, column: &str| -> Option<Value> {
+                let (table, row) = bindings.get(alias)?;
+                let def = tables.get(table)?;
+                def.col_pos(column).map(|p| row[p].clone())
+            };
+            let pass = match &full_cond {
+                None => true,
+                Some(c) => {
+                    matches!(evaluate(c, &resolver, params), Some(Truth::True))
+                }
+            };
+            if pass {
+                let mut row_out = Vec::new();
+                for (alias, _, _) in &levels {
+                    let (table, row) = &bindings[alias];
+                    let def = &tables[table];
+                    for (i, col) in def.columns.iter().enumerate() {
+                        row_out.push((format!("{alias}.{}", col.name), row[i].clone()));
+                    }
+                }
+                out_rows.push(row_out);
+            }
+        },
+    );
+    plan.data.rows = out_rows;
+    Ok(plan)
+}
+
+/// Recursive nested-loop join; calls `emit` for every fully bound tuple.
+#[allow(clippy::too_many_arguments)]
+fn scan_levels(
+    st: &Storage,
+    tables: &HashMap<String, Arc<TableDef>>,
+    levels: &[(String, String, Vec<&weseer_sqlir::Cond>)],
+    depth: usize,
+    params: &[Value],
+    exclusive: bool,
+    bindings: &mut Bindings,
+    plan: &mut Plan,
+    emit: &mut dyn FnMut(&Bindings, &HashMap<String, Arc<TableDef>>),
+) {
+    if depth == levels.len() {
+        emit(bindings, tables);
+        return;
+    }
+    let (alias, table, conds) = &levels[depth];
+    let ts = st.table(table);
+    let preds = bound_preds(conds, alias, bindings, tables, params);
+    let access = choose_access(&ts.def, &preds);
+    let (matches, succ) = fetch(ts, &access);
+    lock_access(plan, ts, &access, &matches, succ.as_ref(), exclusive);
+    for (_, _, rid) in &matches {
+        let Some(row) = ts.heap.get(rid) else { continue };
+        // Residual filter on this level's bound predicates.
+        let def = &ts.def;
+        let ok = preds.iter().all(|p| {
+            def.col_pos(&p.column)
+                .and_then(|pos| row[pos].sql_cmp(&p.value))
+                .is_some_and(|ord| p.op.eval(ord))
+        });
+        if !ok {
+            continue;
+        }
+        bindings.insert(alias.clone(), (table.clone(), row.clone()));
+        scan_levels(st, tables, levels, depth + 1, params, exclusive, bindings, plan, emit);
+        bindings.remove(alias);
+    }
+}
+
+fn table_map(
+    st: &Storage,
+    stmt: &Statement,
+) -> Result<HashMap<String, Arc<TableDef>>, DbError> {
+    let mut out = HashMap::new();
+    for t in stmt.tables() {
+        let ts = st
+            .tables
+            .get(&t)
+            .ok_or_else(|| DbError::Schema(format!("unknown table {t}")))?;
+        out.insert(t, ts.def.clone());
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// UPDATE / DELETE
+// ---------------------------------------------------------------------------
+
+fn plan_update_delete(
+    st: &Storage,
+    stmt: &Statement,
+    params: &[Value],
+) -> Result<Plan, DbError> {
+    let (table, where_clause, sets): (&str, _, Option<&Vec<Assignment>>) = match stmt {
+        Statement::Update(u) => (u.table.as_str(), u.where_clause.clone(), Some(&u.sets)),
+        Statement::Delete(d) => (d.table.as_str(), d.where_clause.clone(), None),
+        _ => unreachable!(),
+    };
+    let tables = table_map(st, stmt)?;
+    let ts = st.table(table);
+    let def = ts.def.clone();
+    let mut plan = Plan::default();
+
+    let conds: Vec<&weseer_sqlir::Cond> = where_clause.iter().collect();
+    let preds = bound_preds(&conds, table, &HashMap::new(), &tables, params);
+    let access = choose_access(&def, &preds);
+    let (matches, succ) = fetch(ts, &access);
+    lock_access(&mut plan, ts, &access, &matches, succ.as_ref(), true);
+
+    let mut seen: Vec<RowId> = Vec::new();
+    for (_, _, rid) in &matches {
+        if seen.contains(rid) {
+            continue;
+        }
+        let Some(row) = ts.heap.get(rid) else { continue };
+        // Full residual evaluation.
+        let resolver = |alias: &str, column: &str| -> Option<Value> {
+            if alias != table {
+                return None;
+            }
+            def.col_pos(column).map(|p| row[p].clone())
+        };
+        let pass = match &where_clause {
+            None => true,
+            Some(c) => matches!(evaluate(c, &resolver, params), Some(Truth::True)),
+        };
+        if !pass {
+            continue;
+        }
+        seen.push(*rid);
+        // X lock on the primary entry.
+        let pri = def.primary_index();
+        let pk = index_key(&def, pri, row);
+        plan.lock(
+            LockTarget::Row { table: table.to_string(), index: pri.name.clone(), key: pk },
+            LockMode::Exclusive,
+        );
+        match sets {
+            Some(sets) => {
+                let mut new_row = row.clone();
+                for a in sets {
+                    let v = resolve(&a.value, &HashMap::new(), &tables, params)
+                        .or_else(|| match &a.value {
+                            Operand::Column { alias, column } if alias == table => def
+                                .col_pos(column)
+                                .map(|p| row[p].clone()),
+                            _ => None,
+                        })
+                        .ok_or_else(|| {
+                            DbError::Unsupported(format!("unresolvable SET value {:?}", a.value))
+                        })?;
+                    let pos = def.col_pos(&a.column).ok_or_else(|| {
+                        DbError::Schema(format!("unknown column {}", a.column))
+                    })?;
+                    new_row[pos] = v;
+                }
+                // X locks on modified secondary entries (old and new).
+                for idx in def.secondary_indexes() {
+                    let old_key = index_key(&def, idx, row);
+                    let new_key = index_key(&def, idx, &new_row);
+                    if old_key != new_key {
+                        for key in [old_key, new_key] {
+                            plan.lock(
+                                LockTarget::Row {
+                                    table: table.to_string(),
+                                    index: idx.name.clone(),
+                                    key,
+                                },
+                                LockMode::Exclusive,
+                            );
+                        }
+                    }
+                }
+                plan.ops.push(Op::Update { table: table.to_string(), rid: *rid, new_row });
+            }
+            None => {
+                // DELETE: X lock every index entry of the row.
+                for idx in def.secondary_indexes() {
+                    let key = index_key(&def, idx, row);
+                    plan.lock(
+                        LockTarget::Row { table: table.to_string(), index: idx.name.clone(), key },
+                        LockMode::Exclusive,
+                    );
+                }
+                plan.ops.push(Op::Delete { table: table.to_string(), rid: *rid });
+            }
+        }
+        plan.data.affected += 1;
+    }
+    Ok(plan)
+}
+
+// ---------------------------------------------------------------------------
+// INSERT
+// ---------------------------------------------------------------------------
+
+fn plan_insert(st: &Storage, stmt: &Statement, params: &[Value]) -> Result<Plan, DbError> {
+    let ins = match stmt {
+        Statement::Insert(i) => i,
+        _ => unreachable!(),
+    };
+    let tables = table_map(st, stmt)?;
+    let ts = st.table(&ins.table);
+    let def = ts.def.clone();
+    let mut plan = Plan::default();
+
+    // Build the new row.
+    let columns: Vec<String> = if ins.columns.is_empty() {
+        def.columns.iter().map(|c| c.name.clone()).collect()
+    } else {
+        ins.columns.clone()
+    };
+    if columns.len() != ins.values.len() {
+        return Err(DbError::Schema(format!(
+            "INSERT into {} has {} columns but {} values",
+            ins.table,
+            columns.len(),
+            ins.values.len()
+        )));
+    }
+    let mut row: Row = vec![Value::Null; def.columns.len()];
+    for (c, vexpr) in columns.iter().zip(&ins.values) {
+        let pos = def
+            .col_pos(c)
+            .ok_or_else(|| DbError::Schema(format!("unknown column {c}")))?;
+        row[pos] = resolve(vexpr, &HashMap::new(), &tables, params)
+            .ok_or_else(|| DbError::Unsupported("unresolvable INSERT value".into()))?;
+    }
+
+    // Uniqueness checks first (primary + unique secondaries).
+    for idx in def.indexes.iter().filter(|i| i.unique) {
+        let logical: KeyTuple = idx
+            .columns
+            .iter()
+            .map(|c| row[def.col_pos(c).expect("validated")].clone())
+            .collect();
+        let dup = ts
+            .btree(&idx.name)
+            .range(logical.clone()..)
+            .next()
+            .filter(|(k, _)| k.len() >= logical.len() && k[..logical.len()] == logical[..])
+            .map(|(k, rid)| (k.clone(), *rid));
+        if let Some((dup_key, dup_rid)) = dup {
+            if !ins.on_duplicate.is_empty() {
+                return plan_upsert_update(st, ins, &def, dup_rid, params, plan);
+            }
+            // InnoDB takes an S lock on the conflicting record before
+            // reporting the duplicate — itself a deadlock ingredient.
+            plan.lock(
+                LockTarget::Row {
+                    table: ins.table.clone(),
+                    index: idx.name.clone(),
+                    key: dup_key,
+                },
+                LockMode::Shared,
+            );
+            plan.error = Some(DbError::DuplicateKey { index: idx.name.clone() });
+            return Ok(plan);
+        }
+    }
+
+    // Insert-intention lock on the gap receiving the key, per index, then
+    // an X record lock on the new entry.
+    plan.lock(
+        LockTarget::Table { table: ins.table.clone() },
+        LockMode::IntentionExclusive,
+    );
+    for idx in &def.indexes {
+        let key = index_key(&def, idx, &row);
+        let succ = ts
+            .btree(&idx.name)
+            .range(key.clone()..)
+            .next()
+            .map(|(k, _)| KeyBound::Key(k.clone()))
+            .unwrap_or(KeyBound::Supremum);
+        plan.lock(
+            LockTarget::Gap { table: ins.table.clone(), index: idx.name.clone(), upper: succ },
+            LockMode::InsertIntention,
+        );
+        plan.lock(
+            LockTarget::Row { table: ins.table.clone(), index: idx.name.clone(), key },
+            LockMode::Exclusive,
+        );
+    }
+    plan.ops.push(Op::Insert { table: ins.table.clone(), row });
+    plan.data.affected = 1;
+    Ok(plan)
+}
+
+/// The UPDATE arm of `INSERT ... ON DUPLICATE KEY UPDATE` (fix f2).
+fn plan_upsert_update(
+    st: &Storage,
+    ins: &weseer_sqlir::Insert,
+    def: &Arc<TableDef>,
+    rid: RowId,
+    params: &[Value],
+    mut plan: Plan,
+) -> Result<Plan, DbError> {
+    let ts = st.table(&ins.table);
+    let Some(row) = ts.heap.get(&rid) else {
+        return Ok(plan);
+    };
+    let pri = def.primary_index();
+    let pk = index_key(def, pri, row);
+    plan.lock(
+        LockTarget::Row { table: ins.table.clone(), index: pri.name.clone(), key: pk },
+        LockMode::Exclusive,
+    );
+    let mut new_row = row.clone();
+    let tables: HashMap<String, Arc<TableDef>> =
+        [(ins.table.clone(), def.clone())].into_iter().collect();
+    for a in &ins.on_duplicate {
+        let v = resolve(&a.value, &HashMap::new(), &tables, params)
+            .ok_or_else(|| DbError::Unsupported("unresolvable UPSERT value".into()))?;
+        let pos = def
+            .col_pos(&a.column)
+            .ok_or_else(|| DbError::Schema(format!("unknown column {}", a.column)))?;
+        new_row[pos] = v;
+    }
+    plan.ops.push(Op::Update { table: ins.table.clone(), rid, new_row });
+    plan.data.affected = 2; // MySQL convention for upsert-as-update
+    Ok(plan)
+}

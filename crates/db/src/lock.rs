@@ -1,0 +1,480 @@
+//! The lock manager: strict two-phase locking with InnoDB-style
+//! row / gap / insert-intention / table locks, blocking waits, waits-for
+//! cycle detection, and victim abort (paper Sec. II-A's detect-and-recover).
+//!
+//! Compatibility rules mirror InnoDB:
+//!
+//! * row and table locks: S/S compatible, anything with X conflicts;
+//! * gap locks (S or X) are *purely inhibitive*: they never conflict with
+//!   each other, but they block other transactions' insert-intention locks
+//!   into the same gap;
+//! * insert-intention locks are compatible with each other.
+//!
+//! A transaction that would close a hold-and-wait cycle is rolled back
+//! immediately with [`DbError::DeadlockVictim`] (the requester is the
+//! victim, as in InnoDB when it is the cheapest to roll back).
+
+use crate::types::{DbError, KeyBound, KeyTuple, TxnId};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+/// What is being locked.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum LockTarget {
+    /// Whole table (used when no index is usable — Alg. 2 line 19).
+    Table {
+        /// Table name.
+        table: String,
+    },
+    /// One index entry (record lock).
+    Row {
+        /// Table name.
+        table: String,
+        /// Index name.
+        index: String,
+        /// Index key (with PK suffix for secondary indexes).
+        key: KeyTuple,
+    },
+    /// The open interval before an index entry (gap lock).
+    Gap {
+        /// Table name.
+        table: String,
+        /// Index name.
+        index: String,
+        /// The key the gap precedes.
+        upper: KeyBound,
+    },
+}
+
+impl LockTarget {
+    /// The table this target belongs to.
+    pub fn table(&self) -> &str {
+        match self {
+            LockTarget::Table { table }
+            | LockTarget::Row { table, .. }
+            | LockTarget::Gap { table, .. } => table,
+        }
+    }
+
+    /// Whether this is a gap target.
+    pub fn is_gap(&self) -> bool {
+        matches!(self, LockTarget::Gap { .. })
+    }
+}
+
+/// Lock strength.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockMode {
+    /// Shared.
+    Shared,
+    /// Exclusive.
+    Exclusive,
+    /// Insert intention (into a gap).
+    InsertIntention,
+    /// Intention shared (table level, taken before row S locks).
+    IntentionShared,
+    /// Intention exclusive (table level, taken before row X locks).
+    IntentionExclusive,
+}
+
+/// Whether a held lock blocks a requested one on the *same* target.
+fn conflicts(target: &LockTarget, held: LockMode, req: LockMode) -> bool {
+    use LockMode::*;
+    match target {
+        LockTarget::Gap { .. } => matches!(
+            (held, req),
+            (Shared, InsertIntention) | (Exclusive, InsertIntention)
+        ),
+        LockTarget::Table { .. } => matches!(
+            (held, req),
+            (Shared, Exclusive)
+                | (Shared, IntentionExclusive)
+                | (Exclusive, _)
+                | (IntentionShared, Exclusive)
+                | (IntentionExclusive, Shared)
+                | (IntentionExclusive, Exclusive)
+        ),
+        LockTarget::Row { .. } => !matches!((held, req), (Shared, Shared)),
+    }
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    /// Granted locks per target.
+    granted: HashMap<LockTarget, Vec<(TxnId, LockMode)>>,
+    /// Targets held per transaction (release bookkeeping).
+    held_by: HashMap<TxnId, Vec<LockTarget>>,
+    /// Current waits-for edges of blocked transactions.
+    waiting_for: HashMap<TxnId, HashSet<TxnId>>,
+}
+
+impl LockState {
+    fn blockers(&self, txn: TxnId, target: &LockTarget, mode: LockMode) -> HashSet<TxnId> {
+        self.granted
+            .get(target)
+            .into_iter()
+            .flatten()
+            .filter(|(holder, held)| *holder != txn && conflicts(target, *held, mode))
+            .map(|(holder, _)| *holder)
+            .collect()
+    }
+
+    /// DFS over waits-for edges: does any of `from` reach `to`?
+    fn reaches(&self, from: &HashSet<TxnId>, to: TxnId) -> bool {
+        let mut stack: Vec<TxnId> = from.iter().copied().collect();
+        let mut seen = HashSet::new();
+        while let Some(t) = stack.pop() {
+            if t == to {
+                return true;
+            }
+            if !seen.insert(t) {
+                continue;
+            }
+            if let Some(next) = self.waiting_for.get(&t) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        false
+    }
+
+    fn grant(&mut self, txn: TxnId, target: LockTarget, mode: LockMode) {
+        let entry = self.granted.entry(target.clone()).or_default();
+        if entry.iter().any(|(t, m)| *t == txn && *m == mode) {
+            return;
+        }
+        let first_for_txn = !entry.iter().any(|(t, _)| *t == txn);
+        entry.push((txn, mode));
+        if first_for_txn {
+            self.held_by.entry(txn).or_default().push(target);
+        }
+    }
+}
+
+/// Counters published by the lock manager.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockStats {
+    /// Lock requests that had to wait.
+    pub waits: u64,
+    /// Deadlocks detected (victim aborts).
+    pub deadlocks: u64,
+    /// Lock-wait timeouts.
+    pub timeouts: u64,
+}
+
+/// The lock manager.
+#[derive(Debug)]
+pub struct LockManager {
+    state: Mutex<LockState>,
+    cond: Condvar,
+    stats: Mutex<LockStats>,
+    /// Maximum blocking time before a timeout abort.
+    pub wait_timeout: Duration,
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        LockManager::new(Duration::from_secs(5))
+    }
+}
+
+impl LockManager {
+    /// Create a lock manager with the given wait timeout.
+    pub fn new(wait_timeout: Duration) -> Self {
+        LockManager {
+            state: Mutex::new(LockState::default()),
+            cond: Condvar::new(),
+            stats: Mutex::new(LockStats::default()),
+            wait_timeout,
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> LockStats {
+        *self.stats.lock()
+    }
+
+    /// Acquire `mode` on `target` for `txn`, blocking until granted.
+    ///
+    /// Returns [`DbError::DeadlockVictim`] when granting would require
+    /// waiting inside a hold-and-wait cycle, and
+    /// [`DbError::LockWaitTimeout`] after `wait_timeout`. In both cases the
+    /// caller must roll the transaction back.
+    pub fn acquire(&self, txn: TxnId, target: LockTarget, mode: LockMode) -> Result<(), DbError> {
+        let mut st = self.state.lock();
+        let mut waited = false;
+        let deadline = Instant::now() + self.wait_timeout;
+        loop {
+            let blockers = st.blockers(txn, &target, mode);
+            if blockers.is_empty() {
+                st.waiting_for.remove(&txn);
+                st.grant(txn, target, mode);
+                if waited {
+                    // Position may have changed while waiting; wake others
+                    // whose blockers might have gone away.
+                    self.cond.notify_all();
+                }
+                return Ok(());
+            }
+            // Would waiting close a cycle? blockers ⇒ … ⇒ txn.
+            if st.reaches(&blockers, txn) {
+                st.waiting_for.remove(&txn);
+                self.stats.lock().deadlocks += 1;
+                if std::env::var_os("WESEER_DEBUG_DEADLOCK").is_some() {
+                    eprintln!(
+                        "[deadlock] {txn} requesting {mode:?} on {target:?}; blockers={blockers:?}; \
+                         held={:?}",
+                        st.held_by.get(&txn)
+                    );
+                }
+                self.cond.notify_all();
+                return Err(DbError::DeadlockVictim);
+            }
+            if !waited {
+                self.stats.lock().waits += 1;
+                waited = true;
+            }
+            st.waiting_for.insert(txn, blockers);
+            let timed_out = self
+                .cond
+                .wait_until(&mut st, deadline)
+                .timed_out();
+            if timed_out {
+                st.waiting_for.remove(&txn);
+                self.stats.lock().timeouts += 1;
+                return Err(DbError::LockWaitTimeout);
+            }
+        }
+    }
+
+    /// Try to acquire without blocking; `Ok(false)` when it would wait.
+    pub fn try_acquire(
+        &self,
+        txn: TxnId,
+        target: LockTarget,
+        mode: LockMode,
+    ) -> Result<bool, DbError> {
+        let mut st = self.state.lock();
+        if st.blockers(txn, &target, mode).is_empty() {
+            st.grant(txn, target, mode);
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Release every lock of `txn` (commit or rollback) and wake waiters.
+    pub fn release_all(&self, txn: TxnId) {
+        let mut st = self.state.lock();
+        if let Some(targets) = st.held_by.remove(&txn) {
+            for t in targets {
+                if let Some(holders) = st.granted.get_mut(&t) {
+                    holders.retain(|(h, _)| *h != txn);
+                    if holders.is_empty() {
+                        st.granted.remove(&t);
+                    }
+                }
+            }
+        }
+        st.waiting_for.remove(&txn);
+        self.cond.notify_all();
+    }
+
+    /// Locks currently held by `txn` (tests and diagnostics); a target
+    /// appears once per mode held on it.
+    pub fn held(&self, txn: TxnId) -> Vec<(LockTarget, LockMode)> {
+        let st = self.state.lock();
+        st.held_by
+            .get(&txn)
+            .into_iter()
+            .flatten()
+            .flat_map(|t| {
+                st.granted
+                    .get(t)
+                    .into_iter()
+                    .flatten()
+                    .filter(|(h, _)| *h == txn)
+                    .map(|(_, m)| (t.clone(), *m))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+    use weseer_sqlir::Value;
+
+    fn row(k: i64) -> LockTarget {
+        LockTarget::Row {
+            table: "T".into(),
+            index: "PRIMARY".into(),
+            key: vec![Value::Int(k)],
+        }
+    }
+
+    fn gap(upper: i64) -> LockTarget {
+        LockTarget::Gap {
+            table: "T".into(),
+            index: "PRIMARY".into(),
+            upper: KeyBound::Key(vec![Value::Int(upper)]),
+        }
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let lm = LockManager::default();
+        lm.acquire(TxnId(1), row(1), LockMode::Shared).unwrap();
+        lm.acquire(TxnId(2), row(1), LockMode::Shared).unwrap();
+        assert_eq!(lm.held(TxnId(1)).len(), 1);
+        assert_eq!(lm.held(TxnId(2)).len(), 1);
+    }
+
+    #[test]
+    fn exclusive_blocks_then_releases() {
+        let lm = Arc::new(LockManager::default());
+        lm.acquire(TxnId(1), row(1), LockMode::Exclusive).unwrap();
+        assert!(!lm.try_acquire(TxnId(2), row(1), LockMode::Shared).unwrap());
+        let lm2 = lm.clone();
+        let h = thread::spawn(move || lm2.acquire(TxnId(2), row(1), LockMode::Shared));
+        thread::sleep(Duration::from_millis(30));
+        lm.release_all(TxnId(1));
+        h.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn reentrant_and_upgrade() {
+        let lm = LockManager::default();
+        lm.acquire(TxnId(1), row(1), LockMode::Shared).unwrap();
+        lm.acquire(TxnId(1), row(1), LockMode::Shared).unwrap();
+        lm.acquire(TxnId(1), row(1), LockMode::Exclusive).unwrap();
+        let held = lm.held(TxnId(1));
+        assert!(held.iter().any(|(_, m)| *m == LockMode::Exclusive));
+        // The upgraded row is still blocked for others.
+        assert!(!lm.try_acquire(TxnId(2), row(1), LockMode::Shared).unwrap());
+    }
+
+    #[test]
+    fn gap_locks_are_mutually_compatible() {
+        let lm = LockManager::default();
+        lm.acquire(TxnId(1), gap(10), LockMode::Shared).unwrap();
+        lm.acquire(TxnId(2), gap(10), LockMode::Exclusive).unwrap();
+        // But insert intention by a third party must wait.
+        assert!(!lm
+            .try_acquire(TxnId(3), gap(10), LockMode::InsertIntention)
+            .unwrap());
+        // Even a gap holder is blocked by the *other* holder's gap lock —
+        // this mutual blocking is exactly how the Table-II deadlocks form.
+        assert!(!lm
+            .try_acquire(TxnId(1), gap(10), LockMode::InsertIntention)
+            .unwrap());
+        // A txn holding the only gap lock may insert through it.
+        lm.release_all(TxnId(2));
+        assert!(lm
+            .try_acquire(TxnId(1), gap(10), LockMode::InsertIntention)
+            .unwrap());
+    }
+
+    #[test]
+    fn insert_intentions_are_compatible() {
+        let lm = LockManager::default();
+        lm.acquire(TxnId(1), gap(10), LockMode::InsertIntention).unwrap();
+        assert!(lm
+            .try_acquire(TxnId(2), gap(10), LockMode::InsertIntention)
+            .unwrap());
+        // Gap locks never wait, even with an II present (InnoDB).
+        assert!(lm.try_acquire(TxnId(3), gap(10), LockMode::Shared).unwrap());
+    }
+
+    #[test]
+    fn two_txn_deadlock_detected() {
+        // T1: X(r1) then wants X(r2); T2: X(r2) then wants X(r1).
+        let lm = Arc::new(LockManager::new(Duration::from_secs(10)));
+        lm.acquire(TxnId(1), row(1), LockMode::Exclusive).unwrap();
+        lm.acquire(TxnId(2), row(2), LockMode::Exclusive).unwrap();
+        let lm2 = lm.clone();
+        let h = thread::spawn(move || {
+            // T1 blocks on r2.
+            lm2.acquire(TxnId(1), row(2), LockMode::Exclusive)
+        });
+        thread::sleep(Duration::from_millis(50));
+        // T2 requesting r1 closes the cycle → T2 is the victim.
+        let r = lm.acquire(TxnId(2), row(1), LockMode::Exclusive);
+        assert_eq!(r, Err(DbError::DeadlockVictim));
+        lm.release_all(TxnId(2));
+        h.join().unwrap().unwrap();
+        lm.release_all(TxnId(1));
+        assert_eq!(lm.stats().deadlocks, 1);
+    }
+
+    #[test]
+    fn classic_gap_insert_deadlock() {
+        // The paper's d1-style deadlock: both transactions hold a gap lock,
+        // both try to insert into it.
+        let lm = Arc::new(LockManager::new(Duration::from_secs(10)));
+        lm.acquire(TxnId(1), gap(100), LockMode::Shared).unwrap();
+        lm.acquire(TxnId(2), gap(100), LockMode::Shared).unwrap();
+        let lm2 = lm.clone();
+        let h = thread::spawn(move || {
+            lm2.acquire(TxnId(1), gap(100), LockMode::InsertIntention)
+        });
+        thread::sleep(Duration::from_millis(50));
+        let r = lm.acquire(TxnId(2), gap(100), LockMode::InsertIntention);
+        assert_eq!(r, Err(DbError::DeadlockVictim));
+        lm.release_all(TxnId(2));
+        h.join().unwrap().unwrap();
+        lm.release_all(TxnId(1));
+    }
+
+    #[test]
+    fn three_txn_cycle_detected() {
+        let lm = Arc::new(LockManager::new(Duration::from_secs(10)));
+        lm.acquire(TxnId(1), row(1), LockMode::Exclusive).unwrap();
+        lm.acquire(TxnId(2), row(2), LockMode::Exclusive).unwrap();
+        lm.acquire(TxnId(3), row(3), LockMode::Exclusive).unwrap();
+        let lm1 = lm.clone();
+        let h1 = thread::spawn(move || lm1.acquire(TxnId(1), row(2), LockMode::Exclusive));
+        let lm2 = lm.clone();
+        let h2 = thread::spawn(move || lm2.acquire(TxnId(2), row(3), LockMode::Exclusive));
+        thread::sleep(Duration::from_millis(80));
+        let r = lm.acquire(TxnId(3), row(1), LockMode::Exclusive);
+        assert_eq!(r, Err(DbError::DeadlockVictim));
+        lm.release_all(TxnId(3));
+        h2.join().unwrap().unwrap();
+        lm.release_all(TxnId(2));
+        h1.join().unwrap().unwrap();
+        lm.release_all(TxnId(1));
+    }
+
+    #[test]
+    fn timeout_fires() {
+        let lm = LockManager::new(Duration::from_millis(50));
+        lm.acquire(TxnId(1), row(1), LockMode::Exclusive).unwrap();
+        let r = lm.acquire(TxnId(2), row(1), LockMode::Exclusive);
+        assert_eq!(r, Err(DbError::LockWaitTimeout));
+        assert_eq!(lm.stats().timeouts, 1);
+    }
+
+    #[test]
+    fn release_clears_everything() {
+        let lm = LockManager::default();
+        lm.acquire(TxnId(1), row(1), LockMode::Exclusive).unwrap();
+        lm.acquire(TxnId(1), gap(5), LockMode::Shared).unwrap();
+        assert_eq!(lm.held(TxnId(1)).len(), 2);
+        lm.release_all(TxnId(1));
+        assert!(lm.held(TxnId(1)).is_empty());
+        assert!(lm.try_acquire(TxnId(2), row(1), LockMode::Exclusive).unwrap());
+    }
+
+    #[test]
+    fn different_targets_do_not_conflict() {
+        let lm = LockManager::default();
+        lm.acquire(TxnId(1), row(1), LockMode::Exclusive).unwrap();
+        assert!(lm.try_acquire(TxnId(2), row(2), LockMode::Exclusive).unwrap());
+        let t = LockTarget::Table { table: "U".into() };
+        assert!(lm.try_acquire(TxnId(2), t, LockMode::Exclusive).unwrap());
+    }
+}

@@ -1,0 +1,329 @@
+//! Physical storage: heap rows plus B-tree primary/secondary indexes,
+//! with undo logging for transaction rollback.
+//!
+//! Writes are performed in place under strict 2PL (exclusive locks prevent
+//! dirty reads), so rollback only needs to replay the undo log in reverse.
+
+use crate::types::{KeyTuple, RowId, TxnId};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use weseer_sqlir::{Catalog, IndexDef, TableDef, Value};
+
+/// A stored row: values in table column order.
+pub type Row = Vec<Value>;
+
+/// Extract an index key from a row. Secondary keys get the primary-key
+/// columns appended so every index entry is unique.
+pub fn index_key(def: &TableDef, idx: &IndexDef, row: &Row) -> KeyTuple {
+    let mut key: KeyTuple = idx
+        .columns
+        .iter()
+        .map(|c| row[def.col_pos(c).expect("validated column")].clone())
+        .collect();
+    if idx.is_secondary() {
+        for pk in &def.primary_key {
+            key.push(row[def.col_pos(pk).expect("validated pk column")].clone());
+        }
+    }
+    key
+}
+
+/// One table's physical state.
+#[derive(Debug)]
+pub struct TableStore {
+    /// Schema.
+    pub def: Arc<TableDef>,
+    /// Heap: row id → current version.
+    pub heap: HashMap<RowId, Row>,
+    /// One B-tree per index (primary first), mapping full entry key → row.
+    pub btrees: HashMap<String, BTreeMap<KeyTuple, RowId>>,
+    next_row: u64,
+}
+
+impl TableStore {
+    fn new(def: Arc<TableDef>) -> Self {
+        let btrees = def
+            .indexes
+            .iter()
+            .map(|i| (i.name.clone(), BTreeMap::new()))
+            .collect();
+        TableStore { def, heap: HashMap::new(), btrees, next_row: 0 }
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Insert a row into heap and all indexes. Uniqueness is checked by the
+    /// executor *before* calling this.
+    pub fn insert(&mut self, row: Row) -> RowId {
+        let rid = RowId(self.next_row);
+        self.next_row += 1;
+        for idx in &self.def.indexes {
+            let key = index_key(&self.def, idx, &row);
+            self.btrees
+                .get_mut(&idx.name)
+                .expect("index btree exists")
+                .insert(key, rid);
+        }
+        self.heap.insert(rid, row);
+        rid
+    }
+
+    /// Re-insert a previously deleted row under its original id
+    /// (rollback of a delete).
+    pub fn restore(&mut self, rid: RowId, row: Row) {
+        debug_assert!(!self.heap.contains_key(&rid), "restore over live row");
+        for idx in &self.def.indexes {
+            let key = index_key(&self.def, idx, &row);
+            self.btrees
+                .get_mut(&idx.name)
+                .expect("index btree exists")
+                .insert(key, rid);
+        }
+        self.heap.insert(rid, row);
+    }
+
+    /// Remove a row from heap and all indexes, returning its last version.
+    pub fn delete(&mut self, rid: RowId) -> Option<Row> {
+        let row = self.heap.remove(&rid)?;
+        for idx in &self.def.indexes {
+            let key = index_key(&self.def, idx, &row);
+            self.btrees.get_mut(&idx.name).expect("index exists").remove(&key);
+        }
+        Some(row)
+    }
+
+    /// Replace a row in place, maintaining indexes. Returns the old version.
+    pub fn update(&mut self, rid: RowId, new_row: Row) -> Option<Row> {
+        let old = self.heap.get(&rid)?.clone();
+        for idx in &self.def.indexes {
+            let old_key = index_key(&self.def, idx, &old);
+            let new_key = index_key(&self.def, idx, &new_row);
+            if old_key != new_key {
+                let tree = self.btrees.get_mut(&idx.name).expect("index exists");
+                tree.remove(&old_key);
+                tree.insert(new_key, rid);
+            }
+        }
+        self.heap.insert(rid, new_row);
+        Some(old)
+    }
+
+    /// The row id holding `key` in `index`, if present.
+    pub fn lookup(&self, index: &str, key: &KeyTuple) -> Option<RowId> {
+        self.btrees.get(index)?.get(key).copied()
+    }
+
+    /// The B-tree of an index.
+    pub fn btree(&self, index: &str) -> &BTreeMap<KeyTuple, RowId> {
+        self.btrees.get(index).expect("index exists")
+    }
+}
+
+/// An undo-log entry.
+#[derive(Debug, Clone)]
+pub enum Undo {
+    /// A row this transaction inserted (undo = delete it).
+    Insert {
+        /// Table name.
+        table: String,
+        /// Inserted row id.
+        rid: RowId,
+    },
+    /// A row this transaction updated (undo = restore old version).
+    Update {
+        /// Table name.
+        table: String,
+        /// Updated row id.
+        rid: RowId,
+        /// Pre-image.
+        old: Row,
+    },
+    /// A row this transaction deleted (undo = re-insert pre-image under
+    /// its original row id, so later undo entries still resolve).
+    Delete {
+        /// Table name.
+        table: String,
+        /// Original row id.
+        rid: RowId,
+        /// Pre-image.
+        old: Row,
+    },
+}
+
+/// All tables plus per-transaction undo logs, guarded by one mutex in
+/// [`crate::database::Database`].
+#[derive(Debug)]
+pub struct Storage {
+    /// Tables by name.
+    pub tables: HashMap<String, TableStore>,
+    /// Undo logs of active transactions.
+    pub undo: HashMap<TxnId, Vec<Undo>>,
+}
+
+impl Storage {
+    /// Build empty storage from a catalog.
+    pub fn new(catalog: &Catalog) -> Self {
+        let tables = catalog
+            .tables()
+            .map(|t| (t.name.clone(), TableStore::new(t.clone())))
+            .collect();
+        Storage { tables, undo: HashMap::new() }
+    }
+
+    /// The table by name (panics on unknown: validated upstream).
+    pub fn table(&self, name: &str) -> &TableStore {
+        self.tables.get(name).expect("validated table name")
+    }
+
+    /// Mutable table access.
+    pub fn table_mut(&mut self, name: &str) -> &mut TableStore {
+        self.tables.get_mut(name).expect("validated table name")
+    }
+
+    /// Append an undo entry for `txn`.
+    pub fn log(&mut self, txn: TxnId, u: Undo) {
+        self.undo.entry(txn).or_default().push(u);
+    }
+
+    /// Discard the undo log at commit.
+    pub fn commit(&mut self, txn: TxnId) {
+        self.undo.remove(&txn);
+    }
+
+    /// Roll back `txn`: replay undo in reverse.
+    pub fn rollback(&mut self, txn: TxnId) {
+        let log = self.undo.remove(&txn).unwrap_or_default();
+        for u in log.into_iter().rev() {
+            match u {
+                Undo::Insert { table, rid } => {
+                    self.table_mut(&table).delete(rid);
+                }
+                Undo::Update { table, rid, old } => {
+                    self.table_mut(&table).update(rid, old);
+                }
+                Undo::Delete { table, rid, old } => {
+                    self.table_mut(&table).restore(rid, old);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weseer_sqlir::{ColType, TableBuilder};
+
+    fn catalog() -> Catalog {
+        Catalog::new(vec![TableBuilder::new("Product")
+            .col("ID", ColType::Int)
+            .col("SKU", ColType::Str)
+            .col("QTY", ColType::Int)
+            .primary_key(&["ID"])
+            .unique_index("uq_sku", &["SKU"])
+            .index("idx_qty", &["QTY"])
+            .build()
+            .unwrap()])
+        .unwrap()
+    }
+
+    fn row(id: i64, sku: &str, qty: i64) -> Row {
+        vec![Value::Int(id), Value::str(sku), Value::Int(qty)]
+    }
+
+    #[test]
+    fn insert_maintains_all_indexes() {
+        let mut s = Storage::new(&catalog());
+        let rid = s.table_mut("Product").insert(row(1, "a", 5));
+        let t = s.table("Product");
+        assert_eq!(t.lookup("PRIMARY", &vec![Value::Int(1)]), Some(rid));
+        // Secondary keys carry the PK suffix.
+        assert_eq!(
+            t.lookup("uq_sku", &vec![Value::str("a"), Value::Int(1)]),
+            Some(rid)
+        );
+        assert_eq!(
+            t.lookup("idx_qty", &vec![Value::Int(5), Value::Int(1)]),
+            Some(rid)
+        );
+    }
+
+    #[test]
+    fn update_moves_index_entries() {
+        let mut s = Storage::new(&catalog());
+        let rid = s.table_mut("Product").insert(row(1, "a", 5));
+        s.table_mut("Product").update(rid, row(1, "a", 9));
+        let t = s.table("Product");
+        assert_eq!(t.lookup("idx_qty", &vec![Value::Int(5), Value::Int(1)]), None);
+        assert_eq!(
+            t.lookup("idx_qty", &vec![Value::Int(9), Value::Int(1)]),
+            Some(rid)
+        );
+    }
+
+    #[test]
+    fn delete_cleans_indexes() {
+        let mut s = Storage::new(&catalog());
+        let rid = s.table_mut("Product").insert(row(1, "a", 5));
+        let old = s.table_mut("Product").delete(rid).unwrap();
+        assert_eq!(old[0], Value::Int(1));
+        assert!(s.table("Product").is_empty());
+        assert_eq!(s.table("Product").lookup("PRIMARY", &vec![Value::Int(1)]), None);
+    }
+
+    #[test]
+    fn rollback_restores_preimages() {
+        let mut s = Storage::new(&catalog());
+        let txn = TxnId(1);
+        // Baseline row committed by someone else.
+        let r0 = s.table_mut("Product").insert(row(1, "a", 5));
+
+        let rid = s.table_mut("Product").insert(row(2, "b", 7));
+        s.log(txn, Undo::Insert { table: "Product".into(), rid });
+
+        let old = s.table_mut("Product").update(r0, row(1, "a", 99)).unwrap();
+        s.log(txn, Undo::Update { table: "Product".into(), rid: r0, old });
+
+        let old = s.table_mut("Product").delete(r0).unwrap();
+        s.log(txn, Undo::Delete { table: "Product".into(), rid: r0, old });
+
+        s.rollback(txn);
+        let t = s.table("Product");
+        assert_eq!(t.len(), 1);
+        let surviving = t.heap.values().next().unwrap();
+        assert_eq!(surviving, &row(1, "a", 5));
+        assert_eq!(t.lookup("uq_sku", &vec![Value::str("b"), Value::Int(2)]), None);
+    }
+
+    #[test]
+    fn commit_discards_undo() {
+        let mut s = Storage::new(&catalog());
+        let txn = TxnId(1);
+        let rid = s.table_mut("Product").insert(row(1, "a", 5));
+        s.log(txn, Undo::Insert { table: "Product".into(), rid });
+        s.commit(txn);
+        s.rollback(txn); // no-op now
+        assert_eq!(s.table("Product").len(), 1);
+    }
+
+    #[test]
+    fn index_key_extraction() {
+        let cat = catalog();
+        let def = cat.table("Product").unwrap();
+        let r = row(3, "x", 8);
+        assert_eq!(index_key(def, def.primary_index(), &r), vec![Value::Int(3)]);
+        let sku = def.index("uq_sku").unwrap();
+        assert_eq!(
+            index_key(def, sku, &r),
+            vec![Value::str("x"), Value::Int(3)]
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Core identifiers and key types for the storage engine.
+
+use std::fmt;
+use weseer_sqlir::Value;
+
+/// A transaction identifier; monotonically increasing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxnId(pub u64);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn#{}", self.0)
+    }
+}
+
+/// Internal row identifier within a table (never reused).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowId(pub u64);
+
+/// An index key: the indexed column values, in key order. Secondary index
+/// keys are suffixed with the primary-key values to make entries unique
+/// (InnoDB's physical layout).
+pub type KeyTuple = Vec<Value>;
+
+/// The upper boundary of a B-tree gap: the key the gap precedes, or the
+/// index supremum (InnoDB's "gap before the supremum pseudo-record").
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum KeyBound {
+    /// Gap immediately before this existing key.
+    Key(KeyTuple),
+    /// Gap after the last key.
+    Supremum,
+}
+
+impl fmt::Display for KeyBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeyBound::Key(k) => {
+                write!(f, "<")?;
+                for (i, v) in k.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ">")
+            }
+            KeyBound::Supremum => write!(f, "<sup>"),
+        }
+    }
+}
+
+/// Errors surfaced by the storage engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// This transaction was chosen as a deadlock victim and rolled back.
+    DeadlockVictim,
+    /// Waited longer than the configured lock-wait timeout; the
+    /// transaction was rolled back (MySQL's detect-or-timeout recovery).
+    LockWaitTimeout,
+    /// Unique-key violation.
+    DuplicateKey {
+        /// Violated index.
+        index: String,
+    },
+    /// Statement used outside of a transaction.
+    NoTransaction,
+    /// Statement shape not supported by the engine.
+    Unsupported(String),
+    /// Schema-level problem (unknown table/column, arity mismatch).
+    Schema(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::DeadlockVictim => {
+                write!(f, "deadlock found when trying to get lock; transaction rolled back")
+            }
+            DbError::LockWaitTimeout => write!(f, "lock wait timeout exceeded"),
+            DbError::DuplicateKey { index } => {
+                write!(f, "duplicate entry for index {index:?}")
+            }
+            DbError::NoTransaction => write!(f, "no active transaction"),
+            DbError::Unsupported(s) => write!(f, "unsupported statement: {s}"),
+            DbError::Schema(s) => write!(f, "schema error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl DbError {
+    /// Whether this error implies the transaction was rolled back by the
+    /// engine (abort-style recovery).
+    pub fn aborts_txn(&self) -> bool {
+        matches!(self, DbError::DeadlockVictim | DbError::LockWaitTimeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert!(TxnId(3).to_string().contains('3'));
+        assert!(KeyBound::Supremum.to_string().contains("sup"));
+        assert!(KeyBound::Key(vec![Value::Int(1), Value::str("a")])
+            .to_string()
+            .contains("1,'a'"));
+        assert!(DbError::DeadlockVictim.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn abort_classification() {
+        assert!(DbError::DeadlockVictim.aborts_txn());
+        assert!(DbError::LockWaitTimeout.aborts_txn());
+        assert!(!DbError::DuplicateKey { index: "PRIMARY".into() }.aborts_txn());
+        assert!(!DbError::NoTransaction.aborts_txn());
+    }
+}

@@ -1,0 +1,209 @@
+//! Property tests: the locking executor must agree with a naive oracle
+//! (full-scan predicate evaluation over an in-memory table image) on
+//! every sequential schedule of random statements.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use weseer_db::Database;
+use weseer_sqlir::ast::{Assignment, Insert, Select, Statement, Update};
+use weseer_sqlir::{
+    Catalog, CmpOp, ColType, Cond, Delete, Operand, TableBuilder, TableRef, Value,
+};
+
+fn catalog() -> Catalog {
+    Catalog::new(vec![TableBuilder::new("T")
+        .col("ID", ColType::Int)
+        .col("A", ColType::Int)
+        .col("B", ColType::Int)
+        .primary_key(&["ID"])
+        .index("idx_a", &["A"])
+        .build()
+        .unwrap()])
+    .unwrap()
+}
+
+/// The oracle: rows keyed by ID.
+type Image = BTreeMap<i64, (i64, i64)>;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { id: i64, a: i64, b: i64 },
+    UpdateByA { a: i64, new_b: i64 },
+    DeleteById { id: i64 },
+    SelectByA { a: i64 },
+    SelectRange { lo: i64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0i64..30, 0i64..5, 0i64..100).prop_map(|(id, a, b)| Op::Insert { id, a, b }),
+        (0i64..5, 0i64..100).prop_map(|(a, new_b)| Op::UpdateByA { a, new_b }),
+        (0i64..30).prop_map(|id| Op::DeleteById { id }),
+        (0i64..5).prop_map(|a| Op::SelectByA { a }),
+        (0i64..30).prop_map(|lo| Op::SelectRange { lo }),
+    ]
+}
+
+fn apply_oracle(img: &mut Image, op: &Op) -> Vec<(i64, i64, i64)> {
+    match op {
+        Op::Insert { id, a, b } => {
+            // Duplicate key: rejected, no change.
+            img.entry(*id).or_insert((*a, *b));
+            vec![]
+        }
+        Op::UpdateByA { a, new_b } => {
+            for (_, v) in img.iter_mut() {
+                if v.0 == *a {
+                    v.1 = *new_b;
+                }
+            }
+            vec![]
+        }
+        Op::DeleteById { id } => {
+            img.remove(id);
+            vec![]
+        }
+        Op::SelectByA { a } => img
+            .iter()
+            .filter(|(_, v)| v.0 == *a)
+            .map(|(id, v)| (*id, v.0, v.1))
+            .collect(),
+        Op::SelectRange { lo } => img
+            .iter()
+            .filter(|(id, _)| **id >= *lo)
+            .map(|(id, v)| (*id, v.0, v.1))
+            .collect(),
+    }
+}
+
+fn stmt_of(op: &Op) -> (Statement, Vec<Value>) {
+    match op {
+        Op::Insert { id, a, b } => (
+            Statement::Insert(Insert {
+                table: "T".into(),
+                columns: vec!["ID".into(), "A".into(), "B".into()],
+                values: vec![Operand::Param(0), Operand::Param(1), Operand::Param(2)],
+                on_duplicate: vec![],
+            }),
+            vec![Value::Int(*id), Value::Int(*a), Value::Int(*b)],
+        ),
+        Op::UpdateByA { a, new_b } => (
+            Statement::Update(Update {
+                table: "T".into(),
+                sets: vec![Assignment { column: "B".into(), value: Operand::Param(0) }],
+                where_clause: Some(Cond::eq(Operand::col("T", "A"), Operand::Param(1))),
+            }),
+            vec![Value::Int(*new_b), Value::Int(*a)],
+        ),
+        Op::DeleteById { id } => (
+            Statement::Delete(Delete {
+                table: "T".into(),
+                where_clause: Some(Cond::eq(Operand::col("T", "ID"), Operand::Param(0))),
+            }),
+            vec![Value::Int(*id)],
+        ),
+        Op::SelectByA { a } => (
+            Statement::Select(Select {
+                from: TableRef::aliased("T", "t"),
+                joins: vec![],
+                where_clause: Some(Cond::eq(Operand::col("t", "A"), Operand::Param(0))),
+                for_update: false,
+            }),
+            vec![Value::Int(*a)],
+        ),
+        Op::SelectRange { lo } => (
+            Statement::Select(Select {
+                from: TableRef::aliased("T", "t"),
+                joins: vec![],
+                where_clause: Some(Cond::cmp(
+                    Operand::col("t", "ID"),
+                    CmpOp::Ge,
+                    Operand::Param(0),
+                )),
+                for_update: false,
+            }),
+            vec![Value::Int(*lo)],
+        ),
+    }
+}
+
+fn rows_of(result: &weseer_db::ExecData) -> Vec<(i64, i64, i64)> {
+    let mut out: Vec<(i64, i64, i64)> = result
+        .rows
+        .iter()
+        .map(|row| {
+            let get = |name: &str| -> i64 {
+                row.iter()
+                    .find(|(n, _)| n == name)
+                    .and_then(|(_, v)| v.as_int())
+                    .unwrap()
+            };
+            (get("t.ID"), get("t.A"), get("t.B"))
+        })
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn executor_agrees_with_oracle(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let db = Database::new(catalog());
+        let mut session = db.session();
+        session.begin();
+        let mut img = Image::new();
+        for op in &ops {
+            let expected = apply_oracle(&mut img, op);
+            let (stmt, params) = stmt_of(op);
+            match session.execute(&stmt, &params) {
+                Ok(result) => {
+                    if matches!(op, Op::SelectByA { .. } | Op::SelectRange { .. }) {
+                        prop_assert_eq!(rows_of(&result), expected, "op {:?}", op);
+                    }
+                }
+                Err(weseer_db::DbError::DuplicateKey { .. }) => {
+                    let is_insert = matches!(op, Op::Insert { .. });
+                    prop_assert!(is_insert, "dup key from non-insert");
+                }
+                Err(e) => return Err(TestCaseError::fail(format!("{op:?}: {e}"))),
+            }
+        }
+        session.commit().unwrap();
+        // Final table image matches.
+        let dumped: Vec<(i64, i64, i64)> = db
+            .dump("T")
+            .into_iter()
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap(), r[2].as_int().unwrap()))
+            .collect();
+        let expected: Vec<(i64, i64, i64)> =
+            img.iter().map(|(id, v)| (*id, v.0, v.1)).collect();
+        prop_assert_eq!(dumped, expected);
+    }
+
+    /// Rollback must restore exactly the pre-transaction image.
+    #[test]
+    fn rollback_restores_oracle_image(
+        seed in proptest::collection::vec((0i64..20, 0i64..5, 0i64..50), 1..10),
+        ops in proptest::collection::vec(op_strategy(), 1..20),
+    ) {
+        let db = Database::new(catalog());
+        let mut dedup = BTreeMap::new();
+        for (id, a, b) in &seed {
+            dedup.entry(*id).or_insert((*a, *b));
+        }
+        db.seed(
+            "T",
+            dedup.iter().map(|(id, (a, b))| vec![Value::Int(*id), Value::Int(*a), Value::Int(*b)]).collect(),
+        );
+        let before = db.dump("T");
+        let mut session = db.session();
+        session.begin();
+        for op in &ops {
+            let (stmt, params) = stmt_of(op);
+            let _ = session.execute(&stmt, &params); // dup errors fine
+        }
+        session.rollback();
+        prop_assert_eq!(db.dump("T"), before);
+    }
+}

@@ -1,0 +1,212 @@
+//! Persistent entities: in-memory objects mapped to database rows.
+//!
+//! Entities track a loaded snapshot for dirty checking (the write-behind
+//! cache defers an UPDATE until flush) and the stack trace of their *last
+//! modification* — the paper's mechanism for mapping implicit lazy writes
+//! back to triggering code (Sec. VI).
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+use weseer_concolic::{CodeLoc, EngineRef, StackTrace, SymValue};
+
+/// Life-cycle state of an entity in a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntityStatus {
+    /// Scheduled for INSERT at flush.
+    New,
+    /// Loaded from (or written to) the database.
+    Persistent,
+    /// Scheduled for DELETE at flush.
+    Removed,
+}
+
+#[derive(Debug)]
+pub(crate) struct EntityData {
+    pub table: String,
+    /// `(column, value)` in table column order.
+    pub fields: Vec<(String, SymValue)>,
+    /// Values as of load/last flush (dirty checking baseline).
+    pub snapshot: Vec<SymValue>,
+    pub status: EntityStatus,
+    /// Stack of the most recent `set` — the triggering code of the
+    /// eventual UPDATE.
+    pub last_modified: Option<StackTrace>,
+}
+
+/// A shared handle to a persistent object.
+#[derive(Clone)]
+pub struct EntityRef {
+    pub(crate) inner: Rc<RefCell<EntityData>>,
+}
+
+impl fmt::Debug for EntityRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = self.inner.borrow();
+        write!(f, "Entity({}", d.table)?;
+        for (c, v) in &d.fields {
+            write!(f, " {c}={}", v.concrete)?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl EntityRef {
+    /// Create an entity (used by the session; applications use
+    /// `OrmSession::persist`/`find`).
+    pub(crate) fn new(
+        table: String,
+        fields: Vec<(String, SymValue)>,
+        status: EntityStatus,
+    ) -> EntityRef {
+        let snapshot = fields.iter().map(|(_, v)| v.clone()).collect();
+        EntityRef {
+            inner: Rc::new(RefCell::new(EntityData {
+                table,
+                fields,
+                snapshot,
+                status,
+                last_modified: None,
+            })),
+        }
+    }
+
+    /// The mapped table.
+    pub fn table(&self) -> String {
+        self.inner.borrow().table.clone()
+    }
+
+    /// Current status.
+    pub fn status(&self) -> EntityStatus {
+        self.inner.borrow().status
+    }
+
+    /// Read a field (object access — no SQL; the read cache already holds
+    /// the value).
+    pub fn get(&self, column: &str) -> SymValue {
+        self.inner
+            .borrow()
+            .fields
+            .iter()
+            .find(|(c, _)| c == column)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| panic!("entity has no field {column}"))
+    }
+
+    /// Write a field. The UPDATE is buffered (write-behind); `loc` is
+    /// recorded as the triggering code of the eventual statement.
+    pub fn set(&self, engine: &EngineRef, column: &str, value: SymValue, loc: CodeLoc) {
+        let stack = engine.borrow().stack_at(loc);
+        let mut d = self.inner.borrow_mut();
+        let slot = d
+            .fields
+            .iter_mut()
+            .find(|(c, _)| c == column)
+            .unwrap_or_else(|| panic!("entity has no field {column}"));
+        slot.1 = value;
+        d.last_modified = Some(stack);
+    }
+
+    /// All `(column, value)` pairs.
+    pub fn fields(&self) -> Vec<(String, SymValue)> {
+        self.inner.borrow().fields.clone()
+    }
+
+    /// Columns whose current value differs concretely from the snapshot.
+    pub fn dirty_columns(&self) -> Vec<String> {
+        let d = self.inner.borrow();
+        d.fields
+            .iter()
+            .zip(&d.snapshot)
+            .filter(|((_, cur), snap)| cur.concrete != snap.concrete)
+            .map(|((c, _), _)| c.clone())
+            .collect()
+    }
+
+    /// Whether a flush would emit an UPDATE for this entity.
+    pub fn is_dirty(&self) -> bool {
+        !self.dirty_columns().is_empty()
+    }
+
+    /// The recorded last-modification stack.
+    pub fn last_modified(&self) -> Option<StackTrace> {
+        self.inner.borrow().last_modified.clone()
+    }
+
+    pub(crate) fn set_status(&self, s: EntityStatus) {
+        self.inner.borrow_mut().status = s;
+    }
+
+    /// Reset the snapshot to the current values (after flush).
+    pub(crate) fn mark_clean(&self) {
+        let mut d = self.inner.borrow_mut();
+        d.snapshot = d.fields.iter().map(|(_, v)| v.clone()).collect();
+        d.last_modified = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weseer_concolic::{loc, shared, ExecMode};
+    use weseer_sqlir::Value;
+
+    fn entity() -> EntityRef {
+        EntityRef::new(
+            "Product".into(),
+            vec![
+                ("ID".into(), SymValue::concrete(1i64)),
+                ("QTY".into(), SymValue::concrete(10i64)),
+            ],
+            EntityStatus::Persistent,
+        )
+    }
+
+    #[test]
+    fn get_set_and_dirty_tracking() {
+        let e = entity();
+        let eng = shared(ExecMode::Concolic);
+        assert!(!e.is_dirty());
+        assert_eq!(e.get("QTY").as_int(), Some(10));
+        e.set(&eng, "QTY", SymValue::concrete(7i64), loc!("updateQuantity"));
+        assert!(e.is_dirty());
+        assert_eq!(e.dirty_columns(), vec!["QTY"]);
+        assert_eq!(e.get("QTY").as_int(), Some(7));
+        let lm = e.last_modified().unwrap();
+        assert_eq!(lm.top().unwrap().function, "updateQuantity");
+    }
+
+    #[test]
+    fn mark_clean_resets_baseline() {
+        let e = entity();
+        let eng = shared(ExecMode::Concolic);
+        e.set(&eng, "QTY", SymValue::concrete(7i64), loc!("f"));
+        e.mark_clean();
+        assert!(!e.is_dirty());
+        assert!(e.last_modified().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no field")]
+    fn unknown_field_panics() {
+        entity().get("NOPE");
+    }
+
+    #[test]
+    fn set_back_to_original_is_clean() {
+        let e = entity();
+        let eng = shared(ExecMode::Concolic);
+        e.set(&eng, "QTY", SymValue::concrete(7i64), loc!("f"));
+        e.set(&eng, "QTY", SymValue::concrete(10i64), loc!("f"));
+        assert!(!e.is_dirty());
+    }
+
+    #[test]
+    fn debug_format_shows_fields() {
+        let e = entity();
+        let s = format!("{e:?}");
+        assert!(s.contains("Product"));
+        assert!(s.contains("QTY=10"));
+        let _ = Value::Int(0);
+    }
+}

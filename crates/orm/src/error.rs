@@ -1,0 +1,55 @@
+//! ORM error type.
+
+use std::fmt;
+use weseer_concolic::BackendError;
+
+/// Errors surfaced to application code through the ORM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrmError {
+    /// Database-layer failure (lock conflicts, duplicates, …).
+    Backend(BackendError),
+    /// Application-level abort (e.g. Fig. 1's "No enough products").
+    AppAbort(String),
+}
+
+impl OrmError {
+    /// Whether this error means the transaction was chosen as a deadlock
+    /// victim and rolled back by the database.
+    pub fn is_deadlock_victim(&self) -> bool {
+        matches!(self, OrmError::Backend(b) if b.deadlock_victim)
+    }
+}
+
+impl From<BackendError> for OrmError {
+    fn from(e: BackendError) -> Self {
+        OrmError::Backend(e)
+    }
+}
+
+impl fmt::Display for OrmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrmError::Backend(b) => write!(f, "database error: {b}"),
+            OrmError::AppAbort(m) => write!(f, "application abort: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OrmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadlock_classification() {
+        let dl = OrmError::Backend(BackendError {
+            message: "deadlock".into(),
+            deadlock_victim: true,
+        });
+        assert!(dl.is_deadlock_victim());
+        let other = OrmError::AppAbort("nope".into());
+        assert!(!other.is_deadlock_victim());
+        assert!(other.to_string().contains("nope"));
+    }
+}

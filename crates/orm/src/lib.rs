@@ -1,0 +1,25 @@
+//! # weseer-orm
+//!
+//! A Hibernate-style ORM simulator (the paper analyzes applications built
+//! on Hibernate 5.2). It reproduces exactly the ORM behaviours that make
+//! transaction extraction hard (paper Sec. II-B):
+//!
+//! * **read cache** — `find` on a cached key issues no SQL, so object
+//!   accesses and SQL statements do not correspond 1:1;
+//! * **write-behind cache** — entity writes buffer an UPDATE that is only
+//!   sent at flush/commit, reordering SQL relative to program order (the
+//!   d5/d6 deadlock ingredient, fixed by moving the flush forward — f4);
+//! * **lazy loading** — collections issue their SELECT at first use.
+//!
+//! The session runs on top of `weseer-concolic`'s tracing driver, so every
+//! generated statement lands in the trace together with its *triggering
+//! code* (Sec. VI): eager reads record the access site, buffered writes
+//! record the site of the last modification to the entity.
+
+pub mod entity;
+pub mod error;
+pub mod session;
+
+pub use entity::{EntityRef, EntityStatus};
+pub use error::OrmError;
+pub use session::{LazyCollection, OrmSession};

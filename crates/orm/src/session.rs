@@ -1,0 +1,467 @@
+//! The ORM session: identity-map read cache, write-behind cache with flush
+//! ordering, eager/lazy statement generation, and triggering-code capture.
+//!
+//! Models the Hibernate behaviours that defeat static transaction
+//! extraction (paper Sec. II-B):
+//!
+//! 1. **read cache** — `find` on a cached key issues no SQL;
+//! 2. **write-behind cache** — `set` on a loaded entity buffers the UPDATE
+//!    until `flush`/commit, reordering statements relative to program
+//!    order;
+//! 3. **lazy loading** — [`LazyCollection`] issues its SELECT at first
+//!    *use*, not at construction.
+
+use crate::entity::{EntityRef, EntityStatus};
+use crate::error::OrmError;
+use std::collections::BTreeMap;
+use weseer_concolic::{
+    containers::SymMap, CodeLoc, EngineRef, SqlBackend, StackTrace, SymResultSet, SymValue,
+    TraceDriver,
+};
+use weseer_smt::Sort;
+use weseer_sqlir::ast::{Assignment, Insert, Select, Update};
+use weseer_sqlir::{Catalog, ColType, Cond, Delete, Operand, Statement, TableRef};
+
+/// A Hibernate-style session bound to one backend connection.
+pub struct OrmSession<B: SqlBackend> {
+    driver: TraceDriver<B>,
+    engine: EngineRef,
+    catalog: Catalog,
+    cache: BTreeMap<String, SymMap<EntityRef>>,
+    pending_inserts: Vec<(EntityRef, StackTrace)>,
+    pending_deletes: Vec<(EntityRef, StackTrace)>,
+}
+
+impl<B: SqlBackend> OrmSession<B> {
+    /// Open a session over a backend connection.
+    pub fn new(engine: EngineRef, backend: B, catalog: Catalog) -> Self {
+        OrmSession {
+            driver: TraceDriver::new(engine.clone(), backend),
+            engine,
+            catalog,
+            cache: BTreeMap::new(),
+            pending_inserts: Vec::new(),
+            pending_deletes: Vec::new(),
+        }
+    }
+
+    /// The concolic engine handle.
+    pub fn engine(&self) -> &EngineRef {
+        &self.engine
+    }
+
+    /// The wrapped tracing driver.
+    pub fn driver_mut(&mut self) -> &mut TraceDriver<B> {
+        &mut self.driver
+    }
+
+    /// The schema.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    fn pk_column(&self, table: &str) -> String {
+        let def = self.catalog.table(table).expect("mapped table exists");
+        assert_eq!(def.primary_key.len(), 1, "ORM supports single-column PKs");
+        def.primary_key[0].clone()
+    }
+
+    fn key_sort(&self, table: &str) -> Sort {
+        let def = self.catalog.table(table).expect("mapped table exists");
+        let pk = &def.primary_key[0];
+        match def.column(pk).expect("pk column").ty {
+            ColType::Int => Sort::Int,
+            ColType::Float => Sort::Real,
+            ColType::Str => Sort::Str,
+            ColType::Bool => Sort::Bool,
+        }
+    }
+
+    fn cache_for(&mut self, table: &str) -> &mut SymMap<EntityRef> {
+        if !self.cache.contains_key(table) {
+            let sort = self.key_sort(table);
+            let mut eng = self.engine.borrow_mut();
+            let map = SymMap::new(&mut eng, format!("cache.{table}"), sort);
+            drop(eng);
+            self.cache.insert(table.to_string(), map);
+        }
+        self.cache.get_mut(table).expect("just inserted")
+    }
+
+    // ---- transaction boundary ------------------------------------------
+
+    /// Begin a transaction (`@Transactional` entry).
+    pub fn begin(&mut self) {
+        self.driver.begin();
+    }
+
+    /// Flush pending writes and commit.
+    pub fn commit(&mut self, loc: CodeLoc) -> Result<(), OrmError> {
+        self.flush(loc)?;
+        self.driver.commit().map_err(|e| {
+            self.clear_session_state();
+            OrmError::from(e)
+        })
+    }
+
+    /// Roll back, discarding all pending work and the read cache (its
+    /// entries may reflect uncommitted state).
+    pub fn rollback(&mut self) {
+        if self.driver.in_txn() {
+            self.driver.rollback();
+        }
+        self.clear_session_state();
+    }
+
+    fn clear_session_state(&mut self) {
+        self.cache.clear();
+        self.pending_inserts.clear();
+        self.pending_deletes.clear();
+    }
+
+    fn run(
+        &mut self,
+        stmt: &Statement,
+        params: &[SymValue],
+        trigger: Option<StackTrace>,
+    ) -> Result<SymResultSet, OrmError> {
+        self.driver.execute(stmt, params, trigger).map_err(|e| {
+            // The database rolled the victim back; discard session state so
+            // the application sees a clean aborted transaction.
+            if e.deadlock_victim {
+                if self.driver.in_txn() {
+                    self.driver.rollback();
+                }
+                self.clear_session_state();
+            }
+            OrmError::from(e)
+        })
+    }
+
+    // ---- reads -----------------------------------------------------------
+
+    /// `EntityManager.find`: read cache first; on miss, an eager SELECT by
+    /// primary key.
+    pub fn find(
+        &mut self,
+        table: &str,
+        id: &SymValue,
+        loc: CodeLoc,
+    ) -> Result<Option<EntityRef>, OrmError> {
+        let cached = {
+            let engine = self.engine.clone();
+            let cache = self.cache_for(table);
+            let mut eng = engine.borrow_mut();
+            cache.get(&mut eng, id)
+        };
+        if let Some(e) = cached {
+            return Ok(Some(e)); // read cache hit: no SQL (Fig. 1 line 5)
+        }
+        let pk = self.pk_column(table);
+        let stmt = Statement::Select(Select {
+            from: TableRef::aliased(table, "e"),
+            joins: vec![],
+            where_clause: Some(Cond::eq(Operand::col("e", &pk), Operand::Param(0))),
+            for_update: false,
+        });
+        let trigger = Some(self.engine.borrow().stack_at(loc));
+        let rs = self.run(&stmt, &[id.clone()], trigger)?;
+        if rs.is_empty() {
+            return Ok(None);
+        }
+        let entity = self.hydrate(table, "e", &rs.rows[0]);
+        Ok(Some(entity))
+    }
+
+    /// Run a hydrating query: every result row yields one entity per table
+    /// alias. Cached entities win over freshly fetched state (first-level
+    /// cache identity semantics).
+    pub fn query(
+        &mut self,
+        stmt: &Statement,
+        params: &[SymValue],
+        loc: CodeLoc,
+    ) -> Result<Vec<BTreeMap<String, EntityRef>>, OrmError> {
+        let trigger = Some(self.engine.borrow().stack_at(loc));
+        let rs = self.run(stmt, params, trigger)?;
+        let aliases = stmt.alias_map();
+        let mut out = Vec::with_capacity(rs.rows.len());
+        for row in &rs.rows {
+            let mut per_alias = BTreeMap::new();
+            for (alias, table) in &aliases {
+                let e = self.hydrate(table, alias, row);
+                per_alias.insert(alias.clone(), e);
+            }
+            out.push(per_alias);
+        }
+        Ok(out)
+    }
+
+    /// Run a non-hydrating statement (projections, existence checks,
+    /// native SQL).
+    pub fn raw(
+        &mut self,
+        stmt: &Statement,
+        params: &[SymValue],
+        loc: CodeLoc,
+    ) -> Result<SymResultSet, OrmError> {
+        let trigger = Some(self.engine.borrow().stack_at(loc));
+        self.run(stmt, params, trigger)
+    }
+
+    fn hydrate(&mut self, table: &str, alias: &str, row: &weseer_concolic::ResultRow) -> EntityRef {
+        let def = self.catalog.table(table).expect("mapped table").clone();
+        let pk_col = self.pk_column(table);
+        let pk_val = row
+            .get(&format!("{alias}.{pk_col}"))
+            .unwrap_or_else(|| panic!("result row missing {alias}.{pk_col}"))
+            .clone();
+        // Identity-map check (records Alg. 1 conditions).
+        let cached = {
+            let engine = self.engine.clone();
+            let cache = self.cache_for(table);
+            let mut eng = engine.borrow_mut();
+            cache.get(&mut eng, &pk_val)
+        };
+        if let Some(e) = cached {
+            return e;
+        }
+        let fields: Vec<(String, SymValue)> = def
+            .columns
+            .iter()
+            .map(|c| {
+                let v = row
+                    .get(&format!("{alias}.{}", c.name))
+                    .cloned()
+                    .unwrap_or_else(|| SymValue::concrete(weseer_sqlir::Value::Null));
+                (c.name.clone(), v)
+            })
+            .collect();
+        let e = EntityRef::new(table.to_string(), fields, EntityStatus::Persistent);
+        let engine = self.engine.clone();
+        let cache = self.cache_for(table);
+        let mut eng = engine.borrow_mut();
+        cache.put(&mut eng, pk_val, e.clone());
+        e
+    }
+
+    // ---- writes ----------------------------------------------------------
+
+    /// `EntityManager.persist`: register a new entity; its INSERT is
+    /// deferred to flush (explicit lazy write, Sec. VI).
+    pub fn persist(
+        &mut self,
+        table: &str,
+        fields: Vec<(String, SymValue)>,
+        loc: CodeLoc,
+    ) -> EntityRef {
+        let pk_col = self.pk_column(table);
+        let id = fields
+            .iter()
+            .find(|(c, _)| c == &pk_col)
+            .map(|(_, v)| v.clone())
+            .expect("persist requires the primary key field");
+        let e = EntityRef::new(table.to_string(), fields, EntityStatus::New);
+        let trigger = self.engine.borrow().stack_at(loc);
+        let engine = self.engine.clone();
+        let cache = self.cache_for(table);
+        {
+            let mut eng = engine.borrow_mut();
+            cache.put(&mut eng, id, e.clone());
+        }
+        self.pending_inserts.push((e.clone(), trigger));
+        e
+    }
+
+    /// `EntityManager.merge`: an *eager* SELECT by primary key, then either
+    /// a buffered UPDATE (row exists) or a buffered INSERT (row missing).
+    ///
+    /// The SELECT on the missing path acquires a gap lock — the d1
+    /// deadlock the paper fixes by replacing `merge` with `persist` (f1).
+    pub fn merge(
+        &mut self,
+        table: &str,
+        fields: Vec<(String, SymValue)>,
+        loc: CodeLoc,
+    ) -> Result<EntityRef, OrmError> {
+        let pk_col = self.pk_column(table);
+        let id = fields
+            .iter()
+            .find(|(c, _)| c == &pk_col)
+            .map(|(_, v)| v.clone())
+            .expect("merge requires the primary key field");
+        let stmt = Statement::Select(Select {
+            from: TableRef::aliased(table, "e"),
+            joins: vec![],
+            where_clause: Some(Cond::eq(Operand::col("e", &pk_col), Operand::Param(0))),
+            for_update: false,
+        });
+        let trigger = Some(self.engine.borrow().stack_at(loc));
+        let rs = self.run(&stmt, &[id.clone()], trigger)?;
+        if rs.is_empty() {
+            // Missing: behave like persist (INSERT at flush) — but the gap
+            // lock from the SELECT above is already held.
+            return Ok(self.persist(table, fields, loc));
+        }
+        let entity = self.hydrate(table, "e", &rs.rows[0]);
+        for (c, v) in fields {
+            if c != pk_col && entity.get(&c).concrete != v.concrete {
+                entity.set(&self.engine, &c, v, loc.clone());
+            }
+        }
+        Ok(entity)
+    }
+
+    /// `EntityManager.remove`: schedule a DELETE for flush.
+    pub fn remove(&mut self, entity: &EntityRef, loc: CodeLoc) {
+        let table = entity.table();
+        let pk_col = self.pk_column(&table);
+        let id = entity.get(&pk_col);
+        entity.set_status(EntityStatus::Removed);
+        let engine = self.engine.clone();
+        let cache = self.cache_for(&table);
+        {
+            let mut eng = engine.borrow_mut();
+            cache.remove(&mut eng, &id);
+        }
+        let trigger = self.engine.borrow().stack_at(loc);
+        self.pending_deletes.push((entity.clone(), trigger));
+    }
+
+    /// MySQL `INSERT ... ON DUPLICATE KEY UPDATE`, issued eagerly
+    /// (fix f2 replaces check-then-insert transaction logic with this).
+    pub fn upsert(
+        &mut self,
+        table: &str,
+        fields: Vec<(String, SymValue)>,
+        update_columns: &[&str],
+        loc: CodeLoc,
+    ) -> Result<(), OrmError> {
+        let columns: Vec<String> = fields.iter().map(|(c, _)| c.clone()).collect();
+        let mut params: Vec<SymValue> = fields.iter().map(|(_, v)| v.clone()).collect();
+        let values: Vec<Operand> = (0..params.len()).map(Operand::Param).collect();
+        let mut on_duplicate = Vec::new();
+        for c in update_columns {
+            let v = fields
+                .iter()
+                .find(|(fc, _)| fc == c)
+                .map(|(_, v)| v.clone())
+                .expect("update column must be among the fields");
+            on_duplicate.push(Assignment {
+                column: c.to_string(),
+                value: Operand::Param(params.len()),
+            });
+            params.push(v);
+        }
+        let stmt = Statement::Insert(Insert {
+            table: table.to_string(),
+            columns,
+            values,
+            on_duplicate,
+        });
+        let trigger = Some(self.engine.borrow().stack_at(loc));
+        self.run(&stmt, &params, trigger)?;
+        Ok(())
+    }
+
+    // ---- flush -----------------------------------------------------------
+
+    /// Flush the write-behind cache: INSERTs, then dirty UPDATEs, then
+    /// DELETEs (Hibernate's action-queue order). Each statement carries the
+    /// triggering-code stack recorded when the write was buffered.
+    pub fn flush(&mut self, loc: CodeLoc) -> Result<(), OrmError> {
+        let flush_stack = self.engine.borrow().stack_at(loc);
+        // 1. INSERTs in registration order.
+        let inserts = std::mem::take(&mut self.pending_inserts);
+        for (e, trigger) in inserts {
+            let fields = e.fields();
+            let columns: Vec<String> = fields.iter().map(|(c, _)| c.clone()).collect();
+            let params: Vec<SymValue> = fields.iter().map(|(_, v)| v.clone()).collect();
+            let stmt = Statement::Insert(Insert {
+                table: e.table(),
+                columns,
+                values: (0..params.len()).map(Operand::Param).collect(),
+                on_duplicate: vec![],
+            });
+            self.run(&stmt, &params, Some(trigger))?;
+            e.set_status(EntityStatus::Persistent);
+            e.mark_clean();
+        }
+        // 2. Dirty UPDATEs, per table in name order, entities in load order.
+        let dirty: Vec<EntityRef> = self
+            .cache
+            .values()
+            .flat_map(|m| m.values().cloned().collect::<Vec<_>>())
+            .filter(|e| e.status() == EntityStatus::Persistent && e.is_dirty())
+            .collect();
+        for e in dirty {
+            let table = e.table();
+            let pk_col = self.pk_column(&table);
+            let dirty_cols = e.dirty_columns();
+            let mut sets = Vec::new();
+            let mut params = Vec::new();
+            for c in &dirty_cols {
+                sets.push(Assignment { column: c.clone(), value: Operand::Param(params.len()) });
+                params.push(e.get(c));
+            }
+            let where_clause = Some(Cond::eq(
+                Operand::col(&table, &pk_col),
+                Operand::Param(params.len()),
+            ));
+            params.push(e.get(&pk_col));
+            let stmt = Statement::Update(Update { table: table.clone(), sets, where_clause });
+            let trigger = e.last_modified().unwrap_or_else(|| flush_stack.clone());
+            self.run(&stmt, &params, Some(trigger))?;
+            e.mark_clean();
+        }
+        // 3. DELETEs.
+        let deletes = std::mem::take(&mut self.pending_deletes);
+        for (e, trigger) in deletes {
+            let table = e.table();
+            let pk_col = self.pk_column(&table);
+            let stmt = Statement::Delete(Delete {
+                table: table.clone(),
+                where_clause: Some(Cond::eq(
+                    Operand::col(&table, &pk_col),
+                    Operand::Param(0),
+                )),
+            });
+            self.run(&stmt, &[e.get(&pk_col)], Some(trigger))?;
+        }
+        Ok(())
+    }
+}
+
+/// A lazily loaded collection (paper Fig. 1 line 7: iterating the order's
+/// items triggers Q4 at first use).
+pub struct LazyCollection {
+    stmt: Statement,
+    params: Vec<SymValue>,
+    loaded: Option<Vec<BTreeMap<String, EntityRef>>>,
+}
+
+impl LazyCollection {
+    /// Declare the collection; no SQL is issued.
+    pub fn new(stmt: Statement, params: Vec<SymValue>) -> Self {
+        LazyCollection { stmt, params, loaded: None }
+    }
+
+    /// Whether the backing SELECT already ran.
+    pub fn is_loaded(&self) -> bool {
+        self.loaded.is_some()
+    }
+
+    /// First use: issue the SELECT (recording the *access* site as trigger)
+    /// and cache the result; later uses return the cached rows.
+    pub fn get_or_load<B: SqlBackend>(
+        &mut self,
+        session: &mut OrmSession<B>,
+        loc: CodeLoc,
+    ) -> Result<&[BTreeMap<String, EntityRef>], OrmError> {
+        if self.loaded.is_none() {
+            let rows = session.query(&self.stmt, &self.params, loc)?;
+            self.loaded = Some(rows);
+        }
+        Ok(self.loaded.as_deref().expect("just loaded"))
+    }
+}

@@ -1,0 +1,339 @@
+//! End-to-end ORM tests reproducing the paper's Fig. 1 `finishOrder`
+//! behaviour over the real storage engine: read caching, lazy loading,
+//! write-behind reordering, and triggering-code capture.
+
+use weseer_concolic::{loc, shared, ExecMode, SymValue};
+use weseer_db::Database;
+use weseer_orm::{LazyCollection, OrmSession};
+use weseer_sqlir::ast::Select;
+use weseer_sqlir::{
+    parser::parse, Catalog, ColType, Cond, Operand, Statement, TableBuilder, TableRef, Value,
+};
+
+fn fig1_catalog() -> Catalog {
+    Catalog::new(vec![
+        TableBuilder::new("Order")
+            .col("ID", ColType::Int)
+            .primary_key(&["ID"])
+            .build()
+            .unwrap(),
+        TableBuilder::new("Product")
+            .col("ID", ColType::Int)
+            .col("QTY", ColType::Int)
+            .primary_key(&["ID"])
+            .build()
+            .unwrap(),
+        TableBuilder::new("OrderItem")
+            .col("ID", ColType::Int)
+            .col("O_ID", ColType::Int)
+            .col("P_ID", ColType::Int)
+            .col("QTY", ColType::Int)
+            .primary_key(&["ID"])
+            .foreign_key("O_ID", "Order", "ID")
+            .foreign_key("P_ID", "Product", "ID")
+            .build()
+            .unwrap(),
+    ])
+    .unwrap()
+}
+
+fn setup() -> (Database, OrmSession<weseer_db::Session>) {
+    let db = Database::new(fig1_catalog());
+    db.seed("Order", vec![vec![Value::Int(1)]]);
+    db.seed("Product", vec![vec![Value::Int(10), Value::Int(100)]]);
+    db.seed(
+        "OrderItem",
+        vec![vec![Value::Int(100), Value::Int(1), Value::Int(10), Value::Int(3)]],
+    );
+    let engine = shared(ExecMode::Concolic);
+    engine.borrow_mut().start_concolic();
+    let session = OrmSession::new(engine, db.session(), db.catalog().clone());
+    (db, session)
+}
+
+fn q4_stmt() -> Statement {
+    parse(
+        "SELECT * FROM OrderItem oi \
+         JOIN Order o ON o.ID = oi.O_ID \
+         JOIN Product p ON p.ID = oi.P_ID \
+         WHERE oi.O_ID = ?",
+    )
+    .unwrap()
+}
+
+/// The Fig. 1 `finishOrder` body, written against the ORM.
+#[test]
+fn finish_order_trace_matches_fig3_shape() {
+    let (db, mut session) = setup();
+    let engine = session.engine().clone();
+
+    let order_id = engine.borrow_mut().make_symbolic("order_id", Value::Int(1));
+
+    session.begin();
+
+    // Line 5: o is read from read cache after a first find warms it.
+    let o = session.find("Order", &order_id, loc!("finishOrder")).unwrap().unwrap();
+    let o2 = session.find("Order", &order_id, loc!("finishOrder")).unwrap().unwrap();
+    assert_eq!(o.get("ID").concrete, o2.get("ID").concrete);
+
+    // Line 7: order items load lazily → Q4 with two JOINs at first use.
+    let mut items = LazyCollection::new(q4_stmt(), vec![order_id.clone()]);
+    assert!(!items.is_loaded());
+    let rows = items.get_or_load(&mut session, loc!("finishOrder")).unwrap().to_vec();
+    assert_eq!(rows.len(), 1);
+
+    // updateQuantity: read cache supplies p (no SQL); the quantity check
+    // branches on symbolic state; the write is buffered.
+    for row in &rows {
+        let oi = &row["oi"];
+        let p = &row["p"];
+        let p_qty = p.get("QTY");
+        let oi_qty = oi.get("QTY");
+        let cond = engine.borrow_mut().cmp(weseer_sqlir::CmpOp::Ge, &p_qty, &oi_qty);
+        let enough = engine.borrow_mut().branch(&cond, loc!("updateQuantity"));
+        assert!(enough);
+        let new_qty = engine.borrow_mut().sub(&p_qty, &oi_qty);
+        p.set(&engine, "QTY", new_qty, loc!("updateQuantity")); // line 19
+        assert!(p.is_dirty());
+    }
+
+    // Commit flushes the buffered UPDATE (Q6 sent here, line 11).
+    session.commit(loc!("finishOrder")).unwrap();
+
+    let trace = session.driver_mut().take_trace("finishOrder");
+    // Statements: find(Order) SELECT, lazy Q4, flushed Q6 UPDATE.
+    assert_eq!(trace.statements.len(), 3);
+    let q1 = &trace.statements[0];
+    assert!(matches!(q1.stmt, Statement::Select(_)));
+    let q4 = &trace.statements[1];
+    match &q4.stmt {
+        Statement::Select(s) => assert_eq!(s.joins.len(), 2),
+        other => panic!("expected join select, got {other:?}"),
+    }
+    let q6 = &trace.statements[2];
+    match &q6.stmt {
+        Statement::Update(u) => {
+            assert_eq!(u.table, "Product");
+            assert_eq!(u.sets.len(), 1);
+            assert_eq!(u.sets[0].column, "QTY");
+        }
+        other => panic!("expected update, got {other:?}"),
+    }
+    // Sec. VI: Q6's trigger is the setter in updateQuantity, not the
+    // commit/flush site.
+    assert_eq!(q6.trigger.top().unwrap().function, "updateQuantity");
+    // Q6's parameter carries the symbolic expression res.QTY - res.QTY.
+    assert!(q6.params[0].is_symbolic());
+    // Path condition from the quantity check was recorded before Q6.
+    assert!(trace
+        .path_conds_before(q6.seq)
+        .any(|pc| !pc.in_library));
+    // Database state reflects the committed write.
+    assert_eq!(db.dump("Product")[0], vec![Value::Int(10), Value::Int(97)]);
+}
+
+#[test]
+fn read_cache_elides_second_find() {
+    let (_db, mut session) = setup();
+    let engine = session.engine().clone();
+    let id = engine.borrow_mut().make_symbolic("id", Value::Int(10));
+    session.begin();
+    session.find("Product", &id, loc!("t")).unwrap().unwrap();
+    session.find("Product", &id, loc!("t")).unwrap().unwrap();
+    session.commit(loc!("t")).unwrap();
+    let trace = session.driver_mut().take_trace("t");
+    assert_eq!(trace.statements.len(), 1, "second find must hit the cache");
+}
+
+#[test]
+fn persist_issues_only_insert_at_flush() {
+    let (db, mut session) = setup();
+    session.begin();
+    session.persist(
+        "Order",
+        vec![("ID".into(), SymValue::concrete(2i64))],
+        loc!("registerUser"),
+    );
+    // Nothing sent yet (write-behind).
+    session.commit(loc!("registerUser")).unwrap();
+    let trace = session.driver_mut().take_trace("t");
+    assert_eq!(trace.statements.len(), 1);
+    assert!(matches!(trace.statements[0].stmt, Statement::Insert(_)));
+    assert_eq!(
+        trace.statements[0].trigger.top().unwrap().function,
+        "registerUser"
+    );
+    assert_eq!(db.count("Order"), 2);
+}
+
+#[test]
+fn merge_issues_select_then_insert_on_miss() {
+    // The d1 pattern: merge on a missing row = SELECT (gap lock!) + INSERT.
+    let (db, mut session) = setup();
+    session.begin();
+    session
+        .merge(
+            "Order",
+            vec![("ID".into(), SymValue::concrete(5i64))],
+            loc!("register"),
+        )
+        .unwrap();
+    session.commit(loc!("register")).unwrap();
+    let trace = session.driver_mut().take_trace("t");
+    assert_eq!(trace.statements.len(), 2);
+    assert!(matches!(trace.statements[0].stmt, Statement::Select(_)));
+    assert!(trace.statements[0].is_empty);
+    assert!(matches!(trace.statements[1].stmt, Statement::Insert(_)));
+    assert_eq!(db.count("Order"), 2);
+}
+
+#[test]
+fn merge_updates_existing_row() {
+    let (db, mut session) = setup();
+    session.begin();
+    session
+        .merge(
+            "Product",
+            vec![
+                ("ID".into(), SymValue::concrete(10i64)),
+                ("QTY".into(), SymValue::concrete(55i64)),
+            ],
+            loc!("restock"),
+        )
+        .unwrap();
+    session.commit(loc!("restock")).unwrap();
+    let trace = session.driver_mut().take_trace("t");
+    assert_eq!(trace.statements.len(), 2);
+    assert!(matches!(trace.statements[1].stmt, Statement::Update(_)));
+    assert_eq!(db.dump("Product")[0][1], Value::Int(55));
+}
+
+#[test]
+fn explicit_flush_moves_statements_forward() {
+    // Fix f4: an early flush changes statement order.
+    let (_db, mut session) = setup();
+    let engine = session.engine().clone();
+    session.begin();
+    let id = SymValue::concrete(10i64);
+    let p = session.find("Product", &id, loc!("t")).unwrap().unwrap();
+    p.set(&engine, "QTY", SymValue::concrete(1i64), loc!("t"));
+    session.flush(loc!("t")).unwrap(); // UPDATE goes out here …
+    let q = parse("SELECT * FROM Order o WHERE o.ID = ?").unwrap();
+    session.query(&q, &[SymValue::concrete(1i64)], loc!("t")).unwrap();
+    session.commit(loc!("t")).unwrap();
+    let trace = session.driver_mut().take_trace("t");
+    let kinds: Vec<&str> = trace.statements.iter().map(|s| s.stmt.kind()).collect();
+    assert_eq!(kinds, vec!["SELECT", "UPDATE", "SELECT"]);
+}
+
+#[test]
+fn remove_issues_delete_at_flush() {
+    let (db, mut session) = setup();
+    session.begin();
+    let id = SymValue::concrete(100i64);
+    let oi = session.find("OrderItem", &id, loc!("t")).unwrap().unwrap();
+    session.remove(&oi, loc!("cancelItem"));
+    session.commit(loc!("t")).unwrap();
+    let trace = session.driver_mut().take_trace("t");
+    let last = trace.statements.last().unwrap();
+    assert!(matches!(last.stmt, Statement::Delete(_)));
+    assert_eq!(last.trigger.top().unwrap().function, "cancelItem");
+    assert_eq!(db.count("OrderItem"), 0);
+}
+
+#[test]
+fn flush_orders_insert_update_delete() {
+    let (_db, mut session) = setup();
+    let engine = session.engine().clone();
+    session.begin();
+    let id = SymValue::concrete(10i64);
+    let p = session.find("Product", &id, loc!("t")).unwrap().unwrap();
+    let oi = session
+        .find("OrderItem", &SymValue::concrete(100i64), loc!("t"))
+        .unwrap()
+        .unwrap();
+    // Program order: delete, update, insert — flush must reorder.
+    session.remove(&oi, loc!("t"));
+    p.set(&engine, "QTY", SymValue::concrete(1i64), loc!("t"));
+    session.persist("Order", vec![("ID".into(), SymValue::concrete(9i64))], loc!("t"));
+    session.commit(loc!("t")).unwrap();
+    let trace = session.driver_mut().take_trace("t");
+    let kinds: Vec<&str> = trace
+        .statements
+        .iter()
+        .skip(2) // the two finds
+        .map(|s| s.stmt.kind())
+        .collect();
+    assert_eq!(kinds, vec!["INSERT", "UPDATE", "DELETE"]);
+}
+
+#[test]
+fn upsert_emits_on_duplicate_statement() {
+    let (db, mut session) = setup();
+    session.begin();
+    session
+        .upsert(
+            "Product",
+            vec![
+                ("ID".into(), SymValue::concrete(10i64)),
+                ("QTY".into(), SymValue::concrete(42i64)),
+            ],
+            &["QTY"],
+            loc!("addToCart"),
+        )
+        .unwrap();
+    session.commit(loc!("t")).unwrap();
+    let trace = session.driver_mut().take_trace("t");
+    match &trace.statements[0].stmt {
+        Statement::Insert(i) => assert_eq!(i.on_duplicate.len(), 1),
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(db.dump("Product")[0][1], Value::Int(42));
+}
+
+#[test]
+fn query_hydrates_identity_mapped_entities() {
+    let (_db, mut session) = setup();
+    session.begin();
+    let id = SymValue::concrete(10i64);
+    let p1 = session.find("Product", &id, loc!("t")).unwrap().unwrap();
+    let rows = session
+        .query(&q4_stmt(), &[SymValue::concrete(1i64)], loc!("t"))
+        .unwrap();
+    let p2 = &rows[0]["p"];
+    // Same identity: a write through one handle is visible through the
+    // other (first-level cache).
+    let engine = session.engine().clone();
+    p1.set(&engine, "QTY", SymValue::concrete(7i64), loc!("t"));
+    assert_eq!(p2.get("QTY").as_int(), Some(7));
+    session.rollback();
+}
+
+#[test]
+fn rollback_discards_pending_writes_and_cache() {
+    let (db, mut session) = setup();
+    session.begin();
+    session.persist("Order", vec![("ID".into(), SymValue::concrete(7i64))], loc!("t"));
+    session.rollback();
+    assert_eq!(db.count("Order"), 1);
+    // A fresh transaction does not see the stale cache.
+    session.begin();
+    let got = session
+        .find("Order", &SymValue::concrete(7i64), loc!("t"))
+        .unwrap();
+    assert!(got.is_none());
+    session.rollback();
+}
+
+#[test]
+fn select_statement_builder_roundtrip() {
+    // Verify the generated find() SELECT parses/prints consistently.
+    let stmt = Statement::Select(Select {
+        from: TableRef::aliased("Product", "e"),
+        joins: vec![],
+        where_clause: Some(Cond::eq(Operand::col("e", "ID"), Operand::Param(0))),
+        for_update: false,
+    });
+    let reparsed = parse(&stmt.to_string()).unwrap();
+    assert_eq!(stmt, reparsed);
+}

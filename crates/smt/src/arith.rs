@@ -1,0 +1,630 @@
+//! Linear arithmetic over rationals and integers.
+//!
+//! Decides conjunctions of constraints `e ≤ 0` / `e < 0` for linear `e` by
+//! **Fourier–Motzkin elimination** (sound and complete over the rationals)
+//! and handles integer variables with **branch-and-bound** on fractional
+//! model values. Equalities are split into two inequalities by the lowering
+//! pass before reaching this module.
+//!
+//! This is the theory backend for the conflict/path conditions WeSEER's
+//! deadlock analyzer emits (paper Sec. V-C4): comparisons between SQL
+//! parameters, row columns, and constants.
+
+use crate::rational::{Rat, ZERO};
+use std::collections::BTreeMap;
+
+/// A theory variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarInfo {
+    /// Display name (diagnostics, model output).
+    pub name: String,
+    /// Whether the variable ranges over integers.
+    pub is_int: bool,
+}
+
+/// A linear expression `Σ cᵢ·xᵢ + k`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LinExpr {
+    /// Coefficients by variable index; zero coefficients are never stored.
+    pub coeffs: BTreeMap<usize, Rat>,
+    /// Constant offset.
+    pub constant: Rat,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> LinExpr {
+        LinExpr { coeffs: BTreeMap::new(), constant: ZERO }
+    }
+
+    /// A single variable.
+    pub fn var(i: usize) -> LinExpr {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(i, Rat::int(1));
+        LinExpr { coeffs, constant: ZERO }
+    }
+
+    /// A constant.
+    pub fn constant(c: Rat) -> LinExpr {
+        LinExpr { coeffs: BTreeMap::new(), constant: c }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &LinExpr) -> LinExpr {
+        let mut out = self.clone();
+        for (&v, &c) in &other.coeffs {
+            let e = out.coeffs.entry(v).or_insert(ZERO);
+            *e = *e + c;
+            if e.is_zero() {
+                out.coeffs.remove(&v);
+            }
+        }
+        out.constant = out.constant + other.constant;
+        out
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &LinExpr) -> LinExpr {
+        self.add(&other.scale(Rat::int(-1)))
+    }
+
+    /// `k * self`.
+    pub fn scale(&self, k: Rat) -> LinExpr {
+        if k.is_zero() {
+            return LinExpr::zero();
+        }
+        LinExpr {
+            coeffs: self.coeffs.iter().map(|(&v, &c)| (v, c * k)).collect(),
+            constant: self.constant * k,
+        }
+    }
+
+    /// Whether the expression mentions no variables.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Evaluate under a (total) assignment.
+    pub fn eval(&self, model: &[Rat]) -> Rat {
+        self.coeffs
+            .iter()
+            .fold(self.constant, |acc, (&v, &c)| acc + c * model[v])
+    }
+
+    /// The largest variable index mentioned, if any.
+    pub fn max_var(&self) -> Option<usize> {
+        self.coeffs.keys().next_back().copied()
+    }
+}
+
+/// A constraint `expr ≤ 0` (or `expr < 0` when `strict`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Constraint {
+    /// Left-hand side.
+    pub expr: LinExpr,
+    /// Strict (`<`) vs non-strict (`≤`).
+    pub strict: bool,
+}
+
+impl Constraint {
+    /// `expr ≤ 0`.
+    pub fn le0(expr: LinExpr) -> Constraint {
+        Constraint { expr, strict: false }
+    }
+
+    /// `expr < 0`.
+    pub fn lt0(expr: LinExpr) -> Constraint {
+        Constraint { expr, strict: true }
+    }
+
+    /// Whether a model satisfies the constraint.
+    pub fn satisfied(&self, model: &[Rat]) -> bool {
+        let v = self.expr.eval(model);
+        if self.strict {
+            v < ZERO
+        } else {
+            v <= ZERO
+        }
+    }
+}
+
+/// Outcome of an arithmetic decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArithResult {
+    /// Satisfiable with the given assignment (indexed like `vars`).
+    Sat(Vec<Rat>),
+    /// Unsatisfiable.
+    Unsat,
+    /// Resource limit hit (treated as a solver timeout; the paper reports
+    /// no deadlock on timeout).
+    Unknown,
+}
+
+/// Resource limits for the decision procedure.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum number of constraints FM may generate.
+    pub max_constraints: usize,
+    /// Maximum branch-and-bound depth for integer tightening.
+    pub max_branches: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits { max_constraints: 50_000, max_branches: 64 }
+    }
+}
+
+/// Decide a conjunction of constraints over `vars`.
+pub fn solve(vars: &[VarInfo], cons: &[Constraint], limits: Limits) -> ArithResult {
+    // Integer tightening: over integer variables with integer coefficients,
+    // `e < 0` is equivalent to `e + 1 ≤ 0`. This keeps Fourier–Motzkin's
+    // bounds integral (strict chains like x₀ < x₁ < … otherwise produce
+    // fractional midpoints and branch-and-bound blow-ups).
+    let tightened: Vec<Constraint> = cons
+        .iter()
+        .map(|c| {
+            let all_int = c.strict
+                && c.expr.constant.is_integer()
+                && c.expr
+                    .coeffs
+                    .iter()
+                    .all(|(&v, k)| vars[v].is_int && k.is_integer());
+            if all_int {
+                Constraint {
+                    expr: c.expr.add(&LinExpr::constant(Rat::int(1))),
+                    strict: false,
+                }
+            } else {
+                c.clone()
+            }
+        })
+        .collect();
+    solve_rec(vars, tightened, limits, 0)
+}
+
+fn solve_rec(
+    vars: &[VarInfo],
+    cons: Vec<Constraint>,
+    limits: Limits,
+    depth: usize,
+) -> ArithResult {
+    let model = match fm_solve(vars.len(), cons.clone(), limits) {
+        FmResult::Unsat => return ArithResult::Unsat,
+        FmResult::Unknown => return ArithResult::Unknown,
+        FmResult::Sat(m) => m,
+    };
+    // Branch-and-bound: fix the first integer variable with a fractional
+    // value.
+    let frac = vars
+        .iter()
+        .enumerate()
+        .find(|(i, v)| v.is_int && !model[*i].is_integer());
+    let (i, _) = match frac {
+        None => return ArithResult::Sat(model),
+        Some(f) => f,
+    };
+    if depth >= limits.max_branches {
+        return ArithResult::Unknown;
+    }
+    let floor = model[i].floor() as i64;
+    // Branch 1: xᵢ ≤ floor.
+    let mut lo = cons.clone();
+    lo.push(Constraint::le0(
+        LinExpr::var(i).sub(&LinExpr::constant(Rat::int(floor))),
+    ));
+    match solve_rec(vars, lo, limits, depth + 1) {
+        ArithResult::Sat(m) => return ArithResult::Sat(m),
+        ArithResult::Unknown => return ArithResult::Unknown,
+        ArithResult::Unsat => {}
+    }
+    // Branch 2: xᵢ ≥ floor + 1, i.e. (floor + 1) - xᵢ ≤ 0.
+    let mut hi = cons;
+    hi.push(Constraint::le0(
+        LinExpr::constant(Rat::int(floor + 1)).sub(&LinExpr::var(i)),
+    ));
+    solve_rec(vars, hi, limits, depth + 1)
+}
+
+enum FmResult {
+    Sat(Vec<Rat>),
+    Unsat,
+    Unknown,
+}
+
+/// Normalize, deduplicate, and subsume a constraint set. Fourier–Motzkin
+/// on equality cliques (x₁ = x₂ = … = xₙ, common in conflict conditions)
+/// otherwise re-derives the same parallel constraints combinatorially and
+/// blows past the resource limit.
+///
+/// Constraints are scaled so their leading coefficient is ±1; for equal
+/// coefficient vectors only the tightest bound survives (largest constant;
+/// strict beats non-strict at equal constants). Trivially true ground
+/// constraints are dropped; a trivially false one short-circuits.
+fn compact(cons: Vec<Constraint>) -> Result<Vec<Constraint>, ()> {
+    use std::collections::HashMap;
+    let mut best: HashMap<Vec<(usize, Rat)>, (Rat, bool)> = HashMap::new();
+    let mut ground_false = false;
+    for c in cons {
+        if c.expr.is_constant() {
+            let k = c.expr.constant;
+            let ok = if c.strict { k < ZERO } else { k <= ZERO };
+            if !ok {
+                ground_false = true;
+                break;
+            }
+            continue; // trivially true
+        }
+        let lead = *c
+            .expr
+            .coeffs
+            .values()
+            .next()
+            .expect("non-constant constraint has a coefficient");
+        // Positive scale only (preserves the inequality direction).
+        let scale = lead.recip();
+        let scale = if scale.signum() < 0 { -scale } else { scale };
+        let key: Vec<(usize, Rat)> =
+            c.expr.coeffs.iter().map(|(&v, &k)| (v, k * scale)).collect();
+        let constant = c.expr.constant * scale;
+        match best.entry(key) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert((constant, c.strict));
+            }
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let (k0, s0) = *e.get();
+                // Tighter: larger constant, or equal constant but strict.
+                if constant > k0 || (constant == k0 && c.strict && !s0) {
+                    e.insert((constant, c.strict));
+                }
+            }
+        }
+    }
+    if ground_false {
+        return Err(());
+    }
+    Ok(best
+        .into_iter()
+        .map(|(key, (constant, strict))| {
+            let mut coeffs = BTreeMap::new();
+            for (v, k) in key {
+                coeffs.insert(v, k);
+            }
+            Constraint { expr: LinExpr { coeffs, constant }, strict }
+        })
+        .collect())
+}
+
+/// One variable's bound set saved for back-substitution.
+struct Eliminated {
+    var: usize,
+    /// Lower bounds: expressions `e` with `e ≤ x` (or `<` when strict).
+    lowers: Vec<(LinExpr, bool)>,
+    /// Upper bounds: expressions `e` with `x ≤ e` (or `<`).
+    uppers: Vec<(LinExpr, bool)>,
+}
+
+fn fm_solve(n_vars: usize, mut cons: Vec<Constraint>, limits: Limits) -> FmResult {
+    let mut eliminated: Vec<Eliminated> = Vec::new();
+
+    // Eliminate variables in a greedy order that minimizes the number of
+    // generated constraints (lowers × uppers), the classic FM heuristic.
+    let mut remaining: Vec<usize> = (0..n_vars).collect();
+    while !remaining.is_empty() {
+        cons = match compact(cons) {
+            Ok(c) => c,
+            Err(()) => return FmResult::Unsat,
+        };
+        let (pos, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(pos, &v)| {
+                let mut lo = 0usize;
+                let mut hi = 0usize;
+                for c in &cons {
+                    match c.expr.coeffs.get(&v) {
+                        Some(k) if k.signum() > 0 => hi += 1,
+                        Some(_) => lo += 1,
+                        None => {}
+                    }
+                }
+                (pos, lo * hi)
+            })
+            .min_by_key(|&(_, cost)| cost)
+            .expect("remaining non-empty");
+        let var = remaining.swap_remove(pos);
+        let mut lowers = Vec::new();
+        let mut uppers = Vec::new();
+        let mut rest = Vec::new();
+        for c in cons {
+            match c.expr.coeffs.get(&var).copied() {
+                None => rest.push(c),
+                Some(coef) => {
+                    // c.expr = coef*x + r ⋈ 0
+                    let mut r = c.expr.clone();
+                    r.coeffs.remove(&var);
+                    if coef.signum() > 0 {
+                        // x ⋈ -r/coef : upper bound
+                        uppers.push((r.scale(-coef.recip()), c.strict));
+                    } else {
+                        // x ⋈ -r/coef with flipped side: lower bound
+                        lowers.push((r.scale(-coef.recip()), c.strict));
+                    }
+                }
+            }
+        }
+        // Pairwise combinations: lower ≤ x ≤ upper ⇒ lower - upper ≤ 0.
+        for (lo, s_lo) in &lowers {
+            for (hi, s_hi) in &uppers {
+                rest.push(Constraint { expr: lo.sub(hi), strict: *s_lo || *s_hi });
+                if rest.len() > limits.max_constraints {
+                    return FmResult::Unknown;
+                }
+            }
+        }
+        eliminated.push(Eliminated { var, lowers, uppers });
+        cons = rest;
+    }
+
+    // All variables gone: remaining constraints are ground.
+    for c in &cons {
+        debug_assert!(c.expr.is_constant());
+        let k = c.expr.constant;
+        let ok = if c.strict { k < ZERO } else { k <= ZERO };
+        if !ok {
+            return FmResult::Unsat;
+        }
+    }
+
+    // Back-substitute in reverse elimination order.
+    let mut model = vec![ZERO; n_vars];
+    for e in eliminated.iter().rev() {
+        let lo = e
+            .lowers
+            .iter()
+            .map(|(expr, s)| (expr.eval(&model), *s))
+            .max_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        let hi = e
+            .uppers
+            .iter()
+            .map(|(expr, s)| (expr.eval(&model), *s))
+            .min_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+        model[e.var] = match (lo, hi) {
+            (None, None) => ZERO,
+            (Some((l, strict)), None) => {
+                if strict {
+                    l + Rat::int(1)
+                } else {
+                    l
+                }
+            }
+            (None, Some((h, strict))) => {
+                if strict {
+                    h - Rat::int(1)
+                } else {
+                    h
+                }
+            }
+            (Some((l, sl)), Some((h, sh))) => {
+                if l == h {
+                    // FM guarantees the interval is non-empty; equal bounds
+                    // can only both be non-strict.
+                    l
+                } else if !sl {
+                    // Prefer integral-friendly endpoints.
+                    l
+                } else if !sh {
+                    h
+                } else {
+                    Rat::midpoint(l, h)
+                }
+            }
+        };
+        // Prefer an integer inside the interval when one exists — this cuts
+        // most branch-and-bound work.
+        if !model[e.var].is_integer() {
+            let cand = Rat::int(model[e.var].ceil() as i64);
+            let fits_lo = lo.is_none_or(|(l, s)| if s { l < cand } else { l <= cand });
+            let fits_hi = hi.is_none_or(|(h, s)| if s { cand < h } else { cand <= h });
+            if fits_lo && fits_hi {
+                model[e.var] = cand;
+            }
+        }
+    }
+    FmResult::Sat(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn int_vars(n: usize) -> Vec<VarInfo> {
+        (0..n)
+            .map(|i| VarInfo { name: format!("x{i}"), is_int: true })
+            .collect()
+    }
+
+    fn real_vars(n: usize) -> Vec<VarInfo> {
+        (0..n)
+            .map(|i| VarInfo { name: format!("r{i}"), is_int: false })
+            .collect()
+    }
+
+    /// Build `a·x + b·y + k ≤ 0` (or `<`).
+    fn con(terms: &[(usize, i64)], k: i64, strict: bool) -> Constraint {
+        let mut e = LinExpr::constant(Rat::int(k));
+        for &(v, c) in terms {
+            e = e.add(&LinExpr::var(v).scale(Rat::int(c)));
+        }
+        Constraint { expr: e, strict }
+    }
+
+    #[test]
+    fn simple_feasible() {
+        // x ≥ 3 ∧ x ≤ 5  ⇔  3 - x ≤ 0 ∧ x - 5 ≤ 0
+        let cons = vec![con(&[(0, -1)], 3, false), con(&[(0, 1)], -5, false)];
+        match solve(&int_vars(1), &cons, Limits::default()) {
+            ArithResult::Sat(m) => {
+                assert!(cons.iter().all(|c| c.satisfied(&m)));
+                assert!(m[0].is_integer());
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_infeasible() {
+        // x < 3 ∧ x > 5
+        let cons = vec![con(&[(0, 1)], -3, true), con(&[(0, -1)], 5, true)];
+        assert_eq!(solve(&int_vars(1), &cons, Limits::default()), ArithResult::Unsat);
+    }
+
+    #[test]
+    fn open_interval_real_sat_int_unsat() {
+        // 0 < x < 1
+        let cons = vec![con(&[(0, -1)], 0, true), con(&[(0, 1)], -1, true)];
+        assert!(matches!(
+            solve(&real_vars(1), &cons, Limits::default()),
+            ArithResult::Sat(_)
+        ));
+        assert_eq!(solve(&int_vars(1), &cons, Limits::default()), ArithResult::Unsat);
+    }
+
+    #[test]
+    fn equality_via_two_bounds() {
+        // 2x = 1 over ints: 2x - 1 ≤ 0 ∧ 1 - 2x ≤ 0
+        let cons = vec![con(&[(0, 2)], -1, false), con(&[(0, -2)], 1, false)];
+        assert_eq!(solve(&int_vars(1), &cons, Limits::default()), ArithResult::Unsat);
+        match solve(&real_vars(1), &cons, Limits::default()) {
+            ArithResult::Sat(m) => assert_eq!(m[0], Rat::new(1, 2)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn chained_system() {
+        // x ≤ y ∧ y ≤ z ∧ z ≤ x ∧ x ≥ 7 → all equal ≥ 7
+        let cons = vec![
+            con(&[(0, 1), (1, -1)], 0, false),
+            con(&[(1, 1), (2, -1)], 0, false),
+            con(&[(2, 1), (0, -1)], 0, false),
+            con(&[(0, -1)], 7, false),
+        ];
+        match solve(&int_vars(3), &cons, Limits::default()) {
+            ArithResult::Sat(m) => {
+                assert!(cons.iter().all(|c| c.satisfied(&m)));
+                assert_eq!(m[0], m[1]);
+                assert_eq!(m[1], m[2]);
+                assert!(m[0] >= Rat::int(7));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn strict_chain_unsat() {
+        // x < y ∧ y < x
+        let cons = vec![
+            con(&[(0, 1), (1, -1)], 0, true),
+            con(&[(1, 1), (0, -1)], 0, true),
+        ];
+        assert_eq!(solve(&real_vars(2), &cons, Limits::default()), ArithResult::Unsat);
+    }
+
+    #[test]
+    fn unconstrained_vars_default() {
+        match solve(&int_vars(2), &[], Limits::default()) {
+            ArithResult::Sat(m) => assert_eq!(m, vec![ZERO, ZERO]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn finish_order_conflict_shape() {
+        // The Fig. 9-style condition:
+        //   qty ≥ oi_qty  ∧  oi_qty ≥ 1  ∧  qty' = qty - oi_qty  ∧  qty' ≥ 0
+        // vars: 0=qty, 1=oi_qty, 2=qty'
+        let cons = vec![
+            con(&[(0, -1), (1, 1)], 0, false),       // oi_qty - qty ≤ 0
+            con(&[(1, -1)], 1, false),               // 1 - oi_qty ≤ 0
+            con(&[(2, 1), (0, -1), (1, 1)], 0, false), // qty' - qty + oi_qty ≤ 0
+            con(&[(2, -1), (0, 1), (1, -1)], 0, false), // and ≥ → equality
+            con(&[(2, -1)], 0, false),               // -qty' ≤ 0
+        ];
+        match solve(&int_vars(3), &cons, Limits::default()) {
+            ArithResult::Sat(m) => {
+                assert!(cons.iter().all(|c| c.satisfied(&m)));
+                assert_eq!(m[2], m[0] - m[1]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    proptest! {
+        /// Constraints generated to be satisfied by a hidden assignment
+        /// must be found SAT, and the returned model must satisfy them.
+        #[test]
+        fn planted_assignment_found(
+            hidden in proptest::collection::vec(-50i64..50, 1..5),
+            raw in proptest::collection::vec(
+                (proptest::collection::vec((0usize..5, -4i64..5), 1..4), any::<bool>()),
+                0..12,
+            ),
+        ) {
+            let n = hidden.len();
+            let vars = int_vars(n);
+            let mut cons = Vec::new();
+            for (terms, strict) in raw {
+                let mut e = LinExpr::zero();
+                for (v, c) in terms {
+                    if c != 0 {
+                        e = e.add(&LinExpr::var(v % n).scale(Rat::int(c)));
+                    }
+                }
+                // Choose the offset so the hidden point satisfies it.
+                let hidden_rats: Vec<Rat> = hidden.iter().map(|&h| Rat::int(h)).collect();
+                let at_hidden = e.eval(&hidden_rats);
+                let slack = if strict { Rat::int(1) } else { ZERO };
+                let expr = e.sub(&LinExpr::constant(at_hidden + slack));
+                cons.push(Constraint { expr, strict });
+            }
+            match solve(&vars, &cons, Limits::default()) {
+                ArithResult::Sat(m) => {
+                    prop_assert!(cons.iter().all(|c| c.satisfied(&m)));
+                    for (i, v) in vars.iter().enumerate() {
+                        if v.is_int {
+                            prop_assert!(m[i].is_integer());
+                        }
+                    }
+                }
+                other => prop_assert!(false, "planted-SAT instance reported {other:?}"),
+            }
+        }
+
+        /// Whatever the system, a SAT answer must carry a genuine model.
+        #[test]
+        fn sat_models_verify(
+            raw in proptest::collection::vec(
+                (proptest::collection::vec((0usize..4, -3i64..4), 1..4), -10i64..10, any::<bool>()),
+                0..10,
+            ),
+        ) {
+            let n = 4;
+            let vars = int_vars(n);
+            let mut cons = Vec::new();
+            for (terms, k, strict) in raw {
+                let mut e = LinExpr::constant(Rat::int(k));
+                for (v, c) in terms {
+                    if c != 0 {
+                        e = e.add(&LinExpr::var(v % n).scale(Rat::int(c)));
+                    }
+                }
+                cons.push(Constraint { expr: e, strict });
+            }
+            if let ArithResult::Sat(m) = solve(&vars, &cons, Limits::default()) {
+                prop_assert!(cons.iter().all(|c| c.satisfied(&m)));
+            }
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! A small DPLL SAT core.
+//!
+//! The lazy-SMT loop in [`crate::solver`] re-solves the boolean skeleton
+//! after each theory conflict adds a blocking clause. Formulas produced by
+//! the deadlock analyzer are small (hundreds of variables), so a classic
+//! iterative DPLL with unit propagation is more than sufficient and keeps
+//! the solver auditable.
+
+/// A literal: variable index with polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Lit {
+    /// Variable index (0-based).
+    pub var: usize,
+    /// `true` for the positive literal.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// Positive literal of `var`.
+    pub fn pos(var: usize) -> Lit {
+        Lit { var, positive: true }
+    }
+
+    /// Negative literal of `var`.
+    pub fn neg(var: usize) -> Lit {
+        Lit { var, positive: false }
+    }
+
+    /// The opposite literal.
+    pub fn negated(self) -> Lit {
+        Lit { var: self.var, positive: !self.positive }
+    }
+}
+
+/// A CNF formula with a growable clause set.
+#[derive(Debug, Default, Clone)]
+pub struct Cnf {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// Clauses (disjunctions of literals).
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Allocate a fresh variable.
+    pub fn new_var(&mut self) -> usize {
+        let v = self.num_vars;
+        self.num_vars += 1;
+        v
+    }
+
+    /// Add a clause. An empty clause makes the formula trivially UNSAT.
+    pub fn add_clause(&mut self, lits: impl Into<Vec<Lit>>) {
+        self.clauses.push(lits.into());
+    }
+
+    /// Add a unit clause.
+    pub fn add_unit(&mut self, lit: Lit) {
+        self.clauses.push(vec![lit]);
+    }
+}
+
+/// Result of a SAT call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable, with one assignment per variable.
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+/// Solve a CNF formula with DPLL: two-watched-literal unit propagation and
+/// chronological backtracking (flip the last untried decision). No clause
+/// learning — the lazy-SMT loop's blocking clauses arrive from outside.
+pub fn solve(cnf: &Cnf) -> SatResult {
+    solve_budgeted(cnf, u64::MAX).expect("unbounded solve cannot exhaust its budget")
+}
+
+/// Like [`solve`] but giving up (`None`) after `max_decisions` branching
+/// decisions — the lazy-SMT loop maps exhaustion to a solver timeout
+/// (the paper reports no deadlock on timeout).
+pub fn solve_budgeted(cnf: &Cnf, max_decisions: u64) -> Option<SatResult> {
+    let n = cnf.num_vars;
+    let code = |l: Lit| -> usize { l.var * 2 + usize::from(l.positive) };
+
+    // Clause database (clauses with ≥2 literals get watches).
+    let mut assign: Vec<Option<bool>> = vec![None; n];
+    #[derive(Debug)]
+    struct TrailEntry {
+        var: usize,
+        decision: bool,
+        flipped: bool,
+    }
+    let mut trail: Vec<TrailEntry> = Vec::new();
+    let mut prop_head = 0usize;
+
+    let mut clauses: Vec<Vec<Lit>> = Vec::with_capacity(cnf.clauses.len());
+    let mut watches: Vec<Vec<usize>> = vec![Vec::new(); n * 2];
+    let mut initial_units: Vec<Lit> = Vec::new();
+    for c in &cnf.clauses {
+        match c.len() {
+            0 => return Some(SatResult::Unsat),
+            1 => initial_units.push(c[0]),
+            _ => {
+                let idx = clauses.len();
+                watches[code(c[0])].push(idx);
+                watches[code(c[1])].push(idx);
+                clauses.push(c.clone());
+            }
+        }
+    }
+
+    // Enqueue an implied/decided assignment; false on immediate conflict.
+    let enqueue = |lit: Lit,
+                   decision: bool,
+                   assign: &mut Vec<Option<bool>>,
+                   trail: &mut Vec<TrailEntry>|
+     -> bool {
+        match assign[lit.var] {
+            Some(v) => v == lit.positive,
+            None => {
+                assign[lit.var] = Some(lit.positive);
+                trail.push(TrailEntry { var: lit.var, decision, flipped: false });
+                true
+            }
+        }
+    };
+
+    for lit in initial_units {
+        if !enqueue(lit, false, &mut assign, &mut trail) {
+            return Some(SatResult::Unsat);
+        }
+    }
+
+    // Watched-literal propagation from trail[prop_head..]; false on
+    // conflict.
+    let propagate = |prop_head: &mut usize,
+                     assign: &mut Vec<Option<bool>>,
+                     trail: &mut Vec<TrailEntry>,
+                     clauses: &mut [Vec<Lit>],
+                     watches: &mut [Vec<usize>]|
+     -> bool {
+        while *prop_head < trail.len() {
+            let var = trail[*prop_head].var;
+            *prop_head += 1;
+            let value = assign[var].expect("trail var assigned");
+            // The literal that became FALSE.
+            let false_lit = Lit { var, positive: !value };
+            let fcode = false_lit.var * 2 + usize::from(false_lit.positive);
+            let mut i = 0;
+            while i < watches[fcode].len() {
+                let ci = watches[fcode][i];
+                let clause = &mut clauses[ci];
+                // Ensure the false literal sits at position 1.
+                if clause[0] == false_lit {
+                    clause.swap(0, 1);
+                }
+                debug_assert_eq!(clause[1], false_lit);
+                // Already satisfied through the other watch?
+                let w0 = clause[0];
+                if assign[w0.var] == Some(w0.positive) {
+                    i += 1;
+                    continue;
+                }
+                // Find a new watchable literal.
+                let mut moved = false;
+                for k in 2..clause.len() {
+                    let cand = clause[k];
+                    if assign[cand.var] != Some(!cand.positive) {
+                        clause.swap(1, k);
+                        let ncode = cand.var * 2 + usize::from(cand.positive);
+                        watches[ncode].push(ci);
+                        watches[fcode].swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Unit or conflict on w0.
+                match assign[w0.var] {
+                    None => {
+                        assign[w0.var] = Some(w0.positive);
+                        trail.push(TrailEntry { var: w0.var, decision: false, flipped: false });
+                        i += 1;
+                    }
+                    Some(v) if v == w0.positive => {
+                        i += 1;
+                    }
+                    Some(_) => return false, // conflict
+                }
+            }
+        }
+        true
+    };
+
+    // Backtrack to the last unflipped decision and flip it.
+    let backtrack = |prop_head: &mut usize,
+                     assign: &mut Vec<Option<bool>>,
+                     trail: &mut Vec<TrailEntry>|
+     -> bool {
+        while let Some(entry) = trail.pop() {
+            let val = assign[entry.var].expect("trail var assigned");
+            assign[entry.var] = None;
+            if entry.decision && !entry.flipped {
+                assign[entry.var] = Some(!val);
+                trail.push(TrailEntry { var: entry.var, decision: true, flipped: true });
+                *prop_head = trail.len() - 1;
+                return true;
+            }
+        }
+        false
+    };
+
+    let mut next_search = 0usize; // decision variable cursor
+    let mut decisions = 0u64;
+    loop {
+        if !propagate(&mut prop_head, &mut assign, &mut trail, &mut clauses, &mut watches) {
+            if !backtrack(&mut prop_head, &mut assign, &mut trail) {
+                return Some(SatResult::Unsat);
+            }
+            decisions += 1; // a flip is a decision too
+            if decisions > max_decisions {
+                return None;
+            }
+            next_search = 0;
+            continue;
+        }
+        // Decide the next unassigned variable (true-first polarity: theory
+        // atoms prefer the weaker, usually-satisfiable direction).
+        let mut decided = false;
+        while next_search < n {
+            if assign[next_search].is_none() {
+                assign[next_search] = Some(true);
+                trail.push(TrailEntry { var: next_search, decision: true, flipped: false });
+                decided = true;
+                decisions += 1;
+                if decisions > max_decisions {
+                    return None;
+                }
+                break;
+            }
+            next_search += 1;
+        }
+        if !decided {
+            if assign.iter().any(|a| a.is_none()) {
+                // A backtrack may have exposed unassigned vars before the
+                // cursor; rescan.
+                next_search = 0;
+                continue;
+            }
+            let model = assign.iter().map(|a| a.expect("complete")).collect();
+            return Some(SatResult::Sat(model));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn check_model(cnf: &Cnf, model: &[bool]) -> bool {
+        cnf.clauses
+            .iter()
+            .all(|c| c.iter().any(|l| model[l.var] == l.positive))
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut cnf = Cnf::default();
+        let a = cnf.new_var();
+        cnf.add_unit(Lit::pos(a));
+        match solve(&cnf) {
+            SatResult::Sat(m) => assert!(m[a]),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut cnf = Cnf::default();
+        let a = cnf.new_var();
+        cnf.add_unit(Lit::pos(a));
+        cnf.add_unit(Lit::neg(a));
+        assert_eq!(solve(&cnf), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_unsat() {
+        let mut cnf = Cnf::default();
+        let _ = cnf.new_var();
+        cnf.add_clause(Vec::<Lit>::new());
+        assert_eq!(solve(&cnf), SatResult::Unsat);
+    }
+
+    #[test]
+    fn requires_backtracking() {
+        // (a ∨ b) ∧ (a ∨ ¬b) ∧ (¬a ∨ b) ∧ (¬a ∨ ¬b) is UNSAT;
+        // dropping the last clause makes it SAT with a=b=true... verify both.
+        let mut cnf = Cnf::default();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause(vec![Lit::pos(a), Lit::pos(b)]);
+        cnf.add_clause(vec![Lit::pos(a), Lit::neg(b)]);
+        cnf.add_clause(vec![Lit::neg(a), Lit::pos(b)]);
+        match solve(&cnf) {
+            SatResult::Sat(m) => assert!(check_model(&cnf, &m)),
+            _ => panic!("should be SAT"),
+        }
+        cnf.add_clause(vec![Lit::neg(a), Lit::neg(b)]);
+        assert_eq!(solve(&cnf), SatResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // p[i][j]: pigeon i in hole j; 3 pigeons, 2 holes.
+        let mut cnf = Cnf::default();
+        let mut p = [[0usize; 2]; 3];
+        for (i, row) in p.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = cnf.new_var();
+                let _ = (i, j);
+            }
+        }
+        for row in &p {
+            cnf.add_clause(vec![Lit::pos(row[0]), Lit::pos(row[1])]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    cnf.add_clause(vec![Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        assert_eq!(solve(&cnf), SatResult::Unsat);
+    }
+
+    proptest! {
+        /// Random 3-SAT near/below the threshold: whenever the solver says
+        /// SAT, the model must actually satisfy the clauses; whenever it
+        /// says UNSAT on small instances, brute force must agree.
+        #[test]
+        fn random_3sat_sound(
+            n_vars in 1usize..8,
+            clauses in proptest::collection::vec(
+                proptest::collection::vec((0usize..8, any::<bool>()), 1..4),
+                0..20,
+            )
+        ) {
+            let mut cnf = Cnf::default();
+            for _ in 0..n_vars {
+                cnf.new_var();
+            }
+            for c in &clauses {
+                let lits: Vec<Lit> = c
+                    .iter()
+                    .map(|&(v, pos)| Lit { var: v % n_vars, positive: pos })
+                    .collect();
+                cnf.add_clause(lits);
+            }
+            let brute_sat = (0u32..(1 << n_vars)).any(|bits| {
+                let model: Vec<bool> = (0..n_vars).map(|i| bits & (1 << i) != 0).collect();
+                check_model(&cnf, &model)
+            });
+            match solve(&cnf) {
+                SatResult::Sat(m) => {
+                    prop_assert!(check_model(&cnf, &m));
+                    prop_assert!(brute_sat);
+                }
+                SatResult::Unsat => prop_assert!(!brute_sat),
+            }
+        }
+    }
+}

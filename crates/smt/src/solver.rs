@@ -1,0 +1,596 @@
+//! The lazy-SMT solver loop: SAT on the boolean skeleton, theory checks on
+//! the implied atom polarities, blocking clauses on theory conflicts.
+//!
+//! This is the Z3 stand-in WeSEER's analyzer calls (paper Sec. III-B): it
+//! answers SAT with a satisfying assignment, UNSAT, or Unknown (timeout);
+//! the analyzer reports a deadlock only on SAT.
+
+use crate::arith::{self, ArithResult, Constraint, Limits};
+use crate::lower::{Atom, Lowering};
+use crate::model::{Model, ModelKey, ModelValue};
+use crate::rational::Rat;
+use crate::sat::{self, Cnf, Lit, SatResult};
+use crate::strings::{self, StrResult, StrTerm};
+use crate::term::{Ctx, TermId, TermKind};
+use std::collections::{BTreeMap, HashMap};
+
+/// Solver configuration.
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// Maximum number of SAT+theory iterations before giving up.
+    pub max_theory_iters: usize,
+    /// Arithmetic resource limits.
+    pub arith_limits: Limits,
+    /// Branching-decision budget per SAT call; exhaustion is a timeout.
+    pub sat_decision_budget: u64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            max_theory_iters: 500,
+            arith_limits: Limits::default(),
+            sat_decision_budget: 2_000_000,
+        }
+    }
+}
+
+/// Outcome of a solver call.
+#[derive(Debug, Clone)]
+pub enum SolveResult {
+    /// Satisfiable with a model.
+    Sat(Model),
+    /// Unsatisfiable.
+    Unsat,
+    /// Resource limits exceeded (reported like a Z3 timeout).
+    Unknown,
+}
+
+impl SolveResult {
+    /// Whether the result is SAT.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolveResult::Sat(_))
+    }
+
+    /// The model if SAT.
+    pub fn model(self) -> Option<Model> {
+        match self {
+            SolveResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Decide the satisfiability of `assertion` (Bool-sorted).
+pub fn check(ctx: &mut Ctx, assertion: TermId, config: &SolverConfig) -> SolveResult {
+    // 1. Instantiate read-congruence axioms: for any two reads on the same
+    //    array variable, equal indices force equal read values.
+    let with_axioms = add_select_congruence(ctx, assertion);
+
+    // 2. Lower to CNF over atoms.
+    let mut low = Lowering::new();
+    low.assert(ctx, with_axioms);
+
+    // 3. Lazy theory loop.
+    for _ in 0..config.max_theory_iters {
+        let bool_model = match sat::solve_budgeted(&low.cnf, config.sat_decision_budget) {
+            None => return SolveResult::Unknown,
+            Some(SatResult::Unsat) => return SolveResult::Unsat,
+            Some(SatResult::Sat(m)) => m,
+        };
+
+        // Reduce the full assignment to a prime implicant: atoms that are
+        // not needed to satisfy the boolean skeleton stay out of the
+        // theory checks. Conflict-condition formulas carry hundreds of
+        // don't-care congruence atoms; asserting them all would send the
+        // arithmetic solver arbitrary (often contradictory) polarities
+        // and turn the lazy loop into model enumeration.
+        let needed = prime_implicant(&low.cnf, &bool_model);
+
+        // Collect asserted theory literals.
+        let mut lin_cons: Vec<Constraint> = Vec::new();
+        let mut lin_lits: Vec<Lit> = Vec::new();
+        let mut str_items: Vec<(bool, (StrTerm, StrTerm), Lit)> = Vec::new();
+        for (i, atom) in low.atoms.iter().enumerate() {
+            let var = low.atom_vars[i];
+            if !needed[var] {
+                continue;
+            }
+            let pol = bool_model[var];
+            match atom {
+                Atom::Lin(c) => {
+                    let asserted = if pol {
+                        c.clone()
+                    } else {
+                        // ¬(e ≤ 0) ⇔ -e < 0 ; ¬(e < 0) ⇔ -e ≤ 0
+                        Constraint {
+                            expr: c.expr.scale(Rat::int(-1)),
+                            strict: !c.strict,
+                        }
+                    };
+                    lin_cons.push(asserted);
+                    lin_lits.push(if pol { Lit::pos(var) } else { Lit::neg(var) });
+                }
+                Atom::StrEq(a, b) => {
+                    let lit = if pol { Lit::pos(var) } else { Lit::neg(var) };
+                    str_items.push((pol, (a.clone(), b.clone()), lit));
+                }
+                Atom::BoolVar(_) | Atom::Select { .. } => {}
+            }
+        }
+        let str_eqs: Vec<(StrTerm, StrTerm)> = str_items
+            .iter()
+            .filter(|(eq, _, _)| *eq)
+            .map(|(_, p, _)| p.clone())
+            .collect();
+        let str_neqs: Vec<(StrTerm, StrTerm)> = str_items
+            .iter()
+            .filter(|(eq, _, _)| !*eq)
+            .map(|(_, p, _)| p.clone())
+            .collect();
+
+        // Arithmetic theory.
+        let arith_model = match arith::solve(&low.num_vars, &lin_cons, config.arith_limits) {
+            ArithResult::Unsat => {
+                let core = minimize_arith_core(
+                    &low.num_vars,
+                    &lin_cons,
+                    &lin_lits,
+                    config.arith_limits,
+                );
+                block(&mut low, &core);
+                continue;
+            }
+            ArithResult::Unknown => return SolveResult::Unknown,
+            ArithResult::Sat(m) => m,
+        };
+
+        // String theory.
+        let str_model = match strings::solve(&str_eqs, &str_neqs) {
+            StrResult::Unsat => {
+                let core = minimize_str_core(&str_items);
+                block(&mut low, &core);
+                continue;
+            }
+            StrResult::Sat(m) => m,
+        };
+
+        // Both theories agree: assemble the model.
+        return SolveResult::Sat(build_model(
+            ctx,
+            &low,
+            &bool_model,
+            &arith_model,
+            &str_model,
+        ));
+    }
+    SolveResult::Unknown
+}
+
+/// Convenience: check a conjunction of assertions.
+pub fn check_all(
+    ctx: &mut Ctx,
+    assertions: &[TermId],
+    config: &SolverConfig,
+) -> SolveResult {
+    let conj = ctx.and(assertions.iter().copied());
+    check(ctx, conj, config)
+}
+
+/// Greedily mark the variables needed to satisfy every clause under
+/// `model`; unmarked variables are don't-cares whose truth value the
+/// skeleton never relies on. Two passes let later clauses reuse variables
+/// marked by earlier ones.
+fn prime_implicant(cnf: &Cnf, model: &[bool]) -> Vec<bool> {
+    let mut needed = vec![false; model.len()];
+    for _ in 0..2 {
+        for clause in &cnf.clauses {
+            if clause
+                .iter()
+                .any(|l| model[l.var] == l.positive && needed[l.var])
+            {
+                continue;
+            }
+            if let Some(l) = clause.iter().find(|l| model[l.var] == l.positive) {
+                needed[l.var] = true;
+            }
+        }
+    }
+    needed
+}
+
+fn block(low: &mut Lowering, lits: &[Lit]) {
+    // Forbid this exact combination of theory literals.
+    let clause: Vec<Lit> = lits.iter().map(|l| l.negated()).collect();
+    low.cnf.add_clause(clause);
+}
+
+/// Deletion-based unsat-core minimization for arithmetic conflicts: the
+/// smaller the blocking clause, the fewer SAT+theory iterations the lazy
+/// loop needs (a ~100-literal blocking clause barely prunes anything).
+fn minimize_arith_core(
+    vars: &[arith::VarInfo],
+    cons: &[Constraint],
+    lits: &[Lit],
+    limits: Limits,
+) -> Vec<Lit> {
+    let mut keep: Vec<(Constraint, Lit)> =
+        cons.iter().cloned().zip(lits.iter().copied()).collect();
+    let mut i = 0;
+    while i < keep.len() {
+        let trial: Vec<Constraint> = keep
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, (c, _))| c.clone())
+            .collect();
+        if matches!(arith::solve(vars, &trial, limits), ArithResult::Unsat) {
+            keep.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    keep.into_iter().map(|(_, l)| l).collect()
+}
+
+/// Deletion-based unsat-core minimization for string conflicts.
+fn minimize_str_core(items: &[(bool, (StrTerm, StrTerm), Lit)]) -> Vec<Lit> {
+    let mut keep: Vec<(bool, (StrTerm, StrTerm), Lit)> = items.to_vec();
+    let mut i = 0;
+    while i < keep.len() {
+        let eqs: Vec<(StrTerm, StrTerm)> = keep
+            .iter()
+            .enumerate()
+            .filter(|(j, (eq, _, _))| *j != i && *eq)
+            .map(|(_, (_, p, _))| p.clone())
+            .collect();
+        let neqs: Vec<(StrTerm, StrTerm)> = keep
+            .iter()
+            .enumerate()
+            .filter(|(j, (eq, _, _))| *j != i && !*eq)
+            .map(|(_, (_, p, _))| p.clone())
+            .collect();
+        if matches!(strings::solve(&eqs, &neqs), StrResult::Unsat) {
+            keep.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    keep.into_iter().map(|(_, _, l)| l).collect()
+}
+
+/// Walk the DAG collecting `Select` nodes grouped by array variable, then
+/// conjoin pairwise congruence axioms with the original assertion.
+fn add_select_congruence(ctx: &mut Ctx, root: TermId) -> TermId {
+    let mut selects: HashMap<TermId, Vec<TermId>> = HashMap::new();
+    let mut stack = vec![root];
+    let mut seen = std::collections::HashSet::new();
+    while let Some(t) = stack.pop() {
+        if !seen.insert(t) {
+            continue;
+        }
+        match ctx.kind(t).clone() {
+            TermKind::Select(arr, idx) => {
+                debug_assert!(matches!(ctx.kind(arr), TermKind::Var(_)));
+                let indexes = selects.entry(arr).or_default();
+                if !indexes.contains(&idx) {
+                    indexes.push(idx);
+                }
+                stack.push(idx);
+            }
+            TermKind::Add(a, b)
+            | TermKind::Sub(a, b)
+            | TermKind::Cmp(_, a, b)
+            | TermKind::Eq(a, b) => {
+                stack.push(a);
+                stack.push(b);
+            }
+            TermKind::Neg(a) | TermKind::MulConst(_, a) | TermKind::Not(a) => stack.push(a),
+            TermKind::And(parts) | TermKind::Or(parts) => stack.extend(parts),
+            TermKind::Store(a, i, v) => {
+                stack.push(a);
+                stack.push(i);
+                stack.push(v);
+            }
+            TermKind::Var(_)
+            | TermKind::BoolConst(_)
+            | TermKind::NumConst(_)
+            | TermKind::StrConst(_) => {}
+        }
+    }
+    let mut axioms = Vec::new();
+    for (arr, indexes) in selects {
+        for i in 0..indexes.len() {
+            for j in (i + 1)..indexes.len() {
+                let (ii, ij) = (indexes[i], indexes[j]);
+                let idx_eq = ctx.eq(ii, ij);
+                let si = ctx.select(arr, ii);
+                let sj = ctx.select(arr, ij);
+                let sel_eq = ctx.eq(si, sj);
+                axioms.push(ctx.implies(idx_eq, sel_eq));
+            }
+        }
+    }
+    if axioms.is_empty() {
+        root
+    } else {
+        let ax = ctx.and(axioms);
+        ctx.and([root, ax])
+    }
+}
+
+fn build_model(
+    ctx: &Ctx,
+    low: &Lowering,
+    bool_model: &[bool],
+    arith_model: &[Rat],
+    str_model: &HashMap<String, String>,
+) -> Model {
+    let mut values: BTreeMap<String, ModelValue> = BTreeMap::new();
+    for (i, v) in low.num_vars.iter().enumerate() {
+        let r = arith_model[i];
+        let mv = if v.is_int {
+            debug_assert!(r.is_integer(), "integer var with fractional model value");
+            ModelValue::Int(r.floor() as i64)
+        } else {
+            ModelValue::Real(r.to_f64())
+        };
+        values.insert(v.name.clone(), mv);
+    }
+    for (name, s) in str_model {
+        values.insert(name.clone(), ModelValue::Str(s.clone()));
+    }
+    for (i, atom) in low.atoms.iter().enumerate() {
+        if let Atom::BoolVar(name) = atom {
+            values.insert(name.clone(), ModelValue::Bool(bool_model[low.atom_vars[i]]));
+        }
+    }
+    // Array reads: evaluate index terms under the partial model.
+    let partial = Model::new(values.clone(), HashMap::new());
+    let mut selects: HashMap<(String, ModelKey), bool> = HashMap::new();
+    for (i, atom) in low.atoms.iter().enumerate() {
+        if let Atom::Select { array, index } = atom {
+            let name = match ctx.kind(*array) {
+                TermKind::Var(n) => n.clone(),
+                _ => unreachable!("selects expanded to array vars"),
+            };
+            let key_val = partial.eval(ctx, *index);
+            if let Some(key) = ModelKey::from_value(&key_val) {
+                selects.insert((name, key), bool_model[low.atom_vars[i]]);
+            }
+        }
+    }
+    Model::new(values, selects)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Sort;
+
+    fn cfg() -> SolverConfig {
+        SolverConfig::default()
+    }
+
+    #[test]
+    fn paper_example_sat() {
+        // (syma + 1 != 8) ∧ (syma > 3) → SAT (Sec. III-B gives syma == 4).
+        let mut ctx = Ctx::new();
+        let a = ctx.var("syma", Sort::Int);
+        let one = ctx.int(1);
+        let sum = ctx.add(a, one);
+        let eight = ctx.int(8);
+        let ne = ctx.ne(sum, eight);
+        let three = ctx.int(3);
+        let gt = ctx.gt(a, three);
+        let f = ctx.and([ne, gt]);
+        match check(&mut ctx, f, &cfg()) {
+            SolveResult::Sat(m) => {
+                let v = m.get_int("syma").unwrap();
+                assert!(v > 3 && v + 1 != 8, "bad model value {v}");
+                assert!(m.satisfies(&ctx, f));
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_example_unsat() {
+        // (syma + 1 != 8) ∧ (syma == 7) → UNSAT (Sec. III-B).
+        let mut ctx = Ctx::new();
+        let a = ctx.var("syma", Sort::Int);
+        let one = ctx.int(1);
+        let sum = ctx.add(a, one);
+        let eight = ctx.int(8);
+        let ne = ctx.ne(sum, eight);
+        let seven = ctx.int(7);
+        let eq = ctx.eq(a, seven);
+        let f = ctx.and([ne, eq]);
+        assert!(matches!(check(&mut ctx, f, &cfg()), SolveResult::Unsat));
+    }
+
+    #[test]
+    fn disjunction_picks_a_branch() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Int);
+        let zero = ctx.int(0);
+        let ten = ctx.int(10);
+        let lt = ctx.lt(x, zero);
+        let gt = ctx.gt(x, ten);
+        let f = ctx.or([lt, gt]);
+        match check(&mut ctx, f, &cfg()) {
+            SolveResult::Sat(m) => {
+                let v = m.get_int("x").unwrap();
+                assert!(v < 0 || v > 10);
+                assert!(m.satisfies(&ctx, f));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn string_theory_integration() {
+        let mut ctx = Ctx::new();
+        let u = ctx.var("user", Sort::Str);
+        let v = ctx.var("email", Sort::Str);
+        let alice = ctx.str_const("alice");
+        let e1 = ctx.eq(u, alice);
+        let e2 = ctx.ne(u, v);
+        let f = ctx.and([e1, e2]);
+        match check(&mut ctx, f, &cfg()) {
+            SolveResult::Sat(m) => {
+                assert_eq!(m.get_str("user"), Some("alice"));
+                assert_ne!(m.get_str("email"), Some("alice"));
+                assert!(m.satisfies(&ctx, f));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn string_conflict_unsat() {
+        let mut ctx = Ctx::new();
+        let u = ctx.var("u", Sort::Str);
+        let a = ctx.str_const("a");
+        let b = ctx.str_const("b");
+        let e1 = ctx.eq(u, a);
+        let e2 = ctx.eq(u, b);
+        let f = ctx.and([e1, e2]);
+        assert!(matches!(check(&mut ctx, f, &cfg()), SolveResult::Unsat));
+    }
+
+    #[test]
+    fn mixed_theories_and_booleans() {
+        // (flag → x ≥ 5) ∧ (¬flag → s = "no") ∧ x = 7 ∧ flag
+        let mut ctx = Ctx::new();
+        let flag = ctx.var("flag", Sort::Bool);
+        let x = ctx.var("x", Sort::Int);
+        let s = ctx.var("s", Sort::Str);
+        let five = ctx.int(5);
+        let ge = ctx.ge(x, five);
+        let i1 = ctx.implies(flag, ge);
+        let nf = ctx.not(flag);
+        let no = ctx.str_const("no");
+        let seq = ctx.eq(s, no);
+        let i2 = ctx.implies(nf, seq);
+        let seven = ctx.int(7);
+        let xeq = ctx.eq(x, seven);
+        let f = ctx.and([i1, i2, xeq, flag]);
+        match check(&mut ctx, f, &cfg()) {
+            SolveResult::Sat(m) => {
+                assert_eq!(m.get_int("x"), Some(7));
+                assert_eq!(m.get("flag"), Some(&ModelValue::Bool(true)));
+                assert!(m.satisfies(&ctx, f));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn array_store_then_read() {
+        // read(write(m, k, true), k) must be true; read at другой key is free
+        // but constrained false here.
+        let mut ctx = Ctx::new();
+        let m0 = ctx.array_var("m", Sort::Int);
+        let k = ctx.var("k", Sort::Int);
+        let j = ctx.var("j", Sort::Int);
+        let tt = ctx.bool_const(true);
+        let m1 = ctx.store(m0, k, tt);
+        let rk = ctx.select(m1, k);
+        let rj = ctx.select(m1, j);
+        let nrj = ctx.not(rj);
+        let f = ctx.and([rk, nrj]);
+        match check(&mut ctx, f, &cfg()) {
+            SolveResult::Sat(model) => {
+                // j must differ from k, otherwise rj would be true.
+                assert_ne!(model.get_int("k"), model.get_int("j"));
+                assert!(model.satisfies(&ctx, f));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn array_congruence_forces_equal_reads() {
+        // i = j ∧ read(m, i) ∧ ¬read(m, j) is UNSAT by congruence.
+        let mut ctx = Ctx::new();
+        let m = ctx.array_var("m", Sort::Int);
+        let i = ctx.var("i", Sort::Int);
+        let j = ctx.var("j", Sort::Int);
+        let eq = ctx.eq(i, j);
+        let ri = ctx.select(m, i);
+        let rj = ctx.select(m, j);
+        let nrj = ctx.not(rj);
+        let f = ctx.and([eq, ri, nrj]);
+        assert!(matches!(check(&mut ctx, f, &cfg()), SolveResult::Unsat));
+    }
+
+    #[test]
+    fn real_arithmetic() {
+        // 0 < r < 1 is satisfiable over reals.
+        let mut ctx = Ctx::new();
+        let r = ctx.var("r", Sort::Real);
+        let zero = ctx.real(Rat::int(0));
+        let one = ctx.real(Rat::int(1));
+        let c1 = ctx.lt(zero, r);
+        let c2 = ctx.lt(r, one);
+        let f = ctx.and([c1, c2]);
+        match check(&mut ctx, f, &cfg()) {
+            SolveResult::Sat(m) => match m.get("r") {
+                Some(ModelValue::Real(v)) => assert!(*v > 0.0 && *v < 1.0),
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn int_gap_unsat_where_real_sat() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Int);
+        let zero = ctx.int(0);
+        let one = ctx.int(1);
+        let c1 = ctx.lt(zero, x);
+        let c2 = ctx.lt(x, one);
+        let f = ctx.and([c1, c2]);
+        assert!(matches!(check(&mut ctx, f, &cfg()), SolveResult::Unsat));
+    }
+
+    #[test]
+    fn deep_nesting() {
+        // ⋀_{i<6} (xᵢ < xᵢ₊₁) ∧ x₀ = 0 ∧ x₆ ≤ 6 → forces xᵢ = i.
+        let mut ctx = Ctx::new();
+        let xs: Vec<_> = (0..7).map(|i| ctx.var(format!("x{i}"), Sort::Int)).collect();
+        let mut parts = Vec::new();
+        for w in xs.windows(2) {
+            parts.push(ctx.lt(w[0], w[1]));
+        }
+        let zero = ctx.int(0);
+        let six = ctx.int(6);
+        parts.push(ctx.eq(xs[0], zero));
+        parts.push(ctx.le(xs[6], six));
+        let f = ctx.and(parts);
+        match check(&mut ctx, f, &cfg()) {
+            SolveResult::Sat(m) => {
+                for (i, x) in xs.iter().enumerate() {
+                    let _ = x;
+                    assert_eq!(m.get_int(&format!("x{i}")), Some(i as i64));
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn check_all_conjunction() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Int);
+        let two = ctx.int(2);
+        let a1 = ctx.ge(x, two);
+        let a2 = ctx.le(x, two);
+        match check_all(&mut ctx, &[a1, a2], &cfg()) {
+            SolveResult::Sat(m) => assert_eq!(m.get_int("x"), Some(2)),
+            other => panic!("{other:?}"),
+        }
+    }
+}

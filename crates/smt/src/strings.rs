@@ -1,0 +1,240 @@
+//! Equality theory over strings.
+//!
+//! WeSEER models Java `String` comparisons as (dis)equalities (paper
+//! Sec. IV-B and Fig. 7's `StrOp ::= != | =`). A union–find over string
+//! terms decides conjunctions of equalities and disequalities and produces
+//! a satisfying assignment where every unconstrained class receives a fresh
+//! distinct string.
+
+use std::collections::{HashMap, HashSet};
+
+/// A string term: a free variable or a literal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum StrTerm {
+    /// Named variable.
+    Var(String),
+    /// String literal.
+    Const(String),
+}
+
+/// Result of the string theory check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StrResult {
+    /// Satisfiable; maps every variable mentioned to a concrete string.
+    Sat(HashMap<String, String>),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+    /// The literal pinned to each class root, if any.
+    pinned: Vec<Option<String>>,
+}
+
+impl UnionFind {
+    fn new() -> Self {
+        UnionFind { parent: Vec::new(), pinned: Vec::new() }
+    }
+
+    fn make(&mut self, pinned: Option<String>) -> usize {
+        let i = self.parent.len();
+        self.parent.push(i);
+        self.pinned.push(pinned);
+        i
+    }
+
+    fn find(&mut self, mut i: usize) -> usize {
+        while self.parent[i] != i {
+            self.parent[i] = self.parent[self.parent[i]];
+            i = self.parent[i];
+        }
+        i
+    }
+
+    /// Union two classes; `false` when their pinned literals disagree.
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return true;
+        }
+        match (&self.pinned[ra], &self.pinned[rb]) {
+            (Some(x), Some(y)) if x != y => return false,
+            _ => {}
+        }
+        let pin = self.pinned[ra].clone().or_else(|| self.pinned[rb].clone());
+        self.parent[ra] = rb;
+        self.pinned[rb] = pin;
+        true
+    }
+}
+
+/// Decide `⋀ eqs ∧ ⋀ neqs` and build a model on success.
+pub fn solve(eqs: &[(StrTerm, StrTerm)], neqs: &[(StrTerm, StrTerm)]) -> StrResult {
+    let mut uf = UnionFind::new();
+    let mut ids: HashMap<StrTerm, usize> = HashMap::new();
+    let mut consts: HashSet<String> = HashSet::new();
+
+    let mut id_of = |t: &StrTerm, uf: &mut UnionFind, consts: &mut HashSet<String>| -> usize {
+        if let Some(&i) = ids.get(t) {
+            return i;
+        }
+        let pin = match t {
+            StrTerm::Const(s) => {
+                consts.insert(s.clone());
+                Some(s.clone())
+            }
+            StrTerm::Var(_) => None,
+        };
+        let i = uf.make(pin);
+        ids.insert(t.clone(), i);
+        i
+    };
+
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for (a, b) in eqs {
+        let (ia, ib) = (
+            id_of(a, &mut uf, &mut consts),
+            id_of(b, &mut uf, &mut consts),
+        );
+        pairs.push((ia, ib));
+    }
+    let mut neq_pairs: Vec<(usize, usize)> = Vec::new();
+    for (a, b) in neqs {
+        let (ia, ib) = (
+            id_of(a, &mut uf, &mut consts),
+            id_of(b, &mut uf, &mut consts),
+        );
+        neq_pairs.push((ia, ib));
+    }
+    let term_ids: Vec<(StrTerm, usize)> =
+        ids.iter().map(|(t, &i)| (t.clone(), i)).collect();
+
+    for (ia, ib) in pairs {
+        if !uf.union(ia, ib) {
+            return StrResult::Unsat;
+        }
+    }
+    for (ia, ib) in neq_pairs {
+        if uf.find(ia) == uf.find(ib) {
+            return StrResult::Unsat;
+        }
+        // Two distinct literals are trivially unequal; two distinct classes
+        // pinned to the same literal are equal — conflict.
+        let (ra, rb) = (uf.find(ia), uf.find(ib));
+        if let (Some(x), Some(y)) = (&uf.pinned[ra], &uf.pinned[rb]) {
+            if x == y {
+                return StrResult::Unsat;
+            }
+        }
+    }
+
+    // Model: pinned classes keep their literal; others get fresh strings
+    // distinct from every literal and from each other.
+    let mut class_value: HashMap<usize, String> = HashMap::new();
+    let mut fresh = 0usize;
+    let mut model = HashMap::new();
+    for (term, id) in term_ids {
+        let root = uf.find(id);
+        let value = class_value
+            .entry(root)
+            .or_insert_with(|| {
+                if let Some(pin) = &uf.pinned[root] {
+                    pin.clone()
+                } else {
+                    loop {
+                        let cand = format!("str!{fresh}");
+                        fresh += 1;
+                        if !consts.contains(&cand) {
+                            break cand;
+                        }
+                    }
+                }
+            })
+            .clone();
+        if let StrTerm::Var(name) = term {
+            model.insert(name, value);
+        }
+    }
+    StrResult::Sat(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> StrTerm {
+        StrTerm::Var(s.to_string())
+    }
+    fn c(s: &str) -> StrTerm {
+        StrTerm::Const(s.to_string())
+    }
+
+    #[test]
+    fn transitive_equality() {
+        let eqs = [(v("a"), v("b")), (v("b"), v("c")), (v("c"), c("hello"))];
+        match solve(&eqs, &[]) {
+            StrResult::Sat(m) => {
+                assert_eq!(m["a"], "hello");
+                assert_eq!(m["b"], "hello");
+                assert_eq!(m["c"], "hello");
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn const_clash_unsat() {
+        let eqs = [(v("a"), c("x")), (v("a"), c("y"))];
+        assert_eq!(solve(&eqs, &[]), StrResult::Unsat);
+    }
+
+    #[test]
+    fn diseq_within_class_unsat() {
+        let eqs = [(v("a"), v("b"))];
+        let neqs = [(v("a"), v("b"))];
+        assert_eq!(solve(&eqs, &neqs), StrResult::Unsat);
+    }
+
+    #[test]
+    fn diseq_between_same_literal_unsat() {
+        let eqs = [(v("a"), c("x")), (v("b"), c("x"))];
+        let neqs = [(v("a"), v("b"))];
+        assert_eq!(solve(&eqs, &neqs), StrResult::Unsat);
+    }
+
+    #[test]
+    fn diseq_satisfiable_with_fresh_values() {
+        let neqs = [(v("a"), v("b")), (v("a"), c("taken"))];
+        match solve(&[], &neqs) {
+            StrResult::Sat(m) => {
+                assert_ne!(m["a"], m["b"]);
+                assert_ne!(m["a"], "taken");
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn fresh_values_avoid_literals() {
+        // A literal that looks like a generated fresh value must be dodged.
+        let neqs = [(v("a"), c("str!0"))];
+        match solve(&[], &neqs) {
+            StrResult::Sat(m) => assert_ne!(m["a"], "str!0"),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn literal_to_literal() {
+        assert!(matches!(solve(&[(c("x"), c("x"))], &[]), StrResult::Sat(_)));
+        assert_eq!(solve(&[(c("x"), c("y"))], &[]), StrResult::Unsat);
+        assert!(matches!(solve(&[], &[(c("x"), c("y"))]), StrResult::Sat(_)));
+        assert_eq!(solve(&[], &[(c("x"), c("x"))]), StrResult::Unsat);
+    }
+
+    #[test]
+    fn empty_is_sat() {
+        assert!(matches!(solve(&[], &[]), StrResult::Sat(_)));
+    }
+}

@@ -1,0 +1,180 @@
+//! Property test: on random small formulas over a finite integer domain,
+//! the solver's verdict must match exhaustive enumeration, and SAT models
+//! must actually satisfy the assertion.
+
+use proptest::prelude::*;
+use weseer_smt::term::TermKind;
+use weseer_smt::{check, Ctx, SolveResult, SolverConfig, Sort, TermId};
+
+const VARS: [&str; 3] = ["x", "y", "z"];
+const DOMAIN: std::ops::RangeInclusive<i64> = -3..=3;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// var[i] ⋈ const
+    VarConst(usize, u8, i64),
+    /// var[i] ⋈ var[j]
+    VarVar(usize, u8, usize),
+}
+
+#[derive(Debug, Clone)]
+enum Form {
+    Atom(Atom),
+    Not(Box<Form>),
+    And(Box<Form>, Box<Form>),
+    Or(Box<Form>, Box<Form>),
+}
+
+fn atom_strategy() -> impl Strategy<Value = Atom> {
+    prop_oneof![
+        (0usize..3, 0u8..6, -3i64..=3).prop_map(|(v, op, c)| Atom::VarConst(v, op, c)),
+        (0usize..3, 0u8..6, 0usize..3).prop_map(|(a, op, b)| Atom::VarVar(a, op, b)),
+    ]
+}
+
+fn form_strategy() -> impl Strategy<Value = Form> {
+    atom_strategy().prop_map(Form::Atom).prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| Form::Not(Box::new(f))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Form::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Form::Or(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn cmp(op: u8, a: i64, b: i64) -> bool {
+    match op {
+        0 => a == b,
+        1 => a != b,
+        2 => a < b,
+        3 => a <= b,
+        4 => a > b,
+        _ => a >= b,
+    }
+}
+
+fn eval(f: &Form, env: &[i64; 3]) -> bool {
+    match f {
+        Form::Atom(Atom::VarConst(v, op, c)) => cmp(*op, env[*v], *c),
+        Form::Atom(Atom::VarVar(a, op, b)) => cmp(*op, env[*a], env[*b]),
+        Form::Not(f) => !eval(f, env),
+        Form::And(a, b) => eval(a, env) && eval(b, env),
+        Form::Or(a, b) => eval(a, env) || eval(b, env),
+    }
+}
+
+fn build(ctx: &mut Ctx, f: &Form, vars: &[TermId; 3]) -> TermId {
+    match f {
+        Form::Atom(Atom::VarConst(v, op, c)) => {
+            let rhs = ctx.int(*c);
+            build_cmp(ctx, *op, vars[*v], rhs)
+        }
+        Form::Atom(Atom::VarVar(a, op, b)) => build_cmp(ctx, *op, vars[*a], vars[*b]),
+        Form::Not(f) => {
+            let inner = build(ctx, f, vars);
+            ctx.not(inner)
+        }
+        Form::And(a, b) => {
+            let (ta, tb) = (build(ctx, a, vars), build(ctx, b, vars));
+            ctx.and([ta, tb])
+        }
+        Form::Or(a, b) => {
+            let (ta, tb) = (build(ctx, a, vars), build(ctx, b, vars));
+            ctx.or([ta, tb])
+        }
+    }
+}
+
+fn build_cmp(ctx: &mut Ctx, op: u8, a: TermId, b: TermId) -> TermId {
+    match op {
+        0 => ctx.eq(a, b),
+        1 => ctx.ne(a, b),
+        2 => ctx.lt(a, b),
+        3 => ctx.le(a, b),
+        4 => ctx.gt(a, b),
+        _ => ctx.ge(a, b),
+    }
+}
+
+/// Constrain every variable to the brute-force domain so UNSAT agreement
+/// is meaningful.
+fn domain_constraint(ctx: &mut Ctx, vars: &[TermId; 3]) -> TermId {
+    let lo = ctx.int(*DOMAIN.start());
+    let hi = ctx.int(*DOMAIN.end());
+    let mut parts = Vec::new();
+    for &v in vars {
+        parts.push(ctx.ge(v, lo));
+        parts.push(ctx.le(v, hi));
+    }
+    ctx.and(parts)
+}
+
+fn model_value(ctx: &Ctx, model: &weseer_smt::Model, name: &str) -> i64 {
+    let _ = ctx;
+    model.get_int(name).unwrap_or(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+    #[test]
+    fn solver_matches_brute_force(f in form_strategy()) {
+        let mut ctx = Ctx::new();
+        let vars = [
+            ctx.var(VARS[0], Sort::Int),
+            ctx.var(VARS[1], Sort::Int),
+            ctx.var(VARS[2], Sort::Int),
+        ];
+        let body = build(&mut ctx, &f, &vars);
+        let dom = domain_constraint(&mut ctx, &vars);
+        let assertion = ctx.and([body, dom]);
+
+        let brute_sat = DOMAIN.clone().any(|x| {
+            DOMAIN.clone().any(|y| DOMAIN.clone().any(|z| eval(&f, &[x, y, z])))
+        });
+
+        match check(&mut ctx, assertion, &SolverConfig::default()) {
+            SolveResult::Sat(model) => {
+                prop_assert!(brute_sat, "solver SAT but brute force disagrees: {f:?}");
+                let env = [
+                    model_value(&ctx, &model, "x"),
+                    model_value(&ctx, &model, "y"),
+                    model_value(&ctx, &model, "z"),
+                ];
+                prop_assert!(
+                    eval(&f, &env),
+                    "model {env:?} does not satisfy {f:?}"
+                );
+                for v in env {
+                    prop_assert!(DOMAIN.contains(&v));
+                }
+            }
+            SolveResult::Unsat => {
+                prop_assert!(!brute_sat, "solver UNSAT but {f:?} is satisfiable");
+            }
+            SolveResult::Unknown => {
+                // Resource limit: allowed, but should be rare on such
+                // small formulas.
+            }
+        }
+    }
+
+    /// Hash-consing sanity: building the same formula twice yields the
+    /// same term id, and double negation collapses.
+    #[test]
+    fn construction_is_deterministic(f in form_strategy()) {
+        let mut ctx = Ctx::new();
+        let vars = [
+            ctx.var("x", Sort::Int),
+            ctx.var("y", Sort::Int),
+            ctx.var("z", Sort::Int),
+        ];
+        let a = build(&mut ctx, &f, &vars);
+        let b = build(&mut ctx, &f, &vars);
+        prop_assert_eq!(a, b);
+        let na = ctx.not(a);
+        let nna = ctx.not(na);
+        prop_assert_eq!(nna, a);
+        let _ = TermKind::BoolConst(true);
+    }
+}

@@ -1,0 +1,362 @@
+//! Query-condition utilities: catalog validation, three-valued evaluation,
+//! and the Icond/Ncond split of paper Fig. 7.
+//!
+//! A predicate is *related to an index* when it constrains a column that the
+//! index covers (Sec. V-C1). The index-usage analysis in `weseer-analyzer`
+//! and the executor in `weseer-db` both build on these helpers.
+
+use crate::ast::*;
+use crate::error::SqlError;
+use crate::schema::{Catalog, IndexDef};
+use crate::value::Value;
+
+/// Validate a statement against a catalog: every table exists, every alias
+/// is introduced, every column exists on its alias's table. For `INSERT`
+/// without a column list, fill in the table's full column list.
+pub fn validate(stmt: &mut Statement, catalog: &Catalog) -> Result<(), SqlError> {
+    let alias_map = stmt.alias_map();
+    for (_, table) in &alias_map {
+        catalog.require(table)?;
+    }
+    if let Statement::Insert(ins) = stmt {
+        if ins.columns.is_empty() {
+            let t = catalog.require(&ins.table)?;
+            ins.columns = t.columns.iter().map(|c| c.name.clone()).collect();
+        }
+        if ins.columns.len() != ins.values.len() {
+            return Err(SqlError::Schema(format!(
+                "INSERT into {} has {} columns but {} values",
+                ins.table,
+                ins.columns.len(),
+                ins.values.len()
+            )));
+        }
+    }
+    let lookup = |alias: &str| -> Option<&str> {
+        alias_map.iter().find(|(a, _)| a == alias).map(|(_, t)| t.as_str())
+    };
+    let check = |op: &Operand| -> Result<(), SqlError> {
+        if let Operand::Column { alias, column } = op {
+            let table = lookup(alias).ok_or_else(|| SqlError::UnknownAlias(alias.clone()))?;
+            let t = catalog.require(table)?;
+            if t.column(column).is_none() {
+                return Err(SqlError::UnknownColumn {
+                    table: table.to_string(),
+                    column: column.clone(),
+                });
+            }
+        }
+        Ok(())
+    };
+    if let Some(q) = stmt.query_condition() {
+        for op in q.operands() {
+            check(op)?;
+        }
+    }
+    match stmt {
+        Statement::Update(u) => {
+            let t = catalog.require(&u.table)?;
+            for a in &u.sets {
+                if t.column(&a.column).is_none() {
+                    return Err(SqlError::UnknownColumn {
+                        table: u.table.clone(),
+                        column: a.column.clone(),
+                    });
+                }
+            }
+        }
+        Statement::Insert(i) => {
+            let t = catalog.require(&i.table)?;
+            for c in &i.columns {
+                if t.column(c).is_none() {
+                    return Err(SqlError::UnknownColumn {
+                        table: i.table.clone(),
+                        column: c.clone(),
+                    });
+                }
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+/// Resolver giving concrete values for column references during evaluation.
+pub trait RowResolver {
+    /// The value bound to `alias.column`, or `None` when the alias is not
+    /// bound in the current evaluation context.
+    fn value(&self, alias: &str, column: &str) -> Option<Value>;
+}
+
+impl<F> RowResolver for F
+where
+    F: Fn(&str, &str) -> Option<Value>,
+{
+    fn value(&self, alias: &str, column: &str) -> Option<Value> {
+        self(alias, column)
+    }
+}
+
+/// Resolve an operand to a concrete value.
+///
+/// Returns `None` if a referenced column is unbound (the caller treats this
+/// as "cannot evaluate yet", e.g. during join processing).
+pub fn resolve_operand(
+    op: &Operand,
+    rows: &dyn RowResolver,
+    params: &[Value],
+) -> Option<Value> {
+    match op {
+        Operand::Column { alias, column } => rows.value(alias, column),
+        Operand::Param(i) => params.get(*i).cloned(),
+        Operand::Const(v) => Some(v.clone()),
+    }
+}
+
+/// SQL three-valued truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Truth {
+    /// Definitely true.
+    True,
+    /// Definitely false.
+    False,
+    /// NULL-involved comparison.
+    Unknown,
+}
+
+impl Truth {
+    /// Whether rows satisfying this truth value pass a WHERE filter
+    /// (SQL keeps only TRUE).
+    pub fn passes(self) -> bool {
+        self == Truth::True
+    }
+
+    fn and(self, other: Truth) -> Truth {
+        use Truth::*;
+        match (self, other) {
+            (False, _) | (_, False) => False,
+            (True, True) => True,
+            _ => Unknown,
+        }
+    }
+
+    fn or(self, other: Truth) -> Truth {
+        use Truth::*;
+        match (self, other) {
+            (True, _) | (_, True) => True,
+            (False, False) => False,
+            _ => Unknown,
+        }
+    }
+}
+
+/// Evaluate a condition under SQL three-valued logic.
+///
+/// Returns `None` when a referenced column is unbound.
+pub fn evaluate(cond: &Cond, rows: &dyn RowResolver, params: &[Value]) -> Option<Truth> {
+    match cond {
+        Cond::Term(Term::Cmp(p)) => {
+            let l = resolve_operand(&p.lhs, rows, params)?;
+            let r = resolve_operand(&p.rhs, rows, params)?;
+            Some(match l.sql_cmp(&r) {
+                None => Truth::Unknown,
+                Some(ord) => {
+                    if p.op.eval(ord) {
+                        Truth::True
+                    } else {
+                        Truth::False
+                    }
+                }
+            })
+        }
+        Cond::Term(Term::IsNull(o)) => {
+            let v = resolve_operand(o, rows, params)?;
+            Some(if v.is_null() { Truth::True } else { Truth::False })
+        }
+        Cond::Term(Term::NotNull(o)) => {
+            let v = resolve_operand(o, rows, params)?;
+            Some(if v.is_null() { Truth::False } else { Truth::True })
+        }
+        Cond::And(a, b) => Some(evaluate(a, rows, params)?.and(evaluate(b, rows, params)?)),
+        Cond::Or(a, b) => Some(evaluate(a, rows, params)?.or(evaluate(b, rows, params)?)),
+    }
+}
+
+/// The top-level predicates of `cond` that are *related to* `index` through
+/// table alias `alias`: they compare an indexed column of that alias against
+/// something (Fig. 7's `Icond` membership test).
+pub fn index_related_predicates<'c>(
+    cond: &'c Cond,
+    index: &IndexDef,
+    alias: &str,
+) -> Vec<Pred> {
+    cond.top_predicates()
+        .into_iter()
+        .filter_map(|p| {
+            let o = p.oriented_for(alias);
+            match &o.lhs {
+                Operand::Column { alias: a, column } if a == alias => {
+                    if index.columns.iter().any(|c| c == column) {
+                        Some(o)
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+/// Whether `preds` pin every column of a *unique* index with equality to a
+/// value available at lookup time — i.e. the access is a point query
+/// (Alg. 2 line 9).
+pub fn is_point_query(preds: &[Pred], index: &IndexDef) -> bool {
+    index.columns.iter().all(|col| {
+        preds.iter().any(|p| {
+            p.op == CmpOp::Eq
+                && p.lhs.column_name() == Some(col)
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::schema::{Catalog, ColType, TableBuilder};
+
+    fn catalog() -> Catalog {
+        Catalog::new(vec![
+            TableBuilder::new("Product")
+                .col("ID", ColType::Int)
+                .col("QTY", ColType::Int)
+                .primary_key(&["ID"])
+                .build()
+                .unwrap(),
+            TableBuilder::new("OrderItem")
+                .col("ID", ColType::Int)
+                .col("O_ID", ColType::Int)
+                .col("P_ID", ColType::Int)
+                .col("QTY", ColType::Int)
+                .primary_key(&["ID"])
+                .foreign_key("O_ID", "Order", "ID")
+                .foreign_key("P_ID", "Product", "ID")
+                .build()
+                .unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn validate_accepts_good_statement() {
+        let cat = catalog();
+        let mut s = parse("SELECT * FROM OrderItem oi WHERE oi.O_ID = ?").unwrap();
+        validate(&mut s, &cat).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_table_alias_column() {
+        let cat = catalog();
+        let mut s = parse("SELECT * FROM Nope n WHERE n.X = 1").unwrap();
+        assert!(matches!(validate(&mut s, &cat), Err(SqlError::UnknownTable(_))));
+
+        let mut s = parse("SELECT * FROM Product p WHERE q.ID = 1").unwrap();
+        assert!(matches!(validate(&mut s, &cat), Err(SqlError::UnknownAlias(_))));
+
+        let mut s = parse("SELECT * FROM Product p WHERE p.NOPE = 1").unwrap();
+        assert!(matches!(validate(&mut s, &cat), Err(SqlError::UnknownColumn { .. })));
+    }
+
+    #[test]
+    fn validate_fills_insert_columns() {
+        let cat = catalog();
+        let mut s = parse("INSERT INTO Product VALUES (?, ?)").unwrap();
+        validate(&mut s, &cat).unwrap();
+        match &s {
+            Statement::Insert(i) => assert_eq!(i.columns, vec!["ID", "QTY"]),
+            _ => panic!(),
+        }
+        let mut s = parse("INSERT INTO Product VALUES (?)").unwrap();
+        assert!(validate(&mut s, &cat).is_err()); // arity mismatch
+    }
+
+    #[test]
+    fn evaluate_three_valued() {
+        let cond = parse("SELECT * FROM Product p WHERE p.QTY >= ?")
+            .unwrap()
+            .query_condition()
+            .unwrap();
+        let rows = |_: &str, col: &str| -> Option<Value> {
+            match col {
+                "QTY" => Some(Value::Int(5)),
+                _ => None,
+            }
+        };
+        assert_eq!(evaluate(&cond, &rows, &[Value::Int(3)]), Some(Truth::True));
+        assert_eq!(evaluate(&cond, &rows, &[Value::Int(9)]), Some(Truth::False));
+        assert_eq!(evaluate(&cond, &rows, &[Value::Null]), Some(Truth::Unknown));
+        assert!(!Truth::Unknown.passes());
+    }
+
+    #[test]
+    fn evaluate_unbound_column_is_none() {
+        let cond = parse("SELECT * FROM Product p WHERE p.MISSING = 1")
+            .unwrap()
+            .query_condition()
+            .unwrap();
+        let rows = |_: &str, _: &str| -> Option<Value> { None };
+        assert_eq!(evaluate(&cond, &rows, &[]), None);
+    }
+
+    #[test]
+    fn truth_tables() {
+        use Truth::*;
+        assert_eq!(False.and(Unknown), False);
+        assert_eq!(True.and(Unknown), Unknown);
+        assert_eq!(True.or(Unknown), True);
+        assert_eq!(False.or(Unknown), Unknown);
+    }
+
+    #[test]
+    fn index_related_split() {
+        let cat = catalog();
+        let s = parse(
+            "SELECT * FROM OrderItem oi WHERE oi.O_ID = ? AND oi.QTY > 2",
+        )
+        .unwrap();
+        let q = s.query_condition().unwrap();
+        let t = cat.table("OrderItem").unwrap();
+        let o_idx = t.index("idx_orderitem_o_id").unwrap();
+        let rel = index_related_predicates(&q, o_idx, "oi");
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel[0].lhs, Operand::col("oi", "O_ID"));
+        // QTY > 2 is Ncond for this index.
+        let pri = t.primary_index();
+        assert!(index_related_predicates(&q, pri, "oi").is_empty());
+    }
+
+    #[test]
+    fn index_related_orients_flipped_predicates() {
+        let cat = catalog();
+        let s = parse("SELECT * FROM Product p WHERE ? = p.ID").unwrap();
+        let q = s.query_condition().unwrap();
+        let t = cat.table("Product").unwrap();
+        let rel = index_related_predicates(&q, t.primary_index(), "p");
+        assert_eq!(rel.len(), 1);
+        assert!(rel[0].lhs.is_column_of("p"));
+    }
+
+    #[test]
+    fn point_query_detection() {
+        let cat = catalog();
+        let t = cat.table("Product").unwrap();
+        let pri = t.primary_index();
+        let s = parse("SELECT * FROM Product p WHERE p.ID = ?").unwrap();
+        let rel = index_related_predicates(&s.query_condition().unwrap(), pri, "p");
+        assert!(is_point_query(&rel, pri));
+        let s = parse("SELECT * FROM Product p WHERE p.ID > ?").unwrap();
+        let rel = index_related_predicates(&s.query_condition().unwrap(), pri, "p");
+        assert!(!is_point_query(&rel, pri));
+    }
+}

@@ -1,0 +1,41 @@
+//! Error types for the SQL IR layer.
+
+use std::fmt;
+
+/// Errors raised while parsing or validating SQL in the supported subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// The tokenizer met a character it cannot start a token with.
+    Lex { pos: usize, found: char },
+    /// The parser expected one construct and found another.
+    Parse { pos: usize, expected: String, found: String },
+    /// A statement references a table absent from the catalog.
+    UnknownTable(String),
+    /// A statement references a column absent from its table.
+    UnknownColumn { table: String, column: String },
+    /// A table alias is used but never introduced by FROM/JOIN.
+    UnknownAlias(String),
+    /// Schema construction error (duplicate table/column/index, missing PK).
+    Schema(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { pos, found } => {
+                write!(f, "lex error at byte {pos}: unexpected character {found:?}")
+            }
+            SqlError::Parse { pos, expected, found } => {
+                write!(f, "parse error at token {pos}: expected {expected}, found {found}")
+            }
+            SqlError::UnknownTable(t) => write!(f, "unknown table {t:?}"),
+            SqlError::UnknownColumn { table, column } => {
+                write!(f, "unknown column {table}.{column}")
+            }
+            SqlError::UnknownAlias(a) => write!(f, "unknown table alias {a:?}"),
+            SqlError::Schema(msg) => write!(f, "schema error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}

@@ -1,0 +1,28 @@
+//! # weseer-sqlir
+//!
+//! SQL intermediate representation for WeSEER (ICDE 2023).
+//!
+//! This crate defines the statement syntax WeSEER supports (paper Fig. 6),
+//! the query-condition grammar (paper Fig. 7), the database schema/catalog
+//! model (tables, columns, primary and secondary indexes), runtime values,
+//! a hand-rolled SQL parser for the supported subset, and pretty printers
+//! that render statements back to SQL text templates.
+//!
+//! Every other crate in the workspace speaks this IR: the ORM generates it,
+//! the storage engine executes it, the concolic trace collector records it,
+//! and the deadlock analyzer reasons about it.
+
+pub mod ast;
+pub mod cond;
+pub mod error;
+pub mod parser;
+pub mod print;
+pub mod schema;
+pub mod value;
+
+pub use ast::{
+    CmpOp, Cond, Delete, Insert, Operand, Pred, Select, Statement, TableRef, Term, Update,
+};
+pub use error::SqlError;
+pub use schema::{Catalog, ColType, ColumnDef, IndexDef, IndexKind, TableBuilder, TableDef};
+pub use value::Value;

@@ -1,0 +1,683 @@
+//! A hand-rolled parser for the supported SQL subset (paper Fig. 6/7).
+//!
+//! The parser is catalog-free: it resolves syntax only. Use
+//! [`validate`](crate::cond::validate) to check a parsed statement against a
+//! [`Catalog`](crate::schema::Catalog) and to complete `INSERT` statements
+//! written without a column list.
+//!
+//! `?` placeholders are numbered left to right in textual order, matching
+//! JDBC prepared-statement semantics.
+
+use crate::ast::*;
+use crate::error::SqlError;
+use crate::value::Value;
+
+/// Parse a single statement.
+pub fn parse(sql: &str) -> Result<Statement, SqlError> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, pos: 0, next_param: 0 };
+    let stmt = p.statement()?;
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Question,
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Op(CmpOp),
+    Eof,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Float(x) => write!(f, "{x}"),
+            Tok::Str(s) => write!(f, "'{s}'"),
+            Tok::Question => write!(f, "?"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::Comma => write!(f, ","),
+            Tok::Dot => write!(f, "."),
+            Tok::Star => write!(f, "*"),
+            Tok::Op(op) => write!(f, "{op}"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+fn lex(sql: &str) -> Result<Vec<Tok>, SqlError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = sql.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Tok::Dot);
+                i += 1;
+            }
+            '*' => {
+                out.push(Tok::Star);
+                i += 1;
+            }
+            '?' => {
+                out.push(Tok::Question);
+                i += 1;
+            }
+            '=' => {
+                out.push(Tok::Op(CmpOp::Eq));
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&'=') => {
+                out.push(Tok::Op(CmpOp::Ne));
+                i += 2;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Tok::Op(CmpOp::Le));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&'>') {
+                    out.push(Tok::Op(CmpOp::Ne));
+                    i += 2;
+                } else {
+                    out.push(Tok::Op(CmpOp::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Tok::Op(CmpOp::Ge));
+                    i += 2;
+                } else {
+                    out.push(Tok::Op(CmpOp::Gt));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        Some('\'') if bytes.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(ch) => {
+                            s.push(*ch);
+                            i += 1;
+                        }
+                        None => return Err(SqlError::Lex { pos: i, found: '\'' }),
+                    }
+                }
+                out.push(Tok::Str(s));
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
+            {
+                let start = i;
+                i += 1; // consume digit or '-'
+                let mut is_float = false;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '.') {
+                    if bytes[i] == '.' {
+                        // A trailing dot followed by non-digit is a syntax
+                        // error in this subset; treat as part of the float.
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                if is_float {
+                    let v = text
+                        .parse::<f64>()
+                        .map_err(|_| SqlError::Lex { pos: start, found: c })?;
+                    out.push(Tok::Float(v));
+                } else {
+                    let v = text
+                        .parse::<i64>()
+                        .map_err(|_| SqlError::Lex { pos: start, found: c })?;
+                    out.push(Tok::Int(v));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                out.push(Tok::Ident(bytes[start..i].iter().collect()));
+            }
+            other => return Err(SqlError::Lex { pos: i, found: other }),
+        }
+    }
+    out.push(Tok::Eof);
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Tok>,
+    pos: usize,
+    next_param: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos]
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, expected: &str) -> SqlError {
+        SqlError::Parse {
+            pos: self.pos,
+            expected: expected.to_string(),
+            found: self.peek().to_string(),
+        }
+    }
+
+    fn kw(&mut self, word: &str) -> bool {
+        if let Tok::Ident(s) = self.peek() {
+            if s.eq_ignore_ascii_case(word) {
+                self.bump();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, word: &str) -> Result<(), SqlError> {
+        if self.kw(word) {
+            Ok(())
+        } else {
+            Err(self.error(word))
+        }
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<(), SqlError> {
+        if self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(what))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            _ => Err(self.error("identifier")),
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), SqlError> {
+        if matches!(self.peek(), Tok::Eof) {
+            Ok(())
+        } else {
+            Err(self.error("end of statement"))
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, SqlError> {
+        if self.kw("SELECT") {
+            self.select().map(Statement::Select)
+        } else if self.kw("UPDATE") {
+            self.update().map(Statement::Update)
+        } else if self.kw("INSERT") {
+            self.insert().map(Statement::Insert)
+        } else if self.kw("DELETE") {
+            self.delete().map(Statement::Delete)
+        } else {
+            Err(self.error("SELECT, UPDATE, INSERT, or DELETE"))
+        }
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, SqlError> {
+        let table = self.ident()?;
+        // An alias is any identifier that is not a clause keyword.
+        if let Tok::Ident(s) = self.peek() {
+            let up = s.to_ascii_uppercase();
+            if !matches!(
+                up.as_str(),
+                "JOIN" | "ON" | "WHERE" | "SET" | "VALUES" | "FOR" | "AND" | "OR"
+            ) {
+                let alias = self.ident()?;
+                return Ok(TableRef { table, alias });
+            }
+        }
+        Ok(TableRef { alias: table.clone(), table })
+    }
+
+    fn select(&mut self) -> Result<Select, SqlError> {
+        self.expect(&Tok::Star, "*")?;
+        self.expect_kw("FROM")?;
+        let from = self.table_ref()?;
+        let mut joins = Vec::new();
+        while self.kw("JOIN") {
+            let table = self.table_ref()?;
+            self.expect_kw("ON")?;
+            let on = self.cond(None)?;
+            joins.push(Join { table, on });
+        }
+        let where_clause = if self.kw("WHERE") { Some(self.cond(None)?) } else { None };
+        let for_update = if self.kw("FOR") {
+            self.expect_kw("UPDATE")?;
+            true
+        } else {
+            false
+        };
+        Ok(Select { from, joins, where_clause, for_update })
+    }
+
+    fn update(&mut self) -> Result<Update, SqlError> {
+        let table = self.ident()?;
+        self.expect_kw("SET")?;
+        let mut sets = vec![self.assignment(&table)?];
+        while matches!(self.peek(), Tok::Comma) {
+            self.bump();
+            sets.push(self.assignment(&table)?);
+        }
+        let where_clause =
+            if self.kw("WHERE") { Some(self.cond(Some(&table.clone()))?) } else { None };
+        Ok(Update { table, sets, where_clause })
+    }
+
+    fn assignment(&mut self, default_alias: &str) -> Result<Assignment, SqlError> {
+        let column = self.ident()?;
+        match self.peek() {
+            Tok::Op(CmpOp::Eq) => {
+                self.bump();
+            }
+            _ => return Err(self.error("=")),
+        }
+        let value = self.operand(Some(default_alias))?;
+        Ok(Assignment { column, value })
+    }
+
+    fn insert(&mut self) -> Result<Insert, SqlError> {
+        self.expect_kw("INTO")?;
+        let table = self.ident()?;
+        let mut columns = Vec::new();
+        if matches!(self.peek(), Tok::LParen) {
+            self.bump();
+            columns.push(self.ident()?);
+            while matches!(self.peek(), Tok::Comma) {
+                self.bump();
+                columns.push(self.ident()?);
+            }
+            self.expect(&Tok::RParen, ")")?;
+        }
+        self.expect_kw("VALUES")?;
+        self.expect(&Tok::LParen, "(")?;
+        let mut values = vec![self.operand(Some(&table))?];
+        while matches!(self.peek(), Tok::Comma) {
+            self.bump();
+            values.push(self.operand(Some(&table))?);
+        }
+        self.expect(&Tok::RParen, ")")?;
+        let mut on_duplicate = Vec::new();
+        if self.kw("ON") {
+            self.expect_kw("DUPLICATE")?;
+            self.expect_kw("KEY")?;
+            self.expect_kw("UPDATE")?;
+            on_duplicate.push(self.assignment(&table)?);
+            while matches!(self.peek(), Tok::Comma) {
+                self.bump();
+                on_duplicate.push(self.assignment(&table)?);
+            }
+        }
+        Ok(Insert { table, columns, values, on_duplicate })
+    }
+
+    fn delete(&mut self) -> Result<Delete, SqlError> {
+        self.expect_kw("FROM")?;
+        let table = self.ident()?;
+        let where_clause =
+            if self.kw("WHERE") { Some(self.cond(Some(&table.clone()))?) } else { None };
+        Ok(Delete { table, where_clause })
+    }
+
+    /// `cond := and_expr (OR and_expr)*`
+    fn cond(&mut self, default_alias: Option<&str>) -> Result<Cond, SqlError> {
+        let mut left = self.and_expr(default_alias)?;
+        while self.kw("OR") {
+            let right = self.and_expr(default_alias)?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    /// `and_expr := primary (AND primary)*`
+    fn and_expr(&mut self, default_alias: Option<&str>) -> Result<Cond, SqlError> {
+        let mut left = self.primary(default_alias)?;
+        while self.kw("AND") {
+            let right = self.primary(default_alias)?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn primary(&mut self, default_alias: Option<&str>) -> Result<Cond, SqlError> {
+        if matches!(self.peek(), Tok::LParen) {
+            self.bump();
+            let c = self.cond(default_alias)?;
+            self.expect(&Tok::RParen, ")")?;
+            return Ok(c);
+        }
+        let lhs = self.operand(default_alias)?;
+        if self.kw("IS") {
+            if self.kw("NOT") {
+                self.expect_kw("NULL")?;
+                return Ok(Cond::Term(Term::NotNull(lhs)));
+            }
+            self.expect_kw("NULL")?;
+            return Ok(Cond::Term(Term::IsNull(lhs)));
+        }
+        let op = match self.peek() {
+            Tok::Op(op) => *op,
+            _ => return Err(self.error("comparison operator")),
+        };
+        self.bump();
+        let rhs = self.operand(default_alias)?;
+        Ok(Cond::cmp(lhs, op, rhs))
+    }
+
+    fn operand(&mut self, default_alias: Option<&str>) -> Result<Operand, SqlError> {
+        match self.peek().clone() {
+            Tok::Question => {
+                self.bump();
+                let idx = self.next_param;
+                self.next_param += 1;
+                Ok(Operand::Param(idx))
+            }
+            Tok::Int(i) => {
+                self.bump();
+                Ok(Operand::Const(Value::Int(i)))
+            }
+            Tok::Float(x) => {
+                self.bump();
+                Ok(Operand::Const(Value::Float(x)))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Operand::Const(Value::Str(s)))
+            }
+            Tok::Ident(first) => {
+                if first.eq_ignore_ascii_case("NULL") {
+                    self.bump();
+                    return Ok(Operand::Const(Value::Null));
+                }
+                if first.eq_ignore_ascii_case("TRUE") {
+                    self.bump();
+                    return Ok(Operand::Const(Value::Bool(true)));
+                }
+                if first.eq_ignore_ascii_case("FALSE") {
+                    self.bump();
+                    return Ok(Operand::Const(Value::Bool(false)));
+                }
+                self.bump();
+                if matches!(self.peek(), Tok::Dot) {
+                    self.bump();
+                    let column = self.ident()?;
+                    Ok(Operand::Column { alias: first, column })
+                } else if let Some(alias) = default_alias {
+                    Ok(Operand::Column { alias: alias.to_string(), column: first })
+                } else {
+                    Err(self.error("alias.column (bare column needs a default table)"))
+                }
+            }
+            _ => Err(self.error("operand")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_fig1_q4() {
+        let s = parse(
+            "SELECT * FROM OrderItem oi \
+             JOIN Order o ON o.ID = oi.O_ID \
+             JOIN Product p ON p.ID = oi.P_ID \
+             WHERE oi.O_ID = ?",
+        )
+        .unwrap();
+        match &s {
+            Statement::Select(sel) => {
+                assert_eq!(sel.from.alias, "oi");
+                assert_eq!(sel.joins.len(), 2);
+                assert!(sel.where_clause.is_some());
+            }
+            _ => panic!("expected select"),
+        }
+        assert_eq!(s.param_count(), 1);
+    }
+
+    #[test]
+    fn parses_fig1_q6() {
+        let s = parse("UPDATE Product SET QTY = ? WHERE ID = ?").unwrap();
+        match &s {
+            Statement::Update(u) => {
+                assert_eq!(u.table, "Product");
+                assert_eq!(u.sets.len(), 1);
+                assert_eq!(u.sets[0].value, Operand::Param(0));
+                let w = u.where_clause.as_ref().unwrap();
+                let p = &w.top_predicates()[0];
+                assert_eq!(p.lhs, Operand::col("Product", "ID"));
+                assert_eq!(p.rhs, Operand::Param(1));
+            }
+            _ => panic!("expected update"),
+        }
+    }
+
+    #[test]
+    fn parses_insert_with_and_without_columns() {
+        let s = parse("INSERT INTO Product (ID, QTY) VALUES (?, ?)").unwrap();
+        match &s {
+            Statement::Insert(i) => {
+                assert_eq!(i.columns, vec!["ID", "QTY"]);
+                assert_eq!(i.values.len(), 2);
+            }
+            _ => panic!(),
+        }
+        let s = parse("INSERT INTO Product VALUES (?, 5)").unwrap();
+        match &s {
+            Statement::Insert(i) => {
+                assert!(i.columns.is_empty());
+                assert_eq!(i.values[1], Operand::Const(Value::Int(5)));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_upsert() {
+        let s = parse(
+            "INSERT INTO Cart (ID, QTY) VALUES (?, ?) ON DUPLICATE KEY UPDATE QTY = ?",
+        )
+        .unwrap();
+        match &s {
+            Statement::Insert(i) => {
+                assert_eq!(i.on_duplicate.len(), 1);
+                assert_eq!(i.on_duplicate[0].value, Operand::Param(2));
+            }
+            _ => panic!(),
+        }
+        assert_eq!(s.param_count(), 3);
+    }
+
+    #[test]
+    fn parses_delete_and_for_update() {
+        let s = parse("DELETE FROM Address WHERE C_ID = ? AND CITY != 'NYC'").unwrap();
+        assert!(matches!(s, Statement::Delete(_)));
+        let s = parse("SELECT * FROM Product p WHERE p.ID = ? FOR UPDATE").unwrap();
+        assert!(s.is_write());
+    }
+
+    #[test]
+    fn parses_or_and_precedence() {
+        let s = parse("SELECT * FROM T t WHERE t.A = 1 AND (t.B = 2 OR t.C = 3)").unwrap();
+        let q = s.query_condition().unwrap();
+        let conj = q.conjuncts();
+        assert_eq!(conj.len(), 2);
+        assert!(matches!(conj[1], Cond::Or(..)));
+        // Without parens: OR binds loosest.
+        let s = parse("SELECT * FROM T t WHERE t.A = 1 AND t.B = 2 OR t.C = 3").unwrap();
+        let q = s.query_condition().unwrap();
+        assert!(matches!(q, Cond::Or(..)));
+    }
+
+    #[test]
+    fn parses_is_null_forms() {
+        let s = parse("SELECT * FROM T t WHERE t.A IS NULL AND t.B IS NOT NULL").unwrap();
+        let q = s.query_condition().unwrap();
+        let c = q.conjuncts();
+        assert!(matches!(c[0], Cond::Term(Term::IsNull(_))));
+        assert!(matches!(c[1], Cond::Term(Term::NotNull(_))));
+    }
+
+    #[test]
+    fn parses_literals() {
+        let s =
+            parse("SELECT * FROM T t WHERE t.A = -3 AND t.B = 2.5 AND t.C = 'o''k' AND t.D = TRUE")
+                .unwrap();
+        let preds = s.query_condition().unwrap().top_predicates().len();
+        assert_eq!(preds, 4);
+    }
+
+    #[test]
+    fn param_numbering_is_textual() {
+        let s = parse("UPDATE T SET A = ?, B = ? WHERE C = ?").unwrap();
+        match &s {
+            Statement::Update(u) => {
+                assert_eq!(u.sets[0].value, Operand::Param(0));
+                assert_eq!(u.sets[1].value, Operand::Param(1));
+            }
+            _ => panic!(),
+        }
+        assert_eq!(s.param_count(), 3);
+    }
+
+    #[test]
+    fn lex_errors_and_parse_errors() {
+        assert!(parse("SELECT * FROM T t WHERE t.A = #").is_err());
+        assert!(parse("SELECT FROM T").is_err());
+        assert!(parse("UPDATE T WHERE A = 1").is_err());
+        assert!(parse("SELECT * FROM T t WHERE A = 1").is_err()); // bare column in SELECT
+        assert!(parse("INSERT INTO T VALUES (1, 2").is_err());
+        assert!(parse("SELECT * FROM T t WHERE t.A = 'unterminated").is_err());
+        assert!(parse("").is_err());
+        assert!(parse("SELECT * FROM T t extra garbage = 1").is_err());
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let samples = [
+            "SELECT * FROM OrderItem oi JOIN Order o ON o.ID = oi.O_ID WHERE oi.O_ID = ?",
+            "UPDATE Product SET QTY = ? WHERE Product.ID = ?",
+            "INSERT INTO Product (ID, QTY) VALUES (?, ?)",
+            "DELETE FROM Address WHERE Address.C_ID = ?",
+            "SELECT * FROM T t WHERE t.A = 1 AND (t.B = 2 OR t.C >= ?)",
+        ];
+        for sql in samples {
+            let s1 = parse(sql).unwrap();
+            let printed = s1.to_string();
+            let s2 = parse(&printed).unwrap();
+            assert_eq!(s1, s2, "round-trip failed for {sql}: printed as {printed}");
+        }
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+        use proptest::strategy::ValueTree;
+
+        fn ident() -> impl Strategy<Value = String> {
+            "[A-Za-z][A-Za-z0-9_]{0,6}".prop_map(|s| s)
+        }
+
+        fn value() -> impl Strategy<Value = Value> {
+            prop_oneof![
+                any::<i32>().prop_map(|i| Value::Int(i as i64)),
+                (-1000i32..1000).prop_map(|i| Value::Float(i as f64 / 4.0)),
+                "[a-z ']{0,8}".prop_map(Value::Str),
+                any::<bool>().prop_map(Value::Bool),
+            ]
+        }
+
+        prop_compose! {
+            fn pred(alias: String)(col in ident(), v in value(), op_i in 0usize..6) -> Cond {
+                let ops = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+                Cond::cmp(Operand::col(alias.clone(), col), ops[op_i], Operand::Const(v))
+            }
+        }
+
+        proptest! {
+            #[test]
+            fn print_parse_roundtrip_select(
+                table in ident(),
+                alias in ident(),
+                n_preds in 1usize..4,
+                seed in any::<u64>(),
+            ) {
+                // Avoid aliases that collide with clause keywords.
+                prop_assume!(!["JOIN","ON","WHERE","SET","VALUES","FOR","AND","OR",
+                               "IS","NULL","NOT","TRUE","FALSE","FROM","SELECT"]
+                    .iter().any(|k| alias.eq_ignore_ascii_case(k) || table.eq_ignore_ascii_case(k)));
+                let mut runner = proptest::test_runner::TestRunner::deterministic();
+                let mut conds = Vec::new();
+                for i in 0..n_preds {
+                    let tree = pred(alias.clone())
+                        .new_tree(&mut runner).unwrap().current();
+                    let _ = seed.wrapping_add(i as u64);
+                    conds.push(tree);
+                }
+                let stmt = Statement::Select(Select {
+                    from: TableRef::aliased(table, alias),
+                    joins: vec![],
+                    where_clause: Cond::conjoin(conds),
+                    for_update: false,
+                });
+                let printed = stmt.to_string();
+                let reparsed = parse(&printed).unwrap();
+                prop_assert_eq!(stmt, reparsed);
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! SQL text rendering.
+//!
+//! Statements render back to the template syntax of paper Fig. 6, with `?`
+//! for parameters. The printer and the parser round-trip: for every
+//! statement `s` in the subset, `parse(print(s)) == s` (checked by a
+//! property test in `parser.rs`).
+
+use crate::ast::*;
+use std::fmt;
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Column { alias, column } => write!(f, "{alias}.{column}"),
+            Operand::Param(_) => write!(f, "?"),
+            Operand::Const(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.lhs, self.op, self.rhs)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Cmp(p) => write!(f, "{p}"),
+            Term::IsNull(o) => write!(f, "{o} IS NULL"),
+            Term::NotNull(o) => write!(f, "{o} IS NOT NULL"),
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn fmt_prec(c: &Cond, parent_or: bool, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match c {
+                Cond::Term(t) => write!(f, "{t}"),
+                Cond::And(a, b) => {
+                    fmt_and_child(a, f)?;
+                    write!(f, " AND ")?;
+                    fmt_and_child(b, f)
+                }
+                Cond::Or(a, b) => {
+                    if parent_or {
+                        // OR is the lowest precedence; no parens needed when
+                        // nested directly under OR, but we keep the flat form.
+                    }
+                    fmt_prec(a, true, f)?;
+                    write!(f, " OR ")?;
+                    fmt_prec(b, true, f)
+                }
+            }
+        }
+        fn fmt_and_child(c: &Cond, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match c {
+                Cond::Or(..) => {
+                    write!(f, "(")?;
+                    fmt_prec(c, false, f)?;
+                    write!(f, ")")
+                }
+                _ => fmt_prec(c, false, f),
+            }
+        }
+        fmt_prec(self, false, f)
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.alias == self.table {
+            write!(f, "{}", self.table)
+        } else {
+            write!(f, "{} {}", self.table, self.alias)
+        }
+    }
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT * FROM {}", self.from)?;
+        for j in &self.joins {
+            write!(f, " JOIN {} ON {}", j.table, j.on)?;
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if self.for_update {
+            write!(f, " FOR UPDATE")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Update {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UPDATE {} SET ", self.table)?;
+        for (i, a) in self.sets.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} = {}", a.column, a.value)?;
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Insert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "INSERT INTO {} (", self.table)?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ") VALUES (")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")?;
+        if !self.on_duplicate.is_empty() {
+            write!(f, " ON DUPLICATE KEY UPDATE ")?;
+            for (i, a) in self.on_duplicate.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{} = {}", a.column, a.value)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Delete {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DELETE FROM {}", self.table)?;
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Select(s) => write!(f, "{s}"),
+            Statement::Update(s) => write!(f, "{s}"),
+            Statement::Insert(s) => write!(f, "{s}"),
+            Statement::Delete(s) => write!(f, "{s}"),
+        }
+    }
+}

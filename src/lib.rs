@@ -1,0 +1,22 @@
+//! Umbrella crate for the WeSEER workspace.
+//!
+//! Re-exports the public API of every subsystem so examples, integration
+//! tests, and downstream users can depend on a single crate:
+//!
+//! ```
+//! use weseer::prelude::*;
+//! ```
+
+pub use weseer_analyzer as analyzer;
+pub use weseer_apps as apps;
+pub use weseer_concolic as concolic;
+pub use weseer_core as core;
+pub use weseer_db as db;
+pub use weseer_orm as orm;
+pub use weseer_smt as smt;
+pub use weseer_sqlir as sqlir;
+
+/// The most commonly used items across the workspace.
+pub mod prelude {
+    pub use weseer_sqlir::{Catalog, ColType, Statement, Value};
+}

@@ -1,0 +1,131 @@
+//! Cross-crate trace fidelity: what the concolic driver records must
+//! agree with what the database executed and with the ORM semantics the
+//! paper builds on.
+
+use weseer::apps::app::collect_trace;
+use weseer::apps::{AppLocks, Broadleaf, ECommerceApp, Fixes, Shopizer};
+use weseer::concolic::{ExecMode, LibraryMode};
+use weseer::db::Database;
+
+fn traces_of(app: &dyn ECommerceApp) -> (Vec<weseer::concolic::Trace>, Database) {
+    let db = Database::new(app.catalog());
+    app.seed(&db);
+    let fixes = Fixes::none();
+    let locks = AppLocks::new();
+    let mut out = Vec::new();
+    for test in app.unit_tests() {
+        let (trace, _ctx, r) = collect_trace(
+            app,
+            test,
+            &db,
+            &fixes,
+            &locks,
+            ExecMode::Concolic,
+            LibraryMode::Modeled,
+        );
+        r.unwrap();
+        out.push(trace);
+    }
+    (out, db)
+}
+
+#[test]
+fn recorded_statements_match_database_counter() {
+    let app = Broadleaf;
+    let (traces, db) = traces_of(&app);
+    let recorded: usize = traces.iter().map(|t| t.statements.len()).sum();
+    assert_eq!(
+        recorded as u64,
+        db.stats().statements,
+        "every executed statement must be recorded exactly once"
+    );
+}
+
+#[test]
+fn statement_sequence_numbers_interleave_with_path_conditions() {
+    let app = Broadleaf;
+    let (traces, _db) = traces_of(&app);
+    for t in &traces {
+        // Statement seqs strictly increase within a trace.
+        let seqs: Vec<u64> = t.statements.iter().map(|s| s.seq).collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_eq!(seqs, sorted, "{}: statement seq order", t.api);
+        // Path conditions strictly increase too and share the counter.
+        let pc_seqs: Vec<u64> = t.path_conds.iter().map(|p| p.seq).collect();
+        let mut pc_sorted = pc_seqs.clone();
+        pc_sorted.sort_unstable();
+        assert_eq!(pc_seqs, pc_sorted, "{}: path condition seq order", t.api);
+        for (a, b) in seqs.iter().zip(pc_seqs.iter()) {
+            assert_ne!(a, b, "{}: seq namespace must be shared, not reused", t.api);
+        }
+    }
+}
+
+#[test]
+fn every_statement_has_trigger_and_txn() {
+    for app_traces in [traces_of(&Broadleaf).0, traces_of(&Shopizer).0] {
+        for t in &app_traces {
+            for s in &t.statements {
+                assert!(
+                    s.trigger.top().is_some(),
+                    "{} {}: missing trigger",
+                    t.api,
+                    s.label()
+                );
+                assert!(s.txn < t.txns.len());
+                assert!(t.txns[s.txn].stmt_indexes.contains(&(s.index - 1)));
+            }
+            // Transactions partition the statements.
+            let covered: usize = t.txns.iter().map(|x| x.stmt_indexes.len()).sum();
+            assert_eq!(covered, t.statements.len(), "{}", t.api);
+        }
+    }
+}
+
+#[test]
+fn write_behind_triggers_differ_from_send_sites() {
+    // At least one buffered write in the suite must have trigger ≠ sent_at
+    // (the Sec. VI phenomenon the tool exists to handle).
+    let (traces, _db) = traces_of(&Broadleaf);
+    let mut found = false;
+    for t in &traces {
+        for s in &t.statements {
+            if s.stmt.kind() != "SELECT" && s.trigger != s.sent_at {
+                found = true;
+            }
+        }
+    }
+    assert!(found, "expected write-behind statements with distinct trigger sites");
+}
+
+#[test]
+fn symbolic_inputs_flow_into_statement_parameters() {
+    let (traces, _db) = traces_of(&Shopizer);
+    // The Add tests' product_id input must reach a statement parameter
+    // symbolically.
+    let add = traces.iter().find(|t| t.api == "Add2").unwrap();
+    assert!(
+        add.statements
+            .iter()
+            .any(|s| s.params.iter().any(|p| p.is_symbolic())),
+        "symbolic inputs must propagate into SQL parameters"
+    );
+    // Fetched state becomes symbolic too.
+    assert!(add
+        .statements
+        .iter()
+        .any(|s| s.rows.iter().any(|r| r.cols.iter().any(|(_, v)| v.is_symbolic()))));
+}
+
+#[test]
+fn unique_ids_are_tagged_per_generator() {
+    let (traces, _db) = traces_of(&Broadleaf);
+    let register = traces.iter().find(|t| t.api == "Register").unwrap();
+    assert_eq!(register.unique_ids.len(), 1);
+    assert_eq!(register.unique_ids[0].0, "Customer");
+    let add1 = traces.iter().find(|t| t.api == "Add1").unwrap();
+    let gens: Vec<&str> = add1.unique_ids.iter().map(|(g, _)| g.as_str()).collect();
+    assert!(gens.contains(&"Cart"));
+    assert!(gens.contains(&"CartItem"));
+}
