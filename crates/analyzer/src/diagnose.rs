@@ -19,6 +19,7 @@ use crate::indexes::IndexOracle;
 use crate::locks::{gen_exclusive_locks, gen_shared_locks, potential_conflict};
 use crate::report::{CycleId, DeadlockReport, ReportedStatement};
 use std::collections::HashSet;
+use std::time::{Duration, Instant};
 use weseer_concolic::{StmtRecord, Trace};
 use weseer_smt::{check, Ctx, SolveResult, SolverConfig, TermId};
 use weseer_sqlir::Catalog;
@@ -73,7 +74,7 @@ impl Default for AnalyzerConfig {
     }
 }
 
-/// Diagnosis-wide counters.
+/// Diagnosis-wide counters and per-phase wall times.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DiagnosisStats {
     /// Transaction pairs examined.
@@ -91,6 +92,33 @@ pub struct DiagnosisStats {
     pub smt_unsat: usize,
     /// SMT timeouts.
     pub smt_unknown: usize,
+    /// Wall time spent in the transaction-level filter (phase 1).
+    pub phase1_time: Duration,
+    /// Wall time spent enumerating coarse SC-graph cycles (phase 2),
+    /// excluding the fine-grained checks it dispatches.
+    pub phase2_time: Duration,
+    /// Wall time spent in fine-grained lock modeling + SMT (phase 3).
+    pub phase3_time: Duration,
+}
+
+impl DiagnosisStats {
+    /// Publish the funnel counters and phase timings to the global
+    /// [`weseer_obs`] registry (no-op while observability is disabled).
+    pub fn publish(&self) {
+        weseer_obs::add("analyzer.txn_pairs", self.txn_pairs as u64);
+        weseer_obs::add(
+            "analyzer.pairs_after_phase1",
+            self.pairs_after_phase1 as u64,
+        );
+        weseer_obs::add("analyzer.coarse_cycles", self.coarse_cycles as u64);
+        weseer_obs::add("analyzer.fine_candidates", self.fine_candidates as u64);
+        weseer_obs::add("analyzer.smt_sat", self.smt_sat as u64);
+        weseer_obs::add("analyzer.smt_unsat", self.smt_unsat as u64);
+        weseer_obs::add("analyzer.smt_unknown", self.smt_unknown as u64);
+        weseer_obs::add("analyzer.phase1_us", self.phase1_time.as_micros() as u64);
+        weseer_obs::add("analyzer.phase2_us", self.phase2_time.as_micros() as u64);
+        weseer_obs::add("analyzer.phase3_us", self.phase3_time.as_micros() as u64);
+    }
 }
 
 /// The result of a diagnosis run.
@@ -120,11 +148,12 @@ pub fn diagnose_with_oracle(
     config: &AnalyzerConfig,
     oracle: Option<&dyn IndexOracle>,
 ) -> Diagnosis {
+    let _span = weseer_obs::span("analyzer.diagnose");
     let mut stats = DiagnosisStats::default();
     let mut reports: Vec<DeadlockReport> = Vec::new();
     let mut seen = HashSet::new();
 
-    for (i, a) in traces.iter().enumerate() {
+    'pairs: for (i, a) in traces.iter().enumerate() {
         for (j, b) in traces.iter().enumerate().skip(i) {
             for a_txn in 0..a.trace.txns.len() {
                 let b_start = if i == j { a_txn } else { 0 };
@@ -141,20 +170,28 @@ pub fn diagnose_with_oracle(
                         &mut seen,
                     );
                     if reports.len() >= config.max_reports {
-                        return Diagnosis { deadlocks: reports, stats };
+                        break 'pairs;
                     }
                 }
             }
         }
     }
-    Diagnosis { deadlocks: reports, stats }
+    stats.publish();
+    weseer_obs::add("analyzer.deadlocks_reported", reports.len() as u64);
+    Diagnosis {
+        deadlocks: reports,
+        stats,
+    }
 }
 
 /// Count coarse-grained deadlock cycles only (the STEPDAD/REDACT baseline
 /// of Sec. VII-B, which reports 18,384 hold-and-wait cycles on the paper's
 /// workload). No lock modeling, no SMT.
 pub fn coarse_cycle_count(traces: &[CollectedTrace]) -> usize {
-    let mut config = AnalyzerConfig { fine_grained: false, ..AnalyzerConfig::default() };
+    let mut config = AnalyzerConfig {
+        fine_grained: false,
+        ..AnalyzerConfig::default()
+    };
     config.max_reports = usize::MAX;
     let mut stats = DiagnosisStats::default();
     let mut reports = Vec::new();
@@ -232,6 +269,7 @@ fn diagnose_txn_pair(
     stats.txn_pairs += 1;
 
     // ---- Phase 1: transaction-level conflict filter --------------------
+    let phase1_start = Instant::now();
     if !config.skip_filter_phases {
         let (acc_a, wr_a) = txn_tables(&a.trace, a_txn);
         let (acc_b, wr_b) = txn_tables(&b.trace, b_txn);
@@ -239,12 +277,23 @@ fn diagnose_txn_pair(
             .iter()
             .any(|t| acc_b.contains(t) && (wr_a.contains(t) || wr_b.contains(t)));
         if !conflict {
+            stats.phase1_time += phase1_start.elapsed();
             return;
         }
     }
+    stats.phase1_time += phase1_start.elapsed();
     stats.pairs_after_phase1 += 1;
 
     // ---- Phase 2: coarse SC-graph deadlock cycles -----------------------
+    // Phase-2 time is the cycle enumeration below minus whatever
+    // fine_check (phase 3) accumulates while dispatched from it.
+    let phase2_start = Instant::now();
+    let phase3_before = stats.phase3_time;
+    let record_phase2 = |stats: &mut DiagnosisStats| {
+        stats.phase2_time += phase2_start
+            .elapsed()
+            .saturating_sub(stats.phase3_time - phase3_before);
+    };
     let stmts_a = a.trace.statements_of(a_txn);
     let stmts_b = b.trace.statements_of(b_txn);
     for (ah, a_hold) in stmts_a.iter().enumerate() {
@@ -303,16 +352,19 @@ fn diagnose_txn_pair(
                         reports,
                     );
                     if reports.len() >= config.max_reports {
+                        record_phase2(stats);
                         return;
                     }
                 }
             }
         }
     }
+    record_phase2(stats);
 }
 
 /// A C-edge's conflict condition: the *holder*'s acquired locks block the
 /// *waiter*'s requested locks on some common table.
+#[allow(clippy::too_many_arguments)]
 fn edge_condition(
     dst: &mut Ctx,
     catalog: &Catalog,
@@ -338,18 +390,27 @@ fn edge_condition(
             orientations.push((true, false)); // w = holder, r = waiter
         }
         for (w_is_holder, _) in orientations {
-            let (w_rec, r_rec) = if w_is_holder { (holder, waiter) } else { (waiter, holder) };
+            let (w_rec, r_rec) = if w_is_holder {
+                (holder, waiter)
+            } else {
+                (waiter, holder)
+            };
             // Fine-grained lock filter: some lock pair must be able to
             // conflict on this table.
             let locks_w = gen_exclusive_locks(&w_rec.stmt, table, catalog);
-            let locks_r =
-                gen_shared_locks(&r_rec.stmt, table, r_rec.is_empty, catalog, oracle);
+            let locks_r = gen_shared_locks(&r_rec.stmt, table, r_rec.is_empty, catalog, oracle);
             if !potential_conflict(&locks_w, &locks_r) {
                 continue;
             }
             let cond = if w_is_holder {
-                let mut w_side = Side { rec: w_rec, imp: holder_imp };
-                let mut r_side = Side { rec: r_rec, imp: waiter_imp };
+                let mut w_side = Side {
+                    rec: w_rec,
+                    imp: holder_imp,
+                };
+                let mut r_side = Side {
+                    rec: r_rec,
+                    imp: waiter_imp,
+                };
                 gen_conflict_cond(
                     dst,
                     catalog,
@@ -361,8 +422,14 @@ fn edge_condition(
                     oracle,
                 )
             } else {
-                let mut w_side = Side { rec: w_rec, imp: waiter_imp };
-                let mut r_side = Side { rec: r_rec, imp: holder_imp };
+                let mut w_side = Side {
+                    rec: w_rec,
+                    imp: waiter_imp,
+                };
+                let mut r_side = Side {
+                    rec: r_rec,
+                    imp: holder_imp,
+                };
                 gen_conflict_cond(
                     dst,
                     catalog,
@@ -386,6 +453,26 @@ fn edge_condition(
 
 #[allow(clippy::too_many_arguments)]
 fn fine_check(
+    catalog: &Catalog,
+    oracle: Option<&dyn IndexOracle>,
+    a: &CollectedTrace,
+    b: &CollectedTrace,
+    cycle: CycleId,
+    stmts: (&StmtRecord, &StmtRecord, &StmtRecord, &StmtRecord),
+    tables: (&[String], &[String]),
+    config: &AnalyzerConfig,
+    stats: &mut DiagnosisStats,
+    reports: &mut Vec<DeadlockReport>,
+) {
+    let start = Instant::now();
+    fine_check_inner(
+        catalog, oracle, a, b, cycle, stmts, tables, config, stats, reports,
+    );
+    stats.phase3_time += start.elapsed();
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fine_check_inner(
     catalog: &Catalog,
     oracle: Option<&dyn IndexOracle>,
     a: &CollectedTrace,
@@ -457,7 +544,11 @@ fn fine_check(
                 .filter(|(name, _)| !name.contains('!'))
                 .map(|(name, v)| (name.clone(), v.to_string()))
                 .collect();
-            reports.push(DeadlockReport { cycle, statements, model: model_excerpt });
+            reports.push(DeadlockReport {
+                cycle,
+                statements,
+                model: model_excerpt,
+            });
         }
         SolveResult::Unsat => stats.smt_unsat += 1,
         SolveResult::Unknown => stats.smt_unknown += 1,

@@ -24,7 +24,11 @@ pub struct Importer<'a> {
 impl<'a> Importer<'a> {
     /// New importer for one trace instance.
     pub fn new(src: &'a Ctx, prefix: impl Into<String>) -> Self {
-        Importer { src, prefix: prefix.into(), memo: HashMap::new() }
+        Importer {
+            src,
+            prefix: prefix.into(),
+            memo: HashMap::new(),
+        }
     }
 
     /// The instance prefix.
@@ -83,18 +87,19 @@ impl<'a> Importer<'a> {
                 dst.not(ia)
             }
             TermKind::And(parts) => {
-                let imported: Vec<TermId> =
-                    parts.iter().map(|&p| self.import(dst, p)).collect();
+                let imported: Vec<TermId> = parts.iter().map(|&p| self.import(dst, p)).collect();
                 dst.and(imported)
             }
             TermKind::Or(parts) => {
-                let imported: Vec<TermId> =
-                    parts.iter().map(|&p| self.import(dst, p)).collect();
+                let imported: Vec<TermId> = parts.iter().map(|&p| self.import(dst, p)).collect();
                 dst.or(imported)
             }
             TermKind::Store(a, i, v) => {
-                let (ia, ii, iv) =
-                    (self.import(dst, a), self.import(dst, i), self.import(dst, v));
+                let (ia, ii, iv) = (
+                    self.import(dst, a),
+                    self.import(dst, i),
+                    self.import(dst, v),
+                );
                 dst.store(ia, ii, iv)
             }
             TermKind::Select(a, i) => {
@@ -302,7 +307,9 @@ pub fn associated_cond(
     for row in &side.rec.rows {
         let mut cols = Vec::new();
         for (name, v) in &row.cols {
-            let Some((alias, column)) = name.split_once('.') else { continue };
+            let Some((alias, column)) = name.split_once('.') else {
+                continue;
+            };
             let Some((_, table)) = alias_map.iter().find(|(a, _)| a == alias) else {
                 continue;
             };
@@ -349,7 +356,9 @@ pub fn range_conflict_cond(
     let varg = dst.fresh_var("varg", Sort::Int);
     let mut parts = Vec::new();
     for p in &lock.preds {
-        let Operand::Column { column, .. } = &p.lhs else { continue };
+        let Operand::Column { column, .. } = &p.lhs else {
+            continue;
+        };
         let sort = col_sort(catalog, &table, column);
         if sort == Sort::Str || sort == Sort::Bool {
             // Enlargement is numeric; equality on strings stays exact.
@@ -361,7 +370,10 @@ pub fn range_conflict_cond(
         let exp = match &p.rhs {
             Operand::Param(i) => param_term(dst, rec, imp, *i),
             Operand::Const(v) => value_term(dst, v),
-            Operand::Column { alias: a2, column: c2 } => {
+            Operand::Column {
+                alias: a2,
+                column: c2,
+            } => {
                 let t2 = alias_map
                     .iter()
                     .find(|(a, _)| a == a2)
@@ -414,6 +426,7 @@ pub fn range_conflict_cond(
 
 /// Alg. 3 `GenConflictCond`: the full conflict condition for a C-edge where
 /// `w` writes `common_table` and `r` reads (or writes) it.
+#[allow(clippy::too_many_arguments)]
 pub fn gen_conflict_cond(
     dst: &mut Ctx,
     catalog: &Catalog,
@@ -451,8 +464,7 @@ pub fn gen_conflict_cond(
                 continue;
             }
             let range_c = range_conflict_cond(dst, catalog, r, lr, edge);
-            let w_again =
-                unified_write_cond(dst, catalog, w, &reader_aliases, common_table, edge);
+            let w_again = unified_write_cond(dst, catalog, w, &reader_aliases, common_table, edge);
             let arm = dst.and([w_again, range_c]);
             conflict = dst.or([conflict, arm]);
         }

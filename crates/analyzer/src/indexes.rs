@@ -59,7 +59,9 @@ pub fn refine_with_oracle(
     stmt: &Statement,
     oracle: &dyn IndexOracle,
 ) -> Vec<IndexUse> {
-    let Some(plan) = oracle.plan(stmt) else { return uses };
+    let Some(plan) = oracle.plan(stmt) else {
+        return uses;
+    };
     uses.into_iter()
         .filter(|u| {
             plan.iter().any(|(alias, index)| {
@@ -80,7 +82,12 @@ pub fn infer_possible_indexes(stmt: &Statement, catalog: &Catalog) -> Vec<IndexU
         // No conditions at all: every alias is a full scan.
         return aliases
             .into_iter()
-            .map(|(alias, table)| IndexUse { alias, table, index: None, preds: vec![] })
+            .map(|(alias, table)| IndexUse {
+                alias,
+                table,
+                index: None,
+                preds: vec![],
+            })
             .collect();
     };
 
@@ -88,9 +95,13 @@ pub fn infer_possible_indexes(stmt: &Statement, catalog: &Catalog) -> Vec<IndexU
     let mut edges: Vec<Edge> = Vec::new();
     for pred in qcond.top_predicates() {
         for (alias, table) in &aliases {
-            let Some(def) = catalog.table(table) else { continue };
+            let Some(def) = catalog.table(table) else {
+                continue;
+            };
             let o = pred.oriented_for(alias);
-            let Operand::Column { alias: a, column } = &o.lhs else { continue };
+            let Operand::Column { alias: a, column } = &o.lhs else {
+                continue;
+            };
             if a != alias {
                 continue;
             }
@@ -100,7 +111,9 @@ pub fn infer_possible_indexes(stmt: &Statement, catalog: &Catalog) -> Vec<IndexU
                 // from.
                 let src = match &o.rhs {
                     Operand::Param(_) | Operand::Const(_) => Vertex::Sources,
-                    Operand::Column { alias: src_alias, .. } => {
+                    Operand::Column {
+                        alias: src_alias, ..
+                    } => {
                         if src_alias == alias {
                             continue; // self-referential predicate
                         }
@@ -124,11 +137,19 @@ pub fn infer_possible_indexes(stmt: &Statement, catalog: &Catalog) -> Vec<IndexU
     let mut usable: HashSet<(String, String)> = HashSet::new(); // (alias, index name)
     let mut scanned: HashSet<String> = HashSet::new();
     let mut visited: HashSet<String> = HashSet::new();
-    enumerate(&alias_names, &edges, &mut visited, &mut usable, &mut scanned);
+    enumerate(
+        &alias_names,
+        &edges,
+        &mut visited,
+        &mut usable,
+        &mut scanned,
+    );
 
     let mut out = Vec::new();
     for (alias, table) in &aliases {
-        let Some(def) = catalog.table(table) else { continue };
+        let Some(def) = catalog.table(table) else {
+            continue;
+        };
         for idx in &def.indexes {
             if usable.contains(&(alias.clone(), idx.name.clone())) {
                 let preds = index_related_predicates(&qcond, idx, alias);
@@ -308,10 +329,7 @@ mod tests {
         let cat = catalog();
         // No WHERE: OrderItem has no source edge, so it is scanned; Order
         // then becomes reachable through its primary index.
-        let q = parse(
-            "SELECT * FROM OrderItem oi JOIN Order o ON o.ID = oi.O_ID",
-        )
-        .unwrap();
+        let q = parse("SELECT * FROM OrderItem oi JOIN Order o ON o.ID = oi.O_ID").unwrap();
         let uses = infer_possible_indexes(&q, &cat);
         let oi = uses_for_alias(&uses, "oi");
         assert!(oi.iter().any(|u| u.index.is_none()), "oi must be scanned");

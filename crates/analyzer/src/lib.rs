@@ -25,8 +25,8 @@ pub mod report;
 pub mod viz;
 
 pub use diagnose::{
-    coarse_cycle_count, diagnose, diagnose_with_oracle, AnalyzerConfig, CollectedTrace,
-    Diagnosis, DiagnosisStats,
+    coarse_cycle_count, diagnose, diagnose_with_oracle, AnalyzerConfig, CollectedTrace, Diagnosis,
+    DiagnosisStats,
 };
 pub use indexes::IndexOracle;
-pub use report::{CycleId, DeadlockReport, ReportedStatement};
+pub use report::{render_stats, CycleId, DeadlockReport, ReportedStatement};

@@ -71,7 +71,12 @@ pub fn gen_shared_locks(
     let insert_dup_check_only = matches!(stmt, Statement::Insert(_));
     let mut locks = Vec::new();
     for u in uses.iter().filter(|u| u.table == target_table) {
-        let IndexUse { alias, index, preds, .. } = u;
+        let IndexUse {
+            alias,
+            index,
+            preds,
+            ..
+        } = u;
         let Some(index) = index else {
             continue; // table scan handled below
         };
@@ -162,7 +167,11 @@ pub fn gen_exclusive_locks(
         }
         locks.push(SymLock {
             index: Some(Arc::new(idx.clone())),
-            granularity: if idx.unique { Granularity::Row } else { Granularity::Range },
+            granularity: if idx.unique {
+                Granularity::Row
+            } else {
+                Granularity::Range
+            },
             mode: SymMode::X,
             preds: vec![],
             alias: stmt.aliases_of(target_table).first().cloned(),
@@ -243,8 +252,10 @@ mod tests {
         // Range on the secondary + row on PRIMARY.
         assert!(locks.iter().any(|l| l.granularity == Granularity::Range
             && l.index.as_ref().unwrap().name == "idx_orderitem_o_id"));
-        assert!(locks.iter().any(|l| l.granularity == Granularity::Row
-            && l.index.as_ref().unwrap().name == "PRIMARY"));
+        assert!(locks
+            .iter()
+            .any(|l| l.granularity == Granularity::Row
+                && l.index.as_ref().unwrap().name == "PRIMARY"));
     }
 
     #[test]
@@ -279,8 +290,7 @@ mod tests {
     #[test]
     fn insert_touches_every_index() {
         let cat = catalog();
-        let i = parse("INSERT INTO OrderItem (ID, O_ID, P_ID, QTY) VALUES (?, ?, ?, ?)")
-            .unwrap();
+        let i = parse("INSERT INTO OrderItem (ID, O_ID, P_ID, QTY) VALUES (?, ?, ?, ?)").unwrap();
         let locks = gen_exclusive_locks(&i, "OrderItem", &cat);
         assert_eq!(locks.len(), 3); // PRIMARY + two FK indexes
         assert!(locks.iter().all(|l| l.mode == SymMode::X));

@@ -1,7 +1,8 @@
 //! Deadlock reports (the output of Fig. 2's deadlock analyzer).
 
-use weseer_concolic::StackTrace;
+use crate::diagnose::DiagnosisStats;
 use std::fmt;
+use weseer_concolic::StackTrace;
 
 /// Identifies the four statements of a 2-transaction deadlock cycle
 /// (Fig. 4's `[ins1.Q4 → ins1.Q6 → ins2.Q4 → ins2.Q6]`).
@@ -95,9 +96,55 @@ impl fmt::Display for DeadlockReport {
     }
 }
 
+/// Render the diagnosis funnel and per-phase wall times as a short text
+/// block for the end of an analysis report.
+pub fn render_stats(stats: &DiagnosisStats) -> String {
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    format!(
+        "diagnosis funnel:\n\
+         \x20 txn pairs examined      {:>8}\n\
+         \x20 after phase 1 filter    {:>8}\n\
+         \x20 coarse cycles (phase 2) {:>8}\n\
+         \x20 fine candidates         {:>8}\n\
+         \x20 SMT sat/unsat/unknown   {:>8} / {} / {}\n\
+         phase wall times: phase1 {:.1}ms, phase2 {:.1}ms, phase3 {:.1}ms\n",
+        stats.txn_pairs,
+        stats.pairs_after_phase1,
+        stats.coarse_cycles,
+        stats.fine_candidates,
+        stats.smt_sat,
+        stats.smt_unsat,
+        stats.smt_unknown,
+        ms(stats.phase1_time),
+        ms(stats.phase2_time),
+        ms(stats.phase3_time),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn render_stats_includes_funnel_and_times() {
+        let stats = DiagnosisStats {
+            txn_pairs: 10,
+            pairs_after_phase1: 4,
+            coarse_cycles: 7,
+            fine_candidates: 3,
+            smt_sat: 1,
+            smt_unsat: 2,
+            smt_unknown: 0,
+            phase1_time: std::time::Duration::from_millis(2),
+            phase2_time: std::time::Duration::from_millis(5),
+            phase3_time: std::time::Duration::from_millis(30),
+        };
+        let s = render_stats(&stats);
+        assert!(s.contains("txn pairs examined"));
+        assert!(s.contains("10"));
+        assert!(s.contains("1 / 2 / 0"));
+        assert!(s.contains("phase3 30.0ms"));
+    }
 
     fn sample() -> DeadlockReport {
         DeadlockReport {

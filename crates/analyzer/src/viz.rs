@@ -74,12 +74,7 @@ pub fn index_usage_dot(stmt: &Statement, catalog: &Catalog) -> String {
 /// Render the coarse SC-graph of two transaction instances (Fig. 4):
 /// S-edges chain each instance's statements; C-edges (dashed, both ways)
 /// connect statements that access a common table with at least one write.
-pub fn sc_graph_dot(
-    a: &CollectedTrace,
-    a_txn: usize,
-    b: &CollectedTrace,
-    b_txn: usize,
-) -> String {
+pub fn sc_graph_dot(a: &CollectedTrace, a_txn: usize, b: &CollectedTrace, b_txn: usize) -> String {
     let mut out = String::from("digraph sc_graph {\n  rankdir=TB;\n");
     let instances = [("ins1", a, a_txn), ("ins2", b, b_txn)];
     for (tag, t, txn) in &instances {
@@ -162,13 +157,15 @@ mod tests {
     #[test]
     fn index_usage_dot_contains_edges() {
         let cat = catalog();
-        let q = parse(
-            "SELECT * FROM OrderItem oi JOIN Order o ON o.ID = oi.O_ID WHERE oi.O_ID = ?",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT * FROM OrderItem oi JOIN Order o ON o.ID = oi.O_ID WHERE oi.O_ID = ?")
+                .unwrap();
         let dot = index_usage_dot(&q, &cat);
         assert!(dot.starts_with("digraph index_usage"));
-        assert!(dot.contains("params -> oi [label=\"idx_orderitem_o_id\"]"), "{dot}");
+        assert!(
+            dot.contains("params -> oi [label=\"idx_orderitem_o_id\"]"),
+            "{dot}"
+        );
         assert!(dot.contains("-> o [label=\"PRIMARY\"]"), "{dot}");
         assert!(dot.ends_with("}\n"));
     }

@@ -3,8 +3,8 @@
 //! exactly when a conflicting row can exist.
 
 use weseer_analyzer::encode::{
-    associated_cond, gen_conflict_cond, range_conflict_cond, unified_read_cond,
-    unified_write_cond, Importer, Side,
+    associated_cond, gen_conflict_cond, range_conflict_cond, unified_read_cond, unified_write_cond,
+    Importer, Side,
 };
 use weseer_analyzer::locks::{gen_shared_locks, Granularity};
 use weseer_concolic::{ResultRow, StackTrace, StmtRecord, SymValue};
@@ -50,7 +50,10 @@ fn unified_read_binds_columns_to_r() {
     );
     let mut dst = Ctx::new();
     let mut imp = Importer::new(&src, "A1.");
-    let mut side = Side { rec: &rec, imp: &mut imp };
+    let mut side = Side {
+        rec: &rec,
+        imp: &mut imp,
+    };
     let t = unified_read_cond(&mut dst, &cat, &mut side, 1);
     assert_eq!(dst.display(t), "(r1.p.ID = A1.pid)");
 }
@@ -71,7 +74,10 @@ fn unified_write_disjoins_over_reader_aliases() {
     );
     let mut dst = Ctx::new();
     let mut imp = Importer::new(&src, "A2.");
-    let mut side = Side { rec: &rec, imp: &mut imp };
+    let mut side = Side {
+        rec: &rec,
+        imp: &mut imp,
+    };
     let aliases = vec!["p1".to_string(), "p2".to_string()];
     let t = unified_write_cond(&mut dst, &cat, &mut side, &aliases, "Product", 1);
     let rendered = dst.display(t);
@@ -97,17 +103,26 @@ fn associated_cond_ties_r_to_result_symbols() {
         vec![SymValue::concrete(1i64)],
         vec![ResultRow {
             cols: vec![
-                ("p.ID".to_string(), SymValue::with_sym(Value::Int(10), id_sym)),
+                (
+                    "p.ID".to_string(),
+                    SymValue::with_sym(Value::Int(10), id_sym),
+                ),
                 ("p.QTY".to_string(), SymValue::concrete(7i64)),
             ],
         }],
     );
     let mut dst = Ctx::new();
     let mut imp = Importer::new(&src, "A1.");
-    let mut side = Side { rec: &rec, imp: &mut imp };
+    let mut side = Side {
+        rec: &rec,
+        imp: &mut imp,
+    };
     let t = associated_cond(&mut dst, &cat, &mut side, 2);
     let rendered = dst.display(t);
-    assert!(rendered.contains("r2.p.ID = A1.res1.row0.p.ID"), "{rendered}");
+    assert!(
+        rendered.contains("r2.p.ID = A1.res1.row0.p.ID"),
+        "{rendered}"
+    );
     assert!(rendered.contains("r2.p.QTY = 7"), "{rendered}");
 }
 
@@ -115,10 +130,17 @@ fn associated_cond_ties_r_to_result_symbols() {
 fn empty_result_associated_cond_is_true() {
     let cat = catalog();
     let src = Ctx::new();
-    let rec = record("SELECT * FROM Product p WHERE p.ID = ?", vec![SymValue::concrete(1i64)], vec![]);
+    let rec = record(
+        "SELECT * FROM Product p WHERE p.ID = ?",
+        vec![SymValue::concrete(1i64)],
+        vec![],
+    );
     let mut dst = Ctx::new();
     let mut imp = Importer::new(&src, "A1.");
-    let mut side = Side { rec: &rec, imp: &mut imp };
+    let mut side = Side {
+        rec: &rec,
+        imp: &mut imp,
+    };
     let t = associated_cond(&mut dst, &cat, &mut side, 1);
     assert_eq!(dst.display(t), "true");
 }
@@ -142,7 +164,10 @@ fn range_enlargement_admits_neighbours() {
         .expect("empty read takes a range lock");
     let mut dst = Ctx::new();
     let mut imp = Importer::new(&src, "A1.");
-    let mut side = Side { rec: &rec, imp: &mut imp };
+    let mut side = Side {
+        rec: &rec,
+        imp: &mut imp,
+    };
     let enlarged = range_conflict_cond(&mut dst, &cat, &mut side, range, 1);
     // Conjoin with "the row has QTY = 4" and solve: must be SAT — the
     // gap's real extent can reach below the predicate's bound.
@@ -179,10 +204,24 @@ fn conflict_cond_sat_when_params_can_collide() {
     let mut dst = Ctx::new();
     let mut imp_r = Importer::new(&src_r, "A1.");
     let mut imp_w = Importer::new(&src_w, "A2.");
-    let mut r_side = Side { rec: &reader, imp: &mut imp_r };
-    let mut w_side = Side { rec: &writer, imp: &mut imp_w };
-    let cond =
-        gen_conflict_cond(&mut dst, &cat, &mut w_side, &mut r_side, "Product", 1, true, None);
+    let mut r_side = Side {
+        rec: &reader,
+        imp: &mut imp_r,
+    };
+    let mut w_side = Side {
+        rec: &writer,
+        imp: &mut imp_w,
+    };
+    let cond = gen_conflict_cond(
+        &mut dst,
+        &cat,
+        &mut w_side,
+        &mut r_side,
+        "Product",
+        1,
+        true,
+        None,
+    );
     match check(&mut dst, cond, &SolverConfig::default()) {
         SolveResult::Sat(m) => {
             // The witness picks colliding ids.
@@ -196,24 +235,30 @@ fn conflict_cond_sat_when_params_can_collide() {
 fn conflict_cond_unsat_for_disjoint_constants() {
     let cat = catalog();
     let src_r = Ctx::new();
-    let reader = record(
-        "SELECT * FROM Product p WHERE p.ID = 10",
-        vec![],
-        vec![],
-    );
+    let reader = record("SELECT * FROM Product p WHERE p.ID = 10", vec![], vec![]);
     let src_w = Ctx::new();
-    let writer = record(
-        "UPDATE Product SET QTY = 0 WHERE ID = 20",
-        vec![],
-        vec![],
-    );
+    let writer = record("UPDATE Product SET QTY = 0 WHERE ID = 20", vec![], vec![]);
     let mut dst = Ctx::new();
     let mut imp_r = Importer::new(&src_r, "A1.");
     let mut imp_w = Importer::new(&src_w, "A2.");
-    let mut r_side = Side { rec: &reader, imp: &mut imp_r };
-    let mut w_side = Side { rec: &writer, imp: &mut imp_w };
-    let cond =
-        gen_conflict_cond(&mut dst, &cat, &mut w_side, &mut r_side, "Product", 1, true, None);
+    let mut r_side = Side {
+        rec: &reader,
+        imp: &mut imp_r,
+    };
+    let mut w_side = Side {
+        rec: &writer,
+        imp: &mut imp_w,
+    };
+    let cond = gen_conflict_cond(
+        &mut dst,
+        &cat,
+        &mut w_side,
+        &mut r_side,
+        "Product",
+        1,
+        true,
+        None,
+    );
     assert!(matches!(
         check(&mut dst, cond, &SolverConfig::default()),
         SolveResult::Unsat

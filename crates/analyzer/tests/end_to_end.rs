@@ -41,7 +41,12 @@ fn seeded_db() -> Database {
     db.seed("Product", vec![vec![Value::Int(10), Value::Int(100)]]);
     db.seed(
         "OrderItem",
-        vec![vec![Value::Int(100), Value::Int(1), Value::Int(10), Value::Int(3)]],
+        vec![vec![
+            Value::Int(100),
+            Value::Int(1),
+            Value::Int(10),
+            Value::Int(3),
+        ]],
     );
     db
 }
@@ -54,7 +59,10 @@ fn collect_finish_order(db: &Database) -> CollectedTrace {
 
     let order_id = engine.borrow_mut().make_symbolic("order_id", Value::Int(1));
     session.begin();
-    let _o = session.find("Order", &order_id, loc!("finishOrder")).unwrap().unwrap();
+    let _o = session
+        .find("Order", &order_id, loc!("finishOrder"))
+        .unwrap()
+        .unwrap();
     let q4 = parse(
         "SELECT * FROM OrderItem oi \
          JOIN Order o ON o.ID = oi.O_ID \
@@ -134,7 +142,10 @@ fn no_conflict_no_deadlock() {
     let collected = CollectedTrace::new(trace, take_ctx(&engine));
     let d = diagnose(db.catalog(), &[collected], &AnalyzerConfig::default());
     assert!(d.deadlocks.is_empty());
-    assert_eq!(d.stats.pairs_after_phase1, 0, "phase 1 must filter the pair");
+    assert_eq!(
+        d.stats.pairs_after_phase1, 0,
+        "phase 1 must filter the pair"
+    );
 }
 
 #[test]
@@ -151,11 +162,13 @@ fn concretely_disjoint_parameters_are_unsat() {
     let collect = |pid: i64| -> CollectedTrace {
         let engine = shared(ExecMode::Concolic);
         engine.borrow_mut().start_concolic();
-        let mut session =
-            OrmSession::new(engine.clone(), db.session(), db.catalog().clone());
+        let mut session = OrmSession::new(engine.clone(), db.session(), db.catalog().clone());
         let id = SymValue::concrete(pid);
         session.begin();
-        let p = session.find("Product", &id, loc!("touch")).unwrap().unwrap();
+        let p = session
+            .find("Product", &id, loc!("touch"))
+            .unwrap()
+            .unwrap();
         let q = p.get("QTY");
         let one = SymValue::concrete(1i64);
         let newq = engine.borrow_mut().sub(&q, &one);
@@ -172,7 +185,10 @@ fn concretely_disjoint_parameters_are_unsat() {
     assert!(
         !d.deadlocks.iter().any(|r| r.involves("touch10", "touch20")),
         "concretely disjoint pair wrongly reported: {:?}",
-        d.deadlocks.iter().map(|r| r.cycle.clone()).collect::<Vec<_>>()
+        d.deadlocks
+            .iter()
+            .map(|r| r.cycle.clone())
+            .collect::<Vec<_>>()
     );
     // Self-pairs (two concurrent touch10 calls) still deadlock: S then X
     // on the same row.
@@ -221,6 +237,9 @@ fn path_conditions_can_refute_cycles() {
         collected.trace.path_conds.push(fake);
     }
     let d = diagnose(db.catalog(), &[collected], &AnalyzerConfig::default());
-    assert!(d.deadlocks.is_empty(), "contradictory path conditions must refute");
+    assert!(
+        d.deadlocks.is_empty(),
+        "contradictory path conditions must refute"
+    );
     assert!(d.stats.smt_unsat >= 1);
 }

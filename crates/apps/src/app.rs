@@ -6,9 +6,7 @@ use crate::ctx::AppCtx;
 use crate::fixtures::Fixes;
 use crate::locks::AppLocks;
 use crate::shopizer::Shopizer;
-use weseer_concolic::{
-    shared, take_ctx, ExecMode, LibraryMode, SymValue, Trace,
-};
+use weseer_concolic::{shared, take_ctx, ExecMode, LibraryMode, SymValue, Trace};
 use weseer_db::Database;
 use weseer_orm::OrmError;
 use weseer_sqlir::{Catalog, Value};
@@ -31,7 +29,13 @@ pub struct ClientState {
 impl ClientState {
     /// Fresh state for a client.
     pub fn new(client_id: usize) -> Self {
-        ClientState { client_id, iter: 0, user_id: None, product_a: 1, product_b: 2 }
+        ClientState {
+            client_id,
+            iter: 0,
+            user_id: None,
+            product_a: 1,
+            product_b: 2,
+        }
     }
 
     /// Advance to the next iteration, repicking products from the hot set
@@ -98,20 +102,22 @@ impl ECommerceApp for Broadleaf {
     }
 
     fn unit_tests(&self) -> &'static [&'static str] {
-        &["Register", "Add1", "Add2", "Add3", "Ship", "Payment", "Checkout"]
+        &[
+            "Register", "Add1", "Add2", "Add3", "Ship", "Payment", "Checkout",
+        ]
     }
 
     fn run_unit_test(&self, ctx: &mut AppCtx<'_>, test: &str) -> Result<(), OrmError> {
-        let s = |name: &str, v: Value| -> SymValue {
-            ctx.engine.borrow_mut().make_symbolic(name, v)
-        };
+        let s =
+            |name: &str, v: Value| -> SymValue { ctx.engine.borrow_mut().make_symbolic(name, v) };
         match test {
             "Register" => {
                 let username = s("username", Value::str("alice"));
                 let email = s("email", Value::str("alice@example.com"));
                 let password = s("password", Value::str("hunter2"));
                 let confirm = s("password_confirm", Value::str("hunter2"));
-                self.register(ctx, username, email, password, confirm).map(|_| ())
+                self.register(ctx, username, email, password, confirm)
+                    .map(|_| ())
             }
             "Add1" | "Add2" | "Add3" => {
                 let (pid, qty) = match test {
@@ -204,16 +210,16 @@ impl ECommerceApp for Shopizer {
     }
 
     fn run_unit_test(&self, ctx: &mut AppCtx<'_>, test: &str) -> Result<(), OrmError> {
-        let s = |name: &str, v: Value| -> SymValue {
-            ctx.engine.borrow_mut().make_symbolic(name, v)
-        };
+        let s =
+            |name: &str, v: Value| -> SymValue { ctx.engine.borrow_mut().make_symbolic(name, v) };
         match test {
             "Register" => {
                 let username = s("username", Value::str("bob"));
                 let email = s("email", Value::str("bob@example.com"));
                 let password = s("password", Value::str("hunter2"));
                 let confirm = s("password_confirm", Value::str("hunter2"));
-                self.register(ctx, username, email, password, confirm).map(|_| ())
+                self.register(ctx, username, email, password, confirm)
+                    .map(|_| ())
             }
             "Add1" | "Add2" | "Add3" => {
                 let (pid, qty) = match test {
@@ -330,11 +336,17 @@ mod tests {
                 LibraryMode::Modeled,
             );
             result.unwrap_or_else(|e| panic!("unit test {test} failed: {e}"));
-            assert!(!trace.statements.is_empty(), "{test} produced no statements");
+            assert!(
+                !trace.statements.is_empty(),
+                "{test} produced no statements"
+            );
             assert!(trace.txns.iter().any(|t| t.committed));
             total_stmts += trace.statements.len();
         }
-        assert!(total_stmts >= 20, "expected a substantial trace, got {total_stmts}");
+        assert!(
+            total_stmts >= 20,
+            "expected a substantial trace, got {total_stmts}"
+        );
         // State chained: the full flow left an order behind.
         assert_eq!(db.count("Orders"), 1);
     }

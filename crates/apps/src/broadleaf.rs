@@ -155,7 +155,13 @@ impl Broadleaf {
         db.seed("Product", products);
         db.bump_id("Product", 20);
         let offers = (1..=5)
-            .map(|i| vec![Value::Int(i), Value::str(format!("OFFER{i}")), Value::Int(0)])
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::str(format!("OFFER{i}")),
+                    Value::Int(0),
+                ]
+            })
             .collect();
         db.seed("Offer", offers);
         db.bump_id("Offer", 5);
@@ -192,7 +198,9 @@ impl Broadleaf {
         if !ctx.fixes.on(Fix::F1) {
             // d1: `merge` issues a SELECT before the INSERT.
             let q = sql("SELECT * FROM Customer c WHERE c.USERNAME = ?");
-            let rs = ctx.session.raw(&q, &[username.clone()], loc!("Register::merge"))?;
+            let rs =
+                ctx.session
+                    .raw(&q, std::slice::from_ref(&username), loc!("Register::merge"))?;
             if !rs.is_empty() {
                 ctx.session.rollback();
                 return Err(OrmError::AppAbort("username already registered".into()));
@@ -359,7 +367,11 @@ impl Broadleaf {
             ctx.session.flush(loc!("Add::earlyFlush"))?;
         }
         let q = sql("SELECT * FROM FulfillmentItem fi WHERE fi.CART_ID = ?");
-        let _coverage = ctx.session.raw(&q, &[cart_id.clone()], loc!("Add::checkFulfillment"))?;
+        let _coverage = ctx.session.raw(
+            &q,
+            std::slice::from_ref(&cart_id),
+            loc!("Add::checkFulfillment"),
+        )?;
 
         // Pricing section (d7/d8/d9, f5).
         let (price_detail, offer) = match (pre_price, pre_offer) {
@@ -378,7 +390,9 @@ impl Broadleaf {
         user_id: &SymValue,
     ) -> Result<Option<EntityRef>, OrmError> {
         let q = sql("SELECT * FROM Cart c WHERE c.C_ID = ?");
-        let rows = ctx.session.query(&q, &[user_id.clone()], loc!("Add::lookupCart"))?;
+        let rows = ctx
+            .session
+            .query(&q, std::slice::from_ref(user_id), loc!("Add::lookupCart"))?;
         Ok(rows.first().map(|r| r["c"].clone()))
     }
 
@@ -417,20 +431,22 @@ impl Broadleaf {
     ) -> Result<Option<EntityRef>, OrmError> {
         let cart_id = cart.get("ID");
         let q = sql("SELECT * FROM PriceDetail pd WHERE pd.CART_ID = ?");
-        let rows = ctx.session.query(&q, &[cart_id], loc!("priceCart::readDetails"))?;
+        let rows = ctx
+            .session
+            .query(&q, &[cart_id], loc!("priceCart::readDetails"))?;
         Ok(rows.first().map(|r| r["pd"].clone()))
     }
 
-    fn read_offer(
-        &self,
-        ctx: &mut AppCtx<'_>,
-        user_id: &SymValue,
-    ) -> Result<EntityRef, OrmError> {
+    fn read_offer(&self, ctx: &mut AppCtx<'_>, user_id: &SymValue) -> Result<EntityRef, OrmError> {
         // Offer selection is data-independent enough to stay concrete.
         let offer_id = user_id.as_int().unwrap_or(1).rem_euclid(5) + 1;
         let offer = ctx
             .session
-            .find("Offer", &SymValue::concrete(offer_id), loc!("priceCart::readOffer"))?
+            .find(
+                "Offer",
+                &SymValue::concrete(offer_id),
+                loc!("priceCart::readOffer"),
+            )?
             .expect("seeded offer exists");
         Ok(offer)
     }
@@ -467,7 +483,12 @@ impl Broadleaf {
         let uses = offer.get("USES");
         let one = SymValue::concrete(1i64);
         let new_uses = ctx.engine.borrow_mut().add(&uses, &one);
-        offer.set(&ctx.engine, "USES", new_uses, loc!("priceCart::countOfferUse"));
+        offer.set(
+            &ctx.engine,
+            "USES",
+            new_uses,
+            loc!("priceCart::countOfferUse"),
+        );
         Ok(())
     }
 
@@ -536,7 +557,11 @@ impl Broadleaf {
         };
         let scan_addresses = |ctx: &mut AppCtx<'_>| -> Result<usize, OrmError> {
             let q = sql("SELECT * FROM Address a WHERE a.C_ID = ?");
-            let rs = ctx.session.raw(&q, &[user_id.clone()], loc!("Ship::scanAddresses"))?;
+            let rs = ctx.session.raw(
+                &q,
+                std::slice::from_ref(&user_id),
+                loc!("Ship::scanAddresses"),
+            )?;
             Ok(rs.len())
         };
         if ctx.fixes.on(Fix::F6) {
@@ -566,7 +591,9 @@ impl Broadleaf {
             Some(m) => m,
             None => {
                 let q = sql("SELECT * FROM TaxDetail td WHERE td.CART_ID = ?");
-                let rs = ctx.session.raw(&q, &[cart_id.clone()], loc!("Ship::checkTax"))?;
+                let rs =
+                    ctx.session
+                        .raw(&q, std::slice::from_ref(&cart_id), loc!("Ship::checkTax"))?;
                 rs.is_empty()
             }
         };
@@ -634,7 +661,9 @@ impl Broadleaf {
             "SELECT * FROM CartItem ci JOIN Product p ON p.ID = ci.P_ID \
              WHERE ci.CART_ID = ?",
         );
-        let rows = ctx.session.query(&q, &[cart_id], loc!("Checkout::loadItems"))?;
+        let rows = ctx
+            .session
+            .query(&q, &[cart_id], loc!("Checkout::loadItems"))?;
         if rows.is_empty() {
             ctx.session.rollback();
             return Err(OrmError::AppAbort("empty cart".into()));
@@ -688,11 +717,7 @@ mod tests {
         db
     }
 
-    fn ctx<'a>(
-        db: &'a Database,
-        fixes: &'a Fixes,
-        locks: &'a AppLocks,
-    ) -> AppCtx<'a> {
+    fn ctx<'a>(db: &'a Database, fixes: &'a Fixes, locks: &'a AppLocks) -> AppCtx<'a> {
         let engine = shared(ExecMode::Native);
         AppCtx::new(db, engine, fixes, locks)
     }
@@ -735,7 +760,13 @@ mod tests {
             let mut c = ctx(&db, &fixes, &locks);
             let user = format!("bob-{fixes}");
             Broadleaf
-                .register(&mut c, user.as_str().into(), "e".into(), "p".into(), "p".into())
+                .register(
+                    &mut c,
+                    user.as_str().into(),
+                    "e".into(),
+                    "p".into(),
+                    "p".into(),
+                )
                 .unwrap();
             let mut c = ctx(&db, &fixes, &locks);
             let r = Broadleaf.register(
@@ -759,7 +790,8 @@ mod tests {
             .unwrap();
         for (pid, n) in [(1i64, 1i64), (2, 2), (1, 1)] {
             let mut c = ctx(&db, fixes, &locks);
-            app.add_to_cart(&mut c, uid.clone(), pid.into(), n.into()).unwrap();
+            app.add_to_cart(&mut c, uid.clone(), pid.into(), n.into())
+                .unwrap();
         }
         assert_eq!(db.count("Cart"), 1);
         assert_eq!(db.count("CartItem"), 2);
@@ -771,14 +803,25 @@ mod tests {
         assert_eq!(p1[3], Value::Int(2));
 
         let mut c = ctx(&db, fixes, &locks);
-        app.ship(&mut c, uid.clone(), "NYC".into(), "5th Ave".into(), Value::Float(5.0).into())
-            .unwrap();
+        app.ship(
+            &mut c,
+            uid.clone(),
+            "NYC".into(),
+            "5th Ave".into(),
+            Value::Float(5.0).into(),
+        )
+        .unwrap();
         assert_eq!(db.count("Address"), 1);
         assert_eq!(db.count("TaxDetail"), 1);
 
         let mut c = ctx(&db, fixes, &locks);
-        app.payment(&mut c, uid.clone(), "VISA".into(), Value::Float(55.0).into())
-            .unwrap();
+        app.payment(
+            &mut c,
+            uid.clone(),
+            "VISA".into(),
+            Value::Float(55.0).into(),
+        )
+        .unwrap();
         assert_eq!(db.count("Payment"), 1);
 
         let mut c = ctx(&db, fixes, &locks);

@@ -218,7 +218,9 @@ pub fn classify(app: &str, report: &DeadlockReport) -> KnownDeadlock {
             // statements: [a_hold, a_wait, b_hold, b_wait]
             let kind = |i: usize| -> char {
                 let sql = &report.statements[i].sql;
-                if sql.starts_with("UPDATE") || sql.starts_with("INSERT") || sql.starts_with("DELETE")
+                if sql.starts_with("UPDATE")
+                    || sql.starts_with("INSERT")
+                    || sql.starts_with("DELETE")
                 {
                     'W'
                 } else {

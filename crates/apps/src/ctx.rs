@@ -25,21 +25,24 @@ pub struct AppCtx<'a> {
 
 impl<'a> AppCtx<'a> {
     /// Open a context with a fresh session.
-    pub fn new(
-        db: &'a Database,
-        engine: EngineRef,
-        fixes: &'a Fixes,
-        locks: &'a AppLocks,
-    ) -> Self {
+    pub fn new(db: &'a Database, engine: EngineRef, fixes: &'a Fixes, locks: &'a AppLocks) -> Self {
         let session = OrmSession::new(engine.clone(), db.session(), db.catalog().clone());
-        AppCtx { engine, session, db, fixes, locks }
+        AppCtx {
+            engine,
+            session,
+            db,
+            fixes,
+            locks,
+        }
     }
 
     /// Draw a fresh identifier from `table`'s sequence, tagged as unique
     /// for the analyzer.
     pub fn gen_id(&mut self, table: &str) -> SymValue {
         let v = self.db.next_id(table);
-        self.engine.borrow_mut().make_unique_id(table, Value::Int(v))
+        self.engine
+            .borrow_mut()
+            .make_unique_id(table, Value::Int(v))
     }
 }
 

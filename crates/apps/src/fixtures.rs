@@ -185,7 +185,10 @@ mod tests {
     fn labels_match_table_ii() {
         assert_eq!(Fix::F1.label(), "f1");
         assert_eq!(Fix::F11.label(), "f11");
-        assert_eq!(Fix::F9.description(), "Force serial execution with app-level locks");
+        assert_eq!(
+            Fix::F9.description(),
+            "Force serial execution with app-level locks"
+        );
         assert_eq!(Fixes::all().to_string(), "all");
         assert_eq!(Fixes::none().to_string(), "none");
         let mut f = Fixes::none();

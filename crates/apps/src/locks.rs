@@ -7,20 +7,29 @@
 //! serial execution of Shopizer's product pricing/commit with exactly such
 //! a lock.
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// A binary semaphore: `held` flips under the mutex, waiters park on the
+/// condvar. Unlike a raw `Mutex<()>`, ownership can move across threads
+/// with the guard (client threads hand work to helpers in the harness).
+#[derive(Debug, Default)]
+struct Sem {
+    held: Mutex<bool>,
+    cond: Condvar,
+}
 
 /// A registry of named application-level locks, shared across client
 /// threads.
 #[derive(Debug, Default, Clone)]
 pub struct AppLocks {
-    inner: Arc<Mutex<HashMap<String, Arc<Mutex<()>>>>>,
+    inner: Arc<Mutex<HashMap<String, Arc<Sem>>>>,
 }
 
 /// A held application-level lock.
 pub struct AppLockGuard {
-    _mutex: Arc<Mutex<()>>,
+    sem: Arc<Sem>,
 }
 
 impl AppLocks {
@@ -31,24 +40,24 @@ impl AppLocks {
 
     /// Acquire the named lock, blocking until available.
     pub fn lock(&self, name: &str) -> AppLockGuard {
-        let mutex = {
+        let sem = {
             let mut map = self.inner.lock();
-            map.entry(name.to_string())
-                .or_insert_with(|| Arc::new(Mutex::new(())))
-                .clone()
+            map.entry(name.to_string()).or_default().clone()
         };
-        // Hold the mutex for the guard's lifetime by leaking the guard
-        // into the Arc: we forget the MutexGuard and unlock manually.
-        std::mem::forget(mutex.lock());
-        AppLockGuard { _mutex: mutex }
+        let mut held = sem.held.lock();
+        while *held {
+            sem.cond.wait(&mut held);
+        }
+        *held = true;
+        drop(held);
+        AppLockGuard { sem }
     }
 }
 
 impl Drop for AppLockGuard {
     fn drop(&mut self) {
-        // Safety: we forgot exactly one guard in `lock`, so the mutex is
-        // held by this logical owner.
-        unsafe { self._mutex.force_unlock() };
+        *self.sem.held.lock() = false;
+        self.sem.cond.notify_one();
     }
 }
 

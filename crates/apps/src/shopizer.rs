@@ -277,8 +277,12 @@ impl Shopizer {
 
         // Commit the order: stock decrement per product, in cart order
         // unless f10 sorts.
-        let items =
-            self.maybe_sorted(ctx, items, ctx.fixes.on(Fix::F10), loc!("Checkout::sortUpdates"));
+        let items = self.maybe_sorted(
+            ctx,
+            items,
+            ctx.fixes.on(Fix::F10),
+            loc!("Checkout::sortUpdates"),
+        );
         let order_id = ctx.gen_id("Orders");
         let mut total = SymValue::concrete(Value::Float(0.0));
         for item in &items {
@@ -350,9 +354,14 @@ impl Shopizer {
         ctx.session.begin();
         let mut ids: Vec<i64> = Vec::new();
         let q = sql("SELECT * FROM Cart c WHERE c.C_ID = ?");
-        let carts = ctx.session.raw(&q, &[user_id.clone()], loc!("f9::readCart"))?;
+        let carts = ctx
+            .session
+            .raw(&q, std::slice::from_ref(user_id), loc!("f9::readCart"))?;
         if let Some(cart) = carts.rows.first() {
-            let cart_id = cart.get("c.ID").cloned().unwrap_or(SymValue::concrete(0i64));
+            let cart_id = cart
+                .get("c.ID")
+                .cloned()
+                .unwrap_or(SymValue::concrete(0i64));
             let q = sql("SELECT * FROM CartItem ci WHERE ci.CART_ID = ?");
             let items = ctx.session.raw(&q, &[cart_id], loc!("f9::readItems"))?;
             for row in &items.rows {
@@ -373,13 +382,11 @@ impl Shopizer {
             .collect())
     }
 
-    fn lookup_cart(
-        &self,
-        ctx: &mut AppCtx<'_>,
-        user_id: &SymValue,
-    ) -> Result<EntityRef, OrmError> {
+    fn lookup_cart(&self, ctx: &mut AppCtx<'_>, user_id: &SymValue) -> Result<EntityRef, OrmError> {
         let q = sql("SELECT * FROM Cart c WHERE c.C_ID = ?");
-        let rows = ctx.session.query(&q, &[user_id.clone()], loc!("lookupCart"))?;
+        let rows = ctx
+            .session
+            .query(&q, std::slice::from_ref(user_id), loc!("lookupCart"))?;
         rows.first()
             .map(|r| r["c"].clone())
             .ok_or_else(|| OrmError::AppAbort("no cart for customer".into()))
@@ -392,7 +399,7 @@ impl Shopizer {
         loc: CodeLoc,
     ) -> Result<Vec<EntityRef>, OrmError> {
         let q = sql("SELECT * FROM CartItem ci WHERE ci.CART_ID = ?");
-        let rows = ctx.session.query(&q, &[cart_id.clone()], loc)?;
+        let rows = ctx.session.query(&q, std::slice::from_ref(cart_id), loc)?;
         Ok(rows.iter().map(|r| r["ci"].clone()).collect())
     }
 
@@ -492,7 +499,8 @@ mod tests {
         assert_eq!(db.count("Cart"), 1);
         for (pid, n) in [(3i64, 1i64), (7, 2), (3, 5)] {
             let mut c = ctx(&db, fixes, &locks);
-            app.add_to_cart(&mut c, uid.clone(), pid.into(), n.into()).unwrap();
+            app.add_to_cart(&mut c, uid.clone(), pid.into(), n.into())
+                .unwrap();
         }
         assert_eq!(db.count("CartItem"), 2);
         let mut c = ctx(&db, fixes, &locks);
@@ -570,7 +578,8 @@ mod tests {
             .unwrap();
         for pid in [9i64, 2, 5] {
             let mut c = ctx(&db, &fixes, &locks);
-            app.add_to_cart(&mut c, uid.clone(), pid.into(), 1i64.into()).unwrap();
+            app.add_to_cart(&mut c, uid.clone(), pid.into(), 1i64.into())
+                .unwrap();
         }
         let mut c = ctx(&db, &fixes, &locks);
         c.session.begin();
@@ -582,7 +591,10 @@ mod tests {
             .load_items(&mut c2, &cart.get("ID"), loc!("test"))
             .unwrap();
         let sorted = app.maybe_sorted(&mut c2, items, true, loc!("test"));
-        let pids: Vec<i64> = sorted.iter().map(|e| e.get("P_ID").as_int().unwrap()).collect();
+        let pids: Vec<i64> = sorted
+            .iter()
+            .map(|e| e.get("P_ID").as_int().unwrap())
+            .collect();
         assert_eq!(pids, vec![2, 5, 9]);
         c2.session.rollback();
     }

@@ -140,6 +140,13 @@ pub fn run_workload<A: ECommerceApp + Copy + Send + 'static>(
     let apis_completed = completed.load(Ordering::Relaxed);
     let apis_failed = failed.load(Ordering::Relaxed);
     let db_stats = db.stats();
+    weseer_obs::incr("workload.runs");
+    weseer_obs::add("workload.apis_completed", apis_completed);
+    weseer_obs::add("workload.apis_failed", apis_failed);
+    weseer_obs::add("workload.deadlock_aborts", db_stats.deadlock_aborts);
+    weseer_obs::add("workload.timeout_aborts", db_stats.timeout_aborts);
+    weseer_obs::add("workload.statements", db_stats.statements);
+    weseer_obs::observe_duration("workload.run_us", elapsed);
     WorkloadResult {
         apis_completed,
         apis_failed,

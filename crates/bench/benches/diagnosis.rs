@@ -29,7 +29,10 @@ fn bench(c: &mut Criterion) {
     });
 
     g.bench_function("ablation_no_filter_phases", |b| {
-        let config = AnalyzerConfig { skip_filter_phases: true, ..AnalyzerConfig::default() };
+        let config = AnalyzerConfig {
+            skip_filter_phases: true,
+            ..AnalyzerConfig::default()
+        };
         b.iter(|| {
             let d = diagnose(&catalog, &ts, &config);
             assert!(!d.deadlocks.is_empty());
@@ -37,7 +40,10 @@ fn bench(c: &mut Criterion) {
     });
 
     g.bench_function("ablation_no_range_locks", |b| {
-        let config = AnalyzerConfig { use_range_locks: false, ..AnalyzerConfig::default() };
+        let config = AnalyzerConfig {
+            use_range_locks: false,
+            ..AnalyzerConfig::default()
+        };
         b.iter(|| {
             let _ = diagnose(&catalog, &ts, &config);
         })

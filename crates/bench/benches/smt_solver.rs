@@ -7,7 +7,9 @@ use weseer_smt::{check, Ctx, Rat, SolveResult, SolverConfig, Sort};
 /// x₀ < x₁ < … < xₙ ∧ x₀ = 0 ∧ xₙ ≤ n — SAT, forces a full integer model.
 fn chained_sat(n: usize) -> (Ctx, weseer_smt::TermId) {
     let mut ctx = Ctx::new();
-    let xs: Vec<_> = (0..=n).map(|i| ctx.var(format!("x{i}"), Sort::Int)).collect();
+    let xs: Vec<_> = (0..=n)
+        .map(|i| ctx.var(format!("x{i}"), Sort::Int))
+        .collect();
     let mut parts = Vec::new();
     for w in xs.windows(2) {
         parts.push(ctx.lt(w[0], w[1]));
@@ -23,7 +25,9 @@ fn chained_sat(n: usize) -> (Ctx, weseer_smt::TermId) {
 /// The same chain with the bound off by one — UNSAT.
 fn chained_unsat(n: usize) -> (Ctx, weseer_smt::TermId) {
     let mut ctx = Ctx::new();
-    let xs: Vec<_> = (0..=n).map(|i| ctx.var(format!("x{i}"), Sort::Int)).collect();
+    let xs: Vec<_> = (0..=n)
+        .map(|i| ctx.var(format!("x{i}"), Sort::Int))
+        .collect();
     let mut parts = Vec::new();
     for w in xs.windows(2) {
         parts.push(ctx.lt(w[0], w[1]));

@@ -30,12 +30,20 @@ fn seeded(rows: i64) -> Database {
     let db = Database::new(catalog());
     db.seed(
         "Product",
-        (1..=rows).map(|i| vec![Value::Int(i), Value::Int(100)]).collect(),
+        (1..=rows)
+            .map(|i| vec![Value::Int(i), Value::Int(100)])
+            .collect(),
     );
     db.seed(
         "OrderItem",
         (1..=rows)
-            .map(|i| vec![Value::Int(i), Value::Int(i % 50 + 1), Value::Int(i % rows + 1)])
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Int(i % 50 + 1),
+                    Value::Int(i % rows + 1),
+                ]
+            })
             .collect(),
     );
     db
@@ -83,10 +91,9 @@ fn bench(c: &mut Criterion) {
         })
     });
 
-    let join = parse(
-        "SELECT * FROM OrderItem oi JOIN Product p ON p.ID = oi.P_ID WHERE oi.O_ID = ?",
-    )
-    .unwrap();
+    let join =
+        parse("SELECT * FROM OrderItem oi JOIN Product p ON p.ID = oi.P_ID WHERE oi.O_ID = ?")
+            .unwrap();
     g.bench_function("join_txn", |b| {
         let mut i = 0i64;
         b.iter(|| {

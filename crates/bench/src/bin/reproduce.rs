@@ -1,24 +1,41 @@
 //! Regenerate the paper's evaluation artifacts.
 //!
 //! ```text
-//! reproduce [--quick] [table1] [table2] [table3] [fig10] [fig11]
-//!           [pruning] [baseline] [aborts] [all]
+//! reproduce [--quick] [--metrics-out <path>] [table1] [table2] [table3]
+//!           [fig10] [fig11] [pruning] [baseline] [aborts] [all]
 //! ```
 //!
 //! With no selector (or `all`), every experiment runs. `--quick` shrinks
-//! the performance sweeps for CI-scale runs.
+//! the performance sweeps for CI-scale runs. `--metrics-out <path>` runs
+//! the diagnosis pipeline on both apps with the observability registry
+//! enabled, prints the funnel/timing report, and writes the JSON-lines
+//! metrics export to `<path>`; with no other selector, only the metrics
+//! run happens.
 
 use weseer_bench::experiments;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let selected: Vec<&str> = args
+    let mut metrics_out: Option<String> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut raw = std::env::args().skip(1);
+    while let Some(arg) = raw.next() {
+        if arg == "--metrics-out" {
+            let path = raw.next().unwrap_or_else(|| {
+                eprintln!("--metrics-out requires a path argument");
+                std::process::exit(2);
+            });
+            metrics_out = Some(path);
+        } else {
+            rest.push(arg);
+        }
+    }
+    let quick = rest.iter().any(|a| a == "--quick");
+    let selected: Vec<&str> = rest
         .iter()
         .filter(|a| !a.starts_with("--"))
         .map(|s| s.as_str())
         .collect();
-    let all = selected.is_empty() || selected.contains(&"all");
+    let all = (selected.is_empty() && metrics_out.is_none()) || selected.contains(&"all");
     let want = |name: &str| all || selected.contains(&name);
 
     if want("table1") {
@@ -44,5 +61,14 @@ fn main() {
     }
     if want("aborts") {
         println!("{}", experiments::aborts_claim(quick));
+    }
+    if let Some(path) = metrics_out {
+        let (human, json) = experiments::metrics_report();
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write metrics to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("{human}");
+        println!("metrics written to {path}");
     }
 }

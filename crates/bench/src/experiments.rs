@@ -7,7 +7,7 @@ use std::fmt::Write as _;
 use std::time::Duration;
 use weseer_apps::{Broadleaf, ECommerceApp, Fix, KnownDeadlock, Shopizer};
 use weseer_core::{
-    measure_overhead, measure_pruning, run_perf_sweep, PerfConfig, Weseer,
+    measure_overhead, measure_pruning, run_perf_sweep, PerfConfig, Weseer, FUNNEL_STAGES,
 };
 
 /// Table I: the target APIs with inputs and invocation counts.
@@ -83,11 +83,17 @@ pub fn table2() -> String {
                 row.ids().to_string(),
                 row.description().to_string(),
                 row.fix().map(|f| f.label()).unwrap_or_default(),
-                row.fix().map(|f| f.description().to_string()).unwrap_or_default(),
+                row.fix()
+                    .map(|f| f.description().to_string())
+                    .unwrap_or_default(),
                 format!("{status} ({count} cycles)"),
             ]);
         }
-        let fp = analysis.groups.get(&KnownDeadlock::FpAppLocked).copied().unwrap_or(0);
+        let fp = analysis
+            .groups
+            .get(&KnownDeadlock::FpAppLocked)
+            .copied()
+            .unwrap_or(0);
         rows.push(vec![
             analysis.app.clone(),
             "(fp)".into(),
@@ -98,7 +104,14 @@ pub fn table2() -> String {
         ]);
     }
     out.push_str(&table(
-        &["App", "Id", "Deadlock-prone txn", "Fix", "Fixing approach", "WeSEER"],
+        &[
+            "App",
+            "Id",
+            "Deadlock-prone txn",
+            "Fix",
+            "Fixing approach",
+            "WeSEER",
+        ],
         &rows,
     ));
     let _ = writeln!(
@@ -112,8 +125,7 @@ pub fn table2() -> String {
 /// WeSEER's confirmed deadlocks.
 pub fn baseline() -> String {
     let weseer = Weseer::new();
-    let mut out =
-        String::from("Coarse-grained baseline (STEPDAD/REDACT) vs WeSEER fine-grained\n");
+    let mut out = String::from("Coarse-grained baseline (STEPDAD/REDACT) vs WeSEER fine-grained\n");
     let mut rows = Vec::new();
     for analysis in [weseer.analyze(&Broadleaf), weseer.analyze(&Shopizer)] {
         rows.push(vec![
@@ -124,7 +136,12 @@ pub fn baseline() -> String {
         ]);
     }
     out.push_str(&table(
-        &["App", "coarse hold-and-wait cycles", "SMT-confirmed cycles", "Table II rows"],
+        &[
+            "App",
+            "coarse hold-and-wait cycles",
+            "SMT-confirmed cycles",
+            "Table II rows",
+        ],
         &rows,
     ));
     out.push_str(
@@ -154,7 +171,14 @@ pub fn table3(repetitions: usize) -> String {
         })
         .collect();
     out.push_str(&table(
-        &["API", "Original", "Interpretive", "Interp+Concolic", "interp/orig", "conc/orig"],
+        &[
+            "API",
+            "Original",
+            "Interpretive",
+            "Interp+Concolic",
+            "interp/orig",
+            "conc/orig",
+        ],
         &rows,
     ));
     out.push_str(
@@ -181,7 +205,10 @@ pub fn pruning() -> String {
             ]
         })
         .collect();
-    out.push_str(&table(&["API", "naive (unmodeled)", "modeled", "reduction"], &rows));
+    out.push_str(&table(
+        &["API", "naive (unmodeled)", "modeled", "reduction"],
+        &rows,
+    ));
     out.push_str(
         "\npaper: Broadleaf Ship drops 656K -> 2.7K (~243x) once drivers, built-ins and\n\
          containers are modeled; the simulated app shows the same order-of-magnitude cut.\n",
@@ -206,11 +233,17 @@ pub fn figure(app_name: &str, quick: bool) -> String {
         "shopizer" => run_perf_sweep(Shopizer, &Fix::SHOPIZER, &config),
         other => panic!("unknown app {other}"),
     };
-    let fig = if app_name == "broadleaf" { "Fig. 10" } else { "Fig. 11" };
-    let mut out = format!(
-        "{fig}: {app_name} throughput (API/s) by client count and fix configuration\n"
-    );
-    let max = points.iter().map(|p| p.result.throughput).fold(0.0_f64, f64::max);
+    let fig = if app_name == "broadleaf" {
+        "Fig. 10"
+    } else {
+        "Fig. 11"
+    };
+    let mut out =
+        format!("{fig}: {app_name} throughput (API/s) by client count and fix configuration\n");
+    let max = points
+        .iter()
+        .map(|p| p.result.throughput)
+        .fold(0.0_f64, f64::max);
     let rows: Vec<Vec<String>> = points
         .iter()
         .map(|p| {
@@ -223,7 +256,10 @@ pub fn figure(app_name: &str, quick: bool) -> String {
             ]
         })
         .collect();
-    out.push_str(&table(&["config", "clients", "API/s", "aborts/s", ""], &rows));
+    out.push_str(&table(
+        &["config", "clients", "API/s", "aborts/s", ""],
+        &rows,
+    ));
     // Headline factor, like the paper's 39.5x / 4.5x.
     let best_clients = *config.client_counts.last().unwrap();
     let tput = |label: &str| {
@@ -244,12 +280,37 @@ pub fn figure(app_name: &str, quick: bool) -> String {
     out
 }
 
+/// Observability export: run the full diagnosis pipeline on both apps
+/// with the [`weseer_obs`] registry enabled and return
+/// `(human_report, json_lines)` — the funnel/timing tables for stdout and
+/// the per-app JSON-lines export for `--metrics-out`.
+pub fn metrics_report() -> (String, String) {
+    weseer_obs::set_enabled(true);
+    let weseer = Weseer::new();
+    let mut human = String::new();
+    let mut json = String::new();
+    for analysis in [weseer.analyze(&Broadleaf), weseer.analyze(&Shopizer)] {
+        human.push_str(&weseer_obs::report::render_report(
+            &analysis.metrics,
+            &format!("{} diagnosis metrics", analysis.app),
+            FUNNEL_STAGES,
+        ));
+        human.push('\n');
+        json.push_str(&analysis.metrics.to_json_lines(Some(&analysis.app)));
+    }
+    (human, json)
+}
+
 /// The aborts-per-second claim of Sec. VII-D (904 → 0 at 128 clients).
 pub fn aborts_claim(quick: bool) -> String {
     let clients = if quick { 16 } else { 128 };
     let config = PerfConfig {
         client_counts: vec![clients],
-        duration: if quick { Duration::from_millis(700) } else { Duration::from_secs(2) },
+        duration: if quick {
+            Duration::from_millis(700)
+        } else {
+            Duration::from_secs(2)
+        },
         hot_products: 8,
         statement_delay: Duration::ZERO,
     };

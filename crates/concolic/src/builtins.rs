@@ -19,7 +19,10 @@ use weseer_sqlir::{CmpOp, Value};
 pub fn naive_probe_branches(engine: &mut Engine, n: usize) {
     for i in 0..n {
         let out = engine.fresh_output("libbr", Value::Bool(i % 2 == 0));
-        let cond = SymBool { concrete: i % 2 == 0, sym: out.sym };
+        let cond = SymBool {
+            concrete: i % 2 == 0,
+            sym: out.sym,
+        };
         engine.enter_library();
         engine.branch(&cond, loc!("library_internal"));
         engine.exit_library();
@@ -178,11 +181,7 @@ mod tests {
     #[test]
     fn concrete_concat_stays_concrete() {
         let mut e = engine();
-        let c = string_concat(
-            &mut e,
-            &SymValue::concrete("a"),
-            &SymValue::concrete("b"),
-        );
+        let c = string_concat(&mut e, &SymValue::concrete("a"), &SymValue::concrete("b"));
         assert!(!c.is_symbolic());
         assert_eq!(c.as_str(), Some("ab"));
     }

@@ -29,7 +29,11 @@ impl<V: Clone> SymMap<V> {
     pub fn new(engine: &mut Engine, name: impl Into<String>, key_sort: Sort) -> Self {
         let name = name.into();
         let arr = engine.ctx.array_var(format!("map!{name}"), key_sort);
-        SymMap { arr, entries: Vec::new(), name }
+        SymMap {
+            arr,
+            entries: Vec::new(),
+            name,
+        }
     }
 
     /// The map's display name.
@@ -172,7 +176,9 @@ pub struct SymSet {
 impl SymSet {
     /// Create a set over the given key sort.
     pub fn new(engine: &mut Engine, name: impl Into<String>, key_sort: Sort) -> Self {
-        SymSet { map: SymMap::new(engine, name, key_sort) }
+        SymSet {
+            map: SymMap::new(engine, name, key_sort),
+        }
     }
 
     /// Membership test with Alg. 1 path conditions.
@@ -313,6 +319,9 @@ mod tests {
         }
         let probe = e.make_symbolic("probe", Value::Int(3));
         let _ = map.get(&mut e, &probe);
-        assert!(e.stats().lib_path_conds > 4, "naive probing should branch per entry");
+        assert!(
+            e.stats().lib_path_conds > 4,
+            "naive probing should branch per entry"
+        );
     }
 }

@@ -123,10 +123,17 @@ impl<B: SqlBackend> TraceDriver<B> {
 
     /// Driver function kind 1: transaction begin.
     pub fn begin(&mut self) {
-        assert!(self.current_txn.is_none(), "nested transactions are not supported");
+        assert!(
+            self.current_txn.is_none(),
+            "nested transactions are not supported"
+        );
         self.backend.begin();
         let id = self.txns.len();
-        self.txns.push(TxnTrace { id, stmt_indexes: Vec::new(), committed: false });
+        self.txns.push(TxnTrace {
+            id,
+            stmt_indexes: Vec::new(),
+            committed: false,
+        });
         self.current_txn = Some(id);
     }
 
@@ -263,15 +270,28 @@ impl<B: SqlBackend> TraceDriver<B> {
     }
 
     /// Finalize the trace for an API unit test, draining recorded state.
+    /// The engine's execution counters are also published to the global
+    /// [`weseer_obs`] registry under `concolic.*`.
     pub fn take_trace(&mut self, api: impl Into<String>) -> Trace {
         let engine = self.engine.borrow();
+        let stats = engine.stats();
+        weseer_obs::incr("concolic.traces");
+        weseer_obs::add("concolic.statements", stats.statements as u64);
+        weseer_obs::add("concolic.app_path_conds", stats.app_path_conds as u64);
+        weseer_obs::add("concolic.lib_path_conds", stats.lib_path_conds as u64);
+        weseer_obs::add(
+            "concolic.lib_path_conds_avoided",
+            stats.lib_path_conds_avoided as u64,
+        );
+        weseer_obs::add("concolic.sym_ops", stats.sym_ops);
+        weseer_obs::add("concolic.interpreted_ops", stats.interpreted_ops);
         Trace {
             api: api.into(),
             statements: std::mem::take(&mut self.statements),
             txns: std::mem::take(&mut self.txns),
             path_conds: engine.path_conds().to_vec(),
             unique_ids: engine.unique_ids().to_vec(),
-            stats: engine.stats(),
+            stats,
         }
     }
 }
@@ -377,7 +397,10 @@ mod tests {
             params: &[Value],
         ) -> Result<ExecResult, BackendError> {
             self.executed.push((stmt.clone(), params.to_vec()));
-            Ok(ExecResult { rows: self.rows.clone(), affected: 1 })
+            Ok(ExecResult {
+                rows: self.rows.clone(),
+                affected: 1,
+            })
         }
         fn commit(&mut self) -> Result<(), BackendError> {
             self.committed += 1;
@@ -394,16 +417,25 @@ mod tests {
     ) -> TraceDriver<StubBackend> {
         let e = engine::shared(mode);
         e.borrow_mut().start_concolic();
-        TraceDriver::new(e, StubBackend { rows, ..Default::default() })
+        TraceDriver::new(
+            e,
+            StubBackend {
+                rows,
+                ..Default::default()
+            },
+        )
     }
 
     #[test]
     fn records_statement_with_symbolic_params() {
         let mut d = driver_with_rows(ExecMode::Concolic, vec![]);
         let stmt = parse("SELECT * FROM Order o WHERE o.ID = ?").unwrap();
-        let p = d.engine().borrow_mut().make_symbolic("order_id", Value::Int(7));
+        let p = d
+            .engine()
+            .borrow_mut()
+            .make_symbolic("order_id", Value::Int(7));
         d.begin();
-        let rs = d.execute(&stmt, &[p.clone()], None).unwrap();
+        let rs = d.execute(&stmt, std::slice::from_ref(&p), None).unwrap();
         assert!(rs.is_empty());
         d.commit().unwrap();
         let trace = d.take_trace("Demo");
@@ -492,8 +524,14 @@ mod tests {
     #[test]
     fn naive_mode_floods_driver_parse_branches() {
         let rows = vec![
-            vec![("p.ID".to_string(), Value::Int(1)), ("p.QTY".to_string(), Value::Int(2))],
-            vec![("p.ID".to_string(), Value::Int(2)), ("p.QTY".to_string(), Value::Int(3))],
+            vec![
+                ("p.ID".to_string(), Value::Int(1)),
+                ("p.QTY".to_string(), Value::Int(2)),
+            ],
+            vec![
+                ("p.ID".to_string(), Value::Int(2)),
+                ("p.QTY".to_string(), Value::Int(3)),
+            ],
         ];
         let mut d = driver_with_rows(ExecMode::Concolic, rows);
         d.engine().borrow_mut().set_library_mode(LibraryMode::Naive);
@@ -502,6 +540,9 @@ mod tests {
         d.execute(&stmt, &[SymValue::concrete(0i64)], None).unwrap();
         d.commit().unwrap();
         let stats = d.engine().borrow().stats();
-        assert!(stats.lib_path_conds >= 4, "expected per-column parse branches");
+        assert!(
+            stats.lib_path_conds >= 4,
+            "expected per-column parse branches"
+        );
     }
 }

@@ -206,7 +206,9 @@ impl Engine {
 
     /// Snapshot the current call stack.
     pub fn stack(&self) -> StackTrace {
-        StackTrace { frames: self.frames.clone() }
+        StackTrace {
+            frames: self.frames.clone(),
+        }
     }
 
     /// Snapshot the stack with one extra frame for a trigger site.
@@ -322,7 +324,11 @@ impl Engine {
             // A concolic operation interprets strictly more work than a
             // plain interpretive one (symbolic store lookups, taint
             // propagation) — the Table III gap between the two modes.
-            let units = if self.mode == ExecMode::Concolic { 4 } else { 1 };
+            let units = if self.mode == ExecMode::Concolic {
+                4
+            } else {
+                1
+            };
             self.dispatch_n(units);
         }
     }
@@ -395,11 +401,13 @@ impl Engine {
             return SymBool::concrete(concrete);
         }
         self.stats.sym_ops += 1;
-        let is_str =
-            matches!(a.concrete, Value::Str(_)) || matches!(b.concrete, Value::Str(_));
+        let is_str = matches!(a.concrete, Value::Str(_)) || matches!(b.concrete, Value::Str(_));
         if is_str && !matches!(op, CmpOp::Eq | CmpOp::Ne) {
             let out = self.fresh_output("strcmp", Value::Bool(concrete));
-            return SymBool { concrete, sym: out.sym };
+            return SymBool {
+                concrete,
+                sym: out.sym,
+            };
         }
         let (ta, tb) = match (self.term_of(a), self.term_of(b)) {
             (Some(ta), Some(tb)) => (ta, tb),
@@ -468,7 +476,12 @@ impl Engine {
         } else {
             self.stats.app_path_conds += 1;
         }
-        self.path_conds.push(PathCond { term, seq, stack, in_library: in_lib });
+        self.path_conds.push(PathCond {
+            term,
+            seq,
+            stack,
+            in_library: in_lib,
+        });
         taken
     }
 
@@ -481,7 +494,12 @@ impl Engine {
         }
         let seq = self.next_seq();
         self.stats.app_path_conds += 1;
-        self.path_conds.push(PathCond { term, seq, stack, in_library: false });
+        self.path_conds.push(PathCond {
+            term,
+            seq,
+            stack,
+            in_library: false,
+        });
     }
 
     /// The symbolic term of a concolic value: its symbolic part, or a
@@ -497,7 +515,11 @@ impl Engine {
 
     /// Path conditions recorded before the given sequence number.
     pub fn path_conds_before(&self, seq: u64) -> Vec<PathCond> {
-        self.path_conds.iter().filter(|p| p.seq < seq).cloned().collect()
+        self.path_conds
+            .iter()
+            .filter(|p| p.seq < seq)
+            .cloned()
+            .collect()
     }
 }
 
@@ -511,8 +533,10 @@ fn num_bin(
         (Value::Int(x), Value::Int(y)) => Value::Int(int_op(*x, *y)),
         _ => {
             let (x, y) = (
-                a.as_float().unwrap_or_else(|| panic!("numeric op on {a:?}")),
-                b.as_float().unwrap_or_else(|| panic!("numeric op on {b:?}")),
+                a.as_float()
+                    .unwrap_or_else(|| panic!("numeric op on {a:?}")),
+                b.as_float()
+                    .unwrap_or_else(|| panic!("numeric op on {b:?}")),
             );
             Value::Float(float_op(x, y))
         }
@@ -533,7 +557,9 @@ impl Drop for FrameGuard {
 /// Push `loc` onto the simulated call stack for the guard's lifetime.
 pub fn frame(engine: &EngineRef, loc: CodeLoc) -> FrameGuard {
     engine.borrow_mut().push_frame(loc);
-    FrameGuard { engine: engine.clone() }
+    FrameGuard {
+        engine: engine.clone(),
+    }
 }
 
 /// RAII guard marking a modeled library section.
@@ -550,7 +576,9 @@ impl Drop for LibraryGuard {
 /// Enter a modeled library section for the guard's lifetime.
 pub fn library_section(engine: &EngineRef) -> LibraryGuard {
     engine.borrow_mut().enter_library();
-    LibraryGuard { engine: engine.clone() }
+    LibraryGuard {
+        engine: engine.clone(),
+    }
 }
 
 #[cfg(test)]

@@ -22,7 +22,11 @@ pub struct CodeLoc {
 impl CodeLoc {
     /// Construct a location.
     pub fn new(file: &'static str, line: u32, function: &'static str) -> Self {
-        CodeLoc { file, line, function }
+        CodeLoc {
+            file,
+            line,
+            function,
+        }
     }
 }
 

@@ -20,12 +20,18 @@ pub struct SymValue {
 impl SymValue {
     /// A purely concrete value.
     pub fn concrete(v: impl Into<Value>) -> Self {
-        SymValue { concrete: v.into(), sym: None }
+        SymValue {
+            concrete: v.into(),
+            sym: None,
+        }
     }
 
     /// A concolic value with both parts.
     pub fn with_sym(v: impl Into<Value>, sym: TermId) -> Self {
-        SymValue { concrete: v.into(), sym: Some(sym) }
+        SymValue {
+            concrete: v.into(),
+            sym: Some(sym),
+        }
     }
 
     /// Whether the value carries a symbolic part.
@@ -79,12 +85,18 @@ pub struct SymBool {
 impl SymBool {
     /// A purely concrete boolean.
     pub fn concrete(b: bool) -> Self {
-        SymBool { concrete: b, sym: None }
+        SymBool {
+            concrete: b,
+            sym: None,
+        }
     }
 
     /// A concolic boolean.
     pub fn with_sym(b: bool, sym: TermId) -> Self {
-        SymBool { concrete: b, sym: Some(sym) }
+        SymBool {
+            concrete: b,
+            sym: Some(sym),
+        }
     }
 }
 

@@ -95,7 +95,12 @@ impl Trace {
     pub fn statements_of(&self, txn: usize) -> Vec<&StmtRecord> {
         self.txns
             .get(txn)
-            .map(|t| t.stmt_indexes.iter().map(|&i| &self.statements[i]).collect())
+            .map(|t| {
+                t.stmt_indexes
+                    .iter()
+                    .map(|&i| &self.statements[i])
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
@@ -128,7 +133,11 @@ impl fmt::Display for Trace {
                 f,
                 "  txn {} ({}):",
                 txn.id,
-                if txn.committed { "committed" } else { "aborted" }
+                if txn.committed {
+                    "committed"
+                } else {
+                    "aborted"
+                }
             )?;
             for &i in &txn.stmt_indexes {
                 let s = &self.statements[i];
@@ -174,7 +183,11 @@ mod tests {
                     sent_at: StackTrace::new(),
                 },
             ],
-            txns: vec![TxnTrace { id: 0, stmt_indexes: vec![0, 1], committed: true }],
+            txns: vec![TxnTrace {
+                id: 0,
+                stmt_indexes: vec![0, 1],
+                committed: true,
+            }],
             path_conds: vec![],
             unique_ids: vec![],
             stats: EngineStats::default(),

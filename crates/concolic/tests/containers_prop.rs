@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use std::collections::HashMap;
 use weseer_concolic::containers::SymMap;
 use weseer_concolic::{Engine, ExecMode};
-use weseer_smt::{check_all, Sort, SolveResult, SolverConfig};
+use weseer_smt::{check_all, SolveResult, SolverConfig, Sort};
 use weseer_sqlir::Value;
 
 #[derive(Debug, Clone)]

@@ -56,15 +56,8 @@ pub fn measure_overhead(app: &dyn ECommerceApp, repetitions: usize) -> Vec<Overh
             let locks = AppLocks::new();
             for (i, test) in tests.iter().enumerate() {
                 let start = Instant::now();
-                let (_trace, _ctx, result) = collect_trace(
-                    app,
-                    test,
-                    &db,
-                    &fixes,
-                    &locks,
-                    mode,
-                    LibraryMode::Modeled,
-                );
+                let (_trace, _ctx, result) =
+                    collect_trace(app, test, &db, &fixes, &locks, mode, LibraryMode::Modeled);
                 let elapsed = start.elapsed();
                 result.unwrap_or_else(|e| panic!("unit test {test} failed: {e}"));
                 if elapsed < best[i][mode_idx] {
@@ -117,15 +110,8 @@ pub fn measure_pruning(app: &dyn ECommerceApp) -> Vec<PruningRow> {
         let locks = AppLocks::new();
         let mut per_api = Vec::new();
         for test in app.unit_tests() {
-            let (trace, _ctx, result) = collect_trace(
-                app,
-                test,
-                &db,
-                &fixes,
-                &locks,
-                ExecMode::Concolic,
-                lib_mode,
-            );
+            let (trace, _ctx, result) =
+                collect_trace(app, test, &db, &fixes, &locks, ExecMode::Concolic, lib_mode);
             result.unwrap_or_else(|e| panic!("unit test {test} failed: {e}"));
             // Stats are cumulative per engine, but each test gets a fresh
             // engine inside collect_trace, so counts are per test.
@@ -134,7 +120,11 @@ pub fn measure_pruning(app: &dyn ECommerceApp) -> Vec<PruningRow> {
         counts.push(per_api);
     }
     for ((api, naive), (_, modeled)) in counts[0].iter().zip(counts[1].iter()) {
-        rows.push(PruningRow { api: api.clone(), naive: *naive, modeled: *modeled });
+        rows.push(PruningRow {
+            api: api.clone(),
+            naive: *naive,
+            modeled: *modeled,
+        });
     }
     rows
 }
@@ -150,14 +140,18 @@ mod tests {
         assert_eq!(rows.len(), 7);
         // The *total* across APIs must show the Table III ordering:
         // concolic > interpretive ≥ native (individual APIs can be noisy).
-        let total = |f: fn(&OverheadRow) -> Duration| -> Duration {
-            rows.iter().map(f).sum()
-        };
+        let total = |f: fn(&OverheadRow) -> Duration| -> Duration { rows.iter().map(f).sum() };
         let orig = total(|r| r.original);
         let interp = total(|r| r.interpretive);
         let conc = total(|r| r.concolic);
-        assert!(conc > orig, "concolic {conc:?} should exceed native {orig:?}");
-        assert!(conc > interp, "concolic {conc:?} should exceed interpretive {interp:?}");
+        assert!(
+            conc > orig,
+            "concolic {conc:?} should exceed native {orig:?}"
+        );
+        assert!(
+            conc > interp,
+            "concolic {conc:?} should exceed interpretive {interp:?}"
+        );
     }
 
     #[test]

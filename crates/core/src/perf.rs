@@ -71,7 +71,11 @@ pub fn run_perf_sweep<A: ECommerceApp + Copy + Send + 'static>(
                 statement_delay: config.statement_delay,
             };
             let result = run_workload(app, &wc);
-            out.push(PerfPoint { label: label.clone(), clients, result });
+            out.push(PerfPoint {
+                label: label.clone(),
+                clients,
+                result,
+            });
         }
     }
     out

@@ -3,9 +3,7 @@
 //! deadlocks, and group the reports into Table II rows.
 
 use std::collections::BTreeMap;
-use weseer_analyzer::{
-    coarse_cycle_count, diagnose, AnalyzerConfig, CollectedTrace, Diagnosis,
-};
+use weseer_analyzer::{coarse_cycle_count, diagnose, AnalyzerConfig, CollectedTrace, Diagnosis};
 use weseer_apps::app::collect_trace;
 use weseer_apps::{classify, AppLocks, ECommerceApp, Fixes, KnownDeadlock};
 use weseer_concolic::{ExecMode, LibraryMode};
@@ -31,7 +29,24 @@ pub struct AppAnalysis {
     /// The coarse-grained (STEPDAD/REDACT-style) cycle count on the same
     /// traces, for the Sec. VII-B baseline comparison.
     pub coarse_cycles: usize,
+    /// Observability metrics accumulated during this analysis (the delta
+    /// of the global [`weseer_obs`] registry over the run; empty unless
+    /// `weseer_obs::set_enabled(true)` was called).
+    pub metrics: weseer_obs::MetricsSnapshot,
 }
+
+/// The standard funnel stages for [`weseer_obs::report::render_report`],
+/// as `(label, counter)` pairs matching what the analyzer publishes.
+pub const FUNNEL_STAGES: &[(&str, &str)] = &[
+    ("txn pairs examined", "analyzer.txn_pairs"),
+    ("after phase-1 filter", "analyzer.pairs_after_phase1"),
+    ("coarse cycles (phase 2)", "analyzer.coarse_cycles"),
+    ("fine candidates (to SMT)", "analyzer.fine_candidates"),
+    ("SMT sat", "analyzer.smt_sat"),
+    ("SMT unsat", "analyzer.smt_unsat"),
+    ("SMT unknown", "analyzer.smt_unknown"),
+    ("deadlocks reported", "analyzer.deadlocks_reported"),
+];
 
 /// Summary of one collected trace.
 #[derive(Debug, Clone)]
@@ -74,11 +89,13 @@ impl Weseer {
         app: &dyn ECommerceApp,
         fixes: &Fixes,
     ) -> (Vec<CollectedTrace>, Database) {
+        let _span = weseer_obs::span("pipeline.collect_traces");
         let db = Database::new(app.catalog());
         app.seed(&db);
         let locks = AppLocks::new();
         let mut traces = Vec::new();
         for test in app.unit_tests() {
+            let api_start = std::time::Instant::now();
             let (trace, ctx, result) = collect_trace(
                 app,
                 test,
@@ -88,6 +105,8 @@ impl Weseer {
                 ExecMode::Concolic,
                 LibraryMode::Modeled,
             );
+            // Per-API trace time: one histogram entry per unit test.
+            weseer_obs::observe_duration("concolic.trace_api_us", api_start.elapsed());
             result.unwrap_or_else(|e| panic!("unit test {test} failed: {e}"));
             traces.push(CollectedTrace::new(trace, ctx));
         }
@@ -104,6 +123,8 @@ impl Weseer {
     /// the fixed-code ablation: the sorted Shopizer variants become
     /// UNSAT through their recorded comparison path conditions).
     pub fn analyze_with_fixes(&self, app: &dyn ECommerceApp, fixes: &Fixes) -> AppAnalysis {
+        let before = weseer_obs::snapshot();
+        let pipeline_span = weseer_obs::span("pipeline.analyze");
         let (traces, _db) = self.collect_traces(app, fixes);
         let trace_summaries = traces
             .iter()
@@ -120,12 +141,15 @@ impl Weseer {
             *groups.entry(classify(app.name(), r)).or_insert(0) += 1;
         }
         let coarse_cycles = coarse_cycle_count(&traces);
+        drop(pipeline_span);
+        let metrics = weseer_obs::snapshot().delta_since(&before);
         AppAnalysis {
             app: app.name().to_string(),
             trace_summaries,
             diagnosis,
             groups,
             coarse_cycles,
+            metrics,
         }
     }
 }
@@ -141,7 +165,11 @@ mod tests {
         let analysis = weseer.analyze(&Shopizer);
         assert_eq!(analysis.app, "shopizer");
         assert_eq!(analysis.trace_summaries.len(), 6);
-        assert!(analysis.deadlock_ids_found() >= 5, "groups: {:?}", analysis.groups);
+        assert!(
+            analysis.deadlock_ids_found() >= 5,
+            "groups: {:?}",
+            analysis.groups
+        );
         assert!(analysis.coarse_cycles > analysis.diagnosis.deadlocks.len());
     }
 }

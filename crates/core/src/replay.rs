@@ -101,8 +101,16 @@ pub fn replay<A: ECommerceApp + Copy + Send + Sync + 'static>(
         }
         let aborts = db.stats().deadlock_aborts - before;
         if aborts > 0 {
-            return ReplayOutcome { reproduced: true, attempts: attempt, deadlock_aborts: aborts };
+            return ReplayOutcome {
+                reproduced: true,
+                attempts: attempt,
+                deadlock_aborts: aborts,
+            };
         }
     }
-    ReplayOutcome { reproduced: false, attempts: max_attempts, deadlock_aborts: 0 }
+    ReplayOutcome {
+        reproduced: false,
+        attempts: max_attempts,
+        deadlock_aborts: 0,
+    }
 }

@@ -40,7 +40,9 @@ fn collect(db: &Database) -> CollectedTrace {
     let a = engine.borrow_mut().make_symbolic("bucket", Value::Int(3));
     session.begin();
     let q = parse("SELECT * FROM Slot s WHERE s.ID = ? AND s.A = ?").unwrap();
-    let rs = session.raw(&q, &[id.clone(), a.clone()], loc!("reserveSlot")).unwrap();
+    let rs = session
+        .raw(&q, &[id.clone(), a.clone()], loc!("reserveSlot"))
+        .unwrap();
     assert!(rs.is_empty(), "freshly generated ids are unused");
     session.persist(
         "Slot",
@@ -80,7 +82,10 @@ fn explain_oracle_removes_wrong_index_false_positive() {
     assert!(
         with.deadlocks.is_empty(),
         "EXPLAIN refinement must refute the wrong-index cycle: {:#?}",
-        with.deadlocks.iter().map(|r| r.cycle.clone()).collect::<Vec<_>>()
+        with.deadlocks
+            .iter()
+            .map(|r| r.cycle.clone())
+            .collect::<Vec<_>>()
     );
     assert!(with.stats.smt_unsat >= 1, "{:?}", with.stats);
 }

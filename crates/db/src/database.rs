@@ -103,7 +103,10 @@ impl Database {
 
     /// Open a session.
     pub fn session(&self) -> Session {
-        Session { db: self.clone(), txn: None }
+        Session {
+            db: self.clone(),
+            txn: None,
+        }
     }
 
     /// Current counters.
@@ -202,18 +205,24 @@ impl Session {
     /// On [`DbError::DeadlockVictim`] / [`DbError::LockWaitTimeout`] the
     /// transaction is rolled back before returning (MySQL victim
     /// recovery).
-    pub fn execute(
-        &mut self,
-        stmt: &Statement,
-        params: &[Value],
-    ) -> Result<ExecData, DbError> {
+    pub fn execute(&mut self, stmt: &Statement, params: &[Value]) -> Result<ExecData, DbError> {
         let txn = self.txn.ok_or(DbError::NoTransaction)?;
-        self.db.inner.counters.statements.fetch_add(1, Ordering::Relaxed);
+        self.db
+            .inner
+            .counters
+            .statements
+            .fetch_add(1, Ordering::Relaxed);
         let delay = self.db.inner.statement_delay_ns.load(Ordering::Relaxed);
         if delay > 0 {
             std::thread::sleep(Duration::from_nanos(delay));
         }
-        match exec::execute(&self.db.inner.storage, &self.db.inner.locks, txn, stmt, params) {
+        match exec::execute(
+            &self.db.inner.storage,
+            &self.db.inner.locks,
+            txn,
+            stmt,
+            params,
+        ) {
             Ok(data) => Ok(data),
             Err(e) => {
                 if e.aborts_txn() {
@@ -249,7 +258,11 @@ impl Session {
             st.commit(txn);
         }
         self.db.inner.locks.release_all(txn);
-        self.db.inner.counters.commits.fetch_add(1, Ordering::Relaxed);
+        self.db
+            .inner
+            .counters
+            .commits
+            .fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -261,7 +274,11 @@ impl Session {
                 st.rollback(txn);
             }
             self.db.inner.locks.release_all(txn);
-            self.db.inner.counters.rollbacks.fetch_add(1, Ordering::Relaxed);
+            self.db
+                .inner
+                .counters
+                .rollbacks
+                .fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -277,13 +294,12 @@ impl SqlBackend for Session {
         Session::begin(self);
     }
 
-    fn execute(
-        &mut self,
-        stmt: &Statement,
-        params: &[Value],
-    ) -> Result<ExecResult, BackendError> {
+    fn execute(&mut self, stmt: &Statement, params: &[Value]) -> Result<ExecResult, BackendError> {
         Session::execute(self, stmt, params)
-            .map(|d| ExecResult { rows: d.rows, affected: d.affected })
+            .map(|d| ExecResult {
+                rows: d.rows,
+                affected: d.affected,
+            })
             .map_err(|e| BackendError {
                 message: e.to_string(),
                 deadlock_victim: e.aborts_txn(),

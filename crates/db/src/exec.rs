@@ -34,9 +34,19 @@ pub struct ExecData {
 /// A mutation to apply once all locks are granted.
 #[derive(Debug)]
 enum Op {
-    Insert { table: String, row: Row },
-    Update { table: String, rid: RowId, new_row: Row },
-    Delete { table: String, rid: RowId },
+    Insert {
+        table: String,
+        row: Row,
+    },
+    Update {
+        table: String,
+        rid: RowId,
+        new_row: Row,
+    },
+    Delete {
+        table: String,
+        rid: RowId,
+    },
 }
 
 /// The full plan of one attempt.
@@ -71,9 +81,19 @@ struct BoundPred {
 /// How a table will be accessed.
 #[derive(Debug, Clone)]
 enum Access {
-    PointUnique { index: String, key: KeyTuple },
-    EqScan { index: String, first: Value },
-    RangeScan { index: String, low: Option<(Value, bool)>, high: Option<(Value, bool)> },
+    PointUnique {
+        index: String,
+        key: KeyTuple,
+    },
+    EqScan {
+        index: String,
+        first: Value,
+    },
+    RangeScan {
+        index: String,
+        low: Option<(Value, bool)>,
+        high: Option<(Value, bool)>,
+    },
     FullScan,
 }
 
@@ -101,14 +121,20 @@ pub struct ExplainRow {
 ///
 /// Join levels are planned in FROM/JOIN order with earlier aliases
 /// considered bound (exactly how [`execute`] plans them).
-pub fn explain(stmt: &Statement, params: &[Value], catalog: &weseer_sqlir::Catalog) -> Vec<ExplainRow> {
+pub fn explain(
+    stmt: &Statement,
+    params: &[Value],
+    catalog: &weseer_sqlir::Catalog,
+) -> Vec<ExplainRow> {
     let mut out = Vec::new();
     let levels: Vec<(String, String, Vec<weseer_sqlir::Cond>)> = match stmt {
         Statement::Select(s) => {
-            let where_conds: Vec<weseer_sqlir::Cond> =
-                s.where_clause.iter().cloned().collect();
-            let mut levels =
-                vec![(s.from.alias.clone(), s.from.table.clone(), where_conds.clone())];
+            let where_conds: Vec<weseer_sqlir::Cond> = s.where_clause.iter().cloned().collect();
+            let mut levels = vec![(
+                s.from.alias.clone(),
+                s.from.table.clone(),
+                where_conds.clone(),
+            )];
             for j in &s.joins {
                 let mut cs = vec![j.on.clone()];
                 cs.extend(where_conds.iter().cloned());
@@ -139,7 +165,9 @@ pub fn explain(stmt: &Statement, params: &[Value], catalog: &weseer_sqlir::Catal
 
     let mut bound_aliases: Vec<String> = Vec::new();
     for (alias, table, conds) in levels {
-        let Some(def) = catalog.table(&table) else { continue };
+        let Some(def) = catalog.table(&table) else {
+            continue;
+        };
         // Structural predicate binding: params/consts always resolve;
         // columns of earlier levels resolve at execution time.
         let mut preds: Vec<BoundPred> = Vec::new();
@@ -151,21 +179,21 @@ pub fn explain(stmt: &Statement, params: &[Value], catalog: &weseer_sqlir::Catal
                         continue;
                     }
                     let resolvable = match &o.rhs {
-                        Operand::Param(i) => {
-                            params.get(*i).map(|v| !v.is_null()).unwrap_or(true)
-                        }
+                        Operand::Param(i) => params.get(*i).map(|v| !v.is_null()).unwrap_or(true),
                         Operand::Const(v) => !v.is_null(),
                         Operand::Column { alias: a2, .. } => bound_aliases.contains(a2),
                     };
                     if resolvable {
                         let value = match &o.rhs {
-                            Operand::Param(i) => {
-                                params.get(*i).cloned().unwrap_or(Value::Int(0))
-                            }
+                            Operand::Param(i) => params.get(*i).cloned().unwrap_or(Value::Int(0)),
                             Operand::Const(v) => v.clone(),
                             Operand::Column { .. } => Value::Int(0), // structural only
                         };
-                        preds.push(BoundPred { column: column.clone(), op: o.op, value });
+                        preds.push(BoundPred {
+                            column: column.clone(),
+                            op: o.op,
+                            value,
+                        });
                     }
                 }
             }
@@ -177,7 +205,12 @@ pub fn explain(stmt: &Statement, params: &[Value], catalog: &weseer_sqlir::Catal
             Access::RangeScan { index, .. } => (Some(index.clone()), "range"),
             Access::FullScan => (None, "ALL"),
         };
-        out.push(ExplainRow { alias: alias.clone(), table, index, access: kind });
+        out.push(ExplainRow {
+            alias: alias.clone(),
+            table,
+            index,
+            access: kind,
+        });
         bound_aliases.push(alias);
     }
     out
@@ -220,7 +253,9 @@ pub fn execute(
         // Block outside the storage mutex; deadlock detection happens here.
         locks.acquire(txn, blocked.0, blocked.1)?;
     }
-    Err(DbError::Unsupported("statement did not converge under contention".into()))
+    Err(DbError::Unsupported(
+        "statement did not converge under contention".into(),
+    ))
 }
 
 fn apply(st: &mut Storage, txn: TxnId, ops: Vec<Op>) {
@@ -230,7 +265,11 @@ fn apply(st: &mut Storage, txn: TxnId, ops: Vec<Op>) {
                 let rid = st.table_mut(&table).insert(row);
                 st.log(txn, Undo::Insert { table, rid });
             }
-            Op::Update { table, rid, new_row } => {
+            Op::Update {
+                table,
+                rid,
+                new_row,
+            } => {
                 if let Some(old) = st.table_mut(&table).update(rid, new_row) {
                     st.log(txn, Undo::Update { table, rid, old });
                 }
@@ -262,11 +301,12 @@ fn plan_statement(
 // ---------------------------------------------------------------------------
 
 type Bindings = HashMap<String, (String, Row)>; // alias → (table, row)
+type TableDefs = HashMap<String, Arc<TableDef>>; // table name → definition
 
 fn resolve(
     op: &Operand,
     bindings: &Bindings,
-    tables: &HashMap<String, Arc<TableDef>>,
+    tables: &TableDefs,
     params: &[Value],
 ) -> Option<Value> {
     match op {
@@ -285,7 +325,7 @@ fn bound_preds(
     conds: &[&weseer_sqlir::Cond],
     alias: &str,
     bindings: &Bindings,
-    tables: &HashMap<String, Arc<TableDef>>,
+    tables: &TableDefs,
     params: &[Value],
 ) -> Vec<BoundPred> {
     let mut out = Vec::new();
@@ -296,7 +336,11 @@ fn bound_preds(
                 if a == alias {
                     if let Some(v) = resolve(&o.rhs, bindings, tables, params) {
                         if !v.is_null() {
-                            out.push(BoundPred { column: column.clone(), op: o.op, value: v });
+                            out.push(BoundPred {
+                                column: column.clone(),
+                                op: o.op,
+                                value: v,
+                            });
                         }
                     }
                 }
@@ -323,14 +367,23 @@ fn choose_access(def: &TableDef, preds: &[BoundPred]) -> Access {
             })
             .collect();
         if let Some(key) = key {
-            return Access::PointUnique { index: idx.name.clone(), key };
+            return Access::PointUnique {
+                index: idx.name.clone(),
+                key,
+            };
         }
     }
     // 2. Any index with equality on its leading column → equality scan.
     for idx in &def.indexes {
         if let Some(lead) = idx.columns.first() {
-            if let Some(p) = preds.iter().find(|p| p.op == CmpOp::Eq && &p.column == lead) {
-                return Access::EqScan { index: idx.name.clone(), first: p.value.clone() };
+            if let Some(p) = preds
+                .iter()
+                .find(|p| p.op == CmpOp::Eq && &p.column == lead)
+            {
+                return Access::EqScan {
+                    index: idx.name.clone(),
+                    first: p.value.clone(),
+                };
             }
         }
     }
@@ -349,7 +402,11 @@ fn choose_access(def: &TableDef, preds: &[BoundPred]) -> Access {
                 }
             }
             if low.is_some() || high.is_some() {
-                return Access::RangeScan { index: idx.name.clone(), low, high };
+                return Access::RangeScan {
+                    index: idx.name.clone(),
+                    low,
+                    high,
+                };
             }
         }
     }
@@ -358,10 +415,7 @@ fn choose_access(def: &TableDef, preds: &[BoundPred]) -> Access {
 
 /// Candidate rows for an access path, plus the key that bounds the scanned
 /// region (for the terminating gap lock).
-fn fetch(
-    ts: &TableStore,
-    access: &Access,
-) -> (Vec<(String, KeyTuple, RowId)>, Option<KeyBound>) {
+fn fetch(ts: &TableStore, access: &Access) -> (Vec<(String, KeyTuple, RowId)>, Option<KeyBound>) {
     match access {
         Access::PointUnique { index, key } => {
             let tree = ts.btree(index);
@@ -447,7 +501,11 @@ fn lock_access(
     succ: Option<&KeyBound>,
     exclusive: bool,
 ) {
-    let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
+    let mode = if exclusive {
+        LockMode::Exclusive
+    } else {
+        LockMode::Shared
+    };
     let table = ts.def.name.clone();
     if !matches!(access, Access::FullScan) {
         // Row access announces itself at table level so full scans
@@ -457,7 +515,12 @@ fn lock_access(
         } else {
             LockMode::IntentionShared
         };
-        plan.lock(LockTarget::Table { table: table.clone() }, intent);
+        plan.lock(
+            LockTarget::Table {
+                table: table.clone(),
+            },
+            intent,
+        );
     }
     match access {
         Access::FullScan => {
@@ -467,7 +530,11 @@ fn lock_access(
             let point = matches.len() == 1;
             for (_, key, rid) in matches {
                 plan.lock(
-                    LockTarget::Row { table: table.clone(), index: index.clone(), key: key.clone() },
+                    LockTarget::Row {
+                        table: table.clone(),
+                        index: index.clone(),
+                        key: key.clone(),
+                    },
                     mode,
                 );
                 if !point {
@@ -499,7 +566,11 @@ fn lock_access(
             for (_, key, rid) in matches {
                 // Next-key: the record and the gap before it.
                 plan.lock(
-                    LockTarget::Row { table: table.clone(), index: index.clone(), key: key.clone() },
+                    LockTarget::Row {
+                        table: table.clone(),
+                        index: index.clone(),
+                        key: key.clone(),
+                    },
                     mode,
                 );
                 plan.lock(
@@ -543,7 +614,11 @@ fn lock_primary_for_secondary(
     if let Some(row) = ts.heap.get(&rid) {
         let key = index_key(&ts.def, pri, row);
         plan.lock(
-            LockTarget::Row { table: ts.def.name.clone(), index: pri.name.clone(), key },
+            LockTarget::Row {
+                table: ts.def.name.clone(),
+                index: pri.name.clone(),
+                key,
+            },
             mode,
         );
     }
@@ -564,7 +639,11 @@ fn plan_select(st: &Storage, s: &Select, params: &[Value]) -> Result<Plan, DbErr
     let full_cond = stmt.query_condition();
     let mut levels: Vec<(String, String, Vec<&weseer_sqlir::Cond>)> = Vec::new();
     let where_conds: Vec<&weseer_sqlir::Cond> = s.where_clause.iter().collect();
-    levels.push((s.from.alias.clone(), s.from.table.clone(), where_conds.clone()));
+    levels.push((
+        s.from.alias.clone(),
+        s.from.table.clone(),
+        where_conds.clone(),
+    ));
     for j in &s.joins {
         let mut cs: Vec<&weseer_sqlir::Cond> = vec![&j.on];
         cs.extend(where_conds.iter().copied());
@@ -616,14 +695,14 @@ fn plan_select(st: &Storage, s: &Select, params: &[Value]) -> Result<Plan, DbErr
 #[allow(clippy::too_many_arguments)]
 fn scan_levels(
     st: &Storage,
-    tables: &HashMap<String, Arc<TableDef>>,
+    tables: &TableDefs,
     levels: &[(String, String, Vec<&weseer_sqlir::Cond>)],
     depth: usize,
     params: &[Value],
     exclusive: bool,
     bindings: &mut Bindings,
     plan: &mut Plan,
-    emit: &mut dyn FnMut(&Bindings, &HashMap<String, Arc<TableDef>>),
+    emit: &mut dyn FnMut(&Bindings, &TableDefs),
 ) {
     if depth == levels.len() {
         emit(bindings, tables);
@@ -636,7 +715,9 @@ fn scan_levels(
     let (matches, succ) = fetch(ts, &access);
     lock_access(plan, ts, &access, &matches, succ.as_ref(), exclusive);
     for (_, _, rid) in &matches {
-        let Some(row) = ts.heap.get(rid) else { continue };
+        let Some(row) = ts.heap.get(rid) else {
+            continue;
+        };
         // Residual filter on this level's bound predicates.
         let def = &ts.def;
         let ok = preds.iter().all(|p| {
@@ -648,15 +729,22 @@ fn scan_levels(
             continue;
         }
         bindings.insert(alias.clone(), (table.clone(), row.clone()));
-        scan_levels(st, tables, levels, depth + 1, params, exclusive, bindings, plan, emit);
+        scan_levels(
+            st,
+            tables,
+            levels,
+            depth + 1,
+            params,
+            exclusive,
+            bindings,
+            plan,
+            emit,
+        );
         bindings.remove(alias);
     }
 }
 
-fn table_map(
-    st: &Storage,
-    stmt: &Statement,
-) -> Result<HashMap<String, Arc<TableDef>>, DbError> {
+fn table_map(st: &Storage, stmt: &Statement) -> Result<TableDefs, DbError> {
     let mut out = HashMap::new();
     for t in stmt.tables() {
         let ts = st
@@ -672,11 +760,7 @@ fn table_map(
 // UPDATE / DELETE
 // ---------------------------------------------------------------------------
 
-fn plan_update_delete(
-    st: &Storage,
-    stmt: &Statement,
-    params: &[Value],
-) -> Result<Plan, DbError> {
+fn plan_update_delete(st: &Storage, stmt: &Statement, params: &[Value]) -> Result<Plan, DbError> {
     let (table, where_clause, sets): (&str, _, Option<&Vec<Assignment>>) = match stmt {
         Statement::Update(u) => (u.table.as_str(), u.where_clause.clone(), Some(&u.sets)),
         Statement::Delete(d) => (d.table.as_str(), d.where_clause.clone(), None),
@@ -698,7 +782,9 @@ fn plan_update_delete(
         if seen.contains(rid) {
             continue;
         }
-        let Some(row) = ts.heap.get(rid) else { continue };
+        let Some(row) = ts.heap.get(rid) else {
+            continue;
+        };
         // Full residual evaluation.
         let resolver = |alias: &str, column: &str| -> Option<Value> {
             if alias != table {
@@ -718,7 +804,11 @@ fn plan_update_delete(
         let pri = def.primary_index();
         let pk = index_key(&def, pri, row);
         plan.lock(
-            LockTarget::Row { table: table.to_string(), index: pri.name.clone(), key: pk },
+            LockTarget::Row {
+                table: table.to_string(),
+                index: pri.name.clone(),
+                key: pk,
+            },
             LockMode::Exclusive,
         );
         match sets {
@@ -727,17 +817,17 @@ fn plan_update_delete(
                 for a in sets {
                     let v = resolve(&a.value, &HashMap::new(), &tables, params)
                         .or_else(|| match &a.value {
-                            Operand::Column { alias, column } if alias == table => def
-                                .col_pos(column)
-                                .map(|p| row[p].clone()),
+                            Operand::Column { alias, column } if alias == table => {
+                                def.col_pos(column).map(|p| row[p].clone())
+                            }
                             _ => None,
                         })
                         .ok_or_else(|| {
                             DbError::Unsupported(format!("unresolvable SET value {:?}", a.value))
                         })?;
-                    let pos = def.col_pos(&a.column).ok_or_else(|| {
-                        DbError::Schema(format!("unknown column {}", a.column))
-                    })?;
+                    let pos = def
+                        .col_pos(&a.column)
+                        .ok_or_else(|| DbError::Schema(format!("unknown column {}", a.column)))?;
                     new_row[pos] = v;
                 }
                 // X locks on modified secondary entries (old and new).
@@ -757,18 +847,29 @@ fn plan_update_delete(
                         }
                     }
                 }
-                plan.ops.push(Op::Update { table: table.to_string(), rid: *rid, new_row });
+                plan.ops.push(Op::Update {
+                    table: table.to_string(),
+                    rid: *rid,
+                    new_row,
+                });
             }
             None => {
                 // DELETE: X lock every index entry of the row.
                 for idx in def.secondary_indexes() {
                     let key = index_key(&def, idx, row);
                     plan.lock(
-                        LockTarget::Row { table: table.to_string(), index: idx.name.clone(), key },
+                        LockTarget::Row {
+                            table: table.to_string(),
+                            index: idx.name.clone(),
+                            key,
+                        },
                         LockMode::Exclusive,
                     );
                 }
-                plan.ops.push(Op::Delete { table: table.to_string(), rid: *rid });
+                plan.ops.push(Op::Delete {
+                    table: table.to_string(),
+                    rid: *rid,
+                });
             }
         }
         plan.data.affected += 1;
@@ -840,7 +941,9 @@ fn plan_insert(st: &Storage, stmt: &Statement, params: &[Value]) -> Result<Plan,
                 },
                 LockMode::Shared,
             );
-            plan.error = Some(DbError::DuplicateKey { index: idx.name.clone() });
+            plan.error = Some(DbError::DuplicateKey {
+                index: idx.name.clone(),
+            });
             return Ok(plan);
         }
     }
@@ -848,7 +951,9 @@ fn plan_insert(st: &Storage, stmt: &Statement, params: &[Value]) -> Result<Plan,
     // Insert-intention lock on the gap receiving the key, per index, then
     // an X record lock on the new entry.
     plan.lock(
-        LockTarget::Table { table: ins.table.clone() },
+        LockTarget::Table {
+            table: ins.table.clone(),
+        },
         LockMode::IntentionExclusive,
     );
     for idx in &def.indexes {
@@ -860,15 +965,26 @@ fn plan_insert(st: &Storage, stmt: &Statement, params: &[Value]) -> Result<Plan,
             .map(|(k, _)| KeyBound::Key(k.clone()))
             .unwrap_or(KeyBound::Supremum);
         plan.lock(
-            LockTarget::Gap { table: ins.table.clone(), index: idx.name.clone(), upper: succ },
+            LockTarget::Gap {
+                table: ins.table.clone(),
+                index: idx.name.clone(),
+                upper: succ,
+            },
             LockMode::InsertIntention,
         );
         plan.lock(
-            LockTarget::Row { table: ins.table.clone(), index: idx.name.clone(), key },
+            LockTarget::Row {
+                table: ins.table.clone(),
+                index: idx.name.clone(),
+                key,
+            },
             LockMode::Exclusive,
         );
     }
-    plan.ops.push(Op::Insert { table: ins.table.clone(), row });
+    plan.ops.push(Op::Insert {
+        table: ins.table.clone(),
+        row,
+    });
     plan.data.affected = 1;
     Ok(plan)
 }
@@ -889,12 +1005,15 @@ fn plan_upsert_update(
     let pri = def.primary_index();
     let pk = index_key(def, pri, row);
     plan.lock(
-        LockTarget::Row { table: ins.table.clone(), index: pri.name.clone(), key: pk },
+        LockTarget::Row {
+            table: ins.table.clone(),
+            index: pri.name.clone(),
+            key: pk,
+        },
         LockMode::Exclusive,
     );
     let mut new_row = row.clone();
-    let tables: HashMap<String, Arc<TableDef>> =
-        [(ins.table.clone(), def.clone())].into_iter().collect();
+    let tables: TableDefs = [(ins.table.clone(), def.clone())].into_iter().collect();
     for a in &ins.on_duplicate {
         let v = resolve(&a.value, &HashMap::new(), &tables, params)
             .ok_or_else(|| DbError::Unsupported("unresolvable UPSERT value".into()))?;
@@ -903,7 +1022,11 @@ fn plan_upsert_update(
             .ok_or_else(|| DbError::Schema(format!("unknown column {}", a.column)))?;
         new_row[pos] = v;
     }
-    plan.ops.push(Op::Update { table: ins.table.clone(), rid, new_row });
+    plan.ops.push(Op::Update {
+        table: ins.table.clone(),
+        rid,
+        new_row,
+    });
     plan.data.affected = 2; // MySQL convention for upsert-as-update
     Ok(plan)
 }

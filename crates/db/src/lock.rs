@@ -201,15 +201,18 @@ impl LockManager {
     /// [`DbError::LockWaitTimeout`] after `wait_timeout`. In both cases the
     /// caller must roll the transaction back.
     pub fn acquire(&self, txn: TxnId, target: LockTarget, mode: LockMode) -> Result<(), DbError> {
+        weseer_obs::incr("db.lock.acquisitions");
+        let wait_start = Instant::now();
         let mut st = self.state.lock();
         let mut waited = false;
-        let deadline = Instant::now() + self.wait_timeout;
+        let deadline = wait_start + self.wait_timeout;
         loop {
             let blockers = st.blockers(txn, &target, mode);
             if blockers.is_empty() {
                 st.waiting_for.remove(&txn);
                 st.grant(txn, target, mode);
                 if waited {
+                    weseer_obs::observe_duration("db.lock.wait_us", wait_start.elapsed());
                     // Position may have changed while waiting; wake others
                     // whose blockers might have gone away.
                     self.cond.notify_all();
@@ -220,28 +223,36 @@ impl LockManager {
             if st.reaches(&blockers, txn) {
                 st.waiting_for.remove(&txn);
                 self.stats.lock().deadlocks += 1;
-                if std::env::var_os("WESEER_DEBUG_DEADLOCK").is_some() {
-                    eprintln!(
-                        "[deadlock] {txn} requesting {mode:?} on {target:?}; blockers={blockers:?}; \
-                         held={:?}",
+                weseer_obs::incr("db.lock.deadlock_aborts");
+                weseer_obs::emit(
+                    weseer_obs::Level::Warn,
+                    "db.lock",
+                    format!(
+                        "deadlock: {txn} requesting {mode:?} on {target:?}; \
+                         blockers={blockers:?}; held={:?}",
                         st.held_by.get(&txn)
-                    );
-                }
+                    ),
+                );
                 self.cond.notify_all();
                 return Err(DbError::DeadlockVictim);
             }
             if !waited {
                 self.stats.lock().waits += 1;
+                weseer_obs::incr("db.lock.waits");
                 waited = true;
             }
+            weseer_obs::add("db.lock.wait_for_edges", blockers.len() as u64);
             st.waiting_for.insert(txn, blockers);
-            let timed_out = self
-                .cond
-                .wait_until(&mut st, deadline)
-                .timed_out();
+            let timed_out = self.cond.wait_until(&mut st, deadline).timed_out();
             if timed_out {
                 st.waiting_for.remove(&txn);
                 self.stats.lock().timeouts += 1;
+                weseer_obs::incr("db.lock.timeouts");
+                weseer_obs::emit(
+                    weseer_obs::Level::Warn,
+                    "db.lock",
+                    format!("lock wait timeout: {txn} requesting {mode:?} on {target:?}"),
+                );
                 return Err(DbError::LockWaitTimeout);
             }
         }
@@ -257,6 +268,7 @@ impl LockManager {
         let mut st = self.state.lock();
         if st.blockers(txn, &target, mode).is_empty() {
             st.grant(txn, target, mode);
+            weseer_obs::incr("db.lock.acquisitions");
             Ok(true)
         } else {
             Ok(false)
@@ -381,7 +393,8 @@ mod tests {
     #[test]
     fn insert_intentions_are_compatible() {
         let lm = LockManager::default();
-        lm.acquire(TxnId(1), gap(10), LockMode::InsertIntention).unwrap();
+        lm.acquire(TxnId(1), gap(10), LockMode::InsertIntention)
+            .unwrap();
         assert!(lm
             .try_acquire(TxnId(2), gap(10), LockMode::InsertIntention)
             .unwrap());
@@ -418,9 +431,7 @@ mod tests {
         lm.acquire(TxnId(1), gap(100), LockMode::Shared).unwrap();
         lm.acquire(TxnId(2), gap(100), LockMode::Shared).unwrap();
         let lm2 = lm.clone();
-        let h = thread::spawn(move || {
-            lm2.acquire(TxnId(1), gap(100), LockMode::InsertIntention)
-        });
+        let h = thread::spawn(move || lm2.acquire(TxnId(1), gap(100), LockMode::InsertIntention));
         thread::sleep(Duration::from_millis(50));
         let r = lm.acquire(TxnId(2), gap(100), LockMode::InsertIntention);
         assert_eq!(r, Err(DbError::DeadlockVictim));
@@ -466,14 +477,18 @@ mod tests {
         assert_eq!(lm.held(TxnId(1)).len(), 2);
         lm.release_all(TxnId(1));
         assert!(lm.held(TxnId(1)).is_empty());
-        assert!(lm.try_acquire(TxnId(2), row(1), LockMode::Exclusive).unwrap());
+        assert!(lm
+            .try_acquire(TxnId(2), row(1), LockMode::Exclusive)
+            .unwrap());
     }
 
     #[test]
     fn different_targets_do_not_conflict() {
         let lm = LockManager::default();
         lm.acquire(TxnId(1), row(1), LockMode::Exclusive).unwrap();
-        assert!(lm.try_acquire(TxnId(2), row(2), LockMode::Exclusive).unwrap());
+        assert!(lm
+            .try_acquire(TxnId(2), row(2), LockMode::Exclusive)
+            .unwrap());
         let t = LockTarget::Table { table: "U".into() };
         assert!(lm.try_acquire(TxnId(2), t, LockMode::Exclusive).unwrap());
     }

@@ -47,7 +47,12 @@ impl TableStore {
             .iter()
             .map(|i| (i.name.clone(), BTreeMap::new()))
             .collect();
-        TableStore { def, heap: HashMap::new(), btrees, next_row: 0 }
+        TableStore {
+            def,
+            heap: HashMap::new(),
+            btrees,
+            next_row: 0,
+        }
     }
 
     /// Number of live rows.
@@ -95,7 +100,10 @@ impl TableStore {
         let row = self.heap.remove(&rid)?;
         for idx in &self.def.indexes {
             let key = index_key(&self.def, idx, &row);
-            self.btrees.get_mut(&idx.name).expect("index exists").remove(&key);
+            self.btrees
+                .get_mut(&idx.name)
+                .expect("index exists")
+                .remove(&key);
         }
         Some(row)
     }
@@ -175,7 +183,10 @@ impl Storage {
             .tables()
             .map(|t| (t.name.clone(), TableStore::new(t.clone())))
             .collect();
-        Storage { tables, undo: HashMap::new() }
+        Storage {
+            tables,
+            undo: HashMap::new(),
+        }
     }
 
     /// The table by name (panics on unknown: validated upstream).
@@ -262,7 +273,10 @@ mod tests {
         let rid = s.table_mut("Product").insert(row(1, "a", 5));
         s.table_mut("Product").update(rid, row(1, "a", 9));
         let t = s.table("Product");
-        assert_eq!(t.lookup("idx_qty", &vec![Value::Int(5), Value::Int(1)]), None);
+        assert_eq!(
+            t.lookup("idx_qty", &vec![Value::Int(5), Value::Int(1)]),
+            None
+        );
         assert_eq!(
             t.lookup("idx_qty", &vec![Value::Int(9), Value::Int(1)]),
             Some(rid)
@@ -276,7 +290,10 @@ mod tests {
         let old = s.table_mut("Product").delete(rid).unwrap();
         assert_eq!(old[0], Value::Int(1));
         assert!(s.table("Product").is_empty());
-        assert_eq!(s.table("Product").lookup("PRIMARY", &vec![Value::Int(1)]), None);
+        assert_eq!(
+            s.table("Product").lookup("PRIMARY", &vec![Value::Int(1)]),
+            None
+        );
     }
 
     #[test]
@@ -287,20 +304,43 @@ mod tests {
         let r0 = s.table_mut("Product").insert(row(1, "a", 5));
 
         let rid = s.table_mut("Product").insert(row(2, "b", 7));
-        s.log(txn, Undo::Insert { table: "Product".into(), rid });
+        s.log(
+            txn,
+            Undo::Insert {
+                table: "Product".into(),
+                rid,
+            },
+        );
 
         let old = s.table_mut("Product").update(r0, row(1, "a", 99)).unwrap();
-        s.log(txn, Undo::Update { table: "Product".into(), rid: r0, old });
+        s.log(
+            txn,
+            Undo::Update {
+                table: "Product".into(),
+                rid: r0,
+                old,
+            },
+        );
 
         let old = s.table_mut("Product").delete(r0).unwrap();
-        s.log(txn, Undo::Delete { table: "Product".into(), rid: r0, old });
+        s.log(
+            txn,
+            Undo::Delete {
+                table: "Product".into(),
+                rid: r0,
+                old,
+            },
+        );
 
         s.rollback(txn);
         let t = s.table("Product");
         assert_eq!(t.len(), 1);
         let surviving = t.heap.values().next().unwrap();
         assert_eq!(surviving, &row(1, "a", 5));
-        assert_eq!(t.lookup("uq_sku", &vec![Value::str("b"), Value::Int(2)]), None);
+        assert_eq!(
+            t.lookup("uq_sku", &vec![Value::str("b"), Value::Int(2)]),
+            None
+        );
     }
 
     #[test]
@@ -308,7 +348,13 @@ mod tests {
         let mut s = Storage::new(&catalog());
         let txn = TxnId(1);
         let rid = s.table_mut("Product").insert(row(1, "a", 5));
-        s.log(txn, Undo::Insert { table: "Product".into(), rid });
+        s.log(
+            txn,
+            Undo::Insert {
+                table: "Product".into(),
+                rid,
+            },
+        );
         s.commit(txn);
         s.rollback(txn); // no-op now
         assert_eq!(s.table("Product").len(), 1);

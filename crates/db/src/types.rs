@@ -75,7 +75,10 @@ impl fmt::Display for DbError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DbError::DeadlockVictim => {
-                write!(f, "deadlock found when trying to get lock; transaction rolled back")
+                write!(
+                    f,
+                    "deadlock found when trying to get lock; transaction rolled back"
+                )
             }
             DbError::LockWaitTimeout => write!(f, "lock wait timeout exceeded"),
             DbError::DuplicateKey { index } => {
@@ -116,7 +119,10 @@ mod tests {
     fn abort_classification() {
         assert!(DbError::DeadlockVictim.aborts_txn());
         assert!(DbError::LockWaitTimeout.aborts_txn());
-        assert!(!DbError::DuplicateKey { index: "PRIMARY".into() }.aborts_txn());
+        assert!(!DbError::DuplicateKey {
+            index: "PRIMARY".into()
+        }
+        .aborts_txn());
         assert!(!DbError::NoTransaction.aborts_txn());
     }
 }

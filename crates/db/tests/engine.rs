@@ -48,8 +48,18 @@ fn seeded() -> Database {
     db.seed(
         "OrderItem",
         vec![
-            vec![Value::Int(100), Value::Int(1), Value::Int(10), Value::Int(3)],
-            vec![Value::Int(101), Value::Int(2), Value::Int(11), Value::Int(5)],
+            vec![
+                Value::Int(100),
+                Value::Int(1),
+                Value::Int(10),
+                Value::Int(3),
+            ],
+            vec![
+                Value::Int(101),
+                Value::Int(2),
+                Value::Int(11),
+                Value::Int(5),
+            ],
         ],
     );
     db
@@ -157,10 +167,8 @@ fn upsert_updates_on_duplicate() {
     let db = seeded();
     let mut s = db.session();
     s.begin();
-    let up = parse(
-        "INSERT INTO Product (ID, QTY) VALUES (?, ?) ON DUPLICATE KEY UPDATE QTY = ?",
-    )
-    .unwrap();
+    let up = parse("INSERT INTO Product (ID, QTY) VALUES (?, ?) ON DUPLICATE KEY UPDATE QTY = ?")
+        .unwrap();
     let r = s
         .execute(&up, &[Value::Int(10), Value::Int(1), Value::Int(42)])
         .unwrap();
@@ -206,12 +214,16 @@ fn empty_select_blocks_insert_in_gap() {
     let h = thread::spawn(move || {
         let mut s2 = db2.session();
         s2.begin();
-        let ins =
-            parse("INSERT INTO OrderItem (ID, O_ID, P_ID, QTY) VALUES (?, ?, ?, ?)").unwrap();
+        let ins = parse("INSERT INTO OrderItem (ID, O_ID, P_ID, QTY) VALUES (?, ?, ?, ?)").unwrap();
         let started = std::time::Instant::now();
         let r = s2.execute(
             &ins,
-            &[Value::Int(300), Value::Int(77), Value::Int(10), Value::Int(1)],
+            &[
+                Value::Int(300),
+                Value::Int(77),
+                Value::Int(10),
+                Value::Int(1),
+            ],
         );
         let waited = started.elapsed();
         if r.is_ok() {
@@ -438,5 +450,8 @@ fn full_scan_without_index_takes_table_lock_path() {
     thread::sleep(Duration::from_millis(120));
     s1.commit().unwrap();
     let waited = h.join().unwrap();
-    assert!(waited >= Duration::from_millis(80), "writer should wait, got {waited:?}");
+    assert!(
+        waited >= Duration::from_millis(80),
+        "writer should wait, got {waited:?}"
+    );
 }

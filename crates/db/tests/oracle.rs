@@ -6,9 +6,7 @@ use proptest::prelude::*;
 use std::collections::BTreeMap;
 use weseer_db::Database;
 use weseer_sqlir::ast::{Assignment, Insert, Select, Statement, Update};
-use weseer_sqlir::{
-    Catalog, CmpOp, ColType, Cond, Delete, Operand, TableBuilder, TableRef, Value,
-};
+use weseer_sqlir::{Catalog, CmpOp, ColType, Cond, Delete, Operand, TableBuilder, TableRef, Value};
 
 fn catalog() -> Catalog {
     Catalog::new(vec![TableBuilder::new("T")
@@ -90,7 +88,10 @@ fn stmt_of(op: &Op) -> (Statement, Vec<Value>) {
         Op::UpdateByA { a, new_b } => (
             Statement::Update(Update {
                 table: "T".into(),
-                sets: vec![Assignment { column: "B".into(), value: Operand::Param(0) }],
+                sets: vec![Assignment {
+                    column: "B".into(),
+                    value: Operand::Param(0),
+                }],
                 where_clause: Some(Cond::eq(Operand::col("T", "A"), Operand::Param(1))),
             }),
             vec![Value::Int(*new_b), Value::Int(*a)],

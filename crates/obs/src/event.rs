@@ -1,0 +1,82 @@
+//! Structured events.
+//!
+//! A lightweight replacement for ad-hoc `eprintln!` debugging: events are
+//! recorded in the global registry's bounded ring (quiet by default) and
+//! only mirrored to stderr when the `WESEER_DEBUG` environment variable
+//! is set (or `WESEER_DEBUG_DEADLOCK` for backwards compatibility with
+//! the lock manager's original debug switch).
+
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Event severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Diagnostic detail (lock waits, SAT restarts, …).
+    Debug,
+    /// Notable pipeline milestones.
+    Info,
+    /// Recoverable anomalies (deadlock victim aborts, budget exhaustion).
+    Warn,
+}
+
+impl Level {
+    /// Lower-case name used in JSON output.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Monotonic sequence number within the registry.
+    pub seq: u64,
+    /// Severity.
+    pub level: Level,
+    /// Component that emitted the event (e.g. `db.lock`).
+    pub target: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// Whether events should also be mirrored to stderr (checked once).
+pub fn stderr_mirroring() -> bool {
+    static MIRROR: OnceLock<bool> = OnceLock::new();
+    *MIRROR.get_or_init(|| {
+        std::env::var_os("WESEER_DEBUG").is_some()
+            || std::env::var_os("WESEER_DEBUG_DEADLOCK").is_some()
+    })
+}
+
+/// Record an event in the global registry; mirrored to stderr only when
+/// [`stderr_mirroring`] is on. Quiet no-op when the registry is disabled
+/// and mirroring is off.
+pub fn emit(level: Level, target: &str, message: String) {
+    if stderr_mirroring() {
+        eprintln!("[weseer {level} {target}] {message}");
+    }
+    crate::registry::global().record_event(level, target, message);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_names() {
+        assert_eq!(Level::Debug.as_str(), "debug");
+        assert_eq!(Level::Warn.to_string(), "warn");
+        assert!(Level::Debug < Level::Warn);
+    }
+}

@@ -1,0 +1,308 @@
+//! Log-scale histograms.
+//!
+//! Values are bucketed by their binary magnitude: bucket `b` holds values
+//! in `[2^(b-1), 2^b)` (bucket 0 holds exactly 0). With 64 buckets this
+//! covers the full `u64` range at a fixed memory cost, and recording is a
+//! handful of relaxed atomic operations — no allocation, no locking.
+//! Percentiles are estimated from the bucket boundaries (geometric
+//! midpoint, clamped to the observed min/max), which keeps the relative
+//! error under ~41% per value — plenty for latency reporting.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Number of buckets: one for zero plus one per binary magnitude.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index for a value: 0 for 0, otherwise `64 - leading_zeros`.
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive lower bound of a bucket.
+fn bucket_lo(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        1u64 << (b - 1)
+    }
+}
+
+/// Inclusive upper bound of a bucket.
+fn bucket_hi(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+/// A concurrent log-scale histogram.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// New empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(value, Relaxed);
+        self.min.fetch_min(value, Relaxed);
+        self.max.fetch_max(value, Relaxed);
+    }
+
+    /// Copy the current contents into an immutable snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<(u8, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Relaxed);
+                (n > 0).then_some((i as u8, n))
+            })
+            .collect();
+        let count = self.count.load(Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Relaxed)
+            },
+            max: self.max.load(Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Immutable copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Sparse `(bucket index, occupancy)` pairs, ascending by index.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of recorded values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) from bucket boundaries.
+    ///
+    /// The estimate is the geometric midpoint of the bucket containing the
+    /// target rank, clamped to the observed `[min, max]`; an empty
+    /// histogram yields 0.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(b, n) in &self.buckets {
+            seen += n;
+            if seen >= target {
+                let lo = bucket_lo(b as usize);
+                let hi = bucket_hi(b as usize);
+                // Geometric midpoint of [lo, hi] — appropriate for a
+                // log-scale bucket — clamped to observed extremes.
+                let mid = ((lo as f64) * (hi as f64)).sqrt().round() as u64;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Bucket-wise difference `self - earlier` (for per-phase deltas).
+    ///
+    /// `min`/`max` cannot be recovered from a subtraction, so the result
+    /// carries the bucket-bound range of the surviving buckets.
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut old: std::collections::BTreeMap<u8, u64> = std::collections::BTreeMap::new();
+        for &(b, n) in &earlier.buckets {
+            old.insert(b, n);
+        }
+        let buckets: Vec<(u8, u64)> = self
+            .buckets
+            .iter()
+            .filter_map(|&(b, n)| {
+                let d = n.saturating_sub(old.get(&b).copied().unwrap_or(0));
+                (d > 0).then_some((b, d))
+            })
+            .collect();
+        let min = buckets
+            .first()
+            .map_or(0, |&(b, _)| bucket_lo(b as usize).max(self.min));
+        let max = buckets
+            .last()
+            .map_or(0, |&(b, _)| bucket_hi(b as usize).min(self.max));
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            min,
+            max,
+            buckets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for b in 1..64 {
+            assert_eq!(bucket_of(bucket_lo(b)), b);
+            assert_eq!(bucket_of(bucket_hi(b)), b);
+        }
+    }
+
+    #[test]
+    fn counts_sum_min_max() {
+        let h = Histogram::new();
+        for v in [5, 10, 100, 0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 115);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.mean(), 28);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.p50(), 0);
+    }
+
+    #[test]
+    fn quantiles_are_order_of_magnitude_right() {
+        let h = Histogram::new();
+        // 90 fast values (~100) and 10 slow ones (~10_000).
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(10_000);
+        }
+        let s = h.snapshot();
+        let p50 = s.p50();
+        let p99 = s.p99();
+        // p50 must land in the fast bucket's range, p99 in the slow one's.
+        assert!((64..=127).contains(&p50), "p50={p50}");
+        assert!((8192..=16383).contains(&p99), "p99={p99}");
+        // Clamping: quantiles never exceed observed extremes.
+        assert!(s.quantile(1.0) <= s.max);
+        assert!(s.quantile(0.0) >= s.min);
+    }
+
+    #[test]
+    fn identical_values_quantile_exact_via_clamp() {
+        let h = Histogram::new();
+        for _ in 0..32 {
+            h.record(1000);
+        }
+        let s = h.snapshot();
+        // min == max == 1000, so clamping makes every quantile exact.
+        assert_eq!(s.p50(), 1000);
+        assert_eq!(s.p99(), 1000);
+    }
+
+    #[test]
+    fn delta_subtracts_buckets() {
+        let h = Histogram::new();
+        h.record(10);
+        h.record(10);
+        let before = h.snapshot();
+        h.record(10);
+        h.record(5000);
+        let after = h.snapshot();
+        let d = after.delta_since(&before);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum, 5010);
+        assert_eq!(d.buckets.iter().map(|&(_, n)| n).sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn concurrent_records_are_not_lost() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 8000);
+        assert_eq!(s.buckets.iter().map(|&(_, n)| n).sum::<u64>(), 8000);
+    }
+}

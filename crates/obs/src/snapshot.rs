@@ -1,0 +1,240 @@
+//! Point-in-time metric snapshots and JSON-lines export.
+//!
+//! A [`MetricsSnapshot`] is a plain-data copy of a registry's state:
+//! cheap to clone, diffable with [`MetricsSnapshot::delta_since`]
+//! (per-app and per-phase reporting takes a snapshot before and after a
+//! stage and subtracts), and serializable to JSON lines without any
+//! external dependency via a small hand-rolled writer.
+
+use crate::event::Event;
+use crate::hist::HistogramSnapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Immutable copy of every metric in a registry. See the
+/// [module docs](self).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Events currently retained in the ring.
+    pub events: Vec<Event>,
+    /// Events dropped due to ring capacity.
+    pub events_dropped: u64,
+}
+
+impl MetricsSnapshot {
+    /// Value of the named counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named histogram, if it has been recorded to.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Metrics accumulated since `earlier`: counters and histograms are
+    /// subtracted, gauges keep their current value, and only events with
+    /// sequence numbers past `earlier`'s last are retained.
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| {
+                (
+                    k.clone(),
+                    v.saturating_sub(earlier.counters.get(k).copied().unwrap_or(0)),
+                )
+            })
+            .collect();
+        let empty = HistogramSnapshot::default();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, v)| {
+                (
+                    k.clone(),
+                    v.delta_since(earlier.histograms.get(k).unwrap_or(&empty)),
+                )
+            })
+            .collect();
+        let next_seq = earlier.events.last().map_or(0, |e| e.seq + 1);
+        MetricsSnapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+            events: self
+                .events
+                .iter()
+                .filter(|e| e.seq >= next_seq)
+                .cloned()
+                .collect(),
+            events_dropped: self.events_dropped.saturating_sub(earlier.events_dropped),
+        }
+    }
+
+    /// Serialize as JSON lines: one object per metric/event, each with a
+    /// `"type"` discriminant. Histogram lines include derived
+    /// p50/p90/p99/mean so downstream tooling needs no bucket math. An
+    /// optional `scope` (e.g. the app name) is attached to every line.
+    pub fn to_json_lines(&self, scope: Option<&str>) -> String {
+        let mut out = String::new();
+        let scope_field = |out: &mut String| {
+            if let Some(s) = scope {
+                out.push_str(",\"scope\":");
+                write_json_string(out, s);
+            }
+        };
+        for (name, value) in &self.counters {
+            out.push_str("{\"type\":\"counter\",\"name\":");
+            write_json_string(&mut out, name);
+            let _ = write!(out, ",\"value\":{value}");
+            scope_field(&mut out);
+            out.push_str("}\n");
+        }
+        for (name, value) in &self.gauges {
+            out.push_str("{\"type\":\"gauge\",\"name\":");
+            write_json_string(&mut out, name);
+            let _ = write!(out, ",\"value\":{value}");
+            scope_field(&mut out);
+            out.push_str("}\n");
+        }
+        for (name, h) in &self.histograms {
+            out.push_str("{\"type\":\"histogram\",\"name\":");
+            write_json_string(&mut out, name);
+            let _ = write!(
+                out,
+                ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.mean(),
+                h.p50(),
+                h.p90(),
+                h.p99()
+            );
+            for (i, (b, n)) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{b},{n}]");
+            }
+            out.push(']');
+            scope_field(&mut out);
+            out.push_str("}\n");
+        }
+        for e in &self.events {
+            let _ = write!(
+                out,
+                "{{\"type\":\"event\",\"seq\":{},\"level\":\"{}\",\"target\":",
+                e.seq,
+                e.level.as_str()
+            );
+            write_json_string(&mut out, &e.target);
+            out.push_str(",\"message\":");
+            write_json_string(&mut out, &e.message);
+            scope_field(&mut out);
+            out.push_str("}\n");
+        }
+        if self.events_dropped > 0 {
+            let _ = write!(
+                out,
+                "{{\"type\":\"events_dropped\",\"value\":{}",
+                self.events_dropped
+            );
+            scope_field(&mut out);
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+/// Append `s` as a JSON string literal (quotes and escapes included).
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Level;
+    use crate::registry::Registry;
+
+    fn sample() -> Registry {
+        let r = Registry::new();
+        r.set_enabled(true);
+        r.add("a.count", 3);
+        r.gauge_set("g", -2);
+        r.observe("lat", 100);
+        r.observe("lat", 200);
+        r.record_event(Level::Warn, "db.lock", "victim \"txn-1\"\naborted".into());
+        r
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_events() {
+        let r = sample();
+        let before = r.snapshot();
+        r.add("a.count", 4);
+        r.observe("lat", 400);
+        r.record_event(Level::Info, "t", "second".into());
+        let d = r.snapshot().delta_since(&before);
+        assert_eq!(d.counter("a.count"), 4);
+        assert_eq!(d.histogram("lat").unwrap().count, 1);
+        assert_eq!(d.events.len(), 1);
+        assert_eq!(d.events[0].message, "second");
+    }
+
+    #[test]
+    fn delta_with_empty_baseline_is_identity_for_counters() {
+        let r = sample();
+        let snap = r.snapshot();
+        let d = snap.delta_since(&MetricsSnapshot::default());
+        assert_eq!(d.counters, snap.counters);
+        assert_eq!(d.events.len(), snap.events.len());
+    }
+
+    #[test]
+    fn json_lines_are_parseable_shape() {
+        let snap = sample().snapshot();
+        let text = snap.to_json_lines(Some("broadleaf"));
+        let lines: Vec<&str> = text.lines().collect();
+        // counter + gauge + histogram + event.
+        assert_eq!(lines.len(), 4);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "line: {line}");
+            assert!(line.contains("\"scope\":\"broadleaf\""), "line: {line}");
+        }
+        assert!(text.contains("\"type\":\"counter\",\"name\":\"a.count\",\"value\":3"));
+        assert!(text.contains("\"p50\":"));
+        // Escaping: embedded quote and newline survive as escapes.
+        assert!(text.contains("victim \\\"txn-1\\\"\\naborted"));
+    }
+
+    #[test]
+    fn json_string_escaping() {
+        let mut s = String::new();
+        write_json_string(&mut s, "a\"b\\c\n\t\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+    }
+}

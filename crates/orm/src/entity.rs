@@ -168,7 +168,12 @@ mod tests {
         let eng = shared(ExecMode::Concolic);
         assert!(!e.is_dirty());
         assert_eq!(e.get("QTY").as_int(), Some(10));
-        e.set(&eng, "QTY", SymValue::concrete(7i64), loc!("updateQuantity"));
+        e.set(
+            &eng,
+            "QTY",
+            SymValue::concrete(7i64),
+            loc!("updateQuantity"),
+        );
         assert!(e.is_dirty());
         assert_eq!(e.dirty_columns(), vec!["QTY"]);
         assert_eq!(e.get("QTY").as_int(), Some(7));

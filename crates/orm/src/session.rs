@@ -165,7 +165,7 @@ impl<B: SqlBackend> OrmSession<B> {
             for_update: false,
         });
         let trigger = Some(self.engine.borrow().stack_at(loc));
-        let rs = self.run(&stmt, &[id.clone()], trigger)?;
+        let rs = self.run(&stmt, std::slice::from_ref(id), trigger)?;
         if rs.is_empty() {
             return Ok(None);
         }
@@ -297,7 +297,7 @@ impl<B: SqlBackend> OrmSession<B> {
             for_update: false,
         });
         let trigger = Some(self.engine.borrow().stack_at(loc));
-        let rs = self.run(&stmt, &[id.clone()], trigger)?;
+        let rs = self.run(&stmt, std::slice::from_ref(&id), trigger)?;
         if rs.is_empty() {
             // Missing: behave like persist (INSERT at flush) — but the gap
             // lock from the SELECT above is already held.
@@ -306,7 +306,7 @@ impl<B: SqlBackend> OrmSession<B> {
         let entity = self.hydrate(table, "e", &rs.rows[0]);
         for (c, v) in fields {
             if c != pk_col && entity.get(&c).concrete != v.concrete {
-                entity.set(&self.engine, &c, v, loc.clone());
+                entity.set(&self.engine, &c, v, loc);
             }
         }
         Ok(entity)
@@ -401,7 +401,10 @@ impl<B: SqlBackend> OrmSession<B> {
             let mut sets = Vec::new();
             let mut params = Vec::new();
             for c in &dirty_cols {
-                sets.push(Assignment { column: c.clone(), value: Operand::Param(params.len()) });
+                sets.push(Assignment {
+                    column: c.clone(),
+                    value: Operand::Param(params.len()),
+                });
                 params.push(e.get(c));
             }
             let where_clause = Some(Cond::eq(
@@ -409,7 +412,11 @@ impl<B: SqlBackend> OrmSession<B> {
                 Operand::Param(params.len()),
             ));
             params.push(e.get(&pk_col));
-            let stmt = Statement::Update(Update { table: table.clone(), sets, where_clause });
+            let stmt = Statement::Update(Update {
+                table: table.clone(),
+                sets,
+                where_clause,
+            });
             let trigger = e.last_modified().unwrap_or_else(|| flush_stack.clone());
             self.run(&stmt, &params, Some(trigger))?;
             e.mark_clean();
@@ -421,10 +428,7 @@ impl<B: SqlBackend> OrmSession<B> {
             let pk_col = self.pk_column(&table);
             let stmt = Statement::Delete(Delete {
                 table: table.clone(),
-                where_clause: Some(Cond::eq(
-                    Operand::col(&table, &pk_col),
-                    Operand::Param(0),
-                )),
+                where_clause: Some(Cond::eq(Operand::col(&table, &pk_col), Operand::Param(0))),
             });
             self.run(&stmt, &[e.get(&pk_col)], Some(trigger))?;
         }
@@ -443,7 +447,11 @@ pub struct LazyCollection {
 impl LazyCollection {
     /// Declare the collection; no SQL is issued.
     pub fn new(stmt: Statement, params: Vec<SymValue>) -> Self {
-        LazyCollection { stmt, params, loaded: None }
+        LazyCollection {
+            stmt,
+            params,
+            loaded: None,
+        }
     }
 
     /// Whether the backing SELECT already ran.

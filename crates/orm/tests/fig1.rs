@@ -43,7 +43,12 @@ fn setup() -> (Database, OrmSession<weseer_db::Session>) {
     db.seed("Product", vec![vec![Value::Int(10), Value::Int(100)]]);
     db.seed(
         "OrderItem",
-        vec![vec![Value::Int(100), Value::Int(1), Value::Int(10), Value::Int(3)]],
+        vec![vec![
+            Value::Int(100),
+            Value::Int(1),
+            Value::Int(10),
+            Value::Int(3),
+        ]],
     );
     let engine = shared(ExecMode::Concolic);
     engine.borrow_mut().start_concolic();
@@ -72,14 +77,23 @@ fn finish_order_trace_matches_fig3_shape() {
     session.begin();
 
     // Line 5: o is read from read cache after a first find warms it.
-    let o = session.find("Order", &order_id, loc!("finishOrder")).unwrap().unwrap();
-    let o2 = session.find("Order", &order_id, loc!("finishOrder")).unwrap().unwrap();
+    let o = session
+        .find("Order", &order_id, loc!("finishOrder"))
+        .unwrap()
+        .unwrap();
+    let o2 = session
+        .find("Order", &order_id, loc!("finishOrder"))
+        .unwrap()
+        .unwrap();
     assert_eq!(o.get("ID").concrete, o2.get("ID").concrete);
 
     // Line 7: order items load lazily → Q4 with two JOINs at first use.
     let mut items = LazyCollection::new(q4_stmt(), vec![order_id.clone()]);
     assert!(!items.is_loaded());
-    let rows = items.get_or_load(&mut session, loc!("finishOrder")).unwrap().to_vec();
+    let rows = items
+        .get_or_load(&mut session, loc!("finishOrder"))
+        .unwrap()
+        .to_vec();
     assert_eq!(rows.len(), 1);
 
     // updateQuantity: read cache supplies p (no SQL); the quantity check
@@ -89,7 +103,9 @@ fn finish_order_trace_matches_fig3_shape() {
         let p = &row["p"];
         let p_qty = p.get("QTY");
         let oi_qty = oi.get("QTY");
-        let cond = engine.borrow_mut().cmp(weseer_sqlir::CmpOp::Ge, &p_qty, &oi_qty);
+        let cond = engine
+            .borrow_mut()
+            .cmp(weseer_sqlir::CmpOp::Ge, &p_qty, &oi_qty);
         let enough = engine.borrow_mut().branch(&cond, loc!("updateQuantity"));
         assert!(enough);
         let new_qty = engine.borrow_mut().sub(&p_qty, &oi_qty);
@@ -125,9 +141,7 @@ fn finish_order_trace_matches_fig3_shape() {
     // Q6's parameter carries the symbolic expression res.QTY - res.QTY.
     assert!(q6.params[0].is_symbolic());
     // Path condition from the quantity check was recorded before Q6.
-    assert!(trace
-        .path_conds_before(q6.seq)
-        .any(|pc| !pc.in_library));
+    assert!(trace.path_conds_before(q6.seq).any(|pc| !pc.in_library));
     // Database state reflects the committed write.
     assert_eq!(db.dump("Product")[0], vec![Value::Int(10), Value::Int(97)]);
 }
@@ -219,7 +233,9 @@ fn explicit_flush_moves_statements_forward() {
     p.set(&engine, "QTY", SymValue::concrete(1i64), loc!("t"));
     session.flush(loc!("t")).unwrap(); // UPDATE goes out here …
     let q = parse("SELECT * FROM Order o WHERE o.ID = ?").unwrap();
-    session.query(&q, &[SymValue::concrete(1i64)], loc!("t")).unwrap();
+    session
+        .query(&q, &[SymValue::concrete(1i64)], loc!("t"))
+        .unwrap();
     session.commit(loc!("t")).unwrap();
     let trace = session.driver_mut().take_trace("t");
     let kinds: Vec<&str> = trace.statements.iter().map(|s| s.stmt.kind()).collect();
@@ -255,7 +271,11 @@ fn flush_orders_insert_update_delete() {
     // Program order: delete, update, insert — flush must reorder.
     session.remove(&oi, loc!("t"));
     p.set(&engine, "QTY", SymValue::concrete(1i64), loc!("t"));
-    session.persist("Order", vec![("ID".into(), SymValue::concrete(9i64))], loc!("t"));
+    session.persist(
+        "Order",
+        vec![("ID".into(), SymValue::concrete(9i64))],
+        loc!("t"),
+    );
     session.commit(loc!("t")).unwrap();
     let trace = session.driver_mut().take_trace("t");
     let kinds: Vec<&str> = trace
@@ -313,7 +333,11 @@ fn query_hydrates_identity_mapped_entities() {
 fn rollback_discards_pending_writes_and_cache() {
     let (db, mut session) = setup();
     session.begin();
-    session.persist("Order", vec![("ID".into(), SymValue::concrete(7i64))], loc!("t"));
+    session.persist(
+        "Order",
+        vec![("ID".into(), SymValue::concrete(7i64))],
+        loc!("t"),
+    );
     session.rollback();
     assert_eq!(db.count("Order"), 1);
     // A fresh transaction does not see the stale cache.

@@ -34,19 +34,28 @@ pub struct LinExpr {
 impl LinExpr {
     /// The zero expression.
     pub fn zero() -> LinExpr {
-        LinExpr { coeffs: BTreeMap::new(), constant: ZERO }
+        LinExpr {
+            coeffs: BTreeMap::new(),
+            constant: ZERO,
+        }
     }
 
     /// A single variable.
     pub fn var(i: usize) -> LinExpr {
         let mut coeffs = BTreeMap::new();
         coeffs.insert(i, Rat::int(1));
-        LinExpr { coeffs, constant: ZERO }
+        LinExpr {
+            coeffs,
+            constant: ZERO,
+        }
     }
 
     /// A constant.
     pub fn constant(c: Rat) -> LinExpr {
-        LinExpr { coeffs: BTreeMap::new(), constant: c }
+        LinExpr {
+            coeffs: BTreeMap::new(),
+            constant: c,
+        }
     }
 
     /// `self + other`.
@@ -109,7 +118,10 @@ pub struct Constraint {
 impl Constraint {
     /// `expr ≤ 0`.
     pub fn le0(expr: LinExpr) -> Constraint {
-        Constraint { expr, strict: false }
+        Constraint {
+            expr,
+            strict: false,
+        }
     }
 
     /// `expr < 0`.
@@ -151,7 +163,10 @@ pub struct Limits {
 
 impl Default for Limits {
     fn default() -> Self {
-        Limits { max_constraints: 50_000, max_branches: 64 }
+        Limits {
+            max_constraints: 50_000,
+            max_branches: 64,
+        }
     }
 }
 
@@ -183,12 +198,7 @@ pub fn solve(vars: &[VarInfo], cons: &[Constraint], limits: Limits) -> ArithResu
     solve_rec(vars, tightened, limits, 0)
 }
 
-fn solve_rec(
-    vars: &[VarInfo],
-    cons: Vec<Constraint>,
-    limits: Limits,
-    depth: usize,
-) -> ArithResult {
+fn solve_rec(vars: &[VarInfo], cons: Vec<Constraint>, limits: Limits, depth: usize) -> ArithResult {
     let model = match fm_solve(vars.len(), cons.clone(), limits) {
         FmResult::Unsat => return ArithResult::Unsat,
         FmResult::Unknown => return ArithResult::Unknown,
@@ -264,8 +274,12 @@ fn compact(cons: Vec<Constraint>) -> Result<Vec<Constraint>, ()> {
         // Positive scale only (preserves the inequality direction).
         let scale = lead.recip();
         let scale = if scale.signum() < 0 { -scale } else { scale };
-        let key: Vec<(usize, Rat)> =
-            c.expr.coeffs.iter().map(|(&v, &k)| (v, k * scale)).collect();
+        let key: Vec<(usize, Rat)> = c
+            .expr
+            .coeffs
+            .iter()
+            .map(|(&v, &k)| (v, k * scale))
+            .collect();
         let constant = c.expr.constant * scale;
         match best.entry(key) {
             std::collections::hash_map::Entry::Vacant(e) => {
@@ -290,7 +304,10 @@ fn compact(cons: Vec<Constraint>) -> Result<Vec<Constraint>, ()> {
             for (v, k) in key {
                 coeffs.insert(v, k);
             }
-            Constraint { expr: LinExpr { coeffs, constant }, strict }
+            Constraint {
+                expr: LinExpr { coeffs, constant },
+                strict,
+            }
         })
         .collect())
 }
@@ -356,13 +373,20 @@ fn fm_solve(n_vars: usize, mut cons: Vec<Constraint>, limits: Limits) -> FmResul
         // Pairwise combinations: lower ≤ x ≤ upper ⇒ lower - upper ≤ 0.
         for (lo, s_lo) in &lowers {
             for (hi, s_hi) in &uppers {
-                rest.push(Constraint { expr: lo.sub(hi), strict: *s_lo || *s_hi });
+                rest.push(Constraint {
+                    expr: lo.sub(hi),
+                    strict: *s_lo || *s_hi,
+                });
                 if rest.len() > limits.max_constraints {
                     return FmResult::Unknown;
                 }
             }
         }
-        eliminated.push(Eliminated { var, lowers, uppers });
+        eliminated.push(Eliminated {
+            var,
+            lowers,
+            uppers,
+        });
         cons = rest;
     }
 
@@ -441,13 +465,19 @@ mod tests {
 
     fn int_vars(n: usize) -> Vec<VarInfo> {
         (0..n)
-            .map(|i| VarInfo { name: format!("x{i}"), is_int: true })
+            .map(|i| VarInfo {
+                name: format!("x{i}"),
+                is_int: true,
+            })
             .collect()
     }
 
     fn real_vars(n: usize) -> Vec<VarInfo> {
         (0..n)
-            .map(|i| VarInfo { name: format!("r{i}"), is_int: false })
+            .map(|i| VarInfo {
+                name: format!("r{i}"),
+                is_int: false,
+            })
             .collect()
     }
 
@@ -477,7 +507,10 @@ mod tests {
     fn simple_infeasible() {
         // x < 3 ∧ x > 5
         let cons = vec![con(&[(0, 1)], -3, true), con(&[(0, -1)], 5, true)];
-        assert_eq!(solve(&int_vars(1), &cons, Limits::default()), ArithResult::Unsat);
+        assert_eq!(
+            solve(&int_vars(1), &cons, Limits::default()),
+            ArithResult::Unsat
+        );
     }
 
     #[test]
@@ -488,14 +521,20 @@ mod tests {
             solve(&real_vars(1), &cons, Limits::default()),
             ArithResult::Sat(_)
         ));
-        assert_eq!(solve(&int_vars(1), &cons, Limits::default()), ArithResult::Unsat);
+        assert_eq!(
+            solve(&int_vars(1), &cons, Limits::default()),
+            ArithResult::Unsat
+        );
     }
 
     #[test]
     fn equality_via_two_bounds() {
         // 2x = 1 over ints: 2x - 1 ≤ 0 ∧ 1 - 2x ≤ 0
         let cons = vec![con(&[(0, 2)], -1, false), con(&[(0, -2)], 1, false)];
-        assert_eq!(solve(&int_vars(1), &cons, Limits::default()), ArithResult::Unsat);
+        assert_eq!(
+            solve(&int_vars(1), &cons, Limits::default()),
+            ArithResult::Unsat
+        );
         match solve(&real_vars(1), &cons, Limits::default()) {
             ArithResult::Sat(m) => assert_eq!(m[0], Rat::new(1, 2)),
             other => panic!("{other:?}"),
@@ -529,7 +568,10 @@ mod tests {
             con(&[(0, 1), (1, -1)], 0, true),
             con(&[(1, 1), (0, -1)], 0, true),
         ];
-        assert_eq!(solve(&real_vars(2), &cons, Limits::default()), ArithResult::Unsat);
+        assert_eq!(
+            solve(&real_vars(2), &cons, Limits::default()),
+            ArithResult::Unsat
+        );
     }
 
     #[test]
@@ -546,11 +588,11 @@ mod tests {
         //   qty ≥ oi_qty  ∧  oi_qty ≥ 1  ∧  qty' = qty - oi_qty  ∧  qty' ≥ 0
         // vars: 0=qty, 1=oi_qty, 2=qty'
         let cons = vec![
-            con(&[(0, -1), (1, 1)], 0, false),       // oi_qty - qty ≤ 0
-            con(&[(1, -1)], 1, false),               // 1 - oi_qty ≤ 0
-            con(&[(2, 1), (0, -1), (1, 1)], 0, false), // qty' - qty + oi_qty ≤ 0
+            con(&[(0, -1), (1, 1)], 0, false),          // oi_qty - qty ≤ 0
+            con(&[(1, -1)], 1, false),                  // 1 - oi_qty ≤ 0
+            con(&[(2, 1), (0, -1), (1, 1)], 0, false),  // qty' - qty + oi_qty ≤ 0
             con(&[(2, -1), (0, 1), (1, -1)], 0, false), // and ≥ → equality
-            con(&[(2, -1)], 0, false),               // -qty' ≤ 0
+            con(&[(2, -1)], 0, false),                  // -qty' ≤ 0
         ];
         match solve(&int_vars(3), &cons, Limits::default()) {
             ArithResult::Sat(m) => {

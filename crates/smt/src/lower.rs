@@ -85,7 +85,10 @@ impl Lowering {
             return i;
         }
         let i = self.num_vars.len();
-        self.num_vars.push(VarInfo { name: name.to_string(), is_int });
+        self.num_vars.push(VarInfo {
+            name: name.to_string(),
+            is_int,
+        });
         self.num_var_ids.insert(name.to_string(), i);
         i
     }
@@ -162,7 +165,10 @@ impl Lowering {
             TermKind::Cmp(kind, a, b) => {
                 let (ea, eb) = (self.linearize(ctx, a), self.linearize(ctx, b));
                 let expr = ea.sub(&eb);
-                self.atom_lit(Atom::Lin(Constraint { expr, strict: kind == CmpKind::Lt }))
+                self.atom_lit(Atom::Lin(Constraint {
+                    expr,
+                    strict: kind == CmpKind::Lt,
+                }))
             }
             TermKind::Eq(a, b) => match ctx.sort(a) {
                 Sort::Int | Sort::Real => {
@@ -172,7 +178,8 @@ impl Lowering {
                     let v = self.cnf.new_var();
                     self.cnf.add_clause(vec![Lit::neg(v), le1]);
                     self.cnf.add_clause(vec![Lit::neg(v), le2]);
-                    self.cnf.add_clause(vec![Lit::pos(v), le1.negated(), le2.negated()]);
+                    self.cnf
+                        .add_clause(vec![Lit::pos(v), le1.negated(), le2.negated()]);
                     Lit::pos(v)
                 }
                 Sort::Str => {
@@ -186,7 +193,8 @@ impl Lowering {
                     self.cnf.add_clause(vec![Lit::neg(v), la.negated(), lb]);
                     self.cnf.add_clause(vec![Lit::neg(v), la, lb.negated()]);
                     self.cnf.add_clause(vec![Lit::pos(v), la, lb]);
-                    self.cnf.add_clause(vec![Lit::pos(v), la.negated(), lb.negated()]);
+                    self.cnf
+                        .add_clause(vec![Lit::pos(v), la.negated(), lb.negated()]);
                     Lit::pos(v)
                 }
                 s => panic!("equality unsupported at sort {s}"),
@@ -196,7 +204,10 @@ impl Lowering {
                     matches!(ctx.kind(arr), TermKind::Var(_)),
                     "selects are expanded to array variables at build time"
                 );
-                self.atom_lit(Atom::Select { array: arr, index: idx })
+                self.atom_lit(Atom::Select {
+                    array: arr,
+                    index: idx,
+                })
             }
             k => panic!("term not lowerable at Bool position: {k:?}"),
         };

@@ -125,9 +125,7 @@ impl Model {
                     Some(ModelValue::Int(i)) => ModelValue::Real(*i as f64),
                     _ => ModelValue::Real(0.0),
                 },
-                Sort::Str => {
-                    ModelValue::Str(self.get_str(&name).unwrap_or_default().to_string())
-                }
+                Sort::Str => ModelValue::Str(self.get_str(&name).unwrap_or_default().to_string()),
                 Sort::Bool => match self.values.get(&name) {
                     Some(ModelValue::Bool(b)) => ModelValue::Bool(*b),
                     _ => ModelValue::Bool(false),
@@ -227,13 +225,7 @@ impl Model {
         }
     }
 
-    fn num_op(
-        &self,
-        ctx: &Ctx,
-        a: TermId,
-        b: TermId,
-        f: impl Fn(f64, f64) -> f64,
-    ) -> ModelValue {
+    fn num_op(&self, ctx: &Ctx, a: TermId, b: TermId, f: impl Fn(f64, f64) -> f64) -> ModelValue {
         match (self.eval(ctx, a), self.eval(ctx, b)) {
             (ModelValue::Int(x), ModelValue::Int(y)) => {
                 ModelValue::Int(f(x as f64, y as f64) as i64)

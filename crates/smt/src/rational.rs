@@ -36,12 +36,18 @@ impl Rat {
         assert!(den != 0, "rational with zero denominator");
         let sign = if den < 0 { -1 } else { 1 };
         let g = gcd(num, den).max(1);
-        Rat { num: sign * num / g, den: sign * den / g }
+        Rat {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
     }
 
     /// The integer `n` as a rational.
     pub fn int(n: i64) -> Rat {
-        Rat { num: n as i128, den: 1 }
+        Rat {
+            num: n as i128,
+            den: 1,
+        }
     }
 
     /// Approximate a finite `f64` (used only to import float constants
@@ -140,7 +146,10 @@ impl Div for Rat {
 impl Neg for Rat {
     type Output = Rat;
     fn neg(self) -> Rat {
-        Rat { num: -self.num, den: self.den }
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 

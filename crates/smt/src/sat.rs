@@ -18,17 +18,26 @@ pub struct Lit {
 impl Lit {
     /// Positive literal of `var`.
     pub fn pos(var: usize) -> Lit {
-        Lit { var, positive: true }
+        Lit {
+            var,
+            positive: true,
+        }
     }
 
     /// Negative literal of `var`.
     pub fn neg(var: usize) -> Lit {
-        Lit { var, positive: false }
+        Lit {
+            var,
+            positive: false,
+        }
     }
 
     /// The opposite literal.
     pub fn negated(self) -> Lit {
-        Lit { var: self.var, positive: !self.positive }
+        Lit {
+            var: self.var,
+            positive: !self.positive,
+        }
     }
 }
 
@@ -69,6 +78,23 @@ pub enum SatResult {
     Unsat,
 }
 
+/// Search-effort counters for one SAT call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SatStats {
+    /// Branching decisions made (flips after conflicts included).
+    pub decisions: u64,
+    /// Assignments implied by unit propagation.
+    pub propagations: u64,
+}
+
+impl SatStats {
+    /// Accumulate another call's counters into this one.
+    pub fn absorb(&mut self, other: SatStats) {
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+    }
+}
+
 /// Solve a CNF formula with DPLL: two-watched-literal unit propagation and
 /// chronological backtracking (flip the last untried decision). No clause
 /// learning — the lazy-SMT loop's blocking clauses arrive from outside.
@@ -80,6 +106,14 @@ pub fn solve(cnf: &Cnf) -> SatResult {
 /// decisions — the lazy-SMT loop maps exhaustion to a solver timeout
 /// (the paper reports no deadlock on timeout).
 pub fn solve_budgeted(cnf: &Cnf, max_decisions: u64) -> Option<SatResult> {
+    solve_instrumented(cnf, max_decisions).0
+}
+
+/// Like [`solve_budgeted`] but also reporting how much search the call
+/// performed, budget-exhausted or not. The lazy-SMT loop aggregates these
+/// per [`crate::solver::check_with_stats`] call.
+pub fn solve_instrumented(cnf: &Cnf, max_decisions: u64) -> (Option<SatResult>, SatStats) {
+    let mut stats = SatStats::default();
     let n = cnf.num_vars;
     let code = |l: Lit| -> usize { l.var * 2 + usize::from(l.positive) };
 
@@ -99,7 +133,7 @@ pub fn solve_budgeted(cnf: &Cnf, max_decisions: u64) -> Option<SatResult> {
     let mut initial_units: Vec<Lit> = Vec::new();
     for c in &cnf.clauses {
         match c.len() {
-            0 => return Some(SatResult::Unsat),
+            0 => return (Some(SatResult::Unsat), stats),
             1 => initial_units.push(c[0]),
             _ => {
                 let idx = clauses.len();
@@ -120,7 +154,11 @@ pub fn solve_budgeted(cnf: &Cnf, max_decisions: u64) -> Option<SatResult> {
             Some(v) => v == lit.positive,
             None => {
                 assign[lit.var] = Some(lit.positive);
-                trail.push(TrailEntry { var: lit.var, decision, flipped: false });
+                trail.push(TrailEntry {
+                    var: lit.var,
+                    decision,
+                    flipped: false,
+                });
                 true
             }
         }
@@ -128,8 +166,9 @@ pub fn solve_budgeted(cnf: &Cnf, max_decisions: u64) -> Option<SatResult> {
 
     for lit in initial_units {
         if !enqueue(lit, false, &mut assign, &mut trail) {
-            return Some(SatResult::Unsat);
+            return (Some(SatResult::Unsat), stats);
         }
+        stats.propagations += 1;
     }
 
     // Watched-literal propagation from trail[prop_head..]; false on
@@ -138,14 +177,18 @@ pub fn solve_budgeted(cnf: &Cnf, max_decisions: u64) -> Option<SatResult> {
                      assign: &mut Vec<Option<bool>>,
                      trail: &mut Vec<TrailEntry>,
                      clauses: &mut [Vec<Lit>],
-                     watches: &mut [Vec<usize>]|
+                     watches: &mut [Vec<usize>],
+                     propagations: &mut u64|
      -> bool {
         while *prop_head < trail.len() {
             let var = trail[*prop_head].var;
             *prop_head += 1;
             let value = assign[var].expect("trail var assigned");
             // The literal that became FALSE.
-            let false_lit = Lit { var, positive: !value };
+            let false_lit = Lit {
+                var,
+                positive: !value,
+            };
             let fcode = false_lit.var * 2 + usize::from(false_lit.positive);
             let mut i = 0;
             while i < watches[fcode].len() {
@@ -182,7 +225,12 @@ pub fn solve_budgeted(cnf: &Cnf, max_decisions: u64) -> Option<SatResult> {
                 match assign[w0.var] {
                     None => {
                         assign[w0.var] = Some(w0.positive);
-                        trail.push(TrailEntry { var: w0.var, decision: false, flipped: false });
+                        trail.push(TrailEntry {
+                            var: w0.var,
+                            decision: false,
+                            flipped: false,
+                        });
+                        *propagations += 1;
                         i += 1;
                     }
                     Some(v) if v == w0.positive => {
@@ -205,7 +253,11 @@ pub fn solve_budgeted(cnf: &Cnf, max_decisions: u64) -> Option<SatResult> {
             assign[entry.var] = None;
             if entry.decision && !entry.flipped {
                 assign[entry.var] = Some(!val);
-                trail.push(TrailEntry { var: entry.var, decision: true, flipped: true });
+                trail.push(TrailEntry {
+                    var: entry.var,
+                    decision: true,
+                    flipped: true,
+                });
                 *prop_head = trail.len() - 1;
                 return true;
             }
@@ -214,15 +266,21 @@ pub fn solve_budgeted(cnf: &Cnf, max_decisions: u64) -> Option<SatResult> {
     };
 
     let mut next_search = 0usize; // decision variable cursor
-    let mut decisions = 0u64;
     loop {
-        if !propagate(&mut prop_head, &mut assign, &mut trail, &mut clauses, &mut watches) {
+        if !propagate(
+            &mut prop_head,
+            &mut assign,
+            &mut trail,
+            &mut clauses,
+            &mut watches,
+            &mut stats.propagations,
+        ) {
             if !backtrack(&mut prop_head, &mut assign, &mut trail) {
-                return Some(SatResult::Unsat);
+                return (Some(SatResult::Unsat), stats);
             }
-            decisions += 1; // a flip is a decision too
-            if decisions > max_decisions {
-                return None;
+            stats.decisions += 1; // a flip is a decision too
+            if stats.decisions > max_decisions {
+                return (None, stats);
             }
             next_search = 0;
             continue;
@@ -233,11 +291,15 @@ pub fn solve_budgeted(cnf: &Cnf, max_decisions: u64) -> Option<SatResult> {
         while next_search < n {
             if assign[next_search].is_none() {
                 assign[next_search] = Some(true);
-                trail.push(TrailEntry { var: next_search, decision: true, flipped: false });
+                trail.push(TrailEntry {
+                    var: next_search,
+                    decision: true,
+                    flipped: false,
+                });
                 decided = true;
-                decisions += 1;
-                if decisions > max_decisions {
-                    return None;
+                stats.decisions += 1;
+                if stats.decisions > max_decisions {
+                    return (None, stats);
                 }
                 break;
             }
@@ -251,7 +313,7 @@ pub fn solve_budgeted(cnf: &Cnf, max_decisions: u64) -> Option<SatResult> {
                 continue;
             }
             let model = assign.iter().map(|a| a.expect("complete")).collect();
-            return Some(SatResult::Sat(model));
+            return (Some(SatResult::Sat(model)), stats);
         }
     }
 }
@@ -318,23 +380,59 @@ mod tests {
         // p[i][j]: pigeon i in hole j; 3 pigeons, 2 holes.
         let mut cnf = Cnf::default();
         let mut p = [[0usize; 2]; 3];
-        for (i, row) in p.iter_mut().enumerate() {
-            for (j, cell) in row.iter_mut().enumerate() {
+        for row in p.iter_mut() {
+            for cell in row.iter_mut() {
                 *cell = cnf.new_var();
-                let _ = (i, j);
             }
         }
         for row in &p {
             cnf.add_clause(vec![Lit::pos(row[0]), Lit::pos(row[1])]);
         }
-        for j in 0..2 {
-            for i1 in 0..3 {
-                for i2 in (i1 + 1)..3 {
-                    cnf.add_clause(vec![Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+        for (i1, r1) in p.iter().enumerate() {
+            for r2 in p.iter().skip(i1 + 1) {
+                for (c1, c2) in r1.iter().zip(r2) {
+                    cnf.add_clause(vec![Lit::neg(*c1), Lit::neg(*c2)]);
                 }
             }
         }
         assert_eq!(solve(&cnf), SatResult::Unsat);
+    }
+
+    #[test]
+    fn instrumented_counts_search_effort() {
+        // The pigeonhole instance forces both decisions and propagations.
+        let mut cnf = Cnf::default();
+        let mut p = [[0usize; 2]; 3];
+        for row in p.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = cnf.new_var();
+            }
+        }
+        for row in &p {
+            cnf.add_clause(vec![Lit::pos(row[0]), Lit::pos(row[1])]);
+        }
+        for (i1, r1) in p.iter().enumerate() {
+            for r2 in p.iter().skip(i1 + 1) {
+                for (c1, c2) in r1.iter().zip(r2) {
+                    cnf.add_clause(vec![Lit::neg(*c1), Lit::neg(*c2)]);
+                }
+            }
+        }
+        let (res, stats) = solve_instrumented(&cnf, u64::MAX);
+        assert_eq!(res, Some(SatResult::Unsat));
+        assert!(stats.decisions > 0);
+        assert!(stats.propagations > 0);
+
+        // A budget of 1 decision must exhaust, and the counters must
+        // respect the budget.
+        let (res, stats) = solve_instrumented(&cnf, 1);
+        assert_eq!(res, None);
+        assert!(stats.decisions >= 1);
+
+        let mut total = SatStats::default();
+        total.absorb(stats);
+        total.absorb(stats);
+        assert_eq!(total.decisions, 2 * stats.decisions);
     }
 
     proptest! {

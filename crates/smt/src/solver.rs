@@ -9,7 +9,7 @@ use crate::arith::{self, ArithResult, Constraint, Limits};
 use crate::lower::{Atom, Lowering};
 use crate::model::{Model, ModelKey, ModelValue};
 use crate::rational::Rat;
-use crate::sat::{self, Cnf, Lit, SatResult};
+use crate::sat::{self, Cnf, Lit, SatResult, SatStats};
 use crate::strings::{self, StrResult, StrTerm};
 use crate::term::{Ctx, TermId, TermKind};
 use std::collections::{BTreeMap, HashMap};
@@ -61,8 +61,80 @@ impl SolveResult {
     }
 }
 
+/// Search-effort statistics for one [`check_with_stats`] call, summed
+/// over every SAT call and theory iteration of the lazy loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// SAT core invocations (one per theory iteration).
+    pub sat_calls: u64,
+    /// Aggregated DPLL decision/propagation counts.
+    pub sat: SatStats,
+    /// Theory iterations executed (= blocking clauses added + 1, unless
+    /// the loop exited early).
+    pub theory_iters: u64,
+    /// Arithmetic-theory conflicts (each adds one blocking clause).
+    pub arith_conflicts: u64,
+    /// String-theory conflicts (each adds one blocking clause).
+    pub str_conflicts: u64,
+    /// Total literals across all minimized unsat cores.
+    pub core_lits: u64,
+    /// Largest single minimized unsat core.
+    pub max_core_lits: u64,
+}
+
+impl SolverStats {
+    /// Accumulate another call's statistics into this one.
+    pub fn absorb(&mut self, other: SolverStats) {
+        self.sat_calls += other.sat_calls;
+        self.sat.absorb(other.sat);
+        self.theory_iters += other.theory_iters;
+        self.arith_conflicts += other.arith_conflicts;
+        self.str_conflicts += other.str_conflicts;
+        self.core_lits += other.core_lits;
+        self.max_core_lits = self.max_core_lits.max(other.max_core_lits);
+    }
+
+    fn record_core(&mut self, core: &[Lit]) {
+        self.core_lits += core.len() as u64;
+        self.max_core_lits = self.max_core_lits.max(core.len() as u64);
+        weseer_obs::observe("smt.unsat_core_size", core.len() as u64);
+    }
+}
+
 /// Decide the satisfiability of `assertion` (Bool-sorted).
 pub fn check(ctx: &mut Ctx, assertion: TermId, config: &SolverConfig) -> SolveResult {
+    check_with_stats(ctx, assertion, config).0
+}
+
+/// Like [`check`] but also reporting search-effort statistics. Per-call
+/// latency and the aggregated counters are additionally recorded in the
+/// global [`weseer_obs`] registry (histogram `smt.solve_us`, counters
+/// `smt.*`) when observability is enabled.
+pub fn check_with_stats(
+    ctx: &mut Ctx,
+    assertion: TermId,
+    config: &SolverConfig,
+) -> (SolveResult, SolverStats) {
+    let start = std::time::Instant::now();
+    let mut stats = SolverStats::default();
+    let result = check_inner(ctx, assertion, config, &mut stats);
+    weseer_obs::observe_duration("smt.solve_us", start.elapsed());
+    weseer_obs::add("smt.solve_calls", 1);
+    weseer_obs::add("smt.sat_calls", stats.sat_calls);
+    weseer_obs::add("smt.sat_decisions", stats.sat.decisions);
+    weseer_obs::add("smt.sat_propagations", stats.sat.propagations);
+    weseer_obs::add("smt.theory_iters", stats.theory_iters);
+    weseer_obs::add("smt.arith_conflicts", stats.arith_conflicts);
+    weseer_obs::add("smt.str_conflicts", stats.str_conflicts);
+    (result, stats)
+}
+
+fn check_inner(
+    ctx: &mut Ctx,
+    assertion: TermId,
+    config: &SolverConfig,
+    stats: &mut SolverStats,
+) -> SolveResult {
     // 1. Instantiate read-congruence axioms: for any two reads on the same
     //    array variable, equal indices force equal read values.
     let with_axioms = add_select_congruence(ctx, assertion);
@@ -73,7 +145,11 @@ pub fn check(ctx: &mut Ctx, assertion: TermId, config: &SolverConfig) -> SolveRe
 
     // 3. Lazy theory loop.
     for _ in 0..config.max_theory_iters {
-        let bool_model = match sat::solve_budgeted(&low.cnf, config.sat_decision_budget) {
+        stats.theory_iters += 1;
+        stats.sat_calls += 1;
+        let (sat_result, sat_stats) = sat::solve_instrumented(&low.cnf, config.sat_decision_budget);
+        stats.sat.absorb(sat_stats);
+        let bool_model = match sat_result {
             None => return SolveResult::Unknown,
             Some(SatResult::Unsat) => return SolveResult::Unsat,
             Some(SatResult::Sat(m)) => m,
@@ -132,12 +208,10 @@ pub fn check(ctx: &mut Ctx, assertion: TermId, config: &SolverConfig) -> SolveRe
         // Arithmetic theory.
         let arith_model = match arith::solve(&low.num_vars, &lin_cons, config.arith_limits) {
             ArithResult::Unsat => {
-                let core = minimize_arith_core(
-                    &low.num_vars,
-                    &lin_cons,
-                    &lin_lits,
-                    config.arith_limits,
-                );
+                let core =
+                    minimize_arith_core(&low.num_vars, &lin_cons, &lin_lits, config.arith_limits);
+                stats.arith_conflicts += 1;
+                stats.record_core(&core);
                 block(&mut low, &core);
                 continue;
             }
@@ -149,6 +223,8 @@ pub fn check(ctx: &mut Ctx, assertion: TermId, config: &SolverConfig) -> SolveRe
         let str_model = match strings::solve(&str_eqs, &str_neqs) {
             StrResult::Unsat => {
                 let core = minimize_str_core(&str_items);
+                stats.str_conflicts += 1;
+                stats.record_core(&core);
                 block(&mut low, &core);
                 continue;
             }
@@ -168,11 +244,7 @@ pub fn check(ctx: &mut Ctx, assertion: TermId, config: &SolverConfig) -> SolveRe
 }
 
 /// Convenience: check a conjunction of assertions.
-pub fn check_all(
-    ctx: &mut Ctx,
-    assertions: &[TermId],
-    config: &SolverConfig,
-) -> SolveResult {
+pub fn check_all(ctx: &mut Ctx, assertions: &[TermId], config: &SolverConfig) -> SolveResult {
     let conj = ctx.and(assertions.iter().copied());
     check(ctx, conj, config)
 }
@@ -214,8 +286,7 @@ fn minimize_arith_core(
     lits: &[Lit],
     limits: Limits,
 ) -> Vec<Lit> {
-    let mut keep: Vec<(Constraint, Lit)> =
-        cons.iter().cloned().zip(lits.iter().copied()).collect();
+    let mut keep: Vec<(Constraint, Lit)> = cons.iter().cloned().zip(lits.iter().copied()).collect();
     let mut i = 0;
     while i < keep.len() {
         let trial: Vec<Constraint> = keep
@@ -421,7 +492,7 @@ mod tests {
         match check(&mut ctx, f, &cfg()) {
             SolveResult::Sat(m) => {
                 let v = m.get_int("x").unwrap();
-                assert!(v < 0 || v > 10);
+                assert!(!(0..=10).contains(&v));
                 assert!(m.satisfies(&ctx, f));
             }
             other => panic!("{other:?}"),
@@ -560,7 +631,9 @@ mod tests {
     fn deep_nesting() {
         // ⋀_{i<6} (xᵢ < xᵢ₊₁) ∧ x₀ = 0 ∧ x₆ ≤ 6 → forces xᵢ = i.
         let mut ctx = Ctx::new();
-        let xs: Vec<_> = (0..7).map(|i| ctx.var(format!("x{i}"), Sort::Int)).collect();
+        let xs: Vec<_> = (0..7)
+            .map(|i| ctx.var(format!("x{i}"), Sort::Int))
+            .collect();
         let mut parts = Vec::new();
         for w in xs.windows(2) {
             parts.push(ctx.lt(w[0], w[1]));
@@ -579,6 +652,35 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn stats_reflect_search_effort() {
+        // UNSAT via an arithmetic conflict: the stats must show at least
+        // one SAT call, one theory iteration, one arithmetic conflict,
+        // and a non-empty minimized core.
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Int);
+        let zero = ctx.int(0);
+        let one = ctx.int(1);
+        let c1 = ctx.lt(zero, x);
+        let c2 = ctx.lt(x, one);
+        let f = ctx.and([c1, c2]);
+        let (res, stats) = check_with_stats(&mut ctx, f, &cfg());
+        assert!(matches!(res, SolveResult::Unsat));
+        assert!(stats.sat_calls >= 1);
+        assert!(stats.theory_iters >= 1);
+        assert!(stats.arith_conflicts >= 1);
+        assert!(stats.core_lits >= 1);
+        assert!(stats.max_core_lits >= 1);
+        assert!(stats.max_core_lits <= stats.core_lits);
+
+        // absorb() sums counters and maxes the core size.
+        let mut total = SolverStats::default();
+        total.absorb(stats);
+        total.absorb(stats);
+        assert_eq!(total.arith_conflicts, 2 * stats.arith_conflicts);
+        assert_eq!(total.max_core_lits, stats.max_core_lits);
     }
 
     #[test]

@@ -34,7 +34,10 @@ struct UnionFind {
 
 impl UnionFind {
     fn new() -> Self {
-        UnionFind { parent: Vec::new(), pinned: Vec::new() }
+        UnionFind {
+            parent: Vec::new(),
+            pinned: Vec::new(),
+        }
     }
 
     fn make(&mut self, pinned: Option<String>) -> usize {
@@ -107,8 +110,7 @@ pub fn solve(eqs: &[(StrTerm, StrTerm)], neqs: &[(StrTerm, StrTerm)]) -> StrResu
         );
         neq_pairs.push((ia, ib));
     }
-    let term_ids: Vec<(StrTerm, usize)> =
-        ids.iter().map(|(t, &i)| (t.clone(), i)).collect();
+    let term_ids: Vec<(StrTerm, usize)> = ids.iter().map(|(t, &i)| (t.clone(), i)).collect();
 
     for (ia, ib) in pairs {
         if !uf.union(ia, ib) {

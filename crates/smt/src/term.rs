@@ -221,7 +221,11 @@ impl Ctx {
     pub fn mul_const(&mut self, c: Rat, a: TermId) -> TermId {
         let s = self.sort(a).clone();
         assert!(s.is_numeric(), "mul_const needs a numeric operand, got {s}");
-        let s = if c.is_integer() && s == Sort::Int { Sort::Int } else { Sort::Real };
+        let s = if c.is_integer() && s == Sort::Int {
+            Sort::Int
+        } else {
+            Sort::Real
+        };
         self.mk(TermKind::MulConst(c, a), s)
     }
 

@@ -33,14 +33,16 @@ fn atom_strategy() -> impl Strategy<Value = Atom> {
 }
 
 fn form_strategy() -> impl Strategy<Value = Form> {
-    atom_strategy().prop_map(Form::Atom).prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|f| Form::Not(Box::new(f))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Form::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner).prop_map(|(a, b)| Form::Or(Box::new(a), Box::new(b))),
-        ]
-    })
+    atom_strategy()
+        .prop_map(Form::Atom)
+        .prop_recursive(3, 24, 4, |inner| {
+            prop_oneof![
+                inner.clone().prop_map(|f| Form::Not(Box::new(f))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Form::And(Box::new(a), Box::new(b))),
+                (inner.clone(), inner).prop_map(|(a, b)| Form::Or(Box::new(a), Box::new(b))),
+            ]
+        })
 }
 
 fn cmp(op: u8, a: i64, b: i64) -> bool {

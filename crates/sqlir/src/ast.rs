@@ -104,7 +104,10 @@ pub enum Operand {
 impl Operand {
     /// Shorthand column constructor.
     pub fn col(alias: impl Into<String>, column: impl Into<String>) -> Self {
-        Operand::Column { alias: alias.into(), column: column.into() }
+        Operand::Column {
+            alias: alias.into(),
+            column: column.into(),
+        }
     }
 
     /// Whether this operand is a column of the given alias.
@@ -147,7 +150,11 @@ impl Pred {
     /// `alias`, it appears on the left.
     pub fn oriented_for(&self, alias: &str) -> Pred {
         if !self.lhs.is_column_of(alias) && self.rhs.is_column_of(alias) {
-            Pred { lhs: self.rhs.clone(), op: self.op.flip(), rhs: self.lhs.clone() }
+            Pred {
+                lhs: self.rhs.clone(),
+                op: self.op.flip(),
+                rhs: self.lhs.clone(),
+            }
         } else {
             self.clone()
         }
@@ -301,13 +308,19 @@ pub struct TableRef {
 impl TableRef {
     /// A reference with an explicit alias.
     pub fn aliased(table: impl Into<String>, alias: impl Into<String>) -> Self {
-        TableRef { table: table.into(), alias: alias.into() }
+        TableRef {
+            table: table.into(),
+            alias: alias.into(),
+        }
     }
 
     /// A reference whose alias is the table name.
     pub fn bare(table: impl Into<String>) -> Self {
         let table = table.into();
-        TableRef { alias: table.clone(), table }
+        TableRef {
+            alias: table.clone(),
+            table,
+        }
     }
 }
 
@@ -405,7 +418,11 @@ impl Statement {
         match self {
             Statement::Select(s) => {
                 let mut v = vec![(s.from.alias.clone(), s.from.table.clone())];
-                v.extend(s.joins.iter().map(|j| (j.table.alias.clone(), j.table.table.clone())));
+                v.extend(
+                    s.joins
+                        .iter()
+                        .map(|j| (j.table.alias.clone(), j.table.table.clone())),
+                );
                 v
             }
             Statement::Update(u) => vec![(u.table.clone(), u.table.clone())],
@@ -553,7 +570,10 @@ mod tests {
         // UPDATE Product SET QTY = ? WHERE ID = ?
         Statement::Update(Update {
             table: "Product".into(),
-            sets: vec![Assignment { column: "QTY".into(), value: Operand::Param(0) }],
+            sets: vec![Assignment {
+                column: "QTY".into(),
+                value: Operand::Param(0),
+            }],
             where_clause: Some(Cond::eq(Operand::col("Product", "ID"), Operand::Param(1))),
         })
     }
@@ -609,7 +629,11 @@ mod tests {
     #[test]
     fn cond_combinators() {
         let a = Cond::eq(Operand::col("t", "A"), Operand::Param(0));
-        let b = Cond::cmp(Operand::col("t", "B"), CmpOp::Gt, Operand::Const(Value::Int(3)));
+        let b = Cond::cmp(
+            Operand::col("t", "B"),
+            CmpOp::Gt,
+            Operand::Const(Value::Int(3)),
+        );
         let c = a.clone().and(b.clone()).and(a.clone().or(b.clone()));
         assert_eq!(c.conjuncts().len(), 3);
         assert_eq!(c.top_predicates().len(), 2);
@@ -626,7 +650,14 @@ mod tests {
 
     #[test]
     fn cmp_op_algebra() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.flip().flip(), op);
             assert_eq!(op.negate().negate(), op);
         }

@@ -33,7 +33,10 @@ pub fn validate(stmt: &mut Statement, catalog: &Catalog) -> Result<(), SqlError>
         }
     }
     let lookup = |alias: &str| -> Option<&str> {
-        alias_map.iter().find(|(a, _)| a == alias).map(|(_, t)| t.as_str())
+        alias_map
+            .iter()
+            .find(|(a, _)| a == alias)
+            .map(|(_, t)| t.as_str())
     };
     let check = |op: &Operand| -> Result<(), SqlError> {
         if let Operand::Column { alias, column } = op {
@@ -101,11 +104,7 @@ where
 ///
 /// Returns `None` if a referenced column is unbound (the caller treats this
 /// as "cannot evaluate yet", e.g. during join processing).
-pub fn resolve_operand(
-    op: &Operand,
-    rows: &dyn RowResolver,
-    params: &[Value],
-) -> Option<Value> {
+pub fn resolve_operand(op: &Operand, rows: &dyn RowResolver, params: &[Value]) -> Option<Value> {
     match op {
         Operand::Column { alias, column } => rows.value(alias, column),
         Operand::Param(i) => params.get(*i).cloned(),
@@ -171,11 +170,19 @@ pub fn evaluate(cond: &Cond, rows: &dyn RowResolver, params: &[Value]) -> Option
         }
         Cond::Term(Term::IsNull(o)) => {
             let v = resolve_operand(o, rows, params)?;
-            Some(if v.is_null() { Truth::True } else { Truth::False })
+            Some(if v.is_null() {
+                Truth::True
+            } else {
+                Truth::False
+            })
         }
         Cond::Term(Term::NotNull(o)) => {
             let v = resolve_operand(o, rows, params)?;
-            Some(if v.is_null() { Truth::False } else { Truth::True })
+            Some(if v.is_null() {
+                Truth::False
+            } else {
+                Truth::True
+            })
         }
         Cond::And(a, b) => Some(evaluate(a, rows, params)?.and(evaluate(b, rows, params)?)),
         Cond::Or(a, b) => Some(evaluate(a, rows, params)?.or(evaluate(b, rows, params)?)),
@@ -185,11 +192,7 @@ pub fn evaluate(cond: &Cond, rows: &dyn RowResolver, params: &[Value]) -> Option
 /// The top-level predicates of `cond` that are *related to* `index` through
 /// table alias `alias`: they compare an indexed column of that alias against
 /// something (Fig. 7's `Icond` membership test).
-pub fn index_related_predicates<'c>(
-    cond: &'c Cond,
-    index: &IndexDef,
-    alias: &str,
-) -> Vec<Pred> {
+pub fn index_related_predicates(cond: &Cond, index: &IndexDef, alias: &str) -> Vec<Pred> {
     cond.top_predicates()
         .into_iter()
         .filter_map(|p| {
@@ -213,10 +216,9 @@ pub fn index_related_predicates<'c>(
 /// (Alg. 2 line 9).
 pub fn is_point_query(preds: &[Pred], index: &IndexDef) -> bool {
     index.columns.iter().all(|col| {
-        preds.iter().any(|p| {
-            p.op == CmpOp::Eq
-                && p.lhs.column_name() == Some(col)
-        })
+        preds
+            .iter()
+            .any(|p| p.op == CmpOp::Eq && p.lhs.column_name() == Some(col))
     })
 }
 
@@ -259,13 +261,22 @@ mod tests {
     fn validate_rejects_bad_table_alias_column() {
         let cat = catalog();
         let mut s = parse("SELECT * FROM Nope n WHERE n.X = 1").unwrap();
-        assert!(matches!(validate(&mut s, &cat), Err(SqlError::UnknownTable(_))));
+        assert!(matches!(
+            validate(&mut s, &cat),
+            Err(SqlError::UnknownTable(_))
+        ));
 
         let mut s = parse("SELECT * FROM Product p WHERE q.ID = 1").unwrap();
-        assert!(matches!(validate(&mut s, &cat), Err(SqlError::UnknownAlias(_))));
+        assert!(matches!(
+            validate(&mut s, &cat),
+            Err(SqlError::UnknownAlias(_))
+        ));
 
         let mut s = parse("SELECT * FROM Product p WHERE p.NOPE = 1").unwrap();
-        assert!(matches!(validate(&mut s, &cat), Err(SqlError::UnknownColumn { .. })));
+        assert!(matches!(
+            validate(&mut s, &cat),
+            Err(SqlError::UnknownColumn { .. })
+        ));
     }
 
     #[test]
@@ -321,10 +332,7 @@ mod tests {
     #[test]
     fn index_related_split() {
         let cat = catalog();
-        let s = parse(
-            "SELECT * FROM OrderItem oi WHERE oi.O_ID = ? AND oi.QTY > 2",
-        )
-        .unwrap();
+        let s = parse("SELECT * FROM OrderItem oi WHERE oi.O_ID = ? AND oi.QTY > 2").unwrap();
         let q = s.query_condition().unwrap();
         let t = cat.table("OrderItem").unwrap();
         let o_idx = t.index("idx_orderitem_o_id").unwrap();

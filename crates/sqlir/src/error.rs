@@ -8,7 +8,11 @@ pub enum SqlError {
     /// The tokenizer met a character it cannot start a token with.
     Lex { pos: usize, found: char },
     /// The parser expected one construct and found another.
-    Parse { pos: usize, expected: String, found: String },
+    Parse {
+        pos: usize,
+        expected: String,
+        found: String,
+    },
     /// A statement references a table absent from the catalog.
     UnknownTable(String),
     /// A statement references a column absent from its table.
@@ -25,8 +29,15 @@ impl fmt::Display for SqlError {
             SqlError::Lex { pos, found } => {
                 write!(f, "lex error at byte {pos}: unexpected character {found:?}")
             }
-            SqlError::Parse { pos, expected, found } => {
-                write!(f, "parse error at token {pos}: expected {expected}, found {found}")
+            SqlError::Parse {
+                pos,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "parse error at token {pos}: expected {expected}, found {found}"
+                )
             }
             SqlError::UnknownTable(t) => write!(f, "unknown table {t:?}"),
             SqlError::UnknownColumn { table, column } => {

@@ -15,7 +15,11 @@ use crate::value::Value;
 /// Parse a single statement.
 pub fn parse(sql: &str) -> Result<Statement, SqlError> {
     let tokens = lex(sql)?;
-    let mut p = Parser { tokens, pos: 0, next_param: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        next_param: 0,
+    };
     let stmt = p.statement()?;
     p.expect_eof()?;
     Ok(stmt)
@@ -134,7 +138,12 @@ fn lex(sql: &str) -> Result<Vec<Tok>, SqlError> {
                             s.push(*ch);
                             i += 1;
                         }
-                        None => return Err(SqlError::Lex { pos: i, found: '\'' }),
+                        None => {
+                            return Err(SqlError::Lex {
+                                pos: i,
+                                found: '\'',
+                            })
+                        }
                     }
                 }
                 out.push(Tok::Str(s));
@@ -155,14 +164,16 @@ fn lex(sql: &str) -> Result<Vec<Tok>, SqlError> {
                 }
                 let text: String = bytes[start..i].iter().collect();
                 if is_float {
-                    let v = text
-                        .parse::<f64>()
-                        .map_err(|_| SqlError::Lex { pos: start, found: c })?;
+                    let v = text.parse::<f64>().map_err(|_| SqlError::Lex {
+                        pos: start,
+                        found: c,
+                    })?;
                     out.push(Tok::Float(v));
                 } else {
-                    let v = text
-                        .parse::<i64>()
-                        .map_err(|_| SqlError::Lex { pos: start, found: c })?;
+                    let v = text.parse::<i64>().map_err(|_| SqlError::Lex {
+                        pos: start,
+                        found: c,
+                    })?;
                     out.push(Tok::Int(v));
                 }
             }
@@ -173,7 +184,12 @@ fn lex(sql: &str) -> Result<Vec<Tok>, SqlError> {
                 }
                 out.push(Tok::Ident(bytes[start..i].iter().collect()));
             }
-            other => return Err(SqlError::Lex { pos: i, found: other }),
+            other => {
+                return Err(SqlError::Lex {
+                    pos: i,
+                    found: other,
+                })
+            }
         }
     }
     out.push(Tok::Eof);
@@ -279,7 +295,10 @@ impl Parser {
                 return Ok(TableRef { table, alias });
             }
         }
-        Ok(TableRef { alias: table.clone(), table })
+        Ok(TableRef {
+            alias: table.clone(),
+            table,
+        })
     }
 
     fn select(&mut self) -> Result<Select, SqlError> {
@@ -293,14 +312,23 @@ impl Parser {
             let on = self.cond(None)?;
             joins.push(Join { table, on });
         }
-        let where_clause = if self.kw("WHERE") { Some(self.cond(None)?) } else { None };
+        let where_clause = if self.kw("WHERE") {
+            Some(self.cond(None)?)
+        } else {
+            None
+        };
         let for_update = if self.kw("FOR") {
             self.expect_kw("UPDATE")?;
             true
         } else {
             false
         };
-        Ok(Select { from, joins, where_clause, for_update })
+        Ok(Select {
+            from,
+            joins,
+            where_clause,
+            for_update,
+        })
     }
 
     fn update(&mut self) -> Result<Update, SqlError> {
@@ -311,9 +339,16 @@ impl Parser {
             self.bump();
             sets.push(self.assignment(&table)?);
         }
-        let where_clause =
-            if self.kw("WHERE") { Some(self.cond(Some(&table.clone()))?) } else { None };
-        Ok(Update { table, sets, where_clause })
+        let where_clause = if self.kw("WHERE") {
+            Some(self.cond(Some(&table.clone()))?)
+        } else {
+            None
+        };
+        Ok(Update {
+            table,
+            sets,
+            where_clause,
+        })
     }
 
     fn assignment(&mut self, default_alias: &str) -> Result<Assignment, SqlError> {
@@ -360,15 +395,26 @@ impl Parser {
                 on_duplicate.push(self.assignment(&table)?);
             }
         }
-        Ok(Insert { table, columns, values, on_duplicate })
+        Ok(Insert {
+            table,
+            columns,
+            values,
+            on_duplicate,
+        })
     }
 
     fn delete(&mut self) -> Result<Delete, SqlError> {
         self.expect_kw("FROM")?;
         let table = self.ident()?;
-        let where_clause =
-            if self.kw("WHERE") { Some(self.cond(Some(&table.clone()))?) } else { None };
-        Ok(Delete { table, where_clause })
+        let where_clause = if self.kw("WHERE") {
+            Some(self.cond(Some(&table.clone()))?)
+        } else {
+            None
+        };
+        Ok(Delete {
+            table,
+            where_clause,
+        })
     }
 
     /// `cond := and_expr (OR and_expr)*`
@@ -453,9 +499,15 @@ impl Parser {
                 if matches!(self.peek(), Tok::Dot) {
                     self.bump();
                     let column = self.ident()?;
-                    Ok(Operand::Column { alias: first, column })
+                    Ok(Operand::Column {
+                        alias: first,
+                        column,
+                    })
                 } else if let Some(alias) = default_alias {
-                    Ok(Operand::Column { alias: alias.to_string(), column: first })
+                    Ok(Operand::Column {
+                        alias: alias.to_string(),
+                        column: first,
+                    })
                 } else {
                     Err(self.error("alias.column (bare column needs a default table)"))
                 }
@@ -528,10 +580,8 @@ mod tests {
 
     #[test]
     fn parses_upsert() {
-        let s = parse(
-            "INSERT INTO Cart (ID, QTY) VALUES (?, ?) ON DUPLICATE KEY UPDATE QTY = ?",
-        )
-        .unwrap();
+        let s = parse("INSERT INTO Cart (ID, QTY) VALUES (?, ?) ON DUPLICATE KEY UPDATE QTY = ?")
+            .unwrap();
         match &s {
             Statement::Insert(i) => {
                 assert_eq!(i.on_duplicate.len(), 1);

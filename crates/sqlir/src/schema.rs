@@ -194,13 +194,21 @@ impl TableBuilder {
 
     /// Add a NOT NULL column.
     pub fn col(mut self, name: impl Into<String>, ty: ColType) -> Self {
-        self.def.columns.push(ColumnDef { name: name.into(), ty, nullable: false });
+        self.def.columns.push(ColumnDef {
+            name: name.into(),
+            ty,
+            nullable: false,
+        });
         self
     }
 
     /// Add a nullable column.
     pub fn col_nullable(mut self, name: impl Into<String>, ty: ColType) -> Self {
-        self.def.columns.push(ColumnDef { name: name.into(), ty, nullable: true });
+        self.def.columns.push(ColumnDef {
+            name: name.into(),
+            ty,
+            nullable: true,
+        });
         self
     }
 
@@ -231,7 +239,11 @@ impl TableBuilder {
         ref_column: impl Into<String>,
     ) -> Self {
         let column = column.into();
-        let idx_name = format!("idx_{}_{}", self.def.name.to_lowercase(), column.to_lowercase());
+        let idx_name = format!(
+            "idx_{}_{}",
+            self.def.name.to_lowercase(),
+            column.to_lowercase()
+        );
         self.push_index(idx_name, &[column.as_str()], false);
         self.def.foreign_keys.push(ForeignKey {
             column,
@@ -255,7 +267,10 @@ impl TableBuilder {
     pub fn build(mut self) -> Result<TableDef, SqlError> {
         let t = &mut self.def;
         if t.primary_key.is_empty() {
-            return Err(SqlError::Schema(format!("table {} has no primary key", t.name)));
+            return Err(SqlError::Schema(format!(
+                "table {} has no primary key",
+                t.name
+            )));
         }
         let mut seen = std::collections::HashSet::new();
         for c in &t.columns {
@@ -314,7 +329,9 @@ impl Catalog {
                 return Err(SqlError::Schema("duplicate table".to_string()));
             }
         }
-        Ok(Catalog { tables: Arc::new(map) })
+        Ok(Catalog {
+            tables: Arc::new(map),
+        })
     }
 
     /// Look up a table.
@@ -324,7 +341,8 @@ impl Catalog {
 
     /// Look up a table or error.
     pub fn require(&self, name: &str) -> Result<&Arc<TableDef>, SqlError> {
-        self.table(name).ok_or_else(|| SqlError::UnknownTable(name.to_string()))
+        self.table(name)
+            .ok_or_else(|| SqlError::UnknownTable(name.to_string()))
     }
 
     /// Iterate all tables in name order.
@@ -390,7 +408,10 @@ mod tests {
 
     #[test]
     fn missing_pk_rejected() {
-        let err = TableBuilder::new("T").col("A", ColType::Int).build().unwrap_err();
+        let err = TableBuilder::new("T")
+            .col("A", ColType::Int)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, SqlError::Schema(_)));
     }
 

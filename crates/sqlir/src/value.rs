@@ -112,7 +112,7 @@ impl Eq for Value {}
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.total_cmp(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -184,7 +184,12 @@ mod tests {
 
     #[test]
     fn null_sorts_first() {
-        let mut vals = vec![Value::Int(3), Value::Null, Value::str("a"), Value::Bool(true)];
+        let mut vals = [
+            Value::Int(3),
+            Value::Null,
+            Value::str("a"),
+            Value::Bool(true),
+        ];
         vals.sort();
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Bool(true));
@@ -196,17 +201,17 @@ mod tests {
     fn mixed_numeric_comparison() {
         assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.0)), Ordering::Equal);
         assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
-        assert_eq!(Value::Float(3.0).total_cmp(&Value::Int(2)), Ordering::Greater);
+        assert_eq!(
+            Value::Float(3.0).total_cmp(&Value::Int(2)),
+            Ordering::Greater
+        );
     }
 
     #[test]
     fn sql_cmp_null_propagates() {
         assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
         assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
-        assert_eq!(
-            Value::Int(1).sql_cmp(&Value::Int(1)),
-            Some(Ordering::Equal)
-        );
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Int(1)), Some(Ordering::Equal));
     }
 
     #[test]

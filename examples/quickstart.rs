@@ -94,7 +94,12 @@ fn main() {
     db.seed("Product", vec![vec![Value::Int(10), Value::Int(100)]]);
     db.seed(
         "OrderItem",
-        vec![vec![Value::Int(100), Value::Int(1), Value::Int(10), Value::Int(3)]],
+        vec![vec![
+            Value::Int(100),
+            Value::Int(1),
+            Value::Int(10),
+            Value::Int(3),
+        ]],
     );
 
     // 2. Run the unit test under concolic execution (the API input is

@@ -24,7 +24,11 @@ fn main() {
             row.ids(),
             row.description(),
             row.fix().map(|f| f.label()).unwrap_or_default(),
-            if n > 0 { format!("FOUND ({n} cycles)") } else { "missing".into() }
+            if n > 0 {
+                format!("FOUND ({n} cycles)")
+            } else {
+                "missing".into()
+            }
         );
     }
     println!(

@@ -12,6 +12,7 @@ pub use weseer_apps as apps;
 pub use weseer_concolic as concolic;
 pub use weseer_core as core;
 pub use weseer_db as db;
+pub use weseer_obs as obs;
 pub use weseer_orm as orm;
 pub use weseer_smt as smt;
 pub use weseer_sqlir as sqlir;

@@ -1,0 +1,110 @@
+//! Observability integration: a full diagnosis run must publish a
+//! self-consistent funnel (the counters mirror `DiagnosisStats`), phase
+//! wall times, SMT solver statistics, and lock-manager counters, and the
+//! snapshot must export as well-formed JSON lines.
+
+use weseer::apps::Broadleaf;
+use weseer::core::Weseer;
+
+#[test]
+fn broadleaf_metrics_funnel_is_consistent() {
+    weseer::obs::set_enabled(true);
+    let analysis = Weseer::new().analyze(&Broadleaf);
+    let m = &analysis.metrics;
+    let c = |name: &str| {
+        *m.counters
+            .get(name)
+            .unwrap_or_else(|| panic!("missing counter {name}; have {:?}", m.counters.keys()))
+    };
+
+    // The diagnosis funnel narrows monotonically and its tail partitions.
+    let txn_pairs = c("analyzer.txn_pairs");
+    let after_p1 = c("analyzer.pairs_after_phase1");
+    let fine = c("analyzer.fine_candidates");
+    let sat = c("analyzer.smt_sat");
+    let unsat = c("analyzer.smt_unsat");
+    let unknown = c("analyzer.smt_unknown");
+    assert!(txn_pairs > 0, "no transaction pairs examined");
+    assert!(after_p1 <= txn_pairs, "phase 1 cannot add pairs");
+    assert!(
+        fine <= c("analyzer.coarse_cycles"),
+        "phase 2 cannot add candidates"
+    );
+    assert_eq!(
+        sat + unsat + unknown,
+        fine,
+        "SMT verdicts must partition the candidates"
+    );
+    assert!(
+        sat > 0,
+        "Broadleaf has real deadlocks; some candidates must be sat"
+    );
+
+    // The counters are the published image of DiagnosisStats.
+    let s = &analysis.diagnosis.stats;
+    assert_eq!(txn_pairs, s.txn_pairs as u64);
+    assert_eq!(after_p1, s.pairs_after_phase1 as u64);
+    assert_eq!(fine, s.fine_candidates as u64);
+    assert_eq!(sat, s.smt_sat as u64);
+    assert_eq!(unsat, s.smt_unsat as u64);
+    assert_eq!(unknown, s.smt_unknown as u64);
+    assert_eq!(
+        c("analyzer.deadlocks_reported"),
+        analysis.diagnosis.deadlocks.len() as u64
+    );
+
+    // Per-phase wall times are published (phase 3 does real SMT work).
+    assert_eq!(c("analyzer.phase1_us"), s.phase1_time.as_micros() as u64);
+    assert_eq!(c("analyzer.phase2_us"), s.phase2_time.as_micros() as u64);
+    assert_eq!(c("analyzer.phase3_us"), s.phase3_time.as_micros() as u64);
+    assert!(
+        c("analyzer.phase3_us") > 0,
+        "phase 3 should take measurable time"
+    );
+
+    // SMT solver statistics flow out of the solver stack.
+    assert!(
+        c("smt.solve_calls") >= fine,
+        "every fine candidate dispatches the solver"
+    );
+    assert!(c("smt.sat_calls") >= c("smt.solve_calls"));
+    assert!(c("smt.sat_propagations") > 0);
+    let solve_us = m
+        .histogram("smt.solve_us")
+        .expect("smt.solve_us histogram missing");
+    assert_eq!(solve_us.count, c("smt.solve_calls"));
+    assert!(solve_us.p50() <= solve_us.p99());
+
+    // Trace collection ran under the concolic engine.
+    assert!(c("concolic.traces") > 0);
+    assert!(c("concolic.statements") > 0);
+    let api_us = m
+        .histogram("concolic.trace_api_us")
+        .expect("concolic.trace_api_us histogram missing");
+    assert_eq!(api_us.count as usize, analysis.trace_summaries.len());
+
+    // The lock manager counted the unit tests' acquisitions.
+    assert!(c("db.lock.acquisitions") > 0);
+
+    // The pipeline span was recorded.
+    assert!(
+        m.histogram("span.pipeline.analyze").is_some(),
+        "pipeline span missing"
+    );
+
+    // The JSON-lines export is line-shaped and scoped.
+    let json = m.to_json_lines(Some("broadleaf"));
+    assert!(!json.is_empty());
+    for line in json.lines() {
+        assert!(
+            line.starts_with("{\"type\":\"") && line.ends_with('}'),
+            "malformed JSON line: {line}"
+        );
+        assert!(
+            line.contains("\"scope\":\"broadleaf\""),
+            "unscoped line: {line}"
+        );
+    }
+    assert!(json.contains("\"name\":\"analyzer.txn_pairs\""));
+    assert!(json.contains("\"name\":\"smt.solve_us\""));
+}

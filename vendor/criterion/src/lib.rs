@@ -1,0 +1,203 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! vendored shim provides the criterion API surface the workspace's
+//! benches use (`criterion_group!` / `criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_function`, `iter`,
+//! `iter_batched`). Measurement is deliberately simple: a short warm-up,
+//! then a fixed number of timed samples whose median/min/max are printed
+//! to stdout. No statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized (accepted for API compatibility).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per sample.
+    PerIteration,
+}
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Passed to `bench_function` closures; runs and times the routine.
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-sample durations (one sample = one routine call).
+    pub times: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            times: Vec::new(),
+        }
+    }
+
+    /// Time `routine` for the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up.
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.times.push(start.elapsed());
+        }
+    }
+
+    /// Time `routine` over inputs produced by `setup` (setup excluded
+    /// from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.times.push(start.elapsed());
+        }
+    }
+}
+
+fn report(group: &str, name: &str, times: &mut [Duration]) {
+    if times.is_empty() {
+        println!("{group}/{name}: no samples");
+        return;
+    }
+    times.sort();
+    let median = times[times.len() / 2];
+    let min = times[0];
+    let max = times[times.len() - 1];
+    println!(
+        "{group}/{name}: median {median:?} (min {min:?}, max {max:?}, n={})",
+        times.len()
+    );
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the target measurement time (accepted, unused).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut b = Bencher::new(self.criterion.sample_size);
+        f(&mut b);
+        report(&self.name, &name, &mut b.times);
+        self
+    }
+
+    /// Finish the group (no-op; reporting is immediate).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report("bench", &name, &mut b.times);
+        self
+    }
+}
+
+/// Group several benchmark functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut calls = 0;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        g.finish();
+        assert!(calls >= 3);
+    }
+
+    #[test]
+    fn iter_batched_separates_setup() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

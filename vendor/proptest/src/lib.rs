@@ -1,0 +1,818 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! vendored shim implements the subset of the proptest API the workspace
+//! uses: the [`Strategy`] trait (`prop_map`, `prop_recursive`, `boxed`,
+//! `new_tree`), range / tuple / regex-string strategies, `any::<T>()`,
+//! `proptest::collection::vec`, and the `proptest!`, `prop_compose!`,
+//! `prop_oneof!`, `prop_assert!`-family macros.
+//!
+//! Differences from real proptest: cases are generated from a fixed-seed
+//! xorshift RNG (runs are deterministic per build) and failing cases are
+//! reported without shrinking.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+pub mod test_runner {
+    //! Test-case generation state (RNG + configuration).
+
+    /// Deterministic xorshift64* RNG — no external `rand` dependency.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeded RNG; `seed` 0 is remapped to a fixed constant.
+        pub fn new(seed: u64) -> Self {
+            TestRng {
+                state: if seed == 0 { 0x9e3779b97f4a7c15 } else { seed },
+            }
+        }
+
+        /// Next raw 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545f4914f6cdd1d)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+
+        /// Uniform value in `[0, bound)` over 128 bits.
+        pub fn below_u128(&mut self, bound: u128) -> u128 {
+            let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+            wide % bound
+        }
+    }
+
+    /// Configuration accepted by `proptest!`'s `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Drives test-case generation (holds the RNG).
+    #[derive(Debug, Clone)]
+    pub struct TestRunner {
+        /// RNG used by strategies.
+        pub rng: TestRng,
+        /// Active configuration.
+        pub config: Config,
+    }
+
+    impl TestRunner {
+        /// Runner with the given config and a fixed seed.
+        pub fn new(config: Config) -> Self {
+            TestRunner {
+                rng: TestRng::new(0xdeadbeefcafef00d),
+                config,
+            }
+        }
+
+        /// Runner with a fixed seed (matching proptest's API).
+        pub fn deterministic() -> Self {
+            TestRunner::new(Config::default())
+        }
+    }
+
+    impl Default for TestRunner {
+        fn default() -> Self {
+            TestRunner::new(Config::default())
+        }
+    }
+}
+
+use test_runner::{TestRng, TestRunner};
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject(String),
+    /// A `prop_assert!` failed; the property is falsified.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Construct a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Construct a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+/// Result type threaded through `proptest!` bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::*;
+
+    /// A generated value (no shrinking — `current` returns the value).
+    pub trait ValueTree {
+        /// The value type.
+        type Value;
+        /// The generated value.
+        fn current(&self) -> Self::Value;
+    }
+
+    /// Trivial value tree holding one generated value.
+    #[derive(Debug, Clone)]
+    pub struct JustTree<T: Clone>(pub T);
+
+    impl<T: Clone> ValueTree for JustTree<T> {
+        type Value = T;
+        fn current(&self) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Something that can generate random values of `Self::Value`.
+    pub trait Strategy: Clone {
+        /// The generated value type.
+        type Value: Clone;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Generate a value tree (proptest API compatibility).
+        fn new_tree(&self, runner: &mut TestRunner) -> Result<JustTree<Self::Value>, String> {
+            Ok(JustTree(self.generate(&mut runner.rng)))
+        }
+
+        /// Map generated values through `f`.
+        fn prop_map<U: Clone, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U + Clone,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Filter generated values; regenerates (up to a bound) when the
+        /// predicate rejects.
+        fn prop_filter<F>(self, _reason: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool + Clone,
+        {
+            Filter { inner: self, f }
+        }
+
+        /// Build recursive strategies: unrolls `depth` levels of `f` over
+        /// the base strategy (no dynamic sizing).
+        fn prop_recursive<F, S2>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+            S2: Strategy<Value = Self::Value> + 'static,
+        {
+            let mut cur = self.clone().boxed();
+            for _ in 0..depth {
+                let rec = f(cur).boxed();
+                let base = self.clone().boxed();
+                cur = BoxedStrategy::union(vec![base, rec]);
+            }
+            cur
+        }
+
+        /// Type-erase the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            let s = self;
+            BoxedStrategy {
+                gen: Arc::new(move |rng| s.generate(rng)),
+            }
+        }
+    }
+
+    /// `prop_map` combinator.
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        U: Clone,
+        F: Fn(S::Value) -> U + Clone,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// `prop_filter` combinator.
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool + Clone,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 1000 candidates in a row");
+        }
+    }
+
+    /// Type-erased, clonable strategy.
+    #[derive(Clone)]
+    pub struct BoxedStrategy<T> {
+        pub(crate) gen: Arc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T: Clone + 'static> BoxedStrategy<T> {
+        /// Uniform union of several strategies.
+        pub fn union(arms: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+            assert!(!arms.is_empty(), "union of zero strategies");
+            BoxedStrategy {
+                gen: Arc::new(move |rng| {
+                    let i = rng.below(arms.len() as u64) as usize;
+                    (arms[i].gen)(rng)
+                }),
+            }
+        }
+    }
+
+    impl<T: Clone> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.gen)(rng)
+        }
+    }
+
+    /// Strategy that always yields a fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy backed by a plain generation closure (used by
+    /// `prop_compose!`).
+    #[derive(Clone)]
+    pub struct FnStrategy<T> {
+        f: Arc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> FnStrategy<T> {
+        /// Wrap a generation closure.
+        pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+            FnStrategy { f: Arc::new(f) }
+        }
+    }
+
+    impl<T: Clone> Strategy for FnStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(rng)
+        }
+    }
+
+    // ----- range strategies -------------------------------------------
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                    let off = rng.below_u128(span);
+                    ((self.start as i128).wrapping_add(off as i128)) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128).wrapping_sub(lo as i128) as u128 + 1;
+                    let off = rng.below_u128(span);
+                    ((lo as i128).wrapping_add(off as i128)) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Strategy for Range<i128> {
+        type Value = i128;
+        fn generate(&self, rng: &mut TestRng) -> i128 {
+            assert!(self.start < self.end, "empty range strategy");
+            let span = self.end.wrapping_sub(self.start) as u128;
+            self.start.wrapping_add(rng.below_u128(span) as i128)
+        }
+    }
+
+    impl Strategy for RangeInclusive<i128> {
+        type Value = i128;
+        fn generate(&self, rng: &mut TestRng) -> i128 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty range strategy");
+            let span = hi.wrapping_sub(lo) as u128 + 1;
+            lo.wrapping_add(rng.below_u128(span) as i128)
+        }
+    }
+
+    // ----- tuple strategies -------------------------------------------
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A 0)
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+        (A 0, B 1, C 2, D 3, E 4, F 5)
+    }
+
+    // ----- regex-lite string strategies -------------------------------
+
+    /// `&str` strategies interpret the string as a simplified regex:
+    /// a sequence of literal characters or `[...]` character classes,
+    /// each optionally followed by `{m,n}` repetition. This covers the
+    /// identifier/value patterns used in the workspace's tests.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            gen_from_pattern(self, rng)
+        }
+    }
+
+    impl Strategy for String {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            gen_from_pattern(self, rng)
+        }
+    }
+
+    fn gen_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // One atom: a character class or a literal character.
+            let choices: Vec<char>;
+            if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .expect("unclosed character class in pattern")
+                    + i;
+                choices = expand_class(&chars[i + 1..close]);
+                i = close + 1;
+            } else {
+                let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                    i += 1;
+                    chars[i]
+                } else {
+                    chars[i]
+                };
+                choices = vec![c];
+                i += 1;
+            }
+            // Optional {m,n} / {n} repetition.
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unclosed repetition in pattern")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((a, b)) => (
+                        a.parse::<usize>().expect("bad repetition lower bound"),
+                        b.parse::<usize>().expect("bad repetition upper bound"),
+                    ),
+                    None => {
+                        let n = body.parse::<usize>().expect("bad repetition count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..n {
+                let k = rng.below(choices.len() as u64) as usize;
+                out.push(choices[k]);
+            }
+        }
+        out
+    }
+
+    fn expand_class(body: &[char]) -> Vec<char> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            if i + 2 < body.len() && body[i + 1] == '-' {
+                let (lo, hi) = (body[i] as u32, body[i + 2] as u32);
+                for c in lo..=hi {
+                    if let Some(c) = char::from_u32(c) {
+                        out.push(c);
+                    }
+                }
+                i += 3;
+            } else {
+                out.push(body[i]);
+                i += 1;
+            }
+        }
+        if out.is_empty() {
+            out.push('a');
+        }
+        out
+    }
+
+    // ----- any::<T>() -------------------------------------------------
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Clone {
+        /// Generate an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for i128 {
+        fn arbitrary(rng: &mut TestRng) -> i128 {
+            (((rng.next_u64() as u128) << 64) | rng.next_u64() as u128) as i128
+        }
+    }
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> u128 {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            // Printable ASCII keeps generated data readable.
+            char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap_or('a')
+        }
+    }
+
+    /// Strategy produced by [`any`].
+    #[derive(Debug, Clone, Default)]
+    pub struct AnyStrategy<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The strategy generating any value of `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vector of `element` values with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude::*`.
+
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestRunner;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest, TestCaseError, TestCaseResult,
+    };
+}
+
+/// Sample one value from a strategy (used by the macros).
+pub fn sample<S: strategy::Strategy>(s: &S, runner: &mut TestRunner) -> S::Value {
+    s.generate(&mut runner.rng)
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` != `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: `{:?}` == `{:?}`", l, r);
+    }};
+}
+
+/// Reject the current case (counts as skipped, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::BoxedStrategy::union(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Define a function returning a composed strategy.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($param:ident: $pty:ty),* $(,)?)
+                              ($($arg:ident in $strat:expr),+ $(,)?)
+                              -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($param: $pty),*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            #[allow(unused_variables)]
+            $crate::strategy::FnStrategy::new(move |rng| {
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), rng);
+                )+
+                $body
+            })
+        }
+    };
+}
+
+/// Declare property tests. Bodies run for `config.cases` random cases;
+/// failures are reported without shrinking. The `#[test]` attribute at
+/// each call site is captured as an ordinary meta and re-emitted on the
+/// generated zero-argument function.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    (
+        $(#[$meta:meta])*
+        fn $($rest:tt)*
+    ) => {
+        $crate::proptest!(
+            @impl ($crate::test_runner::Config::default())
+            $(#[$meta])*
+            fn $($rest)*
+        );
+    };
+    (@impl ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let mut runner = $crate::test_runner::TestRunner::new(config.clone());
+                let mut rejected = 0u32;
+                for _case in 0..config.cases {
+                    $(
+                        let $arg = $crate::sample(&($strat), &mut runner);
+                    )+
+                    let outcome: $crate::TestCaseResult = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {
+                            rejected += 1;
+                            if rejected > config.cases * 8 {
+                                panic!("too many prop_assume! rejections");
+                            }
+                        }
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest property {} falsified: {}",
+                                stringify!($name),
+                                msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut runner = TestRunner::deterministic();
+        for _ in 0..200 {
+            let v = crate::sample(&(-5i64..7), &mut runner);
+            assert!((-5..7).contains(&v));
+            let w = crate::sample(&(-3i64..=3), &mut runner);
+            assert!((-3..=3).contains(&w));
+            let u = crate::sample(&(1i128..50), &mut runner);
+            assert!((1..50).contains(&u));
+        }
+    }
+
+    #[test]
+    fn pattern_strings_match_shape() {
+        let mut runner = TestRunner::deterministic();
+        for _ in 0..100 {
+            let s = crate::sample(&"[A-Za-z][A-Za-z0-9_]{0,6}", &mut runner);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+        }
+    }
+
+    #[test]
+    fn vec_lengths_in_range() {
+        let mut runner = TestRunner::deterministic();
+        for _ in 0..100 {
+            let v = crate::sample(&crate::collection::vec(0u8..10, 2..5), &mut runner);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let s = prop_oneof![(0i64..3).prop_map(|x| x * 2), (10i64..13).prop_map(|x| x),];
+        let mut runner = TestRunner::deterministic();
+        for _ in 0..100 {
+            let v = crate::sample(&s, &mut runner);
+            assert!([0, 2, 4, 10, 11, 12].contains(&v), "{v}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_works(a in 0i32..10, b in any::<bool>()) {
+            prop_assume!(a != 9);
+            prop_assert!(a < 9);
+            if b {
+                prop_assert_eq!(a + a, 2 * a);
+            }
+        }
+    }
+}
