@@ -1,27 +1,44 @@
-//! The three-phase deadlock diagnosis (paper Sec. V-B, Fig. 5).
+//! The three-phase deadlock diagnosis (paper Sec. V-B, Fig. 5), staged as
+//! a deterministic parallel pipeline.
 //!
 //! Every collected trace is analyzed as **two concurrent instances** of the
 //! same API (and against every other trace), mirroring the paper's setup.
 //!
-//! * **Transaction-level phase** — keep only transaction pairs that write a
-//!   commonly accessed table (conflict-cycle filter);
-//! * **Coarse-grained phase** — enumerate SC-graph deadlock cycles: A holds
-//!   the lock of an earlier statement that conflicts with B's later
-//!   statement and vice versa (table-level C-edges);
-//! * **Fine-grained phase** — model locks (Alg. 2), require a potentially
-//!   conflicting lock pair per C-edge, generate conflict conditions
-//!   (Alg. 3), conjoin with both instances' path conditions up to the
-//!   waiting statements, and ask the SMT solver. SAT ⇒ deadlock reported
-//!   with a witness model.
+//! * **Transaction-level phase** — [`crate::pairs::generate_pairs`] builds
+//!   the table-level conflict graph once and yields only transaction pairs
+//!   that write a commonly accessed table (conflict-cycle filter);
+//! * **Coarse-grained phase** — [`scan_pair`] enumerates SC-graph deadlock
+//!   cycles per pair: A holds the lock of an earlier statement that
+//!   conflicts with B's later statement and vice versa (table-level
+//!   C-edges);
+//! * **Fine-grained phase** — [`fine_check`] models locks (Alg. 2),
+//!   requires a potentially conflicting lock pair per C-edge, generates
+//!   conflict conditions (Alg. 3), conjoins with both instances' path
+//!   conditions up to the waiting statements, and asks the SMT solver
+//!   (through the cross-pair verdict cache). SAT ⇒ deadlock reported with
+//!   a witness model.
+//!
+//! ## Determinism under parallelism
+//!
+//! Phases 2 and 3 are *pure* per-unit functions — `(job, &PairCtx) ->
+//! outcome` with no `&mut` threading — fanned out by
+//! [`crate::schedule::run_ordered`] and reduced sequentially in canonical
+//! pair order. The cross-pair `seen` dedup (which decides what reaches the
+//! solver) and the `max_reports` truncation run only in those ordered
+//! sweeps, and the SMT verdict cache returns answers that are pure
+//! functions of the canonicalized formula, so reports and funnel counters
+//! are bit-identical for any `threads` setting.
 
 use crate::encode::{gen_conflict_cond, Importer, Side};
 use crate::indexes::IndexOracle;
 use crate::locks::{gen_exclusive_locks, gen_shared_locks, potential_conflict};
+use crate::pairs::{generate_pairs, PairJob};
 use crate::report::{CycleId, DeadlockReport, ReportedStatement};
+use crate::schedule::{resolve_threads, run_ordered};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 use weseer_concolic::{StmtRecord, Trace};
-use weseer_smt::{check, Ctx, SolveResult, SolverConfig, TermId};
+use weseer_smt::{check, Ctx, SolveResult, SolverConfig, TermId, VerdictCache};
 use weseer_sqlir::Catalog;
 
 /// A trace together with the term context of the engine that produced it.
@@ -60,6 +77,15 @@ pub struct AnalyzerConfig {
     pub skip_filter_phases: bool,
     /// Stop after this many confirmed reports.
     pub max_reports: usize,
+    /// Worker threads for the pair scans and fine-grained checks. `0`
+    /// (default) = auto: `WESEER_THREADS` if set, else
+    /// `available_parallelism`. `1` runs everything inline on the calling
+    /// thread. Output is identical for every setting.
+    pub threads: usize,
+    /// Memoize SMT verdicts across pairs keyed by the canonicalized
+    /// formula (traces from the same API template re-discharge
+    /// near-identical queries).
+    pub smt_cache: bool,
 }
 
 impl Default for AnalyzerConfig {
@@ -70,6 +96,8 @@ impl Default for AnalyzerConfig {
             use_range_locks: true,
             skip_filter_phases: false,
             max_reports: 10_000,
+            threads: 0,
+            smt_cache: true,
         }
     }
 }
@@ -92,12 +120,11 @@ pub struct DiagnosisStats {
     pub smt_unsat: usize,
     /// SMT timeouts.
     pub smt_unknown: usize,
-    /// Wall time spent in the transaction-level filter (phase 1).
+    /// Wall time spent generating the phase-1 pair set.
     pub phase1_time: Duration,
-    /// Wall time spent enumerating coarse SC-graph cycles (phase 2),
-    /// excluding the fine-grained checks it dispatches.
+    /// CPU time summed over the per-pair coarse cycle scans (phase 2).
     pub phase2_time: Duration,
-    /// Wall time spent in fine-grained lock modeling + SMT (phase 3).
+    /// CPU time summed over fine-grained lock modeling + SMT (phase 3).
     pub phase3_time: Duration,
 }
 
@@ -109,6 +136,10 @@ impl DiagnosisStats {
         weseer_obs::add(
             "analyzer.pairs_after_phase1",
             self.pairs_after_phase1 as u64,
+        );
+        weseer_obs::add(
+            "analyzer.pairs_pruned",
+            self.txn_pairs.saturating_sub(self.pairs_after_phase1) as u64,
         );
         weseer_obs::add("analyzer.coarse_cycles", self.coarse_cycles as u64);
         weseer_obs::add("analyzer.fine_candidates", self.fine_candidates as u64);
@@ -149,93 +180,380 @@ pub fn diagnose_with_oracle(
     oracle: Option<&dyn IndexOracle>,
 ) -> Diagnosis {
     let _span = weseer_obs::span("analyzer.diagnose");
-    let mut stats = DiagnosisStats::default();
-    let mut reports: Vec<DeadlockReport> = Vec::new();
-    let mut seen = HashSet::new();
+    let diagnosis = run_pipeline(catalog, traces, config, oracle);
+    diagnosis.stats.publish();
+    weseer_obs::add(
+        "analyzer.deadlocks_reported",
+        diagnosis.deadlocks.len() as u64,
+    );
+    diagnosis
+}
 
-    'pairs: for (i, a) in traces.iter().enumerate() {
-        for (j, b) in traces.iter().enumerate().skip(i) {
-            for a_txn in 0..a.trace.txns.len() {
-                let b_start = if i == j { a_txn } else { 0 };
-                for b_txn in b_start..b.trace.txns.len() {
-                    diagnose_txn_pair(
-                        catalog,
-                        (a, a_txn),
-                        (b, b_txn),
-                        i == j && a_txn == b_txn,
-                        config,
-                        oracle,
-                        &mut stats,
-                        &mut reports,
-                        &mut seen,
-                    );
-                    if reports.len() >= config.max_reports {
-                        break 'pairs;
+/// Count coarse-grained deadlock cycles only (the STEPDAD/REDACT baseline
+/// of Sec. VII-B, which reports 18,384 hold-and-wait cycles on the paper's
+/// workload). No lock modeling, no SMT, and — unlike [`diagnose`] — no
+/// funnel counters published.
+pub fn coarse_cycle_count(traces: &[CollectedTrace]) -> usize {
+    let config = AnalyzerConfig {
+        fine_grained: false,
+        max_reports: usize::MAX,
+        ..AnalyzerConfig::default()
+    };
+    run_pipeline(&Catalog::default(), traces, &config, None)
+        .stats
+        .coarse_cycles
+}
+
+/// Shared read-only context for the pure per-pair functions.
+pub(crate) struct PairCtx<'a> {
+    catalog: &'a Catalog,
+    traces: &'a [CollectedTrace],
+    config: &'a AnalyzerConfig,
+    oracle: Option<&'a dyn IndexOracle>,
+    /// Present iff `config.smt_cache`.
+    cache: Option<VerdictCache>,
+    /// SQL text per trace statement, rendered once (indexed by trace, then
+    /// `StmtRecord::index - 1`) — cycle signatures are built in the hot
+    /// loop and must not re-render templates per pair.
+    stmt_sql: Vec<Vec<String>>,
+}
+
+impl<'a> PairCtx<'a> {
+    fn new(
+        catalog: &'a Catalog,
+        traces: &'a [CollectedTrace],
+        config: &'a AnalyzerConfig,
+        oracle: Option<&'a dyn IndexOracle>,
+    ) -> Self {
+        let stmt_sql = traces
+            .iter()
+            .map(|t| {
+                let mut sql = vec![String::new(); t.trace.statements.len()];
+                for rec in &t.trace.statements {
+                    sql[rec.index - 1] = rec.stmt.to_string();
+                }
+                sql
+            })
+            .collect();
+        PairCtx {
+            catalog,
+            traces,
+            config,
+            oracle,
+            cache: config.smt_cache.then(VerdictCache::new),
+            stmt_sql,
+        }
+    }
+
+    fn sql(&self, trace: usize, rec: &StmtRecord) -> &str {
+        &self.stmt_sql[trace][rec.index - 1]
+    }
+}
+
+/// One coarse SC-graph cycle found by [`scan_pair`], identified by the
+/// positions of its four statements within the pair's transactions.
+#[derive(Debug, Clone)]
+pub(crate) struct CycleCandidate {
+    /// Positions into `statements_of(a_txn)` / `statements_of(b_txn)`.
+    ah: usize,
+    aw: usize,
+    bh: usize,
+    bw: usize,
+    /// C-edge tables: `t1` for a_hold↔b_wait, `t2` for b_hold↔a_wait.
+    t1: Vec<String>,
+    t2: Vec<String>,
+}
+
+/// Everything phase 2 produces for one pair.
+pub(crate) struct PairOutcome {
+    /// Coarse cycles counted (equals `cycles.len()` when candidates are
+    /// collected; still counted when `fine_grained` is off).
+    coarse_cycles: usize,
+    /// Cycle candidates for the fine-grained phase, in scan order.
+    cycles: Vec<CycleCandidate>,
+    /// Wall time of this scan (summed into `phase2_time`).
+    scan_time: Duration,
+}
+
+/// Phase 2, pure: enumerate the pair's coarse SC-graph deadlock cycles.
+pub(crate) fn scan_pair(job: &PairJob, ctx: &PairCtx<'_>) -> PairOutcome {
+    let start = Instant::now();
+    let a = &ctx.traces[job.a];
+    let b = &ctx.traces[job.b];
+    let same_instance = job.same_instance();
+    let mut out = PairOutcome {
+        coarse_cycles: 0,
+        cycles: Vec::new(),
+        scan_time: Duration::ZERO,
+    };
+    let stmts_a = a.trace.statements_of(job.a_txn);
+    let stmts_b = b.trace.statements_of(job.b_txn);
+    for (ah, a_hold) in stmts_a.iter().enumerate() {
+        for (awo, a_wait) in stmts_a.iter().enumerate().skip(ah + 1) {
+            for (bh, b_hold) in stmts_b.iter().enumerate() {
+                for (bwo, b_wait) in stmts_b.iter().enumerate().skip(bh + 1) {
+                    if same_instance && (b_hold.index, b_wait.index) < (a_hold.index, a_wait.index)
+                    {
+                        continue; // symmetric duplicate
+                    }
+                    // C-edges at table granularity (unless brute force).
+                    let t1 = conflict_tables(a_hold, b_wait);
+                    let t2 = conflict_tables(b_hold, a_wait);
+                    if !ctx.config.skip_filter_phases && (t1.is_empty() || t2.is_empty()) {
+                        continue;
+                    }
+                    out.coarse_cycles += 1;
+                    if ctx.config.fine_grained {
+                        out.cycles.push(CycleCandidate {
+                            ah,
+                            aw: awo,
+                            bh,
+                            bw: bwo,
+                            t1,
+                            t2,
+                        });
                     }
                 }
             }
         }
     }
-    stats.publish();
-    weseer_obs::add("analyzer.deadlocks_reported", reports.len() as u64);
-    Diagnosis {
-        deadlocks: reports,
-        stats,
+    out.scan_time = start.elapsed();
+    out
+}
+
+/// A deduplicated cycle heading into the fine-grained phase.
+pub(crate) struct FineJob {
+    pair: PairJob,
+    cand: CycleCandidate,
+}
+
+enum FineVerdict {
+    /// No potentially conflicting lock pair on some C-edge — not a fine
+    /// candidate, nothing dispatched to the solver.
+    NoCandidate,
+    Sat(Box<DeadlockReport>),
+    Unsat,
+    Unknown,
+}
+
+pub(crate) struct FineOutcome {
+    verdict: FineVerdict,
+    /// Wall time of this check (summed into `phase3_time`).
+    time: Duration,
+}
+
+/// Phase 3, pure: lock modeling + conflict conditions + SMT for one cycle.
+pub(crate) fn fine_check(job: &FineJob, ctx: &PairCtx<'_>) -> FineOutcome {
+    let start = Instant::now();
+    let verdict = fine_check_inner(job, ctx);
+    FineOutcome {
+        verdict,
+        time: start.elapsed(),
     }
 }
 
-/// Count coarse-grained deadlock cycles only (the STEPDAD/REDACT baseline
-/// of Sec. VII-B, which reports 18,384 hold-and-wait cycles on the paper's
-/// workload). No lock modeling, no SMT.
-pub fn coarse_cycle_count(traces: &[CollectedTrace]) -> usize {
-    let mut config = AnalyzerConfig {
-        fine_grained: false,
-        ..AnalyzerConfig::default()
+fn fine_check_inner(job: &FineJob, ctx: &PairCtx<'_>) -> FineVerdict {
+    let pair = &job.pair;
+    let cand = &job.cand;
+    let a = &ctx.traces[pair.a];
+    let b = &ctx.traces[pair.b];
+    let stmts_a = a.trace.statements_of(pair.a_txn);
+    let stmts_b = b.trace.statements_of(pair.b_txn);
+    let (a_hold, a_wait) = (stmts_a[cand.ah], stmts_a[cand.aw]);
+    let (b_hold, b_wait) = (stmts_b[cand.bh], stmts_b[cand.bw]);
+    let config = ctx.config;
+
+    let mut dst = Ctx::new();
+    let mut imp_a = Importer::new(&a.ctx, "A1.");
+    let mut imp_b = Importer::new(&b.ctx, "A2.");
+
+    // Edge 1: A's held lock (a_hold) blocks B's waiter (b_wait).
+    let e1 = edge_condition(
+        &mut dst,
+        ctx.catalog,
+        a_hold,
+        &mut imp_a,
+        b_wait,
+        &mut imp_b,
+        &cand.t1,
+        1,
+        config,
+        ctx.oracle,
+    );
+    // Edge 2: B's held lock blocks A's waiter.
+    let e2 = edge_condition(
+        &mut dst,
+        ctx.catalog,
+        b_hold,
+        &mut imp_b,
+        a_wait,
+        &mut imp_a,
+        &cand.t2,
+        2,
+        config,
+        ctx.oracle,
+    );
+    let (Some(e1), Some(e2)) = (e1, e2) else {
+        return FineVerdict::NoCandidate; // no potentially conflicting lock pair
     };
-    config.max_reports = usize::MAX;
-    let mut stats = DiagnosisStats::default();
-    let mut reports = Vec::new();
-    let mut seen = HashSet::new();
-    let catalog = Catalog::default();
-    for (i, a) in traces.iter().enumerate() {
-        for (j, b) in traces.iter().enumerate().skip(i) {
-            for a_txn in 0..a.trace.txns.len() {
-                let b_start = if i == j { a_txn } else { 0 };
-                for b_txn in b_start..b.trace.txns.len() {
-                    diagnose_txn_pair(
-                        &catalog,
-                        (a, a_txn),
-                        (b, b_txn),
-                        i == j && a_txn == b_txn,
-                        &config,
-                        None,
-                        &mut stats,
-                        &mut reports,
-                        &mut seen,
-                    );
+
+    // Path conditions recorded before each instance's waiting statement.
+    let mut parts = vec![e1, e2];
+    // Generated identifiers from the same database sequence never collide:
+    // assert pairwise disequality within and across the two instances.
+    {
+        let mut all: Vec<(String, TermId)> = Vec::new();
+        for (g, t) in &a.trace.unique_ids {
+            all.push((g.clone(), imp_a.import(&mut dst, *t)));
+        }
+        for (g, t) in &b.trace.unique_ids {
+            all.push((g.clone(), imp_b.import(&mut dst, *t)));
+        }
+        for x in 0..all.len() {
+            for y in (x + 1)..all.len() {
+                if all[x].0 == all[y].0 && all[x].1 != all[y].1 {
+                    let (tx, ty) = (all[x].1, all[y].1);
+                    parts.push(dst.ne(tx, ty));
                 }
             }
         }
     }
-    stats.coarse_cycles
+    for pc in a.trace.path_conds_before(a_wait.seq) {
+        parts.push(imp_a.import(&mut dst, pc.term));
+    }
+    for pc in b.trace.path_conds_before(b_wait.seq) {
+        parts.push(imp_b.import(&mut dst, pc.term));
+    }
+    let formula = dst.and(parts);
+
+    let result = match &ctx.cache {
+        Some(cache) => cache.check(&dst, formula, &config.solver).0,
+        None => check(&mut dst, formula, &config.solver),
+    };
+    match result {
+        SolveResult::Sat(model) => {
+            let statements = vec![
+                reported(a_hold, "A1", &cand.t1),
+                reported(a_wait, "A1", &cand.t2),
+                reported(b_hold, "A2", &cand.t2),
+                reported(b_wait, "A2", &cand.t1),
+            ];
+            let model_excerpt: Vec<(String, String)> = model
+                .iter()
+                .filter(|(name, _)| !name.contains('!'))
+                .map(|(name, v)| (name.clone(), v.to_string()))
+                .collect();
+            FineVerdict::Sat(Box::new(DeadlockReport {
+                cycle: CycleId {
+                    a_api: a.trace.api.clone(),
+                    b_api: b.trace.api.clone(),
+                    a_txn: pair.a_txn,
+                    b_txn: pair.b_txn,
+                    a_hold: a_hold.index,
+                    a_wait: a_wait.index,
+                    b_hold: b_hold.index,
+                    b_wait: b_wait.index,
+                },
+                statements,
+                model: model_excerpt,
+            }))
+        }
+        SolveResult::Unsat => FineVerdict::Unsat,
+        SolveResult::Unknown => FineVerdict::Unknown,
+    }
 }
 
-fn txn_tables(trace: &Trace, txn: usize) -> (Vec<String>, Vec<String>) {
-    let mut accessed = Vec::new();
-    let mut written = Vec::new();
-    for s in trace.statements_of(txn) {
-        for t in s.stmt.tables() {
-            if !accessed.contains(&t) {
-                accessed.push(t);
-            }
+/// The staged pipeline: generate → scan (parallel) → dedup sweep (ordered)
+/// → fine checks (parallel) → reduce (ordered).
+fn run_pipeline(
+    catalog: &Catalog,
+    traces: &[CollectedTrace],
+    config: &AnalyzerConfig,
+    oracle: Option<&dyn IndexOracle>,
+) -> Diagnosis {
+    let mut stats = DiagnosisStats::default();
+
+    // ---- Phase 1: transaction-level conflict filter --------------------
+    let phase1_start = Instant::now();
+    let pair_set = generate_pairs(traces, config.skip_filter_phases);
+    stats.phase1_time = phase1_start.elapsed();
+    stats.txn_pairs = pair_set.total;
+    stats.pairs_after_phase1 = pair_set.jobs.len();
+
+    let threads = resolve_threads(config.threads);
+    let pctx = PairCtx::new(catalog, traces, config, oracle);
+
+    // ---- Phase 2: coarse SC-graph deadlock cycles (parallel) -----------
+    let outcomes = run_ordered(&pair_set.jobs, threads, |_, job| scan_pair(job, &pctx));
+
+    // Ordered sweep: cycles with the same statement templates and conflict
+    // tables are one deadlock pattern; check each pattern once (the
+    // paper's authors group reports the same way). The dedup is cross-pair
+    // state, so it runs sequentially in canonical pair order.
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut fine_jobs: Vec<FineJob> = Vec::new();
+    for (job, out) in pair_set.jobs.iter().zip(&outcomes) {
+        stats.coarse_cycles += out.coarse_cycles;
+        stats.phase2_time += out.scan_time;
+        if out.cycles.is_empty() {
+            continue;
         }
-        if let Some(w) = s.stmt.written_table() {
-            if !written.contains(&w.to_string()) {
-                written.push(w.to_string());
+        let a = &pctx.traces[job.a];
+        let b = &pctx.traces[job.b];
+        let stmts_a = a.trace.statements_of(job.a_txn);
+        let stmts_b = b.trace.statements_of(job.b_txn);
+        for cand in &out.cycles {
+            let signature = format!(
+                "{}|{}|{}|{}|{}|{}|{:?}|{:?}",
+                a.trace.api,
+                b.trace.api,
+                pctx.sql(job.a, stmts_a[cand.ah]),
+                pctx.sql(job.a, stmts_a[cand.aw]),
+                pctx.sql(job.b, stmts_b[cand.bh]),
+                pctx.sql(job.b, stmts_b[cand.bw]),
+                cand.t1,
+                cand.t2,
+            );
+            if seen.insert(signature) {
+                fine_jobs.push(FineJob {
+                    pair: *job,
+                    cand: cand.clone(),
+                });
             }
         }
     }
-    (accessed, written)
+
+    // ---- Phase 3: fine-grained lock modeling + SMT (parallel) ----------
+    let fine_outcomes = run_ordered(&fine_jobs, threads, |_, fj| fine_check(fj, &pctx));
+
+    // Ordered reduce: stats, reports, and max_reports truncation.
+    let mut reports: Vec<DeadlockReport> = Vec::new();
+    for out in fine_outcomes {
+        stats.phase3_time += out.time;
+        match out.verdict {
+            FineVerdict::NoCandidate => continue,
+            FineVerdict::Sat(report) => {
+                stats.fine_candidates += 1;
+                stats.smt_sat += 1;
+                reports.push(*report);
+            }
+            FineVerdict::Unsat => {
+                stats.fine_candidates += 1;
+                stats.smt_unsat += 1;
+            }
+            FineVerdict::Unknown => {
+                stats.fine_candidates += 1;
+                stats.smt_unknown += 1;
+            }
+        }
+        if reports.len() >= config.max_reports {
+            break;
+        }
+    }
+    Diagnosis {
+        deadlocks: reports,
+        stats,
+    }
 }
 
 /// Coarse C-edge: tables both access where at least one writes.
@@ -252,114 +570,6 @@ fn conflict_tables(a: &StmtRecord, b: &StmtRecord) -> Vec<String> {
         }
     }
     out
-}
-
-#[allow(clippy::too_many_arguments)]
-fn diagnose_txn_pair(
-    catalog: &Catalog,
-    (a, a_txn): (&CollectedTrace, usize),
-    (b, b_txn): (&CollectedTrace, usize),
-    same_instance_pair: bool,
-    config: &AnalyzerConfig,
-    oracle: Option<&dyn IndexOracle>,
-    stats: &mut DiagnosisStats,
-    reports: &mut Vec<DeadlockReport>,
-    seen: &mut HashSet<String>,
-) {
-    stats.txn_pairs += 1;
-
-    // ---- Phase 1: transaction-level conflict filter --------------------
-    let phase1_start = Instant::now();
-    if !config.skip_filter_phases {
-        let (acc_a, wr_a) = txn_tables(&a.trace, a_txn);
-        let (acc_b, wr_b) = txn_tables(&b.trace, b_txn);
-        let conflict = acc_a
-            .iter()
-            .any(|t| acc_b.contains(t) && (wr_a.contains(t) || wr_b.contains(t)));
-        if !conflict {
-            stats.phase1_time += phase1_start.elapsed();
-            return;
-        }
-    }
-    stats.phase1_time += phase1_start.elapsed();
-    stats.pairs_after_phase1 += 1;
-
-    // ---- Phase 2: coarse SC-graph deadlock cycles -----------------------
-    // Phase-2 time is the cycle enumeration below minus whatever
-    // fine_check (phase 3) accumulates while dispatched from it.
-    let phase2_start = Instant::now();
-    let phase3_before = stats.phase3_time;
-    let record_phase2 = |stats: &mut DiagnosisStats| {
-        stats.phase2_time += phase2_start
-            .elapsed()
-            .saturating_sub(stats.phase3_time - phase3_before);
-    };
-    let stmts_a = a.trace.statements_of(a_txn);
-    let stmts_b = b.trace.statements_of(b_txn);
-    for (ah, a_hold) in stmts_a.iter().enumerate() {
-        for a_wait in stmts_a.iter().skip(ah + 1) {
-            for (bh, b_hold) in stmts_b.iter().enumerate() {
-                for b_wait in stmts_b.iter().skip(bh + 1) {
-                    if same_instance_pair
-                        && (b_hold.index, b_wait.index) < (a_hold.index, a_wait.index)
-                    {
-                        continue; // symmetric duplicate
-                    }
-                    // C-edges at table granularity (unless brute force).
-                    let t1 = conflict_tables(a_hold, b_wait);
-                    let t2 = conflict_tables(b_hold, a_wait);
-                    if !config.skip_filter_phases && (t1.is_empty() || t2.is_empty()) {
-                        continue;
-                    }
-                    stats.coarse_cycles += 1;
-                    if !config.fine_grained {
-                        continue;
-                    }
-                    // Cycles with the same statement templates and conflict
-                    // tables are one deadlock pattern; check each pattern
-                    // once (the paper's authors group reports the same way).
-                    let signature = format!(
-                        "{}|{}|{}|{}|{}|{}|{t1:?}|{t2:?}",
-                        a.trace.api,
-                        b.trace.api,
-                        a_hold.stmt,
-                        a_wait.stmt,
-                        b_hold.stmt,
-                        b_wait.stmt,
-                    );
-                    if !seen.insert(signature) {
-                        continue;
-                    }
-                    fine_check(
-                        catalog,
-                        oracle,
-                        a,
-                        b,
-                        CycleId {
-                            a_api: a.trace.api.clone(),
-                            b_api: b.trace.api.clone(),
-                            a_txn,
-                            b_txn,
-                            a_hold: a_hold.index,
-                            a_wait: a_wait.index,
-                            b_hold: b_hold.index,
-                            b_wait: b_wait.index,
-                        },
-                        (a_hold, a_wait, b_hold, b_wait),
-                        (&t1, &t2),
-                        config,
-                        stats,
-                        reports,
-                    );
-                    if reports.len() >= config.max_reports {
-                        record_phase2(stats);
-                        return;
-                    }
-                }
-            }
-        }
-    }
-    record_phase2(stats);
 }
 
 /// A C-edge's conflict condition: the *holder*'s acquired locks block the
@@ -448,110 +658,6 @@ fn edge_condition(
         None
     } else {
         Some(dst.or(arms))
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn fine_check(
-    catalog: &Catalog,
-    oracle: Option<&dyn IndexOracle>,
-    a: &CollectedTrace,
-    b: &CollectedTrace,
-    cycle: CycleId,
-    stmts: (&StmtRecord, &StmtRecord, &StmtRecord, &StmtRecord),
-    tables: (&[String], &[String]),
-    config: &AnalyzerConfig,
-    stats: &mut DiagnosisStats,
-    reports: &mut Vec<DeadlockReport>,
-) {
-    let start = Instant::now();
-    fine_check_inner(
-        catalog, oracle, a, b, cycle, stmts, tables, config, stats, reports,
-    );
-    stats.phase3_time += start.elapsed();
-}
-
-#[allow(clippy::too_many_arguments)]
-fn fine_check_inner(
-    catalog: &Catalog,
-    oracle: Option<&dyn IndexOracle>,
-    a: &CollectedTrace,
-    b: &CollectedTrace,
-    cycle: CycleId,
-    (a_hold, a_wait, b_hold, b_wait): (&StmtRecord, &StmtRecord, &StmtRecord, &StmtRecord),
-    (t1, t2): (&[String], &[String]),
-    config: &AnalyzerConfig,
-    stats: &mut DiagnosisStats,
-    reports: &mut Vec<DeadlockReport>,
-) {
-    let mut dst = Ctx::new();
-    let mut imp_a = Importer::new(&a.ctx, "A1.");
-    let mut imp_b = Importer::new(&b.ctx, "A2.");
-
-    // Edge 1: A's held lock (a_hold) blocks B's waiter (b_wait).
-    let e1 = edge_condition(
-        &mut dst, catalog, a_hold, &mut imp_a, b_wait, &mut imp_b, t1, 1, config, oracle,
-    );
-    // Edge 2: B's held lock blocks A's waiter.
-    let e2 = edge_condition(
-        &mut dst, catalog, b_hold, &mut imp_b, a_wait, &mut imp_a, t2, 2, config, oracle,
-    );
-    let (Some(e1), Some(e2)) = (e1, e2) else {
-        return; // no potentially conflicting lock pair on some edge
-    };
-    stats.fine_candidates += 1;
-
-    // Path conditions recorded before each instance's waiting statement.
-    let mut parts = vec![e1, e2];
-    // Generated identifiers from the same database sequence never collide:
-    // assert pairwise disequality within and across the two instances.
-    {
-        let mut all: Vec<(String, TermId)> = Vec::new();
-        for (g, t) in &a.trace.unique_ids {
-            all.push((g.clone(), imp_a.import(&mut dst, *t)));
-        }
-        for (g, t) in &b.trace.unique_ids {
-            all.push((g.clone(), imp_b.import(&mut dst, *t)));
-        }
-        for x in 0..all.len() {
-            for y in (x + 1)..all.len() {
-                if all[x].0 == all[y].0 && all[x].1 != all[y].1 {
-                    let (tx, ty) = (all[x].1, all[y].1);
-                    parts.push(dst.ne(tx, ty));
-                }
-            }
-        }
-    }
-    for pc in a.trace.path_conds_before(a_wait.seq) {
-        parts.push(imp_a.import(&mut dst, pc.term));
-    }
-    for pc in b.trace.path_conds_before(b_wait.seq) {
-        parts.push(imp_b.import(&mut dst, pc.term));
-    }
-    let formula = dst.and(parts);
-
-    match check(&mut dst, formula, &config.solver) {
-        SolveResult::Sat(model) => {
-            stats.smt_sat += 1;
-            let statements = vec![
-                reported(a_hold, "A1", t1),
-                reported(a_wait, "A1", t2),
-                reported(b_hold, "A2", t2),
-                reported(b_wait, "A2", t1),
-            ];
-            let model_excerpt: Vec<(String, String)> = model
-                .iter()
-                .filter(|(name, _)| !name.contains('!'))
-                .map(|(name, v)| (name.clone(), v.to_string()))
-                .collect();
-            reports.push(DeadlockReport {
-                cycle,
-                statements,
-                model: model_excerpt,
-            });
-        }
-        SolveResult::Unsat => stats.smt_unsat += 1,
-        SolveResult::Unknown => stats.smt_unknown += 1,
     }
 }
 

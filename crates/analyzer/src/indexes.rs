@@ -46,8 +46,9 @@ struct Edge {
 /// the paper's Sec. V-D future work of consulting the database's concrete
 /// execution plan (`EXPLAIN`) instead of enumerating every possible
 /// index. `None` means the oracle has no answer for this statement and
-/// the enumeration result stands.
-pub trait IndexOracle {
+/// the enumeration result stands. `Sync` because the parallel fine-grained
+/// phase consults the oracle from worker threads.
+pub trait IndexOracle: Sync {
     /// The chosen `(alias, index name or None-for-scan)` per table access
     /// of `stmt`, or `None` when unknown.
     fn plan(&self, stmt: &Statement) -> Option<Vec<(String, Option<String>)>>;

@@ -11,9 +11,15 @@
 //! * [`encode`] — Alg. 3 conflict conditions (unified read/write
 //!   conditions, associated conditions, range-lock enlargement) plus term
 //!   import with instance prefixes (Fig. 9's `A1.order_id`);
-//! * [`diagnose`] — the three phases, SMT dispatch, and statistics; also
-//!   the STEPDAD/REDACT-style coarse baseline for the Sec. VII-B
-//!   comparison;
+//! * [`pairs`] — the phase-1 pair generator: the transaction-level
+//!   conflict graph built once, yielding conflicting pairs in canonical
+//!   order;
+//! * [`schedule`] — the std-only chunk-claiming thread pool with an
+//!   order-preserving merge (`threads = 1` runs inline);
+//! * [`diagnose`] — the three phases staged as pure per-pair scans and
+//!   fine checks with ordered reduces, SMT dispatch through the verdict
+//!   cache, and statistics; also the STEPDAD/REDACT-style coarse baseline
+//!   for the Sec. VII-B comparison;
 //! * [`report`] — developer-facing deadlock reports with triggering code
 //!   and witness assignments.
 
@@ -21,7 +27,9 @@ pub mod diagnose;
 pub mod encode;
 pub mod indexes;
 pub mod locks;
+pub mod pairs;
 pub mod report;
+pub mod schedule;
 pub mod viz;
 
 pub use diagnose::{
@@ -29,4 +37,6 @@ pub use diagnose::{
     DiagnosisStats,
 };
 pub use indexes::IndexOracle;
+pub use pairs::{generate_pairs, PairJob, PairSet};
 pub use report::{render_stats, CycleId, DeadlockReport, ReportedStatement};
+pub use schedule::{resolve_threads, run_ordered};

@@ -1,0 +1,131 @@
+//! A small std-only scoped-thread pool with a deterministic merge.
+//!
+//! [`run_ordered`] maps a pure function over a slice on `threads` workers.
+//! Workers claim contiguous chunks of indexes from a shared atomic cursor
+//! (cheap work stealing: fast workers simply claim more chunks) and write
+//! each result into its item's slot, so the returned `Vec` is in *input
+//! order* no matter which worker finished when. Callers reduce that vector
+//! sequentially, which is what makes the parallel diagnosis bit-identical
+//! to the sequential one.
+//!
+//! `threads <= 1` (or a trivial slice) runs inline on the caller's thread
+//! with no pool, no atomics, and no extra allocations.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolve a thread-count request: `0` means auto — the `WESEER_THREADS`
+/// environment variable if set to a positive number, else
+/// [`std::thread::available_parallelism`].
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(v) = std::env::var("WESEER_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` on up to `threads` workers, returning the results
+/// in input order. `f` must be pure up to its observability side effects —
+/// nothing here serializes calls.
+pub fn run_ordered<I, O, F>(items: &[I], threads: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(usize, &I) -> O + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+    }
+    let workers = threads.min(n);
+    // Small chunks keep the tail balanced; large enough to amortize the
+    // cursor contention.
+    let chunk = (n / (workers * 8)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        let (cursor, slots, f) = (&cursor, &slots, &f);
+        for w in 0..workers {
+            scope.spawn(move || {
+                let _span = weseer_obs::span(&format!("analyzer.worker{w}"));
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + chunk).min(n);
+                    for i in start..end {
+                        let out = f(i, &items[i]);
+                        *slots[i].lock().unwrap() = Some(out);
+                    }
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every index claimed exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        for threads in [1, 2, 4, 7] {
+            let out = run_ordered(&items, threads, |i, &x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(out, (0..1000).map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let items: Vec<u8> = vec![0; 257]; // not a multiple of any chunk size
+        let out = run_ordered(&items, 4, |_, _| calls.fetch_add(1, Ordering::Relaxed));
+        assert_eq!(out.len(), 257);
+        assert_eq!(calls.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let out: Vec<i32> = run_ordered(&[] as &[i32], 8, |_, &x| x);
+        assert!(out.is_empty());
+        let out = run_ordered(&[42], 8, |_, &x| x + 1);
+        assert_eq!(out, vec![43]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = run_ordered(&[1, 2, 3], 64, |_, &x| x * x);
+        assert_eq!(out, vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn resolve_prefers_explicit_request() {
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
+    }
+}

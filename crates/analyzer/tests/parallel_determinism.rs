@@ -1,0 +1,233 @@
+//! Properties of the pair pipeline on randomly generated trace sets:
+//!
+//! 1. the diagnosis — rendered reports, their order, and every funnel
+//!    counter — is identical for `threads = 1` and `threads = 4` (the
+//!    deterministic-merge contract of `run_ordered`), and
+//! 2. the phase-1 pair generator emits exactly the pairs a brute-force
+//!    enumeration of the transaction-level conflict predicate finds (and
+//!    the full pair space when the filter is skipped).
+
+use proptest::prelude::*;
+use weseer_analyzer::{
+    diagnose, generate_pairs, AnalyzerConfig, CollectedTrace, DiagnosisStats, PairJob,
+};
+use weseer_concolic::{EngineStats, ResultRow, StackTrace, StmtRecord, SymValue, Trace, TxnTrace};
+use weseer_smt::{Ctx, Sort};
+use weseer_sqlir::{parser::parse, Catalog, ColType, TableBuilder, Value};
+
+/// Three small single-column tables the random statements draw from.
+fn catalog() -> Catalog {
+    Catalog::new(
+        (0..3)
+            .map(|i| {
+                TableBuilder::new(format!("T{i}"))
+                    .col("ID", ColType::Int)
+                    .col("VAL", ColType::Int)
+                    .primary_key(&["ID"])
+                    .build()
+                    .unwrap()
+            })
+            .collect(),
+    )
+    .unwrap()
+}
+
+/// One random statement: which table, read or write, and the concrete
+/// parameter values (each also bound to a fresh symbolic variable).
+#[derive(Debug, Clone)]
+struct GenStmt {
+    table: usize,
+    write: bool,
+    key: i64,
+}
+
+/// A random trace: transactions as lists of statements.
+type GenTrace = Vec<Vec<GenStmt>>;
+
+fn stmt_strategy() -> impl Strategy<Value = GenStmt> {
+    (0usize..3, any::<bool>(), 0i64..3).prop_map(|(table, write, key)| GenStmt {
+        table,
+        write,
+        key,
+    })
+}
+
+fn trace_strategy() -> impl Strategy<Value = GenTrace> {
+    proptest::collection::vec(
+        proptest::collection::vec(stmt_strategy(), 1..4),
+        1..3, // 1–2 transactions per trace
+    )
+}
+
+/// Materialize a generated trace as a real `CollectedTrace` with symbolic
+/// parameters, following the engine's record layout.
+fn build_trace(api: usize, gen: &GenTrace) -> CollectedTrace {
+    let mut ctx = Ctx::new();
+    let mut statements = Vec::new();
+    let mut txns = Vec::new();
+    let mut seq = 0u64;
+    for (txn_id, stmts) in gen.iter().enumerate() {
+        let mut stmt_indexes = Vec::new();
+        for g in stmts {
+            let index = statements.len() + 1;
+            let t = format!("T{}", g.table);
+            let (sql, params) = if g.write {
+                let v = ctx.var(format!("p{api}_{index}v"), Sort::Int);
+                let k = ctx.var(format!("p{api}_{index}k"), Sort::Int);
+                (
+                    format!("UPDATE {t} SET VAL = ? WHERE ID = ?"),
+                    vec![
+                        SymValue::with_sym(Value::Int(g.key + 10), v),
+                        SymValue::with_sym(Value::Int(g.key), k),
+                    ],
+                )
+            } else {
+                let k = ctx.var(format!("p{api}_{index}k"), Sort::Int);
+                (
+                    format!("SELECT * FROM {t} x WHERE x.ID = ?"),
+                    vec![SymValue::with_sym(Value::Int(g.key), k)],
+                )
+            };
+            // Reads return one matching row (alias-qualified columns);
+            // writes return no rows.
+            let rows = if g.write {
+                vec![]
+            } else {
+                vec![ResultRow {
+                    cols: vec![
+                        ("x.ID".to_string(), SymValue::concrete(Value::Int(g.key))),
+                        ("x.VAL".to_string(), SymValue::concrete(Value::Int(0))),
+                    ],
+                }]
+            };
+            seq += 1;
+            let is_empty = rows.is_empty();
+            stmt_indexes.push(statements.len());
+            statements.push(StmtRecord {
+                index,
+                seq,
+                txn: txn_id,
+                stmt: parse(&sql).unwrap(),
+                params,
+                rows,
+                is_empty,
+                trigger: StackTrace::new(),
+                sent_at: StackTrace::new(),
+            });
+        }
+        txns.push(TxnTrace {
+            id: txn_id,
+            stmt_indexes,
+            committed: true,
+        });
+    }
+    CollectedTrace::new(
+        Trace {
+            api: format!("Api{api}"),
+            statements,
+            txns,
+            path_conds: vec![],
+            unique_ids: vec![],
+            stats: EngineStats::default(),
+        },
+        ctx,
+    )
+}
+
+/// The deterministic projection of the stats (wall times excluded).
+fn funnel(s: &DiagnosisStats) -> [usize; 7] {
+    [
+        s.txn_pairs,
+        s.pairs_after_phase1,
+        s.coarse_cycles,
+        s.fine_candidates,
+        s.smt_sat,
+        s.smt_unsat,
+        s.smt_unknown,
+    ]
+}
+
+/// The transaction-level conflict predicate, straight from the paper:
+/// some table is accessed by both transactions and written by at least
+/// one of them.
+fn conflicts(a: &Trace, a_txn: usize, b: &Trace, b_txn: usize) -> bool {
+    let written = |t: &Trace, txn: usize| -> Vec<String> {
+        t.statements_of(txn)
+            .iter()
+            .filter_map(|s| s.stmt.written_table().map(str::to_string))
+            .collect()
+    };
+    let (ta, tb) = (a.tables_of(a_txn), b.tables_of(b_txn));
+    let (wa, wb) = (written(a, a_txn), written(b, b_txn));
+    ta.iter()
+        .any(|t| tb.contains(t) && (wa.contains(t) || wb.contains(t)))
+}
+
+/// Brute-force phase 1: enumerate the whole pair space (legacy loop order)
+/// and apply the predicate per pair.
+fn brute_force_pairs(traces: &[CollectedTrace], skip_filter: bool) -> (Vec<PairJob>, usize) {
+    let mut jobs = Vec::new();
+    let mut total = 0usize;
+    for a in 0..traces.len() {
+        for b in a..traces.len() {
+            for a_txn in 0..traces[a].trace.txns.len() {
+                let b_start = if a == b { a_txn } else { 0 };
+                for b_txn in b_start..traces[b].trace.txns.len() {
+                    total += 1;
+                    if skip_filter || conflicts(&traces[a].trace, a_txn, &traces[b].trace, b_txn) {
+                        jobs.push(PairJob { a, b, a_txn, b_txn });
+                    }
+                }
+            }
+        }
+    }
+    jobs.sort_unstable();
+    (jobs, total)
+}
+
+// The generated workloads are not vacuous: over the deterministic 12-case
+// run the diagnoses sum to 16 coarse cycles, 12 fine candidates and 12
+// SAT verdicts, so the equality below covers every pipeline stage.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn generator_matches_brute_force(gens in proptest::collection::vec(trace_strategy(), 1..4)) {
+        let traces: Vec<CollectedTrace> = gens
+            .iter()
+            .enumerate()
+            .map(|(i, g)| build_trace(i, g))
+            .collect();
+        for skip_filter in [false, true] {
+            let set = generate_pairs(&traces, skip_filter);
+            let (expected, total) = brute_force_pairs(&traces, skip_filter);
+            prop_assert_eq!(set.total, total, "pair-space size (skip={})", skip_filter);
+            prop_assert_eq!(&set.jobs, &expected, "pair set (skip={})", skip_filter);
+        }
+    }
+
+    #[test]
+    fn parallel_diagnosis_equals_sequential(gens in proptest::collection::vec(trace_strategy(), 1..3)) {
+        let catalog = catalog();
+        let traces: Vec<CollectedTrace> = gens
+            .iter()
+            .enumerate()
+            .map(|(i, g)| build_trace(i, g))
+            .collect();
+        let run = |threads: usize| {
+            diagnose(
+                &catalog,
+                &traces,
+                &AnalyzerConfig {
+                    threads,
+                    ..AnalyzerConfig::default()
+                },
+            )
+        };
+        let seq = run(1);
+        let par = run(4);
+        prop_assert_eq!(funnel(&seq.stats), funnel(&par.stats));
+        let seq_reports: Vec<String> = seq.deadlocks.iter().map(|r| r.to_string()).collect();
+        let par_reports: Vec<String> = par.deadlocks.iter().map(|r| r.to_string()).collect();
+        prop_assert_eq!(seq_reports, par_reports);
+    }
+}

@@ -4,12 +4,18 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use weseer_analyzer::{coarse_cycle_count, diagnose, AnalyzerConfig, CollectedTrace};
-use weseer_apps::{ECommerceApp, Shopizer};
+use weseer_apps::{Broadleaf, ECommerceApp, Shopizer};
 use weseer_core::Weseer;
 
 fn traces() -> Vec<CollectedTrace> {
     let weseer = Weseer::new();
     let (traces, _db) = weseer.collect_traces(&Shopizer, &weseer_apps::Fixes::none());
+    traces
+}
+
+fn broadleaf_traces() -> Vec<CollectedTrace> {
+    let weseer = Weseer::new();
+    let (traces, _db) = weseer.collect_traces(&Broadleaf, &weseer_apps::Fixes::none());
     traces
 }
 
@@ -55,6 +61,46 @@ fn bench(c: &mut Criterion) {
             assert!(n > 0);
         })
     });
+
+    // Scheduler sweep on the Broadleaf-scale workload (the larger trace
+    // set): same diagnosis, varying worker counts. Output is identical
+    // for every point — only the wall clock moves.
+    let bl_catalog = Broadleaf.catalog();
+    let bl = broadleaf_traces();
+    for threads in [1, 2, 4, 8] {
+        let config = AnalyzerConfig {
+            threads,
+            ..AnalyzerConfig::default()
+        };
+        g.bench_function(format!("broadleaf_threads{threads}"), |b| {
+            b.iter(|| {
+                let d = diagnose(&bl_catalog, &bl, &config);
+                assert!(!d.deadlocks.is_empty());
+            })
+        });
+    }
+
+    // The verdict cache's contribution, isolated at one thread, on both
+    // workloads: Broadleaf's candidates differ in concrete constants (all
+    // misses — the bench bounds the canonicalization overhead), while
+    // Shopizer's repeated Add templates re-discharge alpha-equivalent
+    // formulas (real hits — the bench measures the saved solves).
+    for (name, cat, ts) in [("broadleaf", &bl_catalog, &bl), ("shopizer", &catalog, &ts)] {
+        for smt_cache in [true, false] {
+            let config = AnalyzerConfig {
+                threads: 1,
+                smt_cache,
+                ..AnalyzerConfig::default()
+            };
+            let suffix = if smt_cache { "cache" } else { "nocache" };
+            g.bench_function(format!("{name}_threads1_{suffix}"), |b| {
+                b.iter(|| {
+                    let d = diagnose(cat, ts, &config);
+                    assert!(!d.deadlocks.is_empty());
+                })
+            });
+        }
+    }
 
     g.finish();
 }

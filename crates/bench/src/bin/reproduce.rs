@@ -1,16 +1,19 @@
 //! Regenerate the paper's evaluation artifacts.
 //!
 //! ```text
-//! reproduce [--quick] [--metrics-out <path>] [table1] [table2] [table3]
-//!           [fig10] [fig11] [pruning] [baseline] [aborts] [all]
+//! reproduce [--quick] [--threads <n>] [--metrics-out <path>] [table1]
+//!           [table2] [table3] [fig10] [fig11] [pruning] [baseline]
+//!           [aborts] [all]
 //! ```
 //!
 //! With no selector (or `all`), every experiment runs. `--quick` shrinks
-//! the performance sweeps for CI-scale runs. `--metrics-out <path>` runs
-//! the diagnosis pipeline on both apps with the observability registry
-//! enabled, prints the funnel/timing report, and writes the JSON-lines
-//! metrics export to `<path>`; with no other selector, only the metrics
-//! run happens.
+//! the performance sweeps for CI-scale runs. `--threads <n>` pins the
+//! analyzer's worker count (equivalent to setting `WESEER_THREADS=<n>`;
+//! the diagnosis output is identical for every value — see the CI
+//! determinism job). `--metrics-out <path>` runs the diagnosis pipeline on
+//! both apps with the observability registry enabled, prints the
+//! funnel/timing report, and writes the JSON-lines metrics export to
+//! `<path>`; with no other selector, only the metrics run happens.
 
 use weseer_bench::experiments;
 
@@ -25,6 +28,17 @@ fn main() {
                 std::process::exit(2);
             });
             metrics_out = Some(path);
+        } else if arg == "--threads" {
+            let n = raw
+                .next()
+                .and_then(|v| v.parse::<usize>().ok().filter(|&n| n > 0))
+                .unwrap_or_else(|| {
+                    eprintln!("--threads requires a positive integer argument");
+                    std::process::exit(2);
+                });
+            // The experiments build their own `Weseer` facades with the
+            // default (auto) thread setting, which consults this variable.
+            std::env::set_var("WESEER_THREADS", n.to_string());
         } else {
             rest.push(arg);
         }

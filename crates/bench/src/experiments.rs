@@ -295,6 +295,19 @@ pub fn metrics_report() -> (String, String) {
             &format!("{} diagnosis metrics", analysis.app),
             FUNNEL_STAGES,
         ));
+        // The verdict cache sits outside the funnel (hit/miss counts are
+        // scheduling-dependent): report its hit rate separately.
+        let hits = analysis.metrics.counter("smt.cache_hit");
+        let misses = analysis.metrics.counter("smt.cache_miss");
+        if hits + misses > 0 {
+            let _ = writeln!(
+                human,
+                "SMT verdict cache: {hits} hits / {misses} misses ({:.1}% hit rate), \
+                 pairs pruned by phase 1: {}",
+                100.0 * hits as f64 / (hits + misses) as f64,
+                analysis.metrics.counter("analyzer.pairs_pruned"),
+            );
+        }
         human.push('\n');
         json.push_str(&analysis.metrics.to_json_lines(Some(&analysis.app)));
     }

@@ -82,6 +82,14 @@ impl Weseer {
         Weseer::default()
     }
 
+    /// Pin the analyzer's worker-thread count (`0` = auto: the
+    /// `WESEER_THREADS` environment variable if set, else all cores).
+    /// The diagnosis output is identical for every value.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
     /// Collect the Table I unit-test traces of an application, chaining
     /// database state between tests (paper Sec. VII-B).
     pub fn collect_traces(

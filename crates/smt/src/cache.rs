@@ -1,0 +1,217 @@
+//! Cross-query verdict cache keyed by canonical formulas.
+//!
+//! Traces collected from the same API template re-discharge near-identical
+//! solver queries (same SQL templates, same path structure, different
+//! variable namespaces). [`VerdictCache`] canonicalizes each query with
+//! [`crate::canon::Canonical`] and memoizes the verdict under the canonical
+//! key, so the second and later occurrences skip the lazy-SMT loop.
+//!
+//! Determinism: the cache solves the **rebuilt canonical formula**, not the
+//! query that happened to arrive first. The cached verdict — including the
+//! model, stored over canonical `v{i}` names — is therefore a pure function
+//! of the key, and every query translating that model back through its own
+//! renaming gets the same answer no matter which worker filled the entry.
+//! Hit/miss *counts* do depend on scheduling (two workers can race on the
+//! same key and both miss), so they are surfaced only through
+//! [`SolverStats`] and the observability counters, never through anything
+//! that must be bit-identical across thread counts.
+
+use crate::canon::Canonical;
+use crate::model::Model;
+use crate::solver::{check_with_stats, SolveResult, SolverConfig, SolverStats};
+use crate::term::{Ctx, TermId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A memoized verdict; SAT models are stored over canonical names.
+#[derive(Debug, Clone)]
+enum CachedVerdict {
+    Sat(Model),
+    Unsat,
+    /// Resource-limit exhaustion is deterministic (fixed budgets), so
+    /// Unknown is cacheable too.
+    Unknown,
+}
+
+/// Thread-safe SAT/UNSAT memo table over canonicalized formulas.
+#[derive(Debug, Default)]
+pub struct VerdictCache {
+    map: Mutex<HashMap<String, CachedVerdict>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl VerdictCache {
+    /// New empty cache.
+    pub fn new() -> VerdictCache {
+        VerdictCache::default()
+    }
+
+    /// Decide `assertion` through the cache. Drop-in for
+    /// [`crate::solver::check_with_stats`] except the context needs no
+    /// mutable borrow (solving happens in a fresh canonical context).
+    ///
+    /// Observability: hits record `smt.solve_us` / `smt.solve_calls` like a
+    /// real solve (so funnel invariants such as `solve_calls ≥
+    /// fine_candidates` keep holding) plus `smt.cache_hit`; misses solve via
+    /// [`check_with_stats`] (which records those) plus `smt.cache_miss`.
+    pub fn check(
+        &self,
+        ctx: &Ctx,
+        assertion: TermId,
+        config: &SolverConfig,
+    ) -> (SolveResult, SolverStats) {
+        let start = std::time::Instant::now();
+        let canon = Canonical::of(ctx, assertion);
+
+        let cached = self.map.lock().unwrap().get(&canon.key).cloned();
+        if let Some(verdict) = cached {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            let result = match verdict {
+                CachedVerdict::Sat(m) => SolveResult::Sat(canon.translate_model(&m)),
+                CachedVerdict::Unsat => SolveResult::Unsat,
+                CachedVerdict::Unknown => SolveResult::Unknown,
+            };
+            weseer_obs::observe_duration("smt.solve_us", start.elapsed());
+            weseer_obs::add("smt.solve_calls", 1);
+            weseer_obs::add("smt.cache_hit", 1);
+            let stats = SolverStats {
+                cache_hits: 1,
+                ..SolverStats::default()
+            };
+            return (result, stats);
+        }
+
+        // Miss: solve the canonical formula so the stored entry does not
+        // depend on which query got here first.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let (mut cctx, cterm) = canon.rebuild(ctx, assertion);
+        let (result, mut stats) = check_with_stats(&mut cctx, cterm, config);
+        weseer_obs::add("smt.cache_miss", 1);
+        stats.cache_misses = 1;
+
+        let (verdict, translated) = match result {
+            SolveResult::Sat(m) => {
+                let translated = canon.translate_model(&m);
+                (CachedVerdict::Sat(m), SolveResult::Sat(translated))
+            }
+            SolveResult::Unsat => (CachedVerdict::Unsat, SolveResult::Unsat),
+            SolveResult::Unknown => (CachedVerdict::Unknown, SolveResult::Unknown),
+        };
+        // entry().or_insert: under a double-miss race the first entry wins,
+        // which is safe because every entry for a key is identical.
+        self.map.lock().unwrap().entry(canon.key).or_insert(verdict);
+        (translated, stats)
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct canonical formulas stored.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// Whether the cache has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Sort;
+
+    fn cfg() -> SolverConfig {
+        SolverConfig::default()
+    }
+
+    #[test]
+    fn second_alpha_variant_hits() {
+        let cache = VerdictCache::new();
+        let mut ctx = Ctx::new();
+
+        let build = |ctx: &mut Ctx, prefix: &str| {
+            let x = ctx.var(format!("{prefix}.id"), Sort::Int);
+            let three = ctx.int(3);
+            ctx.gt(x, three)
+        };
+        let f1 = build(&mut ctx, "A1");
+        let f2 = build(&mut ctx, "B7");
+
+        let (r1, s1) = cache.check(&ctx, f1, &cfg());
+        assert!(r1.is_sat());
+        assert_eq!((s1.cache_hits, s1.cache_misses), (0, 1));
+
+        let (r2, s2) = cache.check(&ctx, f2, &cfg());
+        assert_eq!((s2.cache_hits, s2.cache_misses), (1, 0));
+        let m = r2.model().expect("hit still returns a model");
+        // The model must come back in *this* query's namespace.
+        assert!(m.get_int("B7.id").unwrap() > 3);
+        assert!(m.satisfies(&ctx, f2));
+
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn verdicts_are_schedule_independent() {
+        // Fill the cache from two different alpha-variants of the same
+        // formula; both orders must yield identical translated models.
+        let mk = |seed_first: bool| {
+            let cache = VerdictCache::new();
+            let mut ctx = Ctx::new();
+            let q = |ctx: &mut Ctx, p: &str| {
+                let x = ctx.var(format!("{p}.qty"), Sort::Int);
+                let lo = ctx.int(10);
+                let hi = ctx.int(20);
+                let a = ctx.ge(x, lo);
+                let b = ctx.lt(x, hi);
+                ctx.and([a, b])
+            };
+            let fa = q(&mut ctx, "A1");
+            let fb = q(&mut ctx, "A2");
+            let (first, second) = if seed_first { (fa, fb) } else { (fb, fa) };
+            let _ = cache.check(&ctx, first, &cfg());
+            let (r, _) = cache.check(&ctx, second, &cfg());
+            let m = r.model().unwrap();
+            let name = if seed_first { "A2.qty" } else { "A1.qty" };
+            m.get_int(name).unwrap()
+        };
+        assert_eq!(mk(true), mk(false));
+    }
+
+    #[test]
+    fn unsat_and_distinct_formulas() {
+        let cache = VerdictCache::new();
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Int);
+        let zero = ctx.int(0);
+        let one = ctx.int(1);
+        let c1 = ctx.lt(zero, x);
+        let c2 = ctx.lt(x, one);
+        let gap = ctx.and([c1, c2]);
+        let (r, _) = cache.check(&ctx, gap, &cfg());
+        assert!(matches!(r, SolveResult::Unsat));
+        let (r2, s2) = cache.check(&ctx, gap, &cfg());
+        assert!(matches!(r2, SolveResult::Unsat));
+        assert_eq!(s2.cache_hits, 1);
+
+        // A structurally different formula must not collide.
+        let ok = ctx.le(zero, x);
+        let (r3, s3) = cache.check(&ctx, ok, &cfg());
+        assert!(r3.is_sat());
+        assert_eq!(s3.cache_misses, 1);
+        assert_eq!(cache.len(), 2);
+    }
+}

@@ -1,0 +1,393 @@
+//! Formula canonicalization for the verdict cache.
+//!
+//! Traces collected from the same API template make the analyzer
+//! re-discharge near-identical solver queries: the formulas differ only in
+//! variable *names* (`A1.userId` in one pair, `A2.userId` in another) and
+//! in the order symmetric connectives happened to be built. This module
+//! maps a formula to a **canonical form** that erases both differences:
+//!
+//! * children of `And`/`Or` (and the operands of the symmetric `Eq`) are
+//!   sorted by their serialized subterm;
+//! * variables are alpha-renamed to `v0, v1, …` in first-occurrence order
+//!   over the sorted structure.
+//!
+//! Two alpha-equivalent (modulo AC-reordering) formulas therefore share
+//! one canonical **key**. The cache solves the *rebuilt canonical formula*
+//! — not the original — so the cached verdict and model are a pure
+//! function of the key, independent of which query filled the entry first
+//! and of worker scheduling. The satisfying model comes back in canonical
+//! names and is translated to the query's names through the recorded
+//! renaming.
+
+use crate::model::Model;
+use crate::term::{CmpKind, Ctx, Sort, TermId, TermKind};
+use std::collections::HashMap;
+
+/// A formula reduced to canonical form: the cache key, the variable
+/// renaming, and enough structure to rebuild the canonical term.
+#[derive(Debug)]
+pub struct Canonical {
+    /// The canonical serialization — the verdict-cache key.
+    pub key: String,
+    /// Alpha-renaming: canonical index `i` (variable `v{i}`) maps back to
+    /// the original variable name (and its sort).
+    vars: Vec<(String, Sort)>,
+}
+
+impl Canonical {
+    /// Canonicalize `root` (Bool-sorted) from `src`.
+    pub fn of(src: &Ctx, root: TermId) -> Canonical {
+        let mut c = Canonicalizer {
+            src,
+            pre: HashMap::new(),
+            vars: Vec::new(),
+            var_ids: HashMap::new(),
+        };
+        // Pass 1 orders symmetric children; pass 2 assigns alpha indexes
+        // over that order and emits the key.
+        c.pre_string(root);
+        let mut key = String::with_capacity(c.pre[&root].len());
+        c.keyed(root, &mut key);
+        Canonical { key, vars: c.vars }
+    }
+
+    /// Number of distinct variables in the formula.
+    pub fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Rebuild the canonical formula (alpha-renamed, children sorted) in a
+    /// fresh context. Solving this term — rather than the original — makes
+    /// the solver's answer a pure function of [`Canonical::key`].
+    pub fn rebuild(&self, src: &Ctx, root: TermId) -> (Ctx, TermId) {
+        let mut c = Canonicalizer {
+            src,
+            pre: HashMap::new(),
+            vars: Vec::new(),
+            var_ids: HashMap::new(),
+        };
+        c.pre_string(root);
+        let mut dst = Ctx::new();
+        let mut memo = HashMap::new();
+        let term = c.build(root, &mut dst, &mut memo);
+        debug_assert_eq!(c.vars, self.vars, "rebuild must replay the key pass");
+        (dst, term)
+    }
+
+    /// Translate a model over canonical names (`v0`, `v1`, …) back to the
+    /// original variable names of the query this `Canonical` came from.
+    pub fn translate_model(&self, canonical: &Model) -> Model {
+        let map: HashMap<String, String> = self
+            .vars
+            .iter()
+            .enumerate()
+            .map(|(i, (orig, _))| (format!("v{i}"), orig.clone()))
+            .collect();
+        canonical.rename(&map)
+    }
+}
+
+struct Canonicalizer<'a> {
+    src: &'a Ctx,
+    /// Memoized serialization with *original* names; defines the sorted
+    /// order of symmetric children.
+    pre: HashMap<TermId, String>,
+    /// Alpha assignment in first-occurrence order over the sorted walk.
+    vars: Vec<(String, Sort)>,
+    var_ids: HashMap<String, usize>,
+}
+
+impl Canonicalizer<'_> {
+    fn pre_string(&mut self, t: TermId) -> &str {
+        if !self.pre.contains_key(&t) {
+            let s = match self.src.kind(t).clone() {
+                TermKind::Var(name) => format!("V{name}:{}", self.src.sort(t)),
+                TermKind::BoolConst(b) => format!("B{b}"),
+                TermKind::NumConst(r) => format!("N{r}:{}", self.src.sort(t)),
+                TermKind::StrConst(s) => format!("S{s:?}"),
+                TermKind::Add(a, b) => self.pre_nary("+", &[a, b], false),
+                TermKind::Sub(a, b) => self.pre_nary("-", &[a, b], false),
+                TermKind::Neg(a) => self.pre_nary("~", &[a], false),
+                TermKind::MulConst(c, a) => {
+                    self.pre_string(a);
+                    format!("(*{c} {})", self.pre[&a])
+                }
+                TermKind::Cmp(CmpKind::Lt, a, b) => self.pre_nary("<", &[a, b], false),
+                TermKind::Cmp(CmpKind::Le, a, b) => self.pre_nary("<=", &[a, b], false),
+                TermKind::Eq(a, b) => self.pre_nary("=", &[a, b], true),
+                TermKind::Not(a) => self.pre_nary("!", &[a], false),
+                TermKind::And(parts) => self.pre_nary("&", &parts, true),
+                TermKind::Or(parts) => self.pre_nary("|", &parts, true),
+                TermKind::Store(a, i, v) => self.pre_nary("w", &[a, i, v], false),
+                TermKind::Select(a, i) => self.pre_nary("r", &[a, i], false),
+            };
+            self.pre.insert(t, s);
+        }
+        &self.pre[&t]
+    }
+
+    fn pre_nary(&mut self, op: &str, children: &[TermId], sorted: bool) -> String {
+        for &c in children {
+            self.pre_string(c);
+        }
+        let mut parts: Vec<&str> = children.iter().map(|c| self.pre[c].as_str()).collect();
+        if sorted {
+            parts.sort_unstable();
+        }
+        format!("({op} {})", parts.join(" "))
+    }
+
+    /// The order symmetric children are visited in passes 2 and 3 — by
+    /// pre-string, matching [`Canonicalizer::pre_nary`].
+    fn ordered(&self, children: &[TermId], sorted: bool) -> Vec<TermId> {
+        let mut out = children.to_vec();
+        if sorted {
+            out.sort_by(|a, b| self.pre[a].cmp(&self.pre[b]));
+        }
+        out
+    }
+
+    fn alpha(&mut self, name: &str, sort: &Sort) -> usize {
+        if let Some(&i) = self.var_ids.get(name) {
+            return i;
+        }
+        let i = self.vars.len();
+        self.vars.push((name.to_string(), sort.clone()));
+        self.var_ids.insert(name.to_string(), i);
+        i
+    }
+
+    /// Pass 2: emit the canonical key, assigning alpha indexes in
+    /// first-visit order over the sorted structure.
+    fn keyed(&mut self, t: TermId, out: &mut String) {
+        use std::fmt::Write as _;
+        match self.src.kind(t).clone() {
+            TermKind::Var(name) => {
+                let sort = self.src.sort(t).clone();
+                let i = self.alpha(&name, &sort);
+                let _ = write!(out, "v{i}:{sort}");
+            }
+            TermKind::BoolConst(b) => {
+                let _ = write!(out, "B{b}");
+            }
+            TermKind::NumConst(r) => {
+                let _ = write!(out, "N{r}:{}", self.src.sort(t));
+            }
+            TermKind::StrConst(s) => {
+                let _ = write!(out, "S{s:?}");
+            }
+            TermKind::Add(a, b) => self.keyed_nary("+", &[a, b], false, out),
+            TermKind::Sub(a, b) => self.keyed_nary("-", &[a, b], false, out),
+            TermKind::Neg(a) => self.keyed_nary("~", &[a], false, out),
+            TermKind::MulConst(c, a) => {
+                let _ = write!(out, "(*{c} ");
+                self.keyed(a, out);
+                out.push(')');
+            }
+            TermKind::Cmp(CmpKind::Lt, a, b) => self.keyed_nary("<", &[a, b], false, out),
+            TermKind::Cmp(CmpKind::Le, a, b) => self.keyed_nary("<=", &[a, b], false, out),
+            TermKind::Eq(a, b) => self.keyed_nary("=", &[a, b], true, out),
+            TermKind::Not(a) => self.keyed_nary("!", &[a], false, out),
+            TermKind::And(parts) => self.keyed_nary("&", &parts, true, out),
+            TermKind::Or(parts) => self.keyed_nary("|", &parts, true, out),
+            TermKind::Store(a, i, v) => self.keyed_nary("w", &[a, i, v], false, out),
+            TermKind::Select(a, i) => self.keyed_nary("r", &[a, i], false, out),
+        }
+    }
+
+    fn keyed_nary(&mut self, op: &str, children: &[TermId], sorted: bool, out: &mut String) {
+        out.push('(');
+        out.push_str(op);
+        for c in self.ordered(children, sorted) {
+            out.push(' ');
+            self.keyed(c, out);
+        }
+        out.push(')');
+    }
+
+    /// Pass 3: rebuild the canonical term in `dst`, replaying the exact
+    /// walk of [`Canonicalizer::keyed`] so variable `v{i}` lines up with
+    /// the key's alpha assignment.
+    fn build(&mut self, t: TermId, dst: &mut Ctx, memo: &mut HashMap<TermId, TermId>) -> TermId {
+        if let Some(&d) = memo.get(&t) {
+            return d;
+        }
+        let out = match self.src.kind(t).clone() {
+            TermKind::Var(name) => {
+                let sort = self.src.sort(t).clone();
+                let i = self.alpha(&name, &sort);
+                dst.var(format!("v{i}"), sort)
+            }
+            TermKind::BoolConst(b) => dst.bool_const(b),
+            TermKind::NumConst(r) => {
+                if self.src.sort(t) == &Sort::Int {
+                    dst.int(r.floor() as i64)
+                } else {
+                    dst.real(r)
+                }
+            }
+            TermKind::StrConst(s) => dst.str_const(s),
+            TermKind::Add(a, b) => {
+                let (ia, ib) = (self.build(a, dst, memo), self.build(b, dst, memo));
+                dst.add(ia, ib)
+            }
+            TermKind::Sub(a, b) => {
+                let (ia, ib) = (self.build(a, dst, memo), self.build(b, dst, memo));
+                dst.sub(ia, ib)
+            }
+            TermKind::Neg(a) => {
+                let ia = self.build(a, dst, memo);
+                dst.neg(ia)
+            }
+            TermKind::MulConst(c, a) => {
+                let ia = self.build(a, dst, memo);
+                dst.mul_const(c, ia)
+            }
+            TermKind::Cmp(k, a, b) => {
+                let (ia, ib) = (self.build(a, dst, memo), self.build(b, dst, memo));
+                match k {
+                    CmpKind::Lt => dst.lt(ia, ib),
+                    CmpKind::Le => dst.le(ia, ib),
+                }
+            }
+            TermKind::Eq(a, b) => {
+                let imported: Vec<TermId> = self
+                    .ordered(&[a, b], true)
+                    .into_iter()
+                    .map(|c| self.build(c, dst, memo))
+                    .collect();
+                dst.eq(imported[0], imported[1])
+            }
+            TermKind::Not(a) => {
+                let ia = self.build(a, dst, memo);
+                dst.not(ia)
+            }
+            TermKind::And(parts) => {
+                let imported: Vec<TermId> = self
+                    .ordered(&parts, true)
+                    .into_iter()
+                    .map(|c| self.build(c, dst, memo))
+                    .collect();
+                dst.and(imported)
+            }
+            TermKind::Or(parts) => {
+                let imported: Vec<TermId> = self
+                    .ordered(&parts, true)
+                    .into_iter()
+                    .map(|c| self.build(c, dst, memo))
+                    .collect();
+                dst.or(imported)
+            }
+            TermKind::Store(a, i, v) => {
+                let (ia, ii, iv) = (
+                    self.build(a, dst, memo),
+                    self.build(i, dst, memo),
+                    self.build(v, dst, memo),
+                );
+                dst.store(ia, ii, iv)
+            }
+            TermKind::Select(a, i) => {
+                let (ia, ii) = (self.build(a, dst, memo), self.build(i, dst, memo));
+                dst.select(ia, ii)
+            }
+        };
+        memo.insert(t, out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{check, SolveResult, SolverConfig};
+
+    #[test]
+    fn alpha_renaming_unifies_instance_prefixes() {
+        // (A1.x > 3) ∧ (A2.y < A1.x)  vs  (B9.u > 3) ∧ (C.w < B9.u):
+        // identical structure, different names → one key.
+        let build = |n1: &str, n2: &str| {
+            let mut ctx = Ctx::new();
+            let x = ctx.var(n1, Sort::Int);
+            let y = ctx.var(n2, Sort::Int);
+            let three = ctx.int(3);
+            let gt = ctx.gt(x, three);
+            let lt = ctx.lt(y, x);
+            let f = ctx.and([gt, lt]);
+            Canonical::of(&ctx, f).key
+        };
+        assert_eq!(build("A1.x", "A2.y"), build("B9.u", "C.w"));
+    }
+
+    #[test]
+    fn constants_stay_distinguishing() {
+        let build = |v: i64| {
+            let mut ctx = Ctx::new();
+            let x = ctx.var("x", Sort::Int);
+            let c = ctx.int(v);
+            let f = ctx.eq(x, c);
+            Canonical::of(&ctx, f).key
+        };
+        assert_ne!(build(1), build(2));
+    }
+
+    #[test]
+    fn sorts_stay_distinguishing() {
+        let mut ctx = Ctx::new();
+        let xi = ctx.var("x", Sort::Int);
+        let xr = ctx.var("y", Sort::Real);
+        let zero_i = ctx.int(0);
+        let zero_r = ctx.real(crate::rational::Rat::int(0));
+        let fi = ctx.lt(zero_i, xi);
+        let fr = ctx.lt(zero_r, xr);
+        assert_ne!(Canonical::of(&ctx, fi).key, Canonical::of(&ctx, fr).key);
+    }
+
+    #[test]
+    fn ac_reordering_shares_a_key() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Int);
+        let y = ctx.var("y", Sort::Int);
+        let zero = ctx.int(0);
+        let a = ctx.lt(zero, x);
+        let b = ctx.lt(zero, y);
+        let f1 = ctx.and([a, b]);
+        let f2 = ctx.and([b, a]);
+        // Same children either way once sorted — but alpha indexes follow
+        // the *sorted* order, so both ANDs serialize identically.
+        assert_eq!(Canonical::of(&ctx, f1).key, Canonical::of(&ctx, f2).key);
+    }
+
+    #[test]
+    fn rebuild_is_equisatisfiable_and_model_translates() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("A1.order_id", Sort::Int);
+        let seven = ctx.int(7);
+        let ten = ctx.int(10);
+        let ge = ctx.ge(x, seven);
+        let lt = ctx.lt(x, ten);
+        let f = ctx.and([ge, lt]);
+        let canon = Canonical::of(&ctx, f);
+        let (mut cctx, cterm) = canon.rebuild(&ctx, f);
+        match check(&mut cctx, cterm, &SolverConfig::default()) {
+            SolveResult::Sat(m) => {
+                let translated = canon.translate_model(&m);
+                let v = translated.get_int("A1.order_id").expect("renamed back");
+                assert!((7..10).contains(&v));
+                assert!(translated.satisfies(&ctx, f));
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rebuild_handles_arrays() {
+        let mut ctx = Ctx::new();
+        let m = ctx.array_var("A1.exists", Sort::Int);
+        let k = ctx.var("A1.k", Sort::Int);
+        let rd = ctx.select(m, k);
+        let canon = Canonical::of(&ctx, rd);
+        let (cctx, cterm) = canon.rebuild(&ctx, rd);
+        assert_eq!(cctx.sort(cterm), &Sort::Bool);
+        assert_eq!(canon.var_count(), 2);
+    }
+}

@@ -36,6 +36,8 @@
 //! ```
 
 pub mod arith;
+pub mod cache;
+pub mod canon;
 pub mod lower;
 pub mod model;
 pub mod rational;
@@ -44,7 +46,9 @@ pub mod solver;
 pub mod strings;
 pub mod term;
 
+pub use cache::VerdictCache;
+pub use canon::Canonical;
 pub use model::{Model, ModelValue};
 pub use rational::Rat;
-pub use solver::{check, check_all, SolveResult, SolverConfig};
+pub use solver::{check, check_all, check_with_stats, SolveResult, SolverConfig, SolverStats};
 pub use term::{Ctx, Sort, TermId, TermKind};

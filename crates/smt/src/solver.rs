@@ -80,6 +80,11 @@ pub struct SolverStats {
     pub core_lits: u64,
     /// Largest single minimized unsat core.
     pub max_core_lits: u64,
+    /// Verdict-cache hits (filled by [`crate::cache::VerdictCache`];
+    /// always 0 for direct [`check`] calls).
+    pub cache_hits: u64,
+    /// Verdict-cache misses.
+    pub cache_misses: u64,
 }
 
 impl SolverStats {
@@ -92,6 +97,8 @@ impl SolverStats {
         self.str_conflicts += other.str_conflicts;
         self.core_lits += other.core_lits;
         self.max_core_lits = self.max_core_lits.max(other.max_core_lits);
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
     }
 
     fn record_core(&mut self, core: &[Lit]) {
@@ -333,7 +340,11 @@ fn minimize_str_core(items: &[(bool, (StrTerm, StrTerm), Lit)]) -> Vec<Lit> {
 /// Walk the DAG collecting `Select` nodes grouped by array variable, then
 /// conjoin pairwise congruence axioms with the original assertion.
 fn add_select_congruence(ctx: &mut Ctx, root: TermId) -> TermId {
-    let mut selects: HashMap<TermId, Vec<TermId>> = HashMap::new();
+    // BTreeMap: axiom order must not depend on hash iteration order, or
+    // identical queries could take different search paths and return
+    // different models — the verdict cache and the deterministic parallel
+    // scheduler both rely on solve being a pure function of the formula.
+    let mut selects: BTreeMap<TermId, Vec<TermId>> = BTreeMap::new();
     let mut stack = vec![root];
     let mut seen = std::collections::HashSet::new();
     while let Some(t) = stack.pop() {

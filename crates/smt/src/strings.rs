@@ -110,7 +110,12 @@ pub fn solve(eqs: &[(StrTerm, StrTerm)], neqs: &[(StrTerm, StrTerm)]) -> StrResu
         );
         neq_pairs.push((ia, ib));
     }
-    let term_ids: Vec<(StrTerm, usize)> = ids.iter().map(|(t, &i)| (t.clone(), i)).collect();
+    // Sort by assigned id (ids are handed out in deterministic input order)
+    // so the fresh-string assignment below never depends on HashMap
+    // iteration order — the verdict cache needs bit-identical models for
+    // identical queries.
+    let mut term_ids: Vec<(StrTerm, usize)> = ids.iter().map(|(t, &i)| (t.clone(), i)).collect();
+    term_ids.sort_by_key(|&(_, i)| i);
 
     for (ia, ib) in pairs {
         if !uf.union(ia, ib) {

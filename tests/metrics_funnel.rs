@@ -62,12 +62,23 @@ fn broadleaf_metrics_funnel_is_consistent() {
         "phase 3 should take measurable time"
     );
 
-    // SMT solver statistics flow out of the solver stack.
+    // SMT solver statistics flow out of the solver stack. Every fine
+    // candidate dispatches the solver through the verdict cache, so the
+    // hit/miss counters partition the candidates (the analyzer is the
+    // only cache user inside this window). A counter that stays zero is
+    // never published, hence the defaulting lookup — Broadleaf's
+    // candidates differ in concrete constants, so it can be all misses
+    // (Shopizer's hit-rate is asserted in tests/parallel_pipeline.rs).
+    let c0 = |name: &str| m.counters.get(name).copied().unwrap_or(0);
     assert!(
         c("smt.solve_calls") >= fine,
         "every fine candidate dispatches the solver"
     );
-    assert!(c("smt.sat_calls") >= c("smt.solve_calls"));
+    assert_eq!(
+        c0("smt.cache_hit") + c0("smt.cache_miss"),
+        fine,
+        "verdict-cache lookups must cover exactly the fine candidates"
+    );
     assert!(c("smt.sat_propagations") > 0);
     let solve_us = m
         .histogram("smt.solve_us")

@@ -1,0 +1,80 @@
+//! End-to-end determinism of the parallel diagnosis: the full Shopizer
+//! pipeline must produce byte-identical reports and funnel counters for
+//! every thread count, and the SMT verdict cache must actually hit on the
+//! real workload (the repeated-API traces re-discharge alpha-equivalent
+//! formulas).
+
+use weseer::analyzer::{diagnose, AnalyzerConfig, DiagnosisStats};
+use weseer::apps::{ECommerceApp, Fixes, Shopizer};
+use weseer::core::Weseer;
+
+/// The deterministic projection of `DiagnosisStats` (drops wall times).
+fn funnel(s: &DiagnosisStats) -> [usize; 7] {
+    [
+        s.txn_pairs,
+        s.pairs_after_phase1,
+        s.coarse_cycles,
+        s.fine_candidates,
+        s.smt_sat,
+        s.smt_unsat,
+        s.smt_unknown,
+    ]
+}
+
+#[test]
+fn shopizer_diagnosis_is_identical_across_thread_counts() {
+    let weseer = Weseer::new();
+    let (traces, _db) = weseer.collect_traces(&Shopizer, &Fixes::none());
+    let catalog = Shopizer.catalog();
+
+    let run = |threads: usize| {
+        let config = AnalyzerConfig {
+            threads,
+            ..AnalyzerConfig::default()
+        };
+        diagnose(&catalog, &traces, &config)
+    };
+
+    let sequential = run(1);
+    assert!(
+        !sequential.deadlocks.is_empty(),
+        "Shopizer must produce reports"
+    );
+    let rendered: Vec<String> = sequential.deadlocks.iter().map(|r| r.to_string()).collect();
+
+    for threads in [2, 4] {
+        let parallel = run(threads);
+        assert_eq!(
+            funnel(&parallel.stats),
+            funnel(&sequential.stats),
+            "funnel differs at threads={threads}"
+        );
+        let parallel_rendered: Vec<String> =
+            parallel.deadlocks.iter().map(|r| r.to_string()).collect();
+        assert_eq!(
+            parallel_rendered, rendered,
+            "rendered reports differ at threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn verdict_cache_hits_on_real_workload() {
+    weseer::obs::set_enabled(true);
+    let before = weseer::obs::snapshot();
+    let weseer_tool = Weseer::new();
+    let analysis = weseer_tool.analyze(&Shopizer);
+    let m = weseer::obs::snapshot().delta_since(&before);
+    let hits = m.counters.get("smt.cache_hit").copied().unwrap_or(0);
+    let misses = m.counters.get("smt.cache_miss").copied().unwrap_or(0);
+    assert!(
+        hits > 0,
+        "expected verdict-cache hits on Shopizer (misses={misses})"
+    );
+    // Every analyzer solver dispatch goes through the cache.
+    assert_eq!(
+        hits + misses,
+        analysis.diagnosis.stats.fine_candidates as u64,
+        "cache lookups must cover exactly the fine candidates"
+    );
+}
