@@ -456,6 +456,7 @@ fn fine_check_inner(job: &FineJob, ctx: &PairCtx<'_>) -> FineVerdict {
                 },
                 statements,
                 model: model_excerpt,
+                sat_model: model,
             }))
         }
         SolveResult::Unsat => FineVerdict::Unsat,

@@ -51,6 +51,12 @@ pub struct DeadlockReport {
     /// Satisfying assignment excerpt: API inputs and database state that
     /// trigger the deadlock, from the SMT model.
     pub model: Vec<(String, String)>,
+    /// The full SAT model over both instances' `A1.` / `A2.` namespaces.
+    /// Verdict-cache hits translate the canonical model back per query
+    /// ([`weseer_smt::VerdictCache`]), so this is schedule-independent —
+    /// identical across thread counts and pair orders. The replay engine
+    /// concretizes symbolic parameters from it.
+    pub sat_model: weseer_smt::Model,
 }
 
 impl DeadlockReport {
@@ -165,6 +171,7 @@ mod tests {
                 trigger: StackTrace::new(),
             }],
             model: vec![("A1.order_id".into(), "1".into())],
+            sat_model: weseer_smt::Model::default(),
         }
     }
 

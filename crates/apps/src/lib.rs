@@ -16,6 +16,7 @@ pub mod classify;
 pub mod ctx;
 pub mod fixtures;
 pub mod locks;
+pub mod report;
 pub mod shopizer;
 pub mod workload;
 
@@ -25,4 +26,5 @@ pub use classify::{classify, KnownDeadlock};
 pub use ctx::AppCtx;
 pub use fixtures::{Fix, Fixes};
 pub use locks::AppLocks;
+pub use report::witnessed_report;
 pub use shopizer::Shopizer;

@@ -1,9 +1,9 @@
 //! Regenerate the paper's evaluation artifacts.
 //!
 //! ```text
-//! reproduce [--quick] [--threads <n>] [--metrics-out <path>] [table1]
-//!           [table2] [table3] [fig10] [fig11] [pruning] [baseline]
-//!           [aborts] [all]
+//! reproduce [--quick] [--threads <n>] [--metrics-out <path>]
+//!           [--witness-out <path>] [table1] [table2] [table3] [fig10]
+//!           [fig11] [pruning] [baseline] [aborts] [all]
 //! ```
 //!
 //! With no selector (or `all`), every experiment runs. `--quick` shrinks
@@ -13,12 +13,17 @@
 //! determinism job). `--metrics-out <path>` runs the diagnosis pipeline on
 //! both apps with the observability registry enabled, prints the
 //! funnel/timing report, and writes the JSON-lines metrics export to
-//! `<path>`; with no other selector, only the metrics run happens.
+//! `<path>`. `--witness-out <path>` replays every diagnosed cycle for a
+//! concrete deadlock witness, prints the confirmed/not-reproduced funnel,
+//! and writes one JSON line per report to `<path>` (byte-for-byte
+//! deterministic across runs and thread counts; CI diffs it). With no
+//! other selector, only the requested export runs happen.
 
 use weseer_bench::experiments;
 
 fn main() {
     let mut metrics_out: Option<String> = None;
+    let mut witness_out: Option<String> = None;
     let mut rest: Vec<String> = Vec::new();
     let mut raw = std::env::args().skip(1);
     while let Some(arg) = raw.next() {
@@ -28,6 +33,12 @@ fn main() {
                 std::process::exit(2);
             });
             metrics_out = Some(path);
+        } else if arg == "--witness-out" {
+            let path = raw.next().unwrap_or_else(|| {
+                eprintln!("--witness-out requires a path argument");
+                std::process::exit(2);
+            });
+            witness_out = Some(path);
         } else if arg == "--threads" {
             let n = raw
                 .next()
@@ -49,7 +60,8 @@ fn main() {
         .filter(|a| !a.starts_with("--"))
         .map(|s| s.as_str())
         .collect();
-    let all = (selected.is_empty() && metrics_out.is_none()) || selected.contains(&"all");
+    let all = (selected.is_empty() && metrics_out.is_none() && witness_out.is_none())
+        || selected.contains(&"all");
     let want = |name: &str| all || selected.contains(&name);
 
     if want("table1") {
@@ -84,5 +96,14 @@ fn main() {
         }
         println!("{human}");
         println!("metrics written to {path}");
+    }
+    if let Some(path) = witness_out {
+        let (human, json) = experiments::witness_report();
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write witnesses to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("{human}");
+        println!("witnesses written to {path}");
     }
 }

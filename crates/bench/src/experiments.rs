@@ -314,6 +314,84 @@ pub fn metrics_report() -> (String, String) {
     (human, json)
 }
 
+/// Witness replay over both applications: every diagnosed cycle is
+/// replayed for a concrete deadlocking schedule ([`weseer_replay`]).
+/// Returns `(human report, witness JSON lines)`; the JSON side carries one
+/// line per report and is byte-for-byte deterministic across runs and
+/// thread counts (CI diffs it).
+pub fn witness_report() -> (String, String) {
+    let weseer = Weseer::new().with_replay();
+    let mut human = String::new();
+    let mut json = String::new();
+    for analysis in [weseer.analyze(&Broadleaf), weseer.analyze(&Shopizer)] {
+        let summary = analysis
+            .replay
+            .as_ref()
+            .expect("with_replay() populates the summary");
+        let stats = &analysis.diagnosis.stats;
+        let (explored, pruned) = summary.schedule_totals();
+        let _ = writeln!(human, "== {} witness replay ==", analysis.app);
+        let _ = writeln!(
+            human,
+            "funnel: {} txn pairs -> {} after phase 1 -> {} coarse cycles -> \
+             {} fine candidates -> {} SAT -> {} replay-confirmed \
+             ({} not reproduced, {} skipped)",
+            stats.txn_pairs,
+            stats.pairs_after_phase1,
+            stats.coarse_cycles,
+            stats.fine_candidates,
+            stats.smt_sat,
+            summary.confirmed(),
+            summary.not_reproduced(),
+            summary.skipped(),
+        );
+        let _ = writeln!(
+            human,
+            "schedules: {explored} explored, {pruned} pruned by sleep sets"
+        );
+        let mut first_witness = true;
+        for (report, verdict) in analysis.diagnosis.deadlocks.iter().zip(&summary.verdicts) {
+            let _ = writeln!(
+                human,
+                "  {} <-> {}: {}",
+                report.cycle.a_api,
+                report.cycle.b_api,
+                verdict.tag()
+            );
+            let witness_json = match verdict.witness() {
+                Some(w) => {
+                    if first_witness {
+                        // Show one full schedule per app in the human report.
+                        human.push_str(&indent(&w.render(), "    "));
+                        first_witness = false;
+                    }
+                    w.to_json()
+                }
+                None => "null".to_string(),
+            };
+            let _ = writeln!(
+                json,
+                "{{\"app\":\"{}\",\"a_api\":\"{}\",\"b_api\":\"{}\",\"verdict\":\"{}\",\"witness\":{}}}",
+                analysis.app,
+                report.cycle.a_api,
+                report.cycle.b_api,
+                verdict.tag(),
+                witness_json
+            );
+        }
+        human.push('\n');
+    }
+    (human, json)
+}
+
+fn indent(text: &str, pad: &str) -> String {
+    let mut out = String::new();
+    for line in text.lines() {
+        let _ = writeln!(out, "{pad}{line}");
+    }
+    out
+}
+
 /// The aborts-per-second claim of Sec. VII-D (904 → 0 at 128 clients).
 pub fn aborts_claim(quick: bool) -> String {
     let clients = if quick { 16 } else { 128 };

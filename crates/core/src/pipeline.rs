@@ -14,6 +14,9 @@ use weseer_db::Database;
 pub struct Weseer {
     /// Analyzer configuration.
     pub config: AnalyzerConfig,
+    /// When set, every diagnosed cycle is replayed for a concrete witness
+    /// ([`weseer_replay`]) after diagnosis.
+    pub replay: Option<weseer_replay::ReplayConfig>,
 }
 
 /// Everything produced by analyzing one application.
@@ -33,6 +36,61 @@ pub struct AppAnalysis {
     /// of the global [`weseer_obs`] registry over the run; empty unless
     /// `weseer_obs::set_enabled(true)` was called).
     pub metrics: weseer_obs::MetricsSnapshot,
+    /// Replay verdicts, aligned index-for-index with
+    /// `diagnosis.deadlocks`; `None` unless [`Weseer::with_replay`] was
+    /// requested.
+    pub replay: Option<ReplaySummary>,
+}
+
+/// Witness-replay results for one analysis.
+#[derive(Debug, Clone)]
+pub struct ReplaySummary {
+    /// One verdict per diagnosed deadlock, in report order.
+    pub verdicts: Vec<weseer_replay::ReplayVerdict>,
+}
+
+impl ReplaySummary {
+    fn count(&self, tag: &str) -> usize {
+        self.verdicts.iter().filter(|v| v.tag() == tag).count()
+    }
+
+    /// Reports confirmed with a concrete witness.
+    pub fn confirmed(&self) -> usize {
+        self.count("confirmed")
+    }
+
+    /// Reports where no schedule in budget deadlocked.
+    pub fn not_reproduced(&self) -> usize {
+        self.count("not_reproduced")
+    }
+
+    /// Reports replay could not attempt.
+    pub fn skipped(&self) -> usize {
+        self.count("skipped")
+    }
+
+    /// Total schedules explored and pruned across all reports.
+    pub fn schedule_totals(&self) -> (usize, usize) {
+        let mut explored = 0;
+        let mut pruned = 0;
+        for v in &self.verdicts {
+            match v {
+                weseer_replay::ReplayVerdict::Confirmed(w) => {
+                    explored += w.schedules_explored;
+                    pruned += w.schedules_pruned;
+                }
+                weseer_replay::ReplayVerdict::NotReproduced {
+                    schedules_explored,
+                    schedules_pruned,
+                } => {
+                    explored += schedules_explored;
+                    pruned += schedules_pruned;
+                }
+                weseer_replay::ReplayVerdict::Skipped(_) => {}
+            }
+        }
+        (explored, pruned)
+    }
 }
 
 /// The standard funnel stages for [`weseer_obs::report::render_report`],
@@ -46,6 +104,8 @@ pub const FUNNEL_STAGES: &[(&str, &str)] = &[
     ("SMT unsat", "analyzer.smt_unsat"),
     ("SMT unknown", "analyzer.smt_unknown"),
     ("deadlocks reported", "analyzer.deadlocks_reported"),
+    ("replay confirmed", "replay.confirmed"),
+    ("replay not reproduced", "replay.not_reproduced"),
 ];
 
 /// Summary of one collected trace.
@@ -87,6 +147,18 @@ impl Weseer {
     /// The diagnosis output is identical for every value.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.config.threads = threads;
+        self
+    }
+
+    /// Replay every diagnosed cycle for a concrete deadlock witness, with
+    /// default exploration budgets.
+    pub fn with_replay(self) -> Self {
+        self.with_replay_config(weseer_replay::ReplayConfig::default())
+    }
+
+    /// Replay with explicit exploration budgets.
+    pub fn with_replay_config(mut self, config: weseer_replay::ReplayConfig) -> Self {
+        self.replay = Some(config);
         self
     }
 
@@ -149,6 +221,10 @@ impl Weseer {
             *groups.entry(classify(app.name(), r)).or_insert(0) += 1;
         }
         let coarse_cycles = coarse_cycle_count(&traces);
+        let replay = self
+            .replay
+            .as_ref()
+            .map(|cfg| Self::replay_reports(app, &diagnosis, &traces, cfg));
         drop(pipeline_span);
         let metrics = weseer_obs::snapshot().delta_since(&before);
         AppAnalysis {
@@ -158,7 +234,42 @@ impl Weseer {
             groups,
             coarse_cycles,
             metrics,
+            replay,
         }
+    }
+
+    /// Replay each report against a database prepared to the state its
+    /// traces were collected from. Databases are prepared once per
+    /// distinct starting API and reused (the explorer only forks them).
+    fn replay_reports(
+        app: &dyn ECommerceApp,
+        diagnosis: &Diagnosis,
+        traces: &[CollectedTrace],
+        config: &weseer_replay::ReplayConfig,
+    ) -> ReplaySummary {
+        let _span = weseer_obs::span("pipeline.replay");
+        let replayer = weseer_replay::Replayer::with_config(traces, config.clone());
+        let order = app.unit_tests();
+        let mut bases: BTreeMap<String, Database> = BTreeMap::new();
+        let verdicts = diagnosis
+            .deadlocks
+            .iter()
+            .map(|r| {
+                // Trace collection chains DB state across unit tests, so
+                // the cycle's statements ran against the state left by
+                // every test before the *earlier* of the two APIs.
+                let first = order
+                    .iter()
+                    .find(|t| **t == r.cycle.a_api || **t == r.cycle.b_api)
+                    .copied()
+                    .unwrap_or(order[0]);
+                let base = bases
+                    .entry(first.to_string())
+                    .or_insert_with(|| crate::replay::prepare_db(app, first));
+                replayer.replay_report(r, base)
+            })
+            .collect();
+        ReplaySummary { verdicts }
     }
 }
 

@@ -29,8 +29,9 @@ pub struct ReplayOutcome {
 
 /// Prepare a database in the state preceding the report's APIs: seed, then
 /// run every unit test before the first involved API (the unit tests are
-/// chained — Sec. VII-B).
-fn prepare_db(app: &(dyn ECommerceApp + Sync), upto: &str) -> Database {
+/// chained — Sec. VII-B). Native-mode execution makes the resulting state
+/// deterministic, which the witness replayer relies on.
+pub fn prepare_db(app: &dyn ECommerceApp, upto: &str) -> Database {
     let db = Database::new(app.catalog());
     app.seed(&db);
     let fixes = Fixes::none();

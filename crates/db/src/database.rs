@@ -167,6 +167,37 @@ impl Database {
         self.inner.storage.lock().table(table).len()
     }
 
+    /// Sorted snapshot of the lock manager's waits-for edges
+    /// `(waiter, holder)` — surfaced for replay witnesses and diagnostics.
+    pub fn wait_for_edges(&self) -> Vec<(TxnId, TxnId)> {
+        self.inner.locks.wait_for_edges()
+    }
+
+    /// An independent copy of this database's *committed* state: same
+    /// catalog, cloned storage and id sequences, fresh lock manager and
+    /// counters, transaction ids continuing from this database's next id.
+    ///
+    /// The replay engine prepares a database once per report and forks it
+    /// per explored schedule, so every branch starts from bit-identical
+    /// state. Callers must quiesce the source first (no open
+    /// transactions); open transactions' uncommitted effects and undo logs
+    /// would be copied verbatim but their locks would not.
+    pub fn fork(&self) -> Database {
+        let storage = self.inner.storage.lock().clone();
+        let id_gens = self.inner.id_gens.lock().clone();
+        Database {
+            inner: Arc::new(Inner {
+                catalog: self.inner.catalog.clone(),
+                storage: Mutex::new(storage),
+                locks: LockManager::new(self.inner.locks.wait_timeout),
+                counters: Counters::default(),
+                next_txn: AtomicU64::new(self.inner.next_txn.load(Ordering::Relaxed)),
+                id_gens: Mutex::new(id_gens),
+                statement_delay_ns: AtomicU64::new(0),
+            }),
+        }
+    }
+
     /// The concrete access plan for a statement — MySQL's `EXPLAIN`
     /// (paper Sec. V-D future work: the analyzer can consume this to
     /// avoid assuming indexes the engine would never use).
@@ -200,9 +231,14 @@ impl Session {
         self.txn = Some(id);
     }
 
+    /// The open transaction's id, if any.
+    pub fn txn_id(&self) -> Option<TxnId> {
+        self.txn
+    }
+
     /// Execute one statement in the open transaction.
     ///
-    /// On [`DbError::DeadlockVictim`] / [`DbError::LockWaitTimeout`] the
+    /// On [`DbError::Deadlock`] / [`DbError::LockWaitTimeout`] the
     /// transaction is rolled back before returning (MySQL victim
     /// recovery).
     pub fn execute(&mut self, stmt: &Statement, params: &[Value]) -> Result<ExecData, DbError> {
@@ -225,28 +261,64 @@ impl Session {
         ) {
             Ok(data) => Ok(data),
             Err(e) => {
-                if e.aborts_txn() {
-                    match e {
-                        DbError::DeadlockVictim => {
-                            self.db
-                                .inner
-                                .counters
-                                .deadlock_aborts
-                                .fetch_add(1, Ordering::Relaxed);
-                        }
-                        DbError::LockWaitTimeout => {
-                            self.db
-                                .inner
-                                .counters
-                                .timeout_aborts
-                                .fetch_add(1, Ordering::Relaxed);
-                        }
-                        _ => {}
-                    }
-                    self.rollback();
-                }
+                self.abort_on(&e);
                 Err(e)
             }
+        }
+    }
+
+    /// Execute one statement without ever sleeping (the replay engine's
+    /// step function): the statement either completes, reports whom it
+    /// waits on ([`exec::StepResult::Blocked`], waits-for edge recorded),
+    /// or closes a waits-for cycle — in which case the transaction is
+    /// rolled back and [`DbError::Deadlock`] carries the concrete cycle.
+    pub fn execute_nowait(
+        &mut self,
+        stmt: &Statement,
+        params: &[Value],
+    ) -> Result<exec::StepResult, DbError> {
+        let txn = self.txn.ok_or(DbError::NoTransaction)?;
+        self.db
+            .inner
+            .counters
+            .statements
+            .fetch_add(1, Ordering::Relaxed);
+        match exec::execute_nowait(
+            &self.db.inner.storage,
+            &self.db.inner.locks,
+            txn,
+            stmt,
+            params,
+        ) {
+            Ok(step) => Ok(step),
+            Err(e) => {
+                self.abort_on(&e);
+                Err(e)
+            }
+        }
+    }
+
+    /// Count and roll back an engine-initiated abort.
+    fn abort_on(&mut self, e: &DbError) {
+        if e.aborts_txn() {
+            match e {
+                DbError::Deadlock { .. } => {
+                    self.db
+                        .inner
+                        .counters
+                        .deadlock_aborts
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                DbError::LockWaitTimeout => {
+                    self.db
+                        .inner
+                        .counters
+                        .timeout_aborts
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                _ => {}
+            }
+            self.rollback();
         }
     }
 

@@ -13,7 +13,7 @@
 //! storage mutex is dropped and the executor blocks on the first contended
 //! lock (where deadlock detection and victim abort happen), then replans.
 
-use crate::lock::{LockManager, LockMode, LockTarget};
+use crate::lock::{AcquireOutcome, LockManager, LockMode, LockTarget};
 use crate::storage::{index_key, Row, Storage, TableStore, Undo};
 use crate::types::{DbError, KeyBound, KeyTuple, RowId, TxnId};
 use std::collections::HashMap;
@@ -29,6 +29,30 @@ pub struct ExecData {
     pub rows: Vec<Vec<(String, Value)>>,
     /// Rows affected by a write.
     pub affected: usize,
+    /// Lock targets of the statement's final (applied) plan, in
+    /// acquisition order — what the statement holds on top of earlier
+    /// statements. Replay witnesses record these per step.
+    pub locks: Vec<(LockTarget, LockMode)>,
+}
+
+/// Outcome of one non-blocking statement step ([`execute_nowait`]).
+#[derive(Debug)]
+pub enum StepResult {
+    /// Statement completed and its effects were applied.
+    Done(ExecData),
+    /// The statement must wait before it can make progress. Nothing was
+    /// applied, but locks granted during the attempt — and the recorded
+    /// waits-for edge — remain held, exactly like a blocked InnoDB
+    /// statement mid-traversal. Re-execute the statement after the
+    /// blockers release to make progress.
+    Blocked {
+        /// Transactions currently blocking this statement (sorted).
+        on: Vec<TxnId>,
+        /// The contended lock target.
+        target: LockTarget,
+        /// The requested mode.
+        mode: LockMode,
+    },
 }
 
 /// A mutation to apply once all locks are granted.
@@ -245,7 +269,9 @@ pub fn execute(
                         return Err(e);
                     }
                     apply(&mut st, txn, plan.ops);
-                    return Ok(plan.data);
+                    let mut data = plan.data;
+                    data.locks = plan.locks;
+                    return Ok(data);
                 }
                 Some(b) => b,
             }
@@ -256,6 +282,44 @@ pub fn execute(
     Err(DbError::Unsupported(
         "statement did not converge under contention".into(),
     ))
+}
+
+/// Execute `stmt` for `txn` without ever sleeping: either the statement
+/// completes, or it reports exactly whom it would wait on (recording the
+/// waits-for edge via [`LockManager::acquire_nowait`]), or the wait would
+/// close a cycle and [`DbError::Deadlock`] surfaces instantly.
+///
+/// This is the replay engine's step function: single-threaded schedule
+/// exploration drives interleavings statement by statement and needs
+/// blocking and deadlock detection to be synchronous and deterministic.
+pub fn execute_nowait(
+    storage: &parking_lot::Mutex<Storage>,
+    locks: &LockManager,
+    txn: TxnId,
+    stmt: &Statement,
+    params: &[Value],
+) -> Result<StepResult, DbError> {
+    let mut st = storage.lock();
+    let plan = plan_statement(&st, txn, stmt, params)?;
+    for (t, m) in &plan.locks {
+        match locks.acquire_nowait(txn, t.clone(), *m)? {
+            AcquireOutcome::Granted => {}
+            AcquireOutcome::WouldBlock(on) => {
+                return Ok(StepResult::Blocked {
+                    on,
+                    target: t.clone(),
+                    mode: *m,
+                });
+            }
+        }
+    }
+    if let Some(e) = plan.error {
+        return Err(e);
+    }
+    apply(&mut st, txn, plan.ops);
+    let mut data = plan.data;
+    data.locks = plan.locks;
+    Ok(StepResult::Done(data))
 }
 
 fn apply(st: &mut Storage, txn: TxnId, ops: Vec<Op>) {

@@ -48,7 +48,7 @@ pub mod storage;
 pub mod types;
 
 pub use database::{Database, DbStats, Session};
-pub use exec::{ExecData, ExplainRow};
-pub use lock::{LockManager, LockMode, LockStats, LockTarget};
+pub use exec::{ExecData, ExplainRow, StepResult};
+pub use lock::{AcquireOutcome, LockManager, LockMode, LockStats, LockTarget};
 pub use storage::{Row, Storage};
 pub use types::{DbError, KeyBound, KeyTuple, RowId, TxnId};

@@ -11,8 +11,13 @@
 //! * insert-intention locks are compatible with each other.
 //!
 //! A transaction that would close a hold-and-wait cycle is rolled back
-//! immediately with [`DbError::DeadlockVictim`] (the requester is the
-//! victim, as in InnoDB when it is the cheapest to roll back).
+//! immediately with [`DbError::Deadlock`] carrying the concrete waits-for
+//! cycle (the requester is the victim, as in InnoDB when it is the
+//! cheapest to roll back). Besides the blocking [`LockManager::acquire`],
+//! the replay engine uses the non-blocking [`LockManager::acquire_nowait`],
+//! which records the waits-for edge and returns instead of sleeping, so
+//! deadlocks surface instantly and deterministically; the current edge set
+//! is observable through [`LockManager::wait_for_edges`].
 
 use crate::types::{DbError, KeyBound, KeyTuple, TxnId};
 use parking_lot::{Condvar, Mutex};
@@ -138,6 +143,65 @@ impl LockState {
         false
     }
 
+    /// A deterministic waits-for cycle through the victim: DFS from the
+    /// victim's blockers back to the victim, visiting candidates in
+    /// ascending `TxnId` order. Only called after [`LockState::reaches`]
+    /// confirmed a cycle exists.
+    fn cycle_path(&self, victim: TxnId, blockers: &HashSet<TxnId>) -> Vec<TxnId> {
+        let mut starts: Vec<TxnId> = blockers.iter().copied().collect();
+        starts.sort_unstable();
+        let mut visited = HashSet::new();
+        let mut path = vec![victim];
+        for s in starts {
+            if self.find_path(s, victim, &mut visited, &mut path) {
+                return path;
+            }
+        }
+        path
+    }
+
+    fn find_path(
+        &self,
+        from: TxnId,
+        to: TxnId,
+        visited: &mut HashSet<TxnId>,
+        path: &mut Vec<TxnId>,
+    ) -> bool {
+        if from == to {
+            return true;
+        }
+        if !visited.insert(from) {
+            return false;
+        }
+        path.push(from);
+        let mut nexts: Vec<TxnId> = self
+            .waiting_for
+            .get(&from)
+            .into_iter()
+            .flatten()
+            .copied()
+            .collect();
+        nexts.sort_unstable();
+        for n in nexts {
+            if self.find_path(n, to, visited, path) {
+                return true;
+            }
+        }
+        path.pop();
+        false
+    }
+
+    /// Sorted snapshot of the waits-for edges.
+    fn edges_snapshot(&self) -> Vec<(TxnId, TxnId)> {
+        let mut out: Vec<(TxnId, TxnId)> = self
+            .waiting_for
+            .iter()
+            .flat_map(|(w, bs)| bs.iter().map(move |b| (*w, *b)))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
     fn grant(&mut self, txn: TxnId, target: LockTarget, mode: LockMode) {
         let entry = self.granted.entry(target.clone()).or_default();
         if entry.iter().any(|(t, m)| *t == txn && *m == mode) {
@@ -160,6 +224,17 @@ pub struct LockStats {
     pub deadlocks: u64,
     /// Lock-wait timeouts.
     pub timeouts: u64,
+}
+
+/// Outcome of a non-blocking [`LockManager::acquire_nowait`] attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AcquireOutcome {
+    /// Lock granted.
+    Granted,
+    /// The request must wait on these transactions (sorted). The waits-for
+    /// edge has been recorded; it persists until the lock is granted or
+    /// the transaction releases.
+    WouldBlock(Vec<TxnId>),
 }
 
 /// The lock manager.
@@ -196,10 +271,10 @@ impl LockManager {
 
     /// Acquire `mode` on `target` for `txn`, blocking until granted.
     ///
-    /// Returns [`DbError::DeadlockVictim`] when granting would require
-    /// waiting inside a hold-and-wait cycle, and
-    /// [`DbError::LockWaitTimeout`] after `wait_timeout`. In both cases the
-    /// caller must roll the transaction back.
+    /// Returns [`DbError::Deadlock`] (with the concrete waits-for cycle)
+    /// when granting would require waiting inside a hold-and-wait cycle,
+    /// and [`DbError::LockWaitTimeout`] after `wait_timeout`. In both
+    /// cases the caller must roll the transaction back.
     pub fn acquire(&self, txn: TxnId, target: LockTarget, mode: LockMode) -> Result<(), DbError> {
         weseer_obs::incr("db.lock.acquisitions");
         let wait_start = Instant::now();
@@ -221,6 +296,7 @@ impl LockManager {
             }
             // Would waiting close a cycle? blockers ⇒ … ⇒ txn.
             if st.reaches(&blockers, txn) {
+                let cycle = st.cycle_path(txn, &blockers);
                 st.waiting_for.remove(&txn);
                 self.stats.lock().deadlocks += 1;
                 weseer_obs::incr("db.lock.deadlock_aborts");
@@ -229,12 +305,13 @@ impl LockManager {
                     "db.lock",
                     format!(
                         "deadlock: {txn} requesting {mode:?} on {target:?}; \
-                         blockers={blockers:?}; held={:?}",
+                         cycle={cycle:?}; wait_for={:?}; held={:?}",
+                        st.edges_snapshot(),
                         st.held_by.get(&txn)
                     ),
                 );
                 self.cond.notify_all();
-                return Err(DbError::DeadlockVictim);
+                return Err(DbError::Deadlock { cycle });
             }
             if !waited {
                 self.stats.lock().waits += 1;
@@ -256,6 +333,64 @@ impl LockManager {
                 return Err(DbError::LockWaitTimeout);
             }
         }
+    }
+
+    /// Acquire without ever sleeping: grant, or *record the waits-for
+    /// edge* and return [`AcquireOutcome::WouldBlock`], or detect that
+    /// waiting would close a cycle and return [`DbError::Deadlock`].
+    ///
+    /// Unlike [`LockManager::try_acquire`], a blocked request leaves the
+    /// transaction's waits-for edge in place, so a later `acquire_nowait`
+    /// by another transaction sees it and deadlocks *instantly and
+    /// deterministically* — no timeouts, no condition-variable races. The
+    /// replay engine's schedule explorer is built on this. The edge is
+    /// cleared when the lock is eventually granted (any acquisition path)
+    /// or the transaction releases via [`LockManager::release_all`].
+    pub fn acquire_nowait(
+        &self,
+        txn: TxnId,
+        target: LockTarget,
+        mode: LockMode,
+    ) -> Result<AcquireOutcome, DbError> {
+        let mut st = self.state.lock();
+        let blockers = st.blockers(txn, &target, mode);
+        if blockers.is_empty() {
+            st.waiting_for.remove(&txn);
+            st.grant(txn, target, mode);
+            weseer_obs::incr("db.lock.acquisitions");
+            return Ok(AcquireOutcome::Granted);
+        }
+        if st.reaches(&blockers, txn) {
+            let cycle = st.cycle_path(txn, &blockers);
+            st.waiting_for.remove(&txn);
+            self.stats.lock().deadlocks += 1;
+            weseer_obs::incr("db.lock.deadlock_aborts");
+            weseer_obs::emit(
+                weseer_obs::Level::Warn,
+                "db.lock",
+                format!(
+                    "deadlock (nowait): {txn} requesting {mode:?} on {target:?}; \
+                     cycle={cycle:?}; wait_for={:?}",
+                    st.edges_snapshot()
+                ),
+            );
+            self.cond.notify_all();
+            return Err(DbError::Deadlock { cycle });
+        }
+        let mut sorted: Vec<TxnId> = blockers.iter().copied().collect();
+        sorted.sort_unstable();
+        if st.waiting_for.insert(txn, blockers).is_none() {
+            self.stats.lock().waits += 1;
+            weseer_obs::incr("db.lock.waits");
+        }
+        Ok(AcquireOutcome::WouldBlock(sorted))
+    }
+
+    /// Sorted snapshot of the current waits-for edges
+    /// `(waiter, holder it waits on)` — consumed by the replay engine's
+    /// witnesses and mirrored into the lock manager's obs events.
+    pub fn wait_for_edges(&self) -> Vec<(TxnId, TxnId)> {
+        self.state.lock().edges_snapshot()
     }
 
     /// Try to acquire without blocking; `Ok(false)` when it would wait.
@@ -414,9 +549,15 @@ mod tests {
             lm2.acquire(TxnId(1), row(2), LockMode::Exclusive)
         });
         thread::sleep(Duration::from_millis(50));
-        // T2 requesting r1 closes the cycle → T2 is the victim.
+        // T2 requesting r1 closes the cycle → T2 is the victim, and the
+        // error names the concrete cycle T2 → T1 → T2.
         let r = lm.acquire(TxnId(2), row(1), LockMode::Exclusive);
-        assert_eq!(r, Err(DbError::DeadlockVictim));
+        assert_eq!(
+            r,
+            Err(DbError::Deadlock {
+                cycle: vec![TxnId(2), TxnId(1)]
+            })
+        );
         lm.release_all(TxnId(2));
         h.join().unwrap().unwrap();
         lm.release_all(TxnId(1));
@@ -434,7 +575,7 @@ mod tests {
         let h = thread::spawn(move || lm2.acquire(TxnId(1), gap(100), LockMode::InsertIntention));
         thread::sleep(Duration::from_millis(50));
         let r = lm.acquire(TxnId(2), gap(100), LockMode::InsertIntention);
-        assert_eq!(r, Err(DbError::DeadlockVictim));
+        assert!(matches!(r, Err(DbError::Deadlock { .. })));
         lm.release_all(TxnId(2));
         h.join().unwrap().unwrap();
         lm.release_all(TxnId(1));
@@ -452,7 +593,12 @@ mod tests {
         let h2 = thread::spawn(move || lm2.acquire(TxnId(2), row(3), LockMode::Exclusive));
         thread::sleep(Duration::from_millis(80));
         let r = lm.acquire(TxnId(3), row(1), LockMode::Exclusive);
-        assert_eq!(r, Err(DbError::DeadlockVictim));
+        assert_eq!(
+            r,
+            Err(DbError::Deadlock {
+                cycle: vec![TxnId(3), TxnId(1), TxnId(2)]
+            })
+        );
         lm.release_all(TxnId(3));
         h2.join().unwrap().unwrap();
         lm.release_all(TxnId(2));
@@ -480,6 +626,44 @@ mod tests {
         assert!(lm
             .try_acquire(TxnId(2), row(1), LockMode::Exclusive)
             .unwrap());
+    }
+
+    #[test]
+    fn nowait_records_edges_and_detects_cycles_without_threads() {
+        // The same two-txn deadlock as above, but entirely single-threaded
+        // through the nowait path — the foundation of deterministic replay.
+        let lm = LockManager::default();
+        lm.acquire(TxnId(1), row(1), LockMode::Exclusive).unwrap();
+        lm.acquire(TxnId(2), row(2), LockMode::Exclusive).unwrap();
+        assert_eq!(
+            lm.acquire_nowait(TxnId(1), row(2), LockMode::Exclusive),
+            Ok(AcquireOutcome::WouldBlock(vec![TxnId(2)]))
+        );
+        assert_eq!(lm.wait_for_edges(), vec![(TxnId(1), TxnId(2))]);
+        // A repeat attempt is idempotent (no double wait counting).
+        let waits = lm.stats().waits;
+        assert_eq!(
+            lm.acquire_nowait(TxnId(1), row(2), LockMode::Exclusive),
+            Ok(AcquireOutcome::WouldBlock(vec![TxnId(2)]))
+        );
+        assert_eq!(lm.stats().waits, waits);
+        // T2 closing the cycle deadlocks instantly, no other threads.
+        let r = lm.acquire_nowait(TxnId(2), row(1), LockMode::Exclusive);
+        assert_eq!(
+            r,
+            Err(DbError::Deadlock {
+                cycle: vec![TxnId(2), TxnId(1)]
+            })
+        );
+        assert_eq!(lm.stats().deadlocks, 1);
+        // The victim's rollback clears its locks; T1's edge resolves once
+        // it re-attempts and is granted.
+        lm.release_all(TxnId(2));
+        assert_eq!(
+            lm.acquire_nowait(TxnId(1), row(2), LockMode::Exclusive),
+            Ok(AcquireOutcome::Granted)
+        );
+        assert!(lm.wait_for_edges().is_empty());
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub fn index_key(def: &TableDef, idx: &IndexDef, row: &Row) -> KeyTuple {
 }
 
 /// One table's physical state.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TableStore {
     /// Schema.
     pub def: Arc<TableDef>,
@@ -167,8 +167,9 @@ pub enum Undo {
 }
 
 /// All tables plus per-transaction undo logs, guarded by one mutex in
-/// [`crate::database::Database`].
-#[derive(Debug)]
+/// [`crate::database::Database`]. `Clone` deep-copies every table and
+/// undo log (used by [`crate::database::Database::fork`]).
+#[derive(Debug, Clone)]
 pub struct Storage {
     /// Tables by name.
     pub tables: HashMap<String, TableStore>,

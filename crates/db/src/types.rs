@@ -54,7 +54,13 @@ impl fmt::Display for KeyBound {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DbError {
     /// This transaction was chosen as a deadlock victim and rolled back.
-    DeadlockVictim,
+    /// Carries the waits-for cycle that was closed, starting and ending at
+    /// the victim: `cycle[0]` waits on `cycle[1]`, …, and the last entry
+    /// waits back on `cycle[0]`.
+    Deadlock {
+        /// The waits-for cycle (victim first; implicitly closed).
+        cycle: Vec<TxnId>,
+    },
     /// Waited longer than the configured lock-wait timeout; the
     /// transaction was rolled back (MySQL's detect-or-timeout recovery).
     LockWaitTimeout,
@@ -74,11 +80,19 @@ pub enum DbError {
 impl fmt::Display for DbError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DbError::DeadlockVictim => {
+            DbError::Deadlock { cycle } => {
                 write!(
                     f,
                     "deadlock found when trying to get lock; transaction rolled back"
-                )
+                )?;
+                if !cycle.is_empty() {
+                    write!(f, " (cycle: ")?;
+                    for t in cycle {
+                        write!(f, "{t} -> ")?;
+                    }
+                    write!(f, "{})", cycle[0])?;
+                }
+                Ok(())
             }
             DbError::LockWaitTimeout => write!(f, "lock wait timeout exceeded"),
             DbError::DuplicateKey { index } => {
@@ -97,7 +111,15 @@ impl DbError {
     /// Whether this error implies the transaction was rolled back by the
     /// engine (abort-style recovery).
     pub fn aborts_txn(&self) -> bool {
-        matches!(self, DbError::DeadlockVictim | DbError::LockWaitTimeout)
+        matches!(self, DbError::Deadlock { .. } | DbError::LockWaitTimeout)
+    }
+
+    /// The waits-for cycle of a deadlock error, if any.
+    pub fn deadlock_cycle(&self) -> Option<&[TxnId]> {
+        match self {
+            DbError::Deadlock { cycle } => Some(cycle),
+            _ => None,
+        }
     }
 }
 
@@ -112,12 +134,18 @@ mod tests {
         assert!(KeyBound::Key(vec![Value::Int(1), Value::str("a")])
             .to_string()
             .contains("1,'a'"));
-        assert!(DbError::DeadlockVictim.to_string().contains("deadlock"));
+        let dl = DbError::Deadlock {
+            cycle: vec![TxnId(2), TxnId(1)],
+        };
+        assert!(dl.to_string().contains("deadlock"));
+        assert!(dl.to_string().contains("txn#2 -> txn#1 -> txn#2"));
     }
 
     #[test]
     fn abort_classification() {
-        assert!(DbError::DeadlockVictim.aborts_txn());
+        let dl = DbError::Deadlock { cycle: vec![] };
+        assert!(dl.aborts_txn());
+        assert_eq!(dl.deadlock_cycle(), Some(&[][..]));
         assert!(DbError::LockWaitTimeout.aborts_txn());
         assert!(!DbError::DuplicateKey {
             index: "PRIMARY".into()

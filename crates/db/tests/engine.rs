@@ -308,7 +308,7 @@ fn finish_order_style_deadlock_detected_and_recovered() {
     let oks = results.iter().filter(|r| r.is_ok()).count();
     let victims = results
         .iter()
-        .filter(|r| matches!(r, Err(DbError::DeadlockVictim)))
+        .filter(|r| matches!(r, Err(DbError::Deadlock { .. })))
         .count();
     assert_eq!(oks, 1, "exactly one transaction should commit: {results:?}");
     assert_eq!(victims, 1, "exactly one deadlock victim: {results:?}");

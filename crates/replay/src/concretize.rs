@@ -1,0 +1,186 @@
+//! Rendering a traced transaction's statements with concrete parameter
+//! values taken from a SAT model.
+//!
+//! The analyzer proves a cycle satisfiable over symbolic API inputs; the
+//! replay engine must then *execute* the two transactions for real. Each
+//! traced parameter carries the concrete value observed during trace
+//! collection plus (optionally) a symbolic term over API inputs. Where the
+//! SAT model assigns every variable the term mentions, we evaluate the term
+//! under the model — the deadlock-triggering input chosen by the solver —
+//! and fall back to the observed concrete value otherwise (e.g. values
+//! derived from array reads the model does not pin down).
+
+use weseer_analyzer::CollectedTrace;
+use weseer_smt::{Ctx, Model, ModelValue, TermId, TermKind};
+use weseer_sqlir::{Statement, Value};
+
+/// One statement of a transaction, ready to execute: parsed form, concrete
+/// parameters, and the rendered SQL shown in the witness.
+#[derive(Debug, Clone)]
+pub struct ConcreteStmt {
+    /// `Q{n}` label matching the trace (1-based trace-wide index).
+    pub label: String,
+    /// 1-based trace-wide statement index.
+    pub index: usize,
+    /// Parsed statement, executable against [`weseer_db::Session`].
+    pub stmt: Statement,
+    /// Concrete parameter values (model-derived where possible).
+    pub params: Vec<Value>,
+    /// SQL with parameters substituted, for the witness.
+    pub sql: String,
+    /// Tables read but not written (table-level footprint for DPOR).
+    pub reads: Vec<String>,
+    /// Tables written (or locked exclusively via `FOR UPDATE`).
+    pub writes: Vec<String>,
+}
+
+impl ConcreteStmt {
+    /// Build from a parsed statement and concrete parameters, deriving the
+    /// label, rendered SQL, and table-level footprint.
+    pub fn new(index: usize, stmt: Statement, params: Vec<Value>) -> ConcreteStmt {
+        let writes: Vec<String> = stmt
+            .written_table()
+            .map(str::to_string)
+            .into_iter()
+            .collect();
+        let reads = stmt
+            .tables()
+            .into_iter()
+            .filter(|t| !writes.contains(t))
+            .collect();
+        let sql = render_sql(&stmt.to_string(), &params);
+        ConcreteStmt {
+            label: format!("Q{index}"),
+            index,
+            stmt,
+            params,
+            sql,
+            reads,
+            writes,
+        }
+    }
+}
+
+/// Concretize the `txn`-th transaction of `trace` under `model` (the SAT
+/// model already projected onto this instance's namespace via
+/// [`Model::strip_prefix`]).
+pub fn concretize_txn(trace: &CollectedTrace, txn: usize, model: &Model) -> Vec<ConcreteStmt> {
+    let Some(tt) = trace.trace.txns.get(txn) else {
+        return Vec::new();
+    };
+    trace
+        .trace
+        .statements_of(tt.id)
+        .iter()
+        .map(|rec| {
+            let params: Vec<Value> = rec
+                .params
+                .iter()
+                .map(|p| match p.sym {
+                    Some(t) if term_fully_assigned(&trace.ctx, model, t) => {
+                        model_value_to_value(model.eval(&trace.ctx, t))
+                    }
+                    _ => p.concrete.clone(),
+                })
+                .collect();
+            ConcreteStmt::new(rec.index, rec.stmt.clone(), params)
+        })
+        .collect()
+}
+
+/// Whether every variable `t` mentions is assigned by `model`, so that
+/// `model.eval` returns the solver-chosen value rather than a default.
+/// Array reads are conservatively treated as unassigned (their value
+/// depends on store chains the projection does not track).
+fn term_fully_assigned(ctx: &Ctx, model: &Model, t: TermId) -> bool {
+    let mut stack = vec![t];
+    while let Some(t) = stack.pop() {
+        match ctx.kind(t) {
+            TermKind::Var(name) => {
+                if model.get(name).is_none() {
+                    return false;
+                }
+            }
+            TermKind::BoolConst(_) | TermKind::NumConst(_) | TermKind::StrConst(_) => {}
+            TermKind::Add(a, b) | TermKind::Sub(a, b) | TermKind::Eq(a, b) => {
+                stack.push(*a);
+                stack.push(*b);
+            }
+            TermKind::Cmp(_, a, b) => {
+                stack.push(*a);
+                stack.push(*b);
+            }
+            TermKind::Neg(a) | TermKind::MulConst(_, a) | TermKind::Not(a) => stack.push(*a),
+            TermKind::And(parts) | TermKind::Or(parts) => stack.extend(parts.iter().copied()),
+            TermKind::Select(..) | TermKind::Store(..) => return false,
+        }
+    }
+    true
+}
+
+fn model_value_to_value(v: ModelValue) -> Value {
+    match v {
+        ModelValue::Int(i) => Value::Int(i),
+        ModelValue::Real(x) => Value::Float(x),
+        ModelValue::Str(s) => Value::Str(s),
+        ModelValue::Bool(b) => Value::Bool(b),
+    }
+}
+
+/// Substitute the `i`-th `?` placeholder with the `i`-th parameter's SQL
+/// literal rendering ([`Value`]'s `Display`). Extra placeholders are kept.
+pub fn render_sql(template: &str, params: &[Value]) -> String {
+    let mut out = String::with_capacity(template.len() + 16 * params.len());
+    let mut next = 0;
+    for ch in template.chars() {
+        if ch == '?' && next < params.len() {
+            out.push_str(&params[next].to_string());
+            next += 1;
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weseer_sqlir::parser::parse;
+
+    #[test]
+    fn render_sql_substitutes_in_order() {
+        let s = render_sql(
+            "UPDATE T SET V = ? WHERE ID = ? AND NAME = ?",
+            &[Value::Int(3), Value::Int(7), Value::Str("o'k".into())],
+        );
+        assert_eq!(s, "UPDATE T SET V = 3 WHERE ID = 7 AND NAME = 'o''k'");
+    }
+
+    #[test]
+    fn footprint_splits_reads_and_writes() {
+        let upd = ConcreteStmt::new(
+            1,
+            parse("UPDATE T SET V = ? WHERE ID = ?").unwrap(),
+            vec![Value::Int(1), Value::Int(2)],
+        );
+        assert!(upd.reads.is_empty());
+        assert_eq!(upd.writes, vec!["T".to_string()]);
+
+        let sel = ConcreteStmt::new(
+            2,
+            parse("SELECT * FROM T t WHERE t.ID = ?").unwrap(),
+            vec![Value::Int(2)],
+        );
+        assert_eq!(sel.reads, vec!["T".to_string()]);
+        assert!(sel.writes.is_empty());
+
+        let sfu = ConcreteStmt::new(
+            3,
+            parse("SELECT * FROM T t WHERE t.ID = ? FOR UPDATE").unwrap(),
+            vec![Value::Int(2)],
+        );
+        assert_eq!(sfu.writes, vec!["T".to_string()]);
+        assert!(sfu.reads.is_empty());
+    }
+}

@@ -1,0 +1,383 @@
+//! Deterministic DFS over statement-level interleavings with sleep-set
+//! (DPOR-style) pruning.
+//!
+//! Every explored schedule runs from the root against a fresh
+//! [`Database::fork`], so runs are fully independent and bit-identical
+//! regardless of exploration order or thread count. Statements execute in
+//! nowait mode ([`weseer_db::Session::execute_nowait`]): a lock conflict
+//! records a persistent wait-for edge and returns control instead of
+//! parking a thread, which gives the explorer instant, deterministic
+//! deadlock detection from the lock manager's wait-for graph.
+//!
+//! Pruning uses sleep sets keyed on table-level lock footprints: after
+//! exploring instance `i`'s move at a branch point, sibling branches
+//! inherit that move in their sleep set as long as their own first move is
+//! independent of it, and any node whose chosen move is asleep is skipped —
+//! the schedule it leads to is a reordering of one already explored. A
+//! sleeping move is woken (dropped from the set) as soon as a dependent
+//! move executes. This is the classic sound formulation; a naive "skip if
+//! independent of all earlier moves" check misses required interleavings.
+
+use crate::concretize::ConcreteStmt;
+use crate::witness::{render_lock, WitnessStep};
+use weseer_db::{Database, DbError, StepResult, TxnId};
+
+/// Budget limits for schedule exploration.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// Maximum schedules run to completion (deadlock or all-terminated).
+    pub max_schedules: usize,
+    /// Maximum total runs, including prefix re-executions that stop at a
+    /// frontier (defensive cap on DFS work).
+    pub max_runs: usize,
+    /// Maximum steps within one schedule (defensive; schedules are short).
+    pub max_steps: usize,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig {
+            max_schedules: 256,
+            max_runs: 4096,
+            max_steps: 512,
+        }
+    }
+}
+
+/// One transaction instance to interleave: a name (`A1`) and its
+/// concretized statements.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Display name, used in witness steps and cycles.
+    pub name: String,
+    /// Statements, executed in order inside one transaction.
+    pub stmts: Vec<ConcreteStmt>,
+}
+
+/// A scheduling decision: `(instance index, statement position)`.
+type Move = (usize, usize);
+
+/// Result of exploring all schedules within budget.
+#[derive(Debug)]
+pub enum ExploreOutcome {
+    /// A schedule deadlocked; first one found in DFS order.
+    Deadlock {
+        /// The witness schedule.
+        steps: Vec<WitnessStep>,
+        /// Final wait-for cycle (instance names, victim first).
+        cycle: Vec<String>,
+        /// Schedules completed up to and including this one.
+        explored: usize,
+        /// Branches pruned by sleep sets.
+        pruned: usize,
+    },
+    /// No schedule within budget deadlocked.
+    Exhausted {
+        /// Schedules completed.
+        explored: usize,
+        /// Branches pruned by sleep sets.
+        pruned: usize,
+    },
+}
+
+/// Table-level read/write footprint of one move.
+#[derive(Debug, Clone)]
+struct Footprint {
+    reads: Vec<String>,
+    writes: Vec<String>,
+}
+
+impl Footprint {
+    fn conflicts(&self, other: &Footprint) -> bool {
+        let wr = |a: &Footprint, b: &Footprint| {
+            a.writes
+                .iter()
+                .any(|t| b.writes.contains(t) || b.reads.contains(t))
+        };
+        wr(self, other) || wr(other, self)
+    }
+}
+
+/// Per-instance, per-statement footprints. The *last* statement's footprint
+/// is widened to every table the transaction touches, as writes: its
+/// completion commits, and the commit releases every lock the transaction
+/// holds — reordering it past any conflicting move changes behavior.
+struct Footprints(Vec<Vec<Footprint>>);
+
+impl Footprints {
+    fn new(instances: &[Instance]) -> Footprints {
+        let per_instance = instances
+            .iter()
+            .map(|inst| {
+                let mut fps: Vec<Footprint> = inst
+                    .stmts
+                    .iter()
+                    .map(|s| Footprint {
+                        reads: s.reads.clone(),
+                        writes: s.writes.clone(),
+                    })
+                    .collect();
+                if let Some(last) = fps.last_mut() {
+                    let mut all: Vec<String> = Vec::new();
+                    for s in &inst.stmts {
+                        for t in s.reads.iter().chain(s.writes.iter()) {
+                            if !all.contains(t) {
+                                all.push(t.clone());
+                            }
+                        }
+                    }
+                    last.writes = all;
+                    last.reads.clear();
+                }
+                fps
+            })
+            .collect();
+        Footprints(per_instance)
+    }
+
+    /// Whether two moves are dependent: same instance (program order), or
+    /// overlapping table footprints with at least one write. Out-of-range
+    /// positions are conservatively dependent.
+    fn dependent(&self, a: Move, b: Move) -> bool {
+        if a.0 == b.0 {
+            return true;
+        }
+        match (self.0[a.0].get(a.1), self.0[b.0].get(b.1)) {
+            (Some(fa), Some(fb)) => fa.conflicts(fb),
+            _ => true,
+        }
+    }
+}
+
+/// What one schedule run produced.
+enum RunResult {
+    /// The lock manager reported a wait-for cycle.
+    Deadlock {
+        steps: Vec<WitnessStep>,
+        cycle: Vec<String>,
+    },
+    /// Every instance committed or failed; no deadlock on this path.
+    Terminal,
+    /// A forced move past the decided prefix was in the sleep set: the
+    /// whole continuation reorders an already-explored schedule.
+    Redundant,
+    /// Reached a branch point past the decided prefix: `choices` are the
+    /// runnable instances, `positions` their next statement positions, and
+    /// `sleep` the sleep set as evolved by the moves executed since the
+    /// node's parent frontier.
+    Frontier {
+        choices: Vec<usize>,
+        positions: Vec<usize>,
+        sleep: Vec<Move>,
+    },
+}
+
+/// Explore interleavings of `instances` over forks of `base`, depth first,
+/// until a schedule deadlocks or budgets are exhausted.
+pub fn explore(base: &Database, instances: &[Instance], config: &ReplayConfig) -> ExploreOutcome {
+    let _span = weseer_obs::span("replay.explore");
+    let fps = Footprints::new(instances);
+    let mut explored = 0usize;
+    let mut pruned = 0usize;
+    let mut runs = 0usize;
+    // DFS stack of (decided prefix, sleep set at the node).
+    let mut stack: Vec<(Vec<usize>, Vec<Move>)> = vec![(Vec::new(), Vec::new())];
+
+    let outcome = loop {
+        let Some((decisions, sleep)) = stack.pop() else {
+            break ExploreOutcome::Exhausted { explored, pruned };
+        };
+        if explored >= config.max_schedules || runs >= config.max_runs {
+            break ExploreOutcome::Exhausted { explored, pruned };
+        }
+        runs += 1;
+        match run(base, instances, &fps, &decisions, sleep, config.max_steps) {
+            RunResult::Deadlock { steps, cycle } => {
+                explored += 1;
+                break ExploreOutcome::Deadlock {
+                    steps,
+                    cycle,
+                    explored,
+                    pruned,
+                };
+            }
+            RunResult::Terminal => {
+                explored += 1;
+            }
+            RunResult::Redundant => {
+                pruned += 1;
+            }
+            RunResult::Frontier {
+                choices,
+                positions,
+                sleep,
+            } => {
+                // Expand children; push in reverse so the lowest instance
+                // index is explored first (deterministic DFS order).
+                let mut children: Vec<(Vec<usize>, Vec<Move>)> = Vec::new();
+                let mut explored_here: Vec<Move> = Vec::new();
+                for &choice in &choices {
+                    let mv: Move = (choice, positions[choice]);
+                    if sleep.contains(&mv) {
+                        pruned += 1;
+                        continue;
+                    }
+                    let mut child_dec = decisions.clone();
+                    child_dec.push(choice);
+                    let mut child_sleep: Vec<Move> = sleep
+                        .iter()
+                        .chain(explored_here.iter())
+                        .filter(|m| !fps.dependent(**m, mv))
+                        .copied()
+                        .collect();
+                    child_sleep.sort_unstable();
+                    child_sleep.dedup();
+                    children.push((child_dec, child_sleep));
+                    explored_here.push(mv);
+                }
+                for child in children.into_iter().rev() {
+                    stack.push(child);
+                }
+            }
+        }
+    };
+    weseer_obs::add("replay.schedules_explored", explored as u64);
+    weseer_obs::add("replay.schedules_pruned", pruned as u64);
+    outcome
+}
+
+/// Execute one schedule from the root on a fresh fork of `base`, following
+/// `decisions` at branch points, then stopping at the next branch point (or
+/// running to termination/deadlock when none remains).
+fn run(
+    base: &Database,
+    instances: &[Instance],
+    fps: &Footprints,
+    decisions: &[usize],
+    mut sleep: Vec<Move>,
+    max_steps: usize,
+) -> RunResult {
+    let db = base.fork();
+    let n = instances.len();
+    let mut sessions: Vec<_> = (0..n).map(|_| db.session()).collect();
+    for s in &mut sessions {
+        s.begin();
+    }
+    let txn_ids: Vec<TxnId> = sessions
+        .iter()
+        .map(|s| s.txn_id().expect("begun transaction has an id"))
+        .collect();
+    let name_of = |t: TxnId| -> String {
+        txn_ids
+            .iter()
+            .position(|x| *x == t)
+            .map(|i| instances[i].name.clone())
+            .unwrap_or_else(|| t.to_string())
+    };
+
+    let mut pos = vec![0usize; n];
+    let mut done = vec![false; n];
+    let mut failed = vec![false; n];
+    let mut blocked = vec![false; n];
+    let mut steps_rec: Vec<WitnessStep> = Vec::new();
+    let mut di = 0usize;
+
+    for _ in 0..max_steps {
+        let runnable: Vec<usize> = (0..n)
+            .filter(|&i| !done[i] && !failed[i] && !blocked[i] && pos[i] < instances[i].stmts.len())
+            .collect();
+        if runnable.is_empty() {
+            // Blocked instances cannot persist here: a closing cycle errors
+            // out at acquire time, and a finished instance wakes everyone.
+            return RunResult::Terminal;
+        }
+        let choice = if runnable.len() == 1 {
+            runnable[0]
+        } else if di < decisions.len() {
+            let c = decisions[di];
+            di += 1;
+            if !runnable.contains(&c) {
+                // Divergence from the recorded prefix; deterministic
+                // execution makes this unreachable, but fail safe.
+                return RunResult::Terminal;
+            }
+            c
+        } else {
+            return RunResult::Frontier {
+                choices: runnable,
+                positions: pos,
+                sleep,
+            };
+        };
+
+        let mv: Move = (choice, pos[choice]);
+        if di >= decisions.len() {
+            // Past the parent frontier. A forced move that is asleep means
+            // this continuation only reorders an explored schedule.
+            // (Decided moves can't be asleep: the driver filters them.)
+            if sleep.contains(&mv) {
+                return RunResult::Redundant;
+            }
+            // Executed moves wake dependent sleeping moves. (The decided
+            // prefix's wakes are already reflected in the inherited set.)
+            sleep.retain(|m| !fps.dependent(*m, mv));
+        }
+
+        let inst = &instances[choice];
+        let cs = &inst.stmts[pos[choice]];
+        let mut step = WitnessStep {
+            instance: inst.name.clone(),
+            label: cs.label.clone(),
+            sql: cs.sql.clone(),
+            locks: Vec::new(),
+            outcome: String::new(),
+            waits_on: Vec::new(),
+        };
+        match sessions[choice].execute_nowait(&cs.stmt, &cs.params) {
+            Ok(StepResult::Done(data)) => {
+                step.locks = data.locks.iter().map(|(t, m)| render_lock(t, *m)).collect();
+                step.outcome = "ok".into();
+                steps_rec.push(step);
+                pos[choice] += 1;
+                if pos[choice] == inst.stmts.len() {
+                    let _ = sessions[choice].commit();
+                    done[choice] = true;
+                    // Released locks may unblock anyone; let them retry.
+                    for b in blocked.iter_mut() {
+                        *b = false;
+                    }
+                }
+            }
+            Ok(StepResult::Blocked { on, target, mode }) => {
+                step.locks = vec![render_lock(&target, mode)];
+                step.outcome = "blocked".into();
+                step.waits_on = on.iter().map(|t| name_of(*t)).collect();
+                steps_rec.push(step);
+                blocked[choice] = true;
+            }
+            Err(DbError::Deadlock { cycle }) => {
+                let cycle_names: Vec<String> = cycle.iter().map(|t| name_of(*t)).collect();
+                step.outcome = "deadlock".into();
+                step.waits_on = cycle_names.clone();
+                steps_rec.push(step);
+                return RunResult::Deadlock {
+                    steps: steps_rec,
+                    cycle: cycle_names,
+                };
+            }
+            Err(e) => {
+                step.outcome = format!("error: {e}");
+                steps_rec.push(step);
+                // `execute_nowait` already rolled back aborting errors;
+                // roll back statement-level ones (e.g. duplicate key) too —
+                // partial replays cannot meaningfully continue.
+                sessions[choice].rollback();
+                failed[choice] = true;
+                for b in blocked.iter_mut() {
+                    *b = false;
+                }
+            }
+        }
+    }
+    RunResult::Terminal
+}

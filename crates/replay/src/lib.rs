@@ -1,0 +1,201 @@
+//! # weseer-replay
+//!
+//! Concrete deadlock-witness replay: turn the analyzer's SAT verdicts into
+//! *executions that actually deadlock*.
+//!
+//! The analyzer (phases 1–3) proves a lock-order cycle satisfiable over
+//! symbolic API inputs and database state. That is a static claim; this
+//! crate checks it dynamically, CLOTHO-style:
+//!
+//! 1. **Concretize** ([`concretize`]) — render each involved transaction's
+//!    traced statements with parameter values evaluated under the SAT
+//!    model (projected per instance via [`weseer_smt::Model::strip_prefix`]),
+//!    so the replayed inputs are exactly the ones the solver chose.
+//! 2. **Explore** ([`explore`]) — deterministic DFS over statement-level
+//!    interleavings of the two transactions against a fresh
+//!    [`weseer_db::Database::fork`], with sleep-set (DPOR-style) pruning
+//!    keyed on table-level lock footprints. Statements run in nowait mode,
+//!    so the lock manager's wait-for graph yields instant deterministic
+//!    cycle detection without threads or timeouts.
+//! 3. **Witness** ([`witness`]) — the first deadlocking schedule becomes a
+//!    [`Witness`]: ordered steps (instance, statement, concrete SQL, locks
+//!    acquired) plus the final wait-for cycle, renderable as text and as
+//!    canonical single-line JSON for byte-for-byte reproducibility checks.
+//!
+//! The driver ([`Replayer`]) wires a [`DeadlockReport`] to the traces it
+//! came from and classifies it [`ReplayVerdict::Confirmed`] (a witness
+//! exists), [`ReplayVerdict::NotReproduced`] (no schedule in budget
+//! deadlocked — e.g. a cycle SAT under the lock model but not reachable in
+//! the engine), or [`ReplayVerdict::Skipped`] (missing trace/transaction).
+
+pub mod concretize;
+pub mod explore;
+pub mod witness;
+
+pub use concretize::{concretize_txn, render_sql, ConcreteStmt};
+pub use explore::{explore, ExploreOutcome, Instance, ReplayConfig};
+pub use witness::{render_lock, Witness, WitnessInstance, WitnessStep};
+
+use weseer_analyzer::{CollectedTrace, DeadlockReport};
+use weseer_db::Database;
+
+/// The outcome of replaying one diagnosed cycle.
+#[derive(Debug, Clone)]
+pub enum ReplayVerdict {
+    /// A concrete schedule deadlocked; here is the witness.
+    Confirmed(Box<Witness>),
+    /// No schedule within budget deadlocked.
+    NotReproduced {
+        /// Schedules run to completion.
+        schedules_explored: usize,
+        /// Branches pruned by sleep sets.
+        schedules_pruned: usize,
+    },
+    /// Replay was not attempted, with the reason.
+    Skipped(String),
+}
+
+impl ReplayVerdict {
+    /// Whether this verdict carries a witness.
+    pub fn is_confirmed(&self) -> bool {
+        matches!(self, ReplayVerdict::Confirmed(_))
+    }
+
+    /// The witness, if confirmed.
+    pub fn witness(&self) -> Option<&Witness> {
+        match self {
+            ReplayVerdict::Confirmed(w) => Some(w),
+            _ => None,
+        }
+    }
+
+    /// Short stable tag: `confirmed`, `not_reproduced`, or `skipped`.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ReplayVerdict::Confirmed(_) => "confirmed",
+            ReplayVerdict::NotReproduced { .. } => "not_reproduced",
+            ReplayVerdict::Skipped(_) => "skipped",
+        }
+    }
+}
+
+/// Replays diagnosed cycles against a prepared database.
+pub struct Replayer<'a> {
+    traces: &'a [CollectedTrace],
+    config: ReplayConfig,
+}
+
+impl<'a> Replayer<'a> {
+    /// A replayer over the traces the analyzer diagnosed.
+    pub fn new(traces: &'a [CollectedTrace]) -> Replayer<'a> {
+        Replayer {
+            traces,
+            config: ReplayConfig::default(),
+        }
+    }
+
+    /// Override exploration budgets.
+    pub fn with_config(traces: &'a [CollectedTrace], config: ReplayConfig) -> Replayer<'a> {
+        Replayer { traces, config }
+    }
+
+    /// Replay one report's cycle against `base` (a database in the state
+    /// the traces were collected from; the explorer forks it per schedule
+    /// and never mutates it).
+    pub fn replay_report(&self, report: &DeadlockReport, base: &Database) -> ReplayVerdict {
+        let _span = weseer_obs::span("replay.report");
+        let verdict = self.replay_report_inner(report, base);
+        weseer_obs::incr(match &verdict {
+            ReplayVerdict::Confirmed(_) => "replay.confirmed",
+            ReplayVerdict::NotReproduced { .. } => "replay.not_reproduced",
+            ReplayVerdict::Skipped(_) => "replay.skipped",
+        });
+        verdict
+    }
+
+    fn replay_report_inner(&self, report: &DeadlockReport, base: &Database) -> ReplayVerdict {
+        let find = |api: &str| self.traces.iter().find(|t| t.api() == api);
+        let Some(ta) = find(&report.cycle.a_api) else {
+            return ReplayVerdict::Skipped(format!("no trace for API {}", report.cycle.a_api));
+        };
+        let Some(tb) = find(&report.cycle.b_api) else {
+            return ReplayVerdict::Skipped(format!("no trace for API {}", report.cycle.b_api));
+        };
+        let concretize = |model_a: &weseer_smt::Model, model_b: &weseer_smt::Model| {
+            (
+                concretize_txn(ta, report.cycle.a_txn, model_a),
+                concretize_txn(tb, report.cycle.b_txn, model_b),
+            )
+        };
+        let (a_stmts, b_stmts) = concretize(
+            &report.sat_model.strip_prefix("A1."),
+            &report.sat_model.strip_prefix("A2."),
+        );
+        if a_stmts.is_empty() || b_stmts.is_empty() {
+            return ReplayVerdict::Skipped("cycle transaction has no statements".into());
+        }
+
+        // Attempt 1: the solver's inputs. Attempt 2 (only if the first
+        // exhausts its budget, and only when it differs): the inputs
+        // observed during tracing — a partial SAT model can pick
+        // degenerate values (e.g. every key equal) that serialize the two
+        // transactions even though the traced inputs deadlock.
+        let sqls = |a: &[ConcreteStmt], b: &[ConcreteStmt]| -> Vec<String> {
+            a.iter().chain(b).map(|s| s.sql.clone()).collect()
+        };
+        let model_sql = sqls(&a_stmts, &b_stmts);
+        let mut total_explored = 0;
+        let mut total_pruned = 0;
+        let mut attempts = vec![(a_stmts, b_stmts)];
+        let empty = weseer_smt::Model::default();
+        let (ca, cb) = concretize(&empty, &empty);
+        if sqls(&ca, &cb) != model_sql {
+            attempts.push((ca, cb));
+        }
+        for (a_stmts, b_stmts) in attempts {
+            let instances = vec![
+                Instance {
+                    name: "A1".into(),
+                    stmts: a_stmts,
+                },
+                Instance {
+                    name: "A2".into(),
+                    stmts: b_stmts,
+                },
+            ];
+            match explore(base, &instances, &self.config) {
+                ExploreOutcome::Deadlock {
+                    steps,
+                    cycle,
+                    explored,
+                    pruned,
+                } => {
+                    return ReplayVerdict::Confirmed(Box::new(Witness {
+                        instances: vec![
+                            WitnessInstance {
+                                name: "A1".into(),
+                                api: report.cycle.a_api.clone(),
+                            },
+                            WitnessInstance {
+                                name: "A2".into(),
+                                api: report.cycle.b_api.clone(),
+                            },
+                        ],
+                        steps,
+                        cycle,
+                        schedules_explored: total_explored + explored,
+                        schedules_pruned: total_pruned + pruned,
+                    }))
+                }
+                ExploreOutcome::Exhausted { explored, pruned } => {
+                    total_explored += explored;
+                    total_pruned += pruned;
+                }
+            }
+        }
+        ReplayVerdict::NotReproduced {
+            schedules_explored: total_explored,
+            schedules_pruned: total_pruned,
+        }
+    }
+}

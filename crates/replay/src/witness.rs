@@ -1,0 +1,254 @@
+//! Concrete deadlock witnesses: the ordered schedule that provably
+//! deadlocks, ready to attach to a diagnosis report or export as JSON.
+
+use std::fmt::Write as _;
+use weseer_db::{KeyBound, LockMode, LockTarget};
+
+/// One executed (or attempted) statement in the witness schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WitnessStep {
+    /// Instance name (`A1` / `A2`).
+    pub instance: String,
+    /// Statement label within the instance's trace (`Q4`).
+    pub label: String,
+    /// Concrete SQL as executed.
+    pub sql: String,
+    /// Locks acquired (rendered), or the lock requested when blocked.
+    pub locks: Vec<String>,
+    /// `ok`, `blocked`, `deadlock`, or `error: …`.
+    pub outcome: String,
+    /// Instances this step waits on (blocked) or the abort cycle
+    /// (deadlock).
+    pub waits_on: Vec<String>,
+}
+
+/// An instance participating in the witness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WitnessInstance {
+    /// Instance name (`A1` / `A2`).
+    pub name: String,
+    /// The API whose trace the instance replays.
+    pub api: String,
+}
+
+/// A concrete deadlock witness: the first deadlocking schedule found by the
+/// explorer, with every step's SQL and locks plus the final wait-for cycle
+/// reported by the lock manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness {
+    /// Participating instances in name order.
+    pub instances: Vec<WitnessInstance>,
+    /// The schedule, in execution order.
+    pub steps: Vec<WitnessStep>,
+    /// Final wait-for cycle as instance names, victim first
+    /// (`[A2, A1]` means A2 waits on A1 waits on A2).
+    pub cycle: Vec<String>,
+    /// Schedules fully explored before (and including) this one.
+    pub schedules_explored: usize,
+    /// Schedules pruned by the sleep-set check.
+    pub schedules_pruned: usize,
+}
+
+impl Witness {
+    /// Whether every participating instance appears in the final cycle.
+    pub fn cycle_covers_instances(&self) -> bool {
+        self.instances.iter().all(|i| self.cycle.contains(&i.name))
+    }
+
+    /// Canonical single-line JSON rendering (stable field order; byte
+    /// identical across runs and thread counts).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"instances\":[");
+        for (i, inst) in self.instances.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"name\":\"{}\",\"api\":\"{}\"}}",
+                json_escape(&inst.name),
+                json_escape(&inst.api)
+            );
+        }
+        s.push_str("],\"steps\":[");
+        for (i, st) in self.steps.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"instance\":\"{}\",\"label\":\"{}\",\"sql\":\"{}\",\"locks\":[{}],\"outcome\":\"{}\",\"waits_on\":[{}]}}",
+                json_escape(&st.instance),
+                json_escape(&st.label),
+                json_escape(&st.sql),
+                join_json_strings(&st.locks),
+                json_escape(&st.outcome),
+                join_json_strings(&st.waits_on),
+            );
+        }
+        let _ = write!(
+            s,
+            "],\"cycle\":[{}],\"schedules_explored\":{},\"schedules_pruned\":{}}}",
+            join_json_strings(&self.cycle),
+            self.schedules_explored,
+            self.schedules_pruned
+        );
+        s
+    }
+
+    /// Human-readable rendering for reports.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "witness schedule ({} steps; {} schedules explored, {} pruned):",
+            self.steps.len(),
+            self.schedules_explored,
+            self.schedules_pruned
+        );
+        for inst in &self.instances {
+            let _ = writeln!(out, "  {} = {}", inst.name, inst.api);
+        }
+        for st in &self.steps {
+            let _ = write!(
+                out,
+                "  {}.{} [{}] {}",
+                st.instance, st.label, st.outcome, st.sql
+            );
+            if !st.waits_on.is_empty() && st.outcome == "blocked" {
+                let _ = write!(out, "  (waits on {})", st.waits_on.join(", "));
+            }
+            let _ = writeln!(out);
+            if !st.locks.is_empty() {
+                let _ = writeln!(out, "      locks: {}", st.locks.join(", "));
+            }
+        }
+        if !self.cycle.is_empty() {
+            let mut c = self.cycle.join(" -> ");
+            let _ = write!(c, " -> {}", self.cycle[0]);
+            let _ = writeln!(out, "  wait-for cycle: {c}");
+        }
+        out
+    }
+}
+
+/// Render a lock grab as a short stable string, e.g. `X row
+/// Product.PRIMARY<3>` or `II gap Stock.PRIMARY before <7>`.
+pub fn render_lock(target: &LockTarget, mode: LockMode) -> String {
+    let m = match mode {
+        LockMode::Shared => "S",
+        LockMode::Exclusive => "X",
+        LockMode::InsertIntention => "II",
+        LockMode::IntentionShared => "IS",
+        LockMode::IntentionExclusive => "IX",
+    };
+    match target {
+        LockTarget::Table { table } => format!("{m} table {table}"),
+        LockTarget::Row { table, index, key } => {
+            format!("{m} row {table}.{index}{}", KeyBound::Key(key.clone()))
+        }
+        LockTarget::Gap {
+            table,
+            index,
+            upper,
+        } => format!("{m} gap {table}.{index} before {upper}"),
+    }
+}
+
+fn join_json_strings(parts: &[String]) -> String {
+    let mut s = String::new();
+    for (i, p) in parts.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\"{}\"", json_escape(p));
+    }
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Witness {
+        Witness {
+            instances: vec![
+                WitnessInstance {
+                    name: "A1".into(),
+                    api: "Add2".into(),
+                },
+                WitnessInstance {
+                    name: "A2".into(),
+                    api: "Ship".into(),
+                },
+            ],
+            steps: vec![
+                WitnessStep {
+                    instance: "A1".into(),
+                    label: "Q4".into(),
+                    sql: "UPDATE T SET V = 1 WHERE ID = 1".into(),
+                    locks: vec!["X row T.PRIMARY<1>".into()],
+                    outcome: "ok".into(),
+                    waits_on: vec![],
+                },
+                WitnessStep {
+                    instance: "A2".into(),
+                    label: "Q6".into(),
+                    sql: "UPDATE T SET V = 1 WHERE ID = 1".into(),
+                    locks: vec![],
+                    outcome: "deadlock".into(),
+                    waits_on: vec!["A2".into(), "A1".into()],
+                },
+            ],
+            cycle: vec!["A2".into(), "A1".into()],
+            schedules_explored: 3,
+            schedules_pruned: 1,
+        }
+    }
+
+    #[test]
+    fn json_is_single_line_and_escaped() {
+        let mut w = sample();
+        w.steps[0].sql = "SELECT 'a\"b'".into();
+        let j = w.to_json();
+        assert!(!j.contains('\n'));
+        assert!(j.contains("\\\"b"));
+        assert!(j.starts_with("{\"instances\":"));
+        assert!(j.ends_with("\"schedules_explored\":3,\"schedules_pruned\":1}"));
+    }
+
+    #[test]
+    fn render_shows_cycle_and_locks() {
+        let w = sample();
+        let r = w.render();
+        assert!(r.contains("A1 = Add2"));
+        assert!(r.contains("wait-for cycle: A2 -> A1 -> A2"));
+        assert!(r.contains("X row T.PRIMARY<1>"));
+    }
+
+    #[test]
+    fn cycle_covers_instances_checks_both() {
+        let mut w = sample();
+        assert!(w.cycle_covers_instances());
+        w.cycle = vec!["A1".into()];
+        assert!(!w.cycle_covers_instances());
+    }
+}

@@ -251,6 +251,32 @@ impl Model {
         matches!(self.eval(ctx, t), ModelValue::Bool(true))
     }
 
+    /// The sub-model of one analyzer instance: keeps only variables (and
+    /// array reads) whose name starts with `prefix`, with the prefix
+    /// stripped.
+    ///
+    /// The analyzer imports both instances' terms under `"A1."` / `"A2."`
+    /// prefixes before solving, so a SAT model assigns `A1.order_id`
+    /// etc.; the replay engine evaluates each *trace's own* terms (whose
+    /// variables are unprefixed) and needs the assignment back in that
+    /// namespace.
+    pub fn strip_prefix(&self, prefix: &str) -> Model {
+        Model {
+            values: self
+                .values
+                .iter()
+                .filter_map(|(n, v)| Some((n.strip_prefix(prefix)?.to_string(), v.clone())))
+                .collect(),
+            selects: self
+                .selects
+                .iter()
+                .filter_map(|((n, k), v)| {
+                    Some(((n.strip_prefix(prefix)?.to_string(), k.clone()), *v))
+                })
+                .collect(),
+        }
+    }
+
     /// A copy with variable (and array) names mapped through `map`; names
     /// absent from the map are kept. Used by the verdict cache to translate
     /// a model over canonical `v{i}` names back to the query's names.
@@ -280,5 +306,32 @@ impl fmt::Display for Model {
             write!(f, "{name} = {v}")?;
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_prefix_projects_one_instance() {
+        let mut values = BTreeMap::new();
+        values.insert("A1.order_id".to_string(), ModelValue::Int(7));
+        values.insert("A2.order_id".to_string(), ModelValue::Int(9));
+        values.insert("A1.name".to_string(), ModelValue::Str("x".into()));
+        let mut selects = HashMap::new();
+        selects.insert(("A1.rows".to_string(), ModelKey::Int(7)), true);
+        selects.insert(("A2.rows".to_string(), ModelKey::Int(9)), false);
+        let m = Model::new(values, selects);
+
+        let a1 = m.strip_prefix("A1.");
+        assert_eq!(a1.get_int("order_id"), Some(7));
+        assert_eq!(a1.get_str("name"), Some("x"));
+        assert_eq!(a1.get("A2.order_id"), None);
+        assert_eq!(a1.len(), 2);
+
+        let a2 = m.strip_prefix("A2.");
+        assert_eq!(a2.get_int("order_id"), Some(9));
+        assert_eq!(a2.len(), 1);
     }
 }
