@@ -32,13 +32,14 @@
 use crate::encode::{gen_conflict_cond, Importer, Side};
 use crate::indexes::IndexOracle;
 use crate::locks::{gen_exclusive_locks, gen_shared_locks, potential_conflict};
-use crate::pairs::{generate_pairs, PairJob};
+use crate::pairs::{generate_pairs, prune_unsat_prefixes, PairJob};
+use crate::prefix::PrefixTable;
 use crate::report::{CycleId, DeadlockReport, ReportedStatement};
 use crate::schedule::{resolve_threads, run_ordered};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 use weseer_concolic::{StmtRecord, Trace};
-use weseer_smt::{check, Ctx, SolveResult, SolverConfig, TermId, VerdictCache};
+use weseer_smt::{check_tiered, Ctx, SolveResult, SolverConfig, TermId, VerdictCache};
 use weseer_sqlir::Catalog;
 
 /// A trace together with the term context of the engine that produced it.
@@ -111,6 +112,9 @@ pub struct DiagnosisStats {
     pub pairs_after_phase1: usize,
     /// Coarse-grained deadlock cycles found (phase 2).
     pub coarse_cycles: usize,
+    /// Pairs killed by the tier-2 prefix pre-solve (a side's standalone
+    /// path-condition prefix was already UNSAT).
+    pub prefix_kills: usize,
     /// Cycles whose C-edges had potentially conflicting locks (entering
     /// SMT).
     pub fine_candidates: usize,
@@ -141,6 +145,7 @@ impl DiagnosisStats {
             "analyzer.pairs_pruned",
             self.txn_pairs.saturating_sub(self.pairs_after_phase1) as u64,
         );
+        weseer_obs::add("smt.fastpath.prefix_kill", self.prefix_kills as u64);
         weseer_obs::add("analyzer.coarse_cycles", self.coarse_cycles as u64);
         weseer_obs::add("analyzer.fine_candidates", self.fine_candidates as u64);
         weseer_obs::add("analyzer.smt_sat", self.smt_sat as u64);
@@ -212,6 +217,9 @@ pub(crate) struct PairCtx<'a> {
     oracle: Option<&'a dyn IndexOracle>,
     /// Present iff `config.smt_cache`.
     cache: Option<VerdictCache>,
+    /// Tier-2 prefix table (present iff `config.solver.tiers.prefix` and
+    /// the fine phase runs): per-trace pre-simplified path conditions.
+    prefix: Option<PrefixTable>,
     /// SQL text per trace statement, rendered once (indexed by trace, then
     /// `StmtRecord::index - 1`) — cycle signatures are built in the hot
     /// loop and must not re-render templates per pair.
@@ -224,6 +232,7 @@ impl<'a> PairCtx<'a> {
         traces: &'a [CollectedTrace],
         config: &'a AnalyzerConfig,
         oracle: Option<&'a dyn IndexOracle>,
+        prefix: Option<PrefixTable>,
     ) -> Self {
         let stmt_sql = traces
             .iter()
@@ -241,6 +250,7 @@ impl<'a> PairCtx<'a> {
             config,
             oracle,
             cache: config.smt_cache.then(VerdictCache::new),
+            prefix,
             stmt_sql,
         }
     }
@@ -418,17 +428,41 @@ fn fine_check_inner(job: &FineJob, ctx: &PairCtx<'_>) -> FineVerdict {
             }
         }
     }
-    for pc in a.trace.path_conds_before(a_wait.seq) {
-        parts.push(imp_a.import(&mut dst, pc.term));
-    }
-    for pc in b.trace.path_conds_before(b_wait.seq) {
-        parts.push(imp_b.import(&mut dst, pc.term));
+    match &ctx.prefix {
+        // Tier 2: import the pre-simplified path conditions from the
+        // prefix table's context — variables unify with the edge
+        // conditions by prefixed name, so the per-pair tier-0 pass only
+        // ever sees already-reduced conjuncts.
+        Some(table) => {
+            let tp_a = table.trace(pair.a);
+            let tp_b = table.trace(pair.b);
+            let mut pre_a = Importer::new(&tp_a.ctx, "A1.");
+            let mut pre_b = Importer::new(&tp_b.ctx, "A2.");
+            for (pc, &s) in a.trace.path_conds.iter().zip(&tp_a.simplified) {
+                if pc.seq < a_wait.seq {
+                    parts.push(pre_a.import(&mut dst, s));
+                }
+            }
+            for (pc, &s) in b.trace.path_conds.iter().zip(&tp_b.simplified) {
+                if pc.seq < b_wait.seq {
+                    parts.push(pre_b.import(&mut dst, s));
+                }
+            }
+        }
+        None => {
+            for pc in a.trace.path_conds_before(a_wait.seq) {
+                parts.push(imp_a.import(&mut dst, pc.term));
+            }
+            for pc in b.trace.path_conds_before(b_wait.seq) {
+                parts.push(imp_b.import(&mut dst, pc.term));
+            }
+        }
     }
     let formula = dst.and(parts);
 
     let result = match &ctx.cache {
-        Some(cache) => cache.check(&dst, formula, &config.solver).0,
-        None => check(&mut dst, formula, &config.solver),
+        Some(cache) => cache.check_tiered(&mut dst, formula, &config.solver).0,
+        None => check_tiered(&mut dst, formula, &config.solver).0,
     };
     match result {
         SolveResult::Sat(model) => {
@@ -476,13 +510,24 @@ fn run_pipeline(
 
     // ---- Phase 1: transaction-level conflict filter --------------------
     let phase1_start = Instant::now();
-    let pair_set = generate_pairs(traces, config.skip_filter_phases);
+    let mut pair_set = generate_pairs(traces, config.skip_filter_phases);
     stats.phase1_time = phase1_start.elapsed();
     stats.txn_pairs = pair_set.total;
     stats.pairs_after_phase1 = pair_set.jobs.len();
 
+    // ---- Tier 2: shared path-condition prefixes ------------------------
+    // Built once per run (sequentially — deterministic pipeline setup).
+    // A pair whose side has an UNSAT standalone prefix would get an UNSAT
+    // verdict for every cycle, so killing it here changes only funnel
+    // counters, never the report set.
+    let prefix = (config.fine_grained && config.solver.tiers.prefix)
+        .then(|| PrefixTable::build(traces, &config.solver));
+    if let Some(table) = &prefix {
+        stats.prefix_kills = prune_unsat_prefixes(&mut pair_set.jobs, table);
+    }
+
     let threads = resolve_threads(config.threads);
-    let pctx = PairCtx::new(catalog, traces, config, oracle);
+    let pctx = PairCtx::new(catalog, traces, config, oracle, prefix);
 
     // ---- Phase 2: coarse SC-graph deadlock cycles (parallel) -----------
     let outcomes = run_ordered(&pair_set.jobs, threads, |_, job| scan_pair(job, &pctx));

@@ -14,6 +14,10 @@
 //! * [`pairs`] — the phase-1 pair generator: the transaction-level
 //!   conflict graph built once, yielding conflicting pairs in canonical
 //!   order;
+//! * [`prefix`] — tier 2 of the tiered solving pipeline: per-transaction
+//!   path-condition prefixes simplified and pre-solved once per run,
+//!   killing pairs whose prefix is already UNSAT and feeding
+//!   pre-simplified conjuncts to the fine phase;
 //! * [`schedule`] — the std-only chunk-claiming thread pool with an
 //!   order-preserving merge (`threads = 1` runs inline);
 //! * [`diagnose`] — the three phases staged as pure per-pair scans and
@@ -28,6 +32,7 @@ pub mod encode;
 pub mod indexes;
 pub mod locks;
 pub mod pairs;
+pub mod prefix;
 pub mod report;
 pub mod schedule;
 pub mod viz;
@@ -38,5 +43,6 @@ pub use diagnose::{
 };
 pub use indexes::IndexOracle;
 pub use pairs::{generate_pairs, PairJob, PairSet};
+pub use prefix::PrefixTable;
 pub use report::{render_stats, CycleId, DeadlockReport, ReportedStatement};
 pub use schedule::{resolve_threads, run_ordered};

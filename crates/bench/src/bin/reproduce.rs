@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! reproduce [--quick] [--threads <n>] [--metrics-out <path>]
-//!           [--witness-out <path>] [table1] [table2] [table3] [fig10]
-//!           [fig11] [pruning] [baseline] [aborts] [all]
+//!           [--witness-out <path>] [--smt-ablation [app]] [table1]
+//!           [table2] [table3] [fig10] [fig11] [pruning] [baseline]
+//!           [aborts] [all]
 //! ```
 //!
 //! With no selector (or `all`), every experiment runs. `--quick` shrinks
@@ -16,18 +17,39 @@
 //! `<path>`. `--witness-out <path>` replays every diagnosed cycle for a
 //! concrete deadlock witness, prints the confirmed/not-reproduced funnel,
 //! and writes one JSON line per report to `<path>` (byte-for-byte
-//! deterministic across runs and thread counts; CI diffs it). With no
-//! other selector, only the requested export runs happen.
+//! deterministic across runs and thread counts; CI diffs it).
+//! `--smt-ablation [broadleaf|shopizer]` diagnoses the app(s) once per
+//! tier configuration of the SMT fast path (all tiers, each tier
+//! individually off, all off), prints the full-solver reduction table,
+//! writes a one-line summary to `BENCH_smt.json`, and exits nonzero if
+//! any configuration changed a verdict or report (the tiers must be pure
+//! optimizations). With no app argument both apps run. With no other
+//! selector, only the requested export/ablation runs happen.
 
 use weseer_bench::experiments;
 
 fn main() {
     let mut metrics_out: Option<String> = None;
     let mut witness_out: Option<String> = None;
+    let mut smt_ablation: Option<Vec<&'static str>> = None;
     let mut rest: Vec<String> = Vec::new();
-    let mut raw = std::env::args().skip(1);
+    let mut raw = std::env::args().skip(1).peekable();
     while let Some(arg) = raw.next() {
-        if arg == "--metrics-out" {
+        if arg == "--smt-ablation" {
+            // Optional app argument; default to both apps.
+            let apps = match raw.peek().map(|s| s.as_str()) {
+                Some("broadleaf") => {
+                    raw.next();
+                    vec!["broadleaf"]
+                }
+                Some("shopizer") => {
+                    raw.next();
+                    vec!["shopizer"]
+                }
+                _ => vec!["broadleaf", "shopizer"],
+            };
+            smt_ablation = Some(apps);
+        } else if arg == "--metrics-out" {
             let path = raw.next().unwrap_or_else(|| {
                 eprintln!("--metrics-out requires a path argument");
                 std::process::exit(2);
@@ -60,7 +82,10 @@ fn main() {
         .filter(|a| !a.starts_with("--"))
         .map(|s| s.as_str())
         .collect();
-    let all = (selected.is_empty() && metrics_out.is_none() && witness_out.is_none())
+    let all = (selected.is_empty()
+        && metrics_out.is_none()
+        && witness_out.is_none()
+        && smt_ablation.is_none())
         || selected.contains(&"all");
     let want = |name: &str| all || selected.contains(&name);
 
@@ -105,5 +130,20 @@ fn main() {
         }
         println!("{human}");
         println!("witnesses written to {path}");
+    }
+    if let Some(apps) = smt_ablation {
+        let ablation = experiments::smt_ablation(&apps);
+        println!("{}", ablation.report);
+        if let Err(e) = std::fs::write("BENCH_smt.json", &ablation.bench_json) {
+            eprintln!("failed to write BENCH_smt.json: {e}");
+            std::process::exit(1);
+        }
+        println!("bench summary written to BENCH_smt.json");
+        if ablation.diverged {
+            eprintln!(
+                "smt-ablation: tier configurations diverged — the tiers must not change verdicts"
+            );
+            std::process::exit(1);
+        }
     }
 }

@@ -295,6 +295,22 @@ pub fn metrics_report() -> (String, String) {
             &format!("{} diagnosis metrics", analysis.app),
             FUNNEL_STAGES,
         ));
+        // Discharge points of the tiered fast path (Sec. "Tiered
+        // solving" in the README): where each solver query was decided.
+        let c = |name: &str| analysis.metrics.counter(name);
+        let _ = writeln!(
+            human,
+            "SMT fast path: {} tier-0 discharged, {} tier-1 discharged \
+             ({} sat / {} unsat), {} prefix kills, {} fell through \
+             ({} full solves)",
+            c("smt.fastpath.t0_simplified"),
+            c("smt.fastpath.t1_sat") + c("smt.fastpath.t1_unsat"),
+            c("smt.fastpath.t1_sat"),
+            c("smt.fastpath.t1_unsat"),
+            c("smt.fastpath.prefix_kill"),
+            c("smt.fastpath.fallthrough"),
+            c("smt.full_solve"),
+        );
         // The verdict cache sits outside the funnel (hit/miss counts are
         // scheduling-dependent): report its hit rate separately.
         let hits = analysis.metrics.counter("smt.cache_hit");
@@ -382,6 +398,198 @@ pub fn witness_report() -> (String, String) {
         human.push('\n');
     }
     (human, json)
+}
+
+/// Result of the tiered-solving ablation.
+pub struct Ablation {
+    /// Human-readable per-app speedup tables.
+    pub report: String,
+    /// One JSON line summarizing the run (for `BENCH_smt.json`).
+    pub bench_json: String,
+    /// True if any tier configuration changed a verdict or a report —
+    /// the tiers must be pure optimizations, so this fails CI.
+    pub diverged: bool,
+}
+
+/// `--smt-ablation`: diagnose each app once per tier configuration
+/// (all tiers, each tier individually disabled, all off) on the same
+/// traces, assert the verdicts and rendered reports are identical across
+/// configurations, and render the full-solver/wall-time reduction table.
+pub fn smt_ablation(apps: &[&str]) -> Ablation {
+    use weseer_analyzer::diagnose;
+    use weseer_apps::Fixes;
+    use weseer_smt::TierConfig;
+
+    struct Row {
+        label: &'static str,
+        full_solve: u64,
+        t0: u64,
+        t1: u64,
+        prefix_kill: u64,
+        cache_hit: u64,
+        cache_miss: u64,
+        solve_wall_us: u64,
+        verdicts: (usize, usize, usize),
+        reports: Vec<String>,
+    }
+
+    let configs: [(&'static str, TierConfig); 5] = [
+        ("all tiers", TierConfig::default()),
+        (
+            "no simplify",
+            TierConfig {
+                simplify: false,
+                ..TierConfig::default()
+            },
+        ),
+        (
+            "no presolve",
+            TierConfig {
+                presolve: false,
+                ..TierConfig::default()
+            },
+        ),
+        (
+            "no prefix",
+            TierConfig {
+                prefix: false,
+                ..TierConfig::default()
+            },
+        ),
+        ("no tiers", TierConfig::OFF),
+    ];
+
+    weseer_obs::set_enabled(true);
+    let weseer = Weseer::new();
+    let mut report = String::from("Tiered SMT fast-path ablation\n");
+    let mut diverged = false;
+    let mut json_apps = Vec::new();
+
+    for &app_name in apps {
+        let app: &dyn ECommerceApp = match app_name {
+            "broadleaf" => &Broadleaf,
+            "shopizer" => &Shopizer,
+            other => panic!("unknown app {other}"),
+        };
+        let (traces, _db) = weseer.collect_traces(app, &Fixes::none());
+        let catalog = app.catalog();
+
+        let rows: Vec<Row> = configs
+            .iter()
+            .map(|(label, tiers)| {
+                let mut config = weseer.config.clone();
+                config.solver.tiers = *tiers;
+                let before = weseer_obs::snapshot();
+                let diagnosis = diagnose(&catalog, &traces, &config);
+                let m = weseer_obs::snapshot().delta_since(&before);
+                Row {
+                    label,
+                    full_solve: m.counter("smt.full_solve"),
+                    t0: m.counter("smt.fastpath.t0_simplified"),
+                    t1: m.counter("smt.fastpath.t1_sat") + m.counter("smt.fastpath.t1_unsat"),
+                    prefix_kill: m.counter("smt.fastpath.prefix_kill"),
+                    cache_hit: m.counter("smt.cache_hit"),
+                    cache_miss: m.counter("smt.cache_miss"),
+                    solve_wall_us: m.histogram("smt.solve_us").map(|h| h.sum).unwrap_or(0),
+                    verdicts: (
+                        diagnosis.stats.smt_sat,
+                        diagnosis.stats.smt_unsat,
+                        diagnosis.stats.smt_unknown,
+                    ),
+                    // Cycle identities only: a tier-1 SAT witness model may
+                    // legitimately differ from the full solver's, but which
+                    // deadlocks are reported (and their order) must not.
+                    reports: diagnosis
+                        .deadlocks
+                        .iter()
+                        .map(|r| format!("{:?}", r.cycle))
+                        .collect(),
+                }
+            })
+            .collect();
+
+        // The "no tiers" row is the reference semantics: every other
+        // configuration must reproduce its verdicts and reports exactly.
+        let baseline = rows.last().unwrap();
+        for row in &rows {
+            if row.verdicts != baseline.verdicts || row.reports != baseline.reports {
+                diverged = true;
+                let _ = writeln!(
+                    report,
+                    "DIVERGENCE on {app_name}: '{}' produced verdicts {:?} vs baseline {:?}",
+                    row.label, row.verdicts, baseline.verdicts
+                );
+            }
+        }
+
+        let tiered = &rows[0];
+        let table_rows: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.label.to_string(),
+                    r.full_solve.to_string(),
+                    r.t0.to_string(),
+                    r.t1.to_string(),
+                    r.prefix_kill.to_string(),
+                    format!("{}/{}", r.cache_hit, r.cache_miss),
+                    format!("{:.1}", r.solve_wall_us as f64 / 1000.0),
+                    format!("{:?}", r.verdicts),
+                ]
+            })
+            .collect();
+        let _ = writeln!(report, "\n== {app_name} ==");
+        report.push_str(&table(
+            &[
+                "config",
+                "full solves",
+                "t0 discharged",
+                "t1 discharged",
+                "prefix kills",
+                "cache hit/miss",
+                "solver wall (ms)",
+                "(sat, unsat, unknown)",
+            ],
+            &table_rows,
+        ));
+        let _ = writeln!(
+            report,
+            "full-solver reduction (no tiers -> all tiers): {} -> {} ({:.2}x)",
+            baseline.full_solve,
+            tiered.full_solve,
+            baseline.full_solve as f64 / tiered.full_solve.max(1) as f64,
+        );
+
+        let hit_rate = if tiered.cache_hit + tiered.cache_miss > 0 {
+            tiered.cache_hit as f64 / (tiered.cache_hit + tiered.cache_miss) as f64
+        } else {
+            0.0
+        };
+        json_apps.push(format!(
+            "\"{app_name}\":{{\"full_solve_baseline\":{},\"full_solve_tiered\":{},\
+             \"t0_discharged\":{},\"t1_discharged\":{},\"prefix_kills\":{},\
+             \"cache_hit_rate\":{:.3},\"solver_wall_us_baseline\":{},\"solver_wall_us_tiered\":{}}}",
+            baseline.full_solve,
+            tiered.full_solve,
+            tiered.t0,
+            tiered.t1,
+            tiered.prefix_kill,
+            hit_rate,
+            baseline.solve_wall_us,
+            tiered.solve_wall_us,
+        ));
+    }
+
+    let bench_json = format!(
+        "{{\"bench\":\"smt_tiered_ablation\",\"diverged\":{},{}}}\n",
+        diverged,
+        json_apps.join(",")
+    );
+    Ablation {
+        report,
+        bench_json,
+        diverged,
+    }
 }
 
 fn indent(text: &str, pad: &str) -> String {

@@ -18,7 +18,7 @@
 
 use crate::canon::Canonical;
 use crate::model::Model;
-use crate::solver::{check_with_stats, SolveResult, SolverConfig, SolverStats};
+use crate::solver::{self, check_with_stats, Fastpath, SolveResult, SolverConfig, SolverStats};
 use crate::term::{Ctx, TermId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -103,6 +103,34 @@ impl VerdictCache {
         // which is safe because every entry for a key is identical.
         self.map.lock().unwrap().entry(canon.key).or_insert(verdict);
         (translated, stats)
+    }
+
+    /// [`VerdictCache::check`] behind the tiered fast path: tier 0
+    /// simplifies the formula (needs `&mut Ctx` to intern rewritten
+    /// terms), tier 1 tries to discharge it abstractly, and only
+    /// fall-through formulas consult the cache — keyed on the
+    /// **simplified** form, so alpha-variants that differ only in folded
+    /// subterms now share an entry.
+    pub fn check_tiered(
+        &self,
+        ctx: &mut Ctx,
+        assertion: TermId,
+        config: &SolverConfig,
+    ) -> (SolveResult, SolverStats) {
+        let start = std::time::Instant::now();
+        let mut stats = SolverStats::default();
+        match solver::fastpath(ctx, assertion, config, &mut stats) {
+            Fastpath::Decided(result) => {
+                weseer_obs::observe_duration("smt.solve_us", start.elapsed());
+                weseer_obs::add("smt.solve_calls", 1);
+                (result, stats)
+            }
+            Fastpath::Continue(term) => {
+                let (result, cache_stats) = self.check(ctx, term, config);
+                stats.absorb(cache_stats);
+                (result, stats)
+            }
+        }
     }
 
     /// Cache hits so far.

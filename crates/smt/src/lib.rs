@@ -40,8 +40,10 @@ pub mod cache;
 pub mod canon;
 pub mod lower;
 pub mod model;
+pub mod presolve;
 pub mod rational;
 pub mod sat;
+pub mod simplify;
 pub mod solver;
 pub mod strings;
 pub mod term;
@@ -49,6 +51,11 @@ pub mod term;
 pub use cache::VerdictCache;
 pub use canon::Canonical;
 pub use model::{Model, ModelValue};
+pub use presolve::{presolve, PresolveResult};
 pub use rational::Rat;
-pub use solver::{check, check_all, check_with_stats, SolveResult, SolverConfig, SolverStats};
+pub use simplify::{simplify, Simplifier};
+pub use solver::{
+    check, check_all, check_tiered, check_with_stats, SolveResult, SolverConfig, SolverStats,
+    TierConfig,
+};
 pub use term::{Ctx, Sort, TermId, TermKind};

@@ -1,0 +1,1014 @@
+//! Tier 1 of the tiered solving pipeline: a sound abstract pre-solver.
+//!
+//! [`presolve`] decides many of the analyzer's queries without ever
+//! touching CNF lowering or the DPLL loop, by combining two cheap
+//! abstract domains over the conjunctive skeleton of the formula:
+//!
+//! * **difference bounds** — every unit-coefficient numeric atom
+//!   (`x − y ⋈ c`, `x ⋈ c`, and equalities, which contribute both
+//!   directions) becomes an edge in a constraint graph with a designated
+//!   zero node; Bellman–Ford either finds a negative cycle (definite
+//!   UNSAT) or yields potentials that double as a candidate assignment.
+//!   Interval bounds are exactly the zero-node edges, and strict bounds
+//!   between integer variables are tightened to closed integer bounds
+//!   first, so pure-integer contradictions like `x < 3 ∧ x > 2` are
+//!   caught.
+//! * **equality congruence** — string and boolean literals go through a
+//!   union–find (strings reuse [`crate::strings::solve`]); a class pinned
+//!   to two different literals, or a disequality inside one class, is
+//!   definite UNSAT.
+//!
+//! The two verdicts have very different soundness arguments:
+//!
+//! * **UNSAT** is claimed only from constraints *implied by* the formula
+//!   (the top-level conjuncts, never disjunction arms), after
+//!   satisfiability-preserving tightenings. Unsatisfiability of an
+//!   implied subset proves unsatisfiability of the whole. The solver
+//!   wiring additionally cross-checks every UNSAT claim against the full
+//!   solver under `debug_assertions`.
+//! * **SAT** is claimed only when the constructed candidate assignment
+//!   *evaluates the original formula to true* ([`Model::satisfies`]).
+//!   The model is the proof, so this gate is unconditional — no
+//!   agreement check needed, and it lets the pre-solver handle formulas
+//!   beyond the pure-conjunctive fragment: each disjunctive conjunct is
+//!   satisfied by enumerating a bounded number of arm selections
+//!   ([`MAX_COMBOS`]) and letting the gate reject bad guesses.
+//!
+//! Anything else falls through as [`PresolveResult::Unknown`] and goes to
+//! the full solver. See DESIGN.md ("Tier-1 soundness") for why never
+//! claiming UNSAT on a SAT formula is the safety invariant of the whole
+//! fast path.
+
+use crate::model::{Model, ModelKey, ModelValue};
+use crate::rational::{Rat, ZERO};
+use crate::strings::{self, StrResult, StrTerm};
+use crate::term::{CmpKind, Ctx, Sort, TermId, TermKind};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Verdict of the abstract pre-solver.
+#[derive(Debug, Clone)]
+pub enum PresolveResult {
+    /// Definitely satisfiable; the model evaluates the formula to true.
+    Sat(Model),
+    /// Definitely unsatisfiable (an implied constraint subset is).
+    Unsat,
+    /// Could not decide cheaply — fall through to the full solver.
+    Unknown,
+}
+
+/// Cap on disjunction-arm selections tried for a SAT witness. Keeps the
+/// pre-solver linear-ish on formulas with many multi-arm conflict
+/// conditions; anything past the cap falls through to the full solver.
+pub const MAX_COMBOS: usize = 64;
+
+/// Pre-solve `assertion`. Never builds terms, so the context is shared.
+pub fn presolve(ctx: &Ctx, assertion: TermId) -> PresolveResult {
+    let mut lits = Lits::default();
+    let mut disjs: Vec<Vec<(TermId, bool)>> = Vec::new();
+    collect(ctx, assertion, false, &mut lits, &mut Some(&mut disjs));
+
+    // Definite-UNSAT pass over the implied conjunctive skeleton.
+    let base = match solve_lits(ctx, &lits) {
+        None => return PresolveResult::Unsat,
+        Some(c) => c,
+    };
+
+    let vars = VarSets::collect(ctx, assertion);
+
+    // Definite-SAT pass 1: greedy arm selection. Walk the disjunctions in
+    // order, asserting the first arm whose literals keep the accumulated
+    // set solvable; scales to formulas with many disjunctive conjuncts
+    // where exhaustive combination enumeration cannot.
+    {
+        let mut chosen = lits.clone();
+        let mut solvable = true;
+        for arms in &disjs {
+            let picked = arms.iter().find_map(|&(arm, arm_neg)| {
+                let mut with_arm = chosen.clone();
+                collect(ctx, arm, arm_neg, &mut with_arm, &mut None);
+                solve_lits(ctx, &with_arm).map(|_| with_arm)
+            });
+            match picked {
+                Some(with_arm) => chosen = with_arm,
+                None => {
+                    solvable = false;
+                    break;
+                }
+            }
+        }
+        if solvable {
+            if let Some(cand) = solve_lits(ctx, &chosen) {
+                if let Some(model) = build_model(ctx, &vars, &cand) {
+                    if model.satisfies(ctx, assertion) {
+                        return PresolveResult::Sat(model);
+                    }
+                }
+            }
+        }
+    }
+
+    // Definite-SAT pass 2: bounded exhaustive arm enumeration (mixed
+    // radix over the arm choices), for small formulas where the greedy
+    // order picks a dead arm early.
+    let total: usize = disjs
+        .iter()
+        .map(|arms| arms.len().max(1))
+        .try_fold(1usize, |acc, n| acc.checked_mul(n))
+        .unwrap_or(usize::MAX);
+    let attempts = total.min(MAX_COMBOS);
+    for combo in 0..attempts {
+        let cand = if disjs.is_empty() {
+            Some(base.clone())
+        } else {
+            let mut chosen = lits.clone();
+            let mut rest = combo;
+            for arms in &disjs {
+                let n = arms.len().max(1);
+                let (pick, pick_neg) = arms[rest % n];
+                rest /= n;
+                collect(ctx, pick, pick_neg, &mut chosen, &mut None);
+            }
+            solve_lits(ctx, &chosen)
+        };
+        if let Some(cand) = cand {
+            if let Some(model) = build_model(ctx, &vars, &cand) {
+                if model.satisfies(ctx, assertion) {
+                    return PresolveResult::Sat(model);
+                }
+            }
+        }
+        if disjs.is_empty() {
+            break;
+        }
+    }
+    PresolveResult::Unknown
+}
+
+// ---- literal collection ----------------------------------------------
+
+/// One side of a simple numeric disequality (for model repair).
+#[derive(Debug, Clone, Copy)]
+enum DiseqSide {
+    Var(TermId),
+    Const(Rat),
+}
+
+/// A parsed numeric constraint `Σ coeffs·var + constant ≤ 0` (`< 0` when
+/// strict).
+#[derive(Debug, Clone)]
+struct LinCon {
+    coeffs: BTreeMap<TermId, Rat>,
+    constant: Rat,
+    strict: bool,
+}
+
+/// Recognized literals of the conjunctive skeleton.
+#[derive(Debug, Clone, Default)]
+struct Lits {
+    cons: Vec<LinCon>,
+    diseqs: Vec<(DiseqSide, DiseqSide)>,
+    str_eqs: Vec<(StrTerm, StrTerm)>,
+    str_neqs: Vec<(StrTerm, StrTerm)>,
+    bools: Vec<(String, bool)>,
+    /// Asserted array-membership literals `(array, index, polarity)`;
+    /// resolved against the scalar candidate during model assembly.
+    sels: Vec<(TermId, TermId, bool)>,
+    ground_false: bool,
+}
+
+/// Classify one conjunct (under `neg` polarity) into `lits`; negation is
+/// pushed inward (De Morgan), so `¬(a ∨ b)` contributes both negated
+/// arms as literals. Disjunctive conjuncts — `Or` under positive
+/// polarity, `And` under negative — go to `disjs` when provided (the
+/// base pass) and are ignored inside arm expansion (`None`); the
+/// satisfies() gate covers whatever is skipped.
+fn collect(
+    ctx: &Ctx,
+    t: TermId,
+    neg: bool,
+    lits: &mut Lits,
+    disjs: &mut Option<&mut Vec<Vec<(TermId, bool)>>>,
+) {
+    match ctx.kind(t) {
+        TermKind::BoolConst(b) if *b == neg => lits.ground_false = true,
+        TermKind::BoolConst(_) => {}
+        TermKind::Var(name) if ctx.sort(t) == &Sort::Bool => {
+            lits.bools.push((name.clone(), !neg));
+        }
+        TermKind::Not(inner) => collect(ctx, *inner, !neg, lits, disjs),
+        TermKind::And(parts) => {
+            if neg {
+                // ¬(p ∧ q) ⇔ ¬p ∨ ¬q — a disjunction over negated parts.
+                if let Some(d) = disjs {
+                    d.push(parts.iter().map(|&p| (p, true)).collect());
+                }
+            } else {
+                for p in parts.clone() {
+                    collect(ctx, p, false, lits, disjs);
+                }
+            }
+        }
+        TermKind::Or(arms) => {
+            if neg {
+                // ¬(p ∨ q) ⇔ ¬p ∧ ¬q — both negated arms are implied.
+                for p in arms.clone() {
+                    collect(ctx, p, true, lits, disjs);
+                }
+            } else if let Some(d) = disjs {
+                d.push(arms.iter().map(|&p| (p, false)).collect());
+            }
+        }
+        TermKind::Select(arr, idx) => lits.sels.push((*arr, *idx, !neg)),
+        TermKind::Cmp(kind, a, b) => {
+            if neg {
+                // ¬(a < b) ⇔ b ≤ a ; ¬(a ≤ b) ⇔ b < a.
+                let flipped = match kind {
+                    CmpKind::Lt => CmpKind::Le,
+                    CmpKind::Le => CmpKind::Lt,
+                };
+                push_cmp(ctx, flipped, *b, *a, lits);
+            } else {
+                push_cmp(ctx, *kind, *a, *b, lits);
+            }
+        }
+        TermKind::Eq(a, b) => {
+            let (a, b) = (*a, *b);
+            if neg {
+                if ctx.sort(a).is_numeric() {
+                    if let (Some(sa), Some(sb)) = (num_side(ctx, a), num_side(ctx, b)) {
+                        lits.diseqs.push((sa, sb));
+                    }
+                } else if let (Some(sa), Some(sb)) = (str_term(ctx, a), str_term(ctx, b)) {
+                    lits.str_neqs.push((sa, sb));
+                }
+            } else if ctx.sort(a).is_numeric() {
+                if let Some(d) = diff(ctx, a, b) {
+                    lits.cons.push(LinCon {
+                        coeffs: d.0.clone(),
+                        constant: d.1,
+                        strict: false,
+                    });
+                    lits.cons.push(LinCon {
+                        coeffs: d.0.iter().map(|(&v, &c)| (v, -c)).collect(),
+                        constant: -d.1,
+                        strict: false,
+                    });
+                }
+            } else if let (Some(sa), Some(sb)) = (str_term(ctx, a), str_term(ctx, b)) {
+                lits.str_eqs.push((sa, sb));
+            }
+        }
+        _ => {}
+    }
+}
+
+fn push_cmp(ctx: &Ctx, kind: CmpKind, a: TermId, b: TermId, lits: &mut Lits) {
+    if let Some((coeffs, constant)) = diff(ctx, a, b) {
+        lits.cons.push(LinCon {
+            coeffs,
+            constant,
+            strict: kind == CmpKind::Lt,
+        });
+    }
+}
+
+/// Linearize `a − b` as `(coeffs, constant)`, dropping zero coefficients.
+fn diff(ctx: &Ctx, a: TermId, b: TermId) -> Option<(BTreeMap<TermId, Rat>, Rat)> {
+    let mut coeffs = BTreeMap::new();
+    let mut constant = ZERO;
+    linearize(ctx, a, Rat::int(1), &mut coeffs, &mut constant)?;
+    linearize(ctx, b, Rat::int(-1), &mut coeffs, &mut constant)?;
+    coeffs.retain(|_, c| !c.is_zero());
+    Some((coeffs, constant))
+}
+
+fn linearize(
+    ctx: &Ctx,
+    t: TermId,
+    scale: Rat,
+    coeffs: &mut BTreeMap<TermId, Rat>,
+    constant: &mut Rat,
+) -> Option<()> {
+    match ctx.kind(t) {
+        TermKind::NumConst(r) => {
+            *constant = *constant + scale * *r;
+            Some(())
+        }
+        TermKind::Var(_) if ctx.sort(t).is_numeric() => {
+            let e = coeffs.entry(t).or_insert(ZERO);
+            *e = *e + scale;
+            Some(())
+        }
+        TermKind::Add(a, b) => {
+            linearize(ctx, *a, scale, coeffs, constant)?;
+            linearize(ctx, *b, scale, coeffs, constant)
+        }
+        TermKind::Sub(a, b) => {
+            linearize(ctx, *a, scale, coeffs, constant)?;
+            linearize(ctx, *b, -scale, coeffs, constant)
+        }
+        TermKind::Neg(a) => linearize(ctx, *a, -scale, coeffs, constant),
+        TermKind::MulConst(c, a) => linearize(ctx, *a, scale * *c, coeffs, constant),
+        _ => None,
+    }
+}
+
+fn num_side(ctx: &Ctx, t: TermId) -> Option<DiseqSide> {
+    match ctx.kind(t) {
+        TermKind::Var(_) => Some(DiseqSide::Var(t)),
+        TermKind::NumConst(r) => Some(DiseqSide::Const(*r)),
+        _ => None,
+    }
+}
+
+fn str_term(ctx: &Ctx, t: TermId) -> Option<StrTerm> {
+    match ctx.kind(t) {
+        TermKind::Var(n) if ctx.sort(t) == &Sort::Str => Some(StrTerm::Var(n.clone())),
+        TermKind::StrConst(s) => Some(StrTerm::Const(s.clone())),
+        _ => None,
+    }
+}
+
+// ---- constraint solving ----------------------------------------------
+
+/// Candidate assignment pieces for one literal set.
+#[derive(Debug, Clone)]
+struct Candidate {
+    num: HashMap<TermId, Rat>,
+    strs: HashMap<String, String>,
+    bools: HashMap<String, bool>,
+    sels: Vec<(TermId, TermId, bool)>,
+}
+
+/// Decide the recognized literals: `None` means definitely UNSAT (every
+/// constraint used is implied by the input), `Some` carries a candidate
+/// assignment for the recognized part.
+fn solve_lits(ctx: &Ctx, lits: &Lits) -> Option<Candidate> {
+    if lits.ground_false {
+        return None;
+    }
+
+    // Boolean literals: a variable forced both ways is a contradiction.
+    let mut bools: HashMap<String, bool> = HashMap::new();
+    for (name, val) in &lits.bools {
+        if *bools.entry(name.clone()).or_insert(*val) != *val {
+            return None;
+        }
+    }
+
+    // String congruence (union–find with pinned literals).
+    let strs = match strings::solve(&lits.str_eqs, &lits.str_neqs) {
+        StrResult::Unsat => return None,
+        StrResult::Sat(m) => m,
+    };
+
+    // Implied numeric skeleton: UNSAT here is UNSAT of the formula.
+    let (mut num, mut constrained) = dbm_solve(ctx, &lits.cons)?;
+
+    // Disequality repair, round 1: violated diseqs between constrained
+    // integer sides are re-solved with an integer split (`a ≤ b − 1`,
+    // then `b ≤ a − 1`) added to the difference-bounds system. A split
+    // that fails both ways just leaves the diseq violated for the gate
+    // to reject — it is *not* UNSAT, because earlier splits were choices.
+    let mut extra = lits.cons.clone();
+    let mut resolved = true;
+    while resolved {
+        resolved = false;
+        for (a, b) in &lits.diseqs {
+            if side_value(a, &num) != side_value(b, &num) {
+                continue;
+            }
+            let (int_a, int_b) = (side_is_int(ctx, a), side_is_int(ctx, b));
+            let both_pinned = matches!(
+                (a, b),
+                (DiseqSide::Var(_) | DiseqSide::Const(_), DiseqSide::Var(_))
+                    | (DiseqSide::Var(_), DiseqSide::Const(_))
+            ) && side_constrained(a, &constrained)
+                && side_constrained(b, &constrained);
+            if !(both_pinned && int_a && int_b) {
+                continue;
+            }
+            for (lo, hi) in [(a, b), (b, a)] {
+                let split = split_con(lo, hi);
+                extra.push(split);
+                if let Some((n2, c2)) = dbm_solve(ctx, &extra) {
+                    num = n2;
+                    constrained = c2;
+                    resolved = true;
+                    break;
+                }
+                extra.pop();
+            }
+            if resolved {
+                break; // re-scan: the new potentials move other diseqs
+            }
+        }
+    }
+
+    // Disequality repair, round 2: unconstrained variables get distinct
+    // fresh values. Deterministic: literals are processed in input order
+    // and fresh values count down from −1.
+    let mut used: HashSet<Rat> = num.values().copied().collect();
+    for (a, b) in &lits.diseqs {
+        used.insert(side_value(a, &num));
+        used.insert(side_value(b, &num));
+    }
+    let mut fresh = Rat::int(-1);
+    let mut next_fresh = |used: &mut HashSet<Rat>| {
+        while used.contains(&fresh) {
+            fresh = fresh - Rat::int(1);
+        }
+        used.insert(fresh);
+        fresh
+    };
+    for (a, b) in &lits.diseqs {
+        if side_value(a, &num) != side_value(b, &num) {
+            continue;
+        }
+        let free = match (a, b) {
+            (DiseqSide::Var(v), _) if !constrained.contains(v) => Some(*v),
+            (_, DiseqSide::Var(v)) if !constrained.contains(v) => Some(*v),
+            _ => None,
+        };
+        // When both sides stay pinned to the same value the diseq is not
+        // repairable here; the satisfies() gate rejects the candidate.
+        // UNSAT may not be claimed, because propagation was partial.
+        if let Some(v) = free {
+            let val = next_fresh(&mut used);
+            num.insert(v, val);
+        }
+    }
+
+    Some(Candidate {
+        num,
+        strs,
+        bools,
+        sels: lits.sels.clone(),
+    })
+}
+
+/// Build the difference-bounds graph for `cons` and run Bellman–Ford.
+/// `None` means the unit-shaped subset is unsatisfiable; `Some` carries
+/// the potentials (a candidate assignment) and the set of variables that
+/// actually appeared in edges.
+#[allow(clippy::type_complexity)]
+fn dbm_solve(ctx: &Ctx, cons: &[LinCon]) -> Option<(HashMap<TermId, Rat>, HashSet<TermId>)> {
+    // Node 0 is the zero reference; constraints that are not
+    // unit-difference shaped are skipped (they only weaken the SAT
+    // candidate, never the UNSAT claim).
+    let mut node_of: HashMap<TermId, usize> = HashMap::new();
+    let mut nodes: Vec<TermId> = Vec::new();
+    // Edge (from, to, w): value(to) − value(from) ≤ w.
+    let mut edges: Vec<(usize, usize, Rat)> = Vec::new();
+    for con in cons {
+        match dbm_edge(ctx, con, &mut node_of, &mut nodes) {
+            DbmEdge::Edge(f, t, w) => edges.push((f, t, w)),
+            DbmEdge::GroundFalse => return None,
+            DbmEdge::Skip => {}
+        }
+    }
+
+    // Bellman–Ford from a virtual source (all distances start at zero):
+    // an improvement in round |V| means a negative cycle ⇒ UNSAT.
+    let n = nodes.len() + 1;
+    let mut dist = vec![ZERO; n];
+    for round in 0..n {
+        let mut changed = false;
+        for &(f, t, w) in &edges {
+            let cand = dist[f] + w;
+            if cand < dist[t] {
+                dist[t] = cand;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        if round == n - 1 {
+            return None;
+        }
+    }
+
+    // Potentials relative to the zero node are a candidate assignment.
+    let zero = dist[0];
+    let mut num: HashMap<TermId, Rat> = HashMap::new();
+    let mut constrained: HashSet<TermId> = HashSet::new();
+    for (i, &v) in nodes.iter().enumerate() {
+        num.insert(v, dist[i + 1] - zero);
+        constrained.insert(v);
+    }
+    Some((num, constrained))
+}
+
+fn side_is_int(ctx: &Ctx, s: &DiseqSide) -> bool {
+    match s {
+        DiseqSide::Var(v) => ctx.sort(*v) == &Sort::Int,
+        DiseqSide::Const(c) => c.is_integer(),
+    }
+}
+
+fn side_constrained(s: &DiseqSide, constrained: &HashSet<TermId>) -> bool {
+    match s {
+        DiseqSide::Var(v) => constrained.contains(v),
+        DiseqSide::Const(_) => true,
+    }
+}
+
+/// The integer split `lo ≤ hi − 1` as a [`LinCon`] (`lo − hi + 1 ≤ 0`).
+fn split_con(lo: &DiseqSide, hi: &DiseqSide) -> LinCon {
+    let mut coeffs = BTreeMap::new();
+    let mut constant = Rat::int(1);
+    match lo {
+        DiseqSide::Var(v) => {
+            let e = coeffs.entry(*v).or_insert(ZERO);
+            *e = *e + Rat::int(1);
+        }
+        DiseqSide::Const(c) => constant = constant + *c,
+    }
+    match hi {
+        DiseqSide::Var(v) => {
+            let e = coeffs.entry(*v).or_insert(ZERO);
+            *e = *e - Rat::int(1);
+        }
+        DiseqSide::Const(c) => constant = constant - *c,
+    }
+    coeffs.retain(|_, c| !c.is_zero());
+    LinCon {
+        coeffs,
+        constant,
+        strict: false,
+    }
+}
+
+enum DbmEdge {
+    Edge(usize, usize, Rat),
+    GroundFalse,
+    Skip,
+}
+
+/// Convert `Σ coeffs·var + c ⋈ 0` to a difference-bounds edge when it has
+/// unit shape after scaling; apply integer tightening so strict bounds
+/// between integers become closed (and strict bounds elsewhere relax to
+/// closed, which is sound for UNSAT and double-checked by the SAT gate).
+fn dbm_edge(
+    ctx: &Ctx,
+    con: &LinCon,
+    node_of: &mut HashMap<TermId, usize>,
+    nodes: &mut Vec<TermId>,
+) -> DbmEdge {
+    let node = |v: TermId, node_of: &mut HashMap<TermId, usize>, nodes: &mut Vec<TermId>| {
+        *node_of.entry(v).or_insert_with(|| {
+            nodes.push(v);
+            nodes.len() // node ids are 1-based; 0 is the zero reference
+        })
+    };
+    let vars: Vec<(TermId, Rat)> = con.coeffs.iter().map(|(&v, &c)| (v, c)).collect();
+    // (to − from ≤ w) after normalization, plus whether every variable
+    // involved has integer sort (enabling tightening).
+    let (from, to, mut w, all_int) = match vars.as_slice() {
+        [] => {
+            let violated = if con.strict {
+                con.constant >= ZERO
+            } else {
+                con.constant > ZERO
+            };
+            return if violated {
+                DbmEdge::GroundFalse
+            } else {
+                DbmEdge::Skip
+            };
+        }
+        [(v, c)] => {
+            // c·v + k ⋈ 0 ⇔ v ≤ −k/c (c > 0) or v ≥ −k/c (c < 0).
+            let bound = -con.constant / *c;
+            let is_int = ctx.sort(*v) == &Sort::Int;
+            let vn = node(*v, node_of, nodes);
+            if c.signum() > 0 {
+                (0, vn, bound, is_int)
+            } else {
+                (vn, 0, -bound, is_int)
+            }
+        }
+        [(v1, c1), (v2, c2)] if *c1 == -*c2 => {
+            // c·(v1 − v2) + k ⋈ 0 ⇔ v1 − v2 ≤ −k/c (c > 0) etc.
+            let bound = -con.constant / *c1;
+            let all_int = ctx.sort(*v1) == &Sort::Int && ctx.sort(*v2) == &Sort::Int;
+            let n1 = node(*v1, node_of, nodes);
+            let n2 = node(*v2, node_of, nodes);
+            if c1.signum() > 0 {
+                (n2, n1, bound, all_int)
+            } else {
+                (n1, n2, -bound, all_int)
+            }
+        }
+        _ => return DbmEdge::Skip,
+    };
+    if all_int {
+        // Integer difference: strict `< w` ⇔ `≤ ⌈w⌉ − 1`; closed with a
+        // fractional bound tightens to `≤ ⌊w⌋`. Both preserve the integer
+        // solution set exactly.
+        if con.strict {
+            w = Rat::int((w.ceil() - 1) as i64);
+        } else if !w.is_integer() {
+            w = Rat::int(w.floor() as i64);
+        }
+    }
+    DbmEdge::Edge(from, to, w)
+}
+
+fn side_value(s: &DiseqSide, num: &HashMap<TermId, Rat>) -> Rat {
+    match s {
+        DiseqSide::Var(v) => num.get(v).copied().unwrap_or(ZERO),
+        DiseqSide::Const(c) => *c,
+    }
+}
+
+// ---- model assembly --------------------------------------------------
+
+/// Every variable mentioned in the formula, grouped for model building.
+struct VarSets {
+    nums: Vec<(TermId, String, Sort)>,
+    strs: Vec<String>,
+    bools: Vec<String>,
+    str_consts: HashSet<String>,
+}
+
+impl VarSets {
+    fn collect(ctx: &Ctx, t: TermId) -> VarSets {
+        let mut out = VarSets {
+            nums: Vec::new(),
+            strs: Vec::new(),
+            bools: Vec::new(),
+            str_consts: HashSet::new(),
+        };
+        let mut seen = HashSet::new();
+        out.walk(ctx, t, &mut seen);
+        out.nums.sort_by(|a, b| a.1.cmp(&b.1));
+        out.strs.sort();
+        out.bools.sort();
+        out
+    }
+
+    fn walk(&mut self, ctx: &Ctx, t: TermId, seen: &mut HashSet<TermId>) {
+        if !seen.insert(t) {
+            return;
+        }
+        match ctx.kind(t) {
+            TermKind::Var(name) => match ctx.sort(t) {
+                Sort::Int | Sort::Real => self.nums.push((t, name.clone(), ctx.sort(t).clone())),
+                Sort::Str => self.strs.push(name.clone()),
+                Sort::Bool => self.bools.push(name.clone()),
+                Sort::Array(_) => {}
+            },
+            TermKind::StrConst(s) => {
+                self.str_consts.insert(s.clone());
+            }
+            TermKind::BoolConst(_) | TermKind::NumConst(_) => {}
+            TermKind::Add(a, b) | TermKind::Sub(a, b) | TermKind::Select(a, b) => {
+                self.walk(ctx, *a, seen);
+                self.walk(ctx, *b, seen);
+            }
+            TermKind::Cmp(_, a, b) | TermKind::Eq(a, b) => {
+                self.walk(ctx, *a, seen);
+                self.walk(ctx, *b, seen);
+            }
+            TermKind::Neg(a) | TermKind::Not(a) | TermKind::MulConst(_, a) => {
+                self.walk(ctx, *a, seen)
+            }
+            TermKind::And(parts) | TermKind::Or(parts) => {
+                for p in parts.clone() {
+                    self.walk(ctx, p, seen);
+                }
+            }
+            TermKind::Store(a, i, v) => {
+                self.walk(ctx, *a, seen);
+                self.walk(ctx, *i, seen);
+                self.walk(ctx, *v, seen);
+            }
+        }
+    }
+}
+
+/// Assemble a total [`Model`] over every mentioned variable: constrained
+/// numerics take their potentials, free strings get distinct fresh
+/// values (the full solver's convention), everything else defaults.
+/// Asserted select literals are then resolved by evaluating their index
+/// under the scalar model; two literals pinning the same cell both ways
+/// reject the candidate (`None`) — never UNSAT, because the collision
+/// depends on candidate values, not on the formula.
+fn build_model(ctx: &Ctx, vars: &VarSets, cand: &Candidate) -> Option<Model> {
+    let mut values: BTreeMap<String, ModelValue> = BTreeMap::new();
+    for (id, name, sort) in &vars.nums {
+        let v = cand.num.get(id).copied().unwrap_or(ZERO);
+        let mv = match sort {
+            Sort::Int => ModelValue::Int(v.floor() as i64),
+            _ => ModelValue::Real(v.to_f64()),
+        };
+        values.insert(name.clone(), mv);
+    }
+    let mut used: HashSet<String> = vars.str_consts.clone();
+    used.extend(cand.strs.values().cloned());
+    let mut fresh = 0usize;
+    for name in &vars.strs {
+        let v = match cand.strs.get(name) {
+            Some(v) => v.clone(),
+            None => loop {
+                let c = format!("str!{fresh}");
+                fresh += 1;
+                if !used.contains(&c) {
+                    used.insert(c.clone());
+                    break c;
+                }
+            },
+        };
+        values.insert(name.clone(), ModelValue::Str(v));
+    }
+    for name in &vars.bools {
+        let v = cand.bools.get(name).copied().unwrap_or(false);
+        values.insert(name.clone(), ModelValue::Bool(v));
+    }
+    let scalar = Model::new(values.clone(), HashMap::new());
+
+    let mut selects: HashMap<(String, ModelKey), bool> = HashMap::new();
+    for (arr, idx, pol) in &cand.sels {
+        let TermKind::Var(name) = ctx.kind(*arr) else {
+            return None; // unexpandable select base — give up on this candidate
+        };
+        let key = ModelKey::from_value(&scalar.eval(ctx, *idx))?;
+        match selects.entry((name.clone(), key)) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(*pol);
+            }
+            std::collections::hash_map::Entry::Occupied(e) => {
+                if e.get() != pol {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(Model::new(values, selects))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_contradiction_is_unsat() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Int);
+        let three = ctx.int(3);
+        let two = ctx.int(2);
+        let lo = ctx.gt(x, two); // x > 2
+        let hi = ctx.lt(x, three); // x < 3 — no integer fits
+        let f = ctx.and([lo, hi]);
+        assert!(matches!(presolve(&ctx, f), PresolveResult::Unsat));
+    }
+
+    #[test]
+    fn real_interval_stays_open() {
+        // The same bounds over reals are satisfiable (x = 2.5); the
+        // relaxed DBM must not claim UNSAT, and the gate finds no integer
+        // witness, so this falls through.
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Real);
+        let three = ctx.int(3);
+        let two = ctx.int(2);
+        let lo = ctx.gt(x, two);
+        let hi = ctx.lt(x, three);
+        let f = ctx.and([lo, hi]);
+        assert!(!matches!(presolve(&ctx, f), PresolveResult::Unsat));
+    }
+
+    #[test]
+    fn difference_cycle_is_unsat() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Int);
+        let y = ctx.var("y", Sort::Int);
+        let z = ctx.var("z", Sort::Int);
+        let c1 = ctx.lt(x, y);
+        let c2 = ctx.lt(y, z);
+        let c3 = ctx.lt(z, x);
+        let f = ctx.and([c1, c2, c3]);
+        assert!(matches!(presolve(&ctx, f), PresolveResult::Unsat));
+    }
+
+    #[test]
+    fn equalities_propagate_through_congruence() {
+        let mut ctx = Ctx::new();
+        let a = ctx.var("a", Sort::Str);
+        let b = ctx.var("b", Sort::Str);
+        let lit1 = ctx.str_const("x");
+        let lit2 = ctx.str_const("y");
+        let e1 = ctx.eq(a, lit1);
+        let e2 = ctx.eq(a, b);
+        let e3 = ctx.eq(b, lit2);
+        let f = ctx.and([e1, e2, e3]);
+        assert!(matches!(presolve(&ctx, f), PresolveResult::Unsat));
+    }
+
+    #[test]
+    fn conjunctive_sat_with_model() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Int);
+        let y = ctx.var("y", Sort::Int);
+        let ten = ctx.int(10);
+        let c1 = ctx.lt(x, y);
+        let c2 = ctx.le(y, ten);
+        let s = ctx.var("s", Sort::Str);
+        let lit = ctx.str_const("hello");
+        let c3 = ctx.eq(s, lit);
+        let f = ctx.and([c1, c2, c3]);
+        match presolve(&ctx, f) {
+            PresolveResult::Sat(m) => {
+                assert!(m.satisfies(&ctx, f));
+                assert_eq!(m.get_str("s"), Some("hello"));
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn diseq_repair_finds_distinct_values() {
+        let mut ctx = Ctx::new();
+        let a = ctx.var("id_a", Sort::Int);
+        let b = ctx.var("id_b", Sort::Int);
+        let d = ctx.ne(a, b);
+        match presolve(&ctx, d) {
+            PresolveResult::Sat(m) => assert!(m.satisfies(&ctx, d)),
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disjunction_solved_by_arm_enumeration() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Int);
+        let one = ctx.int(1);
+        let two = ctx.int(2);
+        // (x = 1 ∨ x = 2) ∧ x > 1 — only the second arm works.
+        let a1 = ctx.eq(x, one);
+        let a2 = ctx.eq(x, two);
+        let arm = ctx.or([a1, a2]);
+        let gt = ctx.gt(x, one);
+        let f = ctx.and([arm, gt]);
+        match presolve(&ctx, f) {
+            PresolveResult::Sat(m) => {
+                assert!(m.satisfies(&ctx, f));
+                assert_eq!(m.get_int("x"), Some(2));
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsat_never_claimed_from_an_arm() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Int);
+        let one = ctx.int(1);
+        let two = ctx.int(2);
+        // x = 1 is inconsistent with x = 2, but only inside one arm — the
+        // formula is SAT via the other arm.
+        let a1 = ctx.eq(x, one);
+        let a2 = ctx.ge(x, two);
+        let arm = ctx.or([a1, a2]);
+        let ge = ctx.ge(x, two);
+        let f = ctx.and([arm, ge]);
+        assert!(!matches!(presolve(&ctx, f), PresolveResult::Unsat));
+    }
+
+    #[test]
+    fn bool_conflict_is_unsat() {
+        let mut ctx = Ctx::new();
+        let p = ctx.var("p", Sort::Bool);
+        let q = ctx.var("q", Sort::Bool);
+        let np = ctx.not(p);
+        // Distinct literal occurrences (p via q∧p) so tier-0 wouldn't
+        // have already folded this to false.
+        let qp = ctx.and([q, p]);
+        let f = ctx.and([np, qp]);
+        assert!(matches!(presolve(&ctx, f), PresolveResult::Unsat));
+    }
+
+    #[test]
+    fn mixed_int_equality_to_fractional_const_unsat() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Int);
+        let half = ctx.real(Rat::new(7, 2));
+        let f = ctx.eq(x, half);
+        assert!(matches!(presolve(&ctx, f), PresolveResult::Unsat));
+    }
+
+    #[test]
+    fn select_literals_get_assignments() {
+        let mut ctx = Ctx::new();
+        let arr = ctx.array_var("rows", Sort::Int);
+        let i = ctx.var("i", Sort::Int);
+        let j = ctx.var("j", Sort::Int);
+        let si = ctx.select(arr, i);
+        let sj = ctx.select(arr, j);
+        let nsj = ctx.not(sj);
+        let ne = ctx.ne(i, j);
+        // rows[i] ∧ ¬rows[j] ∧ i ≠ j — needs select assignments keyed by
+        // the candidate's index values.
+        let f = ctx.and([si, nsj, ne]);
+        match presolve(&ctx, f) {
+            PresolveResult::Sat(m) => assert!(m.satisfies(&ctx, f)),
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conflicting_select_cell_is_not_unsat() {
+        let mut ctx = Ctx::new();
+        let arr = ctx.array_var("rows", Sort::Int);
+        let i = ctx.var("i", Sort::Int);
+        let j = ctx.var("j", Sort::Int);
+        let si = ctx.select(arr, i);
+        let sj = ctx.select(arr, j);
+        let nsj = ctx.not(sj);
+        // rows[i] ∧ ¬rows[j] with i and j both defaulting to the same
+        // value: the candidate collides on one cell and must be rejected
+        // without claiming UNSAT (i ≠ j would make it SAT).
+        let f = ctx.and([si, nsj]);
+        assert!(!matches!(presolve(&ctx, f), PresolveResult::Unsat));
+    }
+
+    #[test]
+    fn negated_disjunction_pushes_inward() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Int);
+        let one = ctx.int(1);
+        let five = ctx.int(5);
+        let lo = ctx.lt(x, one);
+        let hi = ctx.gt(x, five);
+        let out = ctx.or([lo, hi]);
+        let inside = ctx.not(out); // 1 ≤ x ≤ 5
+        let zero = ctx.int(0);
+        let at_zero = ctx.eq(x, zero);
+        let f = ctx.and([inside, at_zero]);
+        assert!(matches!(presolve(&ctx, f), PresolveResult::Unsat));
+    }
+
+    #[test]
+    fn constrained_diseq_repaired_by_integer_split() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Int);
+        let y = ctx.var("y", Sort::Int);
+        let zero = ctx.int(0);
+        let one = ctx.int(1);
+        // Both variables are pinned to [0, 1] (same potentials), so only
+        // an integer split can separate them.
+        let c1 = ctx.ge(x, zero);
+        let c2 = ctx.le(x, one);
+        let c3 = ctx.ge(y, zero);
+        let c4 = ctx.le(y, one);
+        let ne = ctx.ne(x, y);
+        let f = ctx.and([c1, c2, c3, c4, ne]);
+        match presolve(&ctx, f) {
+            PresolveResult::Sat(m) => {
+                assert!(m.satisfies(&ctx, f));
+                assert_ne!(m.get_int("x"), m.get_int("y"));
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn many_disjunctions_solved_greedily() {
+        // 2^10 arm combinations — far past MAX_COMBOS, so only the greedy
+        // pass can find the witness.
+        let mut ctx = Ctx::new();
+        let one = ctx.int(1);
+        let two = ctx.int(2);
+        let mut parts = Vec::new();
+        for i in 0..10 {
+            let x = ctx.var(format!("x{i}"), Sort::Int);
+            let a1 = ctx.eq(x, one);
+            let a2 = ctx.eq(x, two);
+            let arm = ctx.or([a1, a2]);
+            let gt = ctx.gt(x, one);
+            parts.push(arm);
+            parts.push(gt);
+        }
+        let f = ctx.and(parts);
+        match presolve(&ctx, f) {
+            PresolveResult::Sat(m) => assert!(m.satisfies(&ctx, f)),
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn opaque_formula_falls_through() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Int);
+        let y = ctx.var("y", Sort::Int);
+        let sum = ctx.add(x, y);
+        let z = ctx.var("z", Sort::Int);
+        // ¬(x + y = z) is not a recognized literal shape (the diseq side
+        // is a compound term), the default candidate violates it, and the
+        // gate rejects — fall through rather than guess.
+        let f = ctx.ne(sum, z);
+        assert!(matches!(presolve(&ctx, f), PresolveResult::Unknown));
+    }
+}

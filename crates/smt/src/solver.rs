@@ -8,11 +8,51 @@
 use crate::arith::{self, ArithResult, Constraint, Limits};
 use crate::lower::{Atom, Lowering};
 use crate::model::{Model, ModelKey, ModelValue};
+use crate::presolve::{self, PresolveResult};
 use crate::rational::Rat;
 use crate::sat::{self, Cnf, Lit, SatResult, SatStats};
+use crate::simplify;
 use crate::strings::{self, StrResult, StrTerm};
 use crate::term::{Ctx, TermId, TermKind};
 use std::collections::{BTreeMap, HashMap};
+
+/// Which tiers of the fast path run in front of the full solver (see
+/// [`check_tiered`]). All tiers are sound — disabling them changes cost,
+/// never verdicts — which `reproduce --smt-ablation` verifies end to end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierConfig {
+    /// Tier 0: bottom-up simplification ([`crate::simplify`]) before
+    /// canonicalization/solving; formulas that fold to a constant are
+    /// discharged outright.
+    pub simplify: bool,
+    /// Tier 1: abstract pre-solve ([`crate::presolve`]) for definite
+    /// UNSAT / definite SAT-with-model verdicts.
+    pub presolve: bool,
+    /// Tier 2: shared path-condition prefix solving in the analyzer
+    /// (`weseer-analyzer`); carried here so one knob travels with the
+    /// solver config.
+    pub prefix: bool,
+}
+
+impl TierConfig {
+    /// Every tier disabled — the pre-tiered pipeline, used as the
+    /// ablation baseline.
+    pub const OFF: TierConfig = TierConfig {
+        simplify: false,
+        presolve: false,
+        prefix: false,
+    };
+}
+
+impl Default for TierConfig {
+    fn default() -> Self {
+        TierConfig {
+            simplify: true,
+            presolve: true,
+            prefix: true,
+        }
+    }
+}
 
 /// Solver configuration.
 #[derive(Debug, Clone)]
@@ -23,6 +63,8 @@ pub struct SolverConfig {
     pub arith_limits: Limits,
     /// Branching-decision budget per SAT call; exhaustion is a timeout.
     pub sat_decision_budget: u64,
+    /// Fast-path tiers run by [`check_tiered`] (and the verdict cache).
+    pub tiers: TierConfig,
 }
 
 impl Default for SolverConfig {
@@ -31,6 +73,7 @@ impl Default for SolverConfig {
             max_theory_iters: 500,
             arith_limits: Limits::default(),
             sat_decision_budget: 2_000_000,
+            tiers: TierConfig::default(),
         }
     }
 }
@@ -85,6 +128,20 @@ pub struct SolverStats {
     pub cache_hits: u64,
     /// Verdict-cache misses.
     pub cache_misses: u64,
+    /// Unknowns caused by exhausting the SAT decision budget.
+    pub sat_budget_exhausted: u64,
+    /// Unknowns caused by exceeding the arithmetic resource limits.
+    pub arith_budget_exhausted: u64,
+    /// Unknowns caused by running out of theory iterations.
+    pub theory_iters_exhausted: u64,
+    /// Queries discharged by tier 0 (simplified to a boolean constant).
+    pub t0_discharged: u64,
+    /// Queries discharged UNSAT by the tier-1 abstract pre-solver.
+    pub t1_unsat: u64,
+    /// Queries discharged SAT (with a checked model) by tier 1.
+    pub t1_sat: u64,
+    /// Queries that fell through every fast-path tier.
+    pub fallthrough: u64,
 }
 
 impl SolverStats {
@@ -99,6 +156,20 @@ impl SolverStats {
         self.max_core_lits = self.max_core_lits.max(other.max_core_lits);
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.sat_budget_exhausted += other.sat_budget_exhausted;
+        self.arith_budget_exhausted += other.arith_budget_exhausted;
+        self.theory_iters_exhausted += other.theory_iters_exhausted;
+        self.t0_discharged += other.t0_discharged;
+        self.t1_unsat += other.t1_unsat;
+        self.t1_sat += other.t1_sat;
+        self.fallthrough += other.fallthrough;
+    }
+
+    /// Total Unknown verdicts attributable to exhausted budgets rather
+    /// than genuine pruning — the "gave up" bucket the ablation separates
+    /// from "pruned".
+    pub fn budget_exhausted(&self) -> u64 {
+        self.sat_budget_exhausted + self.arith_budget_exhausted + self.theory_iters_exhausted
     }
 
     fn record_core(&mut self, core: &[Lit]) {
@@ -127,6 +198,10 @@ pub fn check_with_stats(
     let result = check_inner(ctx, assertion, config, &mut stats);
     weseer_obs::observe_duration("smt.solve_us", start.elapsed());
     weseer_obs::add("smt.solve_calls", 1);
+    weseer_obs::add("smt.full_solve", 1);
+    weseer_obs::add("smt.sat_budget_exhausted", stats.sat_budget_exhausted);
+    weseer_obs::add("smt.arith_budget_exhausted", stats.arith_budget_exhausted);
+    weseer_obs::add("smt.theory_iters_exhausted", stats.theory_iters_exhausted);
     weseer_obs::add("smt.sat_calls", stats.sat_calls);
     weseer_obs::add("smt.sat_decisions", stats.sat.decisions);
     weseer_obs::add("smt.sat_propagations", stats.sat.propagations);
@@ -134,6 +209,109 @@ pub fn check_with_stats(
     weseer_obs::add("smt.arith_conflicts", stats.arith_conflicts);
     weseer_obs::add("smt.str_conflicts", stats.str_conflicts);
     (result, stats)
+}
+
+/// Outcome of the tier-0/tier-1 fast path: either a final verdict or the
+/// (possibly simplified) formula the full solver should see.
+pub(crate) enum Fastpath {
+    Decided(SolveResult),
+    Continue(TermId),
+}
+
+/// Run the tier-0 simplifier and tier-1 abstract pre-solver in front of
+/// the full solver, recording discharge counters in `stats` and the
+/// global `weseer_obs` registry.
+///
+/// Soundness: tier 0 discharges only formulas that fold to a boolean
+/// constant; tier 1 discharges UNSAT only from over-approximating
+/// reasoning (cross-checked against the full solver under
+/// `debug_assertions`) and SAT only with a candidate model that
+/// [`Model::satisfies`] has verified against the original formula.
+pub(crate) fn fastpath(
+    ctx: &mut Ctx,
+    assertion: TermId,
+    config: &SolverConfig,
+    stats: &mut SolverStats,
+) -> Fastpath {
+    let mut term = assertion;
+    if config.tiers.simplify {
+        let start = std::time::Instant::now();
+        term = simplify::simplify(ctx, term);
+        weseer_obs::observe_duration("smt.fastpath.t0_us", start.elapsed());
+        if let TermKind::BoolConst(b) = *ctx.kind(term) {
+            stats.t0_discharged += 1;
+            weseer_obs::add("smt.fastpath.t0_simplified", 1);
+            return Fastpath::Decided(if b {
+                // `true` is satisfied by any assignment; the empty model
+                // leaves every variable at its sort's default value.
+                SolveResult::Sat(Model::default())
+            } else {
+                SolveResult::Unsat
+            });
+        }
+    }
+    if config.tiers.presolve {
+        let start = std::time::Instant::now();
+        let pre = presolve::presolve(ctx, term);
+        weseer_obs::observe_duration("smt.fastpath.t1_us", start.elapsed());
+        match pre {
+            PresolveResult::Unsat => {
+                #[cfg(debug_assertions)]
+                {
+                    let mut scratch = SolverStats::default();
+                    let full = check_inner(ctx, term, config, &mut scratch);
+                    debug_assert!(
+                        !matches!(full, SolveResult::Sat(_)),
+                        "presolve claimed UNSAT for a satisfiable formula"
+                    );
+                }
+                stats.t1_unsat += 1;
+                weseer_obs::add("smt.fastpath.t1_unsat", 1);
+                return Fastpath::Decided(SolveResult::Unsat);
+            }
+            PresolveResult::Sat(model) => {
+                debug_assert!(
+                    model.satisfies(ctx, assertion),
+                    "presolve returned a model that does not satisfy the original formula"
+                );
+                stats.t1_sat += 1;
+                weseer_obs::add("smt.fastpath.t1_sat", 1);
+                return Fastpath::Decided(SolveResult::Sat(model));
+            }
+            PresolveResult::Unknown => {}
+        }
+    }
+    stats.fallthrough += 1;
+    weseer_obs::add("smt.fastpath.fallthrough", 1);
+    Fastpath::Continue(term)
+}
+
+/// [`check_with_stats`] behind the tiered fast path: tier-0
+/// simplification and the tier-1 abstract pre-solver run first (subject
+/// to `config.tiers`), and only formulas neither tier can discharge reach
+/// the full DPLL(T) solver. Verdicts are identical to [`check`]'s on
+/// every decided formula; only the cost differs.
+pub fn check_tiered(
+    ctx: &mut Ctx,
+    assertion: TermId,
+    config: &SolverConfig,
+) -> (SolveResult, SolverStats) {
+    let start = std::time::Instant::now();
+    let mut stats = SolverStats::default();
+    match fastpath(ctx, assertion, config, &mut stats) {
+        Fastpath::Decided(result) => {
+            // Keep the funnel invariant `smt.solve_calls` = queries
+            // answered, whether or not the full solver ran.
+            weseer_obs::observe_duration("smt.solve_us", start.elapsed());
+            weseer_obs::add("smt.solve_calls", 1);
+            (result, stats)
+        }
+        Fastpath::Continue(term) => {
+            let (result, full_stats) = check_with_stats(ctx, term, config);
+            stats.absorb(full_stats);
+            (result, stats)
+        }
+    }
 }
 
 fn check_inner(
@@ -157,7 +335,10 @@ fn check_inner(
         let (sat_result, sat_stats) = sat::solve_instrumented(&low.cnf, config.sat_decision_budget);
         stats.sat.absorb(sat_stats);
         let bool_model = match sat_result {
-            None => return SolveResult::Unknown,
+            None => {
+                stats.sat_budget_exhausted += 1;
+                return SolveResult::Unknown;
+            }
             Some(SatResult::Unsat) => return SolveResult::Unsat,
             Some(SatResult::Sat(m)) => m,
         };
@@ -222,7 +403,10 @@ fn check_inner(
                 block(&mut low, &core);
                 continue;
             }
-            ArithResult::Unknown => return SolveResult::Unknown,
+            ArithResult::Unknown => {
+                stats.arith_budget_exhausted += 1;
+                return SolveResult::Unknown;
+            }
             ArithResult::Sat(m) => m,
         };
 
@@ -247,6 +431,7 @@ fn check_inner(
             &str_model,
         ));
     }
+    stats.theory_iters_exhausted += 1;
     SolveResult::Unknown
 }
 

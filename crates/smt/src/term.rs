@@ -102,8 +102,11 @@ struct TermData {
     sort: Sort,
 }
 
-/// The term context: allocator and interner.
-#[derive(Debug, Default)]
+/// The term context: allocator and interner. `Clone` snapshots the whole
+/// interner — term ids remain valid in the copy, which lets a pre-pass
+/// (e.g. the analyzer's prefix table) simplify and intern new terms
+/// without mutating the trace's original context.
+#[derive(Debug, Default, Clone)]
 pub struct Ctx {
     terms: Vec<TermData>,
     intern: HashMap<TermData, TermId>,

@@ -7,6 +7,7 @@
 use weseer::analyzer::{diagnose, AnalyzerConfig, DiagnosisStats};
 use weseer::apps::{ECommerceApp, Fixes, Shopizer};
 use weseer::core::Weseer;
+use weseer::smt::TierConfig;
 
 /// The deterministic projection of `DiagnosisStats` (drops wall times).
 fn funnel(s: &DiagnosisStats) -> [usize; 7] {
@@ -60,10 +61,17 @@ fn shopizer_diagnosis_is_identical_across_thread_counts() {
 
 #[test]
 fn verdict_cache_hits_on_real_workload() {
+    // Run with the tiered fast path off so every candidate reaches the
+    // verdict cache — with tiers on, tier 1 discharges the repeated
+    // alpha-equivalent formulas before the cache ever sees them (that
+    // path is covered by fastpath_discharges_cover_real_workload below).
     weseer::obs::set_enabled(true);
     let before = weseer::obs::snapshot();
     let weseer_tool = Weseer::new();
-    let analysis = weseer_tool.analyze(&Shopizer);
+    let (traces, _db) = weseer_tool.collect_traces(&Shopizer, &Fixes::none());
+    let mut config = AnalyzerConfig::default();
+    config.solver.tiers = TierConfig::OFF;
+    let diagnosis = diagnose(&Shopizer.catalog(), &traces, &config);
     let m = weseer::obs::snapshot().delta_since(&before);
     let hits = m.counters.get("smt.cache_hit").copied().unwrap_or(0);
     let misses = m.counters.get("smt.cache_miss").copied().unwrap_or(0);
@@ -74,7 +82,31 @@ fn verdict_cache_hits_on_real_workload() {
     // Every analyzer solver dispatch goes through the cache.
     assert_eq!(
         hits + misses,
-        analysis.diagnosis.stats.fine_candidates as u64,
+        diagnosis.stats.fine_candidates as u64,
         "cache lookups must cover exactly the fine candidates"
+    );
+}
+
+#[test]
+fn fastpath_discharges_cover_real_workload() {
+    // With all tiers on (the default), the fast path must discharge a
+    // real share of Shopizer's candidates, and discharges plus cache
+    // lookups must still partition them.
+    weseer::obs::set_enabled(true);
+    let before = weseer::obs::snapshot();
+    let weseer_tool = Weseer::new();
+    let analysis = weseer_tool.analyze(&Shopizer);
+    let m = weseer::obs::snapshot().delta_since(&before);
+    let c = |name: &str| m.counters.get(name).copied().unwrap_or(0);
+    let discharged =
+        c("smt.fastpath.t0_simplified") + c("smt.fastpath.t1_unsat") + c("smt.fastpath.t1_sat");
+    assert!(
+        discharged > 0,
+        "the tiered fast path should discharge some Shopizer candidates"
+    );
+    assert_eq!(
+        discharged + c("smt.cache_hit") + c("smt.cache_miss"),
+        analysis.diagnosis.stats.fine_candidates as u64,
+        "fastpath discharges plus cache lookups must cover exactly the fine candidates"
     );
 }
