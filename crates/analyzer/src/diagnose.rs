@@ -39,8 +39,36 @@ use crate::schedule::{resolve_threads, run_ordered};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 use weseer_concolic::{StmtRecord, Trace};
-use weseer_smt::{check_tiered, Ctx, SolveResult, SolverConfig, TermId, VerdictCache};
+use weseer_smt::{check_tiered, Ctx, Model, SolveResult, SolverConfig, TermId, VerdictCache};
 use weseer_sqlir::Catalog;
+use weseer_store::{codec, json::Json, site_hash, Lookup, Store};
+
+/// Version tag of the fine-grained lock model (Alg. 2/3 as implemented).
+/// Mixed into every persisted pair verdict's content key; bump it whenever
+/// lock generation or conflict-condition encoding changes semantics, and
+/// every stored phase-2/3 outcome goes stale at once.
+pub const LOCK_MODEL_VERSION: &str = "lock-model-v1";
+
+/// Persistence context for incremental analysis: an open [`Store`] plus
+/// one content fingerprint per trace (`fingerprints[i]` describes
+/// `traces[i]`; see `Trace::fingerprint`). A pair's stored outcome is
+/// reused only while both fingerprints — and the analyzer/solver
+/// configuration — are unchanged.
+pub struct StoreCtx<'a> {
+    /// The open store.
+    pub store: &'a Store,
+    /// Content fingerprint per trace, parallel to the trace slice.
+    pub fingerprints: &'a [String],
+    /// Namespace prefixed onto every per-trace and per-pair site
+    /// (typically the application name). Different applications reuse
+    /// trace indices and API names — Broadleaf and Shopizer both have a
+    /// trace 0 called `Register` — so un-namespaced sites would collide
+    /// in a shared store and ping-pong between the two apps'
+    /// fingerprints on every run. SMT entries are exempt: they are
+    /// keyed by canonical formula content, which is sound to share
+    /// across applications.
+    pub namespace: &'a str,
+}
 
 /// A trace together with the term context of the engine that produced it.
 pub struct CollectedTrace {
@@ -184,8 +212,33 @@ pub fn diagnose_with_oracle(
     config: &AnalyzerConfig,
     oracle: Option<&dyn IndexOracle>,
 ) -> Diagnosis {
+    diagnose_incremental(catalog, traces, config, oracle, None)
+}
+
+/// Like [`diagnose_with_oracle`], but consulting (and feeding) a
+/// persistent [`Store`] so a warm run over unchanged traces reuses every
+/// phase-2 scan, phase-3 verdict, prefix pre-solve, and SMT verdict from
+/// the previous run. Phases 1–2's pair generation and the cross-pair
+/// dedup sweep always run live (they are cheap and keep the funnel
+/// counters exact); stored outcomes replay the heavy work with the
+/// *original* measured wall times, so a warm diagnosis is byte-identical
+/// to the cold one that filled the store.
+pub fn diagnose_incremental(
+    catalog: &Catalog,
+    traces: &[CollectedTrace],
+    config: &AnalyzerConfig,
+    oracle: Option<&dyn IndexOracle>,
+    store: Option<&StoreCtx<'_>>,
+) -> Diagnosis {
     let _span = weseer_obs::span("analyzer.diagnose");
-    let diagnosis = run_pipeline(catalog, traces, config, oracle);
+    if let Some(sc) = store {
+        assert_eq!(
+            sc.fingerprints.len(),
+            traces.len(),
+            "one fingerprint per trace"
+        );
+    }
+    let diagnosis = run_pipeline(catalog, traces, config, oracle, store);
     diagnosis.stats.publish();
     weseer_obs::add(
         "analyzer.deadlocks_reported",
@@ -204,7 +257,7 @@ pub fn coarse_cycle_count(traces: &[CollectedTrace]) -> usize {
         max_reports: usize::MAX,
         ..AnalyzerConfig::default()
     };
-    run_pipeline(&Catalog::default(), traces, &config, None)
+    run_pipeline(&Catalog::default(), traces, &config, None, None)
         .stats
         .coarse_cycles
 }
@@ -224,6 +277,11 @@ pub(crate) struct PairCtx<'a> {
     /// `StmtRecord::index - 1`) — cycle signatures are built in the hot
     /// loop and must not re-render templates per pair.
     stmt_sql: Vec<Vec<String>>,
+    /// Incremental persistence, when the caller opened a store.
+    store: Option<&'a StoreCtx<'a>>,
+    /// Analyzer-level content tag mixed into every stored pair outcome:
+    /// lock-model version + the config knobs that change verdicts.
+    cfg_tag: String,
 }
 
 impl<'a> PairCtx<'a> {
@@ -233,6 +291,7 @@ impl<'a> PairCtx<'a> {
         config: &'a AnalyzerConfig,
         oracle: Option<&'a dyn IndexOracle>,
         prefix: Option<PrefixTable>,
+        store: Option<&'a StoreCtx<'a>>,
     ) -> Self {
         let stmt_sql = traces
             .iter()
@@ -252,12 +311,49 @@ impl<'a> PairCtx<'a> {
             cache: config.smt_cache.then(VerdictCache::new),
             prefix,
             stmt_sql,
+            store,
+            cfg_tag: analyzer_tag(config),
         }
     }
 
     fn sql(&self, trace: usize, rec: &StmtRecord) -> &str {
         &self.stmt_sql[trace][rec.index - 1]
     }
+
+    /// Stable *site* of a pair — where its stored outcomes live,
+    /// independent of the traces' contents. Namespaced by application so
+    /// apps with identically named traces don't overwrite each other's
+    /// entries in a shared store.
+    fn pair_site(&self, job: &PairJob) -> String {
+        let ns = self.store.map(|sc| sc.namespace).unwrap_or("");
+        format!(
+            "{ns}|{}:{}#{}|{}:{}#{}",
+            job.a,
+            self.traces[job.a].api(),
+            job.a_txn,
+            job.b,
+            self.traces[job.b].api(),
+            job.b_txn
+        )
+    }
+
+    /// Content key of a pair: both trace fingerprints + the config tag.
+    fn pair_content(&self, sc: &StoreCtx<'_>, job: &PairJob) -> String {
+        format!(
+            "{}|{}|{}",
+            sc.fingerprints[job.a], sc.fingerprints[job.b], self.cfg_tag
+        )
+    }
+}
+
+/// The analyzer configuration knobs that can change a pair's verdict or
+/// report (deliberately excludes `max_reports`, `threads`, and
+/// `smt_cache`, which only affect scheduling and truncation).
+fn analyzer_tag(config: &AnalyzerConfig) -> String {
+    format!(
+        "{LOCK_MODEL_VERSION}|fine={}|range={}|skip={}|solver={:?}",
+        config.fine_grained, config.use_range_locks, config.skip_filter_phases, config.solver
+    )
 }
 
 /// One coarse SC-graph cycle found by [`scan_pair`], identified by the
@@ -329,6 +425,73 @@ pub(crate) fn scan_pair(job: &PairJob, ctx: &PairCtx<'_>) -> PairOutcome {
     }
     out.scan_time = start.elapsed();
     out
+}
+
+/// [`scan_pair`] behind the store: a hit replays the recorded scan
+/// (including its original wall time, so warm funnels match cold ones);
+/// a miss or stale scans live and records the outcome.
+pub(crate) fn scan_pair_cached(job: &PairJob, ctx: &PairCtx<'_>) -> PairOutcome {
+    let Some(sc) = ctx.store else {
+        return scan_pair(job, ctx);
+    };
+    let site = ctx.pair_site(job);
+    let content = ctx.pair_content(sc, job);
+    if let Lookup::Hit(v) = sc.store.get("pair2", &site, &content) {
+        if let Some(out) = pair2_from_json(&v) {
+            return out;
+        }
+    }
+    let out = scan_pair(job, ctx);
+    sc.store.put("pair2", &site, &content, pair2_to_json(&out));
+    out
+}
+
+fn pair2_to_json(out: &PairOutcome) -> Json {
+    let cycles: Vec<Json> = out
+        .cycles
+        .iter()
+        .map(|c| {
+            Json::Arr(vec![
+                Json::u64(c.ah as u64),
+                Json::u64(c.aw as u64),
+                Json::u64(c.bh as u64),
+                Json::u64(c.bw as u64),
+                Json::Arr(c.t1.iter().map(Json::str).collect()),
+                Json::Arr(c.t2.iter().map(Json::str).collect()),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("coarse".into(), Json::u64(out.coarse_cycles as u64)),
+        ("us".into(), Json::u64(out.scan_time.as_micros() as u64)),
+        ("cycles".into(), Json::Arr(cycles)),
+    ])
+}
+
+fn pair2_from_json(v: &Json) -> Option<PairOutcome> {
+    let strings = |j: &Json| -> Option<Vec<String>> {
+        j.as_arr()?
+            .iter()
+            .map(|s| s.as_str().map(str::to_string))
+            .collect()
+    };
+    let mut cycles = Vec::new();
+    for c in v.get("cycles")?.as_arr()? {
+        let c = c.as_arr()?;
+        cycles.push(CycleCandidate {
+            ah: c.first()?.as_u64()? as usize,
+            aw: c.get(1)?.as_u64()? as usize,
+            bh: c.get(2)?.as_u64()? as usize,
+            bw: c.get(3)?.as_u64()? as usize,
+            t1: strings(c.get(4)?)?,
+            t2: strings(c.get(5)?)?,
+        });
+    }
+    Some(PairOutcome {
+        coarse_cycles: v.get("coarse")?.as_u64()? as usize,
+        cycles,
+        scan_time: Duration::from_micros(v.get("us")?.as_u64()?),
+    })
 }
 
 /// A deduplicated cycle heading into the fine-grained phase.
@@ -465,37 +628,112 @@ fn fine_check_inner(job: &FineJob, ctx: &PairCtx<'_>) -> FineVerdict {
         None => check_tiered(&mut dst, formula, &config.solver).0,
     };
     match result {
-        SolveResult::Sat(model) => {
-            let statements = vec![
-                reported(a_hold, "A1", &cand.t1),
-                reported(a_wait, "A1", &cand.t2),
-                reported(b_hold, "A2", &cand.t2),
-                reported(b_wait, "A2", &cand.t1),
-            ];
-            let model_excerpt: Vec<(String, String)> = model
-                .iter()
-                .filter(|(name, _)| !name.contains('!'))
-                .map(|(name, v)| (name.clone(), v.to_string()))
-                .collect();
-            FineVerdict::Sat(Box::new(DeadlockReport {
-                cycle: CycleId {
-                    a_api: a.trace.api.clone(),
-                    b_api: b.trace.api.clone(),
-                    a_txn: pair.a_txn,
-                    b_txn: pair.b_txn,
-                    a_hold: a_hold.index,
-                    a_wait: a_wait.index,
-                    b_hold: b_hold.index,
-                    b_wait: b_wait.index,
-                },
-                statements,
-                model: model_excerpt,
-                sat_model: model,
-            }))
-        }
+        SolveResult::Sat(model) => FineVerdict::Sat(Box::new(build_report(job, ctx, model))),
         SolveResult::Unsat => FineVerdict::Unsat,
         SolveResult::Unknown => FineVerdict::Unknown,
     }
+}
+
+/// Assemble the developer-facing report for a SAT cycle. Shared between
+/// the live solve path and the store's warm path (which persists only the
+/// satisfying model and rebuilds everything else from the live traces),
+/// so warm reports are byte-identical to cold ones by construction.
+fn build_report(job: &FineJob, ctx: &PairCtx<'_>, model: Model) -> DeadlockReport {
+    let pair = &job.pair;
+    let cand = &job.cand;
+    let a = &ctx.traces[pair.a];
+    let b = &ctx.traces[pair.b];
+    let stmts_a = a.trace.statements_of(pair.a_txn);
+    let stmts_b = b.trace.statements_of(pair.b_txn);
+    let (a_hold, a_wait) = (stmts_a[cand.ah], stmts_a[cand.aw]);
+    let (b_hold, b_wait) = (stmts_b[cand.bh], stmts_b[cand.bw]);
+    let statements = vec![
+        reported(a_hold, "A1", &cand.t1),
+        reported(a_wait, "A1", &cand.t2),
+        reported(b_hold, "A2", &cand.t2),
+        reported(b_wait, "A2", &cand.t1),
+    ];
+    let model_excerpt: Vec<(String, String)> = model
+        .iter()
+        .filter(|(name, _)| !name.contains('!'))
+        .map(|(name, v)| (name.clone(), v.to_string()))
+        .collect();
+    DeadlockReport {
+        cycle: CycleId {
+            a_api: a.trace.api.clone(),
+            b_api: b.trace.api.clone(),
+            a_txn: pair.a_txn,
+            b_txn: pair.b_txn,
+            a_hold: a_hold.index,
+            a_wait: a_wait.index,
+            b_hold: b_hold.index,
+            b_wait: b_wait.index,
+        },
+        statements,
+        model: model_excerpt,
+        sat_model: model,
+    }
+}
+
+/// [`fine_check`] behind the store: the persisted value is just the
+/// verdict (plus the SAT model and the original wall time) — reports are
+/// rebuilt through [`build_report`], never deserialized, so a hit spends
+/// no SMT work at all and still reproduces the cold report bytes.
+pub(crate) fn fine_check_cached(job: &FineJob, ctx: &PairCtx<'_>) -> FineOutcome {
+    let Some(sc) = ctx.store else {
+        return fine_check(job, ctx);
+    };
+    let site = format!(
+        "{}|{},{},{},{}",
+        ctx.pair_site(&job.pair),
+        job.cand.ah,
+        job.cand.aw,
+        job.cand.bh,
+        job.cand.bw
+    );
+    let content = ctx.pair_content(sc, &job.pair);
+    if let Lookup::Hit(v) = sc.store.get("pair3", &site, &content) {
+        if let Some(out) = fine_from_json(job, ctx, &v) {
+            return out;
+        }
+    }
+    let out = fine_check(job, ctx);
+    sc.store.put("pair3", &site, &content, fine_to_json(&out));
+    out
+}
+
+fn fine_to_json(out: &FineOutcome) -> Json {
+    let mut fields = vec![(
+        "verdict".into(),
+        Json::str(match &out.verdict {
+            FineVerdict::NoCandidate => "nocand",
+            FineVerdict::Sat(_) => "sat",
+            FineVerdict::Unsat => "unsat",
+            FineVerdict::Unknown => "unknown",
+        }),
+    )];
+    if let FineVerdict::Sat(report) = &out.verdict {
+        fields.push(("model".into(), codec::model_to_json(&report.sat_model)));
+    }
+    fields.push(("us".into(), Json::u64(out.time.as_micros() as u64)));
+    Json::Obj(fields)
+}
+
+fn fine_from_json(job: &FineJob, ctx: &PairCtx<'_>, v: &Json) -> Option<FineOutcome> {
+    let verdict = match v.get("verdict")?.as_str()? {
+        "nocand" => FineVerdict::NoCandidate,
+        "sat" => {
+            let model = codec::model_from_json(v.get("model")?)?;
+            FineVerdict::Sat(Box::new(build_report(job, ctx, model)))
+        }
+        "unsat" => FineVerdict::Unsat,
+        "unknown" => FineVerdict::Unknown,
+        _ => return None,
+    };
+    Some(FineOutcome {
+        verdict,
+        time: Duration::from_micros(v.get("us")?.as_u64()?),
+    })
 }
 
 /// The staged pipeline: generate → scan (parallel) → dedup sweep (ordered)
@@ -505,6 +743,7 @@ fn run_pipeline(
     traces: &[CollectedTrace],
     config: &AnalyzerConfig,
     oracle: Option<&dyn IndexOracle>,
+    store: Option<&StoreCtx<'_>>,
 ) -> Diagnosis {
     let mut stats = DiagnosisStats::default();
 
@@ -521,16 +760,37 @@ fn run_pipeline(
     // verdict for every cycle, so killing it here changes only funnel
     // counters, never the report set.
     let prefix = (config.fine_grained && config.solver.tiers.prefix)
-        .then(|| PrefixTable::build(traces, &config.solver));
+        .then(|| PrefixTable::build_with_store(traces, &config.solver, store));
     if let Some(table) = &prefix {
         stats.prefix_kills = prune_unsat_prefixes(&mut pair_set.jobs, table);
     }
 
     let threads = resolve_threads(config.threads);
-    let pctx = PairCtx::new(catalog, traces, config, oracle, prefix);
+    let pctx = PairCtx::new(catalog, traces, config, oracle, prefix, store);
+
+    // Warm-start the verdict cache from persisted SMT verdicts recorded
+    // under the same solver configuration. Entries are keyed by the
+    // canonical formula itself (carried in the value — the site is just
+    // its hash), so seeding is exact.
+    let solver_tag = format!("solver={:?}", config.solver);
+    if let (Some(sc), Some(cache)) = (store, &pctx.cache) {
+        for (_, content, v) in sc.store.entries_of("smt") {
+            if content != solver_tag {
+                continue;
+            }
+            if let (Some(key), Some(verdict)) = (
+                v.get("k").and_then(Json::as_str),
+                v.get("r").and_then(codec::verdict_from_json),
+            ) {
+                cache.seed(key.to_string(), verdict);
+            }
+        }
+    }
 
     // ---- Phase 2: coarse SC-graph deadlock cycles (parallel) -----------
-    let outcomes = run_ordered(&pair_set.jobs, threads, |_, job| scan_pair(job, &pctx));
+    let outcomes = run_ordered(&pair_set.jobs, threads, |_, job| {
+        scan_pair_cached(job, &pctx)
+    });
 
     // Ordered sweep: cycles with the same statement templates and conflict
     // tables are one deadlock pattern; check each pattern once (the
@@ -570,7 +830,19 @@ fn run_pipeline(
     }
 
     // ---- Phase 3: fine-grained lock modeling + SMT (parallel) ----------
-    let fine_outcomes = run_ordered(&fine_jobs, threads, |_, fj| fine_check(fj, &pctx));
+    let fine_outcomes = run_ordered(&fine_jobs, threads, |_, fj| fine_check_cached(fj, &pctx));
+
+    // Persist the SMT verdicts this run produced (hit-or-miss: `put` of
+    // an unchanged entry is a no-op, so repeat runs do not grow the file).
+    if let (Some(sc), Some(cache)) = (store, &pctx.cache) {
+        for (key, verdict) in cache.export() {
+            let value = Json::Obj(vec![
+                ("k".into(), Json::str(key.clone())),
+                ("r".into(), codec::verdict_to_json(&verdict)),
+            ]);
+            sc.store.put("smt", &site_hash(&key), &solver_tag, value);
+        }
+    }
 
     // Ordered reduce: stats, reports, and max_reports truncation.
     let mut reports: Vec<DeadlockReport> = Vec::new();

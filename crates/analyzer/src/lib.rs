@@ -38,8 +38,8 @@ pub mod schedule;
 pub mod viz;
 
 pub use diagnose::{
-    coarse_cycle_count, diagnose, diagnose_with_oracle, AnalyzerConfig, CollectedTrace, Diagnosis,
-    DiagnosisStats,
+    coarse_cycle_count, diagnose, diagnose_incremental, diagnose_with_oracle, AnalyzerConfig,
+    CollectedTrace, Diagnosis, DiagnosisStats, StoreCtx, LOCK_MODEL_VERSION,
 };
 pub use indexes::IndexOracle;
 pub use pairs::{generate_pairs, PairJob, PairSet};

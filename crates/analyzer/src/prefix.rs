@@ -23,10 +23,11 @@
 //! cycle would have been UNSAT — only the cost changes, never the report
 //! set. Cross-checked against the full solver under `debug_assertions`.
 
-use crate::diagnose::CollectedTrace;
+use crate::diagnose::{CollectedTrace, StoreCtx};
 use std::collections::HashSet;
 use std::time::Instant;
 use weseer_smt::{presolve, Ctx, PresolveResult, Simplifier, SolverConfig, TermId};
+use weseer_store::{json::Json, Lookup};
 
 /// Per-trace prefix data: a context clone holding the simplified
 /// path-condition terms.
@@ -51,9 +52,24 @@ impl PrefixTable {
     /// standalone prefix. Records `smt.fastpath.prefix_us` per prefix
     /// pre-solve in the global metrics registry.
     pub fn build(traces: &[CollectedTrace], config: &SolverConfig) -> PrefixTable {
+        PrefixTable::build_with_store(traces, config, None)
+    }
+
+    /// [`PrefixTable::build`] consulting a persistent store: the tier-0
+    /// simplification always runs live (the fine phase imports the
+    /// simplified terms), but a stored prefix verdict skips the tier-1
+    /// pre-solve *and* the `debug_assertions` full-solver cross-check —
+    /// which is what lets a warm debug-build run report zero full solves.
+    pub(crate) fn build_with_store(
+        traces: &[CollectedTrace],
+        config: &SolverConfig,
+        store: Option<&StoreCtx<'_>>,
+    ) -> PrefixTable {
+        let solver_tag = format!("solver={config:?}");
         let per_trace = traces
             .iter()
-            .map(|t| {
+            .enumerate()
+            .map(|(i, t)| {
                 let mut ctx = t.ctx.clone();
                 let mut simp = Simplifier::new();
                 let simplified: Vec<TermId> = t
@@ -82,6 +98,23 @@ impl PrefixTable {
                     if parts.is_empty() {
                         continue;
                     }
+                    let persist = store.map(|sc| {
+                        (
+                            sc,
+                            format!("{}|{}:{}#{}", sc.namespace, i, t.trace.api, txn),
+                            format!("{}|{}", sc.fingerprints[i], solver_tag),
+                        )
+                    });
+                    if let Some((sc, site, content)) = &persist {
+                        if let Lookup::Hit(v) = sc.store.get("prefix", site, content) {
+                            if let Some(unsat) = v.get("unsat").and_then(Json::as_bool) {
+                                if unsat {
+                                    unsat_txns.insert(txn);
+                                }
+                                continue;
+                            }
+                        }
+                    }
                     let conj = ctx.and(parts);
                     let start = Instant::now();
                     let unsat = matches!(presolve(&ctx, conj), PresolveResult::Unsat);
@@ -95,8 +128,11 @@ impl PrefixTable {
                                 "prefix pre-solve claimed UNSAT for a satisfiable prefix"
                             );
                         }
-                        let _ = config; // used only under debug_assertions
                         unsat_txns.insert(txn);
+                    }
+                    if let Some((sc, site, content)) = &persist {
+                        let value = Json::Obj(vec![("unsat".into(), Json::Bool(unsat))]);
+                        sc.store.put("prefix", site, content, value);
                     }
                 }
                 TracePrefix {

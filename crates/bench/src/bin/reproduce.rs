@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! reproduce [--quick] [--threads <n>] [--metrics-out <path>]
-//!           [--witness-out <path>] [--smt-ablation [app]] [table1]
-//!           [table2] [table3] [fig10] [fig11] [pruning] [baseline]
-//!           [aborts] [all]
+//!           [--witness-out <path>] [--smt-ablation [app]]
+//!           [--store <path>] [--dirty <api>] [--incremental-bench [app]]
+//!           [table1] [table2] [table3] [fig10] [fig11] [pruning]
+//!           [baseline] [aborts] [all]
 //! ```
 //!
 //! With no selector (or `all`), every experiment runs. `--quick` shrinks
@@ -25,6 +26,17 @@
 //! any configuration changed a verdict or report (the tiers must be pure
 //! optimizations). With no app argument both apps run. With no other
 //! selector, only the requested export/ablation runs happen.
+//!
+//! `--store <path>` opens (or creates) the incremental store at `<path>`
+//! and runs every selected experiment against it (equivalent to
+//! `WESEER_STORE=<path>`): the first run fills it, later runs warm-start
+//! from it and are byte-identical. `--dirty <api>` treats `<api>`'s trace
+//! as changed (`WESEER_DIRTY=<api>`), invalidating exactly the stored
+//! outcomes that involve it. `--incremental-bench [broadleaf|shopizer]`
+//! times a cold, a warm, and a one-trace-dirtied pipeline run per app
+//! against a throwaway store, writes `BENCH_incremental.json`, and exits
+//! nonzero if the warm/dirtied outputs diverge from the cold run or the
+//! warm run did any full solving or schedule exploration.
 
 use weseer_bench::experiments;
 
@@ -32,6 +44,7 @@ fn main() {
     let mut metrics_out: Option<String> = None;
     let mut witness_out: Option<String> = None;
     let mut smt_ablation: Option<Vec<&'static str>> = None;
+    let mut incremental: Option<Vec<&'static str>> = None;
     let mut rest: Vec<String> = Vec::new();
     let mut raw = std::env::args().skip(1).peekable();
     while let Some(arg) = raw.next() {
@@ -49,6 +62,33 @@ fn main() {
                 _ => vec!["broadleaf", "shopizer"],
             };
             smt_ablation = Some(apps);
+        } else if arg == "--incremental-bench" {
+            let apps = match raw.peek().map(|s| s.as_str()) {
+                Some("broadleaf") => {
+                    raw.next();
+                    vec!["broadleaf"]
+                }
+                Some("shopizer") => {
+                    raw.next();
+                    vec!["shopizer"]
+                }
+                _ => vec!["broadleaf", "shopizer"],
+            };
+            incremental = Some(apps);
+        } else if arg == "--store" {
+            let path = raw.next().unwrap_or_else(|| {
+                eprintln!("--store requires a path argument");
+                std::process::exit(2);
+            });
+            // The experiments build their own `Weseer` facades, which
+            // consult this variable (see `Weseer::resolve_store`).
+            std::env::set_var("WESEER_STORE", path);
+        } else if arg == "--dirty" {
+            let api = raw.next().unwrap_or_else(|| {
+                eprintln!("--dirty requires an API name argument");
+                std::process::exit(2);
+            });
+            std::env::set_var("WESEER_DIRTY", api);
         } else if arg == "--metrics-out" {
             let path = raw.next().unwrap_or_else(|| {
                 eprintln!("--metrics-out requires a path argument");
@@ -85,7 +125,8 @@ fn main() {
     let all = (selected.is_empty()
         && metrics_out.is_none()
         && witness_out.is_none()
-        && smt_ablation.is_none())
+        && smt_ablation.is_none()
+        && incremental.is_none())
         || selected.contains(&"all");
     let want = |name: &str| all || selected.contains(&name);
 
@@ -142,6 +183,22 @@ fn main() {
         if ablation.diverged {
             eprintln!(
                 "smt-ablation: tier configurations diverged — the tiers must not change verdicts"
+            );
+            std::process::exit(1);
+        }
+    }
+    if let Some(apps) = incremental {
+        let bench = experiments::incremental_bench(&apps);
+        println!("{}", bench.report);
+        if let Err(e) = std::fs::write("BENCH_incremental.json", &bench.bench_json) {
+            eprintln!("failed to write BENCH_incremental.json: {e}");
+            std::process::exit(1);
+        }
+        println!("bench summary written to BENCH_incremental.json");
+        if bench.diverged {
+            eprintln!(
+                "incremental-bench: warm/dirtied runs diverged from cold — \
+                 the store must be a pure optimization"
             );
             std::process::exit(1);
         }

@@ -324,6 +324,22 @@ pub fn metrics_report() -> (String, String) {
                 analysis.metrics.counter("analyzer.pairs_pruned"),
             );
         }
+        // Warm-vs-cold funnel of the incremental store (present only when
+        // an analysis ran against one, e.g. via WESEER_STORE).
+        let (sh, ss, sm) = (c("store.hit"), c("store.stale"), c("store.miss"));
+        if sh + ss + sm > 0 {
+            let temperature = if ss == 0 && sm == 0 {
+                "warm: every phase reused"
+            } else if sh == 0 {
+                "cold: store filled from scratch"
+            } else {
+                "mixed: changed entries recomputed"
+            };
+            let _ = writeln!(
+                human,
+                "incremental store: {sh} hits / {ss} stale / {sm} misses ({temperature})",
+            );
+        }
         human.push('\n');
         json.push_str(&analysis.metrics.to_json_lines(Some(&analysis.app)));
     }
@@ -411,6 +427,56 @@ pub struct Ablation {
     pub diverged: bool,
 }
 
+/// One tier configuration's measurements in the ablation.
+struct AblationRow {
+    label: &'static str,
+    full_solve: u64,
+    t0: u64,
+    t1: u64,
+    prefix_kill: u64,
+    cache_hit: u64,
+    cache_miss: u64,
+    solve_wall_us: u64,
+    verdicts: (usize, usize, usize),
+    reports: Vec<String>,
+}
+
+/// The verdict-cache hit rate reported for an ablation. Measured on the
+/// "no tiers" baseline row (the last one): with all tiers enabled the
+/// fast path discharges nearly every formula *before* the cache, so the
+/// tiered row's hit/miss counts are 0/0 and the rate degenerates to
+/// 0.000 — which is what `BENCH_smt.json` used to publish. The baseline
+/// row routes every query through the cache and measures what the cache
+/// actually saves.
+fn ablation_cache_hit_rate(rows: &[AblationRow]) -> f64 {
+    let baseline = rows.last().expect("at least the baseline row");
+    let total = baseline.cache_hit + baseline.cache_miss;
+    if total > 0 {
+        baseline.cache_hit as f64 / total as f64
+    } else {
+        0.0
+    }
+}
+
+/// The per-app JSON object for `BENCH_smt.json`.
+fn ablation_json_entry(app_name: &str, rows: &[AblationRow]) -> String {
+    let baseline = rows.last().expect("at least the baseline row");
+    let tiered = &rows[0];
+    format!(
+        "\"{app_name}\":{{\"full_solve_baseline\":{},\"full_solve_tiered\":{},\
+         \"t0_discharged\":{},\"t1_discharged\":{},\"prefix_kills\":{},\
+         \"cache_hit_rate\":{:.3},\"solver_wall_us_baseline\":{},\"solver_wall_us_tiered\":{}}}",
+        baseline.full_solve,
+        tiered.full_solve,
+        tiered.t0,
+        tiered.t1,
+        tiered.prefix_kill,
+        ablation_cache_hit_rate(rows),
+        baseline.solve_wall_us,
+        tiered.solve_wall_us,
+    )
+}
+
 /// `--smt-ablation`: diagnose each app once per tier configuration
 /// (all tiers, each tier individually disabled, all off) on the same
 /// traces, assert the verdicts and rendered reports are identical across
@@ -419,19 +485,6 @@ pub fn smt_ablation(apps: &[&str]) -> Ablation {
     use weseer_analyzer::diagnose;
     use weseer_apps::Fixes;
     use weseer_smt::TierConfig;
-
-    struct Row {
-        label: &'static str,
-        full_solve: u64,
-        t0: u64,
-        t1: u64,
-        prefix_kill: u64,
-        cache_hit: u64,
-        cache_miss: u64,
-        solve_wall_us: u64,
-        verdicts: (usize, usize, usize),
-        reports: Vec<String>,
-    }
 
     let configs: [(&'static str, TierConfig); 5] = [
         ("all tiers", TierConfig::default()),
@@ -474,7 +527,7 @@ pub fn smt_ablation(apps: &[&str]) -> Ablation {
         let (traces, _db) = weseer.collect_traces(app, &Fixes::none());
         let catalog = app.catalog();
 
-        let rows: Vec<Row> = configs
+        let rows: Vec<AblationRow> = configs
             .iter()
             .map(|(label, tiers)| {
                 let mut config = weseer.config.clone();
@@ -482,7 +535,7 @@ pub fn smt_ablation(apps: &[&str]) -> Ablation {
                 let before = weseer_obs::snapshot();
                 let diagnosis = diagnose(&catalog, &traces, &config);
                 let m = weseer_obs::snapshot().delta_since(&before);
-                Row {
+                AblationRow {
                     label,
                     full_solve: m.counter("smt.full_solve"),
                     t0: m.counter("smt.fastpath.t0_simplified"),
@@ -560,24 +613,7 @@ pub fn smt_ablation(apps: &[&str]) -> Ablation {
             baseline.full_solve as f64 / tiered.full_solve.max(1) as f64,
         );
 
-        let hit_rate = if tiered.cache_hit + tiered.cache_miss > 0 {
-            tiered.cache_hit as f64 / (tiered.cache_hit + tiered.cache_miss) as f64
-        } else {
-            0.0
-        };
-        json_apps.push(format!(
-            "\"{app_name}\":{{\"full_solve_baseline\":{},\"full_solve_tiered\":{},\
-             \"t0_discharged\":{},\"t1_discharged\":{},\"prefix_kills\":{},\
-             \"cache_hit_rate\":{:.3},\"solver_wall_us_baseline\":{},\"solver_wall_us_tiered\":{}}}",
-            baseline.full_solve,
-            tiered.full_solve,
-            tiered.t0,
-            tiered.t1,
-            tiered.prefix_kill,
-            hit_rate,
-            baseline.solve_wall_us,
-            tiered.solve_wall_us,
-        ));
+        json_apps.push(ablation_json_entry(app_name, &rows));
     }
 
     let bench_json = format!(
@@ -586,6 +622,183 @@ pub fn smt_ablation(apps: &[&str]) -> Ablation {
         json_apps.join(",")
     );
     Ablation {
+        report,
+        bench_json,
+        diverged,
+    }
+}
+
+/// Result of the incremental (cold → warm → dirtied) benchmark.
+pub struct IncrementalBench {
+    /// Human-readable wall-time table.
+    pub report: String,
+    /// One JSON line for `BENCH_incremental.json`.
+    pub bench_json: String,
+    /// True if a warm or dirtied run produced different reports/witnesses
+    /// than the cold run, or if a warm run did any full solving or
+    /// schedule exploration — all of which fail CI.
+    pub diverged: bool,
+}
+
+/// The byte-comparison view of one analysis: every deadlock report's
+/// rendered text, every replay verdict (witnesses as canonical JSON),
+/// and the funnel counters. A warm store run must reproduce this
+/// byte-for-byte.
+pub fn render_analysis(analysis: &weseer_core::AppAnalysis) -> String {
+    let mut s = String::new();
+    for r in &analysis.diagnosis.deadlocks {
+        let _ = writeln!(s, "{r}");
+    }
+    if let Some(replay) = &analysis.replay {
+        for v in &replay.verdicts {
+            match v.witness() {
+                Some(w) => {
+                    let _ = writeln!(s, "{}", w.to_json());
+                }
+                None => {
+                    let _ = writeln!(s, "{}", v.tag());
+                }
+            }
+        }
+    }
+    let st = &analysis.diagnosis.stats;
+    let _ = writeln!(
+        s,
+        "funnel: txn_pairs={} phase1={} coarse={} prefix_kills={} fine={} sat={} unsat={} unknown={}",
+        st.txn_pairs,
+        st.pairs_after_phase1,
+        st.coarse_cycles,
+        st.prefix_kills,
+        st.fine_candidates,
+        st.smt_sat,
+        st.smt_unsat,
+        st.smt_unknown,
+    );
+    s
+}
+
+/// `--incremental-bench`: for each app, run the full pipeline (diagnosis
+/// and witness replay) three times against one fresh store file — cold
+/// (fills the store), warm (nothing changed), and with the `Ship` trace
+/// dirtied — timing each run. The warm and dirtied outputs must be
+/// byte-identical to the cold one, and the warm run must do zero full
+/// SMT solves and explore zero replay schedules. Writes the wall times
+/// and store hit rates to `BENCH_incremental.json`.
+pub fn incremental_bench(apps: &[&str]) -> IncrementalBench {
+    use std::time::Instant;
+
+    weseer_obs::set_enabled(true);
+    let mut report = String::from("Incremental warm starts: cold -> warm -> one trace dirtied\n");
+    let mut diverged = false;
+    let mut json_apps = Vec::new();
+    let mut rows = Vec::new();
+
+    for &app_name in apps {
+        let app: &dyn ECommerceApp = match app_name {
+            "broadleaf" => &Broadleaf,
+            "shopizer" => &Shopizer,
+            other => panic!("unknown app {other}"),
+        };
+        let path = std::env::temp_dir().join(format!(
+            "weseer-incremental-{}-{app_name}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        let run = |dirty: Option<&str>| {
+            let mut weseer = Weseer::new()
+                .with_replay()
+                .with_store(&path)
+                .expect("open incremental store");
+            if let Some(api) = dirty {
+                weseer = weseer.with_dirty(api);
+            }
+            let before = weseer_obs::snapshot();
+            let start = Instant::now();
+            let analysis = weseer.analyze(app);
+            let wall = start.elapsed();
+            let metrics = weseer_obs::snapshot().delta_since(&before);
+            (render_analysis(&analysis), wall, metrics)
+        };
+        let (cold_out, cold, _) = run(None);
+        let (warm_out, warm, wm) = run(None);
+        let (dirty_out, dirty, dm) = run(Some("Ship"));
+        let _ = std::fs::remove_file(&path);
+
+        for (label, out) in [("warm", &warm_out), ("dirtied", &dirty_out)] {
+            if *out != cold_out {
+                diverged = true;
+                let _ = writeln!(
+                    report,
+                    "DIVERGENCE on {app_name}: {label} output differs from cold"
+                );
+            }
+        }
+        let warm_full = wm.counter("smt.full_solve");
+        let warm_sched = wm.counter("replay.schedules_explored");
+        if warm_full > 0 || warm_sched > 0 {
+            diverged = true;
+            let _ = writeln!(
+                report,
+                "NOT WARM on {app_name}: {warm_full} full solves, \
+                 {warm_sched} schedules explored on the warm run"
+            );
+        }
+
+        let speedup = cold.as_secs_f64() / warm.as_secs_f64().max(1e-9);
+        rows.push(vec![
+            app_name.to_string(),
+            format!("{:.1}", cold.as_secs_f64() * 1000.0),
+            format!("{:.1}", warm.as_secs_f64() * 1000.0),
+            format!("{:.1}", dirty.as_secs_f64() * 1000.0),
+            format!("{speedup:.1}x"),
+            format!(
+                "{}/{}/{}",
+                wm.counter("store.hit"),
+                wm.counter("store.stale"),
+                wm.counter("store.miss")
+            ),
+            format!(
+                "{}/{}/{}",
+                dm.counter("store.hit"),
+                dm.counter("store.stale"),
+                dm.counter("store.miss")
+            ),
+        ]);
+        json_apps.push(format!(
+            "\"{app_name}\":{{\"cold_us\":{},\"warm_us\":{},\"dirty1_us\":{},\
+             \"speedup\":{speedup:.1},\"warm_hit\":{},\"warm_stale\":{},\"warm_miss\":{},\
+             \"dirty_hit\":{},\"dirty_stale\":{},\"warm_full_solves\":{warm_full},\
+             \"warm_schedules_explored\":{warm_sched}}}",
+            cold.as_micros(),
+            warm.as_micros(),
+            dirty.as_micros(),
+            wm.counter("store.hit"),
+            wm.counter("store.stale"),
+            wm.counter("store.miss"),
+            dm.counter("store.hit"),
+            dm.counter("store.stale"),
+        ));
+    }
+
+    report.push_str(&table(
+        &[
+            "app",
+            "cold (ms)",
+            "warm (ms)",
+            "dirty1 (ms)",
+            "speedup",
+            "warm hit/stale/miss",
+            "dirty hit/stale/miss",
+        ],
+        &rows,
+    ));
+    let bench_json = format!(
+        "{{\"bench\":\"incremental_warm_start\",\"diverged\":{},{}}}\n",
+        diverged,
+        json_apps.join(",")
+    );
+    IncrementalBench {
         report,
         bench_json,
         diverged,
@@ -634,5 +847,28 @@ mod tests {
         assert!(t.contains("Register"));
         assert!(t.contains("Checkout"));
         assert!(t.contains("Payment"));
+    }
+
+    #[test]
+    fn ablation_hit_rate_comes_from_the_baseline_row() {
+        let row = |label, cache_hit, cache_miss| AblationRow {
+            label,
+            full_solve: 0,
+            t0: 0,
+            t1: 0,
+            prefix_kill: 0,
+            cache_hit,
+            cache_miss,
+            solve_wall_us: 0,
+            verdicts: (0, 0, 0),
+            reports: Vec::new(),
+        };
+        // With all tiers on, no formula reaches the cache (0/0 on the
+        // tiered row); the baseline row carries the real cache traffic.
+        // The rate must come from the baseline, not degenerate to 0.000.
+        let rows = vec![row("all tiers", 0, 0), row("no tiers", 30, 10)];
+        assert!((ablation_cache_hit_rate(&rows) - 0.75).abs() < 1e-9);
+        let json = ablation_json_entry("broadleaf", &rows);
+        assert!(json.contains("\"cache_hit_rate\":0.750"), "{json}");
     }
 }

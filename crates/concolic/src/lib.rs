@@ -25,6 +25,7 @@ pub mod builtins;
 pub mod containers;
 pub mod driver;
 pub mod engine;
+pub mod fingerprint;
 pub mod location;
 pub mod sym;
 pub mod trace;
@@ -33,6 +34,7 @@ pub use driver::{BackendError, ExecResult, SqlBackend, SymResultSet, TraceDriver
 pub use engine::{
     shared, take_ctx, Engine, EngineRef, EngineStats, ExecMode, LibraryMode, PathCond,
 };
+pub use fingerprint::FINGERPRINT_SCHEMA;
 pub use location::{CodeLoc, StackTrace};
 pub use sym::{SymBool, SymValue};
 pub use trace::{ResultRow, StmtRecord, Trace, TxnTrace};

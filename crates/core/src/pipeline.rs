@@ -2,12 +2,18 @@
 //! unit tests under concolic execution, collect traces, diagnose
 //! deadlocks, and group the reports into Table II rows.
 
-use std::collections::BTreeMap;
-use weseer_analyzer::{coarse_cycle_count, diagnose, AnalyzerConfig, CollectedTrace, Diagnosis};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use weseer_analyzer::{
+    coarse_cycle_count, diagnose_incremental, resolve_threads, run_ordered, AnalyzerConfig,
+    CollectedTrace, Diagnosis, StoreCtx,
+};
 use weseer_apps::app::collect_trace;
 use weseer_apps::{classify, AppLocks, ECommerceApp, Fixes, KnownDeadlock};
 use weseer_concolic::{ExecMode, LibraryMode};
 use weseer_db::Database;
+use weseer_replay::{ReplayVerdict, Witness};
+use weseer_store::{json::Json, Lookup, Store};
 
 /// The WeSEER tool facade.
 #[derive(Debug, Default)]
@@ -17,6 +23,15 @@ pub struct Weseer {
     /// When set, every diagnosed cycle is replayed for a concrete witness
     /// ([`weseer_replay`]) after diagnosis.
     pub replay: Option<weseer_replay::ReplayConfig>,
+    /// When set, analyses consult (and feed) this persistent store so a
+    /// warm run over unchanged traces skips the heavy phases
+    /// ([`Weseer::with_store`]; also reachable via the `WESEER_STORE`
+    /// environment variable).
+    pub store: Option<Arc<Store>>,
+    /// APIs whose traces are treated as changed for store lookups: their
+    /// fingerprints are salted, invalidating every stored outcome that
+    /// involves them (`WESEER_DIRTY` env var, or [`Weseer::with_dirty`]).
+    pub dirty_apis: BTreeSet<String>,
 }
 
 /// Everything produced by analyzing one application.
@@ -162,35 +177,142 @@ impl Weseer {
         self
     }
 
+    /// Open (or create) the incremental store at `path` and consult it on
+    /// every analysis: a warm run over unchanged traces reuses each
+    /// prefix pre-solve, phase-2 scan, phase-3 verdict, SMT verdict, and
+    /// replay outcome recorded by the run that filled the store, and is
+    /// byte-identical to it.
+    pub fn with_store(mut self, path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        self.store = Some(Arc::new(Store::open(path)?));
+        Ok(self)
+    }
+
+    /// Treat `api`'s trace as changed: its fingerprint is salted so every
+    /// stored outcome involving it reads as stale and is recomputed.
+    /// (Simulates an edited endpoint for incremental benchmarks.)
+    pub fn with_dirty(mut self, api: &str) -> Self {
+        self.dirty_apis.insert(api.to_string());
+        self
+    }
+
+    /// The store to use for one analysis: the configured one, else the
+    /// `WESEER_STORE` path (opened fresh per call so repeated analyses
+    /// each see the flushed file).
+    fn resolve_store(&self) -> Option<Arc<Store>> {
+        if self.store.is_some() {
+            return self.store.clone();
+        }
+        match std::env::var("WESEER_STORE") {
+            Ok(p) if !p.is_empty() => Some(Arc::new(
+                Store::open(&p).unwrap_or_else(|e| panic!("WESEER_STORE={p}: {e}")),
+            )),
+            _ => None,
+        }
+    }
+
+    /// Per-trace content fingerprints for store keys, with dirty APIs
+    /// (configured plus the comma-separated `WESEER_DIRTY` env var)
+    /// salted so their stored outcomes invalidate.
+    fn fingerprints(&self, traces: &[CollectedTrace]) -> Vec<String> {
+        let mut dirty = self.dirty_apis.clone();
+        if let Ok(v) = std::env::var("WESEER_DIRTY") {
+            dirty.extend(
+                v.split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string),
+            );
+        }
+        traces
+            .iter()
+            .map(|t| {
+                let mut fp = t.trace.fingerprint(&t.ctx);
+                if dirty.contains(t.api()) {
+                    fp.push_str("!dirty");
+                }
+                fp
+            })
+            .collect()
+    }
+
     /// Collect the Table I unit-test traces of an application, chaining
     /// database state between tests (paper Sec. VII-B).
+    ///
+    /// With more than one worker thread the tests are traced in parallel:
+    /// worker `i` builds its own database, fast-forwards it by running
+    /// tests `0..i` in native mode (the same deterministic replay
+    /// [`crate::replay::prepare_db`] relies on), then traces test `i`
+    /// concolically. The ordered merge makes the result — traces and the
+    /// final database state — identical to the sequential chain for every
+    /// thread count.
     pub fn collect_traces(
         &self,
         app: &dyn ECommerceApp,
         fixes: &Fixes,
     ) -> (Vec<CollectedTrace>, Database) {
         let _span = weseer_obs::span("pipeline.collect_traces");
-        let db = Database::new(app.catalog());
-        app.seed(&db);
-        let locks = AppLocks::new();
-        let mut traces = Vec::new();
-        for test in app.unit_tests() {
-            let api_start = std::time::Instant::now();
-            let (trace, ctx, result) = collect_trace(
-                app,
-                test,
-                &db,
-                fixes,
-                &locks,
-                ExecMode::Concolic,
-                LibraryMode::Modeled,
-            );
-            // Per-API trace time: one histogram entry per unit test.
-            weseer_obs::observe_duration("concolic.trace_api_us", api_start.elapsed());
-            result.unwrap_or_else(|e| panic!("unit test {test} failed: {e}"));
-            traces.push(CollectedTrace::new(trace, ctx));
+        let tests = app.unit_tests();
+        let threads = resolve_threads(self.config.threads);
+        if threads <= 1 || tests.len() <= 1 {
+            let db = Database::new(app.catalog());
+            app.seed(&db);
+            let locks = AppLocks::new();
+            let mut traces = Vec::new();
+            for test in tests {
+                traces.push(Self::trace_one(app, test, &db, fixes, &locks));
+            }
+            return (traces, db);
         }
-        (traces, db)
+        let outputs = run_ordered(tests, threads, |i, test| {
+            let db = Database::new(app.catalog());
+            app.seed(&db);
+            let locks = AppLocks::new();
+            for prior in &tests[..i] {
+                let (_t, _c, r) = collect_trace(
+                    app,
+                    prior,
+                    &db,
+                    fixes,
+                    &locks,
+                    ExecMode::Native,
+                    LibraryMode::Modeled,
+                );
+                r.unwrap_or_else(|e| panic!("unit test {prior} failed: {e}"));
+            }
+            (Self::trace_one(app, test, &db, fixes, &locks), db)
+        });
+        let mut traces = Vec::with_capacity(outputs.len());
+        let mut db = None;
+        for (t, d) in outputs {
+            traces.push(t);
+            db = Some(d);
+        }
+        (traces, db.expect("at least one unit test"))
+    }
+
+    /// Trace one unit test concolically against `db`, recording exactly
+    /// one `concolic.trace_api_us` histogram entry.
+    fn trace_one(
+        app: &dyn ECommerceApp,
+        test: &str,
+        db: &Database,
+        fixes: &Fixes,
+        locks: &AppLocks,
+    ) -> CollectedTrace {
+        let api_start = std::time::Instant::now();
+        let (trace, ctx, result) = collect_trace(
+            app,
+            test,
+            db,
+            fixes,
+            locks,
+            ExecMode::Concolic,
+            LibraryMode::Modeled,
+        );
+        // Per-API trace time: one histogram entry per unit test.
+        weseer_obs::observe_duration("concolic.trace_api_us", api_start.elapsed());
+        result.unwrap_or_else(|e| panic!("unit test {test} failed: {e}"));
+        CollectedTrace::new(trace, ctx)
     }
 
     /// Run the full pipeline on the *unfixed* application (the published
@@ -215,7 +337,23 @@ impl Weseer {
                 path_conds: t.trace.path_conds.len(),
             })
             .collect();
-        let diagnosis = diagnose(&app.catalog(), &traces, &self.config);
+        let store = self.resolve_store();
+        let fingerprints = store.as_ref().map(|_| self.fingerprints(&traces));
+        let store_ctx = store
+            .as_ref()
+            .zip(fingerprints.as_ref())
+            .map(|(s, fps)| StoreCtx {
+                store: s,
+                fingerprints: fps,
+                namespace: app.name(),
+            });
+        let diagnosis = diagnose_incremental(
+            &app.catalog(),
+            &traces,
+            &self.config,
+            None,
+            store_ctx.as_ref(),
+        );
         let mut groups: BTreeMap<KnownDeadlock, usize> = BTreeMap::new();
         for r in &diagnosis.deadlocks {
             *groups.entry(classify(app.name(), r)).or_insert(0) += 1;
@@ -224,7 +362,10 @@ impl Weseer {
         let replay = self
             .replay
             .as_ref()
-            .map(|cfg| Self::replay_reports(app, &diagnosis, &traces, cfg));
+            .map(|cfg| Self::replay_reports(app, &diagnosis, &traces, cfg, store_ctx.as_ref()));
+        if let Some(s) = &store {
+            s.flush().unwrap_or_else(|e| panic!("store flush: {e}"));
+        }
         drop(pipeline_span);
         let metrics = weseer_obs::snapshot().delta_since(&before);
         AppAnalysis {
@@ -241,20 +382,59 @@ impl Weseer {
     /// Replay each report against a database prepared to the state its
     /// traces were collected from. Databases are prepared once per
     /// distinct starting API and reused (the explorer only forks them).
+    ///
+    /// With a store, a cycle whose two trace fingerprints are unchanged
+    /// restores its recorded verdict — witness included, byte-identical
+    /// through [`Witness::to_json`] — without preparing a database or
+    /// exploring a single schedule (`replay.schedules_explored` stays 0
+    /// on a fully warm run).
     fn replay_reports(
         app: &dyn ECommerceApp,
         diagnosis: &Diagnosis,
         traces: &[CollectedTrace],
         config: &weseer_replay::ReplayConfig,
+        store: Option<&StoreCtx<'_>>,
     ) -> ReplaySummary {
         let _span = weseer_obs::span("pipeline.replay");
         let replayer = weseer_replay::Replayer::with_config(traces, config.clone());
         let order = app.unit_tests();
         let mut bases: BTreeMap<String, Database> = BTreeMap::new();
+        let cfg_tag = format!("{config:?}");
         let verdicts = diagnosis
             .deadlocks
             .iter()
             .map(|r| {
+                let persist = store.and_then(|sc| {
+                    let fp = |api: &str| {
+                        traces
+                            .iter()
+                            .position(|t| t.api() == api)
+                            .map(|i| sc.fingerprints[i].as_str())
+                    };
+                    let (fa, fb) = (fp(&r.cycle.a_api)?, fp(&r.cycle.b_api)?);
+                    let c = &r.cycle;
+                    let site = format!(
+                        "{}|{}#{}@{}-{}|{}#{}@{}-{}",
+                        sc.namespace,
+                        c.a_api,
+                        c.a_txn,
+                        c.a_hold,
+                        c.a_wait,
+                        c.b_api,
+                        c.b_txn,
+                        c.b_hold,
+                        c.b_wait
+                    );
+                    Some((sc, site, format!("{fa}|{fb}|{cfg_tag}")))
+                });
+                if let Some((sc, site, content)) = &persist {
+                    if let Lookup::Hit(v) = sc.store.get("wit", site, content) {
+                        if let Some(verdict) = verdict_from_json(&v) {
+                            weseer_obs::incr(&format!("replay.{}", verdict.tag()));
+                            return verdict;
+                        }
+                    }
+                }
                 // Trace collection chains DB state across unit tests, so
                 // the cycle's statements ran against the state left by
                 // every test before the *earlier* of the two APIs.
@@ -266,10 +446,58 @@ impl Weseer {
                 let base = bases
                     .entry(first.to_string())
                     .or_insert_with(|| crate::replay::prepare_db(app, first));
-                replayer.replay_report(r, base)
+                let verdict = replayer.replay_report(r, base);
+                if let Some((sc, site, content)) = &persist {
+                    sc.store
+                        .put("wit", site, content, verdict_to_json(&verdict));
+                }
+                verdict
             })
             .collect();
         ReplaySummary { verdicts }
+    }
+}
+
+/// Serialize a replay verdict for the store's `wit` records. Witnesses
+/// ride along as their canonical JSON line, so the warm-run export is
+/// byte-identical to the cold one.
+fn verdict_to_json(v: &ReplayVerdict) -> Json {
+    match v {
+        ReplayVerdict::Confirmed(w) => Json::Obj(vec![
+            ("tag".into(), Json::str("confirmed")),
+            ("witness".into(), Json::str(w.to_json())),
+        ]),
+        ReplayVerdict::NotReproduced {
+            schedules_explored,
+            schedules_pruned,
+        } => Json::Obj(vec![
+            ("tag".into(), Json::str("not_reproduced")),
+            ("explored".into(), Json::u64(*schedules_explored as u64)),
+            ("pruned".into(), Json::u64(*schedules_pruned as u64)),
+        ]),
+        ReplayVerdict::Skipped(reason) => Json::Obj(vec![
+            ("tag".into(), Json::str("skipped")),
+            ("reason".into(), Json::str(reason.clone())),
+        ]),
+    }
+}
+
+/// Inverse of [`verdict_to_json`]; `None` on any malformed record (the
+/// caller then replays live and overwrites it).
+fn verdict_from_json(v: &Json) -> Option<ReplayVerdict> {
+    match v.get("tag")?.as_str()? {
+        "confirmed" => {
+            let w = Witness::from_json(v.get("witness")?.as_str()?)?;
+            Some(ReplayVerdict::Confirmed(Box::new(w)))
+        }
+        "not_reproduced" => Some(ReplayVerdict::NotReproduced {
+            schedules_explored: v.get("explored")?.as_u64()? as usize,
+            schedules_pruned: v.get("pruned")?.as_u64()? as usize,
+        }),
+        "skipped" => Some(ReplayVerdict::Skipped(
+            v.get("reason")?.as_str()?.to_string(),
+        )),
+        _ => None,
     }
 }
 

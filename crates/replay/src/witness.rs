@@ -96,6 +96,48 @@ impl Witness {
         s
     }
 
+    /// Parse a witness serialized by [`Witness::to_json`]. Round-trips
+    /// exactly: `from_json(w.to_json()).unwrap().to_json() == w.to_json()`,
+    /// which is what lets the incremental store persist confirmed
+    /// witnesses and re-export them byte-identically on warm runs.
+    pub fn from_json(s: &str) -> Option<Witness> {
+        use weseer_store::json::Json;
+        let v = Json::parse(s).ok()?;
+        let strings = |j: &Json| -> Option<Vec<String>> {
+            j.as_arr()?
+                .iter()
+                .map(|x| x.as_str().map(str::to_string))
+                .collect()
+        };
+        let field =
+            |j: &Json, k: &str| -> Option<String> { j.get(k)?.as_str().map(str::to_string) };
+        let mut instances = Vec::new();
+        for inst in v.get("instances")?.as_arr()? {
+            instances.push(WitnessInstance {
+                name: field(inst, "name")?,
+                api: field(inst, "api")?,
+            });
+        }
+        let mut steps = Vec::new();
+        for st in v.get("steps")?.as_arr()? {
+            steps.push(WitnessStep {
+                instance: field(st, "instance")?,
+                label: field(st, "label")?,
+                sql: field(st, "sql")?,
+                locks: strings(st.get("locks")?)?,
+                outcome: field(st, "outcome")?,
+                waits_on: strings(st.get("waits_on")?)?,
+            });
+        }
+        Some(Witness {
+            instances,
+            steps,
+            cycle: strings(v.get("cycle")?)?,
+            schedules_explored: v.get("schedules_explored")?.as_u64()? as usize,
+            schedules_pruned: v.get("schedules_pruned")?.as_u64()? as usize,
+        })
+    }
+
     /// Human-readable rendering for reports.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -233,6 +275,17 @@ mod tests {
         assert!(j.contains("\\\"b"));
         assert!(j.starts_with("{\"instances\":"));
         assert!(j.ends_with("\"schedules_explored\":3,\"schedules_pruned\":1}"));
+    }
+
+    #[test]
+    fn from_json_round_trips_byte_exactly() {
+        let mut w = sample();
+        w.steps[0].sql = "SELECT 'a\"b\\c\nd'".into();
+        let j = w.to_json();
+        let parsed = Witness::from_json(&j).expect("parse");
+        assert_eq!(parsed, w);
+        assert_eq!(parsed.to_json(), j);
+        assert!(Witness::from_json("{\"instances\":[]}").is_none());
     }
 
     #[test]

@@ -133,6 +133,41 @@ impl VerdictCache {
         }
     }
 
+    /// Pre-load an entry under its canonical `key` with a verdict whose
+    /// model (if SAT) is over canonical `v{i}` names — the shape
+    /// [`VerdictCache::export`] hands out. Existing entries win, matching
+    /// the double-miss policy of [`VerdictCache::check`]. Seeding does not
+    /// touch hit/miss statistics.
+    pub fn seed(&self, key: String, verdict: SolveResult) {
+        let v = match verdict {
+            SolveResult::Sat(m) => CachedVerdict::Sat(m),
+            SolveResult::Unsat => CachedVerdict::Unsat,
+            SolveResult::Unknown => CachedVerdict::Unknown,
+        };
+        self.map.lock().unwrap().entry(key).or_insert(v);
+    }
+
+    /// Snapshot every entry as `(canonical key, verdict)` in key order.
+    /// SAT models come back over canonical names, ready to re-[`seed`].
+    ///
+    /// [`seed`]: VerdictCache::seed
+    pub fn export(&self) -> Vec<(String, SolveResult)> {
+        let map = self.map.lock().unwrap();
+        let mut out: Vec<(String, SolveResult)> = map
+            .iter()
+            .map(|(k, v)| {
+                let r = match v {
+                    CachedVerdict::Sat(m) => SolveResult::Sat(m.clone()),
+                    CachedVerdict::Unsat => SolveResult::Unsat,
+                    CachedVerdict::Unknown => SolveResult::Unknown,
+                };
+                (k.clone(), r)
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// Cache hits so far.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
@@ -217,6 +252,29 @@ mod tests {
             m.get_int(name).unwrap()
         };
         assert_eq!(mk(true), mk(false));
+    }
+
+    #[test]
+    fn export_seed_round_trip_hits_without_solving() {
+        let warm = VerdictCache::new();
+        let mut ctx = Ctx::new();
+        let x = ctx.var("A1.id", Sort::Int);
+        let three = ctx.int(3);
+        let f = ctx.gt(x, three);
+        let (r0, _) = warm.check(&ctx, f, &cfg());
+        assert!(r0.is_sat());
+
+        // A fresh cache seeded from the export must answer the same query
+        // as a pure hit, with an identical translated model.
+        let cold = VerdictCache::new();
+        for (k, v) in warm.export() {
+            cold.seed(k, v);
+        }
+        assert_eq!(cold.len(), 1);
+        let (r1, s1) = cold.check(&ctx, f, &cfg());
+        assert_eq!((s1.cache_hits, s1.cache_misses), (1, 0));
+        let (m0, m1) = (r0.model().unwrap(), r1.model().unwrap());
+        assert_eq!(m0.get_int("A1.id"), m1.get_int("A1.id"));
     }
 
     #[test]

@@ -39,6 +39,7 @@ impl Canonical {
     pub fn of(src: &Ctx, root: TermId) -> Canonical {
         let mut c = Canonicalizer {
             src,
+            erase: false,
             pre: HashMap::new(),
             vars: Vec::new(),
             var_ids: HashMap::new(),
@@ -62,6 +63,7 @@ impl Canonical {
     pub fn rebuild(&self, src: &Ctx, root: TermId) -> (Ctx, TermId) {
         let mut c = Canonicalizer {
             src,
+            erase: false,
             pre: HashMap::new(),
             vars: Vec::new(),
             var_ids: HashMap::new(),
@@ -85,12 +87,50 @@ impl Canonical {
             .collect();
         canonical.rename(&map)
     }
+
+    /// Canonical **content keys** for a set of roots sharing one variable
+    /// namespace and one alpha assignment (assigned in first-visit order
+    /// across the whole slice, so cross-root variable sharing is visible
+    /// in the keys).
+    ///
+    /// Unlike [`Canonical::of`], the sort order of symmetric children is
+    /// computed over *name-erased* pre-strings, so the keys are fully
+    /// invariant under alpha-renaming — two formula sets that differ only
+    /// in variable names produce identical key vectors. That makes this
+    /// the right primitive for content fingerprints (where spurious
+    /// differences must not change the hash), while the cache keeps using
+    /// [`Canonical::of`] (where a name-dependent sort only costs an
+    /// occasional extra miss but preserves the historical keys).
+    pub fn content_keys(src: &Ctx, roots: &[TermId]) -> Vec<String> {
+        let mut c = Canonicalizer {
+            src,
+            erase: true,
+            pre: HashMap::new(),
+            vars: Vec::new(),
+            var_ids: HashMap::new(),
+        };
+        for &r in roots {
+            c.pre_string(r);
+        }
+        roots
+            .iter()
+            .map(|&r| {
+                let mut key = String::with_capacity(c.pre[&r].len());
+                c.keyed(r, &mut key);
+                key
+            })
+            .collect()
+    }
 }
 
 struct Canonicalizer<'a> {
     src: &'a Ctx,
-    /// Memoized serialization with *original* names; defines the sorted
-    /// order of symmetric children.
+    /// Erase variable names from the pre-strings (content-key mode). The
+    /// sorted order of symmetric children then cannot depend on names, so
+    /// the emitted keys are fully alpha-invariant.
+    erase: bool,
+    /// Memoized serialization that defines the sorted order of symmetric
+    /// children — original names for the cache, erased for content keys.
     pre: HashMap<TermId, String>,
     /// Alpha assignment in first-occurrence order over the sorted walk.
     vars: Vec<(String, Sort)>,
@@ -101,7 +141,13 @@ impl Canonicalizer<'_> {
     fn pre_string(&mut self, t: TermId) -> &str {
         if !self.pre.contains_key(&t) {
             let s = match self.src.kind(t).clone() {
-                TermKind::Var(name) => format!("V{name}:{}", self.src.sort(t)),
+                TermKind::Var(name) => {
+                    if self.erase {
+                        format!("V:{}", self.src.sort(t))
+                    } else {
+                        format!("V{name}:{}", self.src.sort(t))
+                    }
+                }
                 TermKind::BoolConst(b) => format!("B{b}"),
                 TermKind::NumConst(r) => format!("N{r}:{}", self.src.sort(t)),
                 TermKind::StrConst(s) => format!("S{s:?}"),
@@ -132,7 +178,10 @@ impl Canonicalizer<'_> {
         }
         let mut parts: Vec<&str> = children.iter().map(|c| self.pre[c].as_str()).collect();
         if sorted {
-            parts.sort_unstable();
+            // Stable: in erased mode distinct subterms can share a
+            // pre-string, and ties must resolve to the original child
+            // order so keys stay deterministic.
+            parts.sort();
         }
         format!("({op} {})", parts.join(" "))
     }
@@ -377,6 +426,56 @@ mod tests {
             }
             other => panic!("expected SAT, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn content_keys_are_alpha_invariant() {
+        // `Canonical::of` sorts AND-children by *named* pre-strings, so a
+        // pure renaming can flip the child order and change the key.
+        // Content keys erase names before sorting: renaming every
+        // variable leaves the key vector untouched.
+        let build = |n1: &str, n2: &str| {
+            let mut ctx = Ctx::new();
+            let x = ctx.var(n1, Sort::Int);
+            let y = ctx.var(n2, Sort::Int);
+            let zero = ctx.int(0);
+            let a = ctx.lt(zero, x);
+            let b = ctx.lt(zero, y);
+            let both = ctx.and([a, b]);
+            let link = ctx.lt(x, y);
+            Canonical::content_keys(&ctx, &[both, link])
+        };
+        // "zz"/"aa" reverses the lexicographic order of the named
+        // pre-strings, which is exactly the case that breaks `of`.
+        assert_eq!(build("aa", "zz"), build("zz", "aa"));
+    }
+
+    #[test]
+    fn content_keys_share_one_alpha_assignment() {
+        // The same variable appearing under two roots gets one index, so
+        // cross-root sharing is part of the content.
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Int);
+        let y = ctx.var("y", Sort::Int);
+        let zero = ctx.int(0);
+        let f1 = ctx.lt(zero, x);
+        let f2_shared = ctx.lt(x, zero);
+        let f2_fresh = ctx.lt(y, zero);
+        let shared = Canonical::content_keys(&ctx, &[f1, f2_shared]);
+        let fresh = Canonical::content_keys(&ctx, &[f1, f2_fresh]);
+        assert_eq!(shared[0], fresh[0]);
+        assert_ne!(shared[1], fresh[1], "sharing must be visible in the key");
+    }
+
+    #[test]
+    fn content_keys_distinguish_structure() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Int);
+        let three = ctx.int(3);
+        let lt = ctx.lt(x, three);
+        let le = ctx.le(x, three);
+        let keys = Canonical::content_keys(&ctx, &[lt, le]);
+        assert_ne!(keys[0], keys[1]);
     }
 
     #[test]

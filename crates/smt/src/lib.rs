@@ -50,7 +50,7 @@ pub mod term;
 
 pub use cache::VerdictCache;
 pub use canon::Canonical;
-pub use model::{Model, ModelValue};
+pub use model::{Model, ModelKey, ModelValue};
 pub use presolve::{presolve, PresolveResult};
 pub use rational::Rat;
 pub use simplify::{simplify, Simplifier};

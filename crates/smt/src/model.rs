@@ -74,6 +74,24 @@ impl Model {
         Model { values, selects }
     }
 
+    /// Reassemble a model from its parts — the inverse of
+    /// [`Model::iter`] + [`Model::selects`]. Lets external persistence
+    /// layers round-trip models exactly.
+    pub fn from_parts(
+        values: impl IntoIterator<Item = (String, ModelValue)>,
+        selects: impl IntoIterator<Item = ((String, ModelKey), bool)>,
+    ) -> Model {
+        Model {
+            values: values.into_iter().collect(),
+            selects: selects.into_iter().collect(),
+        }
+    }
+
+    /// Iterate the recorded array-read values, in arbitrary order.
+    pub fn selects(&self) -> impl Iterator<Item = (&(String, ModelKey), &bool)> {
+        self.selects.iter()
+    }
+
     /// The value of a named variable, if it was constrained.
     pub fn get(&self, name: &str) -> Option<&ModelValue> {
         self.values.get(name)

@@ -1,0 +1,355 @@
+//! # weseer-store
+//!
+//! The persistence layer behind WeSEER's incremental warm starts: a
+//! single-file, append-only JSON-lines store with an in-memory index,
+//! std-only like the rest of the workspace.
+//!
+//! ## Data model
+//!
+//! Every record is **content-addressed** along two axes:
+//!
+//! * a **site** — *where* the result belongs (a canonical-formula hash, a
+//!   `fingerprint:txn` prefix id, a pair of trace fingerprints…);
+//! * a **content key** — *what* the inputs were when the result was
+//!   computed (solver/tier configuration, lock-model version, the
+//!   fingerprints themselves).
+//!
+//! [`Store::get`] classifies a lookup as [`Lookup::Hit`] (site known,
+//! content matches — reuse the value), [`Lookup::Stale`] (site known but
+//! the inputs changed — recompute and [`Store::put`] the replacement), or
+//! [`Lookup::Miss`] (never seen). Each outcome bumps `store.{hit,stale,
+//! miss}` plus a per-kind variant (`store.hit.pair3`, …) so tests can
+//! assert *exactly which* entries a dirtied trace invalidates.
+//!
+//! ## File format
+//!
+//! Line 1 is the header `{"weseer_store":1}`; every other line is one
+//! record `{"kind":…,"site":…,"content":…,"value":…}`. The file is only
+//! ever appended to — a re-recorded site supersedes its earlier lines on
+//! load (counted in `store.evicted`) — and [`Store::flush`] appends the
+//! session's new or changed records in sorted order, so an unchanged warm
+//! run leaves the file untouched.
+
+pub mod codec;
+pub mod json;
+
+use crate::json::Json;
+use std::collections::{BTreeSet, HashMap};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Store header line (schema version 1).
+const HEADER: &str = "{\"weseer_store\":1}";
+
+/// The outcome of a [`Store::get`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lookup {
+    /// Site known and the content key matches: the stored value applies.
+    Hit(Json),
+    /// Site known but recorded under a different content key: the inputs
+    /// changed, recompute.
+    Stale,
+    /// Site never recorded.
+    Miss,
+}
+
+#[derive(Debug)]
+struct Entry {
+    content: String,
+    value: Json,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<(String, String), Entry>,
+    /// Keys added or changed since open, flushed in sorted order.
+    dirty: BTreeSet<(String, String)>,
+}
+
+/// A single-file persistent store (thread-safe; share behind an `Arc`).
+#[derive(Debug)]
+pub struct Store {
+    path: PathBuf,
+    inner: Mutex<Inner>,
+}
+
+impl Store {
+    /// Open (or create on first [`Store::flush`]) the store at `path`.
+    ///
+    /// Superseded lines — an old value for a site that a later line
+    /// re-records — are counted in `store.evicted`.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Store> {
+        let path = path.as_ref().to_path_buf();
+        let mut inner = Inner::default();
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                let mut lines = text.lines();
+                match lines.next() {
+                    None => {}
+                    Some(HEADER) => {}
+                    Some(other) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("{}: not a weseer store (header {other:?})", path.display()),
+                        ));
+                    }
+                }
+                let mut evicted = 0u64;
+                for (n, line) in lines.enumerate() {
+                    let bad = |why: &str| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("{}:{}: {why}", path.display(), n + 2),
+                        )
+                    };
+                    let record = Json::parse(line).map_err(|e| bad(&e))?;
+                    let field = |k: &str| {
+                        record
+                            .get(k)
+                            .and_then(Json::as_str)
+                            .map(str::to_string)
+                            .ok_or_else(|| bad(&format!("missing field {k:?}")))
+                    };
+                    let key = (field("kind")?, field("site")?);
+                    let entry = Entry {
+                        content: field("content")?,
+                        value: record
+                            .get("value")
+                            .cloned()
+                            .ok_or_else(|| bad("missing field \"value\""))?,
+                    };
+                    if inner.map.insert(key, entry).is_some() {
+                        evicted += 1;
+                    }
+                }
+                if evicted > 0 {
+                    weseer_obs::add("store.evicted", evicted);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        Ok(Store {
+            path,
+            inner: Mutex::new(inner),
+        })
+    }
+
+    /// The backing file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Look up `(kind, site)` against the expected `content` key.
+    pub fn get(&self, kind: &str, site: &str, content: &str) -> Lookup {
+        let inner = self.inner.lock().unwrap();
+        let (outcome, result) = match inner.map.get(&(kind.to_string(), site.to_string())) {
+            Some(e) if e.content == content => ("hit", Lookup::Hit(e.value.clone())),
+            Some(_) => ("stale", Lookup::Stale),
+            None => ("miss", Lookup::Miss),
+        };
+        drop(inner);
+        weseer_obs::add(&format!("store.{outcome}"), 1);
+        weseer_obs::add(&format!("store.{outcome}.{kind}"), 1);
+        result
+    }
+
+    /// Record (or replace) the value at `(kind, site)` under `content`.
+    /// A put identical to the stored entry is a no-op, so repeat runs do
+    /// not grow the file.
+    pub fn put(&self, kind: &str, site: &str, content: &str, value: Json) {
+        let key = (kind.to_string(), site.to_string());
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(e) = inner.map.get(&key) {
+            if e.content == content && e.value == value {
+                return;
+            }
+        }
+        inner.map.insert(
+            key.clone(),
+            Entry {
+                content: content.to_string(),
+                value,
+            },
+        );
+        inner.dirty.insert(key);
+    }
+
+    /// Every entry of `kind`, as `(site, content, value)` in site order.
+    pub fn entries_of(&self, kind: &str) -> Vec<(String, String, Json)> {
+        let inner = self.inner.lock().unwrap();
+        let mut out: Vec<(String, String, Json)> = inner
+            .map
+            .iter()
+            .filter(|((k, _), _)| k == kind)
+            .map(|((_, site), e)| (site.clone(), e.content.clone(), e.value.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append the session's new/changed records to the backing file (in
+    /// sorted key order — the file is deterministic given the same work).
+    pub fn flush(&self) -> io::Result<()> {
+        let mut inner = self.inner.lock().unwrap();
+        let fresh = !self.path.exists();
+        if inner.dirty.is_empty() && !fresh {
+            return Ok(());
+        }
+        let mut out = String::new();
+        if fresh {
+            out.push_str(HEADER);
+            out.push('\n');
+        }
+        for key in &inner.dirty {
+            let e = &inner.map[key];
+            let record = Json::Obj(vec![
+                ("kind".into(), Json::str(key.0.clone())),
+                ("site".into(), Json::str(key.1.clone())),
+                ("content".into(), Json::str(e.content.clone())),
+                ("value".into(), e.value.clone()),
+            ]);
+            record.write(&mut out);
+            out.push('\n');
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        file.write_all(out.as_bytes())?;
+        inner.dirty.clear();
+        Ok(())
+    }
+}
+
+/// Two-lane FNV-1a site hash of an arbitrarily long key (32 hex chars) —
+/// keeps record lines short when the natural site id is a whole canonical
+/// formula.
+pub fn site_hash(key: &str) -> String {
+    let lane = |basis: u64| {
+        let mut h = basis;
+        for &b in key.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    };
+    format!(
+        "{:016x}{:016x}",
+        lane(0xcbf2_9ce4_8422_2325),
+        lane(0x6c62_272e_07bb_0142)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "weseer-store-test-{}-{name}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn put_get_persist_reload() {
+        let path = tmp("basic");
+        let s = Store::open(&path).unwrap();
+        assert_eq!(s.get("smt", "site1", "cfgA"), Lookup::Miss);
+        s.put("smt", "site1", "cfgA", Json::str("unsat"));
+        assert_eq!(
+            s.get("smt", "site1", "cfgA"),
+            Lookup::Hit(Json::str("unsat"))
+        );
+        assert_eq!(s.get("smt", "site1", "cfgB"), Lookup::Stale);
+        s.flush().unwrap();
+
+        let s2 = Store::open(&path).unwrap();
+        assert_eq!(s2.len(), 1);
+        assert_eq!(
+            s2.get("smt", "site1", "cfgA"),
+            Lookup::Hit(Json::str("unsat"))
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unchanged_flush_leaves_the_file_alone() {
+        let path = tmp("stable");
+        let s = Store::open(&path).unwrap();
+        s.put("pair3", "fp1|fp2", "v1", Json::u64(7));
+        s.flush().unwrap();
+        let before = std::fs::read(&path).unwrap();
+
+        let s2 = Store::open(&path).unwrap();
+        // Identical re-put is a no-op; flush appends nothing.
+        s2.put("pair3", "fp1|fp2", "v1", Json::u64(7));
+        s2.flush().unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), before);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn superseded_lines_evict_on_load() {
+        let path = tmp("evict");
+        let s = Store::open(&path).unwrap();
+        s.put("wit", "a", "c1", Json::u64(1));
+        s.flush().unwrap();
+        let s2 = Store::open(&path).unwrap();
+        s2.put("wit", "a", "c2", Json::u64(2));
+        s2.flush().unwrap();
+
+        // The file now holds both lines; the later one wins.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 3, "header + two appends");
+        let s3 = Store::open(&path).unwrap();
+        assert_eq!(s3.len(), 1);
+        assert_eq!(s3.get("wit", "a", "c2"), Lookup::Hit(Json::u64(2)));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_foreign_files() {
+        let path = tmp("foreign");
+        std::fs::write(&path, "not a store\n").unwrap();
+        assert!(Store::open(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn entries_of_filters_and_sorts() {
+        let path = tmp("entries");
+        let s = Store::open(&path).unwrap();
+        s.put("smt", "zz", "c", Json::u64(1));
+        s.put("smt", "aa", "c", Json::u64(2));
+        s.put("pair3", "aa", "c", Json::u64(3));
+        let smt = s.entries_of("smt");
+        assert_eq!(smt.len(), 2);
+        assert_eq!(smt[0].0, "aa");
+        assert_eq!(smt[1].0, "zz");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn site_hash_is_stable_and_wide() {
+        let h = site_hash("(& v0:Int v1:Int)");
+        assert_eq!(h.len(), 32);
+        assert_eq!(h, site_hash("(& v0:Int v1:Int)"));
+        assert_ne!(h, site_hash("(| v0:Int v1:Int)"));
+    }
+}

@@ -17,6 +17,7 @@ pub use weseer_orm as orm;
 pub use weseer_replay as replay;
 pub use weseer_smt as smt;
 pub use weseer_sqlir as sqlir;
+pub use weseer_store as store;
 
 /// The most commonly used items across the workspace.
 pub mod prelude {

@@ -1,0 +1,136 @@
+//! End-to-end incremental warm starts: a warm run against a filled store
+//! must be byte-identical to the cold run that filled it — across thread
+//! counts — while doing **zero** full DPLL(T) solves and exploring
+//! **zero** replay schedules; dirtying one trace must invalidate exactly
+//! the stored outcomes that involve it.
+
+use std::path::PathBuf;
+use weseer::apps::Broadleaf;
+use weseer::core::{AppAnalysis, Weseer};
+use weseer::obs::MetricsSnapshot;
+
+fn store_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "weseer-incremental-test-{}-{name}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Deterministic projection of an analysis: rendered reports, replay
+/// verdicts (witnesses as canonical JSON), and funnel counters.
+fn render(analysis: &AppAnalysis) -> String {
+    let mut s = String::new();
+    for r in &analysis.diagnosis.deadlocks {
+        s.push_str(&format!("{r}\n"));
+    }
+    for v in &analysis.replay.as_ref().expect("replay enabled").verdicts {
+        match v.witness() {
+            Some(w) => s.push_str(&format!("{}\n", w.to_json())),
+            None => s.push_str(&format!("{}\n", v.tag())),
+        }
+    }
+    let st = &analysis.diagnosis.stats;
+    s.push_str(&format!(
+        "funnel {} {} {} {} {} {} {} {}\n",
+        st.txn_pairs,
+        st.pairs_after_phase1,
+        st.coarse_cycles,
+        st.prefix_kills,
+        st.fine_candidates,
+        st.smt_sat,
+        st.smt_unsat,
+        st.smt_unknown,
+    ));
+    s
+}
+
+fn run(path: &PathBuf, threads: usize, dirty: Option<&str>) -> (AppAnalysis, MetricsSnapshot) {
+    let mut weseer = Weseer::new()
+        .with_threads(threads)
+        .with_replay()
+        .with_store(path)
+        .expect("open store");
+    if let Some(api) = dirty {
+        weseer = weseer.with_dirty(api);
+    }
+    let before = weseer::obs::snapshot();
+    let analysis = weseer.analyze(&Broadleaf);
+    (analysis, weseer::obs::snapshot().delta_since(&before))
+}
+
+#[test]
+fn warm_runs_are_byte_identical_and_solve_nothing() {
+    weseer::obs::set_enabled(true);
+    let path = store_path("broadleaf");
+
+    // Cold run on one thread fills the store.
+    let (cold, _) = run(&path, 1, None);
+    let cold_out = render(&cold);
+    assert!(
+        !cold.diagnosis.deadlocks.is_empty(),
+        "cold run must diagnose deadlocks"
+    );
+    let file_after_cold = std::fs::read(&path).expect("store written");
+
+    // Warm run on four threads: byte-identical output, every store
+    // lookup a hit, no SMT full solve, no schedule exploration, and the
+    // store file untouched.
+    let (warm, wm) = run(&path, 4, None);
+    assert_eq!(render(&warm), cold_out, "warm output must match cold");
+    assert_eq!(wm.counter("smt.full_solve"), 0, "warm run must not solve");
+    assert_eq!(
+        wm.counter("replay.schedules_explored"),
+        0,
+        "warm run must not explore schedules"
+    );
+    assert_eq!(wm.counter("store.miss"), 0);
+    assert_eq!(wm.counter("store.stale"), 0);
+    assert!(wm.counter("store.hit") > 0);
+    assert_eq!(
+        std::fs::read(&path).expect("store present"),
+        file_after_cold,
+        "an unchanged warm run must leave the store file untouched"
+    );
+
+    // Dirty the Ship trace: same output (the traces did not actually
+    // change), but exactly the fingerprint-keyed entries involving Ship
+    // go stale and are recomputed.
+    let (dirty, dm) = run(&path, 4, Some("Ship"));
+    assert_eq!(render(&dirty), cold_out, "dirtied output must match cold");
+    assert!(dm.counter("store.stale") > 0, "dirtying must invalidate");
+
+    // Every fingerprint-keyed entry is either still warm or stale; none
+    // disappear (per kind: dirty hits + dirty stales == warm hits).
+    for kind in ["prefix", "pair2", "pair3", "wit"] {
+        assert_eq!(
+            dm.counter(&format!("store.hit.{kind}")) + dm.counter(&format!("store.stale.{kind}")),
+            wm.counter(&format!("store.hit.{kind}")),
+            "kind {kind}: hits+stales must cover the warm hit set"
+        );
+    }
+    // Formula-keyed SMT verdicts are fingerprint-independent: a dirtied
+    // trace with unchanged content re-derives the same canonical
+    // formulas, so no smt entry ever goes stale.
+    assert_eq!(dm.counter("store.stale.smt"), 0);
+
+    // The stale witness entries are exactly the reports involving Ship.
+    let involving_ship = cold
+        .diagnosis
+        .deadlocks
+        .iter()
+        .filter(|r| r.cycle.a_api == "Ship" || r.cycle.b_api == "Ship")
+        .count() as u64;
+    assert!(involving_ship > 0, "Broadleaf reports Ship deadlocks");
+    assert_eq!(dm.counter("store.stale.wit"), involving_ship);
+
+    // Pairs not touching Ship stayed warm.
+    assert!(
+        dm.counter("store.hit.pair2") > 0,
+        "pairs not touching Ship must stay warm"
+    );
+
+    let _ = std::fs::remove_file(&path);
+}
