@@ -738,6 +738,14 @@ fn fine_from_json(job: &FineJob, ctx: &PairCtx<'_>, v: &Json) -> Option<FineOutc
 
 /// The staged pipeline: generate → scan (parallel) → dedup sweep (ordered)
 /// → fine checks (parallel) → reduce (ordered).
+/// Timeline instant marking a phase transition of the diagnosis
+/// pipeline. Cheap no-op while the timeline is disabled.
+fn timeline_phase(name: &'static str, what: &str) {
+    if weseer_obs::timeline::enabled() {
+        weseer_obs::timeline::instant(name, "analyzer", &[("what", what.to_string())]);
+    }
+}
+
 fn run_pipeline(
     catalog: &Catalog,
     traces: &[CollectedTrace],
@@ -748,6 +756,7 @@ fn run_pipeline(
     let mut stats = DiagnosisStats::default();
 
     // ---- Phase 1: transaction-level conflict filter --------------------
+    timeline_phase("analyzer.phase1", "txn-level conflict filter");
     let phase1_start = Instant::now();
     let mut pair_set = generate_pairs(traces, config.skip_filter_phases);
     stats.phase1_time = phase1_start.elapsed();
@@ -788,6 +797,7 @@ fn run_pipeline(
     }
 
     // ---- Phase 2: coarse SC-graph deadlock cycles (parallel) -----------
+    timeline_phase("analyzer.phase2", "coarse SC-graph cycle scan");
     let outcomes = run_ordered(&pair_set.jobs, threads, |_, job| {
         scan_pair_cached(job, &pctx)
     });
@@ -830,6 +840,7 @@ fn run_pipeline(
     }
 
     // ---- Phase 3: fine-grained lock modeling + SMT (parallel) ----------
+    timeline_phase("analyzer.phase3", "fine-grained lock modeling + SMT");
     let fine_outcomes = run_ordered(&fine_jobs, threads, |_, fj| fine_check_cached(fj, &pctx));
 
     // Persist the SMT verdicts this run produced (hit-or-miss: `put` of

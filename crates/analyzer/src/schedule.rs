@@ -56,20 +56,24 @@ where
     std::thread::scope(|scope| {
         let (cursor, slots, f) = (&cursor, &slots, &f);
         for w in 0..workers {
-            scope.spawn(move || {
-                let _span = weseer_obs::span(&format!("analyzer.worker{w}"));
-                loop {
-                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= n {
-                        break;
+            // Named threads give each worker its own labeled timeline lane.
+            std::thread::Builder::new()
+                .name(format!("analyzer.worker{w}"))
+                .spawn_scoped(scope, move || {
+                    let _span = weseer_obs::span(&format!("analyzer.worker{w}"));
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + chunk).min(n);
+                        for i in start..end {
+                            let out = f(i, &items[i]);
+                            *slots[i].lock().unwrap() = Some(out);
+                        }
                     }
-                    let end = (start + chunk).min(n);
-                    for i in start..end {
-                        let out = f(i, &items[i]);
-                        *slots[i].lock().unwrap() = Some(out);
-                    }
-                }
-            });
+                })
+                .expect("spawn analyzer worker");
         }
     });
 

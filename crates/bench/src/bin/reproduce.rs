@@ -4,6 +4,8 @@
 //! reproduce [--quick] [--threads <n>] [--metrics-out <path>]
 //!           [--witness-out <path>] [--smt-ablation [app]]
 //!           [--store <path>] [--dirty <api>] [--incremental-bench [app]]
+//!           [--trace-out <path>] [--serve <addr>] [--serve-hold <secs>]
+//!           [--timeline-bench [app]]
 //!           [table1] [table2] [table3] [fig10] [fig11] [pruning]
 //!           [baseline] [aborts] [all]
 //! ```
@@ -37,14 +39,36 @@
 //! against a throwaway store, writes `BENCH_incremental.json`, and exits
 //! nonzero if the warm/dirtied outputs diverge from the cold run or the
 //! warm run did any full solving or schedule exploration.
+//!
+//! Observability plane: `--trace-out <path>` records the run on the
+//! [`weseer_obs::timeline`] (every span, SMT solve, lock event, replay
+//! step, and store lookup, with per-worker-thread lanes) and writes it as
+//! Chrome trace-event JSON — load it at `chrome://tracing` or
+//! <https://ui.perfetto.dev>. `--serve <addr>` (or `WESEER_SERVE=<addr>`;
+//! use `127.0.0.1:0` for an ephemeral port) enables the registry and
+//! serves `/metrics` (Prometheus text), `/funnel` (diagnosis-funnel
+//! JSON), `/waitfor` + `/waitfor.dot` (live wait-for graph), and an HTML
+//! dashboard at `/` while the experiments run; the bound address is
+//! printed as `serving on http://<addr>`. `--serve-hold <secs>` keeps the
+//! endpoint up that long after the experiments finish (for a human with a
+//! browser). `--timeline-bench [broadleaf|shopizer]` times a
+//! timeline-off and a timeline-on pipeline run per app, writes
+//! `BENCH_timeline.json`, and exits nonzero if enabling the timeline
+//! changed one output byte (it must be a pure observer).
 
+use std::io::Write as _;
 use weseer_bench::experiments;
+use weseer_core::FUNNEL_STAGES;
 
 fn main() {
     let mut metrics_out: Option<String> = None;
     let mut witness_out: Option<String> = None;
     let mut smt_ablation: Option<Vec<&'static str>> = None;
     let mut incremental: Option<Vec<&'static str>> = None;
+    let mut timeline_bench: Option<Vec<&'static str>> = None;
+    let mut trace_out: Option<String> = None;
+    let mut serve: Option<String> = None;
+    let mut serve_hold: u64 = 0;
     let mut rest: Vec<String> = Vec::new();
     let mut raw = std::env::args().skip(1).peekable();
     while let Some(arg) = raw.next() {
@@ -75,6 +99,39 @@ fn main() {
                 _ => vec!["broadleaf", "shopizer"],
             };
             incremental = Some(apps);
+        } else if arg == "--timeline-bench" {
+            let apps = match raw.peek().map(|s| s.as_str()) {
+                Some("broadleaf") => {
+                    raw.next();
+                    vec!["broadleaf"]
+                }
+                Some("shopizer") => {
+                    raw.next();
+                    vec!["shopizer"]
+                }
+                _ => vec!["broadleaf", "shopizer"],
+            };
+            timeline_bench = Some(apps);
+        } else if arg == "--trace-out" {
+            let path = raw.next().unwrap_or_else(|| {
+                eprintln!("--trace-out requires a path argument");
+                std::process::exit(2);
+            });
+            trace_out = Some(path);
+        } else if arg == "--serve" {
+            let addr = raw.next().unwrap_or_else(|| {
+                eprintln!("--serve requires an address argument (e.g. 127.0.0.1:0)");
+                std::process::exit(2);
+            });
+            serve = Some(addr);
+        } else if arg == "--serve-hold" {
+            serve_hold = raw
+                .next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("--serve-hold requires a number of seconds");
+                    std::process::exit(2);
+                });
         } else if arg == "--store" {
             let path = raw.next().unwrap_or_else(|| {
                 eprintln!("--store requires a path argument");
@@ -126,35 +183,76 @@ fn main() {
         && metrics_out.is_none()
         && witness_out.is_none()
         && smt_ablation.is_none()
-        && incremental.is_none())
+        && incremental.is_none()
+        && timeline_bench.is_none())
         || selected.contains(&"all");
     let want = |name: &str| all || selected.contains(&name);
 
+    // `WESEER_SERVE` is the env-var spelling of `--serve` (the flag wins).
+    if serve.is_none() {
+        if let Ok(addr) = std::env::var("WESEER_SERVE") {
+            if !addr.is_empty() {
+                serve = Some(addr);
+            }
+        }
+    }
+    let server = serve.map(|addr| {
+        // The endpoint reads the global registry; recording must be on for
+        // `/metrics`, `/funnel`, and `/waitfor` to carry live data.
+        weseer_obs::set_enabled(true);
+        match weseer_obs::ObsServer::start(addr.as_str(), FUNNEL_STAGES) {
+            Ok(server) => {
+                // CI greps this line for the bound (possibly ephemeral)
+                // port; flush so it is visible while the run is live.
+                println!("serving on http://{}", server.local_addr());
+                let _ = std::io::stdout().flush();
+                server
+            }
+            Err(e) => {
+                eprintln!("failed to bind {addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    });
+    if trace_out.is_some() {
+        weseer_obs::timeline::set_enabled(true);
+        weseer_obs::timeline::set_lane_name("main");
+    }
+
     if want("table1") {
+        let _span = weseer_obs::span("reproduce.table1");
         println!("{}", experiments::table1());
     }
     if want("table2") {
+        let _span = weseer_obs::span("reproduce.table2");
         println!("{}", experiments::table2());
     }
     if want("baseline") {
+        let _span = weseer_obs::span("reproduce.baseline");
         println!("{}", experiments::baseline());
     }
     if want("table3") {
+        let _span = weseer_obs::span("reproduce.table3");
         println!("{}", experiments::table3(if quick { 2 } else { 5 }));
     }
     if want("pruning") {
+        let _span = weseer_obs::span("reproduce.pruning");
         println!("{}", experiments::pruning());
     }
     if want("fig10") {
+        let _span = weseer_obs::span("reproduce.fig10");
         println!("{}", experiments::figure("broadleaf", quick));
     }
     if want("fig11") {
+        let _span = weseer_obs::span("reproduce.fig11");
         println!("{}", experiments::figure("shopizer", quick));
     }
     if want("aborts") {
+        let _span = weseer_obs::span("reproduce.aborts");
         println!("{}", experiments::aborts_claim(quick));
     }
     if let Some(path) = metrics_out {
+        let _span = weseer_obs::span("reproduce.metrics_report");
         let (human, json) = experiments::metrics_report();
         if let Err(e) = std::fs::write(&path, json) {
             eprintln!("failed to write metrics to {path}: {e}");
@@ -164,6 +262,7 @@ fn main() {
         println!("metrics written to {path}");
     }
     if let Some(path) = witness_out {
+        let _span = weseer_obs::span("reproduce.witness_report");
         let (human, json) = experiments::witness_report();
         if let Err(e) = std::fs::write(&path, json) {
             eprintln!("failed to write witnesses to {path}: {e}");
@@ -173,6 +272,7 @@ fn main() {
         println!("witnesses written to {path}");
     }
     if let Some(apps) = smt_ablation {
+        let _span = weseer_obs::span("reproduce.smt_ablation");
         let ablation = experiments::smt_ablation(&apps);
         println!("{}", ablation.report);
         if let Err(e) = std::fs::write("BENCH_smt.json", &ablation.bench_json) {
@@ -188,6 +288,7 @@ fn main() {
         }
     }
     if let Some(apps) = incremental {
+        let _span = weseer_obs::span("reproduce.incremental_bench");
         let bench = experiments::incremental_bench(&apps);
         println!("{}", bench.report);
         if let Err(e) = std::fs::write("BENCH_incremental.json", &bench.bench_json) {
@@ -202,5 +303,46 @@ fn main() {
             );
             std::process::exit(1);
         }
+    }
+    // Write the Chrome trace before the timeline bench runs: the bench
+    // resets the timeline for its own measurements.
+    if let Some(path) = trace_out {
+        weseer_obs::timeline::set_enabled(false);
+        let snap = weseer_obs::timeline::snapshot();
+        let json = weseer_obs::chrome::to_chrome_trace(&snap);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write trace to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "chrome trace ({} records on {} lanes, {} dropped) written to {path}",
+            snap.records.len(),
+            snap.lanes.len(),
+            snap.dropped
+        );
+    }
+    if let Some(apps) = timeline_bench {
+        let bench = experiments::timeline_bench(&apps);
+        println!("{}", bench.report);
+        if let Err(e) = std::fs::write("BENCH_timeline.json", &bench.bench_json) {
+            eprintln!("failed to write BENCH_timeline.json: {e}");
+            std::process::exit(1);
+        }
+        println!("bench summary written to BENCH_timeline.json");
+        if bench.diverged {
+            eprintln!(
+                "timeline-bench: enabling the timeline changed the output — \
+                 it must be a pure observer"
+            );
+            std::process::exit(1);
+        }
+    }
+    if let Some(server) = server {
+        if serve_hold > 0 {
+            println!("holding the endpoint for {serve_hold}s");
+            let _ = std::io::stdout().flush();
+            std::thread::sleep(std::time::Duration::from_secs(serve_hold));
+        }
+        server.stop();
     }
 }

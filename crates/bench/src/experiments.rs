@@ -340,10 +340,101 @@ pub fn metrics_report() -> (String, String) {
                 "incremental store: {sh} hits / {ss} stale / {sm} misses ({temperature})",
             );
         }
+        // Per-stage wall-clock attribution: where the run's time actually
+        // went, from the pipeline spans, the analyzer's phase timers, and
+        // the solver's per-solve wall clock.
+        human.push_str(&stage_wallclock_table(&analysis.metrics));
         human.push('\n');
         json.push_str(&analysis.metrics.to_json_lines(Some(&analysis.app)));
     }
     (human, json)
+}
+
+/// Render the per-stage wall-clock attribution table for one analysis
+/// delta: stage, number of timed intervals, total microseconds, and the
+/// share of the accounted pipeline time. SMT rows are indented under
+/// phase 3 (solves run inside it) and excluded from the share basis.
+fn stage_wallclock_table(m: &weseer_obs::MetricsSnapshot) -> String {
+    let span = |name: &str| {
+        m.histogram(name)
+            .map(|h| (h.count, h.sum))
+            .unwrap_or((0, 0))
+    };
+    // Spans nest: paths are dotted under the enclosing pipeline span.
+    let (pl_n, pl_us) = span("span.pipeline.analyze");
+    let (tc_n, tc_us) = span("span.pipeline.analyze.pipeline.collect_traces");
+    let (an_n, an_us) = span("span.pipeline.analyze.analyzer.diagnose");
+    let (rp_n, rp_us) = span("span.pipeline.analyze.pipeline.replay");
+    let phase = |name: &str| m.counter(name);
+    let (p1, p2, p3) = (
+        phase("analyzer.phase1_us"),
+        phase("analyzer.phase2_us"),
+        phase("analyzer.phase3_us"),
+    );
+    let (sv_n, sv_us) = span("smt.solve_us");
+    let (fs_n, fs_us) = span("smt.full_solve_us");
+
+    let total = pl_us.max(1);
+    let pct = |us: u64| format!("{:.1}%", 100.0 * us as f64 / total as f64);
+    let rows = vec![
+        vec![
+            "pipeline total".into(),
+            pl_n.to_string(),
+            pl_us.to_string(),
+            pct(pl_us),
+        ],
+        vec![
+            "trace collection".into(),
+            tc_n.to_string(),
+            tc_us.to_string(),
+            pct(tc_us),
+        ],
+        vec![
+            "diagnosis".into(),
+            an_n.to_string(),
+            an_us.to_string(),
+            pct(an_us),
+        ],
+        vec![
+            "  phase 1 (pair filter)".into(),
+            "-".into(),
+            p1.to_string(),
+            pct(p1),
+        ],
+        vec![
+            "  phase 2 (coarse cycles)".into(),
+            "-".into(),
+            p2.to_string(),
+            pct(p2),
+        ],
+        vec![
+            "  phase 3 (fine + SMT)".into(),
+            "-".into(),
+            p3.to_string(),
+            pct(p3),
+        ],
+        vec![
+            "    SMT queries (all tiers)".into(),
+            sv_n.to_string(),
+            sv_us.to_string(),
+            pct(sv_us),
+        ],
+        vec![
+            "    full DPLL(T) solves".into(),
+            fs_n.to_string(),
+            fs_us.to_string(),
+            pct(fs_us),
+        ],
+        vec![
+            "witness replay".into(),
+            rp_n.to_string(),
+            rp_us.to_string(),
+            pct(rp_us),
+        ],
+    ];
+    let mut out = String::from("per-stage wall-clock attribution:\n");
+    out.push_str(&table(&["stage", "intervals", "wall (us)", "share"], &rows));
+    out
 }
 
 /// Witness replay over both applications: every diagnosed cycle is
@@ -437,8 +528,32 @@ struct AblationRow {
     cache_hit: u64,
     cache_miss: u64,
     solve_wall_us: u64,
+    /// Per-query wall-clock distribution (`smt.solve_us` delta).
+    solve_us: Option<weseer_obs::HistogramSnapshot>,
+    /// Per-full-DPLL(T)-solve wall-clock distribution
+    /// (`smt.full_solve_us` delta).
+    full_solve_us: Option<weseer_obs::HistogramSnapshot>,
     verdicts: (usize, usize, usize),
     reports: Vec<String>,
+}
+
+/// One configuration's `wallclock_per_solve` JSON object: query counts
+/// with mean/p50/p99 microseconds, for all queries and for the queries
+/// that reached the full DPLL(T) solver.
+fn wallclock_json(row: &AblationRow) -> String {
+    let h = |hist: &Option<weseer_obs::HistogramSnapshot>| -> (u64, u64, u64, u64) {
+        match hist {
+            Some(h) => (h.count, h.mean(), h.p50(), h.p99()),
+            None => (0, 0, 0, 0),
+        }
+    };
+    let (n, mean, p50, p99) = h(&row.solve_us);
+    let (fn_, fmean, fp50, fp99) = h(&row.full_solve_us);
+    format!(
+        "{{\"solves\":{n},\"mean_us\":{mean},\"p50_us\":{p50},\"p99_us\":{p99},\
+         \"full_solves\":{fn_},\"full_mean_us\":{fmean},\"full_p50_us\":{fp50},\
+         \"full_p99_us\":{fp99}}}"
+    )
 }
 
 /// The verdict-cache hit rate reported for an ablation. Measured on the
@@ -465,7 +580,8 @@ fn ablation_json_entry(app_name: &str, rows: &[AblationRow]) -> String {
     format!(
         "\"{app_name}\":{{\"full_solve_baseline\":{},\"full_solve_tiered\":{},\
          \"t0_discharged\":{},\"t1_discharged\":{},\"prefix_kills\":{},\
-         \"cache_hit_rate\":{:.3},\"solver_wall_us_baseline\":{},\"solver_wall_us_tiered\":{}}}",
+         \"cache_hit_rate\":{:.3},\"solver_wall_us_baseline\":{},\"solver_wall_us_tiered\":{},\
+         \"wallclock_per_solve\":{{\"baseline\":{},\"tiered\":{}}}}}",
         baseline.full_solve,
         tiered.full_solve,
         tiered.t0,
@@ -474,6 +590,8 @@ fn ablation_json_entry(app_name: &str, rows: &[AblationRow]) -> String {
         ablation_cache_hit_rate(rows),
         baseline.solve_wall_us,
         tiered.solve_wall_us,
+        wallclock_json(baseline),
+        wallclock_json(tiered),
     )
 }
 
@@ -544,6 +662,8 @@ pub fn smt_ablation(apps: &[&str]) -> Ablation {
                     cache_hit: m.counter("smt.cache_hit"),
                     cache_miss: m.counter("smt.cache_miss"),
                     solve_wall_us: m.histogram("smt.solve_us").map(|h| h.sum).unwrap_or(0),
+                    solve_us: m.histogram("smt.solve_us").cloned(),
+                    full_solve_us: m.histogram("smt.full_solve_us").cloned(),
                     verdicts: (
                         diagnosis.stats.smt_sat,
                         diagnosis.stats.smt_unsat,
@@ -587,6 +707,10 @@ pub fn smt_ablation(apps: &[&str]) -> Ablation {
                     r.prefix_kill.to_string(),
                     format!("{}/{}", r.cache_hit, r.cache_miss),
                     format!("{:.1}", r.solve_wall_us as f64 / 1000.0),
+                    match &r.full_solve_us {
+                        Some(h) if h.count > 0 => format!("{}/{}", h.mean(), h.p99()),
+                        _ => "-".to_string(),
+                    },
                     format!("{:?}", r.verdicts),
                 ]
             })
@@ -601,6 +725,7 @@ pub fn smt_ablation(apps: &[&str]) -> Ablation {
                 "prefix kills",
                 "cache hit/miss",
                 "solver wall (ms)",
+                "full solve mean/p99 (us)",
                 "(sat, unsat, unknown)",
             ],
             &table_rows,
@@ -805,6 +930,105 @@ pub fn incremental_bench(apps: &[&str]) -> IncrementalBench {
     }
 }
 
+/// Result of the timeline-overhead benchmark.
+pub struct TimelineBench {
+    /// Human-readable overhead table.
+    pub report: String,
+    /// One JSON line for `BENCH_timeline.json`.
+    pub bench_json: String,
+    /// True if enabling the timeline changed any report, verdict, or
+    /// witness byte — recording must be a pure observer, so this fails CI.
+    pub diverged: bool,
+}
+
+/// `--timeline-bench`: for each app, run the full pipeline (diagnosis and
+/// witness replay) with the trace timeline off and then on, timing both.
+/// The outputs must be byte-identical — the timeline is a pure observer —
+/// and the measured overhead lands in `BENCH_timeline.json` (reported,
+/// not gated: wall-clock ratios are too noisy for CI, the target is <3%).
+/// The metrics registry stays off during the timed runs so the numbers
+/// isolate the timeline's own cost.
+pub fn timeline_bench(apps: &[&str]) -> TimelineBench {
+    use std::time::Instant;
+
+    let registry_was_enabled = weseer_obs::enabled();
+    weseer_obs::set_enabled(false);
+    let mut report = String::from("Trace-timeline overhead: identical runs, timeline off vs on\n");
+    let mut diverged = false;
+    let mut json_apps = Vec::new();
+    let mut rows = Vec::new();
+
+    for &app_name in apps {
+        let app: &dyn ECommerceApp = match app_name {
+            "broadleaf" => &Broadleaf,
+            "shopizer" => &Shopizer,
+            other => panic!("unknown app {other}"),
+        };
+        let run = |timeline: bool| {
+            weseer_obs::timeline::reset();
+            weseer_obs::timeline::set_enabled(timeline);
+            let weseer = Weseer::new().with_replay();
+            let start = Instant::now();
+            let analysis = weseer.analyze(app);
+            let wall = start.elapsed();
+            weseer_obs::timeline::set_enabled(false);
+            let snap = weseer_obs::timeline::snapshot();
+            (render_analysis(&analysis), wall, snap)
+        };
+        // One throwaway run to warm allocators and caches, then the pair.
+        let _ = run(false);
+        let (off_out, off, _) = run(false);
+        let (on_out, on, snap) = run(true);
+
+        if on_out != off_out {
+            diverged = true;
+            let _ = writeln!(
+                report,
+                "DIVERGENCE on {app_name}: output with the timeline on \
+                 differs from the timeline-off run"
+            );
+        }
+        let overhead = 100.0 * (on.as_secs_f64() - off.as_secs_f64()) / off.as_secs_f64().max(1e-9);
+        rows.push(vec![
+            app_name.to_string(),
+            format!("{:.1}", off.as_secs_f64() * 1000.0),
+            format!("{:.1}", on.as_secs_f64() * 1000.0),
+            format!("{overhead:+.1}%"),
+            snap.records.len().to_string(),
+            snap.dropped.to_string(),
+            snap.lanes.len().to_string(),
+        ]);
+        json_apps.push(format!(
+            "\"{app_name}\":{{\"off_us\":{},\"on_us\":{},\"overhead_pct\":{overhead:.1},\
+             \"records\":{},\"dropped\":{},\"lanes\":{}}}",
+            off.as_micros(),
+            on.as_micros(),
+            snap.records.len(),
+            snap.dropped,
+            snap.lanes.len(),
+        ));
+    }
+    weseer_obs::set_enabled(registry_was_enabled);
+
+    report.push_str(&table(
+        &[
+            "app", "off (ms)", "on (ms)", "overhead", "records", "dropped", "lanes",
+        ],
+        &rows,
+    ));
+    report.push_str("target: <3% overhead with the timeline on (recorded, not CI-gated)\n");
+    let bench_json = format!(
+        "{{\"bench\":\"timeline_overhead\",\"diverged\":{},{}}}\n",
+        diverged,
+        json_apps.join(",")
+    );
+    TimelineBench {
+        report,
+        bench_json,
+        diverged,
+    }
+}
+
 fn indent(text: &str, pad: &str) -> String {
     let mut out = String::new();
     for line in text.lines() {
@@ -860,6 +1084,8 @@ mod tests {
             cache_hit,
             cache_miss,
             solve_wall_us: 0,
+            solve_us: None,
+            full_solve_us: None,
             verdicts: (0, 0, 0),
             reports: Vec::new(),
         };

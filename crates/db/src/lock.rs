@@ -215,6 +215,30 @@ impl LockState {
     }
 }
 
+/// Mirror the current waits-for edge set into the obs crate's live
+/// wait-for state for the `/waitfor` endpoint. Cheap no-op while the
+/// registry is disabled.
+fn publish_waitfor(st: &LockState) {
+    if weseer_obs::enabled() {
+        weseer_obs::waitfor::update_edges(
+            st.edges_snapshot()
+                .into_iter()
+                .map(|(w, h)| (w.0, h.0))
+                .collect(),
+        );
+    }
+}
+
+/// Timeline instant for a lock-manager event (acquire / wait / deadlock /
+/// release). Cheap no-op while the timeline is disabled.
+fn timeline_lock_event(name: &'static str, txn: TxnId, detail: &[(&str, String)]) {
+    if weseer_obs::timeline::enabled() {
+        let mut args = vec![("txn", txn.0.to_string())];
+        args.extend(detail.iter().map(|(k, v)| (*k, v.clone())));
+        weseer_obs::timeline::instant(name, "db", &args);
+    }
+}
+
 /// Counters published by the lock manager.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LockStats {
@@ -285,9 +309,18 @@ impl LockManager {
             let blockers = st.blockers(txn, &target, mode);
             if blockers.is_empty() {
                 st.waiting_for.remove(&txn);
+                timeline_lock_event(
+                    "db.lock.acquire",
+                    txn,
+                    &[
+                        ("target", format!("{target:?}")),
+                        ("mode", format!("{mode:?}")),
+                    ],
+                );
                 st.grant(txn, target, mode);
                 if waited {
                     weseer_obs::observe_duration("db.lock.wait_us", wait_start.elapsed());
+                    publish_waitfor(&st);
                     // Position may have changed while waiting; wake others
                     // whose blockers might have gone away.
                     self.cond.notify_all();
@@ -297,9 +330,27 @@ impl LockManager {
             // Would waiting close a cycle? blockers ⇒ … ⇒ txn.
             if st.reaches(&blockers, txn) {
                 let cycle = st.cycle_path(txn, &blockers);
+                if weseer_obs::enabled() {
+                    // Edge set *at detection time*, before the victim's
+                    // edges are rolled back, plus the closing edges the
+                    // victim was about to add.
+                    let mut edges: Vec<(u64, u64)> = st
+                        .edges_snapshot()
+                        .into_iter()
+                        .map(|(w, h)| (w.0, h.0))
+                        .collect();
+                    edges.extend(blockers.iter().map(|b| (txn.0, b.0)));
+                    edges.sort_unstable();
+                    edges.dedup();
+                    weseer_obs::waitfor::record_deadlock(
+                        cycle.iter().map(|t| t.0).collect(),
+                        edges,
+                    );
+                }
                 st.waiting_for.remove(&txn);
                 self.stats.lock().deadlocks += 1;
                 weseer_obs::incr("db.lock.deadlock_aborts");
+                timeline_lock_event("db.lock.deadlock", txn, &[("cycle", format!("{cycle:?}"))]);
                 weseer_obs::emit(
                     weseer_obs::Level::Warn,
                     "db.lock",
@@ -310,19 +361,30 @@ impl LockManager {
                         st.held_by.get(&txn)
                     ),
                 );
+                publish_waitfor(&st);
                 self.cond.notify_all();
                 return Err(DbError::Deadlock { cycle });
             }
             if !waited {
                 self.stats.lock().waits += 1;
                 weseer_obs::incr("db.lock.waits");
+                timeline_lock_event(
+                    "db.lock.wait",
+                    txn,
+                    &[
+                        ("target", format!("{target:?}")),
+                        ("mode", format!("{mode:?}")),
+                    ],
+                );
                 waited = true;
             }
             weseer_obs::add("db.lock.wait_for_edges", blockers.len() as u64);
             st.waiting_for.insert(txn, blockers);
+            publish_waitfor(&st);
             let timed_out = self.cond.wait_until(&mut st, deadline).timed_out();
             if timed_out {
                 st.waiting_for.remove(&txn);
+                publish_waitfor(&st);
                 self.stats.lock().timeouts += 1;
                 weseer_obs::incr("db.lock.timeouts");
                 weseer_obs::emit(
@@ -355,16 +417,39 @@ impl LockManager {
         let mut st = self.state.lock();
         let blockers = st.blockers(txn, &target, mode);
         if blockers.is_empty() {
-            st.waiting_for.remove(&txn);
+            let had_edge = st.waiting_for.remove(&txn).is_some();
+            timeline_lock_event(
+                "db.lock.acquire",
+                txn,
+                &[
+                    ("target", format!("{target:?}")),
+                    ("mode", format!("{mode:?}")),
+                ],
+            );
             st.grant(txn, target, mode);
             weseer_obs::incr("db.lock.acquisitions");
+            if had_edge {
+                publish_waitfor(&st);
+            }
             return Ok(AcquireOutcome::Granted);
         }
         if st.reaches(&blockers, txn) {
             let cycle = st.cycle_path(txn, &blockers);
+            if weseer_obs::enabled() {
+                let mut edges: Vec<(u64, u64)> = st
+                    .edges_snapshot()
+                    .into_iter()
+                    .map(|(w, h)| (w.0, h.0))
+                    .collect();
+                edges.extend(blockers.iter().map(|b| (txn.0, b.0)));
+                edges.sort_unstable();
+                edges.dedup();
+                weseer_obs::waitfor::record_deadlock(cycle.iter().map(|t| t.0).collect(), edges);
+            }
             st.waiting_for.remove(&txn);
             self.stats.lock().deadlocks += 1;
             weseer_obs::incr("db.lock.deadlock_aborts");
+            timeline_lock_event("db.lock.deadlock", txn, &[("cycle", format!("{cycle:?}"))]);
             weseer_obs::emit(
                 weseer_obs::Level::Warn,
                 "db.lock",
@@ -374,6 +459,7 @@ impl LockManager {
                     st.edges_snapshot()
                 ),
             );
+            publish_waitfor(&st);
             self.cond.notify_all();
             return Err(DbError::Deadlock { cycle });
         }
@@ -382,7 +468,16 @@ impl LockManager {
         if st.waiting_for.insert(txn, blockers).is_none() {
             self.stats.lock().waits += 1;
             weseer_obs::incr("db.lock.waits");
+            timeline_lock_event(
+                "db.lock.wait",
+                txn,
+                &[
+                    ("target", format!("{target:?}")),
+                    ("mode", format!("{mode:?}")),
+                ],
+            );
         }
+        publish_waitfor(&st);
         Ok(AcquireOutcome::WouldBlock(sorted))
     }
 
@@ -424,6 +519,8 @@ impl LockManager {
             }
         }
         st.waiting_for.remove(&txn);
+        timeline_lock_event("db.lock.release", txn, &[]);
+        publish_waitfor(&st);
         self.cond.notify_all();
     }
 

@@ -1,0 +1,152 @@
+//! Chrome trace-event export for timeline snapshots.
+//!
+//! [`to_chrome_trace`] serializes a [`TimelineSnapshot`] into the JSON
+//! object format consumed by `chrome://tracing` and Perfetto: one `"M"`
+//! (metadata) event per lane naming its thread row, one `"X"` (complete)
+//! event per duration record, and one `"i"` (instant) event per
+//! zero-duration record. Lane indexes become `tid`s, so every worker
+//! thread of the scoped-thread scheduler renders as its own row and
+//! stragglers are visible at a glance.
+//!
+//! The writer is hand-rolled on [`crate::snapshot::write_json_string`] —
+//! this crate stays zero-dependency.
+
+use crate::snapshot::write_json_string;
+use crate::timeline::TimelineSnapshot;
+use std::fmt::Write as _;
+
+/// Serialize `snap` as a Chrome trace-event JSON object
+/// (`{"traceEvents":[...],...}`).
+pub fn to_chrome_trace(snap: &TimelineSnapshot) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+        out.push_str("\n ");
+    };
+
+    for (tid, lane) in snap.lanes.iter().enumerate() {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":"
+        );
+        write_json_string(&mut out, lane);
+        out.push_str("}}");
+    }
+
+    for rec in &snap.records {
+        sep(&mut out);
+        match rec.dur_us {
+            Some(dur) => {
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{dur},\"name\":",
+                    rec.lane, rec.ts_us
+                );
+            }
+            None => {
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{},\"ts\":{},\"name\":",
+                    rec.lane, rec.ts_us
+                );
+            }
+        }
+        write_json_string(&mut out, &rec.name);
+        out.push_str(",\"cat\":");
+        write_json_string(&mut out, rec.cat);
+        if !rec.args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (i, (k, v)) in rec.args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_string(&mut out, k);
+                out.push(':');
+                write_json_string(&mut out, v);
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+
+    let _ = write!(
+        out,
+        "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"dropped\":\"{}\"}}}}",
+        snap.dropped
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::TimelineRecord;
+
+    fn sample() -> TimelineSnapshot {
+        TimelineSnapshot {
+            records: vec![
+                TimelineRecord {
+                    name: "analyzer.diagnose".into(),
+                    cat: "span",
+                    ts_us: 10,
+                    dur_us: Some(250),
+                    lane: 0,
+                    args: Vec::new(),
+                },
+                TimelineRecord {
+                    name: "smt.solve".into(),
+                    cat: "smt",
+                    ts_us: 42,
+                    dur_us: None,
+                    lane: 1,
+                    args: vec![
+                        ("tier".into(), "t1".into()),
+                        ("verdict".into(), "unsat".into()),
+                    ],
+                },
+            ],
+            lanes: vec!["main".into(), "analyzer.worker0".into()],
+            dropped: 3,
+        }
+    }
+
+    #[test]
+    fn emits_metadata_complete_and_instant_events() {
+        let json = to_chrome_trace(&sample());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        // Thread-name metadata for both lanes.
+        assert!(json.contains("\"ph\":\"M\",\"pid\":1,\"tid\":0"));
+        assert!(json.contains("{\"name\":\"analyzer.worker0\"}"));
+        // The span is a complete event with ts + dur on lane 0.
+        assert!(json.contains(
+            "\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":10,\"dur\":250,\"name\":\"analyzer.diagnose\""
+        ));
+        // The solve is an instant with args on lane 1.
+        assert!(json.contains("\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":1,\"ts\":42"));
+        assert!(json.contains("\"args\":{\"tier\":\"t1\",\"verdict\":\"unsat\"}"));
+        assert!(json.ends_with("\"otherData\":{\"dropped\":\"3\"}}"));
+    }
+
+    #[test]
+    fn empty_snapshot_is_still_valid() {
+        let json = to_chrome_trace(&TimelineSnapshot::default());
+        assert_eq!(
+            json,
+            "{\"traceEvents\":[\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":\"0\"}}"
+        );
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut snap = sample();
+        snap.records[0].name = "weird\"name\n".into();
+        let json = to_chrome_trace(&snap);
+        assert!(json.contains("\"weird\\\"name\\n\""));
+    }
+}

@@ -258,6 +258,37 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_quantiles_are_that_sample() {
+        let h = Histogram::new();
+        h.record(777);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!((s.min, s.max, s.sum), (777, 777, 777));
+        // One sample: every quantile clamps to the observed value.
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 777, "q={q}");
+        }
+        assert_eq!(s.mean(), 777);
+    }
+
+    #[test]
+    fn all_samples_in_one_bucket_stay_within_observed_range() {
+        let h = Histogram::new();
+        // 65 and 127 share the [64, 127] power-of-two bucket but differ,
+        // so the geometric-midpoint estimate kicks in; the clamp keeps it
+        // inside the observed [min, max].
+        for v in [65u64, 127, 65, 127, 100] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.buckets.len(), 1);
+        for q in [0.5, 0.9, 0.99] {
+            let est = s.quantile(q);
+            assert!((65..=127).contains(&est), "q={q} est={est}");
+        }
+    }
+
+    #[test]
     fn identical_values_quantile_exact_via_clamp() {
         let h = Histogram::new();
         for _ in 0..32 {

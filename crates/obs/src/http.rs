@@ -1,0 +1,283 @@
+//! The live inspection endpoint: a std-only HTTP/1.1 server.
+//!
+//! [`ObsServer::start`] binds a `TcpListener` on a background thread and
+//! serves four routes out of the global observability state:
+//!
+//! * `/metrics` — the registry snapshot in Prometheus text format
+//!   ([`crate::prom`]);
+//! * `/funnel` — the diagnosis funnel as JSON (stage labels and counter
+//!   names are supplied by the caller, so this crate stays agnostic of
+//!   pipeline metric names, matching [`crate::report::render_report`]);
+//! * `/waitfor` (JSON) and `/waitfor.dot` (Graphviz) — the lock
+//!   manager's live wait-for graph plus the last detected deadlock
+//!   ([`crate::waitfor`]);
+//! * `/` — a self-contained HTML dashboard (no external assets) that
+//!   polls `/waitfor`, `/funnel`, and `/metrics` and draws the graph and
+//!   funnel.
+//!
+//! The HTTP layer is deliberately minimal — hand-rolled request-line
+//! parsing, `Connection: close`, one connection at a time — in the same
+//! spirit as the store's hand-rolled JSON: no new dependencies for a
+//! protocol subset a few dozen lines cover. `reproduce --serve <addr>`
+//! (or `WESEER_SERVE=<addr>`) starts it for the duration of a run.
+
+use crate::snapshot::write_json_string;
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The embedded dashboard page served at `/`.
+const DASHBOARD_HTML: &str = include_str!("dashboard.html");
+
+/// A running observability endpoint. Dropping the handle (or calling
+/// [`ObsServer::stop`]) shuts the listener thread down.
+#[derive(Debug)]
+pub struct ObsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
+    /// serving. `funnel` lists the diagnosis-funnel stages for `/funnel`
+    /// as `(label, counter name)` pairs, outermost first.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        funnel: &'static [(&'static str, &'static str)],
+    ) -> std::io::Result<ObsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        // Poll for shutdown between accepts instead of blocking forever.
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = shutdown.clone();
+        let handle = std::thread::Builder::new()
+            .name("obs.serve".to_string())
+            .spawn(move || {
+                while !flag.load(Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            // One request per connection; errors on a
+                            // single connection must not kill the server.
+                            let _ = handle_connection(stream, funnel);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn obs server thread");
+        Ok(ObsServer {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the listener thread and wait for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown_and_join();
+    }
+
+    fn shutdown_and_join(&mut self) {
+        self.shutdown.store(true, Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.shutdown_and_join();
+    }
+}
+
+/// The funnel JSON: `{"stages":[{"label":..,"counter":..,"value":..}..]}`
+/// with `null` values for counters that have not been recorded.
+fn funnel_json(funnel: &[(&str, &str)]) -> String {
+    let snap = crate::snapshot();
+    let mut out = String::from("{\"stages\":[");
+    for (i, (label, counter)) in funnel.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"label\":");
+        write_json_string(&mut out, label);
+        out.push_str(",\"counter\":");
+        write_json_string(&mut out, counter);
+        out.push_str(",\"value\":");
+        if snap.counters.contains_key(*counter) {
+            out.push_str(&snap.counter(counter).to_string());
+        } else {
+            out.push_str("null");
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+fn handle_connection(stream: TcpStream, funnel: &[(&str, &str)]) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain the headers; nothing in them matters to these routes.
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+        if line.len() > 8192 {
+            break;
+        }
+    }
+    let mut stream = reader.into_inner();
+
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    // Ignore any query string: `/waitfor?x=1` routes like `/waitfor`.
+    let route = path.split('?').next().unwrap_or("");
+
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported\n".to_string(),
+        )
+    } else {
+        match route {
+            "/" | "/index.html" => (
+                "200 OK",
+                "text/html; charset=utf-8",
+                DASHBOARD_HTML.to_string(),
+            ),
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                crate::prom::render_prometheus(&crate::snapshot()),
+            ),
+            "/funnel" => (
+                "200 OK",
+                "application/json; charset=utf-8",
+                funnel_json(funnel),
+            ),
+            "/waitfor" => (
+                "200 OK",
+                "application/json; charset=utf-8",
+                crate::waitfor::to_json(&crate::waitfor::snapshot()),
+            ),
+            "/waitfor.dot" => (
+                "200 OK",
+                "text/vnd.graphviz; charset=utf-8",
+                crate::waitfor::to_dot(&crate::waitfor::snapshot()),
+            ),
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                format!("no route {route}\n"),
+            ),
+        }
+    };
+
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read as _;
+
+    const TEST_FUNNEL: &[(&str, &str)] = &[
+        ("stage one", "http_test.stage1"),
+        ("stage two", "http_test.stage2"),
+    ];
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        write!(s, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut response = String::new();
+        s.read_to_string(&mut response).unwrap();
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .expect("header/body separator");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_all_routes() {
+        let _l = crate::global_test_lock();
+        crate::set_enabled(true);
+        crate::add("http_test.stage1", 10);
+        crate::add("http_test.stage2", 3);
+        crate::waitfor::reset();
+        crate::waitfor::update_edges(vec![(1, 2)]);
+        crate::set_enabled(false);
+
+        let server = ObsServer::start("127.0.0.1:0", TEST_FUNNEL).expect("bind");
+        let addr = server.local_addr();
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"));
+        assert!(body.contains("weseer_http_test_stage1_total 10"));
+
+        let (head, body) = get(addr, "/funnel");
+        assert!(head.contains("application/json"));
+        assert!(body
+            .contains("{\"label\":\"stage one\",\"counter\":\"http_test.stage1\",\"value\":10}"));
+
+        let (_, body) = get(addr, "/waitfor");
+        assert!(body.contains("{\"waiter\":1,\"holder\":2}"));
+
+        let (head, body) = get(addr, "/waitfor.dot");
+        assert!(head.contains("text/vnd.graphviz"));
+        assert!(body.starts_with("digraph waitfor {"));
+
+        let (head, body) = get(addr, "/");
+        assert!(head.contains("text/html"));
+        assert!(body.contains("<html"));
+        assert!(body.contains("Wait-for graph"));
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"));
+
+        // Query strings route to the bare path.
+        let (head, _) = get(addr, "/waitfor?poll=1");
+        assert!(head.starts_with("HTTP/1.1 200"));
+
+        server.stop();
+        crate::waitfor::reset();
+    }
+
+    #[test]
+    fn rejects_non_get() {
+        let server = ObsServer::start("127.0.0.1:0", TEST_FUNNEL).expect("bind");
+        let mut s = TcpStream::connect(server.local_addr()).unwrap();
+        write!(s, "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut response = String::new();
+        s.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 405"));
+        server.stop();
+    }
+}

@@ -17,6 +17,15 @@
 //!   of every metric, with [`snapshot::MetricsSnapshot::delta_since`] for
 //!   per-phase or per-app deltas, JSON-lines export, and a human-readable
 //!   funnel/timing report ([`report`]).
+//! - **Trace timelines** ([`timeline`]) — a bounded, drop-counting ring
+//!   of timestamped records with per-thread lanes, fed by every span and
+//!   by key pipeline events, exportable as Chrome trace-event JSON
+//!   ([`chrome::to_chrome_trace`]). Enabled separately from the registry
+//!   via [`timeline::set_enabled`].
+//! - **Live endpoint** ([`http::ObsServer`]) — a std-only HTTP server
+//!   exposing `/metrics` (Prometheus text, [`prom`]), `/funnel`,
+//!   `/waitfor` (JSON + DOT, [`waitfor`]), and an embedded HTML
+//!   dashboard at `/`.
 //!
 //! # Enabling
 //!
@@ -41,18 +50,25 @@
 //! weseer_obs::set_enabled(false);
 //! ```
 
+pub mod chrome;
 pub mod event;
 pub mod hist;
+pub mod http;
+pub mod prom;
 pub mod registry;
 pub mod report;
 pub mod snapshot;
 pub mod span;
+pub mod timeline;
+pub mod waitfor;
 
 pub use event::{Event, Level};
 pub use hist::{Histogram, HistogramSnapshot};
+pub use http::ObsServer;
 pub use registry::Registry;
 pub use snapshot::MetricsSnapshot;
 pub use span::SpanGuard;
+pub use timeline::{TimelineRecord, TimelineSnapshot};
 
 use std::time::Duration;
 
@@ -111,4 +127,14 @@ pub fn snapshot() -> MetricsSnapshot {
 /// per-run isolation; the enabled flag is left unchanged).
 pub fn reset() {
     registry::global().reset();
+}
+
+/// Serializes tests that toggle the global registry/timeline enabled
+/// flags or global state (spans, timeline, waitfor, http) — they share
+/// one process-wide registry, so they must not interleave.
+#[cfg(test)]
+pub(crate) fn global_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }

@@ -6,8 +6,15 @@
 //! on the current thread: a span `"phase1"` opened while `"analyze"` is
 //! active records under `span.analyze.phase1`.
 //!
-//! While the registry is disabled, `SpanGuard::enter` returns an inert
-//! guard after a single atomic load — no clock read, no thread-local
+//! Spans also feed the trace timeline ([`crate::timeline`]) when it is
+//! enabled: each dropped guard records a completed duration under its
+//! dotted path, which is how every instrumented stage shows up in the
+//! Chrome trace export without any extra call sites. The two sinks are
+//! independent — a span records into the histogram only while the
+//! registry is enabled and into the timeline only while the timeline is.
+//!
+//! While both are disabled, `SpanGuard::enter` returns an inert guard
+//! after two relaxed atomic loads — no clock read, no thread-local
 //! traffic — so spans may be left in hot code unconditionally.
 
 use std::cell::RefCell;
@@ -30,13 +37,20 @@ pub struct SpanGuard {
 struct ActiveSpan {
     path: String,
     start: Instant,
+    /// Record into the metrics histogram on drop.
+    metrics: bool,
+    /// Record into the trace timeline on drop.
+    timeline: bool,
 }
 
 impl SpanGuard {
     /// Open a span named `name`, nested under any spans already open on
-    /// this thread. Inert when the global registry is disabled.
+    /// this thread. Inert when both the global registry and the timeline
+    /// are disabled.
     pub fn enter(name: &str) -> SpanGuard {
-        if !crate::registry::global().enabled() {
+        let metrics = crate::registry::global().enabled();
+        let timeline = crate::timeline::enabled();
+        if !metrics && !timeline {
             return SpanGuard { active: None };
         }
         let path = STACK.with(|stack| {
@@ -48,6 +62,8 @@ impl SpanGuard {
             active: Some(ActiveSpan {
                 path,
                 start: Instant::now(),
+                metrics,
+                timeline,
             }),
         }
     }
@@ -61,8 +77,14 @@ impl SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(active) = self.active.take() {
-            let elapsed = active.start.elapsed();
-            crate::registry::global().observe_duration(&format!("span.{}", active.path), elapsed);
+            if active.metrics {
+                let elapsed = active.start.elapsed();
+                crate::registry::global()
+                    .observe_duration(&format!("span.{}", active.path), elapsed);
+            }
+            if active.timeline {
+                crate::timeline::complete_since(&active.path, "span", active.start, &[]);
+            }
             STACK.with(|stack| {
                 stack.borrow_mut().pop();
             });
@@ -74,14 +96,11 @@ impl Drop for SpanGuard {
 mod tests {
     use super::*;
 
-    /// Span tests share the global registry (and its enabled flag) with
-    /// each other, so they serialize on this mutex, use distinctive span
-    /// names, and only assert on their own metrics.
-    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
-        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
-        LOCK.lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-    }
+    /// Span tests share the global registry and timeline (and their
+    /// enabled flags) with the timeline tests, so they serialize on the
+    /// crate-wide mutex, use distinctive span names, and only assert on
+    /// their own metrics.
+    use crate::global_test_lock as test_lock;
 
     #[test]
     fn nesting_builds_dotted_paths() {
@@ -123,6 +142,30 @@ mod tests {
         // Re-enable and confirm nothing was recorded for the inert span.
         assert!(crate::snapshot()
             .histogram("span.span_test_disabled")
+            .is_none());
+    }
+
+    #[test]
+    fn spans_flow_into_the_timeline_without_the_registry() {
+        let _l = test_lock();
+        let r = crate::registry::global();
+        r.set_enabled(false);
+        crate::timeline::set_enabled(true);
+        {
+            let _g = SpanGuard::enter("span_test_timeline_only");
+        }
+        crate::timeline::set_enabled(false);
+        let snap = crate::timeline::snapshot();
+        assert!(snap
+            .records
+            .iter()
+            .any(|rec| rec.name == "span_test_timeline_only"
+                && rec.cat == "span"
+                && rec.dur_us.is_some()));
+        // The registry was off: no histogram was recorded.
+        r.set_enabled(true);
+        assert!(crate::snapshot()
+            .histogram("span.span_test_timeline_only")
             .is_none());
     }
 

@@ -1,0 +1,327 @@
+//! The trace-timeline recorder.
+//!
+//! A process-global, bounded, drop-counting ring of timestamped records:
+//! every RAII span ([`crate::span::SpanGuard`]) and key pipeline event
+//! (SMT solves with tier and verdict, phase transitions, store lookups,
+//! replay schedules, lock waits) lands here when the timeline is enabled.
+//! Each record carries the *lane* of the thread that produced it, so the
+//! scoped-thread scheduler's workers show up as separate rows when the
+//! snapshot is exported as Chrome trace-event JSON ([`crate::chrome`]).
+//!
+//! The timeline has its own enabled flag, independent of the metrics
+//! registry: `reproduce --trace-out` turns on only the timeline,
+//! `--metrics-out` only the registry, and the two compose. While
+//! disabled, every record path is a single relaxed atomic load and an
+//! early return — the same contract as the registry — so instrumentation
+//! stays in hot code unconditionally.
+//!
+//! Records past [`TIMELINE_CAPACITY`] evict the oldest entry and bump a
+//! drop counter (kept in the snapshot), so a long run degrades to "the
+//! most recent window" instead of unbounded memory.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// How many records the timeline retains before dropping the oldest.
+pub const TIMELINE_CAPACITY: usize = 65_536;
+
+/// One timestamped record. Timestamps are microseconds since the
+/// timeline was first enabled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineRecord {
+    /// Record name (span path, or event name like `smt.solve`).
+    pub name: String,
+    /// Category (`span`, `smt`, `db`, `store`, `replay`, `analyzer`).
+    pub cat: &'static str,
+    /// Start time, µs since the timeline epoch.
+    pub ts_us: u64,
+    /// Duration in µs for completed spans; `None` for instant events.
+    pub dur_us: Option<u64>,
+    /// Index into [`TimelineSnapshot::lanes`] of the recording thread.
+    pub lane: u32,
+    /// Free-form key/value annotations (tier, verdict, txn, …).
+    pub args: Vec<(String, String)>,
+}
+
+/// Point-in-time copy of the timeline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TimelineSnapshot {
+    /// Retained records, oldest first.
+    pub records: Vec<TimelineRecord>,
+    /// Lane names by index (thread names; workers register theirs).
+    pub lanes: Vec<String>,
+    /// Records evicted due to [`TIMELINE_CAPACITY`].
+    pub dropped: u64,
+}
+
+#[derive(Default)]
+struct TimelineState {
+    records: std::collections::VecDeque<TimelineRecord>,
+    lanes: Vec<String>,
+    dropped: u64,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn state() -> &'static Mutex<TimelineState> {
+    static STATE: OnceLock<Mutex<TimelineState>> = OnceLock::new();
+    STATE.get_or_init(|| Mutex::new(TimelineState::default()))
+}
+
+/// The instant the timeline was first enabled; all timestamps are
+/// relative to it.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+thread_local! {
+    /// Lane index of this thread (`u32::MAX` = not yet assigned).
+    static LANE: Cell<u32> = const { Cell::new(u32::MAX) };
+}
+
+/// Whether the timeline is recording.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Relaxed)
+}
+
+/// Turn timeline recording on or off. The first enable pins the epoch
+/// that all timestamps are measured from.
+pub fn set_enabled(on: bool) {
+    if on {
+        let _ = epoch();
+    }
+    ENABLED.store(on, Relaxed);
+}
+
+/// Microseconds since the timeline epoch.
+pub fn now_us() -> u64 {
+    epoch().elapsed().as_micros().min(u64::MAX as u128) as u64
+}
+
+/// Lane index of the current thread, assigning one (named after the OS
+/// thread, or `thread-<n>` when unnamed) on first use. The assignment
+/// itself takes the timeline lock; subsequent calls are a thread-local
+/// read.
+fn lane_of_current_thread(st: &mut TimelineState) -> u32 {
+    LANE.with(|l| {
+        let cur = l.get();
+        if cur != u32::MAX {
+            return cur;
+        }
+        let name = std::thread::current()
+            .name()
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("thread-{}", st.lanes.len()));
+        let idx = st.lanes.len() as u32;
+        st.lanes.push(name);
+        l.set(idx);
+        idx
+    })
+}
+
+/// Override the current thread's lane name (workers call this — or are
+/// spawned as named threads — so their lane reads `analyzer.worker3`
+/// instead of `thread-7`).
+pub fn set_lane_name(name: &str) {
+    if !enabled() {
+        return;
+    }
+    let mut st = state().lock().unwrap();
+    let lane = lane_of_current_thread(&mut st);
+    st.lanes[lane as usize] = name.to_string();
+}
+
+fn push(st: &mut TimelineState, rec: TimelineRecord) {
+    if st.records.len() >= TIMELINE_CAPACITY {
+        st.records.pop_front();
+        st.dropped += 1;
+    }
+    st.records.push_back(rec);
+}
+
+/// Record an instant event at "now".
+pub fn instant(name: &str, cat: &'static str, args: &[(&str, String)]) {
+    if !enabled() {
+        return;
+    }
+    let ts_us = now_us();
+    let args = args
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect();
+    let mut st = state().lock().unwrap();
+    let lane = lane_of_current_thread(&mut st);
+    push(
+        &mut st,
+        TimelineRecord {
+            name: name.to_string(),
+            cat,
+            ts_us,
+            dur_us: None,
+            lane,
+            args,
+        },
+    );
+}
+
+/// Record a completed duration that started at `start` and ends now
+/// (SMT solves, span drops).
+pub fn complete_since(name: &str, cat: &'static str, start: Instant, args: &[(&str, String)]) {
+    if !enabled() {
+        return;
+    }
+    let dur_us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    let ts_us = start
+        .saturating_duration_since(epoch())
+        .as_micros()
+        .min(u64::MAX as u128) as u64;
+    let args = args
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect();
+    let mut st = state().lock().unwrap();
+    let lane = lane_of_current_thread(&mut st);
+    push(
+        &mut st,
+        TimelineRecord {
+            name: name.to_string(),
+            cat,
+            ts_us,
+            dur_us: Some(dur_us),
+            lane,
+            args,
+        },
+    );
+}
+
+/// Copy the current timeline contents.
+pub fn snapshot() -> TimelineSnapshot {
+    let st = state().lock().unwrap();
+    TimelineSnapshot {
+        records: st.records.iter().cloned().collect(),
+        lanes: st.lanes.clone(),
+        dropped: st.dropped,
+    }
+}
+
+/// Clear all records and the drop counter. Lane assignments survive
+/// (threads keep their thread-local index), so lane names are retained.
+pub fn reset() {
+    let mut st = state().lock().unwrap();
+    st.records.clear();
+    st.dropped = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Timeline tests share the global enabled flag with the span tests;
+    /// serialize on the crate-wide mutex and only assert on records they
+    /// created themselves.
+    use crate::global_test_lock as test_lock;
+
+    #[test]
+    fn disabled_timeline_records_nothing() {
+        let _l = test_lock();
+        set_enabled(false);
+        instant("tl_test_disabled", "test", &[]);
+        assert!(!snapshot()
+            .records
+            .iter()
+            .any(|r| r.name == "tl_test_disabled"));
+    }
+
+    #[test]
+    fn instants_and_completes_are_recorded_with_lanes() {
+        let _l = test_lock();
+        set_enabled(true);
+        let start = Instant::now();
+        instant("tl_test_instant", "test", &[("k", "v".to_string())]);
+        complete_since("tl_test_complete", "test", start, &[]);
+        set_enabled(false);
+        let snap = snapshot();
+        let i = snap
+            .records
+            .iter()
+            .find(|r| r.name == "tl_test_instant")
+            .expect("instant recorded");
+        assert_eq!(i.dur_us, None);
+        assert_eq!(i.args, vec![("k".to_string(), "v".to_string())]);
+        let c = snap
+            .records
+            .iter()
+            .find(|r| r.name == "tl_test_complete")
+            .expect("complete recorded");
+        assert!(c.dur_us.is_some());
+        assert!(c.ts_us <= i.ts_us + 1_000_000, "epoch-relative timestamps");
+        // Both came from this thread: same lane, and the lane has a name.
+        assert_eq!(i.lane, c.lane);
+        assert!(snap.lanes.get(i.lane as usize).is_some());
+    }
+
+    #[test]
+    fn worker_threads_get_their_own_named_lanes() {
+        let _l = test_lock();
+        set_enabled(true);
+        let before: Vec<String> = snapshot().lanes;
+        std::thread::Builder::new()
+            .name("tl_test_worker".to_string())
+            .spawn(|| instant("tl_test_from_worker", "test", &[]))
+            .unwrap()
+            .join()
+            .unwrap();
+        set_enabled(false);
+        let snap = snapshot();
+        let rec = snap
+            .records
+            .iter()
+            .find(|r| r.name == "tl_test_from_worker")
+            .expect("worker record");
+        assert_eq!(snap.lanes[rec.lane as usize], "tl_test_worker");
+        assert!(snap.lanes.len() > before.len());
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let _l = test_lock();
+        // Bounded behavior is tested on the real global (capacity is too
+        // large to overflow cheaply), so exercise push() directly.
+        let mut st = TimelineState::default();
+        for i in 0..(TIMELINE_CAPACITY + 7) {
+            push(
+                &mut st,
+                TimelineRecord {
+                    name: format!("r{i}"),
+                    cat: "test",
+                    ts_us: i as u64,
+                    dur_us: None,
+                    lane: 0,
+                    args: Vec::new(),
+                },
+            );
+        }
+        assert_eq!(st.records.len(), TIMELINE_CAPACITY);
+        assert_eq!(st.dropped, 7);
+        // Oldest were evicted.
+        assert_eq!(st.records.front().unwrap().name, "r7");
+    }
+
+    #[test]
+    fn reset_clears_records_but_keeps_lanes() {
+        let _l = test_lock();
+        set_enabled(true);
+        instant("tl_test_reset", "test", &[]);
+        let lanes_before = snapshot().lanes.len();
+        reset();
+        set_enabled(false);
+        let snap = snapshot();
+        assert!(!snap.records.iter().any(|r| r.name == "tl_test_reset"));
+        assert_eq!(snap.dropped, 0);
+        assert_eq!(snap.lanes.len(), lanes_before);
+    }
+}

@@ -1,0 +1,246 @@
+//! Live wait-for graph state for the `/waitfor` endpoint.
+//!
+//! The db crate's lock manager pushes its waits-for edge set here
+//! whenever it changes (a transaction starts or stops waiting, releases,
+//! or deadlocks), and keeps the most recent detected deadlock — its
+//! victim-first cycle and the full edge set at detection time — so the
+//! dashboard can show *why* the last abort happened even after the locks
+//! have been rolled back. The feed is gated on the global registry's
+//! enabled flag ([`crate::enabled`]), matching every other record path.
+//!
+//! Transactions are identified by their numeric id (the db crate's
+//! `TxnId` payload); this crate stays dependency-free and renders them as
+//! `t<n>`.
+
+use crate::snapshot::write_json_string;
+use std::fmt::Write as _;
+use std::sync::{Mutex, OnceLock};
+
+/// The most recent deadlock the lock manager detected.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeadlockInfo {
+    /// 1-based detection sequence number (monotonic over the process).
+    pub seq: u64,
+    /// The waits-for cycle, victim first.
+    pub cycle: Vec<u64>,
+    /// Every `(waiter, holder)` edge at detection time.
+    pub edges: Vec<(u64, u64)>,
+}
+
+/// Point-in-time copy of the wait-for state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WaitForSnapshot {
+    /// Current `(waiter, holder)` edges, sorted.
+    pub edges: Vec<(u64, u64)>,
+    /// How many times the edge set has been replaced.
+    pub updates: u64,
+    /// The last detected deadlock, if any.
+    pub last_deadlock: Option<DeadlockInfo>,
+}
+
+#[derive(Default)]
+struct State {
+    edges: Vec<(u64, u64)>,
+    updates: u64,
+    deadlocks: u64,
+    last_deadlock: Option<DeadlockInfo>,
+}
+
+fn state() -> &'static Mutex<State> {
+    static STATE: OnceLock<Mutex<State>> = OnceLock::new();
+    STATE.get_or_init(|| Mutex::new(State::default()))
+}
+
+/// Replace the current edge set (called by the lock manager whenever its
+/// waits-for graph changes). No-op while the registry is disabled.
+pub fn update_edges(edges: Vec<(u64, u64)>) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut st = state().lock().unwrap();
+    if st.edges != edges {
+        st.edges = edges;
+        st.updates += 1;
+    }
+}
+
+/// Record a detected deadlock: the victim-first `cycle` and the full
+/// edge set at detection time. No-op while the registry is disabled.
+pub fn record_deadlock(cycle: Vec<u64>, edges: Vec<(u64, u64)>) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut st = state().lock().unwrap();
+    st.deadlocks += 1;
+    st.last_deadlock = Some(DeadlockInfo {
+        seq: st.deadlocks,
+        cycle,
+        edges,
+    });
+}
+
+/// Copy the current wait-for state.
+pub fn snapshot() -> WaitForSnapshot {
+    let st = state().lock().unwrap();
+    WaitForSnapshot {
+        edges: st.edges.clone(),
+        updates: st.updates,
+        last_deadlock: st.last_deadlock.clone(),
+    }
+}
+
+/// Clear edges and the last deadlock (tests and per-run isolation).
+pub fn reset() {
+    let mut st = state().lock().unwrap();
+    *st = State::default();
+}
+
+fn write_edges(out: &mut String, edges: &[(u64, u64)]) {
+    out.push('[');
+    for (i, (w, h)) in edges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"waiter\":{w},\"holder\":{h}}}");
+    }
+    out.push(']');
+}
+
+/// Render `snap` as one JSON object:
+/// `{"edges":[{"waiter":..,"holder":..}..],"updates":..,"last_deadlock":..}`.
+pub fn to_json(snap: &WaitForSnapshot) -> String {
+    let mut out = String::from("{\"edges\":");
+    write_edges(&mut out, &snap.edges);
+    let _ = write!(out, ",\"updates\":{},\"last_deadlock\":", snap.updates);
+    match &snap.last_deadlock {
+        None => out.push_str("null"),
+        Some(d) => {
+            let _ = write!(out, "{{\"seq\":{},\"cycle\":[", d.seq);
+            for (i, t) in d.cycle.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{t}");
+            }
+            out.push_str("],\"edges\":");
+            write_edges(&mut out, &d.edges);
+            out.push('}');
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Render `snap` as a Graphviz digraph: current edges solid, the last
+/// deadlock's cycle nodes red and its edges dashed.
+pub fn to_dot(snap: &WaitForSnapshot) -> String {
+    let mut out = String::from("digraph waitfor {\n  rankdir=LR;\n  node [shape=circle];\n");
+    if let Some(d) = &snap.last_deadlock {
+        let mut label = String::new();
+        write_json_string(
+            &mut label,
+            &format!(
+                "last deadlock #{}: {}",
+                d.seq,
+                d.cycle
+                    .iter()
+                    .map(|t| format!("t{t}"))
+                    .collect::<Vec<_>>()
+                    .join(" -> ")
+            ),
+        );
+        let _ = writeln!(out, "  label={label};");
+        for t in &d.cycle {
+            let _ = writeln!(out, "  \"t{t}\" [color=red, fontcolor=red];");
+        }
+        for (w, h) in &d.edges {
+            let _ = writeln!(out, "  \"t{w}\" -> \"t{h}\" [style=dashed, color=red];");
+        }
+    }
+    for (w, h) in &snap.edges {
+        let _ = writeln!(out, "  \"t{w}\" -> \"t{h}\";");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        crate::global_test_lock()
+    }
+
+    #[test]
+    fn update_and_deadlock_round_trip() {
+        let _l = test_lock();
+        crate::set_enabled(true);
+        reset();
+        update_edges(vec![(1, 2), (2, 3)]);
+        update_edges(vec![(1, 2), (2, 3)]); // unchanged: not counted
+        record_deadlock(vec![3, 1, 2], vec![(1, 2), (2, 3), (3, 1)]);
+        update_edges(Vec::new());
+        crate::set_enabled(false);
+        let snap = snapshot();
+        assert!(snap.edges.is_empty());
+        assert_eq!(snap.updates, 2);
+        let d = snap.last_deadlock.as_ref().unwrap();
+        assert_eq!(d.seq, 1);
+        assert_eq!(d.cycle, vec![3, 1, 2]);
+        assert_eq!(d.edges.len(), 3);
+        reset();
+    }
+
+    #[test]
+    fn disabled_feed_is_inert() {
+        let _l = test_lock();
+        crate::set_enabled(false);
+        reset();
+        update_edges(vec![(9, 8)]);
+        record_deadlock(vec![9], vec![(9, 8)]);
+        let snap = snapshot();
+        assert!(snap.edges.is_empty());
+        assert!(snap.last_deadlock.is_none());
+    }
+
+    #[test]
+    fn json_and_dot_rendering() {
+        let snap = WaitForSnapshot {
+            edges: vec![(1, 2)],
+            updates: 5,
+            last_deadlock: Some(DeadlockInfo {
+                seq: 2,
+                cycle: vec![4, 3],
+                edges: vec![(3, 4), (4, 3)],
+            }),
+        };
+        let json = to_json(&snap);
+        assert_eq!(
+            json,
+            "{\"edges\":[{\"waiter\":1,\"holder\":2}],\"updates\":5,\
+             \"last_deadlock\":{\"seq\":2,\"cycle\":[4,3],\
+             \"edges\":[{\"waiter\":3,\"holder\":4},{\"waiter\":4,\"holder\":3}]}}"
+        );
+        let dot = to_dot(&snap);
+        assert!(dot.starts_with("digraph waitfor {"));
+        assert!(dot.contains("\"t1\" -> \"t2\";"));
+        assert!(dot.contains("\"t4\" [color=red"));
+        assert!(dot.contains("\"t3\" -> \"t4\" [style=dashed"));
+        assert!(dot.contains("last deadlock #2: t4 -> t3"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders() {
+        let snap = WaitForSnapshot::default();
+        assert_eq!(
+            to_json(&snap),
+            "{\"edges\":[],\"updates\":0,\"last_deadlock\":null}"
+        );
+        assert_eq!(
+            to_dot(&snap),
+            "digraph waitfor {\n  rankdir=LR;\n  node [shape=circle];\n}\n"
+        );
+    }
+}

@@ -191,7 +191,25 @@ pub fn explore(base: &Database, instances: &[Instance], config: &ReplayConfig) -
             break ExploreOutcome::Exhausted { explored, pruned };
         }
         runs += 1;
-        match run(base, instances, &fps, &decisions, sleep, config.max_steps) {
+        let result = run(base, instances, &fps, &decisions, sleep, config.max_steps);
+        if weseer_obs::timeline::enabled() {
+            let outcome = match &result {
+                RunResult::Deadlock { .. } => "deadlock",
+                RunResult::Terminal => "terminal",
+                RunResult::Redundant => "redundant",
+                RunResult::Frontier { .. } => "frontier",
+            };
+            weseer_obs::timeline::instant(
+                "replay.schedule",
+                "replay",
+                &[
+                    ("run", runs.to_string()),
+                    ("depth", decisions.len().to_string()),
+                    ("outcome", outcome.to_string()),
+                ],
+            );
+        }
+        match result {
             RunResult::Deadlock { steps, cycle } => {
                 explored += 1;
                 break ExploreOutcome::Deadlock {

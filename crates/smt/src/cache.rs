@@ -73,11 +73,24 @@ impl VerdictCache {
                 CachedVerdict::Unsat => SolveResult::Unsat,
                 CachedVerdict::Unknown => SolveResult::Unknown,
             };
-            weseer_obs::observe_duration("smt.solve_us", start.elapsed());
+            let elapsed = start.elapsed();
+            if weseer_obs::timeline::enabled() {
+                weseer_obs::timeline::complete_since(
+                    "smt.solve",
+                    "smt",
+                    start,
+                    &[
+                        ("tier", "cache".to_string()),
+                        ("verdict", result.verdict_str().to_string()),
+                    ],
+                );
+            }
+            weseer_obs::observe_duration("smt.solve_us", elapsed);
             weseer_obs::add("smt.solve_calls", 1);
             weseer_obs::add("smt.cache_hit", 1);
             let stats = SolverStats {
                 cache_hits: 1,
+                wall_us: elapsed.as_micros() as u64,
                 ..SolverStats::default()
             };
             return (result, stats);
@@ -121,7 +134,21 @@ impl VerdictCache {
         let mut stats = SolverStats::default();
         match solver::fastpath(ctx, assertion, config, &mut stats) {
             Fastpath::Decided(result) => {
-                weseer_obs::observe_duration("smt.solve_us", start.elapsed());
+                let elapsed = start.elapsed();
+                stats.wall_us = elapsed.as_micros() as u64;
+                if weseer_obs::timeline::enabled() {
+                    let tier = if stats.t0_discharged > 0 { "t0" } else { "t1" };
+                    weseer_obs::timeline::complete_since(
+                        "smt.solve",
+                        "smt",
+                        start,
+                        &[
+                            ("tier", tier.to_string()),
+                            ("verdict", result.verdict_str().to_string()),
+                        ],
+                    );
+                }
+                weseer_obs::observe_duration("smt.solve_us", elapsed);
                 weseer_obs::add("smt.solve_calls", 1);
                 (result, stats)
             }

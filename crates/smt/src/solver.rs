@@ -90,6 +90,15 @@ pub enum SolveResult {
 }
 
 impl SolveResult {
+    /// Short verdict label ("sat"/"unsat"/"unknown") for timelines.
+    pub fn verdict_str(&self) -> &'static str {
+        match self {
+            SolveResult::Sat(_) => "sat",
+            SolveResult::Unsat => "unsat",
+            SolveResult::Unknown => "unknown",
+        }
+    }
+
     /// Whether the result is SAT.
     pub fn is_sat(&self) -> bool {
         matches!(self, SolveResult::Sat(_))
@@ -142,6 +151,10 @@ pub struct SolverStats {
     pub t1_sat: u64,
     /// Queries that fell through every fast-path tier.
     pub fallthrough: u64,
+    /// Wall-clock microseconds spent answering the query (summed over
+    /// calls when absorbed). Nondeterministic — attribution only; must
+    /// never feed byte-compared reports or verdicts.
+    pub wall_us: u64,
 }
 
 impl SolverStats {
@@ -163,6 +176,7 @@ impl SolverStats {
         self.t1_unsat += other.t1_unsat;
         self.t1_sat += other.t1_sat;
         self.fallthrough += other.fallthrough;
+        self.wall_us += other.wall_us;
     }
 
     /// Total Unknown verdicts attributable to exhausted budgets rather
@@ -196,7 +210,21 @@ pub fn check_with_stats(
     let start = std::time::Instant::now();
     let mut stats = SolverStats::default();
     let result = check_inner(ctx, assertion, config, &mut stats);
-    weseer_obs::observe_duration("smt.solve_us", start.elapsed());
+    let elapsed = start.elapsed();
+    stats.wall_us = elapsed.as_micros() as u64;
+    if weseer_obs::timeline::enabled() {
+        weseer_obs::timeline::complete_since(
+            "smt.solve",
+            "smt",
+            start,
+            &[
+                ("tier", "full".to_string()),
+                ("verdict", result.verdict_str().to_string()),
+            ],
+        );
+    }
+    weseer_obs::observe_duration("smt.solve_us", elapsed);
+    weseer_obs::observe_duration("smt.full_solve_us", elapsed);
     weseer_obs::add("smt.solve_calls", 1);
     weseer_obs::add("smt.full_solve", 1);
     weseer_obs::add("smt.sat_budget_exhausted", stats.sat_budget_exhausted);
@@ -302,7 +330,21 @@ pub fn check_tiered(
         Fastpath::Decided(result) => {
             // Keep the funnel invariant `smt.solve_calls` = queries
             // answered, whether or not the full solver ran.
-            weseer_obs::observe_duration("smt.solve_us", start.elapsed());
+            let elapsed = start.elapsed();
+            stats.wall_us = elapsed.as_micros() as u64;
+            if weseer_obs::timeline::enabled() {
+                let tier = if stats.t0_discharged > 0 { "t0" } else { "t1" };
+                weseer_obs::timeline::complete_since(
+                    "smt.solve",
+                    "smt",
+                    start,
+                    &[
+                        ("tier", tier.to_string()),
+                        ("verdict", result.verdict_str().to_string()),
+                    ],
+                );
+            }
+            weseer_obs::observe_duration("smt.solve_us", elapsed);
             weseer_obs::add("smt.solve_calls", 1);
             (result, stats)
         }

@@ -152,6 +152,13 @@ impl Store {
         drop(inner);
         weseer_obs::add(&format!("store.{outcome}"), 1);
         weseer_obs::add(&format!("store.{outcome}.{kind}"), 1);
+        if weseer_obs::timeline::enabled() {
+            weseer_obs::timeline::instant(
+                &format!("store.{outcome}"),
+                "store",
+                &[("kind", kind.to_string())],
+            );
+        }
         result
     }
 

@@ -1,0 +1,136 @@
+//! Observability-plane integration: the trace timeline must capture a
+//! full pipeline run (spans, SMT solves, lock events, worker lanes) and
+//! export valid Chrome trace-event JSON; the live endpoint must serve the
+//! run's metrics, funnel, and wait-for state; and enabling the timeline
+//! must not change one byte of the diagnosis or replay output.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use weseer::apps::Shopizer;
+use weseer::core::{Weseer, FUNNEL_STAGES};
+use weseer::store::json::Json;
+
+/// The byte-comparison view of one analysis: rendered reports plus
+/// replay verdicts (witnesses as canonical JSON).
+fn render(analysis: &weseer::core::AppAnalysis) -> String {
+    let mut s = String::new();
+    for r in &analysis.diagnosis.deadlocks {
+        s.push_str(&format!("{r}\n"));
+    }
+    if let Some(replay) = &analysis.replay {
+        for v in &replay.verdicts {
+            match v.witness() {
+                Some(w) => s.push_str(&format!("{}\n", w.to_json())),
+                None => s.push_str(&format!("{}\n", v.tag())),
+            }
+        }
+    }
+    s
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to obs server");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let (head, body) = response.split_once("\r\n\r\n").expect("header separator");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{path}: {head}");
+    body.to_string()
+}
+
+#[test]
+fn observability_plane_end_to_end() {
+    // Force parallel workers so the timeline gets per-worker lanes.
+    std::env::set_var("WESEER_THREADS", "2");
+    weseer::obs::set_enabled(true);
+    weseer::obs::timeline::set_enabled(true);
+    weseer::obs::timeline::set_lane_name("main");
+
+    let analysis = Weseer::new().with_replay().analyze(&Shopizer);
+    weseer::obs::timeline::set_enabled(false);
+    let timeline = weseer::obs::timeline::snapshot();
+
+    // -- Pillar 1: the timeline covered the whole run -------------------
+    assert!(!timeline.records.is_empty(), "timeline recorded nothing");
+    let cats: std::collections::BTreeSet<&str> = timeline.records.iter().map(|r| r.cat).collect();
+    for want in ["span", "smt", "db"] {
+        assert!(cats.contains(want), "no '{want}' records; have {cats:?}");
+    }
+    assert!(
+        timeline.records.iter().any(|r| r.name == "smt.solve"
+            && r.args.iter().any(|(k, _)| k == "tier")
+            && r.args.iter().any(|(k, _)| k == "verdict")),
+        "SMT solves must carry tier and verdict"
+    );
+    assert!(
+        timeline
+            .lanes
+            .iter()
+            .any(|l| l.starts_with("analyzer.worker")),
+        "no per-worker lane; lanes: {:?}",
+        timeline.lanes
+    );
+    assert!(timeline.lanes.iter().any(|l| l == "main"));
+
+    // The Chrome export is well-formed JSON with metadata + duration
+    // events on the worker lanes.
+    let chrome = weseer::obs::chrome::to_chrome_trace(&timeline);
+    let parsed = Json::parse(&chrome).expect("chrome trace must parse");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    let ph = |e: &Json| e.get("ph").and_then(Json::as_str).unwrap_or("").to_string();
+    assert!(
+        events
+            .iter()
+            .any(|e| ph(e) == "M" && e.get("name").and_then(Json::as_str) == Some("thread_name")),
+        "thread_name metadata missing"
+    );
+    assert!(events.iter().any(|e| ph(e) == "X"), "no complete events");
+    // Events land on more than one lane (main + at least one worker).
+    let tids: std::collections::BTreeSet<u64> = events
+        .iter()
+        .filter(|e| ph(e) == "X")
+        .filter_map(|e| e.get("tid").and_then(Json::as_u64))
+        .collect();
+    assert!(tids.len() > 1, "all events on one lane: {tids:?}");
+
+    // -- Pillar 2: the live endpoint serves the run's state -------------
+    let server =
+        weseer::obs::ObsServer::start("127.0.0.1:0", FUNNEL_STAGES).expect("bind obs server");
+    let addr = server.local_addr();
+
+    let metrics = get(addr, "/metrics");
+    assert!(metrics.contains("weseer_analyzer_txn_pairs_total"));
+    assert!(metrics.contains("weseer_smt_solve_us{quantile=\"0.99\"}"));
+
+    let funnel = Json::parse(&get(addr, "/funnel")).expect("funnel JSON");
+    let stages = funnel
+        .get("stages")
+        .and_then(Json::as_arr)
+        .expect("stages array");
+    assert_eq!(stages.len(), FUNNEL_STAGES.len());
+    assert!(
+        stages
+            .iter()
+            .any(|s| s.get("value").and_then(Json::as_u64).unwrap_or(0) > 0),
+        "every funnel stage empty"
+    );
+
+    let waitfor = Json::parse(&get(addr, "/waitfor")).expect("waitfor JSON");
+    assert!(waitfor.get("edges").and_then(Json::as_arr).is_some());
+    assert!(get(addr, "/waitfor.dot").starts_with("digraph waitfor {"));
+    assert!(get(addr, "/").contains("<html"));
+    server.stop();
+
+    // -- Pillar 3: recording is a pure observer -------------------------
+    weseer::obs::set_enabled(false);
+    let baseline = Weseer::new().with_replay().analyze(&Shopizer);
+    assert_eq!(
+        render(&analysis),
+        render(&baseline),
+        "timeline/metrics recording changed the diagnosis output"
+    );
+}
