@@ -1,0 +1,390 @@
+//! Static weak-isolation anomaly candidates over concolic traces.
+//!
+//! The deadlock phases ask "can these two transactions' lock acquisitions
+//! cycle?"; this oracle asks the MVCC question: *if the deployment ran at
+//! a weaker isolation level than serializable, which transaction pairs
+//! could exhibit a lost update, write skew, or read fracture?* It is a
+//! table-level screen in the spirit of phase 1's conflict graph — cheap,
+//! deterministic, and deliberately over-approximate. Every candidate
+//! names the isolation levels it can occur under; the replay engine's
+//! anomaly explorer (`weseer-replay`) then confirms or refutes it by
+//! actually searching interleavings at that level.
+//!
+//! Levels are plain kebab-case strings (`read-committed`,
+//! `repeatable-read`, `snapshot`) so the analyzer stays free of any
+//! storage-engine dependency; they match
+//! `weseer_db::IsolationLevel::name` exactly.
+//!
+//! Candidate rules (all require both transactions to have committed):
+//!
+//! * **lost-update** — both transactions plain-read a table before
+//!   writing it (a read-modify-write). Possible wherever stale RMWs
+//!   commit: `read-committed` and `repeatable-read` (first-updater-wins
+//!   kills it at `snapshot`).
+//! * **write-skew** — each transaction plain-reads a table the other
+//!   writes (crossed rw-antidependencies). Possible at every weak level
+//!   including `snapshot`.
+//! * **read-fracture** — one transaction plain-reads the same table
+//!   twice while the other writes it. Only `read-committed` re-snapshots
+//!   between statements.
+
+use crate::diagnose::CollectedTrace;
+use std::fmt::Write as _;
+use weseer_sqlir::Statement;
+
+/// One statically identified anomaly candidate, to be confirmed by the
+/// replay engine at the named isolation levels.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AnomalyCandidate {
+    /// Kebab-case anomaly kind (`lost-update`, `write-skew`,
+    /// `read-fracture`).
+    pub kind: String,
+    /// The conflicted table (write skew: lexicographically first of the
+    /// two crossed tables).
+    pub table: String,
+    /// First API (instance `A1`).
+    pub a_api: String,
+    /// Transaction ordinal within `a_api`'s trace.
+    pub a_txn: usize,
+    /// Second API (instance `A2`; may equal `a_api` — two concurrent
+    /// instances of one endpoint).
+    pub b_api: String,
+    /// Transaction ordinal within `b_api`'s trace.
+    pub b_txn: usize,
+    /// Isolation levels the anomaly can occur under, weakest first.
+    pub levels: Vec<String>,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl AnomalyCandidate {
+    /// Stable identity for dedup and verdict-store keys.
+    pub fn signature(&self) -> String {
+        format!(
+            "{}|{}|{}#{}|{}#{}",
+            self.kind, self.table, self.a_api, self.a_txn, self.b_api, self.b_txn
+        )
+    }
+
+    /// Canonical single-line JSON rendering (stable field order).
+    pub fn to_json(&self) -> String {
+        let esc = |s: &str| {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c => out.push(c),
+                }
+            }
+            out
+        };
+        let mut s = format!(
+            "{{\"kind\":\"{}\",\"table\":\"{}\",\"a_api\":\"{}\",\"a_txn\":{},\"b_api\":\"{}\",\"b_txn\":{},\"levels\":[",
+            esc(&self.kind),
+            esc(&self.table),
+            esc(&self.a_api),
+            self.a_txn,
+            esc(&self.b_api),
+            self.b_txn
+        );
+        for (i, l) in self.levels.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{}\"", esc(l));
+        }
+        let _ = write!(s, "],\"detail\":\"{}\"}}", esc(&self.detail));
+        s
+    }
+}
+
+/// Table-level read/write profile of one traced transaction.
+#[derive(Debug, Default)]
+struct TxnProfile {
+    /// Tables plain-SELECT'd (snapshot reads under MVCC).
+    plain_reads: Vec<String>,
+    /// Tables written (UPDATE/INSERT/DELETE/SELECT FOR UPDATE).
+    writes: Vec<String>,
+    /// Tables plain-read *before* a later write to the same table (RMW).
+    rmw: Vec<String>,
+    /// Tables plain-read by two or more statements.
+    repeated_reads: Vec<String>,
+}
+
+fn profile(trace: &CollectedTrace, txn: usize) -> Option<TxnProfile> {
+    let tt = trace.trace.txns.get(txn)?;
+    if !tt.committed {
+        return None;
+    }
+    let mut p = TxnProfile::default();
+    let mut read_counts: Vec<(String, usize)> = Vec::new();
+    for rec in trace.trace.statements_of(tt.id) {
+        let is_plain_select = matches!(&rec.stmt, Statement::Select(s) if !s.for_update);
+        if is_plain_select {
+            for t in rec.stmt.tables() {
+                match read_counts.iter_mut().find(|(n, _)| *n == t) {
+                    Some((_, c)) => *c += 1,
+                    None => read_counts.push((t.clone(), 1)),
+                }
+                if !p.plain_reads.contains(&t) {
+                    p.plain_reads.push(t);
+                }
+            }
+        } else if let Some(w) = rec.stmt.written_table() {
+            let w = w.to_string();
+            if p.plain_reads.contains(&w) && !p.rmw.contains(&w) {
+                p.rmw.push(w.clone());
+            }
+            if !p.writes.contains(&w) {
+                p.writes.push(w);
+            }
+        }
+    }
+    p.repeated_reads = read_counts
+        .into_iter()
+        .filter(|(_, c)| *c >= 2)
+        .map(|(t, _)| t)
+        .collect();
+    Some(p)
+}
+
+const WEAK_RMW: [&str; 2] = ["read-committed", "repeatable-read"];
+const WEAK_ALL: [&str; 3] = ["read-committed", "repeatable-read", "snapshot"];
+const WEAK_RC: [&str; 1] = ["read-committed"];
+
+fn levels(ls: &[&str]) -> Vec<String> {
+    ls.iter().map(|s| s.to_string()).collect()
+}
+
+/// Scan every committed transaction pair — including a transaction paired
+/// with itself as a second concurrent instance — for table-level anomaly
+/// structure. Output is sorted and deduplicated; byte-identical across
+/// runs and thread counts.
+pub fn find_anomaly_candidates(traces: &[CollectedTrace]) -> Vec<AnomalyCandidate> {
+    let _span = weseer_obs::span("analyzer.anomaly.scan");
+    // (trace index, txn ordinal, profile) for committed transactions.
+    let mut profiles: Vec<(usize, usize, TxnProfile)> = Vec::new();
+    for (ti, trace) in traces.iter().enumerate() {
+        for txn in 0..trace.trace.txns.len() {
+            if let Some(p) = profile(trace, txn) {
+                profiles.push((ti, txn, p));
+            }
+        }
+    }
+    let mut out: Vec<AnomalyCandidate> = Vec::new();
+    for (i, (ta, txa, pa)) in profiles.iter().enumerate() {
+        for (tb, txb, pb) in profiles.iter().skip(i) {
+            let (a_api, b_api) = (traces[*ta].api(), traces[*tb].api());
+            // Lost update: both RMW the same table.
+            for t in pa.rmw.iter().filter(|t| pb.rmw.contains(t)) {
+                out.push(AnomalyCandidate {
+                    kind: "lost-update".into(),
+                    table: t.clone(),
+                    a_api: a_api.into(),
+                    a_txn: *txa,
+                    b_api: b_api.into(),
+                    b_txn: *txb,
+                    levels: levels(&WEAK_RMW),
+                    detail: format!(
+                        "both transactions read-modify-write {t}; a stale read can \
+                         silently overwrite the other's committed update"
+                    ),
+                });
+            }
+            // Write skew: crossed read/write table dependencies.
+            let crossed = |x: &TxnProfile, y: &TxnProfile| -> Option<String> {
+                let mut hits: Vec<&String> = x
+                    .plain_reads
+                    .iter()
+                    .filter(|t| y.writes.contains(t))
+                    .collect();
+                hits.sort();
+                hits.first().map(|t| (*t).clone())
+            };
+            if let (Some(t1), Some(t2)) = (crossed(pa, pb), crossed(pb, pa)) {
+                let mut tables = [t1.clone(), t2.clone()];
+                tables.sort();
+                out.push(AnomalyCandidate {
+                    kind: "write-skew".into(),
+                    table: tables[0].clone(),
+                    a_api: a_api.into(),
+                    a_txn: *txa,
+                    b_api: b_api.into(),
+                    b_txn: *txb,
+                    levels: levels(&WEAK_ALL),
+                    detail: format!(
+                        "each transaction reads a table the other writes \
+                         ({t1} / {t2}); disjoint writes can commit a state no \
+                         serial order reaches"
+                    ),
+                });
+            }
+            // Read fracture: a repeated plain read racing any writer
+            // (either direction of the pair).
+            let fracture = |reader: &TxnProfile,
+                            writer: &TxnProfile,
+                            r_api: &str,
+                            r_txn: usize,
+                            w_api: &str,
+                            w_txn: usize,
+                            out: &mut Vec<AnomalyCandidate>| {
+                for t in reader
+                    .repeated_reads
+                    .iter()
+                    .filter(|t| writer.writes.contains(t))
+                {
+                    out.push(AnomalyCandidate {
+                        kind: "read-fracture".into(),
+                        table: t.clone(),
+                        a_api: r_api.into(),
+                        a_txn: r_txn,
+                        b_api: w_api.into(),
+                        b_txn: w_txn,
+                        levels: levels(&WEAK_RC),
+                        detail: format!(
+                            "the first transaction reads {t} twice while the \
+                             second writes it; per-statement snapshots can \
+                             return two different versions"
+                        ),
+                    });
+                }
+            };
+            fracture(pa, pb, a_api, *txa, b_api, *txb, &mut out);
+            if !(ta == tb && txa == txb) {
+                fracture(pb, pa, b_api, *txb, a_api, *txa, &mut out);
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    weseer_obs::add("analyzer.anomaly.candidates", out.len() as u64);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weseer_concolic::{EngineStats, StackTrace, StmtRecord, Trace, TxnTrace};
+    use weseer_smt::Ctx;
+    use weseer_sqlir::parser::parse;
+
+    /// A one-transaction trace from raw SQL (no rows or symbolic params —
+    /// the oracle only looks at statement shapes).
+    fn trace(api: &str, sqls: &[&str], committed: bool) -> CollectedTrace {
+        let statements: Vec<StmtRecord> = sqls
+            .iter()
+            .enumerate()
+            .map(|(i, sql)| StmtRecord {
+                index: i + 1,
+                seq: (i + 1) as u64,
+                txn: 0,
+                stmt: parse(sql).unwrap(),
+                params: vec![],
+                rows: vec![],
+                is_empty: true,
+                trigger: StackTrace::new(),
+                sent_at: StackTrace::new(),
+            })
+            .collect();
+        let stmt_indexes = (0..statements.len()).collect();
+        CollectedTrace::new(
+            Trace {
+                api: api.into(),
+                statements,
+                txns: vec![TxnTrace {
+                    id: 0,
+                    stmt_indexes,
+                    committed,
+                }],
+                path_conds: vec![],
+                unique_ids: vec![],
+                stats: EngineStats::default(),
+            },
+            Ctx::new(),
+        )
+    }
+
+    const WITHDRAW: &[&str] = &[
+        "SELECT * FROM Account a WHERE a.ID = ?",
+        "UPDATE Account SET BAL = ? WHERE ID = ?",
+    ];
+
+    #[test]
+    fn rmw_pair_yields_lost_update_and_write_skew() {
+        let traces = vec![trace("Withdraw", WITHDRAW, true)];
+        let cands = find_anomaly_candidates(&traces);
+        // Self-pair: two concurrent instances of the same endpoint.
+        assert!(cands.iter().any(|c| c.kind == "lost-update"
+            && c.table == "Account"
+            && c.a_api == "Withdraw"
+            && c.b_api == "Withdraw"));
+        let lu = cands.iter().find(|c| c.kind == "lost-update").unwrap();
+        assert_eq!(lu.levels, vec!["read-committed", "repeatable-read"]);
+        // Same-table crossed reads are also skew-shaped at table level.
+        assert!(cands
+            .iter()
+            .any(|c| c.kind == "write-skew" && c.levels.contains(&"snapshot".to_string())));
+    }
+
+    #[test]
+    fn disjoint_tables_and_uncommitted_txns_are_quiet() {
+        let a = trace(
+            "ReadOnly",
+            &["SELECT * FROM Account a WHERE a.ID = ?"],
+            true,
+        );
+        let b = trace("Other", &["UPDATE Inventory SET N = ? WHERE ID = ?"], true);
+        assert!(find_anomaly_candidates(&[a, b]).is_empty());
+        let rolled_back = trace("Withdraw", WITHDRAW, false);
+        assert!(find_anomaly_candidates(&[rolled_back]).is_empty());
+    }
+
+    #[test]
+    fn repeated_read_vs_writer_yields_read_fracture() {
+        let reader = trace(
+            "Audit",
+            &[
+                "SELECT * FROM Account a WHERE a.ID = ?",
+                "SELECT * FROM Account a WHERE a.ID = ?",
+            ],
+            true,
+        );
+        let writer = trace("Pay", &["UPDATE Account SET BAL = ? WHERE ID = ?"], true);
+        let cands = find_anomaly_candidates(&[reader, writer]);
+        let rf = cands.iter().find(|c| c.kind == "read-fracture").unwrap();
+        assert_eq!(rf.a_api, "Audit");
+        assert_eq!(rf.b_api, "Pay");
+        assert_eq!(rf.levels, vec!["read-committed"]);
+    }
+
+    #[test]
+    fn select_for_update_is_a_current_read_not_a_candidate() {
+        // FOR UPDATE keeps 2PL locks at every level: no snapshot staleness.
+        let t = trace(
+            "Safe",
+            &[
+                "SELECT * FROM Account a WHERE a.ID = ? FOR UPDATE",
+                "UPDATE Account SET BAL = ? WHERE ID = ?",
+            ],
+            true,
+        );
+        assert!(find_anomaly_candidates(&[t]).is_empty());
+    }
+
+    #[test]
+    fn output_is_sorted_and_json_is_stable() {
+        let traces = vec![trace("Withdraw", WITHDRAW, true)];
+        let a = find_anomaly_candidates(&traces);
+        let b = find_anomaly_candidates(&traces);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort();
+        assert_eq!(a, sorted);
+        let j = a[0].to_json();
+        assert!(j.starts_with("{\"kind\":\""));
+        assert!(j.contains("\"levels\":["));
+        assert!(!a[0].signature().is_empty());
+    }
+}

@@ -25,8 +25,13 @@
 //!   cache, and statistics; also the STEPDAD/REDACT-style coarse baseline
 //!   for the Sec. VII-B comparison;
 //! * [`report`] — developer-facing deadlock reports with triggering code
-//!   and witness assignments.
+//!   and witness assignments;
+//! * [`anomaly`] — the MVCC side-channel: a table-level screen for
+//!   weak-isolation anomaly candidates (lost update, write skew, read
+//!   fracture) that the replay engine confirms by exploring interleavings
+//!   at the requested isolation level.
 
+pub mod anomaly;
 pub mod diagnose;
 pub mod encode;
 pub mod indexes;
@@ -37,6 +42,7 @@ pub mod report;
 pub mod schedule;
 pub mod viz;
 
+pub use anomaly::{find_anomaly_candidates, AnomalyCandidate};
 pub use diagnose::{
     coarse_cycle_count, diagnose, diagnose_incremental, diagnose_with_oracle, AnalyzerConfig,
     CollectedTrace, Diagnosis, DiagnosisStats, StoreCtx, LOCK_MODEL_VERSION,

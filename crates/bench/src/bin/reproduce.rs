@@ -6,6 +6,7 @@
 //!           [--store <path>] [--dirty <api>] [--incremental-bench [app]]
 //!           [--trace-out <path>] [--serve <addr>] [--serve-hold <secs>]
 //!           [--timeline-bench [app]]
+//!           [--isolation <level>] [--anomaly-out <path>] [--mvcc-bench]
 //!           [table1] [table2] [table3] [fig10] [fig11] [pruning]
 //!           [baseline] [aborts] [all]
 //! ```
@@ -55,6 +56,21 @@
 //! timeline-off and a timeline-on pipeline run per app, writes
 //! `BENCH_timeline.json`, and exits nonzero if enabling the timeline
 //! changed one output byte (it must be a pure observer).
+//!
+//! MVCC isolation plane: `--isolation <level>` selects the session
+//! isolation level for every experiment (`serializable` — the default —
+//! `snapshot`, `repeatable-read`, or `read-committed`; equivalent to
+//! `WESEER_ISOLATION=<level>`, and rejected with the list of valid names
+//! on a typo). At the default serializable level every output is
+//! byte-identical to the pre-MVCC tool. `--anomaly-out <path>` runs the
+//! diagnosis pipeline on both apps, prints the weak-isolation anomaly
+//! screen (lost update / write skew / read fracture candidates from the
+//! static oracle, confirmed or cleared by the interleaving explorer),
+//! and writes one JSON line per app to `<path>` (`null` anomalies under
+//! serializable). `--mvcc-bench` explores the planted lost-update and
+//! write-skew workloads at all four levels, writes the verdict grid to
+//! `BENCH_mvcc.json`, and exits nonzero unless the levels separate (the
+//! anomalies show up at their weak levels and vanish at serializable).
 
 use std::io::Write as _;
 use weseer_bench::experiments;
@@ -63,6 +79,8 @@ use weseer_core::FUNNEL_STAGES;
 fn main() {
     let mut metrics_out: Option<String> = None;
     let mut witness_out: Option<String> = None;
+    let mut anomaly_out: Option<String> = None;
+    let mut mvcc_bench = false;
     let mut smt_ablation: Option<Vec<&'static str>> = None;
     let mut incremental: Option<Vec<&'static str>> = None;
     let mut timeline_bench: Option<Vec<&'static str>> = None;
@@ -158,6 +176,29 @@ fn main() {
                 std::process::exit(2);
             });
             witness_out = Some(path);
+        } else if arg == "--anomaly-out" {
+            let path = raw.next().unwrap_or_else(|| {
+                eprintln!("--anomaly-out requires a path argument");
+                std::process::exit(2);
+            });
+            anomaly_out = Some(path);
+        } else if arg == "--mvcc-bench" {
+            mvcc_bench = true;
+        } else if arg == "--isolation" {
+            let raw_level = raw.next().unwrap_or_else(|| {
+                eprintln!("--isolation requires a level argument");
+                std::process::exit(2);
+            });
+            // Validate up front for a clean error, then hand the level to
+            // the experiments' `Weseer` facades through the env var
+            // (mirrors `--threads` / `WESEER_THREADS`).
+            let level = raw_level
+                .parse::<weseer_db::IsolationLevel>()
+                .unwrap_or_else(|e| {
+                    eprintln!("--isolation: {e}");
+                    std::process::exit(2);
+                });
+            std::env::set_var(weseer_db::ISOLATION_ENV, level.name());
         } else if arg == "--threads" {
             let n = raw
                 .next()
@@ -182,6 +223,8 @@ fn main() {
     let all = (selected.is_empty()
         && metrics_out.is_none()
         && witness_out.is_none()
+        && anomaly_out.is_none()
+        && !mvcc_bench
         && smt_ablation.is_none()
         && incremental.is_none()
         && timeline_bench.is_none())
@@ -270,6 +313,33 @@ fn main() {
         }
         println!("{human}");
         println!("witnesses written to {path}");
+    }
+    if let Some(path) = anomaly_out {
+        let _span = weseer_obs::span("reproduce.anomaly_report");
+        let (human, json) = experiments::anomaly_report();
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write anomaly report to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("{human}");
+        println!("anomaly report written to {path}");
+    }
+    if mvcc_bench {
+        let _span = weseer_obs::span("reproduce.mvcc_bench");
+        let bench = experiments::mvcc_bench();
+        println!("{}", bench.report);
+        if let Err(e) = std::fs::write("BENCH_mvcc.json", &bench.bench_json) {
+            eprintln!("failed to write BENCH_mvcc.json: {e}");
+            std::process::exit(1);
+        }
+        println!("bench summary written to BENCH_mvcc.json");
+        if bench.failed {
+            eprintln!(
+                "mvcc-bench: the isolation levels failed to separate — \
+                 planted anomalies must appear at weak levels and vanish at serializable"
+            );
+            std::process::exit(1);
+        }
     }
     if let Some(apps) = smt_ablation {
         let _span = weseer_obs::span("reproduce.smt_ablation");

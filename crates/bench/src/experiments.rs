@@ -9,6 +9,7 @@ use weseer_apps::{Broadleaf, ECommerceApp, Fix, KnownDeadlock, Shopizer};
 use weseer_core::{
     measure_overhead, measure_pruning, run_perf_sweep, PerfConfig, Weseer, FUNNEL_STAGES,
 };
+use weseer_db::IsolationLevel;
 
 /// Table I: the target APIs with inputs and invocation counts.
 pub fn table1() -> String {
@@ -1029,6 +1030,308 @@ pub fn timeline_bench(apps: &[&str]) -> TimelineBench {
     }
 }
 
+/// `--anomaly-out`: run the diagnosis pipeline on both apps at the
+/// session isolation level (`--isolation` / `WESEER_ISOLATION`) and
+/// return `(human report, anomaly JSON lines)` — one line per app with
+/// the candidate/verdict grid from the static anomaly oracle and the
+/// interleaving explorer, or `null` under the default serializable level
+/// (the anomaly stage only runs under weak isolation, keeping the
+/// default output byte-identical to the pre-MVCC tool).
+pub fn anomaly_report() -> (String, String) {
+    let weseer = Weseer::new();
+    let mut human = String::new();
+    let mut json = String::new();
+    for analysis in [weseer.analyze(&Broadleaf), weseer.analyze(&Shopizer)] {
+        match &analysis.anomalies {
+            Some(a) => {
+                let _ = writeln!(
+                    human,
+                    "== {} anomaly screen at {} ==",
+                    analysis.app, a.isolation
+                );
+                let _ = writeln!(
+                    human,
+                    "{} candidates ({} beyond the cap), {} confirmed",
+                    a.candidates.len() + a.truncated,
+                    a.truncated,
+                    a.confirmed().len(),
+                );
+                for (c, v) in a.candidates.iter().zip(&a.verdicts) {
+                    let _ = writeln!(
+                        human,
+                        "  {} on {}: {} vs {} -> {}",
+                        c.kind,
+                        c.table,
+                        c.a_api,
+                        c.b_api,
+                        v.tag()
+                    );
+                }
+                let _ = writeln!(
+                    json,
+                    "{{\"app\":\"{}\",\"anomalies\":{}}}",
+                    analysis.app,
+                    a.to_json()
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    human,
+                    "== {} anomaly screen == serializable 2PL: stage skipped",
+                    analysis.app
+                );
+                let _ = writeln!(json, "{{\"app\":\"{}\",\"anomalies\":null}}", analysis.app);
+            }
+        }
+    }
+    (human, json)
+}
+
+/// Result of the MVCC isolation-level anomaly benchmark.
+pub struct MvccBench {
+    /// Human-readable per-workload, per-level verdict table.
+    pub report: String,
+    /// One JSON line for `BENCH_mvcc.json`.
+    pub bench_json: String,
+    /// True if the isolation levels failed to separate: a planted anomaly
+    /// survived serializable, a weak level missed its anomaly, or no
+    /// weak/strong divergence was observed at all. Fails CI.
+    pub failed: bool,
+}
+
+/// One planted anomaly workload for the MVCC bench: a pair of transaction
+/// instances over a freshly seeded database.
+struct MvccWorkload {
+    name: &'static str,
+    /// The anomaly kind the weakest susceptible level must confirm.
+    expected_kind: &'static str,
+    /// The weakest level where `expected_kind` must show up.
+    must_confirm_at: IsolationLevel,
+    base: weseer_db::Database,
+    instances: Vec<weseer_replay::Instance>,
+}
+
+/// The classic lost-update pair: two read-modify-write withdrawals over
+/// one account row (same shape as `examples/anomaly_lost_update.rs`).
+fn mvcc_lost_update() -> MvccWorkload {
+    use weseer_sqlir::{Catalog, ColType, TableBuilder, Value};
+    let catalog = Catalog::new(vec![TableBuilder::new("Account")
+        .col("ID", ColType::Int)
+        .col("BAL", ColType::Int)
+        .primary_key(&["ID"])
+        .build()
+        .unwrap()])
+    .unwrap();
+    let base = weseer_db::Database::new(catalog);
+    base.seed("Account", vec![vec![Value::Int(1), Value::Int(100)]]);
+    MvccWorkload {
+        name: "lost_update",
+        expected_kind: "lost-update",
+        must_confirm_at: IsolationLevel::ReadCommitted,
+        base,
+        instances: vec![
+            mvcc_instance(
+                "A1",
+                &[
+                    ("SELECT * FROM Account a WHERE a.ID = ?", &[1]),
+                    ("UPDATE Account SET BAL = ? WHERE ID = ?", &[90, 1]),
+                ],
+            ),
+            mvcc_instance(
+                "A2",
+                &[
+                    ("SELECT * FROM Account a WHERE a.ID = ?", &[1]),
+                    ("UPDATE Account SET BAL = ? WHERE ID = ?", &[95, 1]),
+                ],
+            ),
+        ],
+    }
+}
+
+/// The on-call write-skew pair: both sessions check the roster, then each
+/// signs off a different doctor (same shape as
+/// `examples/anomaly_write_skew.rs`).
+fn mvcc_write_skew() -> MvccWorkload {
+    use weseer_sqlir::{Catalog, ColType, TableBuilder, Value};
+    let catalog = Catalog::new(vec![TableBuilder::new("Doctors")
+        .col("ID", ColType::Int)
+        .col("ONCALL", ColType::Int)
+        .primary_key(&["ID"])
+        .build()
+        .unwrap()])
+    .unwrap();
+    let base = weseer_db::Database::new(catalog);
+    base.seed(
+        "Doctors",
+        vec![
+            vec![Value::Int(1), Value::Int(1)],
+            vec![Value::Int(2), Value::Int(1)],
+        ],
+    );
+    MvccWorkload {
+        name: "write_skew",
+        expected_kind: "write-skew",
+        must_confirm_at: IsolationLevel::Snapshot,
+        base,
+        instances: vec![
+            mvcc_instance(
+                "A1",
+                &[
+                    ("SELECT * FROM Doctors d WHERE d.ONCALL = ?", &[1]),
+                    ("UPDATE Doctors SET ONCALL = ? WHERE ID = ?", &[0, 1]),
+                ],
+            ),
+            mvcc_instance(
+                "A2",
+                &[
+                    ("SELECT * FROM Doctors d WHERE d.ONCALL = ?", &[1]),
+                    ("UPDATE Doctors SET ONCALL = ? WHERE ID = ?", &[0, 2]),
+                ],
+            ),
+        ],
+    }
+}
+
+fn mvcc_instance(name: &str, stmts: &[(&str, &[i64])]) -> weseer_replay::Instance {
+    use weseer_sqlir::{parser::parse, Value};
+    weseer_replay::Instance {
+        name: name.into(),
+        stmts: stmts
+            .iter()
+            .enumerate()
+            .map(|(i, (sql, ps))| {
+                weseer_replay::ConcreteStmt::new(
+                    i + 1,
+                    parse(sql).unwrap(),
+                    ps.iter().map(|&v| Value::Int(v)).collect(),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// `--mvcc-bench`: explore both planted anomaly workloads at every
+/// isolation level and verify the levels separate — the lost update is
+/// confirmed at read-committed, the write skew at snapshot, and both
+/// vanish under the default serializable 2PL. Writes the per-cell
+/// verdict grid to `BENCH_mvcc.json`; the weak/strong divergence count
+/// must be nonzero and serializable must be clean, otherwise CI fails.
+pub fn mvcc_bench() -> MvccBench {
+    use weseer_replay::{explore_anomalies, AnomalyOutcome, ReplayConfig};
+
+    let mut report = String::from("MVCC anomaly oracle: planted workloads per isolation level\n");
+    let mut failed = false;
+    let mut divergence = 0usize;
+    let mut rows = Vec::new();
+    let mut json_workloads = Vec::new();
+
+    for workload in [mvcc_lost_update(), mvcc_write_skew()] {
+        let apis: Vec<String> = vec!["ApiA".into(), "ApiB".into()];
+        let mut json_cells = Vec::new();
+        for level in IsolationLevel::ALL {
+            let out = explore_anomalies(
+                &workload.base,
+                &workload.instances,
+                &apis,
+                level,
+                &ReplayConfig::default(),
+            );
+            let (confirmed, kinds, explored, pruned) = match &out {
+                AnomalyOutcome::Anomalous(w) => {
+                    let mut kinds: Vec<String> =
+                        w.anomalies.iter().map(|a| a.kind.clone()).collect();
+                    kinds.dedup();
+                    (true, kinds, w.schedules_explored, w.schedules_pruned)
+                }
+                AnomalyOutcome::Clean { explored, pruned } => {
+                    (false, Vec::new(), *explored, *pruned)
+                }
+            };
+            if confirmed {
+                divergence += 1;
+            }
+            if level == IsolationLevel::Serializable && confirmed {
+                failed = true;
+                let _ = writeln!(
+                    report,
+                    "FAILURE: {} reported an anomaly under serializable 2PL",
+                    workload.name
+                );
+            }
+            if level == workload.must_confirm_at
+                && !kinds.iter().any(|k| k == workload.expected_kind)
+            {
+                failed = true;
+                let _ = writeln!(
+                    report,
+                    "FAILURE: {} did not confirm {} at {}",
+                    workload.name,
+                    workload.expected_kind,
+                    level.name()
+                );
+            }
+            rows.push(vec![
+                workload.name.to_string(),
+                level.name().to_string(),
+                if confirmed { "ANOMALOUS" } else { "clean" }.to_string(),
+                if kinds.is_empty() {
+                    "-".to_string()
+                } else {
+                    kinds.join(",")
+                },
+                explored.to_string(),
+                pruned.to_string(),
+            ]);
+            json_cells.push(format!(
+                "\"{}\":{{\"confirmed\":{confirmed},\"kinds\":[{}],\
+                 \"schedules_explored\":{explored},\"schedules_pruned\":{pruned}}}",
+                level.name(),
+                kinds
+                    .iter()
+                    .map(|k| format!("\"{k}\""))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ));
+        }
+        json_workloads.push(format!(
+            "\"{}\":{{{}}}",
+            workload.name,
+            json_cells.join(",")
+        ));
+    }
+    if divergence == 0 {
+        failed = true;
+        report.push_str("FAILURE: no isolation level diverged from serializable\n");
+    }
+
+    report.push_str(&table(
+        &[
+            "workload",
+            "isolation",
+            "verdict",
+            "anomalies",
+            "explored",
+            "pruned",
+        ],
+        &rows,
+    ));
+    let _ = writeln!(
+        report,
+        "weak/strong divergence: {divergence} anomalous cells \
+         (lost update at read-committed, write skew at snapshot, \
+         serializable clean)"
+    );
+    let bench_json = format!(
+        "{{\"bench\":\"mvcc_anomaly\",\"failed\":{failed},\"divergence\":{divergence},{}}}\n",
+        json_workloads.join(",")
+    );
+    MvccBench {
+        report,
+        bench_json,
+        failed,
+    }
+}
+
 fn indent(text: &str, pad: &str) -> String {
     let mut out = String::new();
     for line in text.lines() {
@@ -1096,5 +1399,18 @@ mod tests {
         assert!((ablation_cache_hit_rate(&rows) - 0.75).abs() < 1e-9);
         let json = ablation_json_entry("broadleaf", &rows);
         assert!(json.contains("\"cache_hit_rate\":0.750"), "{json}");
+    }
+
+    #[test]
+    fn mvcc_bench_levels_separate() {
+        let bench = mvcc_bench();
+        assert!(!bench.failed, "{}", bench.report);
+        assert!(bench.bench_json.starts_with("{\"bench\":\"mvcc_anomaly\""));
+        assert!(bench.bench_json.contains("\"failed\":false"));
+        assert!(bench.bench_json.contains("\"lost_update\""));
+        assert!(bench.bench_json.contains("\"write_skew\""));
+        // The grid is fully deterministic (no wall-clock fields): CI can
+        // diff BENCH_mvcc.json across runs.
+        assert_eq!(bench.bench_json, mvcc_bench().bench_json);
     }
 }

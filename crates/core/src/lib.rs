@@ -31,5 +31,8 @@ pub mod replay;
 pub use oracle::DbPlanOracle;
 pub use overhead::{measure_overhead, measure_pruning, OverheadRow, PruningRow};
 pub use perf::{fix_configurations, run_perf_sweep, PerfConfig, PerfPoint};
-pub use pipeline::{AppAnalysis, ReplaySummary, TraceSummary, Weseer, FUNNEL_STAGES};
+pub use pipeline::{
+    AnomalyAnalysis, AnomalyVerdict, AppAnalysis, ReplaySummary, TraceSummary, Weseer,
+    FUNNEL_STAGES,
+};
 pub use replay::{prepare_db, replay, ReplayOutcome};

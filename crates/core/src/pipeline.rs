@@ -5,14 +5,17 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use weseer_analyzer::{
-    coarse_cycle_count, diagnose_incremental, resolve_threads, run_ordered, AnalyzerConfig,
-    CollectedTrace, Diagnosis, StoreCtx,
+    coarse_cycle_count, diagnose_incremental, find_anomaly_candidates, resolve_threads,
+    run_ordered, AnalyzerConfig, AnomalyCandidate, CollectedTrace, Diagnosis, StoreCtx,
 };
 use weseer_apps::app::collect_trace;
 use weseer_apps::{classify, AppLocks, ECommerceApp, Fixes, KnownDeadlock};
 use weseer_concolic::{ExecMode, LibraryMode};
-use weseer_db::Database;
-use weseer_replay::{ReplayVerdict, Witness};
+use weseer_db::{Database, IsolationLevel};
+use weseer_replay::{
+    concretize_txn, explore_anomalies, AnomalyOutcome, AnomalyWitness, Instance, ReplayVerdict,
+    Witness,
+};
 use weseer_store::{json::Json, Lookup, Store};
 
 /// The WeSEER tool facade.
@@ -32,6 +35,14 @@ pub struct Weseer {
     /// fingerprints are salted, invalidating every stored outcome that
     /// involves them (`WESEER_DIRTY` env var, or [`Weseer::with_dirty`]).
     pub dirty_apis: BTreeSet<String>,
+    /// When set to a non-serializable level, every analysis additionally
+    /// runs the weak-isolation anomaly oracle and confirms its candidates
+    /// by exploring interleavings at that level
+    /// ([`Weseer::with_isolation`]; also reachable via the
+    /// `WESEER_ISOLATION` environment variable). Trace collection and
+    /// deadlock diagnosis always run at the default serializable level,
+    /// so the deadlock output is untouched.
+    pub isolation: Option<IsolationLevel>,
 }
 
 /// Everything produced by analyzing one application.
@@ -55,6 +66,101 @@ pub struct AppAnalysis {
     /// `diagnosis.deadlocks`; `None` unless [`Weseer::with_replay`] was
     /// requested.
     pub replay: Option<ReplaySummary>,
+    /// Weak-isolation anomaly analysis; `None` unless a non-serializable
+    /// level was requested ([`Weseer::with_isolation`] or
+    /// `WESEER_ISOLATION`). Never feeds the deadlock report, so default
+    /// output stays byte-identical.
+    pub anomalies: Option<AnomalyAnalysis>,
+}
+
+/// Static anomaly candidates plus their dynamic confirmation at one
+/// isolation level.
+#[derive(Debug)]
+pub struct AnomalyAnalysis {
+    /// Kebab-case isolation level the confirmations ran under.
+    pub isolation: String,
+    /// Candidates from the static oracle, sorted; capped at
+    /// [`AnomalyAnalysis::MAX_CANDIDATES`] (`truncated` counts the rest).
+    pub candidates: Vec<AnomalyCandidate>,
+    /// One verdict per candidate, index-aligned.
+    pub verdicts: Vec<AnomalyVerdict>,
+    /// Candidates dropped by the cap.
+    pub truncated: usize,
+}
+
+/// Dynamic verdict for one anomaly candidate.
+#[derive(Debug)]
+pub enum AnomalyVerdict {
+    /// The explorer found a committed schedule exhibiting the anomaly.
+    Confirmed(Box<AnomalyWitness>),
+    /// No schedule within budget exhibited it.
+    Clean {
+        /// Schedules completed.
+        explored: usize,
+        /// Branches pruned by sleep sets.
+        pruned: usize,
+    },
+    /// The candidate cannot occur at the session's isolation level (e.g.
+    /// a lost update under snapshot isolation's first-updater-wins).
+    NotApplicable,
+    /// Confirmation was not attempted, with the reason.
+    Skipped(String),
+}
+
+impl AnomalyVerdict {
+    /// Short stable tag: `confirmed`, `clean`, `not_applicable`, or
+    /// `skipped`.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            AnomalyVerdict::Confirmed(_) => "confirmed",
+            AnomalyVerdict::Clean { .. } => "clean",
+            AnomalyVerdict::NotApplicable => "not_applicable",
+            AnomalyVerdict::Skipped(_) => "skipped",
+        }
+    }
+}
+
+impl AnomalyAnalysis {
+    /// Deterministic cap on confirmed candidates per analysis.
+    pub const MAX_CANDIDATES: usize = 8;
+
+    /// Confirmed witnesses, in candidate order.
+    pub fn confirmed(&self) -> Vec<&AnomalyWitness> {
+        self.verdicts
+            .iter()
+            .filter_map(|v| match v {
+                AnomalyVerdict::Confirmed(w) => Some(w.as_ref()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Canonical single-line JSON: candidates with their verdict tags and
+    /// witness lines, stable field order.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!(
+            "{{\"isolation\":\"{}\",\"truncated\":{},\"candidates\":[",
+            self.isolation, self.truncated
+        );
+        for (i, (c, v)) in self.candidates.iter().zip(&self.verdicts).enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"candidate\":{},\"verdict\":\"{}\"",
+                c.to_json(),
+                v.tag()
+            );
+            if let AnomalyVerdict::Confirmed(w) = v {
+                let _ = write!(s, ",\"witness\":{}", w.to_json());
+            }
+            s.push('}');
+        }
+        s.push_str("]}");
+        s
+    }
 }
 
 /// Witness-replay results for one analysis.
@@ -121,6 +227,9 @@ pub const FUNNEL_STAGES: &[(&str, &str)] = &[
     ("deadlocks reported", "analyzer.deadlocks_reported"),
     ("replay confirmed", "replay.confirmed"),
     ("replay not reproduced", "replay.not_reproduced"),
+    ("anomaly candidates", "analyzer.anomaly.candidates"),
+    ("anomaly confirmed", "replay.anomaly.confirmed"),
+    ("anomaly clean", "replay.anomaly.clean"),
 ];
 
 /// Summary of one collected trace.
@@ -193,6 +302,21 @@ impl Weseer {
     pub fn with_dirty(mut self, api: &str) -> Self {
         self.dirty_apis.insert(api.to_string());
         self
+    }
+
+    /// Ask "what if this deployment ran at `level`?": analyses
+    /// additionally run the weak-isolation anomaly oracle and confirm its
+    /// candidates by exploring interleavings at that level. Serializable
+    /// (the engine default) is a no-op — 2PL admits none of the anomalies.
+    pub fn with_isolation(mut self, level: IsolationLevel) -> Self {
+        self.isolation = Some(level);
+        self
+    }
+
+    /// The isolation level for anomaly analysis: the configured one, else
+    /// the `WESEER_ISOLATION` environment variable.
+    fn resolve_isolation(&self) -> Option<IsolationLevel> {
+        self.isolation.or_else(IsolationLevel::from_env)
     }
 
     /// The store to use for one analysis: the configured one, else the
@@ -363,6 +487,10 @@ impl Weseer {
             .replay
             .as_ref()
             .map(|cfg| Self::replay_reports(app, &diagnosis, &traces, cfg, store_ctx.as_ref()));
+        let anomalies = self
+            .resolve_isolation()
+            .filter(|iso| iso.uses_snapshots())
+            .map(|iso| Self::anomaly_reports(app, &traces, iso));
         if let Some(s) = &store {
             s.flush().unwrap_or_else(|e| panic!("store flush: {e}"));
         }
@@ -376,6 +504,88 @@ impl Weseer {
             coarse_cycles,
             metrics,
             replay,
+            anomalies,
+        }
+    }
+
+    /// Run the static anomaly oracle over the traces, then confirm each
+    /// candidate (up to [`AnomalyAnalysis::MAX_CANDIDATES`]) by exploring
+    /// interleavings at `iso` against a database prepared to the state
+    /// the traces ran from. Candidates whose level list excludes `iso`
+    /// are reported [`AnomalyVerdict::NotApplicable`] without exploring.
+    fn anomaly_reports(
+        app: &dyn ECommerceApp,
+        traces: &[CollectedTrace],
+        iso: IsolationLevel,
+    ) -> AnomalyAnalysis {
+        let _span = weseer_obs::span("pipeline.anomalies");
+        let mut candidates = find_anomaly_candidates(traces);
+        let truncated = candidates
+            .len()
+            .saturating_sub(AnomalyAnalysis::MAX_CANDIDATES);
+        candidates.truncate(AnomalyAnalysis::MAX_CANDIDATES);
+        let order = app.unit_tests();
+        let mut bases: BTreeMap<String, Database> = BTreeMap::new();
+        let empty_model = weseer_smt::Model::default();
+        let verdicts = candidates
+            .iter()
+            .map(|c| {
+                if !c.levels.iter().any(|l| l == iso.name()) {
+                    return AnomalyVerdict::NotApplicable;
+                }
+                let find = |api: &str| traces.iter().find(|t| t.api() == api);
+                let (Some(ta), Some(tb)) = (find(&c.a_api), find(&c.b_api)) else {
+                    return AnomalyVerdict::Skipped("trace missing".into());
+                };
+                // Replays use the traced inputs (the oracle has no SAT
+                // model to pin anything sharper).
+                let a_stmts = concretize_txn(ta, c.a_txn, &empty_model);
+                let b_stmts = concretize_txn(tb, c.b_txn, &empty_model);
+                if a_stmts.is_empty() || b_stmts.is_empty() {
+                    return AnomalyVerdict::Skipped(
+                        "candidate transaction has no statements".into(),
+                    );
+                }
+                let instances = vec![
+                    Instance {
+                        name: "A1".into(),
+                        stmts: a_stmts,
+                    },
+                    Instance {
+                        name: "A2".into(),
+                        stmts: b_stmts,
+                    },
+                ];
+                let apis = vec![c.a_api.clone(), c.b_api.clone()];
+                // Same base-state rule as deadlock replay: the earlier of
+                // the two APIs in unit-test order fixes the DB state.
+                let first = order
+                    .iter()
+                    .find(|t| **t == c.a_api || **t == c.b_api)
+                    .copied()
+                    .unwrap_or(order[0]);
+                let base = bases
+                    .entry(first.to_string())
+                    .or_insert_with(|| crate::replay::prepare_db(app, first));
+                match explore_anomalies(
+                    base,
+                    &instances,
+                    &apis,
+                    iso,
+                    &weseer_replay::ReplayConfig::default(),
+                ) {
+                    AnomalyOutcome::Anomalous(w) => AnomalyVerdict::Confirmed(w),
+                    AnomalyOutcome::Clean { explored, pruned } => {
+                        AnomalyVerdict::Clean { explored, pruned }
+                    }
+                }
+            })
+            .collect();
+        AnomalyAnalysis {
+            isolation: iso.name().to_string(),
+            candidates,
+            verdicts,
+            truncated,
         }
     }
 
@@ -518,5 +728,32 @@ mod tests {
             analysis.groups
         );
         assert!(analysis.coarse_cycles > analysis.diagnosis.deadlocks.len());
+        // No isolation requested: the anomaly stage must not even run.
+        assert!(analysis.anomalies.is_none());
+    }
+
+    #[test]
+    fn isolation_gates_the_anomaly_stage() {
+        use weseer_db::IsolationLevel;
+        // Serializable is a no-op: 2PL admits none of the anomalies, and
+        // the default output must stay byte-identical.
+        let at_serializable = Weseer::new()
+            .with_isolation(IsolationLevel::Serializable)
+            .analyze(&Shopizer);
+        assert!(at_serializable.anomalies.is_none());
+
+        let analysis = Weseer::new()
+            .with_isolation(IsolationLevel::ReadCommitted)
+            .analyze(&Shopizer);
+        let anomalies = analysis.anomalies.expect("weak level runs the oracle");
+        assert_eq!(anomalies.isolation, "read-committed");
+        assert_eq!(anomalies.candidates.len(), anomalies.verdicts.len());
+        let json = anomalies.to_json();
+        assert!(json.starts_with("{\"isolation\":\"read-committed\""));
+        // Deterministic: a second run produces identical JSON.
+        let again = Weseer::new()
+            .with_isolation(IsolationLevel::ReadCommitted)
+            .analyze(&Shopizer);
+        assert_eq!(again.anomalies.unwrap().to_json(), json);
     }
 }

@@ -1,0 +1,354 @@
+//! Runtime detection of weak-isolation anomalies.
+//!
+//! The tracker observes every MVCC session's snapshot reads and current
+//! writes and reports, per committed history, the classic anomalies the
+//! paper's 2PL model cannot produce:
+//!
+//! * **lost update** — a transaction overwrites a row it snapshot-read at
+//!   a version older than the latest committed one (the overwritten commit
+//!   is "lost" to the read-modify-write);
+//! * **write skew** — two concurrent committed transactions with disjoint
+//!   write sets, each snapshot-reading a row the other wrote while that
+//!   write was invisible to it (a bidirectional rw-antidependency, the SSI
+//!   dangerous structure);
+//! * **read fracture** — one transaction snapshot-reads the same row at
+//!   two different versions (read-committed's non-repeatable read).
+//!
+//! Events are recorded as *pending* while the transaction runs and
+//! promoted only at commit — an aborted transaction (e.g. a
+//! [`crate::DbError::WriteConflict`] victim) produces no anomalies, which
+//! is exactly why snapshot isolation kills lost updates. Sessions at
+//! serializable never touch the tracker, so default runs stay
+//! byte-identical.
+
+use crate::types::{RowId, TxnId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The anomaly class of an [`AnomalyEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AnomalyKind {
+    /// Stale read-modify-write overwrote a newer committed version.
+    LostUpdate,
+    /// Bidirectional rw-antidependency between concurrent committed
+    /// transactions with disjoint write sets.
+    WriteSkew,
+    /// Same row observed at two different versions within one transaction.
+    ReadFracture,
+}
+
+impl AnomalyKind {
+    /// Stable kebab-case name used in witnesses and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            AnomalyKind::LostUpdate => "lost-update",
+            AnomalyKind::WriteSkew => "write-skew",
+            AnomalyKind::ReadFracture => "read-fracture",
+        }
+    }
+}
+
+impl fmt::Display for AnomalyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One confirmed anomaly in a committed history.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AnomalyEvent {
+    /// Anomaly class.
+    pub kind: AnomalyKind,
+    /// Table of the conflicted row (write skew: lexicographically first
+    /// conflicted table).
+    pub table: String,
+    /// Participating transactions, ascending.
+    pub txns: Vec<TxnId>,
+    /// Human-readable explanation with row/version detail.
+    pub detail: String,
+}
+
+#[derive(Debug, Default)]
+struct TxnState {
+    snapshot: u64,
+    /// Snapshot reads: (table, rid) → version ts first observed.
+    reads: HashMap<(String, RowId), u64>,
+    /// Current writes: (table, rid).
+    writes: Vec<(String, RowId)>,
+    /// Events to promote if this transaction commits.
+    pending: Vec<AnomalyEvent>,
+}
+
+#[derive(Debug)]
+struct Committed {
+    txn: TxnId,
+    snapshot: u64,
+    commit_ts: u64,
+    reads: HashMap<(String, RowId), u64>,
+    writes: Vec<(String, RowId)>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    active: HashMap<TxnId, TxnState>,
+    committed: Vec<Committed>,
+    events: Vec<AnomalyEvent>,
+}
+
+/// Shared per-database anomaly tracker. All methods are no-ops for
+/// transactions that never registered (serializable sessions don't).
+#[derive(Debug, Default)]
+pub struct AnomalyTracker {
+    state: Mutex<State>,
+}
+
+impl AnomalyTracker {
+    /// Register an MVCC transaction with its starting snapshot.
+    pub fn begin(&self, txn: TxnId, snapshot: u64) {
+        let mut st = self.state.lock();
+        st.active.insert(
+            txn,
+            TxnState {
+                snapshot,
+                ..TxnState::default()
+            },
+        );
+    }
+
+    /// Record a snapshot read of one row at version `ts`. Detects read
+    /// fractures (same row, different version within one transaction).
+    pub fn record_read(&self, txn: TxnId, table: &str, rid: RowId, ts: u64) {
+        let mut st = self.state.lock();
+        let Some(t) = st.active.get_mut(&txn) else {
+            return;
+        };
+        let key = (table.to_string(), rid);
+        match t.reads.get(&key) {
+            None => {
+                t.reads.insert(key, ts);
+            }
+            Some(&first) if first != ts => {
+                let detail = format!(
+                    "{txn} read {table} row {} at version ts {} and again at ts {ts}",
+                    rid.0, first
+                );
+                let ev = AnomalyEvent {
+                    kind: AnomalyKind::ReadFracture,
+                    table: table.to_string(),
+                    txns: vec![txn],
+                    detail,
+                };
+                if !t.pending.contains(&ev) {
+                    t.pending.push(ev);
+                    weseer_obs::incr("db.anomaly.read_fracture");
+                }
+            }
+            Some(_) => {}
+        }
+    }
+
+    /// Record a current write of one row. When the latest committed
+    /// version is newer than the version this transaction snapshot-read,
+    /// the write is a stale read-modify-write: a pending lost update.
+    pub fn record_write(&self, txn: TxnId, table: &str, rid: RowId, latest_ts: u64) {
+        let mut st = self.state.lock();
+        let Some(t) = st.active.get_mut(&txn) else {
+            return;
+        };
+        let key = (table.to_string(), rid);
+        if !t.writes.contains(&key) {
+            t.writes.push(key.clone());
+        }
+        if let Some(&read_ts) = t.reads.get(&key) {
+            if latest_ts > read_ts {
+                let detail = format!(
+                    "{txn} overwrote {table} row {} after reading version ts {read_ts}; \
+                     latest committed version is ts {latest_ts}",
+                    rid.0
+                );
+                let ev = AnomalyEvent {
+                    kind: AnomalyKind::LostUpdate,
+                    table: table.to_string(),
+                    txns: vec![txn],
+                    detail,
+                };
+                if !t.pending.contains(&ev) {
+                    t.pending.push(ev);
+                    weseer_obs::incr("db.anomaly.lost_update");
+                }
+            }
+        }
+    }
+
+    /// Promote the transaction's pending events, archive its read/write
+    /// sets, and test the SSI dangerous structure against every concurrent
+    /// previously committed transaction.
+    pub fn commit(&self, txn: TxnId, commit_ts: u64) {
+        let mut st = self.state.lock();
+        let Some(t) = st.active.remove(&txn) else {
+            return;
+        };
+        let me = Committed {
+            txn,
+            snapshot: t.snapshot,
+            commit_ts,
+            reads: t.reads,
+            writes: t.writes,
+        };
+        let mut new_events = t.pending;
+        for other in &st.committed {
+            // Concurrent: neither committed before the other's snapshot.
+            if other.commit_ts <= me.snapshot || me.commit_ts <= other.snapshot {
+                continue;
+            }
+            // Disjoint write sets (same-row overwrites are lost updates,
+            // not skew).
+            if me.writes.iter().any(|w| other.writes.contains(w)) {
+                continue;
+            }
+            let rw = |reader: &Committed, writer: &Committed| -> Option<(String, RowId)> {
+                let mut hits: Vec<&(String, RowId)> = writer
+                    .writes
+                    .iter()
+                    .filter(|w| {
+                        // The reader saw a version older than the writer's
+                        // commit: the write was invisible to it.
+                        reader
+                            .reads
+                            .get(*w)
+                            .is_some_and(|&ts| ts < writer.commit_ts)
+                            && writer.commit_ts > reader.snapshot
+                    })
+                    .collect();
+                hits.sort();
+                hits.first().map(|w| (*w).clone())
+            };
+            if let (Some(a), Some(b)) = (rw(&me, other), rw(other, &me)) {
+                let mut txns = vec![me.txn, other.txn];
+                txns.sort_unstable();
+                let mut tables = vec![a.0.clone(), b.0.clone()];
+                tables.sort();
+                tables.dedup();
+                let detail = format!(
+                    "{} and {} each read a row the other wrote ({} row {} / {} row {}) \
+                     with disjoint writes",
+                    txns[0], txns[1], a.0, a.1 .0, b.0, b.1 .0
+                );
+                let ev = AnomalyEvent {
+                    kind: AnomalyKind::WriteSkew,
+                    table: tables[0].clone(),
+                    txns,
+                    detail,
+                };
+                if !new_events.contains(&ev) {
+                    new_events.push(ev);
+                    weseer_obs::incr("db.anomaly.write_skew");
+                }
+            }
+        }
+        st.committed.push(me);
+        st.events.extend(new_events);
+    }
+
+    /// Discard the transaction's pending events and sets (abort path).
+    pub fn rollback(&self, txn: TxnId) {
+        self.state.lock().active.remove(&txn);
+    }
+
+    /// All promoted events, sorted and deduplicated.
+    pub fn events(&self) -> Vec<AnomalyEvent> {
+        let st = self.state.lock();
+        let mut out = st.events.clone();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lost_update_promoted_only_on_commit() {
+        let tr = AnomalyTracker::default();
+        let (a, b) = (TxnId(1), TxnId(2));
+        tr.begin(a, 0);
+        tr.begin(b, 0);
+        tr.record_read(a, "T", RowId(0), 0);
+        tr.record_read(b, "T", RowId(0), 0);
+        tr.record_write(a, "T", RowId(0), 0);
+        tr.commit(a, 1);
+        assert!(tr.events().is_empty());
+        // b writes over a's commit (latest ts 1 > read ts 0) — pending.
+        tr.record_write(b, "T", RowId(0), 1);
+        assert!(tr.events().is_empty());
+        tr.commit(b, 2);
+        let evs = tr.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind, AnomalyKind::LostUpdate);
+        assert_eq!(evs[0].txns, vec![b]);
+    }
+
+    #[test]
+    fn aborted_txn_reports_nothing() {
+        let tr = AnomalyTracker::default();
+        let b = TxnId(2);
+        tr.begin(b, 0);
+        tr.record_read(b, "T", RowId(0), 0);
+        tr.record_write(b, "T", RowId(0), 3);
+        tr.rollback(b);
+        assert!(tr.events().is_empty());
+    }
+
+    #[test]
+    fn write_skew_needs_both_antidependencies() {
+        let tr = AnomalyTracker::default();
+        let (a, b) = (TxnId(1), TxnId(2));
+        tr.begin(a, 0);
+        tr.begin(b, 0);
+        // a reads row 0 + row 1, writes row 0; b reads both, writes row 1.
+        tr.record_read(a, "Doctors", RowId(0), 0);
+        tr.record_read(a, "Doctors", RowId(1), 0);
+        tr.record_write(a, "Doctors", RowId(0), 0);
+        tr.record_read(b, "Doctors", RowId(0), 0);
+        tr.record_read(b, "Doctors", RowId(1), 0);
+        tr.record_write(b, "Doctors", RowId(1), 0);
+        tr.commit(a, 1);
+        tr.commit(b, 2);
+        let evs = tr.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind, AnomalyKind::WriteSkew);
+        assert_eq!(evs[0].txns, vec![a, b]);
+    }
+
+    #[test]
+    fn serial_history_is_clean() {
+        let tr = AnomalyTracker::default();
+        let (a, b) = (TxnId(1), TxnId(2));
+        tr.begin(a, 0);
+        tr.record_read(a, "T", RowId(0), 0);
+        tr.record_write(a, "T", RowId(0), 0);
+        tr.commit(a, 1);
+        // b starts after a committed: snapshot 1 sees a's write.
+        tr.begin(b, 1);
+        tr.record_read(b, "T", RowId(0), 1);
+        tr.record_write(b, "T", RowId(0), 1);
+        tr.commit(b, 2);
+        assert!(tr.events().is_empty());
+    }
+
+    #[test]
+    fn read_fracture_on_version_change() {
+        let tr = AnomalyTracker::default();
+        let a = TxnId(1);
+        tr.begin(a, 0);
+        tr.record_read(a, "T", RowId(0), 0);
+        tr.record_read(a, "T", RowId(0), 2);
+        tr.commit(a, 3);
+        let evs = tr.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind, AnomalyKind::ReadFracture);
+    }
+}

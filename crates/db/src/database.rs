@@ -6,8 +6,10 @@
 //! the ORM + tracing driver) and the multi-threaded performance harness
 //! (paper Figs. 10/11).
 
-use crate::exec::{self, ExecData};
+use crate::anomaly::{AnomalyEvent, AnomalyTracker};
+use crate::exec::{self, ExecData, MvccCtx};
 use crate::lock::{LockManager, LockStats};
+use crate::mvcc::IsolationLevel;
 use crate::storage::{Row, Storage};
 use crate::types::{DbError, TxnId};
 use parking_lot::Mutex;
@@ -29,6 +31,8 @@ pub struct DbStats {
     pub deadlock_aborts: u64,
     /// Rollbacks caused by lock-wait timeouts.
     pub timeout_aborts: u64,
+    /// Rollbacks caused by snapshot isolation's first-updater-wins rule.
+    pub write_conflict_aborts: u64,
     /// Statements executed.
     pub statements: u64,
     /// Lock manager counters.
@@ -41,7 +45,21 @@ struct Counters {
     rollbacks: AtomicU64,
     deadlock_aborts: AtomicU64,
     timeout_aborts: AtomicU64,
+    write_conflict_aborts: AtomicU64,
     statements: AtomicU64,
+}
+
+/// Encode an [`IsolationLevel`] into an atomic cell (index into
+/// [`IsolationLevel::ALL`]).
+fn iso_to_u64(level: IsolationLevel) -> u64 {
+    IsolationLevel::ALL
+        .iter()
+        .position(|l| *l == level)
+        .expect("level is in ALL") as u64
+}
+
+fn iso_from_u64(v: u64) -> IsolationLevel {
+    IsolationLevel::ALL[v as usize]
 }
 
 #[derive(Debug)]
@@ -56,6 +74,11 @@ struct Inner {
     /// round trip). Aborted transactions waste this work — the mechanism
     /// behind the paper's Fig. 10/11 degradation.
     statement_delay_ns: AtomicU64,
+    /// Default isolation for [`Database::session`] (index into
+    /// [`IsolationLevel::ALL`]); serializable unless overridden.
+    default_isolation: AtomicU64,
+    /// Weak-isolation anomaly observations ([`crate::anomaly`]).
+    tracker: AnomalyTracker,
 }
 
 /// A shared in-memory database.
@@ -84,6 +107,8 @@ impl Database {
                 next_txn: AtomicU64::new(1),
                 id_gens: Mutex::new(HashMap::new()),
                 statement_delay_ns: AtomicU64::new(0),
+                default_isolation: AtomicU64::new(iso_to_u64(IsolationLevel::Serializable)),
+                tracker: AnomalyTracker::default(),
             }),
         }
     }
@@ -101,12 +126,40 @@ impl Database {
         &self.inner.catalog
     }
 
-    /// Open a session.
+    /// Open a session at the database's default isolation level
+    /// (serializable unless [`Database::set_default_isolation`] changed it).
     pub fn session(&self) -> Session {
+        self.session_at(self.default_isolation())
+    }
+
+    /// Open a session at an explicit isolation level.
+    pub fn session_at(&self, isolation: IsolationLevel) -> Session {
         Session {
             db: self.clone(),
             txn: None,
+            isolation,
+            snapshot: 0,
         }
+    }
+
+    /// The default isolation level for new sessions.
+    pub fn default_isolation(&self) -> IsolationLevel {
+        iso_from_u64(self.inner.default_isolation.load(Ordering::Relaxed))
+    }
+
+    /// Change the default isolation level for new sessions (existing
+    /// sessions keep theirs). Forks inherit the default.
+    pub fn set_default_isolation(&self, level: IsolationLevel) {
+        self.inner
+            .default_isolation
+            .store(iso_to_u64(level), Ordering::Relaxed);
+    }
+
+    /// Weak-isolation anomalies observed in committed transactions so
+    /// far, sorted and deduplicated ([`crate::anomaly`]). Always empty
+    /// for purely serializable histories.
+    pub fn anomaly_events(&self) -> Vec<AnomalyEvent> {
+        self.inner.tracker.events()
     }
 
     /// Current counters.
@@ -117,6 +170,7 @@ impl Database {
             rollbacks: c.rollbacks.load(Ordering::Relaxed),
             deadlock_aborts: c.deadlock_aborts.load(Ordering::Relaxed),
             timeout_aborts: c.timeout_aborts.load(Ordering::Relaxed),
+            write_conflict_aborts: c.write_conflict_aborts.load(Ordering::Relaxed),
             statements: c.statements.load(Ordering::Relaxed),
             locks: self.inner.locks.stats(),
         }
@@ -174,16 +228,21 @@ impl Database {
     }
 
     /// An independent copy of this database's *committed* state: same
-    /// catalog, cloned storage and id sequences, fresh lock manager and
-    /// counters, transaction ids continuing from this database's next id.
+    /// catalog, committed storage and id sequences, fresh lock manager,
+    /// counters, and anomaly tracker, transaction ids continuing from this
+    /// database's next id.
     ///
     /// The replay engine prepares a database once per report and forks it
     /// per explored schedule, so every branch starts from bit-identical
-    /// state. Callers must quiesce the source first (no open
-    /// transactions); open transactions' uncommitted effects and undo logs
-    /// would be copied verbatim but their locks would not.
+    /// state. In-flight transactions of the source are rolled back *in the
+    /// fork* ([`Storage::reset_in_flight`]): their locks and waits-for
+    /// edges live in the source's lock manager and cannot transfer, so
+    /// carrying their uncommitted heap data or undo logs across would
+    /// leave the fork with orphaned dirty rows and a wait-for graph that
+    /// lies about them.
     pub fn fork(&self) -> Database {
-        let storage = self.inner.storage.lock().clone();
+        let mut storage = self.inner.storage.lock().clone();
+        storage.reset_in_flight();
         let id_gens = self.inner.id_gens.lock().clone();
         Database {
             inner: Arc::new(Inner {
@@ -194,6 +253,10 @@ impl Database {
                 next_txn: AtomicU64::new(self.inner.next_txn.load(Ordering::Relaxed)),
                 id_gens: Mutex::new(id_gens),
                 statement_delay_ns: AtomicU64::new(0),
+                default_isolation: AtomicU64::new(
+                    self.inner.default_isolation.load(Ordering::Relaxed),
+                ),
+                tracker: AnomalyTracker::default(),
             }),
         }
     }
@@ -211,6 +274,9 @@ impl Database {
 pub struct Session {
     db: Database,
     txn: Option<TxnId>,
+    isolation: IsolationLevel,
+    /// Transaction snapshot timestamp, taken at `begin` for MVCC levels.
+    snapshot: u64,
 }
 
 impl Session {
@@ -224,11 +290,30 @@ impl Session {
         self.txn.is_some()
     }
 
-    /// Begin a transaction.
+    /// This session's isolation level.
+    pub fn isolation(&self) -> IsolationLevel {
+        self.isolation
+    }
+
+    /// Begin a transaction. Under an MVCC isolation level the transaction
+    /// snapshot is taken here and the transaction registers with the
+    /// anomaly tracker.
     pub fn begin(&mut self) {
         assert!(self.txn.is_none(), "transaction already open");
         let id = TxnId(self.db.inner.next_txn.fetch_add(1, Ordering::Relaxed));
         self.txn = Some(id);
+        if self.isolation.uses_snapshots() {
+            self.snapshot = self.db.inner.storage.lock().mvcc.current_ts();
+            self.db.inner.tracker.begin(id, self.snapshot);
+        }
+    }
+
+    fn mvcc_ctx(&self) -> MvccCtx<'_> {
+        MvccCtx {
+            iso: self.isolation,
+            txn_snapshot: self.snapshot,
+            tracker: &self.db.inner.tracker,
+        }
     }
 
     /// The open transaction's id, if any.
@@ -258,6 +343,7 @@ impl Session {
             txn,
             stmt,
             params,
+            self.mvcc_ctx(),
         ) {
             Ok(data) => Ok(data),
             Err(e) => {
@@ -289,6 +375,7 @@ impl Session {
             txn,
             stmt,
             params,
+            self.mvcc_ctx(),
         ) {
             Ok(step) => Ok(step),
             Err(e) => {
@@ -316,18 +403,30 @@ impl Session {
                         .timeout_aborts
                         .fetch_add(1, Ordering::Relaxed);
                 }
+                DbError::WriteConflict { .. } => {
+                    self.db
+                        .inner
+                        .counters
+                        .write_conflict_aborts
+                        .fetch_add(1, Ordering::Relaxed);
+                }
                 _ => {}
             }
             self.rollback();
         }
     }
 
-    /// Commit the open transaction.
+    /// Commit the open transaction. Under an MVCC isolation level the
+    /// commit installs the transaction's net row effects as versions and
+    /// reports the commit to the anomaly tracker.
     pub fn commit(&mut self) -> Result<(), DbError> {
         let txn = self.txn.take().ok_or(DbError::NoTransaction)?;
-        {
+        let commit_ts = {
             let mut st = self.db.inner.storage.lock();
-            st.commit(txn);
+            st.commit(txn)
+        };
+        if self.isolation.uses_snapshots() {
+            self.db.inner.tracker.commit(txn, commit_ts);
         }
         self.db.inner.locks.release_all(txn);
         self.db
@@ -344,6 +443,9 @@ impl Session {
             {
                 let mut st = self.db.inner.storage.lock();
                 st.rollback(txn);
+            }
+            if self.isolation.uses_snapshots() {
+                self.db.inner.tracker.rollback(txn);
             }
             self.db.inner.locks.release_all(txn);
             self.db

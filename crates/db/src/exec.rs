@@ -13,7 +13,9 @@
 //! storage mutex is dropped and the executor blocks on the first contended
 //! lock (where deadlock detection and victim abort happen), then replans.
 
+use crate::anomaly::AnomalyTracker;
 use crate::lock::{AcquireOutcome, LockManager, LockMode, LockTarget};
+use crate::mvcc::{snapshot_view, IsolationLevel};
 use crate::storage::{index_key, Row, Storage, TableStore, Undo};
 use crate::types::{DbError, KeyBound, KeyTuple, RowId, TxnId};
 use std::collections::HashMap;
@@ -33,6 +35,25 @@ pub struct ExecData {
     /// acquisition order — what the statement holds on top of earlier
     /// statements. Replay witnesses record these per step.
     pub locks: Vec<(LockTarget, LockMode)>,
+    /// Rows this statement read from an MVCC snapshot (lock-free plain
+    /// SELECTs under weak isolation): `(table, row id, version ts)`.
+    /// Empty under serializable and for current reads.
+    pub snapshot_reads: Vec<(String, RowId, u64)>,
+}
+
+/// MVCC execution context of one statement: the session's isolation
+/// level, its transaction snapshot, and the database's anomaly tracker.
+/// At [`IsolationLevel::Serializable`] the snapshot and tracker are inert
+/// and execution is byte-identical to the pre-MVCC engine.
+#[derive(Debug, Clone, Copy)]
+pub struct MvccCtx<'a> {
+    /// Session isolation level.
+    pub iso: IsolationLevel,
+    /// Transaction snapshot timestamp (used by repeatable-read and
+    /// snapshot; read-committed re-snapshots per statement internally).
+    pub txn_snapshot: u64,
+    /// Anomaly tracker to feed snapshot reads and current writes.
+    pub tracker: &'a AnomalyTracker,
 }
 
 /// Outcome of one non-blocking statement step ([`execute_nowait`]).
@@ -240,6 +261,17 @@ pub fn explain(
     out
 }
 
+/// Whether the statement is a lock-free snapshot read under `iso`:
+/// a plain SELECT (no `FOR UPDATE`) at a weak isolation level. Writes and
+/// locking reads stay current reads under 2PL at every level (InnoDB's
+/// semantics).
+fn is_snapshot_read(iso: IsolationLevel, stmt: &Statement) -> bool {
+    match stmt {
+        Statement::Select(s) => iso.uses_snapshots() && !s.for_update,
+        _ => false,
+    }
+}
+
 /// Execute `stmt` for `txn`, blocking on contended locks.
 pub fn execute(
     storage: &parking_lot::Mutex<Storage>,
@@ -247,7 +279,12 @@ pub fn execute(
     txn: TxnId,
     stmt: &Statement,
     params: &[Value],
+    mvcc: MvccCtx<'_>,
 ) -> Result<ExecData, DbError> {
+    if is_snapshot_read(mvcc.iso, stmt) {
+        let st = storage.lock();
+        return snapshot_select(&st, txn, stmt, params, mvcc);
+    }
     for _ in 0..MAX_REPLANS {
         let blocked = {
             let mut st = storage.lock();
@@ -268,6 +305,7 @@ pub fn execute(
                     if let Some(e) = plan.error {
                         return Err(e);
                     }
+                    write_scan(&st, txn, &plan.ops, mvcc)?;
                     apply(&mut st, txn, plan.ops);
                     let mut data = plan.data;
                     data.locks = plan.locks;
@@ -298,8 +336,12 @@ pub fn execute_nowait(
     txn: TxnId,
     stmt: &Statement,
     params: &[Value],
+    mvcc: MvccCtx<'_>,
 ) -> Result<StepResult, DbError> {
     let mut st = storage.lock();
+    if is_snapshot_read(mvcc.iso, stmt) {
+        return snapshot_select(&st, txn, stmt, params, mvcc).map(StepResult::Done);
+    }
     let plan = plan_statement(&st, txn, stmt, params)?;
     for (t, m) in &plan.locks {
         match locks.acquire_nowait(txn, t.clone(), *m)? {
@@ -316,10 +358,157 @@ pub fn execute_nowait(
     if let Some(e) = plan.error {
         return Err(e);
     }
+    write_scan(&st, txn, &plan.ops, mvcc)?;
     apply(&mut st, txn, plan.ops);
     let mut data = plan.data;
     data.locks = plan.locks;
     Ok(StepResult::Done(data))
+}
+
+/// Run a plain SELECT against a materialized MVCC snapshot of the
+/// statement's tables: no locks, no waits-for edges, rows as of the
+/// session's snapshot (plus its own uncommitted writes). Records every
+/// read row with its version timestamp in the anomaly tracker and in
+/// [`ExecData::snapshot_reads`].
+fn snapshot_select(
+    st: &Storage,
+    txn: TxnId,
+    stmt: &Statement,
+    params: &[Value],
+    mvcc: MvccCtx<'_>,
+) -> Result<ExecData, DbError> {
+    let s = match stmt {
+        Statement::Select(s) => s,
+        _ => unreachable!("snapshot_select is only called for SELECTs"),
+    };
+    // Read-committed re-snapshots at every statement; repeatable-read and
+    // snapshot pin the transaction snapshot taken at `begin`.
+    let snapshot = if mvcc.iso.txn_snapshot() {
+        mvcc.txn_snapshot
+    } else {
+        st.mvcc.current_ts()
+    };
+    let tables = stmt.tables();
+    let view = snapshot_view(st, txn, snapshot, &tables);
+    let mut plan = plan_select(&view, s, params)?;
+    weseer_obs::incr("db.mvcc.snapshot_reads");
+
+    // Row-level read set: extract each level's primary key from the
+    // result rows and resolve it to a row id in the view.
+    let mut levels: Vec<(String, String)> = vec![(s.from.alias.clone(), s.from.table.clone())];
+    for j in &s.joins {
+        levels.push((j.table.alias.clone(), j.table.table.clone()));
+    }
+    let mut reads: Vec<(String, RowId)> = Vec::new();
+    for row in &plan.data.rows {
+        for (alias, table) in &levels {
+            let def = &view.table(table).def;
+            let key: Option<KeyTuple> = def
+                .primary_key
+                .iter()
+                .map(|pk| {
+                    let name = format!("{alias}.{pk}");
+                    row.iter().find(|(c, _)| c == &name).map(|(_, v)| v.clone())
+                })
+                .collect();
+            let Some(key) = key else { continue };
+            if let Some(rid) = view.table(table).lookup(&def.primary_index().name, &key) {
+                if !reads.contains(&(table.clone(), rid)) {
+                    reads.push((table.clone(), rid));
+                }
+            }
+        }
+    }
+    reads.sort();
+    let own = st.undo.get(&txn);
+    for (table, rid) in reads {
+        // The session's own uncommitted writes have no committed version
+        // timestamp; reading them back is not a snapshot observation.
+        let is_own = own.is_some_and(|log| {
+            log.iter().any(|u| {
+                let (t, r) = match u {
+                    Undo::Insert { table, rid }
+                    | Undo::Update { table, rid, .. }
+                    | Undo::Delete { table, rid, .. } => (table, rid),
+                };
+                t == &table && *r == rid
+            })
+        });
+        if is_own {
+            continue;
+        }
+        let ts = st
+            .mvcc
+            .visible(&table, rid, snapshot)
+            .map(|v| v.ts)
+            .unwrap_or(0);
+        mvcc.tracker.record_read(txn, &table, rid, ts);
+        if weseer_obs::timeline::enabled() {
+            weseer_obs::timeline::instant(
+                "mvcc.snapshot_read",
+                "db",
+                &[
+                    ("txn", txn.to_string()),
+                    ("table", table.clone()),
+                    ("row", rid.0.to_string()),
+                    ("version_ts", ts.to_string()),
+                    ("snapshot", snapshot.to_string()),
+                ],
+            );
+        }
+        plan.data.snapshot_reads.push((table, rid, ts));
+    }
+    Ok(plan.data)
+}
+
+/// Pre-apply scan over a write plan's row operations (all locks held,
+/// nothing applied yet): enforce snapshot isolation's first-updater-wins
+/// rule and feed current writes to the anomaly tracker. Statement-atomic:
+/// a [`DbError::WriteConflict`] aborts before any op is applied.
+fn write_scan(st: &Storage, txn: TxnId, ops: &[Op], mvcc: MvccCtx<'_>) -> Result<(), DbError> {
+    if !mvcc.iso.uses_snapshots() {
+        return Ok(());
+    }
+    let own = st.undo.get(&txn);
+    for op in ops {
+        let (table, rid) = match op {
+            Op::Update { table, rid, .. } | Op::Delete { table, rid } => (table, *rid),
+            // Fresh inserts have no prior versions to conflict with.
+            Op::Insert { .. } => continue,
+        };
+        let already_mine = own.is_some_and(|log| {
+            log.iter().any(|u| {
+                let (t, r) = match u {
+                    Undo::Insert { table, rid }
+                    | Undo::Update { table, rid, .. }
+                    | Undo::Delete { table, rid, .. } => (table, rid),
+                };
+                t == table && *r == rid
+            })
+        });
+        let latest = st.mvcc.latest_ts(table, rid);
+        if mvcc.iso == IsolationLevel::Snapshot && !already_mine && latest > mvcc.txn_snapshot {
+            weseer_obs::incr("db.mvcc.write_conflicts");
+            if weseer_obs::timeline::enabled() {
+                weseer_obs::timeline::instant(
+                    "mvcc.write_conflict",
+                    "db",
+                    &[
+                        ("txn", txn.to_string()),
+                        ("table", table.clone()),
+                        ("row", rid.0.to_string()),
+                        ("latest_ts", latest.to_string()),
+                        ("snapshot", mvcc.txn_snapshot.to_string()),
+                    ],
+                );
+            }
+            return Err(DbError::WriteConflict {
+                table: table.clone(),
+            });
+        }
+        mvcc.tracker.record_write(txn, table, rid, latest);
+    }
+    Ok(())
 }
 
 fn apply(st: &mut Storage, txn: TxnId, ops: Vec<Op>) {

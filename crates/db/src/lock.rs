@@ -764,6 +764,112 @@ mod tests {
     }
 
     #[test]
+    fn deadlock_then_timeout_on_the_same_edge() {
+        // T2 blocks on the edge T2 → T1; T1 then closes a cycle through
+        // that same edge and is aborted as the victim, but keeps its
+        // locks (the caller has not rolled back yet), so T2's wait on the
+        // very same edge subsequently times out. Both counters must fire
+        // and the manager must stay consistent.
+        let lm = Arc::new(LockManager::new(Duration::from_millis(150)));
+        lm.acquire(TxnId(1), row(1), LockMode::Exclusive).unwrap();
+        lm.acquire(TxnId(2), row(2), LockMode::Exclusive).unwrap();
+        let lm2 = lm.clone();
+        let h = thread::spawn(move || lm2.acquire(TxnId(2), row(1), LockMode::Exclusive));
+        thread::sleep(Duration::from_millis(40));
+        // Closing the cycle: T1 is the victim and errors instantly …
+        let r = lm.acquire(TxnId(1), row(2), LockMode::Exclusive);
+        assert_eq!(
+            r,
+            Err(DbError::Deadlock {
+                cycle: vec![TxnId(1), TxnId(2)]
+            })
+        );
+        // … but T1 deliberately does not release, so T2's wait on the
+        // same edge runs into the timeout backstop.
+        assert_eq!(h.join().unwrap(), Err(DbError::LockWaitTimeout));
+        let stats = lm.stats();
+        assert_eq!(stats.deadlocks, 1);
+        assert_eq!(stats.timeouts, 1);
+        // Once both roll back, the rows are free again.
+        lm.release_all(TxnId(1));
+        lm.release_all(TxnId(2));
+        assert!(lm
+            .try_acquire(TxnId(3), row(1), LockMode::Exclusive)
+            .unwrap());
+        assert!(lm
+            .try_acquire(TxnId(3), row(2), LockMode::Exclusive)
+            .unwrap());
+    }
+
+    #[test]
+    fn timeout_clears_edge_so_no_stale_cycle() {
+        // A timed-out waiter must remove its waits-for edge; otherwise a
+        // later request in the opposite direction would see a phantom
+        // cycle and abort a perfectly healthy transaction.
+        let lm = LockManager::new(Duration::from_millis(40));
+        lm.acquire(TxnId(1), row(1), LockMode::Exclusive).unwrap();
+        let r = lm.acquire(TxnId(2), row(1), LockMode::Exclusive);
+        assert_eq!(r, Err(DbError::LockWaitTimeout));
+        assert!(lm.wait_for_edges().is_empty());
+        // T2 holds r2 now; T1 requesting it must block, not deadlock —
+        // the stale T2 → T1 edge is gone.
+        lm.acquire(TxnId(2), row(2), LockMode::Exclusive).unwrap();
+        assert_eq!(
+            lm.acquire_nowait(TxnId(1), row(2), LockMode::Exclusive),
+            Ok(AcquireOutcome::WouldBlock(vec![TxnId(2)]))
+        );
+        assert_eq!(lm.stats().deadlocks, 0);
+    }
+
+    #[test]
+    fn nowait_victim_first_cycle_ordering_under_concurrent_release() {
+        // Two cycles through the victim at once: T2 and T3 both hold the
+        // gap and both wait on T1's row, so T1's insert intention closes
+        // T1→T2→T1 *and* T1→T3→T1. The reported cycle must start with
+        // the victim and pick blockers in ascending TxnId order.
+        let lm = Arc::new(LockManager::default());
+        lm.acquire(TxnId(1), row(1), LockMode::Exclusive).unwrap();
+        lm.acquire(TxnId(2), gap(100), LockMode::Shared).unwrap();
+        lm.acquire(TxnId(3), gap(100), LockMode::Shared).unwrap();
+        assert_eq!(
+            lm.acquire_nowait(TxnId(2), row(1), LockMode::Exclusive),
+            Ok(AcquireOutcome::WouldBlock(vec![TxnId(1)]))
+        );
+        assert_eq!(
+            lm.acquire_nowait(TxnId(3), row(1), LockMode::Exclusive),
+            Ok(AcquireOutcome::WouldBlock(vec![TxnId(1)]))
+        );
+        let r = lm.acquire_nowait(TxnId(1), gap(100), LockMode::InsertIntention);
+        assert_eq!(
+            r,
+            Err(DbError::Deadlock {
+                cycle: vec![TxnId(1), TxnId(2)]
+            })
+        );
+        // T2 releases from another thread; once it is gone the remaining
+        // cycle runs through T3, and the re-detected cycle is again
+        // victim-first and deterministic.
+        let lm2 = lm.clone();
+        thread::spawn(move || lm2.release_all(TxnId(2)))
+            .join()
+            .unwrap();
+        let r = lm.acquire_nowait(TxnId(1), gap(100), LockMode::InsertIntention);
+        assert_eq!(
+            r,
+            Err(DbError::Deadlock {
+                cycle: vec![TxnId(1), TxnId(3)]
+            })
+        );
+        assert_eq!(lm.stats().deadlocks, 2);
+        // After every participant rolls back, the gap is insertable.
+        lm.release_all(TxnId(1));
+        lm.release_all(TxnId(3));
+        assert!(lm
+            .try_acquire(TxnId(4), gap(100), LockMode::InsertIntention)
+            .unwrap());
+    }
+
+    #[test]
     fn different_targets_do_not_conflict() {
         let lm = LockManager::default();
         lm.acquire(TxnId(1), row(1), LockMode::Exclusive).unwrap();

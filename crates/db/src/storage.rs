@@ -4,6 +4,7 @@
 //! Writes are performed in place under strict 2PL (exclusive locks prevent
 //! dirty reads), so rollback only needs to replay the undo log in reverse.
 
+use crate::mvcc::VersionStore;
 use crate::types::{KeyTuple, RowId, TxnId};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -175,6 +176,8 @@ pub struct Storage {
     pub tables: HashMap<String, TableStore>,
     /// Undo logs of active transactions.
     pub undo: HashMap<TxnId, Vec<Undo>>,
+    /// Version chains + commit-timestamp clock ([`crate::mvcc`]).
+    pub mvcc: VersionStore,
 }
 
 impl Storage {
@@ -187,6 +190,7 @@ impl Storage {
         Storage {
             tables,
             undo: HashMap::new(),
+            mvcc: VersionStore::default(),
         }
     }
 
@@ -205,9 +209,66 @@ impl Storage {
         self.undo.entry(txn).or_default().push(u);
     }
 
-    /// Discard the undo log at commit.
-    pub fn commit(&mut self, txn: TxnId) {
-        self.undo.remove(&txn);
+    /// Commit `txn`: discard its undo log and install the transaction's
+    /// net row effects as versions stamped with a fresh commit timestamp.
+    /// Returns the commit timestamp (the unchanged clock for read-only
+    /// commits).
+    ///
+    /// The net effect per `(table, row)` is derived from the undo log: the
+    /// pre-image is the first touch's "before" state (`None` for an
+    /// insert), the post-image is the row's current heap state. Rows whose
+    /// pre-image predates version tracking get a ts-0 baseline seeded
+    /// first, so older snapshots can still rewind to them.
+    pub fn commit(&mut self, txn: TxnId) -> u64 {
+        let Some(log) = self.undo.remove(&txn) else {
+            return self.mvcc.current_ts();
+        };
+        // First-touch pre-image per (table, rid), in touch order.
+        let mut touched: Vec<(String, RowId)> = Vec::new();
+        let mut pre: HashMap<(String, RowId), Option<Row>> = HashMap::new();
+        for u in &log {
+            let (key, before) = match u {
+                Undo::Insert { table, rid } => ((table.clone(), *rid), None),
+                Undo::Update { table, rid, old } | Undo::Delete { table, rid, old } => {
+                    ((table.clone(), *rid), Some(old.clone()))
+                }
+            };
+            if !pre.contains_key(&key) {
+                pre.insert(key.clone(), before);
+                touched.push(key);
+            }
+        }
+        if touched.is_empty() {
+            return self.mvcc.current_ts();
+        }
+        for (table, rid) in &touched {
+            if let Some(Some(baseline)) = pre.get(&(table.clone(), *rid)) {
+                self.mvcc.seed_baseline(table, *rid, baseline.clone());
+            }
+        }
+        let ts = self.mvcc.next_commit_ts();
+        for (table, rid) in touched {
+            let post = self.tables.get(&table).and_then(|t| t.heap.get(&rid));
+            // Skip no-op round trips (insert+delete within the txn, with
+            // no earlier chain to terminate).
+            if post.is_none() && pre[&(table.clone(), rid)].is_none() {
+                continue;
+            }
+            let post = post.cloned();
+            self.mvcc.install(&table, rid, post, ts);
+        }
+        ts
+    }
+
+    /// Roll back every in-flight transaction (newest first), leaving only
+    /// committed state. [`crate::database::Database::fork`] calls this so
+    /// forks never inherit uncommitted heap data or undo logs.
+    pub fn reset_in_flight(&mut self) {
+        let mut active: Vec<TxnId> = self.undo.keys().copied().collect();
+        active.sort_unstable();
+        for txn in active.into_iter().rev() {
+            self.rollback(txn);
+        }
     }
 
     /// Roll back `txn`: replay undo in reverse.

@@ -64,6 +64,14 @@ pub enum DbError {
     /// Waited longer than the configured lock-wait timeout; the
     /// transaction was rolled back (MySQL's detect-or-timeout recovery).
     LockWaitTimeout,
+    /// Under snapshot isolation the transaction tried to overwrite a row
+    /// version committed after its snapshot (first-updater-wins); the
+    /// transaction was rolled back (PostgreSQL's "could not serialize
+    /// access due to concurrent update").
+    WriteConflict {
+        /// Table holding the conflicting row.
+        table: String,
+    },
     /// Unique-key violation.
     DuplicateKey {
         /// Violated index.
@@ -95,6 +103,13 @@ impl fmt::Display for DbError {
                 Ok(())
             }
             DbError::LockWaitTimeout => write!(f, "lock wait timeout exceeded"),
+            DbError::WriteConflict { table } => {
+                write!(
+                    f,
+                    "could not serialize access due to concurrent update on {table}; \
+                     transaction rolled back"
+                )
+            }
             DbError::DuplicateKey { index } => {
                 write!(f, "duplicate entry for index {index:?}")
             }
@@ -111,7 +126,10 @@ impl DbError {
     /// Whether this error implies the transaction was rolled back by the
     /// engine (abort-style recovery).
     pub fn aborts_txn(&self) -> bool {
-        matches!(self, DbError::Deadlock { .. } | DbError::LockWaitTimeout)
+        matches!(
+            self,
+            DbError::Deadlock { .. } | DbError::LockWaitTimeout | DbError::WriteConflict { .. }
+        )
     }
 
     /// The waits-for cycle of a deadlock error, if any.
@@ -147,6 +165,11 @@ mod tests {
         assert!(dl.aborts_txn());
         assert_eq!(dl.deadlock_cycle(), Some(&[][..]));
         assert!(DbError::LockWaitTimeout.aborts_txn());
+        let wc = DbError::WriteConflict {
+            table: "Account".into(),
+        };
+        assert!(wc.aborts_txn());
+        assert!(wc.to_string().contains("concurrent update on Account"));
         assert!(!DbError::DuplicateKey {
             index: "PRIMARY".into()
         }

@@ -1,0 +1,631 @@
+//! Weak-isolation anomaly exploration: the deadlock explorer's DFS, run
+//! at a chosen MVCC isolation level, confirming the anomalies the storage
+//! engine's runtime oracle ([`weseer_db::AnomalyTracker`]) reports.
+//!
+//! Where [`crate::explore`] hunts for schedules that *deadlock*,
+//! [`explore_anomalies`] hunts for schedules whose committed history
+//! exhibits a lost update, write skew, or read fracture under
+//! `read-committed`, `repeatable-read`, or `snapshot` isolation. Every
+//! schedule runs against a fresh [`Database::fork`] whose default
+//! isolation is set to the requested level, so plain SELECTs become
+//! lock-free snapshot reads exactly as they would in production. A
+//! deadlock or write-conflict abort inside a schedule fails that instance
+//! and exploration continues — aborted transactions cannot contribute
+//! anomalies, which is precisely how snapshot isolation kills lost
+//! updates.
+//!
+//! As a semantic backstop, every terminal schedule's final table state is
+//! digested and compared against the states reachable by *serial*
+//! executions of the same instances; a committed interleaving that lands
+//! outside that set is reported as a `non-serializable-state` finding
+//! even when the tracker saw nothing. At the default serializable level
+//! strict 2PL makes this check provably quiet — the property the replay
+//! proptests pin down.
+
+use crate::explore::{Footprints, Instance, Move, ReplayConfig};
+use crate::witness::{join_json_strings, json_escape, render_lock, WitnessInstance, WitnessStep};
+use std::fmt::Write as _;
+use weseer_db::{Database, DbError, IsolationLevel, StepResult, TxnId};
+
+/// One confirmed anomaly in a witness schedule.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AnomalyFinding {
+    /// Kebab-case anomaly kind (`lost-update`, `write-skew`,
+    /// `read-fracture`, `non-serializable-state`).
+    pub kind: String,
+    /// Table of the conflicted row (`*` for whole-state findings).
+    pub table: String,
+    /// Participating instances, by name.
+    pub instances: Vec<String>,
+    /// Human-readable explanation with row/version detail.
+    pub detail: String,
+}
+
+/// A concrete anomaly witness: the first schedule found by the explorer
+/// whose committed history exhibits at least one anomaly at the given
+/// isolation level. Mirrors [`crate::Witness`]'s canonical JSON shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnomalyWitness {
+    /// Kebab-case isolation level the schedule ran under.
+    pub isolation: String,
+    /// Participating instances in name order.
+    pub instances: Vec<WitnessInstance>,
+    /// The schedule, in execution order.
+    pub steps: Vec<WitnessStep>,
+    /// Confirmed anomalies, sorted.
+    pub anomalies: Vec<AnomalyFinding>,
+    /// Schedules fully explored before (and including) this one.
+    pub schedules_explored: usize,
+    /// Schedules pruned by the sleep-set check.
+    pub schedules_pruned: usize,
+}
+
+impl AnomalyWitness {
+    /// Canonical single-line JSON rendering (stable field order; byte
+    /// identical across runs and thread counts) — the anomaly analogue of
+    /// [`crate::Witness::to_json`].
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"isolation\":\"{}\",\"instances\":[",
+            json_escape(&self.isolation)
+        );
+        for (i, inst) in self.instances.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"name\":\"{}\",\"api\":\"{}\"}}",
+                json_escape(&inst.name),
+                json_escape(&inst.api)
+            );
+        }
+        s.push_str("],\"steps\":[");
+        for (i, st) in self.steps.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"instance\":\"{}\",\"label\":\"{}\",\"sql\":\"{}\",\"locks\":[{}],\"outcome\":\"{}\",\"waits_on\":[{}]}}",
+                json_escape(&st.instance),
+                json_escape(&st.label),
+                json_escape(&st.sql),
+                join_json_strings(&st.locks),
+                json_escape(&st.outcome),
+                join_json_strings(&st.waits_on),
+            );
+        }
+        s.push_str("],\"anomalies\":[");
+        for (i, a) in self.anomalies.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"kind\":\"{}\",\"table\":\"{}\",\"instances\":[{}],\"detail\":\"{}\"}}",
+                json_escape(&a.kind),
+                json_escape(&a.table),
+                join_json_strings(&a.instances),
+                json_escape(&a.detail),
+            );
+        }
+        let _ = write!(
+            s,
+            "],\"schedules_explored\":{},\"schedules_pruned\":{}}}",
+            self.schedules_explored, self.schedules_pruned
+        );
+        s
+    }
+
+    /// Parse a witness serialized by [`AnomalyWitness::to_json`];
+    /// round-trips byte exactly.
+    pub fn from_json(s: &str) -> Option<AnomalyWitness> {
+        use weseer_store::json::Json;
+        let v = Json::parse(s).ok()?;
+        let strings = |j: &Json| -> Option<Vec<String>> {
+            j.as_arr()?
+                .iter()
+                .map(|x| x.as_str().map(str::to_string))
+                .collect()
+        };
+        let field =
+            |j: &Json, k: &str| -> Option<String> { j.get(k)?.as_str().map(str::to_string) };
+        let mut instances = Vec::new();
+        for inst in v.get("instances")?.as_arr()? {
+            instances.push(WitnessInstance {
+                name: field(inst, "name")?,
+                api: field(inst, "api")?,
+            });
+        }
+        let mut steps = Vec::new();
+        for st in v.get("steps")?.as_arr()? {
+            steps.push(WitnessStep {
+                instance: field(st, "instance")?,
+                label: field(st, "label")?,
+                sql: field(st, "sql")?,
+                locks: strings(st.get("locks")?)?,
+                outcome: field(st, "outcome")?,
+                waits_on: strings(st.get("waits_on")?)?,
+            });
+        }
+        let mut anomalies = Vec::new();
+        for a in v.get("anomalies")?.as_arr()? {
+            anomalies.push(AnomalyFinding {
+                kind: field(a, "kind")?,
+                table: field(a, "table")?,
+                instances: strings(a.get("instances")?)?,
+                detail: field(a, "detail")?,
+            });
+        }
+        Some(AnomalyWitness {
+            isolation: field(&v, "isolation")?,
+            instances,
+            steps,
+            anomalies,
+            schedules_explored: v.get("schedules_explored")?.as_u64()? as usize,
+            schedules_pruned: v.get("schedules_pruned")?.as_u64()? as usize,
+        })
+    }
+
+    /// Human-readable rendering for reports.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "anomaly witness at {} ({} steps; {} schedules explored, {} pruned):",
+            self.isolation,
+            self.steps.len(),
+            self.schedules_explored,
+            self.schedules_pruned
+        );
+        for inst in &self.instances {
+            let _ = writeln!(out, "  {} = {}", inst.name, inst.api);
+        }
+        for st in &self.steps {
+            let _ = write!(
+                out,
+                "  {}.{} [{}] {}",
+                st.instance, st.label, st.outcome, st.sql
+            );
+            if !st.waits_on.is_empty() && st.outcome == "blocked" {
+                let _ = write!(out, "  (waits on {})", st.waits_on.join(", "));
+            }
+            let _ = writeln!(out);
+            if !st.locks.is_empty() {
+                let _ = writeln!(out, "      locks: {}", st.locks.join(", "));
+            }
+        }
+        for a in &self.anomalies {
+            let _ = writeln!(
+                out,
+                "  anomaly: {} on {} [{}] — {}",
+                a.kind,
+                a.table,
+                a.instances.join(", "),
+                a.detail
+            );
+        }
+        out
+    }
+}
+
+/// Result of exploring interleavings for anomalies within budget.
+#[derive(Debug)]
+pub enum AnomalyOutcome {
+    /// A committed schedule exhibited at least one anomaly; first one
+    /// found in DFS order.
+    Anomalous(Box<AnomalyWitness>),
+    /// No schedule within budget exhibited an anomaly.
+    Clean {
+        /// Schedules completed.
+        explored: usize,
+        /// Branches pruned by sleep sets.
+        pruned: usize,
+    },
+}
+
+impl AnomalyOutcome {
+    /// The witness, if anomalous.
+    pub fn witness(&self) -> Option<&AnomalyWitness> {
+        match self {
+            AnomalyOutcome::Anomalous(w) => Some(w),
+            AnomalyOutcome::Clean { .. } => None,
+        }
+    }
+}
+
+/// Deterministic digest of the database's full committed table state:
+/// FNV-1a over every table's primary-order dump, tables in name order.
+pub fn state_digest(db: &Database) -> String {
+    let mut names: Vec<String> = db.catalog().tables().map(|t| t.name.clone()).collect();
+    names.sort();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |s: &str| {
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for name in &names {
+        eat(name);
+        eat("=");
+        for row in db.dump(name) {
+            eat(&format!("{row:?};"));
+        }
+        eat("|");
+    }
+    format!("{h:016x}")
+}
+
+/// State digests reachable by running the instances *serially* at `iso`:
+/// all permutations for up to three instances, first and reverse order
+/// beyond that. Errors inside a serial run roll that instance back (its
+/// effects vanish, matching what the interleaved run would keep).
+pub fn serial_state_digests(
+    base: &Database,
+    instances: &[Instance],
+    iso: IsolationLevel,
+) -> Vec<String> {
+    let n = instances.len();
+    let orders: Vec<Vec<usize>> = if n <= 3 {
+        permutations(n)
+    } else {
+        vec![(0..n).collect(), (0..n).rev().collect()]
+    };
+    let mut digests: Vec<String> = orders
+        .iter()
+        .map(|order| {
+            let db = base.fork();
+            db.set_default_isolation(iso);
+            for &i in order {
+                let mut s = db.session();
+                s.begin();
+                let mut ok = true;
+                for cs in &instances[i].stmts {
+                    if s.execute(&cs.stmt, &cs.params).is_err() {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    let _ = s.commit();
+                } else if s.in_txn() {
+                    s.rollback();
+                }
+            }
+            state_digest(&db)
+        })
+        .collect();
+    digests.sort();
+    digests.dedup();
+    digests
+}
+
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<usize> = (0..n).collect();
+    fn heap(k: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if k <= 1 {
+            out.push(cur.clone());
+            return;
+        }
+        for i in 0..k {
+            heap(k - 1, cur, out);
+            if k.is_multiple_of(2) {
+                cur.swap(i, k - 1);
+            } else {
+                cur.swap(0, k - 1);
+            }
+        }
+    }
+    heap(n, &mut cur, &mut out);
+    out.sort();
+    out
+}
+
+/// What one anomaly-schedule run produced (mirrors the deadlock
+/// explorer's run result, with terminal schedules classified by the
+/// oracle instead of by the wait-for graph).
+enum AnomalyRun {
+    /// Every instance finished and the committed history shows anomalies.
+    Anomalous {
+        steps: Vec<WitnessStep>,
+        findings: Vec<AnomalyFinding>,
+    },
+    /// Every instance finished; history is clean.
+    Terminal,
+    /// A forced move past the decided prefix was asleep.
+    Redundant,
+    /// Reached a branch point past the decided prefix.
+    Frontier {
+        choices: Vec<usize>,
+        positions: Vec<usize>,
+        sleep: Vec<Move>,
+    },
+}
+
+/// Explore interleavings of `instances` over forks of `base` at isolation
+/// level `iso`, depth first, until a committed schedule exhibits an
+/// anomaly or budgets are exhausted. `apis` names each instance's API for
+/// the witness (parallel to `instances`).
+pub fn explore_anomalies(
+    base: &Database,
+    instances: &[Instance],
+    apis: &[String],
+    iso: IsolationLevel,
+    config: &ReplayConfig,
+) -> AnomalyOutcome {
+    debug_assert_eq!(instances.len(), apis.len());
+    let _span = weseer_obs::span("replay.anomaly.explore");
+    let fps = Footprints::new(instances);
+    let serial = serial_state_digests(base, instances, iso);
+    let mut explored = 0usize;
+    let mut pruned = 0usize;
+    let mut runs = 0usize;
+    let mut stack: Vec<(Vec<usize>, Vec<Move>)> = vec![(Vec::new(), Vec::new())];
+
+    let outcome = loop {
+        let Some((decisions, sleep)) = stack.pop() else {
+            break AnomalyOutcome::Clean { explored, pruned };
+        };
+        if explored >= config.max_schedules || runs >= config.max_runs {
+            break AnomalyOutcome::Clean { explored, pruned };
+        }
+        runs += 1;
+        match run_anomaly(
+            base,
+            instances,
+            &fps,
+            iso,
+            &serial,
+            &decisions,
+            sleep,
+            config.max_steps,
+        ) {
+            AnomalyRun::Anomalous { steps, findings } => {
+                explored += 1;
+                break AnomalyOutcome::Anomalous(Box::new(AnomalyWitness {
+                    isolation: iso.name().to_string(),
+                    instances: instances
+                        .iter()
+                        .zip(apis)
+                        .map(|(inst, api)| WitnessInstance {
+                            name: inst.name.clone(),
+                            api: api.clone(),
+                        })
+                        .collect(),
+                    steps,
+                    anomalies: findings,
+                    schedules_explored: explored,
+                    schedules_pruned: pruned,
+                }));
+            }
+            AnomalyRun::Terminal => {
+                explored += 1;
+            }
+            AnomalyRun::Redundant => {
+                pruned += 1;
+            }
+            AnomalyRun::Frontier {
+                choices,
+                positions,
+                sleep,
+            } => {
+                let mut children: Vec<(Vec<usize>, Vec<Move>)> = Vec::new();
+                let mut explored_here: Vec<Move> = Vec::new();
+                for &choice in &choices {
+                    let mv: Move = (choice, positions[choice]);
+                    if sleep.contains(&mv) {
+                        pruned += 1;
+                        continue;
+                    }
+                    let mut child_dec = decisions.clone();
+                    child_dec.push(choice);
+                    let mut child_sleep: Vec<Move> = sleep
+                        .iter()
+                        .chain(explored_here.iter())
+                        .filter(|m| !fps.dependent(**m, mv))
+                        .copied()
+                        .collect();
+                    child_sleep.sort_unstable();
+                    child_sleep.dedup();
+                    children.push((child_dec, child_sleep));
+                    explored_here.push(mv);
+                }
+                for child in children.into_iter().rev() {
+                    stack.push(child);
+                }
+            }
+        }
+    };
+    weseer_obs::add("replay.anomaly.schedules_explored", explored as u64);
+    weseer_obs::add("replay.anomaly.schedules_pruned", pruned as u64);
+    weseer_obs::incr(match &outcome {
+        AnomalyOutcome::Anomalous(_) => "replay.anomaly.confirmed",
+        AnomalyOutcome::Clean { .. } => "replay.anomaly.clean",
+    });
+    outcome
+}
+
+/// Execute one schedule at isolation `iso` from the root on a fresh fork,
+/// following `decisions` at branch points. Unlike the deadlock explorer,
+/// a deadlock (or write-conflict) abort fails the instance and the
+/// schedule continues: the anomaly question is about the history that
+/// *commits*.
+#[allow(clippy::too_many_arguments)]
+fn run_anomaly(
+    base: &Database,
+    instances: &[Instance],
+    fps: &Footprints,
+    iso: IsolationLevel,
+    serial: &[String],
+    decisions: &[usize],
+    mut sleep: Vec<Move>,
+    max_steps: usize,
+) -> AnomalyRun {
+    let db = base.fork();
+    db.set_default_isolation(iso);
+    let n = instances.len();
+    let mut sessions: Vec<_> = (0..n).map(|_| db.session()).collect();
+    for s in &mut sessions {
+        s.begin();
+    }
+    let txn_ids: Vec<TxnId> = sessions
+        .iter()
+        .map(|s| s.txn_id().expect("begun transaction has an id"))
+        .collect();
+    let name_of = |t: TxnId| -> String {
+        txn_ids
+            .iter()
+            .position(|x| *x == t)
+            .map(|i| instances[i].name.clone())
+            .unwrap_or_else(|| t.to_string())
+    };
+
+    let mut pos = vec![0usize; n];
+    let mut done = vec![false; n];
+    let mut failed = vec![false; n];
+    let mut blocked = vec![false; n];
+    let mut steps_rec: Vec<WitnessStep> = Vec::new();
+    let mut di = 0usize;
+
+    for _ in 0..max_steps {
+        let runnable: Vec<usize> = (0..n)
+            .filter(|&i| !done[i] && !failed[i] && !blocked[i] && pos[i] < instances[i].stmts.len())
+            .collect();
+        if runnable.is_empty() {
+            return finish_anomaly(&db, serial, instances, &txn_ids, &failed, steps_rec);
+        }
+        let choice = if runnable.len() == 1 {
+            runnable[0]
+        } else if di < decisions.len() {
+            let c = decisions[di];
+            di += 1;
+            if !runnable.contains(&c) {
+                return AnomalyRun::Terminal;
+            }
+            c
+        } else {
+            return AnomalyRun::Frontier {
+                choices: runnable,
+                positions: pos,
+                sleep,
+            };
+        };
+
+        let mv: Move = (choice, pos[choice]);
+        if di >= decisions.len() {
+            if sleep.contains(&mv) {
+                return AnomalyRun::Redundant;
+            }
+            sleep.retain(|m| !fps.dependent(*m, mv));
+        }
+
+        let inst = &instances[choice];
+        let cs = &inst.stmts[pos[choice]];
+        let mut step = WitnessStep {
+            instance: inst.name.clone(),
+            label: cs.label.clone(),
+            sql: cs.sql.clone(),
+            locks: Vec::new(),
+            outcome: String::new(),
+            waits_on: Vec::new(),
+        };
+        match sessions[choice].execute_nowait(&cs.stmt, &cs.params) {
+            Ok(StepResult::Done(data)) => {
+                step.locks = data.locks.iter().map(|(t, m)| render_lock(t, *m)).collect();
+                step.outcome = "ok".into();
+                steps_rec.push(step);
+                pos[choice] += 1;
+                if pos[choice] == inst.stmts.len() {
+                    let _ = sessions[choice].commit();
+                    done[choice] = true;
+                    for b in blocked.iter_mut() {
+                        *b = false;
+                    }
+                }
+            }
+            Ok(StepResult::Blocked { on, target, mode }) => {
+                step.locks = vec![render_lock(&target, mode)];
+                step.outcome = "blocked".into();
+                step.waits_on = on.iter().map(|t| name_of(*t)).collect();
+                steps_rec.push(step);
+                blocked[choice] = true;
+            }
+            Err(DbError::Deadlock { cycle }) => {
+                // An abort, not a verdict: the victim's history vanishes
+                // and the surviving instances keep running.
+                step.outcome = "deadlock".into();
+                step.waits_on = cycle.iter().map(|t| name_of(*t)).collect();
+                steps_rec.push(step);
+                failed[choice] = true;
+                for b in blocked.iter_mut() {
+                    *b = false;
+                }
+            }
+            Err(e) => {
+                step.outcome = format!("error: {e}");
+                steps_rec.push(step);
+                if sessions[choice].in_txn() {
+                    sessions[choice].rollback();
+                }
+                failed[choice] = true;
+                for b in blocked.iter_mut() {
+                    *b = false;
+                }
+            }
+        }
+    }
+    AnomalyRun::Terminal
+}
+
+/// Classify a terminal schedule: tracker events first, then the
+/// serial-state cross-check (only when every instance committed — an
+/// abort legitimately removes effects no serial order would lose).
+fn finish_anomaly(
+    db: &Database,
+    serial: &[String],
+    instances: &[Instance],
+    txn_ids: &[TxnId],
+    failed: &[bool],
+    steps: Vec<WitnessStep>,
+) -> AnomalyRun {
+    let name_of = |t: TxnId| -> String {
+        txn_ids
+            .iter()
+            .position(|x| *x == t)
+            .map(|i| instances[i].name.clone())
+            .unwrap_or_else(|| t.to_string())
+    };
+    let mut findings: Vec<AnomalyFinding> = db
+        .anomaly_events()
+        .into_iter()
+        .map(|ev| AnomalyFinding {
+            kind: ev.kind.name().to_string(),
+            table: ev.table.clone(),
+            instances: ev.txns.iter().map(|t| name_of(*t)).collect(),
+            detail: ev.detail.clone(),
+        })
+        .collect();
+    if findings.is_empty() && !failed.iter().any(|&f| f) && instances.len() <= 3 {
+        let digest = state_digest(db);
+        if !serial.contains(&digest) {
+            findings.push(AnomalyFinding {
+                kind: "non-serializable-state".into(),
+                table: "*".into(),
+                instances: instances.iter().map(|i| i.name.clone()).collect(),
+                detail: format!(
+                    "final state {digest} matches none of the {} serial execution(s)",
+                    serial.len()
+                ),
+            });
+        }
+    }
+    if findings.is_empty() {
+        return AnomalyRun::Terminal;
+    }
+    findings.sort();
+    findings.dedup();
+    AnomalyRun::Anomalous { steps, findings }
+}

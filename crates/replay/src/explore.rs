@@ -55,7 +55,7 @@ pub struct Instance {
 }
 
 /// A scheduling decision: `(instance index, statement position)`.
-type Move = (usize, usize);
+pub(crate) type Move = (usize, usize);
 
 /// Result of exploring all schedules within budget.
 #[derive(Debug)]
@@ -102,10 +102,10 @@ impl Footprint {
 /// is widened to every table the transaction touches, as writes: its
 /// completion commits, and the commit releases every lock the transaction
 /// holds — reordering it past any conflicting move changes behavior.
-struct Footprints(Vec<Vec<Footprint>>);
+pub(crate) struct Footprints(Vec<Vec<Footprint>>);
 
 impl Footprints {
-    fn new(instances: &[Instance]) -> Footprints {
+    pub(crate) fn new(instances: &[Instance]) -> Footprints {
         let per_instance = instances
             .iter()
             .map(|inst| {
@@ -138,7 +138,7 @@ impl Footprints {
     /// Whether two moves are dependent: same instance (program order), or
     /// overlapping table footprints with at least one write. Out-of-range
     /// positions are conservatively dependent.
-    fn dependent(&self, a: Move, b: Move) -> bool {
+    pub(crate) fn dependent(&self, a: Move, b: Move) -> bool {
         if a.0 == b.0 {
             return true;
         }

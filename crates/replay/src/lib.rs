@@ -28,10 +28,15 @@
 //! deadlocked — e.g. a cycle SAT under the lock model but not reachable in
 //! the engine), or [`ReplayVerdict::Skipped`] (missing trace/transaction).
 
+pub mod anomaly;
 pub mod concretize;
 pub mod explore;
 pub mod witness;
 
+pub use anomaly::{
+    explore_anomalies, serial_state_digests, state_digest, AnomalyFinding, AnomalyOutcome,
+    AnomalyWitness,
+};
 pub use concretize::{concretize_txn, render_sql, ConcreteStmt};
 pub use explore::{explore, ExploreOutcome, Instance, ReplayConfig};
 pub use witness::{render_lock, Witness, WitnessInstance, WitnessStep};

@@ -197,7 +197,7 @@ pub fn render_lock(target: &LockTarget, mode: LockMode) -> String {
     }
 }
 
-fn join_json_strings(parts: &[String]) -> String {
+pub(crate) fn join_json_strings(parts: &[String]) -> String {
     let mut s = String::new();
     for (i, p) in parts.iter().enumerate() {
         if i > 0 {
@@ -208,7 +208,7 @@ fn join_json_strings(parts: &[String]) -> String {
     s
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
