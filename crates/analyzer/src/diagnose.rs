@@ -39,7 +39,9 @@ use crate::schedule::{resolve_threads, run_ordered};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 use weseer_concolic::{StmtRecord, Trace};
-use weseer_smt::{check_tiered, Ctx, Model, SolveResult, SolverConfig, TermId, VerdictCache};
+use weseer_smt::{
+    check_tiered, Ctx, IncrementalSolver, Model, SolveResult, SolverConfig, TermId, VerdictCache,
+};
 use weseer_sqlir::Catalog;
 use weseer_store::{codec, json::Json, site_hash, Lookup, Store};
 
@@ -268,7 +270,15 @@ pub(crate) struct PairCtx<'a> {
     traces: &'a [CollectedTrace],
     config: &'a AnalyzerConfig,
     oracle: Option<&'a dyn IndexOracle>,
-    /// Present iff `config.smt_cache`.
+    /// Present iff `config.smt_cache` and the solver is not incremental.
+    /// In incremental mode every formula goes to the pair's persistent
+    /// solver instead: a cache hit would skip a query and thereby change
+    /// the solver's clause database relative to a cold run, making
+    /// verdict bytes depend on cross-pair cache traffic (and thus on
+    /// thread scheduling). Within a pair the persistent solver already
+    /// provides what the cache bought — shared work across near-identical
+    /// formulas — at finer granularity (shared clauses, not just whole
+    /// canonicalized formulas).
     cache: Option<VerdictCache>,
     /// Tier-2 prefix table (present iff `config.solver.tiers.prefix` and
     /// the fine phase runs): per-trace pre-simplified path conditions.
@@ -308,7 +318,7 @@ impl<'a> PairCtx<'a> {
             traces,
             config,
             oracle,
-            cache: config.smt_cache.then(VerdictCache::new),
+            cache: (config.smt_cache && !config.solver.tiers.incremental).then(VerdictCache::new),
             prefix,
             stmt_sql,
             store,
@@ -515,17 +525,74 @@ pub(crate) struct FineOutcome {
     time: Duration,
 }
 
+/// Shared fine-phase state for one transaction pair: the destination
+/// context every cycle formula is built in, the term importers for the
+/// two instances (whose memo tables make re-imports of the shared path
+/// conditions and lock variables free), and — in incremental mode — the
+/// persistent assumption-based solver carrying Tseitin clauses,
+/// select-congruence axioms, theory blocking clauses, and learned
+/// clauses across the pair's cycles.
+///
+/// A session never outlives its pair. Sharing a solver across pairs
+/// would make a verdict depend on which pairs a worker thread happened
+/// to solve earlier, breaking the byte-identical-at-any-thread-count
+/// guarantee; per-pair sessions keep cycle order (and therefore solver
+/// state) canonical regardless of scheduling.
+struct PairSession<'a> {
+    dst: Ctx,
+    imp_a: Importer<'a>,
+    imp_b: Importer<'a>,
+    /// Importers for the prefix table's pre-simplified conjuncts
+    /// (present iff [`PairCtx::prefix`] is).
+    pre_a: Option<Importer<'a>>,
+    pre_b: Option<Importer<'a>>,
+    /// Present iff `config.solver.tiers.incremental`: the pair's
+    /// persistent solver. `None` falls back to a fresh tiered solve (or
+    /// the verdict cache) per cycle.
+    solver: Option<IncrementalSolver>,
+}
+
+impl<'a> PairSession<'a> {
+    fn new(pair: &PairJob, ctx: &'a PairCtx<'_>) -> PairSession<'a> {
+        let a = &ctx.traces[pair.a];
+        let b = &ctx.traces[pair.b];
+        let (pre_a, pre_b) = match &ctx.prefix {
+            Some(table) => (
+                Some(Importer::new(&table.trace(pair.a).ctx, "A1.")),
+                Some(Importer::new(&table.trace(pair.b).ctx, "A2.")),
+            ),
+            None => (None, None),
+        };
+        PairSession {
+            dst: Ctx::new(),
+            imp_a: Importer::new(&a.ctx, "A1."),
+            imp_b: Importer::new(&b.ctx, "A2."),
+            pre_a,
+            pre_b,
+            solver: ctx
+                .config
+                .solver
+                .tiers
+                .incremental
+                .then(|| IncrementalSolver::new(ctx.config.solver.clone())),
+        }
+    }
+}
+
 /// Phase 3, pure: lock modeling + conflict conditions + SMT for one cycle.
+/// Non-incremental path: a fresh [`PairSession`] per cycle reproduces the
+/// historical one-context-per-formula behavior exactly.
 pub(crate) fn fine_check(job: &FineJob, ctx: &PairCtx<'_>) -> FineOutcome {
     let start = Instant::now();
-    let verdict = fine_check_inner(job, ctx);
+    let mut sess = PairSession::new(&job.pair, ctx);
+    let verdict = fine_check_inner(job, ctx, &mut sess);
     FineOutcome {
         verdict,
         time: start.elapsed(),
     }
 }
 
-fn fine_check_inner(job: &FineJob, ctx: &PairCtx<'_>) -> FineVerdict {
+fn fine_check_inner(job: &FineJob, ctx: &PairCtx<'_>, sess: &mut PairSession<'_>) -> FineVerdict {
     let pair = &job.pair;
     let cand = &job.cand;
     let a = &ctx.traces[pair.a];
@@ -535,19 +602,16 @@ fn fine_check_inner(job: &FineJob, ctx: &PairCtx<'_>) -> FineVerdict {
     let (a_hold, a_wait) = (stmts_a[cand.ah], stmts_a[cand.aw]);
     let (b_hold, b_wait) = (stmts_b[cand.bh], stmts_b[cand.bw]);
     let config = ctx.config;
-
-    let mut dst = Ctx::new();
-    let mut imp_a = Importer::new(&a.ctx, "A1.");
-    let mut imp_b = Importer::new(&b.ctx, "A2.");
+    let dst = &mut sess.dst;
 
     // Edge 1: A's held lock (a_hold) blocks B's waiter (b_wait).
     let e1 = edge_condition(
-        &mut dst,
+        dst,
         ctx.catalog,
         a_hold,
-        &mut imp_a,
+        &mut sess.imp_a,
         b_wait,
-        &mut imp_b,
+        &mut sess.imp_b,
         &cand.t1,
         1,
         config,
@@ -555,12 +619,12 @@ fn fine_check_inner(job: &FineJob, ctx: &PairCtx<'_>) -> FineVerdict {
     );
     // Edge 2: B's held lock blocks A's waiter.
     let e2 = edge_condition(
-        &mut dst,
+        dst,
         ctx.catalog,
         b_hold,
-        &mut imp_b,
+        &mut sess.imp_b,
         a_wait,
-        &mut imp_a,
+        &mut sess.imp_a,
         &cand.t2,
         2,
         config,
@@ -577,10 +641,10 @@ fn fine_check_inner(job: &FineJob, ctx: &PairCtx<'_>) -> FineVerdict {
     {
         let mut all: Vec<(String, TermId)> = Vec::new();
         for (g, t) in &a.trace.unique_ids {
-            all.push((g.clone(), imp_a.import(&mut dst, *t)));
+            all.push((g.clone(), sess.imp_a.import(dst, *t)));
         }
         for (g, t) in &b.trace.unique_ids {
-            all.push((g.clone(), imp_b.import(&mut dst, *t)));
+            all.push((g.clone(), sess.imp_b.import(dst, *t)));
         }
         for x in 0..all.len() {
             for y in (x + 1)..all.len() {
@@ -595,37 +659,44 @@ fn fine_check_inner(job: &FineJob, ctx: &PairCtx<'_>) -> FineVerdict {
         // Tier 2: import the pre-simplified path conditions from the
         // prefix table's context — variables unify with the edge
         // conditions by prefixed name, so the per-pair tier-0 pass only
-        // ever sees already-reduced conjuncts.
+        // ever sees already-reduced conjuncts. In incremental mode the
+        // session importers' memo tables mean every conjunct is imported
+        // (and, inside the persistent solver, lowered) once per *pair*,
+        // not once per cycle — later cycles only add their delta.
         Some(table) => {
             let tp_a = table.trace(pair.a);
             let tp_b = table.trace(pair.b);
-            let mut pre_a = Importer::new(&tp_a.ctx, "A1.");
-            let mut pre_b = Importer::new(&tp_b.ctx, "A2.");
+            let pre_a = sess.pre_a.as_mut().expect("prefix importers track table");
+            let pre_b = sess.pre_b.as_mut().expect("prefix importers track table");
             for (pc, &s) in a.trace.path_conds.iter().zip(&tp_a.simplified) {
                 if pc.seq < a_wait.seq {
-                    parts.push(pre_a.import(&mut dst, s));
+                    parts.push(pre_a.import(dst, s));
                 }
             }
             for (pc, &s) in b.trace.path_conds.iter().zip(&tp_b.simplified) {
                 if pc.seq < b_wait.seq {
-                    parts.push(pre_b.import(&mut dst, s));
+                    parts.push(pre_b.import(dst, s));
                 }
             }
         }
         None => {
             for pc in a.trace.path_conds_before(a_wait.seq) {
-                parts.push(imp_a.import(&mut dst, pc.term));
+                parts.push(sess.imp_a.import(dst, pc.term));
             }
             for pc in b.trace.path_conds_before(b_wait.seq) {
-                parts.push(imp_b.import(&mut dst, pc.term));
+                parts.push(sess.imp_b.import(dst, pc.term));
             }
         }
     }
     let formula = dst.and(parts);
 
-    let result = match &ctx.cache {
-        Some(cache) => cache.check_tiered(&mut dst, formula, &config.solver).0,
-        None => check_tiered(&mut dst, formula, &config.solver).0,
+    let result = match (&mut sess.solver, &ctx.cache) {
+        // Incremental: the whole formula rides on one assumption literal;
+        // shared structure is already lowered and learned clauses from
+        // earlier cycles prune this one's search.
+        (Some(inc), _) => inc.check_tiered(dst, formula).0,
+        (None, Some(cache)) => cache.check_tiered(dst, formula, &config.solver).0,
+        (None, None) => check_tiered(dst, formula, &config.solver).0,
     };
     match result {
         SolveResult::Sat(model) => FineVerdict::Sat(Box::new(build_report(job, ctx, model))),
@@ -683,14 +754,7 @@ pub(crate) fn fine_check_cached(job: &FineJob, ctx: &PairCtx<'_>) -> FineOutcome
     let Some(sc) = ctx.store else {
         return fine_check(job, ctx);
     };
-    let site = format!(
-        "{}|{},{},{},{}",
-        ctx.pair_site(&job.pair),
-        job.cand.ah,
-        job.cand.aw,
-        job.cand.bh,
-        job.cand.bw
-    );
+    let site = fine_site(ctx, job);
     let content = ctx.pair_content(sc, &job.pair);
     if let Lookup::Hit(v) = sc.store.get("pair3", &site, &content) {
         if let Some(out) = fine_from_json(job, ctx, &v) {
@@ -700,6 +764,71 @@ pub(crate) fn fine_check_cached(job: &FineJob, ctx: &PairCtx<'_>) -> FineOutcome
     let out = fine_check(job, ctx);
     sc.store.put("pair3", &site, &content, fine_to_json(&out));
     out
+}
+
+/// Store site of one fine-grained cycle check: the pair's site plus the
+/// cycle's statement positions.
+fn fine_site(ctx: &PairCtx<'_>, job: &FineJob) -> String {
+    format!(
+        "{}|{},{},{},{}",
+        ctx.pair_site(&job.pair),
+        job.cand.ah,
+        job.cand.aw,
+        job.cand.bh,
+        job.cand.bw
+    )
+}
+
+/// Incremental-mode phase 3 for every deduplicated cycle of one
+/// transaction pair, in canonical order, against one shared
+/// [`PairSession`] (and thus one persistent solver).
+///
+/// Store replay is all-or-nothing per pair: a persistent solver's
+/// answers depend on its query sequence, so replaying *some* cycles from
+/// the store while solving the rest live would feed the solver a
+/// different sequence than a cold run saw — and its verdict bytes could
+/// drift. Either every cycle of the pair hits (replay them all, no
+/// solver is built), or all of them are solved live and re-persisted.
+pub(crate) fn fine_check_group(jobs: &[FineJob], ctx: &PairCtx<'_>) -> Vec<FineOutcome> {
+    let live = |jobs: &[FineJob]| -> Vec<FineOutcome> {
+        let mut sess = PairSession::new(&jobs[0].pair, ctx);
+        jobs.iter()
+            .map(|job| {
+                let start = Instant::now();
+                let verdict = fine_check_inner(job, ctx, &mut sess);
+                FineOutcome {
+                    verdict,
+                    time: start.elapsed(),
+                }
+            })
+            .collect()
+    };
+    let Some(sc) = ctx.store else {
+        return live(jobs);
+    };
+    let content = ctx.pair_content(sc, &jobs[0].pair);
+    // Look up every cycle eagerly (no short-circuit: each lookup must
+    // register its hit/stale/miss, exactly as per-job solving would),
+    // then replay only if the *whole* group hit — a partial replay
+    // would fork the solver's query sequence from the cold run's.
+    let replayed: Vec<Option<FineOutcome>> = jobs
+        .iter()
+        .map(
+            |job| match sc.store.get("pair3", &fine_site(ctx, job), &content) {
+                Lookup::Hit(v) => fine_from_json(job, ctx, &v),
+                _ => None,
+            },
+        )
+        .collect();
+    if replayed.iter().all(Option::is_some) {
+        return replayed.into_iter().flatten().collect();
+    }
+    let outs = live(jobs);
+    for (job, out) in jobs.iter().zip(&outs) {
+        sc.store
+            .put("pair3", &fine_site(ctx, job), &content, fine_to_json(out));
+    }
+    outs
 }
 
 fn fine_to_json(out: &FineOutcome) -> Json {
@@ -841,7 +970,25 @@ fn run_pipeline(
 
     // ---- Phase 3: fine-grained lock modeling + SMT (parallel) ----------
     timeline_phase("analyzer.phase3", "fine-grained lock modeling + SMT");
-    let fine_outcomes = run_ordered(&fine_jobs, threads, |_, fj| fine_check_cached(fj, &pctx));
+    let fine_outcomes: Vec<FineOutcome> = if config.solver.tiers.incremental {
+        // Incremental mode parallelizes over *pairs*, not cycles: each
+        // pair's cycles share one persistent solver and must run in
+        // canonical order on one thread. The dedup sweep above emits
+        // jobs grouped by pair already, so grouping is a linear pass.
+        let mut groups: Vec<Vec<FineJob>> = Vec::new();
+        for fj in fine_jobs {
+            match groups.last_mut() {
+                Some(g) if g[0].pair == fj.pair => g.push(fj),
+                _ => groups.push(vec![fj]),
+            }
+        }
+        run_ordered(&groups, threads, |_, g| fine_check_group(g, &pctx))
+            .into_iter()
+            .flatten()
+            .collect()
+    } else {
+        run_ordered(&fine_jobs, threads, |_, fj| fine_check_cached(fj, &pctx))
+    };
 
     // Persist the SMT verdicts this run produced (hit-or-miss: `put` of
     // an unchanged entry is a no-op, so repeat runs do not grow the file).

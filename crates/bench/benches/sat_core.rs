@@ -1,0 +1,93 @@
+//! Micro-benchmarks of the raw SAT core underneath the lazy-SMT loop:
+//! the CDCL engine (first-UIP learning, VSIDS, restarts) against the
+//! legacy chronological DPLL it replaced, and the incremental
+//! assumption-based entry point against fresh per-query solves.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use weseer_smt::sat::{self, Cnf, Lit, SatResult, Solver};
+
+/// PHP(h+1, h): h+1 pigeons into h holes — UNSAT, and the canonical
+/// separator between clause-learning and chronological search.
+fn pigeonhole(holes: usize) -> Cnf {
+    let pigeons = holes + 1;
+    let mut cnf = Cnf::default();
+    let var = |p: usize, h: usize| p * holes + h;
+    for _ in 0..pigeons * holes {
+        cnf.new_var();
+    }
+    for p in 0..pigeons {
+        let clause: Vec<Lit> = (0..holes).map(|h| Lit::pos(var(p, h))).collect();
+        cnf.add_clause(clause);
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                cnf.add_clause([Lit::neg(var(p1, h)), Lit::neg(var(p2, h))]);
+            }
+        }
+    }
+    cnf
+}
+
+/// A long implication ladder with a satisfiable tail: mostly unit
+/// propagation, the shape Tseitin lowering produces for deep terms.
+fn implication_ladder(n: usize) -> Cnf {
+    let mut cnf = Cnf::default();
+    for _ in 0..n {
+        cnf.new_var();
+    }
+    for i in 0..n - 1 {
+        cnf.add_clause([Lit::neg(i), Lit::pos(i + 1)]);
+    }
+    cnf.add_unit(Lit::pos(0));
+    cnf
+}
+
+/// One persistent solver answering `n` assumption queries over a shared
+/// ladder — the fine-grained phase's per-pair access pattern.
+fn assumption_queries(solver: &mut Solver, n: usize) {
+    for i in 0..n {
+        let (res, _) = solver.solve_under_assumptions(&[Lit::pos(i)], u64::MAX);
+        assert!(matches!(res, Some(SatResult::Sat(_))));
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sat_core");
+    for holes in [4usize, 5] {
+        let cnf = pigeonhole(holes);
+        g.bench_function(format!("pigeonhole_{holes}_cdcl"), |b| {
+            b.iter(|| {
+                let (res, _) = sat::solve_instrumented(&cnf, u64::MAX);
+                assert!(matches!(res, Some(SatResult::Unsat)));
+            })
+        });
+        g.bench_function(format!("pigeonhole_{holes}_dpll"), |b| {
+            b.iter(|| {
+                let (res, _) = sat::solve_dpll_instrumented(&cnf, u64::MAX);
+                assert!(matches!(res, Some(SatResult::Unsat)));
+            })
+        });
+    }
+    let ladder = implication_ladder(512);
+    g.bench_function("ladder_512_incremental_16_queries", |b| {
+        b.iter_batched(
+            || Solver::from_cnf(&ladder),
+            |mut solver| assumption_queries(&mut solver, 16),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("ladder_512_fresh_16_queries", |b| {
+        b.iter(|| {
+            for i in 0..16 {
+                let mut solver = Solver::from_cnf(&ladder);
+                let (res, _) = solver.solve_under_assumptions(&[Lit::pos(i)], u64::MAX);
+                assert!(matches!(res, Some(SatResult::Sat(_))));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

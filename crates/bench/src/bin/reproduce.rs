@@ -23,12 +23,16 @@
 //! and writes one JSON line per report to `<path>` (byte-for-byte
 //! deterministic across runs and thread counts; CI diffs it).
 //! `--smt-ablation [broadleaf|shopizer]` diagnoses the app(s) once per
-//! tier configuration of the SMT fast path (all tiers, each tier
-//! individually off, all off), prints the full-solver reduction table,
-//! writes a one-line summary to `BENCH_smt.json`, and exits nonzero if
-//! any configuration changed a verdict or report (the tiers must be pure
-//! optimizations). With no app argument both apps run. With no other
-//! selector, only the requested export/ablation runs happen.
+//! named solver configuration (`all_tiers`, `no_simplify`,
+//! `no_presolve`, `no_prefix`, `no_cdcl` — legacy DPLL core —
+//! `no_incremental` — fresh solver per formula — and `no_tiers`; the
+//! grid is `TierConfig::ablation_configs`), prints the full-solver
+//! reduction table, writes a one-line summary with a
+//! `wallclock_per_solve` row per configuration to `BENCH_smt.json`, and
+//! exits nonzero if any configuration changed a verdict or report (the
+//! tiers must be pure optimizations). With no app argument both apps
+//! run. With no other selector, only the requested export/ablation runs
+//! happen.
 //!
 //! `--store <path>` opens (or creates) the incremental store at `<path>`
 //! and runs every selected experiment against it (equivalent to

@@ -25,7 +25,10 @@ use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 /// How many records the timeline retains before dropping the oldest.
-pub const TIMELINE_CAPACITY: usize = 65_536;
+/// Sized so a full diagnose-plus-replay run over one app (~90k records,
+/// dominated by replay-phase lock events) fits without evicting the
+/// earlier phases' spans and SMT solves.
+pub const TIMELINE_CAPACITY: usize = 262_144;
 
 /// One timestamped record. Timestamps are microseconds since the
 /// timeline was first enabled.

@@ -15,6 +15,16 @@
 //! same key and both miss), so they are surfaced only through
 //! [`SolverStats`] and the observability counters, never through anything
 //! that must be bit-identical across thread counts.
+//!
+//! The cache is bypassed when the solver runs incrementally
+//! (`TierConfig::incremental`): a persistent
+//! [`crate::IncrementalSolver`]'s answers depend on its query sequence,
+//! so skipping a query on a cache hit would leave the solver in a
+//! different state than a cold run — and cross-pair cache traffic would
+//! make that state schedule-dependent. The persistent solver subsumes
+//! the cache's win inside each query group anyway: near-identical
+//! formulas share lowered clauses and learned lemmas instead of whole
+//! canonicalized keys.
 
 use crate::canon::Canonical;
 use crate::model::Model;

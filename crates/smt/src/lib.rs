@@ -38,6 +38,7 @@
 pub mod arith;
 pub mod cache;
 pub mod canon;
+pub mod incremental;
 pub mod lower;
 pub mod model;
 pub mod presolve;
@@ -50,6 +51,7 @@ pub mod term;
 
 pub use cache::VerdictCache;
 pub use canon::Canonical;
+pub use incremental::IncrementalSolver;
 pub use model::{Model, ModelKey, ModelValue};
 pub use presolve::{presolve, PresolveResult};
 pub use rational::Rat;

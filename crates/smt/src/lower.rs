@@ -42,6 +42,11 @@ pub struct Lowering {
     pub atom_vars: Vec<usize>,
     atom_ids: HashMap<Atom, usize>,
     memo: HashMap<TermId, Lit>,
+    /// Per numeric-equality term, the two `≤` half atoms it was split
+    /// into. Those atoms carry no TermId of their own, so term-DAG
+    /// walks (the incremental solver's cone computation) must recover
+    /// their SAT variables through this side table.
+    eq_aux: HashMap<TermId, [Lit; 2]>,
     /// Numeric theory variables.
     pub num_vars: Vec<VarInfo>,
     num_var_ids: HashMap<String, usize>,
@@ -127,6 +132,20 @@ impl Lowering {
         }
     }
 
+    /// The literal `t` lowered to earlier, if any. Lets callers walk a
+    /// term DAG and recover which SAT variables encode its subterms (the
+    /// incremental solver's query-cone computation) without re-lowering.
+    pub fn lowered_lit(&self, t: TermId) -> Option<Lit> {
+        self.memo.get(&t).copied()
+    }
+
+    /// The two `≤` half atoms a numeric equality was split into, if `t`
+    /// is one that has been lowered. Companion to [`Self::lowered_lit`]
+    /// for cone walks: these atoms are reachable from no TermId.
+    pub fn eq_aux_lits(&self, t: TermId) -> Option<[Lit; 2]> {
+        self.eq_aux.get(&t).copied()
+    }
+
     /// Lower a Bool-sorted term to a literal, adding Tseitin clauses.
     pub fn lower(&mut self, ctx: &Ctx, t: TermId) -> Lit {
         if let Some(&l) = self.memo.get(&t) {
@@ -175,6 +194,7 @@ impl Lowering {
                     let (ea, eb) = (self.linearize(ctx, a), self.linearize(ctx, b));
                     let le1 = self.atom_lit(Atom::Lin(Constraint::le0(ea.sub(&eb))));
                     let le2 = self.atom_lit(Atom::Lin(Constraint::le0(eb.sub(&ea))));
+                    self.eq_aux.insert(t, [le1, le2]);
                     let v = self.cnf.new_var();
                     self.cnf.add_clause(vec![Lit::neg(v), le1]);
                     self.cnf.add_clause(vec![Lit::neg(v), le2]);

@@ -32,6 +32,18 @@ pub struct TierConfig {
     /// (`weseer-analyzer`); carried here so one knob travels with the
     /// solver config.
     pub prefix: bool,
+    /// CDCL SAT core: first-UIP clause learning, VSIDS, restarts, and a
+    /// persistent solver that keeps theory-blocking clauses across the
+    /// lazy loop's iterations. Off = the legacy chronological DPLL that
+    /// rebuilds the CNF every iteration.
+    pub cdcl: bool,
+    /// Incremental cross-query solving in the analyzer: one persistent
+    /// [`crate::IncrementalSolver`] per transaction pair, every cycle's
+    /// formula solved under a single assumption literal so lowered
+    /// subterms, learned clauses, and theory-blocking clauses carry over
+    /// between cycles. Requires `cdcl`; carried here so one knob travels
+    /// with the solver config.
+    pub incremental: bool,
 }
 
 impl TierConfig {
@@ -41,7 +53,60 @@ impl TierConfig {
         simplify: false,
         presolve: false,
         prefix: false,
+        cdcl: false,
+        incremental: false,
     };
+
+    /// The named knob ablation grid: every row is the default config with
+    /// exactly one knob withheld (plus the all-on and all-off endpoints).
+    /// `reproduce --smt-ablation` emits one `BENCH_smt.json` row per
+    /// name and CI gates on exactly these names, so adding a `TierConfig`
+    /// knob without extending this list fails the bench check.
+    pub fn ablation_configs() -> Vec<(&'static str, TierConfig)> {
+        let all = TierConfig::default();
+        vec![
+            ("all_tiers", all),
+            (
+                "no_simplify",
+                TierConfig {
+                    simplify: false,
+                    ..all
+                },
+            ),
+            (
+                "no_presolve",
+                TierConfig {
+                    presolve: false,
+                    ..all
+                },
+            ),
+            (
+                "no_prefix",
+                TierConfig {
+                    prefix: false,
+                    ..all
+                },
+            ),
+            (
+                // `incremental` requires `cdcl`, so the CDCL ablation
+                // withdraws both.
+                "no_cdcl",
+                TierConfig {
+                    cdcl: false,
+                    incremental: false,
+                    ..all
+                },
+            ),
+            (
+                "no_incremental",
+                TierConfig {
+                    incremental: false,
+                    ..all
+                },
+            ),
+            ("no_tiers", TierConfig::OFF),
+        ]
+    }
 }
 
 impl Default for TierConfig {
@@ -50,6 +115,8 @@ impl Default for TierConfig {
             simplify: true,
             presolve: true,
             prefix: true,
+            cdcl: true,
+            incremental: true,
         }
     }
 }
@@ -210,6 +277,21 @@ pub fn check_with_stats(
     let start = std::time::Instant::now();
     let mut stats = SolverStats::default();
     let result = check_inner(ctx, assertion, config, &mut stats);
+    record_full_solve(start, &result, &mut stats);
+    (result, stats)
+}
+
+/// Record the per-call observability for one full (non-fastpath) solve:
+/// wall-clock histograms, the timeline slice, and the aggregated search
+/// counters — including the CDCL internals
+/// (`smt.cdcl.{conflicts,learned,restarts,propagations,db_reductions}`).
+/// Shared by [`check_with_stats`] and the incremental solver so the
+/// funnel counters mean the same thing in every mode.
+pub(crate) fn record_full_solve(
+    start: std::time::Instant,
+    result: &SolveResult,
+    stats: &mut SolverStats,
+) {
     let elapsed = start.elapsed();
     stats.wall_us = elapsed.as_micros() as u64;
     if weseer_obs::timeline::enabled() {
@@ -236,7 +318,11 @@ pub fn check_with_stats(
     weseer_obs::add("smt.theory_iters", stats.theory_iters);
     weseer_obs::add("smt.arith_conflicts", stats.arith_conflicts);
     weseer_obs::add("smt.str_conflicts", stats.str_conflicts);
-    (result, stats)
+    weseer_obs::add("smt.cdcl.conflicts", stats.sat.conflicts);
+    weseer_obs::add("smt.cdcl.learned", stats.sat.learned);
+    weseer_obs::add("smt.cdcl.restarts", stats.sat.restarts);
+    weseer_obs::add("smt.cdcl.propagations", stats.sat.propagations);
+    weseer_obs::add("smt.cdcl.db_reductions", stats.sat.db_reductions);
 }
 
 /// Outcome of the tier-0/tier-1 fast path: either a final verdict or the
@@ -328,24 +414,7 @@ pub fn check_tiered(
     let mut stats = SolverStats::default();
     match fastpath(ctx, assertion, config, &mut stats) {
         Fastpath::Decided(result) => {
-            // Keep the funnel invariant `smt.solve_calls` = queries
-            // answered, whether or not the full solver ran.
-            let elapsed = start.elapsed();
-            stats.wall_us = elapsed.as_micros() as u64;
-            if weseer_obs::timeline::enabled() {
-                let tier = if stats.t0_discharged > 0 { "t0" } else { "t1" };
-                weseer_obs::timeline::complete_since(
-                    "smt.solve",
-                    "smt",
-                    start,
-                    &[
-                        ("tier", tier.to_string()),
-                        ("verdict", result.verdict_str().to_string()),
-                    ],
-                );
-            }
-            weseer_obs::observe_duration("smt.solve_us", elapsed);
-            weseer_obs::add("smt.solve_calls", 1);
+            record_fastpath_decided(start, &result, &mut stats);
             (result, stats)
         }
         Fastpath::Continue(term) => {
@@ -354,6 +423,34 @@ pub fn check_tiered(
             (result, stats)
         }
     }
+}
+
+/// Record the per-call observability for a query the tier-0/tier-1 fast
+/// path discharged without running the full solver. Keeps the funnel
+/// invariant `smt.solve_calls` = queries answered, whether or not the
+/// full solver ran. Shared by [`check_tiered`] and the incremental
+/// solver.
+pub(crate) fn record_fastpath_decided(
+    start: std::time::Instant,
+    result: &SolveResult,
+    stats: &mut SolverStats,
+) {
+    let elapsed = start.elapsed();
+    stats.wall_us = elapsed.as_micros() as u64;
+    if weseer_obs::timeline::enabled() {
+        let tier = if stats.t0_discharged > 0 { "t0" } else { "t1" };
+        weseer_obs::timeline::complete_since(
+            "smt.solve",
+            "smt",
+            start,
+            &[
+                ("tier", tier.to_string()),
+                ("verdict", result.verdict_str().to_string()),
+            ],
+        );
+    }
+    weseer_obs::observe_duration("smt.solve_us", elapsed);
+    weseer_obs::add("smt.solve_calls", 1);
 }
 
 fn check_inner(
@@ -370,11 +467,20 @@ fn check_inner(
     let mut low = Lowering::new();
     low.assert(ctx, with_axioms);
 
-    // 3. Lazy theory loop.
+    // 3. Lazy theory loop. With CDCL on, one persistent solver lives
+    //    across all iterations: blocking clauses (and everything the SAT
+    //    search learned) accumulate instead of the CNF being rebuilt and
+    //    re-searched from scratch each time. With CDCL off, the legacy
+    //    chronological DPLL rebuilds per iteration — the `no_cdcl`
+    //    ablation baseline.
+    let mut persistent = config.tiers.cdcl.then(|| sat::Solver::from_cnf(&low.cnf));
     for _ in 0..config.max_theory_iters {
         stats.theory_iters += 1;
         stats.sat_calls += 1;
-        let (sat_result, sat_stats) = sat::solve_instrumented(&low.cnf, config.sat_decision_budget);
+        let (sat_result, sat_stats) = match persistent.as_mut() {
+            Some(solver) => solver.solve_under_assumptions(&[], config.sat_decision_budget),
+            None => sat::solve_dpll_instrumented(&low.cnf, config.sat_decision_budget),
+        };
         stats.sat.absorb(sat_stats);
         let bool_model = match sat_result {
             None => {
@@ -393,88 +499,121 @@ fn check_inner(
         // and turn the lazy loop into model enumeration.
         let needed = prime_implicant(&low.cnf, &bool_model);
 
-        // Collect asserted theory literals.
-        let mut lin_cons: Vec<Constraint> = Vec::new();
-        let mut lin_lits: Vec<Lit> = Vec::new();
-        let mut str_items: Vec<(bool, (StrTerm, StrTerm), Lit)> = Vec::new();
-        for (i, atom) in low.atoms.iter().enumerate() {
-            let var = low.atom_vars[i];
-            if !needed[var] {
-                continue;
-            }
-            let pol = bool_model[var];
-            match atom {
-                Atom::Lin(c) => {
-                    let asserted = if pol {
-                        c.clone()
-                    } else {
-                        // ¬(e ≤ 0) ⇔ -e < 0 ; ¬(e < 0) ⇔ -e ≤ 0
-                        Constraint {
-                            expr: c.expr.scale(Rat::int(-1)),
-                            strict: !c.strict,
-                        }
-                    };
-                    lin_cons.push(asserted);
-                    lin_lits.push(if pol { Lit::pos(var) } else { Lit::neg(var) });
+        match theory_round(ctx, &low, &bool_model, &needed, config, stats) {
+            TheoryOutcome::Conflict(core) => {
+                let clause = block(&mut low, &core);
+                if let Some(solver) = persistent.as_mut() {
+                    solver.add_clause(&clause);
                 }
-                Atom::StrEq(a, b) => {
-                    let lit = if pol { Lit::pos(var) } else { Lit::neg(var) };
-                    str_items.push((pol, (a.clone(), b.clone()), lit));
-                }
-                Atom::BoolVar(_) | Atom::Select { .. } => {}
             }
+            TheoryOutcome::Unknown => return SolveResult::Unknown,
+            TheoryOutcome::Sat(model) => return SolveResult::Sat(*model),
         }
-        let str_eqs: Vec<(StrTerm, StrTerm)> = str_items
-            .iter()
-            .filter(|(eq, _, _)| *eq)
-            .map(|(_, p, _)| p.clone())
-            .collect();
-        let str_neqs: Vec<(StrTerm, StrTerm)> = str_items
-            .iter()
-            .filter(|(eq, _, _)| !*eq)
-            .map(|(_, p, _)| p.clone())
-            .collect();
-
-        // Arithmetic theory.
-        let arith_model = match arith::solve(&low.num_vars, &lin_cons, config.arith_limits) {
-            ArithResult::Unsat => {
-                let core =
-                    minimize_arith_core(&low.num_vars, &lin_cons, &lin_lits, config.arith_limits);
-                stats.arith_conflicts += 1;
-                stats.record_core(&core);
-                block(&mut low, &core);
-                continue;
-            }
-            ArithResult::Unknown => {
-                stats.arith_budget_exhausted += 1;
-                return SolveResult::Unknown;
-            }
-            ArithResult::Sat(m) => m,
-        };
-
-        // String theory.
-        let str_model = match strings::solve(&str_eqs, &str_neqs) {
-            StrResult::Unsat => {
-                let core = minimize_str_core(&str_items);
-                stats.str_conflicts += 1;
-                stats.record_core(&core);
-                block(&mut low, &core);
-                continue;
-            }
-            StrResult::Sat(m) => m,
-        };
-
-        // Both theories agree: assemble the model.
-        return SolveResult::Sat(build_model(
-            ctx,
-            &low,
-            &bool_model,
-            &arith_model,
-            &str_model,
-        ));
     }
     stats.theory_iters_exhausted += 1;
     SolveResult::Unknown
+}
+
+/// Outcome of one theory round over a boolean model.
+pub(crate) enum TheoryOutcome {
+    /// A theory refuted the implied literals; the minimized core must be
+    /// blocked (negated into a clause) before the next SAT call.
+    Conflict(Vec<Lit>),
+    /// A theory exhausted its resource limits.
+    Unknown,
+    /// Both theories accept; here is the combined model.
+    Sat(Box<Model>),
+}
+
+/// Run the arithmetic and string theories over the atom polarities a
+/// boolean model implies (restricted to `needed` variables), minimizing
+/// the unsat core on conflict and assembling the combined model on
+/// success. Shared by [`check_inner`] and the incremental solver.
+pub(crate) fn theory_round(
+    ctx: &Ctx,
+    low: &Lowering,
+    bool_model: &[bool],
+    needed: &[bool],
+    config: &SolverConfig,
+    stats: &mut SolverStats,
+) -> TheoryOutcome {
+    // Collect asserted theory literals.
+    let mut lin_cons: Vec<Constraint> = Vec::new();
+    let mut lin_lits: Vec<Lit> = Vec::new();
+    let mut str_items: Vec<(bool, (StrTerm, StrTerm), Lit)> = Vec::new();
+    for (i, atom) in low.atoms.iter().enumerate() {
+        let var = low.atom_vars[i];
+        if !needed[var] {
+            continue;
+        }
+        let pol = bool_model[var];
+        match atom {
+            Atom::Lin(c) => {
+                let asserted = if pol {
+                    c.clone()
+                } else {
+                    // ¬(e ≤ 0) ⇔ -e < 0 ; ¬(e < 0) ⇔ -e ≤ 0
+                    Constraint {
+                        expr: c.expr.scale(Rat::int(-1)),
+                        strict: !c.strict,
+                    }
+                };
+                lin_cons.push(asserted);
+                lin_lits.push(if pol { Lit::pos(var) } else { Lit::neg(var) });
+            }
+            Atom::StrEq(a, b) => {
+                let lit = if pol { Lit::pos(var) } else { Lit::neg(var) };
+                str_items.push((pol, (a.clone(), b.clone()), lit));
+            }
+            Atom::BoolVar(_) | Atom::Select { .. } => {}
+        }
+    }
+    let str_eqs: Vec<(StrTerm, StrTerm)> = str_items
+        .iter()
+        .filter(|(eq, _, _)| *eq)
+        .map(|(_, p, _)| p.clone())
+        .collect();
+    let str_neqs: Vec<(StrTerm, StrTerm)> = str_items
+        .iter()
+        .filter(|(eq, _, _)| !*eq)
+        .map(|(_, p, _)| p.clone())
+        .collect();
+
+    // Arithmetic theory.
+    let arith_model = match arith::solve(&low.num_vars, &lin_cons, config.arith_limits) {
+        ArithResult::Unsat => {
+            let core =
+                minimize_arith_core(&low.num_vars, &lin_cons, &lin_lits, config.arith_limits);
+            stats.arith_conflicts += 1;
+            stats.record_core(&core);
+            return TheoryOutcome::Conflict(core);
+        }
+        ArithResult::Unknown => {
+            stats.arith_budget_exhausted += 1;
+            return TheoryOutcome::Unknown;
+        }
+        ArithResult::Sat(m) => m,
+    };
+
+    // String theory.
+    let str_model = match strings::solve(&str_eqs, &str_neqs) {
+        StrResult::Unsat => {
+            let core = minimize_str_core(&str_items);
+            stats.str_conflicts += 1;
+            stats.record_core(&core);
+            return TheoryOutcome::Conflict(core);
+        }
+        StrResult::Sat(m) => m,
+    };
+
+    // Both theories agree: assemble the model.
+    TheoryOutcome::Sat(Box::new(build_model(
+        ctx,
+        low,
+        bool_model,
+        &arith_model,
+        &str_model,
+    )))
 }
 
 /// Convenience: check a conjunction of assertions.
@@ -487,28 +626,51 @@ pub fn check_all(ctx: &mut Ctx, assertions: &[TermId], config: &SolverConfig) ->
 /// `model`; unmarked variables are don't-cares whose truth value the
 /// skeleton never relies on. Two passes let later clauses reuse variables
 /// marked by earlier ones.
-fn prime_implicant(cnf: &Cnf, model: &[bool]) -> Vec<bool> {
+pub(crate) fn prime_implicant(cnf: &Cnf, model: &[bool]) -> Vec<bool> {
     let mut needed = vec![false; model.len()];
     for _ in 0..2 {
         for clause in &cnf.clauses {
-            if clause
-                .iter()
-                .any(|l| model[l.var] == l.positive && needed[l.var])
-            {
-                continue;
-            }
-            if let Some(l) = clause.iter().find(|l| model[l.var] == l.positive) {
-                needed[l.var] = true;
-            }
+            mark_clause(clause, model, &mut needed);
         }
     }
     needed
 }
 
-fn block(low: &mut Lowering, lits: &[Lit]) {
-    // Forbid this exact combination of theory literals.
+/// [`prime_implicant`] over an explicit clause subset — the incremental
+/// solver's per-query cone, where clauses belonging to earlier queries
+/// need no justification (every permanent clause is satisfiable
+/// standalone or a valid theory lemma).
+pub(crate) fn prime_implicant_over(cnf: &Cnf, model: &[bool], clauses: &[usize]) -> Vec<bool> {
+    let mut needed = vec![false; model.len()];
+    for _ in 0..2 {
+        for &i in clauses {
+            mark_clause(&cnf.clauses[i], model, &mut needed);
+        }
+    }
+    needed
+}
+
+fn mark_clause(clause: &[Lit], model: &[bool], needed: &mut [bool]) {
+    if clause
+        .iter()
+        .any(|l| model[l.var] == l.positive && needed[l.var])
+    {
+        return;
+    }
+    if let Some(l) = clause.iter().find(|l| model[l.var] == l.positive) {
+        needed[l.var] = true;
+    }
+}
+
+/// Forbid this exact combination of theory literals, returning the
+/// blocking clause so a persistent SAT solver can mirror it. The clause
+/// is a theory lemma (valid in every model of the theories), so it is
+/// safe to keep forever — including across the incremental solver's
+/// later queries under different assumptions.
+pub(crate) fn block(low: &mut Lowering, lits: &[Lit]) -> Vec<Lit> {
     let clause: Vec<Lit> = lits.iter().map(|l| l.negated()).collect();
-    low.cnf.add_clause(clause);
+    low.cnf.add_clause(clause.clone());
+    clause
 }
 
 /// Deletion-based unsat-core minimization for arithmetic conflicts: the
