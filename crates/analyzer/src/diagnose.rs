@@ -32,10 +32,10 @@
 use crate::encode::{gen_conflict_cond, Importer, Side};
 use crate::indexes::IndexOracle;
 use crate::locks::{gen_exclusive_locks, gen_shared_locks, potential_conflict};
-use crate::pairs::{generate_pairs, prune_unsat_prefixes, PairJob};
+use crate::pairs::{generate_pairs, prune_unsat_prefixes, txn_tables, PairJob};
 use crate::prefix::PrefixTable;
 use crate::report::{CycleId, DeadlockReport, ReportedStatement};
-use crate::schedule::{resolve_threads, run_ordered};
+use crate::schedule::{resolve_threads, run_ordered, run_sharded};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 use weseer_concolic::{StmtRecord, Trace};
@@ -240,7 +240,64 @@ pub fn diagnose_incremental(
             "one fingerprint per trace"
         );
     }
-    let diagnosis = run_pipeline(catalog, traces, config, oracle, store);
+    let diagnosis = run_pipeline(
+        catalog,
+        traces,
+        config,
+        oracle,
+        store,
+        Exec::Pool,
+        &mut None,
+    );
+    diagnosis.stats.publish();
+    weseer_obs::add(
+        "analyzer.deadlocks_reported",
+        diagnosis.deadlocks.len() as u64,
+    );
+    diagnosis
+}
+
+/// Like [`diagnose_incremental`], but fanning the parallel phases out over
+/// `shards` table-keyed worker shards
+/// ([`run_sharded`](crate::schedule::run_sharded)) and emitting each
+/// confirmed report to `on_report` *while phase 3 is still running* — as
+/// soon as the completed prefix of the canonical cycle order reaches it.
+/// This is the serving plane's entry point: a daemon streams verdicts to
+/// the submitting client without waiting for the slowest shard.
+///
+/// Every pair (and every cycle group) is routed by [`pair_shard_key`] —
+/// the pair's smallest conflict table — so all work touching one entity
+/// lands on one shard and warm store entries written by that shard stay
+/// shard-local. Determinism is untouched: shard assignment only decides
+/// *where* a pure function runs, and both the report vector and the
+/// `on_report` sequence follow the canonical input order, so the result
+/// is byte-identical to [`diagnose_incremental`] at any shard count.
+pub fn diagnose_streaming(
+    catalog: &Catalog,
+    traces: &[CollectedTrace],
+    config: &AnalyzerConfig,
+    oracle: Option<&dyn IndexOracle>,
+    store: Option<&StoreCtx<'_>>,
+    shards: usize,
+    on_report: &mut dyn FnMut(&DeadlockReport),
+) -> Diagnosis {
+    let _span = weseer_obs::span("analyzer.diagnose");
+    if let Some(sc) = store {
+        assert_eq!(
+            sc.fingerprints.len(),
+            traces.len(),
+            "one fingerprint per trace"
+        );
+    }
+    let diagnosis = run_pipeline(
+        catalog,
+        traces,
+        config,
+        oracle,
+        store,
+        Exec::Shard(shards),
+        &mut Some(on_report),
+    );
     diagnosis.stats.publish();
     weseer_obs::add(
         "analyzer.deadlocks_reported",
@@ -259,9 +316,94 @@ pub fn coarse_cycle_count(traces: &[CollectedTrace]) -> usize {
         max_reports: usize::MAX,
         ..AnalyzerConfig::default()
     };
-    run_pipeline(&Catalog::default(), traces, &config, None, None)
-        .stats
-        .coarse_cycles
+    run_pipeline(
+        &Catalog::default(),
+        traces,
+        &config,
+        None,
+        None,
+        Exec::Pool,
+        &mut None,
+    )
+    .stats
+    .coarse_cycles
+}
+
+/// How the parallel phases fan out.
+#[derive(Debug, Clone, Copy)]
+enum Exec {
+    /// The batch pool: work-stealing chunks over the configured thread
+    /// count ([`run_ordered`]).
+    Pool,
+    /// The serving plane: bounded per-shard queues keyed by the pair's
+    /// conflict table ([`run_sharded`]).
+    Shard(usize),
+}
+
+impl Exec {
+    /// Run `f` over `items`, surfacing each result to `on_ready` in input
+    /// order. The pool path computes everything first and then sweeps —
+    /// same `on_ready` sequence, no streaming; the shard path streams the
+    /// completed prefix while later items are still in flight.
+    fn run<I, O>(
+        self,
+        items: &[I],
+        threads: usize,
+        key: impl Fn(usize, &I) -> u64 + Sync,
+        f: impl Fn(usize, &I) -> O + Sync,
+        mut on_ready: impl FnMut(usize, &O),
+    ) -> Vec<O>
+    where
+        I: Sync,
+        O: Send,
+    {
+        match self {
+            Exec::Pool => {
+                let out = run_ordered(items, threads, f);
+                for (i, o) in out.iter().enumerate() {
+                    on_ready(i, o);
+                }
+                out
+            }
+            Exec::Shard(shards) => run_sharded(items, shards, key, f, on_ready),
+        }
+    }
+}
+
+/// The entity/table shard key of a transaction pair: an FNV-1a hash of
+/// the smallest table both transactions access with at least one write —
+/// the same predicate phase 1's conflict filter selects pairs by, so
+/// every surviving pair has one. (Brute-force configs that skip the
+/// filter fall back to hashing the pair's trace coordinates.) Keying by
+/// conflict table sends all contention on one entity to one shard;
+/// hashing the *name* keeps the mapping stable across runs and shard
+/// counts, which is what makes warm-store sites shard-local.
+pub fn pair_shard_key(traces: &[CollectedTrace], job: &PairJob) -> u64 {
+    let (acc_a, wr_a) = txn_tables(&traces[job.a].trace, job.a_txn);
+    let (acc_b, wr_b) = txn_tables(&traces[job.b].trace, job.b_txn);
+    let mut conflict: Option<&String> = None;
+    for t in &acc_a {
+        if !acc_b.contains(t) || !(wr_a.contains(t) || wr_b.contains(t)) {
+            continue;
+        }
+        match conflict {
+            Some(best) if best <= t => {}
+            _ => conflict = Some(t),
+        }
+    }
+    match conflict {
+        Some(table) => fnv1a(table.as_bytes()),
+        None => fnv1a(format!("{}:{}|{}:{}", job.a, job.a_txn, job.b, job.b_txn).as_bytes()),
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Shared read-only context for the pure per-pair functions.
@@ -881,6 +1023,8 @@ fn run_pipeline(
     config: &AnalyzerConfig,
     oracle: Option<&dyn IndexOracle>,
     store: Option<&StoreCtx<'_>>,
+    exec: Exec,
+    sink: &mut Option<&mut dyn FnMut(&DeadlockReport)>,
 ) -> Diagnosis {
     let mut stats = DiagnosisStats::default();
 
@@ -927,9 +1071,18 @@ fn run_pipeline(
 
     // ---- Phase 2: coarse SC-graph deadlock cycles (parallel) -----------
     timeline_phase("analyzer.phase2", "coarse SC-graph cycle scan");
-    let outcomes = run_ordered(&pair_set.jobs, threads, |_, job| {
-        scan_pair_cached(job, &pctx)
-    });
+    let pair_keys: Vec<u64> = pair_set
+        .jobs
+        .iter()
+        .map(|job| pair_shard_key(traces, job))
+        .collect();
+    let outcomes = exec.run(
+        &pair_set.jobs,
+        threads,
+        |i, _| pair_keys[i],
+        |_, job| scan_pair_cached(job, &pctx),
+        |_, _| {},
+    );
 
     // Ordered sweep: cycles with the same statement templates and conflict
     // tables are one deadlock pattern; check each pattern once (the
@@ -969,8 +1122,50 @@ fn run_pipeline(
     }
 
     // ---- Phase 3: fine-grained lock modeling + SMT (parallel) ----------
+    // The ordered reduce — stats, reports, `max_reports` truncation, and
+    // the streaming sink — is fused into the scheduler's in-order
+    // `on_ready` sweep, so a sharded run emits each confirmed report
+    // while later cycles are still solving, with bytes identical to the
+    // batch reduce (the sweep follows canonical input order either way).
     timeline_phase("analyzer.phase3", "fine-grained lock modeling + SMT");
-    let fine_outcomes: Vec<FineOutcome> = if config.solver.tiers.incremental {
+    let mut reports: Vec<DeadlockReport> = Vec::new();
+    let mut truncated = false;
+    fn absorb(
+        out: &FineOutcome,
+        stats: &mut DiagnosisStats,
+        reports: &mut Vec<DeadlockReport>,
+        truncated: &mut bool,
+        max_reports: usize,
+        sink: &mut Option<&mut dyn FnMut(&DeadlockReport)>,
+    ) {
+        if *truncated {
+            return;
+        }
+        stats.phase3_time += out.time;
+        match &out.verdict {
+            FineVerdict::NoCandidate => {}
+            FineVerdict::Sat(report) => {
+                stats.fine_candidates += 1;
+                stats.smt_sat += 1;
+                if let Some(s) = sink.as_mut() {
+                    s(report);
+                }
+                reports.push((**report).clone());
+            }
+            FineVerdict::Unsat => {
+                stats.fine_candidates += 1;
+                stats.smt_unsat += 1;
+            }
+            FineVerdict::Unknown => {
+                stats.fine_candidates += 1;
+                stats.smt_unknown += 1;
+            }
+        }
+        if reports.len() >= max_reports {
+            *truncated = true;
+        }
+    }
+    if config.solver.tiers.incremental {
         // Incremental mode parallelizes over *pairs*, not cycles: each
         // pair's cycles share one persistent solver and must run in
         // canonical order on one thread. The dedup sweep above emits
@@ -982,13 +1177,50 @@ fn run_pipeline(
                 _ => groups.push(vec![fj]),
             }
         }
-        run_ordered(&groups, threads, |_, g| fine_check_group(g, &pctx))
-            .into_iter()
-            .flatten()
-            .collect()
+        let group_keys: Vec<u64> = groups
+            .iter()
+            .map(|g| pair_shard_key(traces, &g[0].pair))
+            .collect();
+        exec.run(
+            &groups,
+            threads,
+            |i, _| group_keys[i],
+            |_, g| fine_check_group(g, &pctx),
+            |_, outs: &Vec<FineOutcome>| {
+                for out in outs {
+                    absorb(
+                        out,
+                        &mut stats,
+                        &mut reports,
+                        &mut truncated,
+                        config.max_reports,
+                        sink,
+                    );
+                }
+            },
+        );
     } else {
-        run_ordered(&fine_jobs, threads, |_, fj| fine_check_cached(fj, &pctx))
-    };
+        let fine_keys: Vec<u64> = fine_jobs
+            .iter()
+            .map(|fj| pair_shard_key(traces, &fj.pair))
+            .collect();
+        exec.run(
+            &fine_jobs,
+            threads,
+            |i, _| fine_keys[i],
+            |_, fj| fine_check_cached(fj, &pctx),
+            |_, out| {
+                absorb(
+                    out,
+                    &mut stats,
+                    &mut reports,
+                    &mut truncated,
+                    config.max_reports,
+                    sink,
+                );
+            },
+        );
+    }
 
     // Persist the SMT verdicts this run produced (hit-or-miss: `put` of
     // an unchanged entry is a no-op, so repeat runs do not grow the file).
@@ -1002,30 +1234,6 @@ fn run_pipeline(
         }
     }
 
-    // Ordered reduce: stats, reports, and max_reports truncation.
-    let mut reports: Vec<DeadlockReport> = Vec::new();
-    for out in fine_outcomes {
-        stats.phase3_time += out.time;
-        match out.verdict {
-            FineVerdict::NoCandidate => continue,
-            FineVerdict::Sat(report) => {
-                stats.fine_candidates += 1;
-                stats.smt_sat += 1;
-                reports.push(*report);
-            }
-            FineVerdict::Unsat => {
-                stats.fine_candidates += 1;
-                stats.smt_unsat += 1;
-            }
-            FineVerdict::Unknown => {
-                stats.fine_candidates += 1;
-                stats.smt_unknown += 1;
-            }
-        }
-        if reports.len() >= config.max_reports {
-            break;
-        }
-    }
     Diagnosis {
         deadlocks: reports,
         stats,

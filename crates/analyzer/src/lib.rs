@@ -44,11 +44,12 @@ pub mod viz;
 
 pub use anomaly::{find_anomaly_candidates, AnomalyCandidate};
 pub use diagnose::{
-    coarse_cycle_count, diagnose, diagnose_incremental, diagnose_with_oracle, AnalyzerConfig,
-    CollectedTrace, Diagnosis, DiagnosisStats, StoreCtx, LOCK_MODEL_VERSION,
+    coarse_cycle_count, diagnose, diagnose_incremental, diagnose_streaming, diagnose_with_oracle,
+    pair_shard_key, AnalyzerConfig, CollectedTrace, Diagnosis, DiagnosisStats, StoreCtx,
+    LOCK_MODEL_VERSION,
 };
 pub use indexes::IndexOracle;
 pub use pairs::{generate_pairs, PairJob, PairSet};
 pub use prefix::PrefixTable;
 pub use report::{render_stats, CycleId, DeadlockReport, ReportedStatement};
-pub use schedule::{resolve_threads, run_ordered};
+pub use schedule::{resolve_threads, run_ordered, run_sharded, SHARD_QUEUE_DEPTH};

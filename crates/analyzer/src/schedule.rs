@@ -11,7 +11,7 @@
 //! `threads <= 1` (or a trivial slice) runs inline on the caller's thread
 //! with no pool, no atomics, and no extra allocations.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Resolve a thread-count request: `0` means auto — the `WESEER_THREADS`
@@ -87,6 +87,127 @@ where
         .collect()
 }
 
+/// Bound on each shard's work queue in [`run_sharded`]: deep enough to
+/// keep a shard busy, shallow enough that a stalled shard back-pressures
+/// the router (and, transitively, a daemon's ingest channel) instead of
+/// buffering unboundedly.
+pub const SHARD_QUEUE_DEPTH: usize = 64;
+
+/// Map `f` over `items` on `shards` worker shards, routing each item to
+/// the shard `key(i, item) % shards` — so every item with the same key
+/// (e.g. every transaction pair conflicting on the same table) lands on
+/// the same worker. Results are returned in input order, and `on_ready`
+/// observes them in input order *as the completed prefix grows*, which is
+/// what lets a streaming caller emit verdicts while later items are still
+/// in flight.
+///
+/// Unlike [`run_ordered`]'s work-stealing cursor, items flow through
+/// bounded per-shard queues (capacity [`SHARD_QUEUE_DEPTH`]): a slow
+/// shard fills its queue and blocks the router rather than accumulating
+/// work. Per-shard `serve.shard{s}.queue_depth` gauges and
+/// `serve.shard{s}.tasks` counters feed the obs plane.
+///
+/// Determinism: `f` must be pure up to observability side effects, and
+/// both the returned vector and the `on_ready` sequence are in input
+/// order — so the output is byte-identical to the inline (`shards <= 1`)
+/// run no matter how items interleave across shards.
+pub fn run_sharded<I, O, K, F, E>(
+    items: &[I],
+    shards: usize,
+    key: K,
+    f: F,
+    mut on_ready: E,
+) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    K: Fn(usize, &I) -> u64 + Sync,
+    F: Fn(usize, &I) -> O + Sync,
+    E: FnMut(usize, &O),
+{
+    let n = items.len();
+    if shards <= 1 || n <= 1 {
+        let mut out = Vec::with_capacity(n);
+        for (i, it) in items.iter().enumerate() {
+            let o = f(i, it);
+            on_ready(i, &o);
+            out.push(o);
+        }
+        return out;
+    }
+    let shards = shards.min(n);
+    let slots: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let depths: Vec<AtomicI64> = (0..shards).map(|_| AtomicI64::new(0)).collect();
+    let (done_tx, done_rx) = std::sync::mpsc::channel::<usize>();
+
+    std::thread::scope(|scope| {
+        let (slots, depths, f, key) = (&slots, &depths, &f, &key);
+        let mut queues = Vec::with_capacity(shards);
+        for (s, depth) in depths.iter().enumerate() {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<usize>(SHARD_QUEUE_DEPTH);
+            queues.push(tx);
+            let done_tx = done_tx.clone();
+            std::thread::Builder::new()
+                .name(format!("serve.shard{s}"))
+                .spawn_scoped(scope, move || {
+                    let _span = weseer_obs::span(&format!("serve.shard{s}"));
+                    while let Ok(i) = rx.recv() {
+                        let d = depth.fetch_sub(1, Ordering::Relaxed) - 1;
+                        weseer_obs::gauge_set(&format!("serve.shard{s}.queue_depth"), d);
+                        *slots[i].lock().unwrap() = Some(f(i, &items[i]));
+                        weseer_obs::add(&format!("serve.shard{s}.tasks"), 1);
+                        if done_tx.send(i).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn shard worker");
+        }
+        drop(done_tx);
+
+        // The router walks the items in input order and hashes each onto
+        // its shard queue. A full queue blocks the send — backpressure,
+        // not buffering.
+        std::thread::Builder::new()
+            .name("serve.router".into())
+            .spawn_scoped(scope, move || {
+                for (i, item) in items.iter().enumerate() {
+                    let s = (key(i, item) % shards as u64) as usize;
+                    let d = depths[s].fetch_add(1, Ordering::Relaxed) + 1;
+                    weseer_obs::gauge_set(&format!("serve.shard{s}.queue_depth"), d);
+                    if queues[s].send(i).is_err() {
+                        break;
+                    }
+                }
+                // Dropping the senders drains and retires the shards.
+            })
+            .expect("spawn shard router");
+
+        // The merge runs on the caller's thread: completions arrive in
+        // shard-race order, but `on_ready` fires strictly in input order.
+        let mut completed = vec![false; n];
+        let mut next = 0usize;
+        for i in done_rx {
+            completed[i] = true;
+            while next < n && completed[next] {
+                let slot = slots[next].lock().unwrap();
+                on_ready(next, slot.as_ref().expect("completed slot is filled"));
+                drop(slot);
+                next += 1;
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every item routed exactly once")
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,5 +252,63 @@ mod tests {
     fn resolve_prefers_explicit_request() {
         assert_eq!(resolve_threads(3), 3);
         assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn sharded_results_match_inline_at_any_shard_count() {
+        let items: Vec<usize> = (0..500).collect();
+        let expect: Vec<usize> = items.iter().map(|x| x * 7).collect();
+        for shards in [1, 2, 4, 9] {
+            let out = run_sharded(
+                &items,
+                shards,
+                |_, &x| (x % 13) as u64,
+                |_, &x| x * 7,
+                |_, _| {},
+            );
+            assert_eq!(out, expect);
+        }
+    }
+
+    #[test]
+    fn on_ready_fires_in_input_order_for_every_item() {
+        let items: Vec<usize> = (0..300).collect();
+        let mut seen = Vec::new();
+        run_sharded(
+            &items,
+            4,
+            |_, &x| x as u64,
+            |_, &x| x,
+            |i, &o| {
+                assert_eq!(i, o);
+                seen.push(i);
+            },
+        );
+        assert_eq!(seen, (0..300).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn skewed_keys_exceeding_queue_depth_do_not_deadlock() {
+        // Every item hashes to shard 0 and the item count dwarfs the
+        // queue bound: the router must block and drain, not wedge.
+        let items: Vec<usize> = (0..(SHARD_QUEUE_DEPTH * 4)).collect();
+        let out = run_sharded(&items, 3, |_, _| 0, |_, &x| x + 1, |_, _| {});
+        assert_eq!(out.len(), items.len());
+        assert_eq!(out[0], 1);
+    }
+
+    #[test]
+    fn sharded_runs_every_item_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let items: Vec<u8> = vec![0; 311];
+        let out = run_sharded(
+            &items,
+            5,
+            |i, _| (i % 5) as u64,
+            |_, _| calls.fetch_add(1, Ordering::Relaxed),
+            |_, _| {},
+        );
+        assert_eq!(out.len(), 311);
+        assert_eq!(calls.load(Ordering::Relaxed), 311);
     }
 }

@@ -5,8 +5,10 @@
 //!           [--witness-out <path>] [--smt-ablation [app]]
 //!           [--store <path>] [--dirty <api>] [--incremental-bench [app]]
 //!           [--trace-out <path>] [--serve <addr>] [--serve-hold <secs>]
+//!           [--daemon <addr>] [--serve-bench] [--verdicts-out <path>]
 //!           [--timeline-bench [app]]
 //!           [--isolation <level>] [--anomaly-out <path>] [--mvcc-bench]
+//!           [--help]
 //!           [table1] [table2] [table3] [fig10] [fig11] [pruning]
 //!           [baseline] [aborts] [all]
 //! ```
@@ -14,8 +16,10 @@
 //! With no selector (or `all`), every experiment runs. `--quick` shrinks
 //! the performance sweeps for CI-scale runs. `--threads <n>` pins the
 //! analyzer's worker count (equivalent to setting `WESEER_THREADS=<n>`;
-//! the diagnosis output is identical for every value — see the CI
-//! determinism job). `--metrics-out <path>` runs the diagnosis pipeline on
+//! `--threads 0` — or `WESEER_THREADS=0` — auto-detects via
+//! `std::thread::available_parallelism`, the same as not passing the
+//! flag at all; the diagnosis output is identical for every value — see
+//! the CI determinism job). `--metrics-out <path>` runs the diagnosis pipeline on
 //! both apps with the observability registry enabled, prints the
 //! funnel/timing report, and writes the JSON-lines metrics export to
 //! `<path>`. `--witness-out <path>` replays every diagnosed cycle for a
@@ -61,6 +65,23 @@
 //! `BENCH_timeline.json`, and exits nonzero if enabling the timeline
 //! changed one output byte (it must be a pure observer).
 //!
+//! Serving plane: `--daemon <addr>` starts the full `weseer-serve`
+//! daemon instead of the plain metrics endpoint — everything `--serve`
+//! offers plus `GET /analyze/<app>` (stream an app's verdicts as
+//! JSON lines) and `GET /shards` (per-shard queue depth, ingest lag,
+//! verdicts/sec, shared-store hits); the bound address is printed as
+//! `serving on http://<addr>` and held for `--serve-hold <secs>`
+//! (default: forever). `WESEER_SERVE_SHARDS`, `WESEER_SERVE_WORKERS`,
+//! and `WESEER_SERVE_STORE` tune the daemon. `--verdicts-out <path>`
+//! runs the *batch* pipeline on both apps and writes their verdicts in
+//! the daemon's wire format (broadleaf first, then shopizer) so CI can
+//! byte-diff it against the daemon's streamed output. `--serve-bench`
+//! replays both apps through an in-process daemon at increasing shard
+//! and client counts, writes `BENCH_serve.json`, and exits nonzero if
+//! streaming diverged from batch anywhere, the warm store session hit
+//! nothing, or 4-shard throughput collapsed below the lenient scaling
+//! floor (see `weseer_bench::serve_bench`).
+//!
 //! MVCC isolation plane: `--isolation <level>` selects the session
 //! isolation level for every experiment (`serializable` — the default —
 //! `snapshot`, `repeatable-read`, or `read-committed`; equivalent to
@@ -80,6 +101,47 @@ use std::io::Write as _;
 use weseer_bench::experiments;
 use weseer_core::FUNNEL_STAGES;
 
+const USAGE: &str = "\
+reproduce: regenerate the paper's evaluation artifacts
+
+USAGE:
+    reproduce [OPTIONS] [SELECTORS]
+
+SELECTORS (default: all):
+    table1 table2 table3 fig10 fig11 pruning baseline aborts all
+
+OPTIONS:
+    --quick                  shrink the performance sweeps for CI-scale runs
+    --threads N              pin the analyzer worker count (WESEER_THREADS=N);
+                             0 = auto-detect via available_parallelism, the
+                             same as omitting the flag. Output is identical
+                             at every thread count.
+    --metrics-out PATH       write the JSON-lines metrics export
+    --witness-out PATH       write one replayed-witness JSON line per report
+    --anomaly-out PATH       write the weak-isolation anomaly screen
+    --verdicts-out PATH      write both apps' batch verdicts in the serving
+                             wire format (for byte-diffing against the
+                             daemon's GET /analyze/<app>)
+    --store PATH             warm-start from an incremental store (WESEER_STORE)
+    --dirty API              treat API's trace as changed (WESEER_DIRTY)
+    --isolation LEVEL        serializable | snapshot | repeatable-read |
+                             read-committed (WESEER_ISOLATION)
+    --trace-out PATH         write a Chrome trace of the run
+    --serve ADDR             serve /metrics /funnel /waitfor while running
+    --daemon ADDR            start the full weseer-serve daemon instead:
+                             adds GET /analyze/<app> and GET /shards; tuned
+                             by WESEER_SERVE_SHARDS / WESEER_SERVE_WORKERS /
+                             WESEER_SERVE_STORE; runs until killed
+    --serve-hold SECS        keep the endpoint/daemon up after the runs
+    --smt-ablation [APP]     solver-tier ablation grid -> BENCH_smt.json
+    --incremental-bench [APP] cold/warm/dirtied timings -> BENCH_incremental.json
+    --timeline-bench [APP]   timeline overhead -> BENCH_timeline.json
+    --mvcc-bench             isolation-level separation -> BENCH_mvcc.json
+    --serve-bench            streaming identity, shard scaling, warm store
+                             -> BENCH_serve.json
+    --help                   print this help
+";
+
 fn main() {
     let mut metrics_out: Option<String> = None;
     let mut witness_out: Option<String> = None;
@@ -90,7 +152,10 @@ fn main() {
     let mut timeline_bench: Option<Vec<&'static str>> = None;
     let mut trace_out: Option<String> = None;
     let mut serve: Option<String> = None;
-    let mut serve_hold: u64 = 0;
+    let mut serve_hold: Option<u64> = None;
+    let mut daemon_addr: Option<String> = None;
+    let mut serve_bench = false;
+    let mut verdicts_out: Option<String> = None;
     let mut rest: Vec<String> = Vec::new();
     let mut raw = std::env::args().skip(1).peekable();
     while let Some(arg) = raw.next() {
@@ -147,13 +212,33 @@ fn main() {
             });
             serve = Some(addr);
         } else if arg == "--serve-hold" {
-            serve_hold = raw
-                .next()
-                .and_then(|v| v.parse::<u64>().ok())
-                .unwrap_or_else(|| {
-                    eprintln!("--serve-hold requires a number of seconds");
-                    std::process::exit(2);
-                });
+            serve_hold = Some(
+                raw.next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--serve-hold requires a number of seconds");
+                        std::process::exit(2);
+                    }),
+            );
+        } else if arg == "--daemon" {
+            let addr = raw.next().unwrap_or_else(|| {
+                eprintln!("--daemon requires an address argument (e.g. 127.0.0.1:0)");
+                std::process::exit(2);
+            });
+            daemon_addr = Some(addr);
+        } else if arg == "--serve-bench" {
+            serve_bench = true;
+        } else if arg == "--verdicts-out" {
+            let path = raw.next().unwrap_or_else(|| {
+                eprintln!("--verdicts-out requires a path argument");
+                std::process::exit(2);
+            });
+            verdicts_out = Some(path);
+        } else if arg == "--help" || arg == "-h" {
+            // The module doc above is the authoritative manual; keep this
+            // in sync with it.
+            print!("{USAGE}");
+            return;
         } else if arg == "--store" {
             let path = raw.next().unwrap_or_else(|| {
                 eprintln!("--store requires a path argument");
@@ -204,11 +289,13 @@ fn main() {
                 });
             std::env::set_var(weseer_db::ISOLATION_ENV, level.name());
         } else if arg == "--threads" {
+            // 0 is valid and means auto-detect (available_parallelism),
+            // matching `WESEER_THREADS=0` — see `resolve_threads`.
             let n = raw
                 .next()
-                .and_then(|v| v.parse::<usize>().ok().filter(|&n| n > 0))
+                .and_then(|v| v.parse::<usize>().ok())
                 .unwrap_or_else(|| {
-                    eprintln!("--threads requires a positive integer argument");
+                    eprintln!("--threads requires an integer argument (0 = auto-detect)");
                     std::process::exit(2);
                 });
             // The experiments build their own `Weseer` facades with the
@@ -231,7 +318,10 @@ fn main() {
         && !mvcc_bench
         && smt_ablation.is_none()
         && incremental.is_none()
-        && timeline_bench.is_none())
+        && timeline_bench.is_none()
+        && !serve_bench
+        && verdicts_out.is_none()
+        && daemon_addr.is_none())
         || selected.contains(&"all");
     let want = |name: &str| all || selected.contains(&name);
 
@@ -243,24 +333,60 @@ fn main() {
             }
         }
     }
-    let server = serve.map(|addr| {
-        // The endpoint reads the global registry; recording must be on for
-        // `/metrics`, `/funnel`, and `/waitfor` to carry live data.
-        weseer_obs::set_enabled(true);
-        match weseer_obs::ObsServer::start(addr.as_str(), FUNNEL_STAGES) {
-            Ok(server) => {
-                // CI greps this line for the bound (possibly ephemeral)
-                // port; flush so it is visible while the run is live.
+    // `--daemon` starts the full serving plane (ingest + sharded analysis
+    // + `/analyze` + `/shards`); plain `--serve` binds the metrics-only
+    // endpoint. Both print the same grep-able "serving on" line.
+    let daemon = daemon_addr.map(|addr| {
+        let env_num = |name: &str, default: usize| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        };
+        let defaults = weseer_serve::DaemonConfig::default();
+        let config = weseer_serve::DaemonConfig {
+            shards: env_num("WESEER_SERVE_SHARDS", defaults.shards),
+            workers: env_num("WESEER_SERVE_WORKERS", defaults.workers),
+            store_path: std::env::var("WESEER_SERVE_STORE")
+                .ok()
+                .filter(|p| !p.is_empty())
+                .map(std::path::PathBuf::from),
+            ..defaults
+        };
+        match weseer_serve::serve(&addr, config) {
+            Ok((daemon, server)) => {
                 println!("serving on http://{}", server.local_addr());
                 let _ = std::io::stdout().flush();
-                server
+                (daemon, server)
             }
             Err(e) => {
-                eprintln!("failed to bind {addr}: {e}");
+                eprintln!("failed to start daemon on {addr}: {e}");
                 std::process::exit(1);
             }
         }
     });
+    let server = if daemon.is_some() {
+        None
+    } else {
+        serve.map(|addr| {
+            // The endpoint reads the global registry; recording must be on
+            // for `/metrics`, `/funnel`, and `/waitfor` to carry live data.
+            weseer_obs::set_enabled(true);
+            match weseer_obs::ObsServer::start(addr.as_str(), FUNNEL_STAGES) {
+                Ok(server) => {
+                    // CI greps this line for the bound (possibly ephemeral)
+                    // port; flush so it is visible while the run is live.
+                    println!("serving on http://{}", server.local_addr());
+                    let _ = std::io::stdout().flush();
+                    server
+                }
+                Err(e) => {
+                    eprintln!("failed to bind {addr}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        })
+    };
     if trace_out.is_some() {
         weseer_obs::timeline::set_enabled(true);
         weseer_obs::timeline::set_lane_name("main");
@@ -317,6 +443,33 @@ fn main() {
         }
         println!("{human}");
         println!("witnesses written to {path}");
+    }
+    if let Some(path) = verdicts_out {
+        let _span = weseer_obs::span("reproduce.verdicts_out");
+        let (human, lines) = experiments::batch_verdicts();
+        if let Err(e) = std::fs::write(&path, lines) {
+            eprintln!("failed to write verdicts to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("{human}");
+        println!("batch verdicts written to {path}");
+    }
+    if serve_bench {
+        let _span = weseer_obs::span("reproduce.serve_bench");
+        let bench = weseer_bench::serve_bench::serve_bench(quick);
+        println!("{}", bench.report);
+        if let Err(e) = std::fs::write("BENCH_serve.json", &bench.bench_json) {
+            eprintln!("failed to write BENCH_serve.json: {e}");
+            std::process::exit(1);
+        }
+        println!("bench summary written to BENCH_serve.json");
+        if bench.failed {
+            eprintln!(
+                "serve-bench: streaming diverged from batch, the warm store \
+                 session hit nothing, or shard throughput regressed"
+            );
+            std::process::exit(1);
+        }
     }
     if let Some(path) = anomaly_out {
         let _span = weseer_obs::span("reproduce.anomaly_report");
@@ -411,11 +564,29 @@ fn main() {
             std::process::exit(1);
         }
     }
+    if let Some((daemon, server)) = daemon {
+        // Daemon mode serves until killed unless a hold was given.
+        match serve_hold {
+            Some(secs) => {
+                println!("holding the daemon for {secs}s");
+                let _ = std::io::stdout().flush();
+                std::thread::sleep(std::time::Duration::from_secs(secs));
+            }
+            None => loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            },
+        }
+        server.stop();
+        if let Some(d) = std::sync::Arc::into_inner(daemon) {
+            d.shutdown();
+        }
+    }
     if let Some(server) = server {
-        if serve_hold > 0 {
-            println!("holding the endpoint for {serve_hold}s");
+        let hold = serve_hold.unwrap_or(0);
+        if hold > 0 {
+            println!("holding the endpoint for {hold}s");
             let _ = std::io::stdout().flush();
-            std::thread::sleep(std::time::Duration::from_secs(serve_hold));
+            std::thread::sleep(std::time::Duration::from_secs(hold));
         }
         server.stop();
     }

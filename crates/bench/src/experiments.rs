@@ -1359,6 +1359,31 @@ pub fn mvcc_bench() -> MvccBench {
     }
 }
 
+/// `--verdicts-out`: both apps' batch-pipeline verdicts rendered in the
+/// serving daemon's wire format ([`weseer_serve::verdict_line`]),
+/// broadleaf first then shopizer — the exact bytes `GET /analyze/<app>`
+/// streams, so CI can byte-diff daemon output against this file.
+pub fn batch_verdicts() -> (String, String) {
+    let mut human = String::from("Batch verdicts (serving wire format):\n");
+    let mut lines = String::new();
+    for &name in &["broadleaf", "shopizer"] {
+        let app: &dyn ECommerceApp = match name {
+            "broadleaf" => &Broadleaf,
+            _ => &Shopizer,
+        };
+        let analysis = Weseer::new().analyze(app);
+        let _ = writeln!(
+            human,
+            "  {name}: {} verdicts",
+            analysis.diagnosis.deadlocks.len()
+        );
+        for r in &analysis.diagnosis.deadlocks {
+            lines.push_str(&weseer_serve::verdict_line(name, r));
+        }
+    }
+    (human, lines)
+}
+
 fn indent(text: &str, pad: &str) -> String {
     let mut out = String::new();
     for line in text.lines() {

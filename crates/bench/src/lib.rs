@@ -11,3 +11,4 @@
 
 pub mod experiments;
 pub mod render;
+pub mod serve_bench;

@@ -230,6 +230,10 @@ pub const FUNNEL_STAGES: &[(&str, &str)] = &[
     ("anomaly candidates", "analyzer.anomaly.candidates"),
     ("anomaly confirmed", "replay.anomaly.confirmed"),
     ("anomaly clean", "replay.anomaly.clean"),
+    // Serving-plane stages (populated only when a `weseer-serve` daemon
+    // runs in-process; zero in plain batch runs).
+    ("traces ingested (serve)", "serve.traces_ingested"),
+    ("verdicts served (serve)", "serve.verdicts_served"),
 ];
 
 /// Summary of one collected trace.

@@ -31,6 +31,14 @@ use std::time::Duration;
 /// The embedded dashboard page served at `/`.
 const DASHBOARD_HTML: &str = include_str!("dashboard.html");
 
+/// An application-supplied route extension for [`ObsServer::start_with`]:
+/// given the request path (query string already stripped), return
+/// `Some((content_type, body))` to serve it with a 200, or `None` to fall
+/// through to the built-in routes / 404. Handlers run on the server
+/// thread, one request at a time — a long-running handler (e.g. a daemon
+/// analyzing an app on demand) simply holds the connection.
+pub type RouteHandler = dyn Fn(&str) -> Option<(String, String)> + Send + Sync;
+
 /// A running observability endpoint. Dropping the handle (or calling
 /// [`ObsServer::stop`]) shuts the listener thread down.
 #[derive(Debug)]
@@ -48,6 +56,17 @@ impl ObsServer {
         addr: impl ToSocketAddrs,
         funnel: &'static [(&'static str, &'static str)],
     ) -> std::io::Result<ObsServer> {
+        Self::start_with(addr, funnel, None)
+    }
+
+    /// Like [`ObsServer::start`], with extra application routes: `extra`
+    /// is consulted for any path the built-in routes don't claim (so a
+    /// daemon can add `/analyze/<app>` and `/shards` next to `/metrics`).
+    pub fn start_with(
+        addr: impl ToSocketAddrs,
+        funnel: &'static [(&'static str, &'static str)],
+        extra: Option<Arc<RouteHandler>>,
+    ) -> std::io::Result<ObsServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         // Poll for shutdown between accepts instead of blocking forever.
@@ -62,7 +81,7 @@ impl ObsServer {
                         Ok((stream, _)) => {
                             // One request per connection; errors on a
                             // single connection must not kill the server.
-                            let _ = handle_connection(stream, funnel);
+                            let _ = handle_connection(stream, funnel, extra.as_deref());
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(20));
@@ -128,7 +147,11 @@ fn funnel_json(funnel: &[(&str, &str)]) -> String {
     out
 }
 
-fn handle_connection(stream: TcpStream, funnel: &[(&str, &str)]) -> std::io::Result<()> {
+fn handle_connection(
+    stream: TcpStream,
+    funnel: &[(&str, &str)],
+    extra: Option<&RouteHandler>,
+) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     stream.set_write_timeout(Some(Duration::from_secs(5)))?;
     let mut reader = BufReader::new(stream);
@@ -144,7 +167,7 @@ fn handle_connection(stream: TcpStream, funnel: &[(&str, &str)]) -> std::io::Res
             break;
         }
     }
-    let mut stream = reader.into_inner();
+    let stream = reader.into_inner();
 
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("");
@@ -185,14 +208,27 @@ fn handle_connection(stream: TcpStream, funnel: &[(&str, &str)]) -> std::io::Res
                 "text/vnd.graphviz; charset=utf-8",
                 crate::waitfor::to_dot(&crate::waitfor::snapshot()),
             ),
-            _ => (
-                "404 Not Found",
-                "text/plain; charset=utf-8",
-                format!("no route {route}\n"),
-            ),
+            _ => match extra.and_then(|h| h(route)) {
+                Some((content_type, body)) => {
+                    return respond(stream, "200 OK", &content_type, &body)
+                }
+                None => (
+                    "404 Not Found",
+                    "text/plain; charset=utf-8",
+                    format!("no route {route}\n"),
+                ),
+            },
         }
     };
+    respond(stream, status, content_type, &body)
+}
 
+fn respond(
+    mut stream: TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
     write!(
         stream,
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\

@@ -15,6 +15,7 @@ pub use weseer_db as db;
 pub use weseer_obs as obs;
 pub use weseer_orm as orm;
 pub use weseer_replay as replay;
+pub use weseer_serve as serve;
 pub use weseer_smt as smt;
 pub use weseer_sqlir as sqlir;
 pub use weseer_store as store;

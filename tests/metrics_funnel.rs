@@ -132,3 +132,29 @@ fn broadleaf_metrics_funnel_is_consistent() {
     assert!(json.contains("\"name\":\"analyzer.txn_pairs\""));
     assert!(json.contains("\"name\":\"smt.solve_us\""));
 }
+
+/// The funnel definition covers the serving plane: the daemon's ingest
+/// and verdict counters render as trailing stages (zero in batch runs),
+/// and the stage list stays free of duplicates.
+#[test]
+fn funnel_stages_cover_the_serving_plane() {
+    use weseer::core::FUNNEL_STAGES;
+    let counters: Vec<&str> = FUNNEL_STAGES.iter().map(|&(_, c)| c).collect();
+    assert!(counters.contains(&"serve.traces_ingested"));
+    assert!(counters.contains(&"serve.verdicts_served"));
+    let unique: std::collections::BTreeSet<&str> = counters.iter().copied().collect();
+    assert_eq!(unique.len(), counters.len(), "duplicate funnel counters");
+
+    // The serve stages sit after the batch pipeline's stages, so the
+    // rendered funnel reads collection -> diagnosis -> replay -> serving.
+    let serve_idx = counters
+        .iter()
+        .position(|c| *c == "serve.traces_ingested")
+        .unwrap();
+    assert!(
+        counters[..serve_idx]
+            .iter()
+            .all(|c| !c.starts_with("serve.")),
+        "serve stages must trail the batch stages"
+    );
+}

@@ -1,0 +1,143 @@
+//! Serving-plane integration: an in-process `weseer-serve` daemon must
+//! stream verdicts byte-identical to the batch pipeline, a second daemon
+//! session against the same store file must warm-start from the first
+//! (hits > 0 — the store is fleet-shared, not per-process), and the HTTP
+//! surface must serve `/analyze/<app>` and `/shards` end to end.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use weseer::core::Weseer;
+use weseer::serve::{app_by_name, verdict_line, Daemon, DaemonConfig, ServeEvent};
+use weseer::store::json::Json;
+
+/// The batch pipeline's verdicts in the daemon's wire format.
+fn batch_lines(name: &str) -> String {
+    let app = app_by_name(name).expect("known app");
+    let analysis = Weseer::new().analyze(app);
+    analysis
+        .diagnosis
+        .deadlocks
+        .iter()
+        .map(|r| verdict_line(name, r))
+        .collect()
+}
+
+/// Stream one app's trace set through `daemon` as an ingest client would
+/// and concatenate the verdict events.
+fn stream(daemon: &Daemon, name: &str) -> String {
+    let app = app_by_name(name).expect("known app");
+    let (traces, _db) = Weseer::new().collect_traces(app, &weseer::apps::Fixes::none());
+    let client = daemon.client(name);
+    for t in traces {
+        client.send(t);
+    }
+    let mut lines = String::new();
+    for event in client.finish() {
+        match event {
+            ServeEvent::Verdict(line) => lines.push_str(&line),
+            ServeEvent::Done(summary) => {
+                assert!(summary.error.is_none(), "submission failed: {summary:?}");
+                break;
+            }
+        }
+    }
+    lines
+}
+
+#[test]
+fn streamed_verdicts_match_batch_and_warm_across_sessions() {
+    weseer::obs::set_enabled(true);
+    let store =
+        std::env::temp_dir().join(format!("weseer-serve-stream-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&store);
+    let batch = batch_lines("broadleaf");
+    assert!(!batch.is_empty(), "broadleaf has deadlocks to stream");
+
+    // Session 1 fills the store cold; sharded streaming must already be
+    // byte-identical to the batch reduce.
+    let config = DaemonConfig {
+        shards: 2,
+        store_path: Some(store.clone()),
+        ..DaemonConfig::default()
+    };
+    let daemon = Daemon::start(config.clone()).expect("start daemon");
+    assert_eq!(stream(&daemon, "broadleaf"), batch, "cold stream diverged");
+    daemon.shutdown();
+
+    // Session 2 is a fresh process image as far as the store is
+    // concerned: it must reload the first session's verdicts and hit them.
+    let before = weseer::obs::snapshot();
+    let daemon = Daemon::start(config).expect("restart daemon");
+    assert_eq!(stream(&daemon, "broadleaf"), batch, "warm stream diverged");
+    daemon.shutdown();
+    let delta = weseer::obs::snapshot().delta_since(&before);
+    assert!(
+        delta.counter("store.hit") > 0,
+        "second session hit nothing from the first: {:?}",
+        delta.counters
+    );
+    let _ = std::fs::remove_file(&store);
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to daemon");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let (head, body) = response.split_once("\r\n\r\n").expect("header separator");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{path}: {head}");
+    body.to_string()
+}
+
+#[test]
+fn http_surface_serves_analyze_and_shards() {
+    let (daemon, server) =
+        weseer::serve::serve("127.0.0.1:0", DaemonConfig::default()).expect("bind daemon");
+    let addr = server.local_addr();
+
+    let body = get(addr, "/analyze/shopizer");
+    assert_eq!(body, batch_lines("shopizer"), "HTTP stream diverged");
+
+    let shards = Json::parse(&get(addr, "/shards")).expect("shards JSON");
+    assert_eq!(
+        shards.get("shards").and_then(Json::as_u64),
+        Some(daemon.config().shards as u64)
+    );
+    assert!(
+        shards
+            .get("verdicts_served")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            > 0,
+        "no verdicts counted: {shards:?}"
+    );
+    let per_shard = shards
+        .get("per_shard")
+        .and_then(Json::as_arr)
+        .expect("per_shard array");
+    assert_eq!(per_shard.len(), daemon.config().shards);
+    assert!(
+        per_shard
+            .iter()
+            .map(|s| s.get("tasks").and_then(Json::as_u64).unwrap_or(0))
+            .sum::<u64>()
+            > 0,
+        "no shard did any work: {shards:?}"
+    );
+
+    // The funnel's serving stages carry the daemon's counters.
+    let funnel = Json::parse(&get(addr, "/funnel")).expect("funnel JSON");
+    let stages = funnel
+        .get("stages")
+        .and_then(Json::as_arr)
+        .expect("stages array");
+    assert!(
+        stages.iter().any(|s| {
+            s.get("label").and_then(Json::as_str) == Some("verdicts served (serve)")
+                && s.get("value").and_then(Json::as_u64).unwrap_or(0) > 0
+        }),
+        "serve funnel stage missing or empty"
+    );
+
+    server.stop();
+}
